@@ -1,0 +1,104 @@
+// Shared plumbing for the reproduction bench binaries: Section IV workload
+// construction, the paper-vs-analytic-vs-simulation comparison row, and
+// consistent CLI options.
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core/system.hpp"
+#include "paperdata/paper_tables.hpp"
+#include "report/table.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+namespace mbus::bench {
+
+/// The Section IV hierarchical workload (4 clusters, 0.6/0.3/0.1) for an
+/// N×N system.
+inline Workload section4_hierarchical(int n, const std::string& rate) {
+  return Workload::hierarchical_nxn(
+      paperdata::section4_cluster_sizes(n),
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational::parse(rate));
+}
+
+inline Workload section4_uniform(int n, const std::string& rate) {
+  return Workload::uniform(n, n, BigRational::parse(rate));
+}
+
+/// Standard bench options: Monte-Carlo budget and toggles.
+inline CliParser standard_parser(const std::string& summary) {
+  CliParser parser(summary);
+  parser.add_int("cycles", 100000, "simulated cycles per configuration")
+      .add_int("seed", 12345, "simulation seed")
+      .add_flag("no-sim", "skip the Monte-Carlo column")
+      .add_flag("markdown", "emit markdown instead of text tables");
+  return parser;
+}
+
+struct RowOptions {
+  bool simulate = true;
+  std::int64_t cycles = 100000;
+  std::uint64_t seed = 12345;
+};
+
+inline RowOptions row_options_from(const CliParser& cli) {
+  RowOptions opt;
+  opt.simulate = !cli.get_flag("no-sim");
+  opt.cycles = cli.get_int("cycles");
+  opt.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  return opt;
+}
+
+/// One comparison row: paper value (if legible), our closed form, and the
+/// simulator estimate with its approximation gap.
+inline std::vector<std::string> comparison_cells(
+    const Topology& topology, const Workload& workload,
+    std::optional<double> paper_value, const RowOptions& opt) {
+  EvaluationOptions eval_opt;
+  eval_opt.simulate = opt.simulate;
+  eval_opt.sim.cycles = opt.cycles;
+  eval_opt.sim.seed = opt.seed;
+  eval_opt.sim.warmup = 1000;
+  const Evaluation e = evaluate(topology, workload, eval_opt);
+
+  std::vector<std::string> cells;
+  cells.push_back(paper_value ? fmt_fixed(*paper_value, 2) : "-");
+  cells.push_back(fmt_fixed(e.analytic_bandwidth, 3));
+  if (paper_value) {
+    cells.push_back(fmt_fixed(e.analytic_bandwidth - *paper_value, 3));
+  } else {
+    cells.push_back("-");
+  }
+  if (opt.simulate && e.simulation) {
+    cells.push_back(fmt_fixed(e.simulation->bandwidth, 3));
+    const double gap = e.analytic_bandwidth == 0.0
+                           ? 0.0
+                           : (e.simulation->bandwidth - e.analytic_bandwidth) /
+                                 e.analytic_bandwidth * 100.0;
+    cells.push_back(fmt_fixed(gap, 1) + "%");
+  }
+  return cells;
+}
+
+inline std::vector<std::string> comparison_headers(bool simulate) {
+  std::vector<std::string> headers = {"paper", "analytic", "delta"};
+  if (simulate) {
+    headers.push_back("sim");
+    headers.push_back("sim-gap");
+  }
+  return headers;
+}
+
+inline void emit(const Table& table, const CliParser& cli) {
+  std::cout << (cli.get_flag("markdown") ? table.to_markdown()
+                                         : table.to_text())
+            << "\n";
+}
+
+}  // namespace mbus::bench

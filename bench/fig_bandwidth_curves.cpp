@@ -1,0 +1,77 @@
+// Bandwidth-vs-bus-count curves: the graphical view of Tables II–VI.
+// For each request rate, plots the analytic MBW of all four connection
+// schemes against B on one ASCII chart, with the crossbar bound as the
+// reference series — making the paper's verbal comparisons (full ≥
+// partial ≥ single; saturation near B = N·X) visible at a glance.
+#include <iostream>
+
+#include "analysis/bandwidth.hpp"
+#include "bench_common.hpp"
+#include "report/chart.hpp"
+#include "topology/factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mbus;
+  using namespace mbus::bench;
+
+  CliParser cli("Render bandwidth-vs-B curves for all four schemes.");
+  cli.add_int("n", 16, "system size (N = M, 4 | N, power of two)");
+  if (!cli.parse(argc, argv)) return 0;
+  const int n = static_cast<int>(cli.get_int("n"));
+
+  for (const char* rate : {"1", "0.5"}) {
+    const Workload w = section4_hierarchical(n, rate);
+    const double x = w.request_probability();
+
+    // Fine-grained curve: full and K=B classes exist for every B.
+    {
+      std::vector<std::string> labels;
+      std::vector<double> full_curve, kc_curve, xbar_curve;
+      for (int b = 1; b <= n; ++b) {
+        labels.push_back(std::to_string(b));
+        full_curve.push_back(bandwidth_full(n, b, x));
+        // K = B classes with near-even sizes (M need not divide K).
+        std::vector<int> sizes(static_cast<std::size_t>(b), n / b);
+        for (int i = 0; i < n % b; ++i) {
+          ++sizes[static_cast<std::size_t>(i)];
+        }
+        kc_curve.push_back(
+            analytical_bandwidth(KClassTopology(n, b, sizes), x));
+        xbar_curve.push_back(bandwidth_crossbar(n, x));
+      }
+      AsciiChart chart(cat("Memory bandwidth vs B — N=", n, ", r=", rate,
+                           ", hierarchical (X=", fmt_fixed(x, 4), ")"),
+                       18);
+      chart.add_series("full", full_curve, 'F');
+      chart.add_series("K=B classes", kc_curve, 'K');
+      chart.add_series("crossbar bound", xbar_curve, '-');
+      std::cout << chart.render(labels) << "\n";
+    }
+
+    // All four schemes at the divisor bus counts (single/partial layouts
+    // need B | N).
+    {
+      std::vector<std::string> labels;
+      std::vector<double> full_curve, single_curve, partial_curve,
+          kc_curve;
+      for (int b = 2; b <= n; b += 2) {
+        if (n % b != 0) continue;
+        labels.push_back(std::to_string(b));
+        const auto schemes = make_all_schemes(n, n, b);
+        full_curve.push_back(analytical_bandwidth(*schemes[0], x));
+        single_curve.push_back(analytical_bandwidth(*schemes[1], x));
+        partial_curve.push_back(analytical_bandwidth(*schemes[2], x));
+        kc_curve.push_back(analytical_bandwidth(*schemes[3], x));
+      }
+      AsciiChart chart(cat("Scheme comparison at divisor bus counts — N=",
+                           n, ", r=", rate),
+                       14);
+      chart.add_series("full", full_curve, 'F');
+      chart.add_series("partial g=2", partial_curve, 'P');
+      chart.add_series("K=B classes", kc_curve, 'K');
+      chart.add_series("single", single_curve, 'S');
+      std::cout << chart.render(labels) << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// google-benchmark timings of the library's hot kernels: big-integer
+// arithmetic, exact binomial tables, the closed-form evaluators, and the
+// Monte-Carlo simulator's cycle loop.
+#include <benchmark/benchmark.h>
+
+#include "analysis/bandwidth.hpp"
+#include "analysis/exact_bandwidth.hpp"
+#include "bignum/binomial.hpp"
+#include "core/system.hpp"
+#include "sim/engine.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace mbus;
+
+void BM_BigUintMultiply(benchmark::State& state) {
+  const auto limbs = static_cast<std::uint64_t>(state.range(0));
+  BigUint a(0xDEADBEEFCAFEBABEULL);
+  for (std::uint64_t i = 0; i < limbs / 2; ++i) {
+    a = a * BigUint(0x123456789ABCDEFULL) + BigUint(i);
+  }
+  const BigUint b = a + BigUint(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigUintMultiply)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_BigUintDivMod(benchmark::State& state) {
+  BigUint a = BigUint(981234567).pow(40);
+  BigUint b = BigUint(123456791).pow(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigUint::divmod(a, b));
+  }
+}
+BENCHMARK(BM_BigUintDivMod);
+
+void BM_BinomialRow(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(binomial_row(n));
+  }
+}
+BENCHMARK(BM_BinomialRow)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BandwidthFullDouble(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bandwidth_full(n, n / 2, 0.7468592526938238));
+  }
+}
+BENCHMARK(BM_BandwidthFullDouble)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_BandwidthFullExact(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const BigRational x = BigRational::ratio(747, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_bandwidth_full(n, n / 2, x));
+  }
+}
+BENCHMARK(BM_BandwidthFullExact)->Arg(16)->Arg(64);
+
+void BM_BandwidthKClasses(benchmark::State& state) {
+  const auto b = static_cast<int>(state.range(0));
+  const std::vector<int> sizes(static_cast<std::size_t>(b), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bandwidth_k_classes(b, sizes, 0.7468592526938238));
+  }
+}
+BENCHMARK(BM_BandwidthKClasses)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SimulatorCycles(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Workload w = Workload::hierarchical_nxn(
+      {4, n / 4},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational(1));
+  FullTopology topo(n, n, n / 2);
+  SimConfig cfg;
+  cfg.cycles = 10000;
+  cfg.warmup = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(topo, w.model(), cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.cycles);
+}
+BENCHMARK(BM_SimulatorCycles)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

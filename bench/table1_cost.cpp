@@ -1,0 +1,74 @@
+// Reproduces Table I: cost (connection count, bus load) and degree of
+// fault tolerance of the four bus–memory connection schemes — first the
+// paper's symbolic summary, then concrete instantiations, verifying the
+// closed forms against generic connectivity counting.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "topology/cost.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace mbus;
+
+void print_symbolic() {
+  Table t({"connection scheme", "connections", "load of bus i",
+           "fault tolerance"});
+  t.set_title("Table I (symbolic) — cost and fault tolerance per scheme");
+  t.set_alignment(0, Align::kLeft);
+  t.set_alignment(1, Align::kLeft);
+  t.set_alignment(2, Align::kLeft);
+  t.set_alignment(3, Align::kLeft);
+  for (const auto& row : table1_symbolic_rows()) {
+    t.add_row({row.scheme, row.connections, row.bus_load,
+               row.fault_tolerance});
+  }
+  std::cout << t.to_text() << "\n";
+}
+
+void print_concrete(int n, int b) {
+  std::vector<std::unique_ptr<Topology>> topologies;
+  topologies.push_back(std::make_unique<FullTopology>(n, n, b));
+  topologies.push_back(std::make_unique<SingleTopology>(
+      SingleTopology::even(n, n, b)));
+  topologies.push_back(std::make_unique<PartialGTopology>(n, n, b, 2));
+  topologies.push_back(std::make_unique<KClassTopology>(
+      KClassTopology::even(n, n, b, b)));
+
+  Table t({"scheme", "connections", "max load", "min load",
+           "fault tolerance", "closed=generic"});
+  t.set_title(cat("Table I (concrete) — N=M=", n, ", B=", b,
+                  ", g=2, K=B"));
+  t.set_alignment(0, Align::kLeft);
+  for (const auto& topo : topologies) {
+    const CostSummary cost = cost_summary(*topo);
+    const bool consistent =
+        topo->connections() == topo->count_connections() &&
+        topo->fault_tolerance_degree() ==
+            topo->count_fault_tolerance_degree();
+    t.add_row({topo->name(), std::to_string(cost.connections),
+               std::to_string(cost.max_bus_load),
+               std::to_string(cost.min_bus_load),
+               std::to_string(cost.fault_tolerance_degree),
+               consistent ? "yes" : "NO"});
+  }
+  std::cout << t.to_text() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mbus::CliParser cli(
+      "Reproduce Table I: cost and fault tolerance of the four schemes.");
+  cli.add_int("n", 16, "number of processors / memory modules");
+  cli.add_int("b", 8, "number of buses");
+  if (!cli.parse(argc, argv)) return 0;
+
+  print_symbolic();
+  print_concrete(static_cast<int>(cli.get_int("n")),
+                 static_cast<int>(cli.get_int("b")));
+  print_concrete(32, 8);
+  return 0;
+}

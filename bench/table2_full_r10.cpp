@@ -1,0 +1,63 @@
+// Reproduces Table II: memory bandwidth of N×N×B networks with full
+// bus–memory connection at request rate r = 1.0, hierarchical (two-level,
+// 4 clusters, 0.6/0.3/0.1) vs uniform referencing, N ∈ {8, 12, 16},
+// B = 1 … N, plus the N×N crossbar reference row.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace mbus;
+using namespace mbus::bench;
+using paperdata::PaperTable;
+using paperdata::PaperWorkload;
+
+void run_block(int n, const RowOptions& opt, const CliParser& cli) {
+  for (const bool hierarchical : {true, false}) {
+    const Workload w = hierarchical ? section4_hierarchical(n, "1")
+                                    : section4_uniform(n, "1");
+    std::vector<std::string> headers = {"B"};
+    for (const auto& h : comparison_headers(opt.simulate)) {
+      headers.push_back(h);
+    }
+    Table t(headers);
+    t.set_title(cat("Table II — full connection, r=1.0, N=", n, ", ",
+                    hierarchical ? "hierarchical" : "uniform"));
+    for (int b = 1; b <= n; ++b) {
+      FullTopology topo(n, n, b);
+      auto cells = comparison_cells(
+          topo, w,
+          paperdata::lookup(PaperTable::kTable2, n, b, 1.0,
+                            hierarchical ? PaperWorkload::kHierarchical
+                                         : PaperWorkload::kUniform),
+          opt);
+      cells.insert(cells.begin(), std::to_string(b));
+      t.add_row(cells);
+    }
+    // Crossbar footer row: MBW = N·X == full connection at B = N.
+    t.add_separator();
+    const double xbar = bandwidth_crossbar(n, w.request_probability());
+    std::vector<std::string> footer = {"NxN", "-", fmt_fixed(xbar, 3), "-"};
+    if (opt.simulate) {
+      footer.push_back("-");
+      footer.push_back("-");
+    }
+    t.add_row(footer);
+    emit(t, cli);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli = standard_parser(
+      "Reproduce Table II: MBW of full-connection networks at r=1.0.");
+  if (!cli.parse(argc, argv)) return 0;
+  const RowOptions opt = row_options_from(cli);
+  for (const int n : {8, 12, 16}) {
+    run_block(n, opt, cli);
+  }
+  return 0;
+}

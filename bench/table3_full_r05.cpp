@@ -1,0 +1,53 @@
+// Reproduces Table III: memory bandwidth of N×N×B networks with full
+// bus–memory connection at request rate r = 0.5 (otherwise identical in
+// structure to Table II).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace mbus;
+using namespace mbus::bench;
+using paperdata::PaperTable;
+using paperdata::PaperWorkload;
+
+void run_block(int n, const RowOptions& opt, const CliParser& cli) {
+  for (const bool hierarchical : {true, false}) {
+    const Workload w = hierarchical ? section4_hierarchical(n, "0.5")
+                                    : section4_uniform(n, "0.5");
+    std::vector<std::string> headers = {"B"};
+    for (const auto& h : comparison_headers(opt.simulate)) {
+      headers.push_back(h);
+    }
+    Table t(headers);
+    t.set_title(cat("Table III — full connection, r=0.5, N=", n, ", ",
+                    hierarchical ? "hierarchical" : "uniform"));
+    for (int b = 1; b <= n; ++b) {
+      FullTopology topo(n, n, b);
+      auto cells = comparison_cells(
+          topo, w,
+          paperdata::lookup(PaperTable::kTable3, n, b, 0.5,
+                            hierarchical ? PaperWorkload::kHierarchical
+                                         : PaperWorkload::kUniform),
+          opt);
+      cells.insert(cells.begin(), std::to_string(b));
+      t.add_row(cells);
+    }
+    emit(t, cli);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli = standard_parser(
+      "Reproduce Table III: MBW of full-connection networks at r=0.5.");
+  if (!cli.parse(argc, argv)) return 0;
+  const RowOptions opt = row_options_from(cli);
+  for (const int n : {8, 12, 16}) {
+    run_block(n, opt, cli);
+  }
+  return 0;
+}

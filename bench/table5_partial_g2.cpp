@@ -1,0 +1,56 @@
+// Reproduces Table V: memory bandwidth of N×N×B partial bus networks with
+// g = 2 groups, r ∈ {1.0, 0.5}, N ∈ {8, 16, 32}, B ∈ {2, 4, …, N}.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace mbus;
+using namespace mbus::bench;
+using paperdata::PaperTable;
+using paperdata::PaperWorkload;
+
+void run_block(int n, const char* rate, double r, const RowOptions& opt,
+               const CliParser& cli) {
+  for (const bool hierarchical : {true, false}) {
+    const Workload w = hierarchical ? section4_hierarchical(n, rate)
+                                    : section4_uniform(n, rate);
+    std::vector<std::string> headers = {"B"};
+    for (const auto& h : comparison_headers(opt.simulate)) {
+      headers.push_back(h);
+    }
+    Table t(headers);
+    t.set_title(cat("Table V — partial bus g=2, r=", rate, ", N=", n, ", ",
+                    hierarchical ? "hierarchical" : "uniform"));
+    for (int b = 2; b <= n; b *= 2) {
+      PartialGTopology topo(n, n, b, 2);
+      auto cells = comparison_cells(
+          topo, w,
+          paperdata::lookup(PaperTable::kTable5, n, b, r,
+                            hierarchical ? PaperWorkload::kHierarchical
+                                         : PaperWorkload::kUniform),
+          opt);
+      cells.insert(cells.begin(), std::to_string(b));
+      t.add_row(cells);
+    }
+    emit(t, cli);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli = standard_parser(
+      "Reproduce Table V: MBW of partial bus networks with g=2.");
+  if (!cli.parse(argc, argv)) return 0;
+  const RowOptions opt = row_options_from(cli);
+  for (const int n : {8, 16, 32}) {
+    run_block(n, "1", 1.0, opt, cli);
+  }
+  for (const int n : {8, 16, 32}) {
+    run_block(n, "0.5", 0.5, opt, cli);
+  }
+  return 0;
+}

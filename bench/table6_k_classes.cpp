@@ -1,0 +1,63 @@
+// Reproduces Table VI: memory bandwidth of N×N×B partial bus networks
+// with K = B classes of N/K modules each, r ∈ {1.0, 0.5}, N ∈ {8, 16, 32},
+// B ∈ {2, 4, …, N}. Also prints the paper's cost observation: the K = B
+// connection count NB + (B+1)N/2 is close to the partial-g=2 cost.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace mbus;
+using namespace mbus::bench;
+using paperdata::PaperTable;
+using paperdata::PaperWorkload;
+
+void run_block(int n, const char* rate, double r, const RowOptions& opt,
+               const CliParser& cli) {
+  for (const bool hierarchical : {true, false}) {
+    const Workload w = hierarchical ? section4_hierarchical(n, rate)
+                                    : section4_uniform(n, rate);
+    std::vector<std::string> headers = {"B"};
+    for (const auto& h : comparison_headers(opt.simulate)) {
+      headers.push_back(h);
+    }
+    headers.push_back("connections");
+    headers.push_back("partial-g2 conn");
+    Table t(headers);
+    t.set_title(cat("Table VI — K=B classes, r=", rate, ", N=", n, ", ",
+                    hierarchical ? "hierarchical" : "uniform"));
+    for (int b = 2; b <= n; b *= 2) {
+      auto topo = KClassTopology::even(n, n, b, b);
+      auto cells = comparison_cells(
+          topo, w,
+          paperdata::lookup(PaperTable::kTable6, n, b, r,
+                            hierarchical ? PaperWorkload::kHierarchical
+                                         : PaperWorkload::kUniform),
+          opt);
+      cells.insert(cells.begin(), std::to_string(b));
+      cells.push_back(std::to_string(topo.connections()));
+      cells.push_back(
+          std::to_string(PartialGTopology(n, n, b, 2).connections()));
+      t.add_row(cells);
+    }
+    emit(t, cli);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli = standard_parser(
+      "Reproduce Table VI: MBW of partial bus networks with K=B classes.");
+  if (!cli.parse(argc, argv)) return 0;
+  const RowOptions opt = row_options_from(cli);
+  for (const int n : {8, 16, 32}) {
+    run_block(n, "1", 1.0, opt, cli);
+  }
+  for (const int n : {8, 16, 32}) {
+    run_block(n, "0.5", 0.5, opt, cli);
+  }
+  return 0;
+}

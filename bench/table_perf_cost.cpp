@@ -1,0 +1,58 @@
+// The Section IV performance–cost discussion, reproduced as a table: the
+// paper compares the schemes' cost-effectiveness verbally ("the network
+// with single bus-memory connection is more cost-effective than the
+// partial bus networks…"). This bench computes bandwidth, connection
+// cost, bandwidth-per-connection, acceptance probability PA, and fault
+// tolerance for every scheme over the Section IV grid, and prints the
+// ranking the prose describes.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mbus;
+  using namespace mbus::bench;
+
+  CliParser cli = standard_parser(
+      "Section IV discussion: performance-cost comparison of all schemes.");
+  cli.add_int("n", 16, "system size (N = M, 4 | N)");
+  if (!cli.parse(argc, argv)) return 0;
+  const int n = static_cast<int>(cli.get_int("n"));
+
+  for (const char* rate : {"1", "0.5"}) {
+    const Workload w = section4_hierarchical(n, rate);
+    SweepSpec spec;
+    std::vector<int> buses;
+    for (int b = 2; b <= n; b *= 2) buses.push_back(b);
+    spec.bus_counts = buses;
+    const Sweep sweep = Sweep::run(spec, w);
+
+    Table t({"scheme", "B", "MBW", "PA", "connections", "FT",
+             "MBW/conn x1000"});
+    t.set_title(cat("Performance-cost comparison — N=", n, ", r=", rate,
+                    ", hierarchical"));
+    t.set_alignment(0, Align::kLeft);
+    for (const SweepPoint& p : sweep.points()) {
+      t.add_row({p.scheme, std::to_string(p.buses),
+                 fmt_fixed(p.evaluation.analytic_bandwidth, 3),
+                 fmt_fixed(p.evaluation.acceptance_probability, 3),
+                 std::to_string(p.evaluation.cost.connections),
+                 std::to_string(p.evaluation.cost.fault_tolerance_degree),
+                 fmt_fixed(p.evaluation.perf_cost_ratio, 2)});
+    }
+    emit(t, cli);
+
+    const auto best_bw = sweep.best_bandwidth();
+    const auto best_pc = sweep.best_perf_cost();
+    std::cout << "highest bandwidth : " << best_bw->scheme << " at B="
+              << best_bw->buses << " ("
+              << fmt_fixed(best_bw->evaluation.analytic_bandwidth, 3)
+              << ")\n"
+              << "most cost-effective: " << best_pc->scheme << " at B="
+              << best_pc->buses << " ("
+              << fmt_fixed(best_pc->evaluation.perf_cost_ratio, 2)
+              << " MBW per 1000 connections)\n\n";
+  }
+  return 0;
+}

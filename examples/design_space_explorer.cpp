@@ -1,0 +1,83 @@
+// Design-space exploration: which connection scheme should a machine of
+// N processors use? Sweeps every scheme over bus counts, collects
+// (bandwidth, connection cost, fault tolerance) design points, and prints
+// the perf/cost ranking plus the Pareto-efficient frontier — automating
+// the comparison the paper carries out verbally in Section IV.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core/perf_cost.hpp"
+#include "core/system.hpp"
+#include "report/table.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mbus;
+  CliParser cli("Explore the scheme/bus-count design space for an N-way "
+                "multiprocessor.");
+  cli.add_int("n", 16, "processors and memory modules (N = M, 4 | N)")
+      .add_double("r", 1.0, "request rate")
+      .add_flag("uniform", "uniform instead of hierarchical referencing");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int n = static_cast<int>(cli.get_int("n"));
+  const BigRational rate =
+      BigRational::parse(fmt_fixed(cli.get_double("r"), 4));
+  const Workload workload =
+      cli.get_flag("uniform")
+          ? Workload::uniform(n, n, rate)
+          : Workload::hierarchical_nxn(
+                {4, n / 4},
+                {BigRational::parse("0.6"), BigRational::parse("0.3"),
+                 BigRational::parse("0.1")},
+                rate);
+
+  std::vector<std::unique_ptr<Topology>> topologies;
+  for (int b = 2; b <= n; b *= 2) {
+    topologies.push_back(std::make_unique<FullTopology>(n, n, b));
+    topologies.push_back(
+        std::make_unique<SingleTopology>(SingleTopology::even(n, n, b)));
+    topologies.push_back(std::make_unique<PartialGTopology>(n, n, b, 2));
+    topologies.push_back(std::make_unique<KClassTopology>(
+        KClassTopology::even(n, n, b, b)));
+  }
+
+  std::vector<DesignPoint> points;
+  points.reserve(topologies.size());
+  for (const auto& topo : topologies) {
+    const Evaluation e = evaluate(*topo, workload);
+    points.push_back(DesignPoint{topo->name(), e.analytic_bandwidth,
+                                 static_cast<double>(e.cost.connections),
+                                 e.cost.fault_tolerance_degree});
+  }
+
+  Table ranked({"rank", "design", "bandwidth", "connections", "FT",
+                "MBW/conn x1000"});
+  ranked.set_title(cat("Perf/cost ranking — ", workload.description()));
+  ranked.set_alignment(1, Align::kLeft);
+  const auto order = rank_by_perf_cost(points);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const DesignPoint& p = points[order[i]];
+    ranked.add_row({std::to_string(i + 1), p.name,
+                    fmt_fixed(p.bandwidth, 3),
+                    fmt_fixed(p.cost, 0),
+                    std::to_string(p.fault_tolerance),
+                    fmt_fixed(1000.0 * p.perf_cost_ratio(), 2)});
+  }
+  std::cout << ranked.to_text() << "\n";
+
+  Table front({"design", "bandwidth", "connections", "FT"});
+  front.set_title(
+      "Pareto frontier under (bandwidth up, cost down, fault tolerance up)");
+  front.set_alignment(0, Align::kLeft);
+  for (const std::size_t i : pareto_front(points)) {
+    const DesignPoint& p = points[i];
+    front.add_row({p.name, fmt_fixed(p.bandwidth, 3), fmt_fixed(p.cost, 0),
+                   std::to_string(p.fault_tolerance)});
+  }
+  std::cout << front.to_text();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Hot-module placement on a partial bus network with K classes.
+//
+// The paper's second design principle (Section II-A): "the memory modules
+// which are more frequently referenced are connected to more number of
+// buses". This example makes the principle quantitative: under Zipf and
+// hot-spot popularity skews it evaluates the K-class network with the
+// popular modules placed in the well-connected classes (C_K downward)
+// versus the adversarial placement (C_1 upward), using the asymmetric
+// Poisson-binomial analysis, and renders the bandwidth gap as a chart.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "analysis/asymmetric.hpp"
+#include "report/chart.hpp"
+#include "report/table.hpp"
+#include "topology/topology.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+
+using namespace mbus;
+
+/// Bandwidth with per-module request probabilities `xs` permuted so the
+/// most popular modules land in the best-connected classes (descending)
+/// or the worst (ascending).
+double placement_bandwidth(const KClassTopology& topo,
+                           std::vector<double> xs, bool best) {
+  // Module id order == class order (C_1 first). Best placement: sort xs
+  // ascending so the largest X sits in the highest class.
+  std::sort(xs.begin(), xs.end());
+  if (!best) std::reverse(xs.begin(), xs.end());
+  return asymmetric_analytical_bandwidth(topo, xs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "Quantify the paper's placement principle: popular modules belong "
+      "in well-connected classes.");
+  cli.add_int("n", 16, "processors and memory modules (N = M)")
+      .add_int("b", 8, "buses (K = B classes)");
+  if (!cli.parse(argc, argv)) return 0;
+  const int n = static_cast<int>(cli.get_int("n"));
+  const int b = static_cast<int>(cli.get_int("b"));
+
+  const auto topo = KClassTopology::even(n, n, b, b);
+
+  Table t({"zipf s", "best placement", "worst placement", "advantage%"});
+  t.set_title(cat("Zipf popularity on ", topo.name(), ", r=1"));
+  std::vector<double> best_curve, worst_curve;
+  std::vector<std::string> labels;
+  for (const double s : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    const ZipfModel model(n, n, s, 1.0);
+    const auto xs = model.per_module_request_probabilities();
+    const double best = placement_bandwidth(topo, xs, true);
+    const double worst = placement_bandwidth(topo, xs, false);
+    t.add_row({fmt_fixed(s, 1), fmt_fixed(best, 3), fmt_fixed(worst, 3),
+               fmt_fixed(worst > 0 ? (best - worst) / worst * 100.0 : 0.0,
+                         2)});
+    labels.push_back(fmt_fixed(s, 1));
+    best_curve.push_back(best);
+    worst_curve.push_back(worst);
+  }
+  std::cout << t.to_text() << "\n";
+
+  AsciiChart chart(
+      "Bandwidth vs Zipf exponent: popular-in-C_K (b) vs popular-in-C_1 (w)",
+      14);
+  chart.add_series("best placement", best_curve, 'b');
+  chart.add_series("worst placement", worst_curve, 'w');
+  std::cout << chart.render(labels) << "\n";
+
+  std::cout
+      << "Reading: with no skew (s=0) placement is irrelevant; as the\n"
+         "popularity concentrates, putting hot modules on well-connected\n"
+         "classes recovers bandwidth the adversarial placement loses —\n"
+         "the quantitative form of the paper's design principle.\n";
+  return 0;
+}

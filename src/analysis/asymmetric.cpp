@@ -1,0 +1,174 @@
+#include "analysis/asymmetric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "prob/poisson_binomial.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+
+namespace {
+void check_xs(const std::vector<double>& xs) {
+  MBUS_EXPECTS(!xs.empty(), "need at least one module");
+  for (const double x : xs) {
+    MBUS_EXPECTS(std::isfinite(x) && x >= 0.0 && x <= 1.0,
+                 "request probabilities must lie in [0, 1]");
+  }
+}
+
+std::vector<double> select(const std::vector<double>& xs,
+                           const std::vector<int>& modules) {
+  std::vector<double> out;
+  out.reserve(modules.size());
+  for (const int m : modules) {
+    out.push_back(xs[static_cast<std::size_t>(m)]);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<double> per_module_request_probabilities(
+    const RequestModel& model) {
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(model.num_memories()));
+  for (int m = 0; m < model.num_memories(); ++m) {
+    xs.push_back(model.module_request_probability(m));
+  }
+  return xs;
+}
+
+double asymmetric_bandwidth_full(const std::vector<double>& xs,
+                                 int num_buses) {
+  check_xs(xs);
+  MBUS_EXPECTS(num_buses >= 1, "need at least one bus");
+  const PoissonBinomialDistribution requests(xs);
+  return requests.expected_min_with(num_buses);
+}
+
+double asymmetric_bandwidth_single(
+    const std::vector<std::vector<int>>& modules_on_bus,
+    const std::vector<double>& xs) {
+  check_xs(xs);
+  MBUS_EXPECTS(!modules_on_bus.empty(), "need at least one bus");
+  double total = 0.0;
+  for (const auto& modules : modules_on_bus) {
+    double miss = 1.0;
+    for (const int m : modules) {
+      MBUS_EXPECTS(m >= 0 && m < static_cast<int>(xs.size()),
+                   "module index out of range");
+      miss *= 1.0 - xs[static_cast<std::size_t>(m)];
+    }
+    total += 1.0 - miss;
+  }
+  return total;
+}
+
+double asymmetric_bandwidth_partial_g(const std::vector<int>& group_of_module,
+                                      int groups, int buses_per_group,
+                                      const std::vector<double>& xs) {
+  check_xs(xs);
+  MBUS_EXPECTS(groups >= 1, "need at least one group");
+  MBUS_EXPECTS(buses_per_group >= 1, "need at least one bus per group");
+  MBUS_EXPECTS(group_of_module.size() == xs.size(),
+               "group map must cover every module");
+  std::vector<std::vector<double>> per_group(
+      static_cast<std::size_t>(groups));
+  for (std::size_t m = 0; m < xs.size(); ++m) {
+    const int g = group_of_module[m];
+    MBUS_EXPECTS(g >= 0 && g < groups, "group index out of range");
+    per_group[static_cast<std::size_t>(g)].push_back(xs[m]);
+  }
+  double total = 0.0;
+  for (const auto& group_xs : per_group) {
+    if (group_xs.empty()) continue;
+    const PoissonBinomialDistribution requests(group_xs);
+    total += requests.expected_min_with(buses_per_group);
+  }
+  return total;
+}
+
+double asymmetric_bandwidth_k_classes(const std::vector<int>& class_of_module,
+                                      int num_classes, int num_buses,
+                                      const std::vector<double>& xs) {
+  check_xs(xs);
+  MBUS_EXPECTS(num_classes >= 1, "need at least one class");
+  MBUS_EXPECTS(num_classes <= num_buses, "requires K <= B");
+  MBUS_EXPECTS(class_of_module.size() == xs.size(),
+               "class map must cover every module");
+
+  std::vector<std::vector<double>> per_class(
+      static_cast<std::size_t>(num_classes));
+  for (std::size_t m = 0; m < xs.size(); ++m) {
+    const int j = class_of_module[m];
+    MBUS_EXPECTS(j >= 1 && j <= num_classes, "class index out of range");
+    per_class[static_cast<std::size_t>(j - 1)].push_back(xs[m]);
+  }
+  std::vector<PoissonBinomialDistribution> dist;
+  dist.reserve(per_class.size());
+  for (const auto& class_xs : per_class) {
+    dist.emplace_back(class_xs);
+  }
+
+  double total = 0.0;
+  for (int i = 1; i <= num_buses; ++i) {
+    const int a = i + num_classes - num_buses;
+    double idle = 1.0;
+    for (int j = std::max(a, 1); j <= num_classes; ++j) {
+      idle *= dist[static_cast<std::size_t>(j - 1)].cdf(j - a);
+    }
+    total += 1.0 - idle;
+  }
+  return total;
+}
+
+double asymmetric_analytical_bandwidth(const Topology& topology,
+                                       const std::vector<double>& xs) {
+  MBUS_EXPECTS(
+      xs.size() == static_cast<std::size_t>(topology.num_memories()),
+      "need one X per module");
+  switch (topology.scheme()) {
+    case Scheme::kFull:
+      return asymmetric_bandwidth_full(xs, topology.num_buses());
+    case Scheme::kSingle: {
+      std::vector<std::vector<int>> modules_on_bus;
+      modules_on_bus.reserve(
+          static_cast<std::size_t>(topology.num_buses()));
+      for (int b = 0; b < topology.num_buses(); ++b) {
+        modules_on_bus.push_back(topology.memories_on_bus(b));
+      }
+      return asymmetric_bandwidth_single(modules_on_bus, xs);
+    }
+    case Scheme::kPartialG: {
+      const auto& partial = dynamic_cast<const PartialGTopology&>(topology);
+      std::vector<int> groups(static_cast<std::size_t>(
+          partial.num_memories()));
+      for (int m = 0; m < partial.num_memories(); ++m) {
+        groups[static_cast<std::size_t>(m)] = partial.group_of_module(m);
+      }
+      return asymmetric_bandwidth_partial_g(
+          groups, partial.groups(), partial.buses_per_group(), xs);
+    }
+    case Scheme::kKClasses: {
+      const auto& kc = dynamic_cast<const KClassTopology&>(topology);
+      std::vector<int> classes(static_cast<std::size_t>(kc.num_memories()));
+      for (int m = 0; m < kc.num_memories(); ++m) {
+        classes[static_cast<std::size_t>(m)] = kc.class_of_module(m);
+      }
+      return asymmetric_bandwidth_k_classes(classes, kc.num_classes(),
+                                            kc.num_buses(), xs);
+    }
+  }
+  MBUS_ASSERT(false, "unknown scheme");
+  return 0.0;
+}
+
+double asymmetric_analytical_bandwidth(const Topology& topology,
+                                       const RequestModel& model) {
+  MBUS_EXPECTS(topology.num_memories() == model.num_memories(),
+               "topology and model disagree on the module count");
+  return asymmetric_analytical_bandwidth(
+      topology, per_module_request_probabilities(model));
+}
+
+}  // namespace mbus

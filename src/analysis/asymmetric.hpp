@@ -1,0 +1,56 @@
+// Asymmetric-workload bandwidth analysis.
+//
+// The paper's closed forms assume every module is requested with the same
+// probability X (true for its symmetric hierarchical and uniform models).
+// For workloads with per-module skew — hot spots, uneven favorites — the
+// request indicators are still (approximately) independent Bernoullis but
+// with *different* parameters X_m, and the request-count distributions in
+// eqs. 3, 7, and 10 become Poisson-binomial. These routines generalize
+// every scheme's formula accordingly; with all X_m equal they reduce
+// exactly to the symmetric forms (tested).
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "workload/request_model.hpp"
+
+namespace mbus {
+
+/// X_m (eq. 2) for every module of `model`, from first principles.
+std::vector<double> per_module_request_probabilities(
+    const RequestModel& model);
+
+/// Full connection: E[min(I, B)] with I ~ PoissonBinomial({X_m}).
+double asymmetric_bandwidth_full(const std::vector<double>& xs,
+                                 int num_buses);
+
+/// Single connection: Σ_b 1 − Π_{m on b} (1 − X_m).
+/// `modules_on_bus[b]` lists the modules wired to bus b.
+double asymmetric_bandwidth_single(
+    const std::vector<std::vector<int>>& modules_on_bus,
+    const std::vector<double>& xs);
+
+/// Partial-g: groups of modules served by `buses_per_group` buses each;
+/// `group_of_module[m]` in [0, groups).
+double asymmetric_bandwidth_partial_g(const std::vector<int>& group_of_module,
+                                      int groups, int buses_per_group,
+                                      const std::vector<double>& xs);
+
+/// K classes: `class_of_module[m]` is the 1-based class; the class-j
+/// request count becomes PoissonBinomial over class-j modules.
+double asymmetric_bandwidth_k_classes(const std::vector<int>& class_of_module,
+                                      int num_classes, int num_buses,
+                                      const std::vector<double>& xs);
+
+/// Dispatch on the topology's scheme, deriving the module partition from
+/// the topology's connectivity.
+double asymmetric_analytical_bandwidth(const Topology& topology,
+                                       const std::vector<double>& xs);
+
+/// Convenience: evaluate `topology` under `model` without any symmetry
+/// assumption (computes the X_m vector first).
+double asymmetric_analytical_bandwidth(const Topology& topology,
+                                       const RequestModel& model);
+
+}  // namespace mbus

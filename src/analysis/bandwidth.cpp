@@ -1,0 +1,115 @@
+#include "analysis/bandwidth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "prob/binomial_dist.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+
+namespace {
+void check_x(double x) {
+  MBUS_EXPECTS(x >= 0.0 && x <= 1.0 && std::isfinite(x),
+               "request probability X must lie in [0, 1]");
+}
+}  // namespace
+
+double bandwidth_crossbar(int num_modules, double x) {
+  MBUS_EXPECTS(num_modules >= 1, "need at least one module");
+  check_x(x);
+  return static_cast<double>(num_modules) * x;
+}
+
+double bandwidth_full(int num_modules, int num_buses, double x) {
+  MBUS_EXPECTS(num_modules >= 1, "need at least one module");
+  MBUS_EXPECTS(num_buses >= 1, "need at least one bus");
+  check_x(x);
+  const BinomialDistribution requests(num_modules, x);
+  return requests.expected_min_with(num_buses);
+}
+
+double bandwidth_single(const std::vector<int>& modules_per_bus, double x) {
+  MBUS_EXPECTS(!modules_per_bus.empty(), "need at least one bus");
+  check_x(x);
+  double total = 0.0;
+  for (const int count : modules_per_bus) {
+    MBUS_EXPECTS(count >= 0, "per-bus module counts must be >= 0");
+    // Y_b = 1 − (1−X)^{M_b}  (eq. 5).
+    total += 1.0 - std::pow(1.0 - x, static_cast<double>(count));
+  }
+  return total;
+}
+
+double bandwidth_partial_g(int num_modules, int num_buses, int groups,
+                           double x) {
+  MBUS_EXPECTS(groups >= 1, "need at least one group");
+  MBUS_EXPECTS(num_modules % groups == 0, "requires g | M");
+  MBUS_EXPECTS(num_buses % groups == 0, "requires g | B");
+  check_x(x);
+  // Each of the g independent subnetworks is a full-connection network
+  // with M/g modules and B/g buses (eq. 8); sum over groups (eq. 9).
+  const double per_group =
+      bandwidth_full(num_modules / groups, num_buses / groups, x);
+  return static_cast<double>(groups) * per_group;
+}
+
+double bandwidth_k_classes(int num_buses,
+                           const std::vector<int>& class_sizes, double x) {
+  const int k = static_cast<int>(class_sizes.size());
+  MBUS_EXPECTS(k >= 1, "need at least one class");
+  MBUS_EXPECTS(k <= num_buses, "requires K <= B");
+  check_x(x);
+
+  // Per-class request-count distributions Q_j ~ Bin(M_j, X)  (eq. 10).
+  std::vector<BinomialDistribution> per_class;
+  per_class.reserve(class_sizes.size());
+  for (const int size : class_sizes) {
+    MBUS_EXPECTS(size >= 0, "class sizes must be >= 0");
+    per_class.emplace_back(size, x);
+  }
+
+  // Eq. 11/12: bus i (1-based) idles iff class C_j produced at most j−a
+  // services for every real class j ≥ a, where a = i+K−B. Classes with
+  // index below 1 are dummy (contribute probability 1).
+  double total = 0.0;
+  for (int i = 1; i <= num_buses; ++i) {
+    const int a = i + k - num_buses;
+    double idle = 1.0;
+    for (int j = std::max(a, 1); j <= k; ++j) {
+      idle *= per_class[static_cast<std::size_t>(j - 1)].cdf(j - a);
+    }
+    total += 1.0 - idle;
+  }
+  return total;
+}
+
+double analytical_bandwidth(const Topology& topology, double x) {
+  switch (topology.scheme()) {
+    case Scheme::kFull:
+      return bandwidth_full(topology.num_memories(), topology.num_buses(),
+                            x);
+    case Scheme::kSingle: {
+      const auto& single = dynamic_cast<const SingleTopology&>(topology);
+      std::vector<int> counts;
+      counts.reserve(static_cast<std::size_t>(single.num_buses()));
+      for (int b = 0; b < single.num_buses(); ++b) {
+        counts.push_back(single.modules_on_bus_count(b));
+      }
+      return bandwidth_single(counts, x);
+    }
+    case Scheme::kPartialG: {
+      const auto& partial = dynamic_cast<const PartialGTopology&>(topology);
+      return bandwidth_partial_g(partial.num_memories(),
+                                 partial.num_buses(), partial.groups(), x);
+    }
+    case Scheme::kKClasses: {
+      const auto& kc = dynamic_cast<const KClassTopology&>(topology);
+      return bandwidth_k_classes(kc.num_buses(), kc.class_sizes(), x);
+    }
+  }
+  MBUS_ASSERT(false, "unknown scheme");
+  return 0.0;
+}
+
+}  // namespace mbus

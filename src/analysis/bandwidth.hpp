@@ -1,0 +1,50 @@
+// Closed-form effective memory bandwidth (Section III of Chen & Sheu).
+//
+// Every formula is parameterized by the per-module request probability
+//     X = P(at least one processor requests a given module)        (eq. 2)
+// which comes from the request model (see workload/). The analysis treats
+// the per-module request indicators as independent Bernoulli(X) variables
+// — the standard approximation in this literature (Das & Bhuyan 1985);
+// the simulator in sim/ quantifies its error.
+//
+//   * full connection (eq. 4):   MBW_f  = E[min(R, B)], R ~ Bin(M, X)
+//   * single connection (eq. 6): MBW_s  = Σ_b 1 − (1−X)^{M_b}
+//   * partial-g (eq. 9):         MBW_p  = g·E[min(Bin(M/g, X), B/g)]
+//   * K classes (eq. 12):        MBW_p' = Σ_i 1 − Π_j P(Bin(M_j,X) ≤ j−a)
+//   * crossbar:                  MBW_x  = M·X
+//
+// Note on symbols: the paper writes eq. 3 over "N memory-request arbiters"
+// because it specializes to M = N; there is one arbiter per *module*, so
+// the binomial is over the module count. We keep the general form.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace mbus {
+
+/// Crossbar reference: every requested module is served. M·X.
+double bandwidth_crossbar(int num_modules, double x);
+
+/// Eq. 4 — full bus–memory connection.
+double bandwidth_full(int num_modules, int num_buses, double x);
+
+/// Eq. 6 — single bus–memory connection; `modules_per_bus[b]` = M_b.
+double bandwidth_single(const std::vector<int>& modules_per_bus, double x);
+
+/// Eq. 9 — partial bus network with `groups` groups.
+/// Requires groups | num_modules and groups | num_buses.
+double bandwidth_partial_g(int num_modules, int num_buses, int groups,
+                           double x);
+
+/// Eq. 12 — partial bus network with K classes;
+/// `class_sizes[j-1]` = M_j for 1 ≤ j ≤ K ≤ num_buses.
+double bandwidth_k_classes(int num_buses,
+                           const std::vector<int>& class_sizes, double x);
+
+/// Dispatch on the topology's scheme, pulling parameters (group count,
+/// class sizes, per-bus module counts) from the topology itself.
+double analytical_bandwidth(const Topology& topology, double x);
+
+}  // namespace mbus

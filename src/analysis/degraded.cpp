@@ -1,0 +1,159 @@
+#include "analysis/degraded.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "analysis/bandwidth.hpp"
+#include "prob/binomial_dist.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+
+namespace {
+
+double degraded_full(const FullTopology& topo, double x,
+                     const std::vector<bool>& bus_failed) {
+  int alive = 0;
+  for (const bool failed : bus_failed) {
+    if (!failed) ++alive;
+  }
+  if (alive == 0) return 0.0;
+  return bandwidth_full(topo.num_memories(), alive, x);
+}
+
+double degraded_single(const SingleTopology& topo, double x,
+                       const std::vector<bool>& bus_failed) {
+  double total = 0.0;
+  for (int b = 0; b < topo.num_buses(); ++b) {
+    if (bus_failed[static_cast<std::size_t>(b)]) continue;
+    total += 1.0 - std::pow(1.0 - x, static_cast<double>(
+                                         topo.modules_on_bus_count(b)));
+  }
+  return total;
+}
+
+double degraded_partial_g(const PartialGTopology& topo, double x,
+                          const std::vector<bool>& bus_failed) {
+  double total = 0.0;
+  for (int group = 0; group < topo.groups(); ++group) {
+    int alive = 0;
+    for (int b = 0; b < topo.num_buses(); ++b) {
+      if (topo.group_of_bus(b) == group &&
+          !bus_failed[static_cast<std::size_t>(b)]) {
+        ++alive;
+      }
+    }
+    if (alive == 0) continue;
+    total += bandwidth_full(topo.modules_per_group(), alive, x);
+  }
+  return total;
+}
+
+double degraded_k_classes(const KClassTopology& topo, double x,
+                          const std::vector<bool>& bus_failed) {
+  const int num_buses = topo.num_buses();
+  const int k = topo.num_classes();
+
+  std::vector<BinomialDistribution> per_class;
+  per_class.reserve(static_cast<std::size_t>(k));
+  for (int j = 1; j <= k; ++j) {
+    per_class.emplace_back(topo.class_sizes()[static_cast<std::size_t>(j - 1)],
+                           x);
+  }
+
+  double total = 0.0;
+  for (int i = 1; i <= num_buses; ++i) {  // 1-based bus index
+    if (bus_failed[static_cast<std::size_t>(i - 1)]) continue;
+    double idle = 1.0;
+    for (int j = 1; j <= k; ++j) {
+      const int top_bus = topo.buses_of_class(j);  // 1-based highest bus
+      if (top_bus < i) continue;  // class j not wired to bus i
+      // h_j(i): surviving buses of class j strictly above bus i absorb the
+      // first h services; bus i is requested only by the (h+1)-th.
+      int absorbed = 0;
+      for (int b = i + 1; b <= top_bus; ++b) {
+        if (!bus_failed[static_cast<std::size_t>(b - 1)]) ++absorbed;
+      }
+      idle *= per_class[static_cast<std::size_t>(j - 1)].cdf(absorbed);
+    }
+    total += 1.0 - idle;
+  }
+  return total;
+}
+
+template <typename Fn>
+void for_each_failure_pattern(int num_buses, int failures, Fn&& fn) {
+  MBUS_EXPECTS(failures >= 0 && failures <= num_buses,
+               "failure count out of range");
+  MBUS_EXPECTS(num_buses <= 24, "exhaustive enumeration capped at B <= 24");
+  std::vector<bool> pattern(static_cast<std::size_t>(num_buses), false);
+  // Lexicographic combinations of `failures` failed positions.
+  std::vector<int> idx(static_cast<std::size_t>(failures));
+  for (int i = 0; i < failures; ++i) idx[static_cast<std::size_t>(i)] = i;
+  while (true) {
+    std::fill(pattern.begin(), pattern.end(), false);
+    for (const int i : idx) pattern[static_cast<std::size_t>(i)] = true;
+    fn(pattern);
+    // advance combination
+    int pos = failures - 1;
+    while (pos >= 0 &&
+           idx[static_cast<std::size_t>(pos)] == num_buses - failures + pos) {
+      --pos;
+    }
+    if (pos < 0) break;
+    ++idx[static_cast<std::size_t>(pos)];
+    for (int i = pos + 1; i < failures; ++i) {
+      idx[static_cast<std::size_t>(i)] = idx[static_cast<std::size_t>(i - 1)] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+double degraded_bandwidth(const Topology& topology, double x,
+                          const std::vector<bool>& bus_failed) {
+  MBUS_EXPECTS(
+      bus_failed.size() == static_cast<std::size_t>(topology.num_buses()),
+      "bus_failed must have one entry per bus");
+  switch (topology.scheme()) {
+    case Scheme::kFull:
+      return degraded_full(dynamic_cast<const FullTopology&>(topology), x,
+                           bus_failed);
+    case Scheme::kSingle:
+      return degraded_single(dynamic_cast<const SingleTopology&>(topology),
+                             x, bus_failed);
+    case Scheme::kPartialG:
+      return degraded_partial_g(
+          dynamic_cast<const PartialGTopology&>(topology), x, bus_failed);
+    case Scheme::kKClasses:
+      return degraded_k_classes(
+          dynamic_cast<const KClassTopology&>(topology), x, bus_failed);
+  }
+  MBUS_ASSERT(false, "unknown scheme");
+  return 0.0;
+}
+
+double mean_degraded_bandwidth(const Topology& topology, double x,
+                               int failures) {
+  double sum = 0.0;
+  long count = 0;
+  for_each_failure_pattern(topology.num_buses(), failures,
+                           [&](const std::vector<bool>& pattern) {
+                             sum += degraded_bandwidth(topology, x, pattern);
+                             ++count;
+                           });
+  return sum / static_cast<double>(count);
+}
+
+double worst_degraded_bandwidth(const Topology& topology, double x,
+                                int failures) {
+  double worst = std::numeric_limits<double>::infinity();
+  for_each_failure_pattern(
+      topology.num_buses(), failures, [&](const std::vector<bool>& pattern) {
+        worst = std::min(worst, degraded_bandwidth(topology, x, pattern));
+      });
+  return worst;
+}
+
+}  // namespace mbus

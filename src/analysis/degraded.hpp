@@ -1,0 +1,44 @@
+// Degraded-mode bandwidth: the closed forms of Section III generalized to
+// a set of failed buses. The paper evaluates fault tolerance only as a
+// binary "degree" (Table I); this extension quantifies *how much*
+// bandwidth survives each failure pattern, making the flexibility claim
+// for the K-class scheme concrete.
+//
+// Degraded arbitration policy (matched by the simulator):
+//   * full / partial-g: the surviving buses of the (sub)network serve up
+//     to that many requests — the binomial-tail formula with B replaced by
+//     the survivor count.
+//   * single: a failed bus takes its modules offline; the sum of eq. 6
+//     runs over surviving buses only.
+//   * K classes: the two-step assignment procedure skips failed buses, so
+//     class C_j's selected modules are assigned to its *surviving* buses
+//     from the highest index down. Surviving bus i then idles iff every
+//     class C_j wired to it produced at most h_j(i) services, where
+//     h_j(i) = #surviving buses wired to C_j with index > i. With no
+//     failures h_j(i) = (j+B−K) − i and this reduces to eq. 11.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace mbus {
+
+/// Bandwidth of `topology` with request probability `x` when the buses
+/// flagged in `bus_failed` (size B) are down. With no failures this equals
+/// analytical_bandwidth(topology, x).
+double degraded_bandwidth(const Topology& topology, double x,
+                          const std::vector<bool>& bus_failed);
+
+/// Expected bandwidth under all (B choose f) failure patterns of exactly
+/// `failures` buses, averaged uniformly. Exhaustive; B must stay small
+/// (≤ ~24).
+double mean_degraded_bandwidth(const Topology& topology, double x,
+                               int failures);
+
+/// Worst-case bandwidth over all failure patterns of exactly `failures`
+/// buses.
+double worst_degraded_bandwidth(const Topology& topology, double x,
+                                int failures);
+
+}  // namespace mbus

@@ -1,0 +1,34 @@
+// Asymmetric-workload bandwidth in exact rational arithmetic — the exact
+// companion of analysis/asymmetric.hpp, built on the exact
+// Poisson-binomial distribution. With every X_m rational these evaluate
+// the generalized eqs. 3–12 with zero rounding; tests pin the double path
+// against them.
+#pragma once
+
+#include <vector>
+
+#include "bignum/bigrational.hpp"
+#include "topology/topology.hpp"
+
+namespace mbus {
+
+BigRational exact_asymmetric_bandwidth_full(
+    const std::vector<BigRational>& xs, int num_buses);
+
+BigRational exact_asymmetric_bandwidth_single(
+    const std::vector<std::vector<int>>& modules_on_bus,
+    const std::vector<BigRational>& xs);
+
+BigRational exact_asymmetric_bandwidth_partial_g(
+    const std::vector<int>& group_of_module, int groups,
+    int buses_per_group, const std::vector<BigRational>& xs);
+
+BigRational exact_asymmetric_bandwidth_k_classes(
+    const std::vector<int>& class_of_module, int num_classes, int num_buses,
+    const std::vector<BigRational>& xs);
+
+/// Dispatch on the topology's scheme (mirrors the double version).
+BigRational exact_asymmetric_analytical_bandwidth(
+    const Topology& topology, const std::vector<BigRational>& xs);
+
+}  // namespace mbus

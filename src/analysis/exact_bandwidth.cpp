@@ -1,0 +1,113 @@
+#include "analysis/exact_bandwidth.hpp"
+
+#include <algorithm>
+
+#include "prob/exact_binomial.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+
+namespace {
+void check_x(const BigRational& x) {
+  MBUS_EXPECTS(!x.is_negative() && x <= BigRational(1),
+               "request probability X must lie in [0, 1]");
+}
+}  // namespace
+
+BigRational exact_bandwidth_crossbar(int num_modules, const BigRational& x) {
+  MBUS_EXPECTS(num_modules >= 1, "need at least one module");
+  check_x(x);
+  return BigRational(num_modules) * x;
+}
+
+BigRational exact_bandwidth_full(int num_modules, int num_buses,
+                                 const BigRational& x) {
+  MBUS_EXPECTS(num_modules >= 1, "need at least one module");
+  MBUS_EXPECTS(num_buses >= 1, "need at least one bus");
+  check_x(x);
+  const ExactBinomialDistribution requests(num_modules, x);
+  return requests.expected_min_with(num_buses);
+}
+
+BigRational exact_bandwidth_single(const std::vector<int>& modules_per_bus,
+                                   const BigRational& x) {
+  MBUS_EXPECTS(!modules_per_bus.empty(), "need at least one bus");
+  check_x(x);
+  const BigRational miss = BigRational(1) - x;
+  BigRational total;
+  for (const int count : modules_per_bus) {
+    MBUS_EXPECTS(count >= 0, "per-bus module counts must be >= 0");
+    total += BigRational(1) - miss.pow(count);
+  }
+  return total;
+}
+
+BigRational exact_bandwidth_partial_g(int num_modules, int num_buses,
+                                      int groups, const BigRational& x) {
+  MBUS_EXPECTS(groups >= 1, "need at least one group");
+  MBUS_EXPECTS(num_modules % groups == 0, "requires g | M");
+  MBUS_EXPECTS(num_buses % groups == 0, "requires g | B");
+  check_x(x);
+  const BigRational per_group =
+      exact_bandwidth_full(num_modules / groups, num_buses / groups, x);
+  return BigRational(groups) * per_group;
+}
+
+BigRational exact_bandwidth_k_classes(int num_buses,
+                                      const std::vector<int>& class_sizes,
+                                      const BigRational& x) {
+  const int k = static_cast<int>(class_sizes.size());
+  MBUS_EXPECTS(k >= 1, "need at least one class");
+  MBUS_EXPECTS(k <= num_buses, "requires K <= B");
+  check_x(x);
+
+  std::vector<ExactBinomialDistribution> per_class;
+  per_class.reserve(class_sizes.size());
+  for (const int size : class_sizes) {
+    MBUS_EXPECTS(size >= 0, "class sizes must be >= 0");
+    per_class.emplace_back(size, x);
+  }
+
+  BigRational total;
+  for (int i = 1; i <= num_buses; ++i) {
+    const int a = i + k - num_buses;
+    BigRational idle(1);
+    for (int j = std::max(a, 1); j <= k; ++j) {
+      idle *= per_class[static_cast<std::size_t>(j - 1)].cdf(j - a);
+    }
+    total += BigRational(1) - idle;
+  }
+  return total;
+}
+
+BigRational exact_analytical_bandwidth(const Topology& topology,
+                                       const BigRational& x) {
+  switch (topology.scheme()) {
+    case Scheme::kFull:
+      return exact_bandwidth_full(topology.num_memories(),
+                                  topology.num_buses(), x);
+    case Scheme::kSingle: {
+      const auto& single = dynamic_cast<const SingleTopology&>(topology);
+      std::vector<int> counts;
+      counts.reserve(static_cast<std::size_t>(single.num_buses()));
+      for (int b = 0; b < single.num_buses(); ++b) {
+        counts.push_back(single.modules_on_bus_count(b));
+      }
+      return exact_bandwidth_single(counts, x);
+    }
+    case Scheme::kPartialG: {
+      const auto& partial = dynamic_cast<const PartialGTopology&>(topology);
+      return exact_bandwidth_partial_g(partial.num_memories(),
+                                       partial.num_buses(),
+                                       partial.groups(), x);
+    }
+    case Scheme::kKClasses: {
+      const auto& kc = dynamic_cast<const KClassTopology&>(topology);
+      return exact_bandwidth_k_classes(kc.num_buses(), kc.class_sizes(), x);
+    }
+  }
+  MBUS_ASSERT(false, "unknown scheme");
+  return BigRational();
+}
+
+}  // namespace mbus

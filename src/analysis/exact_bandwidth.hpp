@@ -1,0 +1,37 @@
+// The Section III closed forms in exact rational arithmetic.
+//
+// For a rational X every bandwidth value is an exact rational; these
+// mirror analysis/bandwidth.hpp term for term. They exist to (a)
+// cross-validate the double path (the binomial tail sums are the one
+// place where naive floating-point evaluation can go wrong — C(1024,512)
+// has 307 digits) and (b) produce reference values for arbitrarily large
+// configurations.
+#pragma once
+
+#include <vector>
+
+#include "bignum/bigrational.hpp"
+#include "topology/topology.hpp"
+
+namespace mbus {
+
+BigRational exact_bandwidth_crossbar(int num_modules, const BigRational& x);
+
+BigRational exact_bandwidth_full(int num_modules, int num_buses,
+                                 const BigRational& x);
+
+BigRational exact_bandwidth_single(const std::vector<int>& modules_per_bus,
+                                   const BigRational& x);
+
+BigRational exact_bandwidth_partial_g(int num_modules, int num_buses,
+                                      int groups, const BigRational& x);
+
+BigRational exact_bandwidth_k_classes(int num_buses,
+                                      const std::vector<int>& class_sizes,
+                                      const BigRational& x);
+
+/// Dispatch on the topology's scheme (mirrors analytical_bandwidth).
+BigRational exact_analytical_bandwidth(const Topology& topology,
+                                       const BigRational& x);
+
+}  // namespace mbus

@@ -1,0 +1,248 @@
+#include "analysis/markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "bignum/binomial.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+
+namespace {
+
+/// All b-subsets of {0, …, n−1}, as index vectors.
+std::vector<std::vector<int>> subsets_of_size(int n, int b) {
+  std::vector<std::vector<int>> out;
+  std::vector<int> idx(static_cast<std::size_t>(b));
+  for (int i = 0; i < b; ++i) idx[static_cast<std::size_t>(i)] = i;
+  while (true) {
+    out.push_back(idx);
+    int pos = b - 1;
+    while (pos >= 0 && idx[static_cast<std::size_t>(pos)] == n - b + pos) {
+      --pos;
+    }
+    if (pos < 0) break;
+    ++idx[static_cast<std::size_t>(pos)];
+    for (int i = pos + 1; i < b; ++i) {
+      idx[static_cast<std::size_t>(i)] =
+          idx[static_cast<std::size_t>(i - 1)] + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ExactResubmissionChain::ExactResubmissionChain(const RequestModel& model,
+                                               int num_buses,
+                                               std::size_t max_states)
+    : num_processors_(model.num_processors()),
+      num_memories_(model.num_memories()),
+      num_buses_(num_buses) {
+  MBUS_EXPECTS(num_buses >= 1, "need at least one bus");
+  model.validate();
+
+  double states_d = 1.0;
+  for (int p = 0; p < num_processors_; ++p) {
+    states_d *= static_cast<double>(num_memories_ + 1);
+  }
+  MBUS_EXPECTS(states_d <= static_cast<double>(max_states),
+               "state space (M+1)^N exceeds the exact-chain budget");
+  const auto num_states = static_cast<std::size_t>(states_d);
+
+  const double r = model.request_rate();
+  const int n = num_processors_;
+  const int m = num_memories_;
+
+  // Per-processor digit strides for the base-(M+1) encoding.
+  std::vector<std::uint32_t> stride(static_cast<std::size_t>(n), 1);
+  for (int p = 1; p < n; ++p) {
+    stride[static_cast<std::size_t>(p)] =
+        stride[static_cast<std::size_t>(p - 1)] *
+        static_cast<std::uint32_t>(m + 1);
+  }
+
+  transitions_.resize(num_states);
+  expected_services_.assign(num_states, 0.0);
+
+  std::vector<int> dest(static_cast<std::size_t>(n));  // −1 = no request
+  std::unordered_map<std::uint32_t, double> row;
+
+  for (std::uint32_t s = 0; s < num_states; ++s) {
+    row.clear();
+
+    // Decode the state: waiting destinations per processor.
+    std::vector<int> waiting(static_cast<std::size_t>(n), -1);
+    std::vector<int> idle;
+    {
+      std::uint32_t rest = s;
+      for (int p = 0; p < n; ++p) {
+        const int digit = static_cast<int>(rest % (m + 1));
+        rest /= static_cast<std::uint32_t>(m + 1);
+        if (digit == 0) {
+          idle.push_back(p);
+        } else {
+          waiting[static_cast<std::size_t>(p)] = digit - 1;
+        }
+      }
+    }
+
+    // Recursively enumerate the fresh-request choices of idle processors.
+    const std::function<void(std::size_t, double)> enumerate =
+        [&](std::size_t idle_idx, double prob) {
+          if (prob == 0.0) return;
+          if (idle_idx < idle.size()) {
+            const int p = idle[idle_idx];
+            dest[static_cast<std::size_t>(p)] = -1;
+            enumerate(idle_idx + 1, prob * (1.0 - r));
+            for (int target = 0; target < m; ++target) {
+              dest[static_cast<std::size_t>(p)] = target;
+              enumerate(idle_idx + 1, prob * r * model.fraction(p, target));
+            }
+            dest[static_cast<std::size_t>(p)] = -1;
+            return;
+          }
+
+          // Leaf: full request vector = waiting retries + fresh requests.
+          std::vector<std::vector<int>> requesters(
+              static_cast<std::size_t>(m));
+          std::vector<int> requested;
+          for (int p = 0; p < n; ++p) {
+            const int target =
+                waiting[static_cast<std::size_t>(p)] >= 0
+                    ? waiting[static_cast<std::size_t>(p)]
+                    : dest[static_cast<std::size_t>(p)];
+            if (target < 0) continue;
+            auto& list = requesters[static_cast<std::size_t>(target)];
+            if (list.empty()) requested.push_back(target);
+            list.push_back(p);
+          }
+
+          const int requested_count = static_cast<int>(requested.size());
+          const int granted = std::min(requested_count, num_buses_);
+          expected_services_[s] += prob * static_cast<double>(granted);
+
+          // Base next state: every requester waits on its target.
+          std::uint32_t base = 0;
+          for (int p = 0; p < n; ++p) {
+            const int target =
+                waiting[static_cast<std::size_t>(p)] >= 0
+                    ? waiting[static_cast<std::size_t>(p)]
+                    : dest[static_cast<std::size_t>(p)];
+            if (target >= 0) {
+              base += stride[static_cast<std::size_t>(p)] *
+                      static_cast<std::uint32_t>(target + 1);
+            }
+          }
+
+          // Which modules get a bus: all, or a uniform B-subset.
+          std::vector<std::vector<int>> grants;
+          if (requested_count <= num_buses_) {
+            std::vector<int> all(static_cast<std::size_t>(requested_count));
+            for (int i = 0; i < requested_count; ++i) {
+              all[static_cast<std::size_t>(i)] = i;
+            }
+            grants.push_back(std::move(all));
+          } else {
+            grants = subsets_of_size(requested_count, num_buses_);
+          }
+          const double grant_prob = 1.0 / static_cast<double>(grants.size());
+
+          for (const auto& grant : grants) {
+            // Sequential convolution of per-module winner choices: each
+            // granted module frees one uniformly chosen requester.
+            std::vector<std::pair<std::uint32_t, double>> partial = {
+                {base, prob * grant_prob}};
+            for (const int gi : grant) {
+              const int module = requested[static_cast<std::size_t>(gi)];
+              const auto& list =
+                  requesters[static_cast<std::size_t>(module)];
+              const double pick =
+                  1.0 / static_cast<double>(list.size());
+              std::vector<std::pair<std::uint32_t, double>> next;
+              next.reserve(partial.size() * list.size());
+              for (const auto& [state, p_acc] : partial) {
+                for (const int winner : list) {
+                  // Clear the winner's digit (it currently holds
+                  // module+1 in every partial state).
+                  const std::uint32_t cleared =
+                      state - stride[static_cast<std::size_t>(winner)] *
+                                  static_cast<std::uint32_t>(module + 1);
+                  next.emplace_back(cleared, p_acc * pick);
+                }
+              }
+              partial = std::move(next);
+            }
+            for (const auto& [state, p_acc] : partial) {
+              row[state] += p_acc;
+            }
+          }
+        };
+    enumerate(0, 1.0);
+
+    auto& flat = transitions_[s];
+    flat.reserve(row.size());
+    for (const auto& [state, p_acc] : row) {
+      flat.push_back(Entry{state, p_acc});
+    }
+  }
+}
+
+std::vector<double> ExactResubmissionChain::stationary_distribution(
+    double tolerance, int max_iterations) const {
+  const std::size_t n = transitions_.size();
+  std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < max_iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+      const double mass = v[s];
+      if (mass == 0.0) continue;
+      for (const Entry& e : transitions_[s]) {
+        next[e.next] += mass * e.probability;
+      }
+    }
+    double diff = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      diff += std::fabs(next[s] - v[s]);
+    }
+    v.swap(next);
+    if (diff < tolerance) break;
+  }
+  return v;
+}
+
+double ExactResubmissionChain::stationary_bandwidth(
+    double tolerance, int max_iterations) const {
+  const std::vector<double> v =
+      stationary_distribution(tolerance, max_iterations);
+  double bandwidth = 0.0;
+  for (std::size_t s = 0; s < v.size(); ++s) {
+    bandwidth += v[s] * expected_services_[s];
+  }
+  return bandwidth;
+}
+
+double ExactResubmissionChain::stationary_waiting_processors(
+    double tolerance, int max_iterations) const {
+  const std::vector<double> v =
+      stationary_distribution(tolerance, max_iterations);
+  double waiting = 0.0;
+  for (std::size_t s = 0; s < v.size(); ++s) {
+    std::uint32_t rest = static_cast<std::uint32_t>(s);
+    int count = 0;
+    for (int p = 0; p < num_processors_; ++p) {
+      if (rest % static_cast<std::uint32_t>(num_memories_ + 1) != 0) {
+        ++count;
+      }
+      rest /= static_cast<std::uint32_t>(num_memories_ + 1);
+    }
+    waiting += v[s] * static_cast<double>(count);
+  }
+  return waiting;
+}
+
+}  // namespace mbus

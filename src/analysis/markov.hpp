@@ -1,0 +1,71 @@
+// Exact Markov-chain analysis of the *resubmission* system for small
+// full-connection configurations.
+//
+// Neither the paper's closed forms (which drop blocked requests,
+// assumption 5) nor the adjusted-rate fixed point (analysis/
+// resubmission.hpp) is exact once processors retry. For small systems the
+// true steady state can be computed exactly: the system state is the
+// vector of per-processor statuses (idle, or waiting on module m), a
+// finite Markov chain whose one-cycle transition law follows from the
+// model:
+//
+//   1. each idle processor issues a fresh request with probability r,
+//      choosing its destination by the request model's fractions; waiting
+//      processors re-issue their stored destination;
+//   2. each requested module selects one requester uniformly at random;
+//   3. if more than B modules are requested, a uniformly random B-subset
+//      is granted (the random-selection variant of the B-of-M arbiter —
+//      the round-robin pointer would enlarge the state space without
+//      changing mean throughput materially);
+//   4. granted winners return to idle; everyone else who requested waits.
+//
+// The stationary distribution is found by power iteration and yields the
+// exact resubmission bandwidth. State count is (M+1)^N, so this is for
+// validation at N, M ≤ ~4 — exactly its purpose: the ground truth that
+// the fixed-point approximation and the simulator are tested against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/request_model.hpp"
+
+namespace mbus {
+
+class ExactResubmissionChain {
+ public:
+  /// Full bus–memory connection with `num_buses` buses; the state space
+  /// (M+1)^N must not exceed `max_states` (default 20 000).
+  ExactResubmissionChain(const RequestModel& model, int num_buses,
+                         std::size_t max_states = 20000);
+
+  std::size_t num_states() const noexcept { return transitions_.size(); }
+
+  /// Exact steady-state bandwidth (expected services per cycle), via
+  /// power iteration to the given L1 tolerance.
+  double stationary_bandwidth(double tolerance = 1e-13,
+                              int max_iterations = 100000) const;
+
+  /// Exact steady-state mean number of waiting (blocked) processors.
+  double stationary_waiting_processors(double tolerance = 1e-13,
+                                       int max_iterations = 100000) const;
+
+ private:
+  struct Entry {
+    std::uint32_t next;
+    double probability;
+  };
+
+  std::vector<double> stationary_distribution(double tolerance,
+                                              int max_iterations) const;
+
+  int num_processors_;
+  int num_memories_;
+  int num_buses_;
+  // transitions_[s] = sparse row of the transition matrix.
+  std::vector<std::vector<Entry>> transitions_;
+  // expected services granted during a cycle that starts in state s.
+  std::vector<double> expected_services_;
+};
+
+}  // namespace mbus

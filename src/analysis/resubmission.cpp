@@ -1,0 +1,57 @@
+#include "analysis/resubmission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/bandwidth.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+
+ResubmissionResult resubmission_bandwidth(
+    const Topology& topology, int num_processors, double base_rate,
+    const std::function<double(double)>& x_of_rate, double tolerance,
+    int max_iterations) {
+  MBUS_EXPECTS(num_processors >= 1, "need at least one processor");
+  MBUS_EXPECTS(base_rate >= 0.0 && base_rate <= 1.0,
+               "request rate must lie in [0, 1]");
+  MBUS_EXPECTS(tolerance > 0.0, "tolerance must be positive");
+  MBUS_EXPECTS(max_iterations >= 1, "need at least one iteration");
+
+  ResubmissionResult out;
+  if (base_rate == 0.0) {
+    out.acceptance = 1.0;
+    out.converged = true;
+    return out;
+  }
+
+  const auto n = static_cast<double>(num_processors);
+  double ra = base_rate;
+  for (int it = 1; it <= max_iterations; ++it) {
+    const double x = x_of_rate(ra);
+    const double mbw = analytical_bandwidth(topology, x);
+    const double pa = std::clamp(mbw / (n * ra), 1e-12, 1.0);
+    const double next = base_rate / ((1.0 - base_rate) * pa + base_rate);
+    // Damping keeps heavily saturated systems (pa near MBW_max/N·ra)
+    // from oscillating.
+    const double damped = 0.5 * ra + 0.5 * next;
+    out.iterations = it;
+    if (std::fabs(damped - ra) < tolerance) {
+      ra = damped;
+      out.converged = true;
+      break;
+    }
+    ra = damped;
+  }
+
+  const double x = x_of_rate(ra);
+  const double mbw = analytical_bandwidth(topology, x);
+  out.adjusted_rate = ra;
+  out.acceptance = std::clamp(mbw / (n * ra), 0.0, 1.0);
+  out.bandwidth = mbw;
+  out.mean_wait_cycles =
+      out.acceptance > 0.0 ? 1.0 / out.acceptance - 1.0 : 0.0;
+  return out;
+}
+
+}  // namespace mbus

@@ -1,0 +1,126 @@
+#include "bignum/bigint.hpp"
+
+#include <ostream>
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+BigInt::BigInt(std::int64_t value) {
+  if (value < 0) {
+    negative_ = true;
+    // Negating INT64_MIN directly is UB; go through uint64.
+    magnitude_ = BigUint(static_cast<std::uint64_t>(-(value + 1)) + 1);
+  } else {
+    magnitude_ = BigUint(static_cast<std::uint64_t>(value));
+  }
+}
+
+BigInt::BigInt(BigUint magnitude) : magnitude_(std::move(magnitude)) {}
+
+BigInt::BigInt(bool negative, BigUint magnitude)
+    : negative_(negative && !magnitude.is_zero()),
+      magnitude_(std::move(magnitude)) {}
+
+BigInt BigInt::from_decimal(std::string_view text) {
+  MBUS_EXPECTS(!text.empty(), "empty decimal string");
+  bool negative = false;
+  if (text.front() == '-' || text.front() == '+') {
+    negative = text.front() == '-';
+    text.remove_prefix(1);
+  }
+  return BigInt(negative, BigUint::from_decimal(text));
+}
+
+BigInt BigInt::negated() const {
+  return BigInt(!negative_, magnitude_);
+}
+
+std::string BigInt::to_decimal() const {
+  std::string body = magnitude_.to_decimal();
+  return negative_ ? "-" + body : body;
+}
+
+double BigInt::to_double() const noexcept {
+  const double mag = magnitude_.to_double();
+  return negative_ ? -mag : mag;
+}
+
+std::int64_t BigInt::to_i64() const {
+  const std::uint64_t mag = magnitude_.to_u64();  // throws if > 64 bits
+  if (negative_) {
+    constexpr std::uint64_t kMinMag =
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) +
+        1;
+    if (mag > kMinMag) {
+      throw DomainError("BigInt does not fit in int64: " + to_decimal());
+    }
+    if (mag == kMinMag) return std::numeric_limits<std::int64_t>::min();
+    return -static_cast<std::int64_t>(mag);
+  }
+  if (mag >
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    throw DomainError("BigInt does not fit in int64: " + to_decimal());
+  }
+  return static_cast<std::int64_t>(mag);
+}
+
+int BigInt::compare(const BigInt& a, const BigInt& b) noexcept {
+  if (a.signum() != b.signum()) return a.signum() < b.signum() ? -1 : 1;
+  const int mag = BigUint::compare(a.magnitude_, b.magnitude_);
+  return a.negative_ ? -mag : mag;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  if (a.negative_ == b.negative_) {
+    return BigInt(a.negative_, a.magnitude_ + b.magnitude_);
+  }
+  const int cmp = BigUint::compare(a.magnitude_, b.magnitude_);
+  if (cmp == 0) return BigInt();
+  if (cmp > 0) return BigInt(a.negative_, a.magnitude_ - b.magnitude_);
+  return BigInt(b.negative_, b.magnitude_ - a.magnitude_);
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) {
+  return a + b.negated();
+}
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  return BigInt(a.negative_ != b.negative_, a.magnitude_ * b.magnitude_);
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) {
+  auto dm = BigUint::divmod(a.magnitude_, b.magnitude_);
+  return BigInt(a.negative_ != b.negative_, std::move(dm.quotient));
+}
+
+BigInt operator%(const BigInt& a, const BigInt& b) {
+  auto dm = BigUint::divmod(a.magnitude_, b.magnitude_);
+  return BigInt(a.negative_, std::move(dm.remainder));
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  *this = *this + rhs;
+  return *this;
+}
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  *this = *this - rhs;
+  return *this;
+}
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  *this = *this * rhs;
+  return *this;
+}
+
+BigInt BigInt::pow(std::uint64_t exponent) const {
+  const bool negative = negative_ && (exponent % 2 == 1);
+  return BigInt(negative, magnitude_.pow(exponent));
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.to_decimal();
+}
+
+}  // namespace mbus

@@ -1,0 +1,86 @@
+// Arbitrary-precision signed integers: a sign-and-magnitude wrapper over
+// BigUint. Zero is always stored with a positive sign so equality is
+// structural.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "bignum/biguint.hpp"
+
+namespace mbus {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+  BigInt(BigUint magnitude);   // NOLINT(google-explicit-constructor)
+  BigInt(bool negative, BigUint magnitude);
+
+  /// Parse decimal with optional leading '-' or '+'.
+  static BigInt from_decimal(std::string_view text);
+
+  bool is_zero() const noexcept { return magnitude_.is_zero(); }
+  bool is_negative() const noexcept { return negative_; }
+  /// -1, 0, or +1.
+  int signum() const noexcept {
+    if (is_zero()) return 0;
+    return negative_ ? -1 : 1;
+  }
+
+  const BigUint& magnitude() const noexcept { return magnitude_; }
+  BigInt negated() const;
+  BigInt abs() const { return BigInt(magnitude_); }
+
+  std::string to_decimal() const;
+  double to_double() const noexcept;
+  /// Throws DomainError if the value does not fit.
+  std::int64_t to_i64() const;
+
+  static int compare(const BigInt& a, const BigInt& b) noexcept;
+
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) == 0;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) != 0;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) >= 0;
+  }
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  /// Remainder with the sign of the dividend (C++ semantics).
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+  friend BigInt operator-(const BigInt& a) { return a.negated(); }
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+
+  BigInt pow(std::uint64_t exponent) const;
+
+ private:
+  bool negative_ = false;
+  BigUint magnitude_;
+};
+
+/// Stream insertion (decimal form) — handy in logs and gtest output.
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace mbus

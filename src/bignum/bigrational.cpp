@@ -1,0 +1,194 @@
+#include "bignum/bigrational.hpp"
+
+#include <ostream>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+BigRational::BigRational(BigInt numerator, BigInt denominator) {
+  if (denominator.is_zero()) {
+    throw DomainError("BigRational with zero denominator");
+  }
+  const bool negative =
+      numerator.is_negative() != denominator.is_negative();
+  numerator_ = BigInt(negative, numerator.magnitude());
+  denominator_ = denominator.magnitude();
+  reduce();
+}
+
+void BigRational::reduce() {
+  if (numerator_.is_zero()) {
+    denominator_ = BigUint(1);
+    return;
+  }
+  const BigUint g = BigUint::gcd(numerator_.magnitude(), denominator_);
+  if (!g.is_one()) {
+    numerator_ = BigInt(numerator_.is_negative(),
+                        numerator_.magnitude() / g);
+    denominator_ = denominator_ / g;
+  }
+}
+
+BigRational BigRational::parse(const std::string& text) {
+  MBUS_EXPECTS(!text.empty(), "empty rational string");
+  if (const auto slash = text.find('/'); slash != std::string::npos) {
+    return BigRational(BigInt::from_decimal(text.substr(0, slash)),
+                       BigInt::from_decimal(text.substr(slash + 1)));
+  }
+  const auto dot = text.find('.');
+  if (dot == std::string::npos) {
+    return BigRational(BigInt::from_decimal(text));
+  }
+  const std::string integral = text.substr(0, dot);
+  const std::string fractional = text.substr(dot + 1);
+  MBUS_EXPECTS(!fractional.empty(), "trailing decimal point");
+  std::string digits = integral;
+  const bool had_sign = !digits.empty() &&
+                        (digits.front() == '-' || digits.front() == '+');
+  if (digits.empty() || (had_sign && digits.size() == 1)) digits += '0';
+  digits += fractional;
+  const BigInt numerator = BigInt::from_decimal(digits);
+  const BigInt denominator(BigUint(10).pow(fractional.size()));
+  return BigRational(numerator, denominator);
+}
+
+BigRational BigRational::ratio(std::int64_t p, std::int64_t q) {
+  return BigRational(BigInt(p), BigInt(q));
+}
+
+BigRational BigRational::negated() const {
+  BigRational out = *this;
+  out.numerator_ = numerator_.negated();
+  return out;
+}
+
+BigRational BigRational::abs() const {
+  BigRational out = *this;
+  out.numerator_ = numerator_.abs();
+  return out;
+}
+
+BigRational BigRational::reciprocal() const {
+  if (is_zero()) throw DomainError("reciprocal of zero");
+  return BigRational(BigInt(is_negative(), denominator_),
+                     BigInt(numerator_.magnitude()));
+}
+
+BigRational BigRational::pow(std::int64_t exponent) const {
+  if (exponent < 0) {
+    return reciprocal().pow(-exponent);
+  }
+  BigRational out;
+  out.numerator_ = numerator_.pow(static_cast<std::uint64_t>(exponent));
+  out.denominator_ =
+      denominator_.pow(static_cast<std::uint64_t>(exponent));
+  // Powers of a reduced fraction stay reduced; no reduce() needed, but the
+  // 0^0 == 1 convention needs the numerator fixed up.
+  if (exponent == 0) {
+    out.numerator_ = BigInt(1);
+    out.denominator_ = BigUint(1);
+  }
+  return out;
+}
+
+double BigRational::to_double() const noexcept {
+  // Scale so the integer division keeps ~80 bits of precision, then divide
+  // as doubles.
+  if (is_zero()) return 0.0;
+  const BigUint& num = numerator_.magnitude();
+  const std::size_t num_bits = num.bit_length();
+  const std::size_t den_bits = denominator_.bit_length();
+  // Shift numerator up so quotient has >= 64 significant bits.
+  const std::size_t shift =
+      den_bits + 64 > num_bits ? den_bits + 64 - num_bits : 0;
+  const BigUint scaled = num.shifted_left(shift) / denominator_;
+  const double quotient = scaled.to_double();
+  const double value = std::ldexp(quotient, -static_cast<int>(shift));
+  return is_negative() ? -value : value;
+}
+
+std::string BigRational::to_string() const {
+  if (is_integer()) return numerator_.to_decimal();
+  return numerator_.to_decimal() + "/" + denominator_.to_decimal();
+}
+
+std::string BigRational::to_decimal_string(std::size_t digits) const {
+  const BigUint scale = BigUint(10).pow(digits);
+  // Round half away from zero: floor((2·|num|·scale + den) / (2·den)).
+  const BigUint twice_num = numerator_.magnitude() * scale * BigUint(2);
+  const BigUint rounded =
+      (twice_num + denominator_) / (denominator_ * BigUint(2));
+  std::string body = rounded.to_decimal();
+  if (body.size() <= digits) {
+    body.insert(0, digits + 1 - body.size(), '0');
+  }
+  std::string out;
+  if (is_negative() && !rounded.is_zero()) out += '-';
+  out += body.substr(0, body.size() - digits);
+  if (digits > 0) {
+    out += '.';
+    out += body.substr(body.size() - digits);
+  }
+  return out;
+}
+
+int BigRational::compare(const BigRational& a, const BigRational& b) {
+  if (a.signum() != b.signum()) return a.signum() < b.signum() ? -1 : 1;
+  // Cross-multiply magnitudes; signs are equal here.
+  const BigUint lhs = a.numerator_.magnitude() * b.denominator_;
+  const BigUint rhs = b.numerator_.magnitude() * a.denominator_;
+  const int mag = BigUint::compare(lhs, rhs);
+  return a.is_negative() ? -mag : mag;
+}
+
+BigRational operator+(const BigRational& a, const BigRational& b) {
+  BigRational out;
+  out.numerator_ = a.numerator_ * BigInt(b.denominator_) +
+                   b.numerator_ * BigInt(a.denominator_);
+  out.denominator_ = a.denominator_ * b.denominator_;
+  out.reduce();
+  return out;
+}
+
+BigRational operator-(const BigRational& a, const BigRational& b) {
+  return a + b.negated();
+}
+
+BigRational operator*(const BigRational& a, const BigRational& b) {
+  BigRational out;
+  out.numerator_ = a.numerator_ * b.numerator_;
+  out.denominator_ = a.denominator_ * b.denominator_;
+  out.reduce();
+  return out;
+}
+
+BigRational operator/(const BigRational& a, const BigRational& b) {
+  return a * b.reciprocal();
+}
+
+BigRational& BigRational::operator+=(const BigRational& rhs) {
+  *this = *this + rhs;
+  return *this;
+}
+BigRational& BigRational::operator-=(const BigRational& rhs) {
+  *this = *this - rhs;
+  return *this;
+}
+BigRational& BigRational::operator*=(const BigRational& rhs) {
+  *this = *this * rhs;
+  return *this;
+}
+BigRational& BigRational::operator/=(const BigRational& rhs) {
+  *this = *this / rhs;
+  return *this;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigRational& value) {
+  return os << value.to_string();
+}
+
+}  // namespace mbus

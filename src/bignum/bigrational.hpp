@@ -1,0 +1,110 @@
+// Exact rational arithmetic over BigInt/BigUint.
+//
+// This is the backbone of the exact evaluation path: every probability in
+// the Chen–Sheu model (request fractions m_i, the per-module request
+// probability X, binomial PMF terms, and the bandwidth sums) is a rational
+// number whenever r and the m_i are rational, so the whole analysis can be
+// carried out without any rounding and compared digit-for-digit against
+// the double-precision path.
+//
+// Invariants: denominator > 0, gcd(|numerator|, denominator) == 1, and
+// zero is represented as 0/1.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "bignum/bigint.hpp"
+#include "bignum/biguint.hpp"
+
+namespace mbus {
+
+class BigRational {
+ public:
+  /// Zero.
+  BigRational() : numerator_(0), denominator_(1) {}
+
+  BigRational(std::int64_t value)  // NOLINT(google-explicit-constructor)
+      : numerator_(value), denominator_(1) {}
+
+  BigRational(BigInt value)  // NOLINT(google-explicit-constructor)
+      : numerator_(std::move(value)), denominator_(1) {}
+
+  /// numerator / denominator; throws DomainError if denominator is zero.
+  BigRational(BigInt numerator, BigInt denominator);
+
+  /// Exact value of a decimal string like "-12.0625" or "3/8".
+  static BigRational parse(const std::string& text);
+
+  /// p/q from machine integers; q must be nonzero.
+  static BigRational ratio(std::int64_t p, std::int64_t q);
+
+  bool is_zero() const noexcept { return numerator_.is_zero(); }
+  bool is_negative() const noexcept { return numerator_.is_negative(); }
+  bool is_integer() const noexcept { return denominator_.is_one(); }
+  int signum() const noexcept { return numerator_.signum(); }
+
+  const BigInt& numerator() const noexcept { return numerator_; }
+  const BigUint& denominator_magnitude() const noexcept {
+    return denominator_;
+  }
+
+  BigRational negated() const;
+  BigRational abs() const;
+  /// Multiplicative inverse; throws DomainError on zero.
+  BigRational reciprocal() const;
+  /// this^exponent; negative exponents invert (throws on 0^negative).
+  BigRational pow(std::int64_t exponent) const;
+
+  double to_double() const noexcept;
+  /// "p/q" (or just "p" when q == 1).
+  std::string to_string() const;
+  /// Fixed-point decimal expansion with `digits` fractional digits,
+  /// rounded half away from zero.
+  std::string to_decimal_string(std::size_t digits) const;
+
+  static int compare(const BigRational& a, const BigRational& b);
+
+  friend bool operator==(const BigRational& a, const BigRational& b) {
+    return compare(a, b) == 0;
+  }
+  friend bool operator!=(const BigRational& a, const BigRational& b) {
+    return compare(a, b) != 0;
+  }
+  friend bool operator<(const BigRational& a, const BigRational& b) {
+    return compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigRational& a, const BigRational& b) {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigRational& a, const BigRational& b) {
+    return compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigRational& a, const BigRational& b) {
+    return compare(a, b) >= 0;
+  }
+
+  friend BigRational operator+(const BigRational& a, const BigRational& b);
+  friend BigRational operator-(const BigRational& a, const BigRational& b);
+  friend BigRational operator*(const BigRational& a, const BigRational& b);
+  /// Throws DomainError when b is zero.
+  friend BigRational operator/(const BigRational& a, const BigRational& b);
+  friend BigRational operator-(const BigRational& a) { return a.negated(); }
+
+  BigRational& operator+=(const BigRational& rhs);
+  BigRational& operator-=(const BigRational& rhs);
+  BigRational& operator*=(const BigRational& rhs);
+  BigRational& operator/=(const BigRational& rhs);
+
+ private:
+  void reduce();
+
+  BigInt numerator_;
+  BigUint denominator_;  // always positive
+};
+
+/// Stream insertion (decimal form) — handy in logs and gtest output.
+std::ostream& operator<<(std::ostream& os, const BigRational& value);
+
+}  // namespace mbus

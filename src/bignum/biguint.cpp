@@ -1,0 +1,468 @@
+#include "bignum/biguint.hpp"
+
+#include <ostream>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+namespace {
+constexpr std::uint64_t kLimbBase = 1ULL << 32;
+}  // namespace
+
+BigUint::BigUint(std::uint64_t value) {
+  if (value == 0) return;
+  limbs_.push_back(static_cast<Limb>(value & 0xFFFFFFFFULL));
+  if (value >> 32) limbs_.push_back(static_cast<Limb>(value >> 32));
+}
+
+void BigUint::normalize() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_decimal(std::string_view text) {
+  MBUS_EXPECTS(!text.empty(), "empty decimal string");
+  BigUint result;
+  // Consume nine digits at a time: result = result*10^9 + chunk.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t take = std::min<std::size_t>(9, text.size() - pos);
+    std::uint32_t chunk = 0;
+    std::uint32_t scale = 1;
+    for (std::size_t i = 0; i < take; ++i) {
+      const char c = text[pos + i];
+      MBUS_EXPECTS(c >= '0' && c <= '9',
+                   "invalid character in decimal string");
+      chunk = chunk * 10 + static_cast<std::uint32_t>(c - '0');
+      scale *= 10;
+    }
+    result = result * BigUint(scale) + BigUint(chunk);
+    pos += take;
+  }
+  return result;
+}
+
+BigUint BigUint::power_of_two(std::size_t exponent) {
+  std::vector<Limb> limbs(exponent / kLimbBits + 1, 0);
+  limbs.back() = Limb{1} << (exponent % kLimbBits);
+  return BigUint(std::move(limbs));
+}
+
+std::size_t BigUint::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  const int top_bits = std::bit_width(limbs_.back());
+  return (limbs_.size() - 1) * kLimbBits + static_cast<std::size_t>(top_bits);
+}
+
+bool BigUint::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / kLimbBits;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % kLimbBits)) & 1U;
+}
+
+std::uint64_t BigUint::to_u64() const {
+  if (limbs_.empty()) return 0;
+  if (limbs_.size() > 2) {
+    throw DomainError("BigUint does not fit in 64 bits: " + to_decimal());
+  }
+  std::uint64_t value = limbs_[0];
+  if (limbs_.size() == 2) value |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return value;
+}
+
+double BigUint::to_double() const noexcept {
+  if (limbs_.empty()) return 0.0;
+  const std::size_t bits = bit_length();
+  if (bits <= 64) {
+    std::uint64_t v = limbs_[0];
+    if (limbs_.size() == 2) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+    return static_cast<double>(v);
+  }
+  // Extract the top 64 bits and remember whether anything below them is
+  // set, so the final double rounding can honour round-to-nearest-even.
+  const std::size_t shift = bits - 64;
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (bit(shift + i)) top |= (1ULL << i);
+  }
+  bool sticky = false;
+  for (std::size_t i = 0; i < shift && !sticky; ++i) sticky = bit(i);
+  double mantissa = static_cast<double>(top);
+  if (sticky) {
+    // Nudge the conversion so a value strictly between representable
+    // doubles does not round down spuriously; one ulp at 2^64 scale is
+    // far below our accuracy needs (exact checks use rationals anyway).
+    mantissa = std::nextafter(mantissa, std::numeric_limits<double>::max());
+  }
+  return std::ldexp(mantissa, static_cast<int>(shift));
+}
+
+std::string BigUint::to_decimal() const {
+  if (is_zero()) return "0";
+  BigUint value = *this;
+  std::string out;
+  constexpr Limb kChunk = 1000000000;  // 10^9 fits a limb
+  while (!value.is_zero()) {
+    DivMod dm = divmod_small(value, kChunk);
+    std::uint32_t digits =
+        dm.remainder.is_zero() ? 0U : dm.remainder.limbs_[0];
+    for (int i = 0; i < 9; ++i) {
+      out.push_back(static_cast<char>('0' + digits % 10));
+      digits /= 10;
+    }
+    value = std::move(dm.quotient);
+  }
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+int BigUint::compare(const BigUint& a, const BigUint& b) noexcept {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<BigUint::Limb> BigUint::add_limbs(const std::vector<Limb>& a,
+                                              const std::vector<Limb>& b) {
+  const auto& longer = a.size() >= b.size() ? a : b;
+  const auto& shorter = a.size() >= b.size() ? b : a;
+  std::vector<Limb> out;
+  out.reserve(longer.size() + 1);
+  WideLimb carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    WideLimb sum = carry + longer[i];
+    if (i < shorter.size()) sum += shorter[i];
+    out.push_back(static_cast<Limb>(sum & 0xFFFFFFFFULL));
+    carry = sum >> kLimbBits;
+  }
+  if (carry) out.push_back(static_cast<Limb>(carry));
+  return out;
+}
+
+std::vector<BigUint::Limb> BigUint::sub_limbs(const std::vector<Limb>& a,
+                                              const std::vector<Limb>& b) {
+  std::vector<Limb> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
+    if (i < b.size()) diff -= static_cast<std::int64_t>(b[i]);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<Limb>(diff));
+  }
+  MBUS_ASSERT(borrow == 0, "unsigned subtraction underflow");
+  return out;
+}
+
+BigUint operator+(const BigUint& a, const BigUint& b) {
+  return BigUint(BigUint::add_limbs(a.limbs_, b.limbs_));
+}
+
+BigUint operator-(const BigUint& a, const BigUint& b) {
+  if (BigUint::compare(a, b) < 0) {
+    throw DomainError("BigUint subtraction would be negative");
+  }
+  return BigUint(BigUint::sub_limbs(a.limbs_, b.limbs_));
+}
+
+std::vector<BigUint::Limb> BigUint::mul_schoolbook(
+    const std::vector<Limb>& a, const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    WideLimb carry = 0;
+    const WideLimb ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      WideLimb cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<Limb>(cur & 0xFFFFFFFFULL);
+      carry = cur >> kLimbBits;
+    }
+    std::size_t k = i + b.size();
+    while (carry) {
+      WideLimb cur = out[k] + carry;
+      out[k] = static_cast<Limb>(cur & 0xFFFFFFFFULL);
+      carry = cur >> kLimbBits;
+      ++k;
+    }
+  }
+  return out;
+}
+
+BigUint BigUint::low_limbs(std::size_t count) const {
+  count = std::min(count, limbs_.size());
+  return BigUint(std::vector<Limb>(limbs_.begin(),
+                                   limbs_.begin() + static_cast<long>(count)));
+}
+
+BigUint BigUint::high_limbs(std::size_t from) const {
+  if (from >= limbs_.size()) return BigUint();
+  return BigUint(std::vector<Limb>(limbs_.begin() + static_cast<long>(from),
+                                   limbs_.end()));
+}
+
+BigUint BigUint::shifted_left_limbs(std::size_t count) const {
+  if (is_zero()) return BigUint();
+  std::vector<Limb> out(count, 0);
+  out.insert(out.end(), limbs_.begin(), limbs_.end());
+  return BigUint(std::move(out));
+}
+
+BigUint BigUint::mul_karatsuba(const BigUint& a, const BigUint& b) {
+  const std::size_t na = a.limbs_.size();
+  const std::size_t nb = b.limbs_.size();
+  if (std::min(na, nb) < kKaratsubaThreshold) {
+    return BigUint(mul_schoolbook(a.limbs_, b.limbs_));
+  }
+  const std::size_t half = (std::max(na, nb) + 1) / 2;
+  // a = a1·R + a0, b = b1·R + b0 where R = 2^(32·half).
+  const BigUint a0 = a.low_limbs(half);
+  const BigUint a1 = a.high_limbs(half);
+  const BigUint b0 = b.low_limbs(half);
+  const BigUint b1 = b.high_limbs(half);
+
+  const BigUint z0 = mul_karatsuba(a0, b0);
+  const BigUint z2 = mul_karatsuba(a1, b1);
+  const BigUint z1 = mul_karatsuba(a0 + a1, b0 + b1) - z0 - z2;
+
+  return z2.shifted_left_limbs(2 * half) + z1.shifted_left_limbs(half) + z0;
+}
+
+BigUint BigUint::multiply_schoolbook(const BigUint& a, const BigUint& b) {
+  return BigUint(mul_schoolbook(a.limbs_, b.limbs_));
+}
+
+BigUint BigUint::multiply_karatsuba(const BigUint& a, const BigUint& b) {
+  return mul_karatsuba(a, b);
+}
+
+BigUint operator*(const BigUint& a, const BigUint& b) {
+  if (a.is_zero() || b.is_zero()) return BigUint();
+  if (std::min(a.limbs_.size(), b.limbs_.size()) >=
+      BigUint::kKaratsubaThreshold) {
+    return BigUint::mul_karatsuba(a, b);
+  }
+  return BigUint(BigUint::mul_schoolbook(a.limbs_, b.limbs_));
+}
+
+BigUint::DivMod BigUint::divmod_small(const BigUint& numerator,
+                                      Limb denominator) {
+  MBUS_ASSERT(denominator != 0, "division by zero limb");
+  std::vector<Limb> quotient(numerator.limbs_.size(), 0);
+  WideLimb remainder = 0;
+  for (std::size_t i = numerator.limbs_.size(); i-- > 0;) {
+    const WideLimb cur = (remainder << kLimbBits) | numerator.limbs_[i];
+    quotient[i] = static_cast<Limb>(cur / denominator);
+    remainder = cur % denominator;
+  }
+  return DivMod{BigUint(std::move(quotient)),
+                BigUint(static_cast<std::uint64_t>(remainder))};
+}
+
+BigUint::DivMod BigUint::divmod_knuth(const BigUint& numerator,
+                                      const BigUint& denominator) {
+  // Precondition: denominator has >= 2 limbs and numerator >= denominator.
+  const int shift =
+      std::countl_zero(denominator.limbs_.back());
+  const BigUint u = numerator.shifted_left(static_cast<std::size_t>(shift));
+  const BigUint v = denominator.shifted_left(static_cast<std::size_t>(shift));
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<Limb> un = u.limbs_;
+  un.push_back(0);  // extra high limb for the algorithm
+  const std::vector<Limb>& vn = v.limbs_;
+  std::vector<Limb> q(m + 1, 0);
+
+  const WideLimb v_top = vn[n - 1];
+  const WideLimb v_second = n >= 2 ? vn[n - 2] : 0;
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const WideLimb numer =
+        (static_cast<WideLimb>(un[j + n]) << kLimbBits) | un[j + n - 1];
+    WideLimb qhat = numer / v_top;
+    WideLimb rhat = numer % v_top;
+    while (qhat >= kLimbBase ||
+           qhat * v_second >
+               ((rhat << kLimbBits) | (j + n >= 2 ? un[j + n - 2] : 0))) {
+      --qhat;
+      rhat += v_top;
+      if (rhat >= kLimbBase) break;
+    }
+    // Multiply-subtract qhat*v from un[j .. j+n].
+    std::int64_t borrow = 0;
+    WideLimb carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const WideLimb product = qhat * vn[i] + carry;
+      carry = product >> kLimbBits;
+      std::int64_t diff = static_cast<std::int64_t>(un[i + j]) -
+                          static_cast<std::int64_t>(product & 0xFFFFFFFFULL) -
+                          borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      un[i + j] = static_cast<Limb>(diff);
+    }
+    std::int64_t diff = static_cast<std::int64_t>(un[j + n]) -
+                        static_cast<std::int64_t>(carry) - borrow;
+    bool negative = diff < 0;
+    if (negative) diff += static_cast<std::int64_t>(kLimbBase);
+    un[j + n] = static_cast<Limb>(diff);
+
+    if (negative) {
+      // qhat was one too large; add v back once.
+      --qhat;
+      WideLimb add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const WideLimb sum = static_cast<WideLimb>(un[i + j]) + vn[i] +
+                             add_carry;
+        un[i + j] = static_cast<Limb>(sum & 0xFFFFFFFFULL);
+        add_carry = sum >> kLimbBits;
+      }
+      un[j + n] = static_cast<Limb>(un[j + n] + add_carry);
+    }
+    q[j] = static_cast<Limb>(qhat);
+  }
+
+  un.resize(n);
+  BigUint remainder = BigUint(std::move(un))
+                          .shifted_right(static_cast<std::size_t>(shift));
+  return DivMod{BigUint(std::move(q)), std::move(remainder)};
+}
+
+BigUint::DivMod BigUint::divmod(const BigUint& numerator,
+                                const BigUint& denominator) {
+  if (denominator.is_zero()) {
+    throw DomainError("BigUint division by zero");
+  }
+  if (compare(numerator, denominator) < 0) {
+    return DivMod{BigUint(), numerator};
+  }
+  if (denominator.limbs_.size() == 1) {
+    return divmod_small(numerator, denominator.limbs_[0]);
+  }
+  return divmod_knuth(numerator, denominator);
+}
+
+BigUint operator/(const BigUint& a, const BigUint& b) {
+  return BigUint::divmod(a, b).quotient;
+}
+
+BigUint operator%(const BigUint& a, const BigUint& b) {
+  return BigUint::divmod(a, b).remainder;
+}
+
+BigUint& BigUint::operator+=(const BigUint& rhs) {
+  *this = *this + rhs;
+  return *this;
+}
+BigUint& BigUint::operator-=(const BigUint& rhs) {
+  *this = *this - rhs;
+  return *this;
+}
+BigUint& BigUint::operator*=(const BigUint& rhs) {
+  *this = *this * rhs;
+  return *this;
+}
+BigUint& BigUint::operator/=(const BigUint& rhs) {
+  *this = *this / rhs;
+  return *this;
+}
+BigUint& BigUint::operator%=(const BigUint& rhs) {
+  *this = *this % rhs;
+  return *this;
+}
+
+BigUint BigUint::shifted_left(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / kLimbBits;
+  const std::size_t bit_shift = bits % kLimbBits;
+  std::vector<Limb> out(limb_shift, 0);
+  if (bit_shift == 0) {
+    out.insert(out.end(), limbs_.begin(), limbs_.end());
+  } else {
+    Limb carry = 0;
+    for (const Limb limb : limbs_) {
+      out.push_back(static_cast<Limb>((limb << bit_shift) | carry));
+      carry = static_cast<Limb>(limb >> (kLimbBits - bit_shift));
+    }
+    if (carry) out.push_back(carry);
+  }
+  return BigUint(std::move(out));
+}
+
+BigUint BigUint::shifted_right(std::size_t bits) const {
+  if (is_zero()) return *this;
+  const std::size_t limb_shift = bits / kLimbBits;
+  if (limb_shift >= limbs_.size()) return BigUint();
+  const std::size_t bit_shift = bits % kLimbBits;
+  std::vector<Limb> out(limbs_.begin() + static_cast<long>(limb_shift),
+                        limbs_.end());
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<Limb>(out[i] >> bit_shift);
+      if (i + 1 < out.size()) {
+        out[i] |= static_cast<Limb>(out[i + 1] << (kLimbBits - bit_shift));
+      }
+    }
+  }
+  return BigUint(std::move(out));
+}
+
+BigUint BigUint::pow(std::uint64_t exponent) const {
+  BigUint base = *this;
+  BigUint result(1);
+  while (exponent > 0) {
+    if (exponent & 1ULL) result *= base;
+    exponent >>= 1;
+    if (exponent > 0) base *= base;
+  }
+  return result;
+}
+
+BigUint BigUint::gcd(BigUint a, BigUint b) {
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  // Binary GCD: strip common factors of two, then subtract-and-shift.
+  std::size_t shift = 0;
+  while (!a.bit(0) && !b.bit(0)) {
+    a = a.shifted_right(1);
+    b = b.shifted_right(1);
+    ++shift;
+  }
+  while (!a.bit(0)) a = a.shifted_right(1);
+  while (!b.is_zero()) {
+    while (!b.bit(0)) b = b.shifted_right(1);
+    if (compare(a, b) > 0) std::swap(a, b);
+    b = b - a;
+  }
+  return a.shifted_left(shift);
+}
+
+std::size_t BigUint::decimal_digits() const {
+  return to_decimal().size();
+}
+
+std::ostream& operator<<(std::ostream& os, const BigUint& value) {
+  return os << value.to_decimal();
+}
+
+}  // namespace mbus

@@ -1,0 +1,166 @@
+// Arbitrary-precision unsigned integers.
+//
+// Why hand-rolled: the closed-form bandwidth expressions of Chen & Sheu
+// involve sums of C(N,i)·X^i·(1−X)^{N−i} terms; C(1024,512) alone has
+// 307 decimal digits, so exact cross-validation of the double-precision
+// evaluation path needs true big integers, and the environment is offline
+// (no GMP). The representation is a little-endian vector of 32-bit limbs
+// with 64-bit intermediates, normalized so the most significant limb is
+// nonzero (zero is the empty vector).
+//
+// Multiplication uses schoolbook below a threshold and Karatsuba above it;
+// division is Knuth's Algorithm D. All operations are exact or throw.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbus {
+
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+
+  /// From a machine integer.
+  BigUint(std::uint64_t value);  // NOLINT(google-explicit-constructor)
+                                 // intentional: arithmetic mixes freely
+
+  /// Parse a non-empty decimal string (digits only, no sign, no spaces).
+  /// Throws InvalidArgument on any other input.
+  static BigUint from_decimal(std::string_view text);
+
+  /// 2^exponent.
+  static BigUint power_of_two(std::size_t exponent);
+
+  bool is_zero() const noexcept { return limbs_.empty(); }
+  bool is_one() const noexcept {
+    return limbs_.size() == 1 && limbs_[0] == 1;
+  }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const noexcept;
+
+  /// Value of bit `i` (false beyond bit_length()).
+  bool bit(std::size_t i) const noexcept;
+
+  /// True when the value fits in a std::uint64_t.
+  bool fits_u64() const noexcept { return limbs_.size() <= 2; }
+
+  /// Convert to uint64; throws DomainError if the value does not fit.
+  std::uint64_t to_u64() const;
+
+  /// Nearest double (round-to-nearest on the top 54 bits, then scaled);
+  /// returns +inf when the exponent exceeds the double range.
+  double to_double() const noexcept;
+
+  /// Decimal rendering.
+  std::string to_decimal() const;
+
+  // -- comparison ---------------------------------------------------------
+  /// Three-way comparison: negative, zero, or positive.
+  static int compare(const BigUint& a, const BigUint& b) noexcept;
+
+  friend bool operator==(const BigUint& a, const BigUint& b) noexcept {
+    return compare(a, b) == 0;
+  }
+  friend bool operator!=(const BigUint& a, const BigUint& b) noexcept {
+    return compare(a, b) != 0;
+  }
+  friend bool operator<(const BigUint& a, const BigUint& b) noexcept {
+    return compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigUint& a, const BigUint& b) noexcept {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigUint& a, const BigUint& b) noexcept {
+    return compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigUint& a, const BigUint& b) noexcept {
+    return compare(a, b) >= 0;
+  }
+
+  // -- arithmetic ---------------------------------------------------------
+  friend BigUint operator+(const BigUint& a, const BigUint& b);
+  /// Throws DomainError if b > a (unsigned subtraction cannot go negative).
+  friend BigUint operator-(const BigUint& a, const BigUint& b);
+  friend BigUint operator*(const BigUint& a, const BigUint& b);
+  /// Quotient; throws DomainError on division by zero.
+  friend BigUint operator/(const BigUint& a, const BigUint& b);
+  /// Remainder; throws DomainError on division by zero.
+  friend BigUint operator%(const BigUint& a, const BigUint& b);
+
+  BigUint& operator+=(const BigUint& rhs);
+  BigUint& operator-=(const BigUint& rhs);
+  BigUint& operator*=(const BigUint& rhs);
+  BigUint& operator/=(const BigUint& rhs);
+  BigUint& operator%=(const BigUint& rhs);
+
+  /// Quotient and remainder in one pass (defined after the class body).
+  struct DivMod;
+  static DivMod divmod(const BigUint& numerator, const BigUint& denominator);
+
+  /// Left shift by `bits`.
+  BigUint shifted_left(std::size_t bits) const;
+  /// Logical right shift by `bits`.
+  BigUint shifted_right(std::size_t bits) const;
+
+  /// this^exponent via square-and-multiply (0^0 == 1 by convention).
+  BigUint pow(std::uint64_t exponent) const;
+
+  /// Greatest common divisor (binary GCD; gcd(0,0) == 0).
+  static BigUint gcd(BigUint a, BigUint b);
+
+  /// Number of decimal digits (1 for zero).
+  std::size_t decimal_digits() const;
+
+  /// Testing hooks: force a particular multiplication algorithm.
+  static BigUint multiply_schoolbook(const BigUint& a, const BigUint& b);
+  static BigUint multiply_karatsuba(const BigUint& a, const BigUint& b);
+
+ private:
+  using Limb = std::uint32_t;
+  using WideLimb = std::uint64_t;
+  static constexpr int kLimbBits = 32;
+  static constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
+
+  explicit BigUint(std::vector<Limb> limbs) : limbs_(std::move(limbs)) {
+    normalize();
+  }
+
+  void normalize() noexcept;
+
+  static std::vector<Limb> add_limbs(const std::vector<Limb>& a,
+                                     const std::vector<Limb>& b);
+  // Requires a >= b elementwise as numbers.
+  static std::vector<Limb> sub_limbs(const std::vector<Limb>& a,
+                                     const std::vector<Limb>& b);
+  static std::vector<Limb> mul_schoolbook(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b);
+  static BigUint mul_karatsuba(const BigUint& a, const BigUint& b);
+
+  /// Knuth Algorithm D. `denominator` must be nonzero.
+  static DivMod divmod_knuth(const BigUint& numerator,
+                             const BigUint& denominator);
+  /// Fast path: divide by a single limb.
+  static DivMod divmod_small(const BigUint& numerator, Limb denominator);
+
+  BigUint low_limbs(std::size_t count) const;   // limbs [0, count)
+  BigUint high_limbs(std::size_t from) const;   // limbs [from, size)
+  BigUint shifted_left_limbs(std::size_t count) const;
+
+  std::vector<Limb> limbs_;  // little-endian, no trailing zero limbs
+};
+
+struct BigUint::DivMod {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+/// Stream insertion (decimal form) — handy in logs and gtest output.
+std::ostream& operator<<(std::ostream& os, const BigUint& value);
+
+}  // namespace mbus

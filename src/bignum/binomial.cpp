@@ -1,0 +1,57 @@
+#include "bignum/binomial.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+BigUint binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return BigUint();
+  if (k > n - k) k = n - k;  // symmetry: fewer multiplications
+  BigUint result(1);
+  // result stays integral after each division: C(n,j) = C(n,j-1)·(n-j+1)/j.
+  for (std::uint64_t j = 1; j <= k; ++j) {
+    result = result * BigUint(n - j + 1) / BigUint(j);
+  }
+  return result;
+}
+
+std::vector<BigUint> binomial_row(std::uint64_t n) {
+  std::vector<BigUint> row;
+  row.reserve(n + 1);
+  row.emplace_back(std::uint64_t{1});
+  for (std::uint64_t j = 1; j <= n; ++j) {
+    row.push_back(row.back() * BigUint(n - j + 1) / BigUint(j));
+  }
+  return row;
+}
+
+BigUint factorial(std::uint64_t n) {
+  BigUint result(1);
+  for (std::uint64_t j = 2; j <= n; ++j) result *= BigUint(j);
+  return result;
+}
+
+BigUint falling_factorial(std::uint64_t n, std::uint64_t k) {
+  MBUS_EXPECTS(k <= n, "falling factorial requires k <= n");
+  BigUint result(1);
+  for (std::uint64_t j = 0; j < k; ++j) result *= BigUint(n - j);
+  return result;
+}
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_double(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0.0;
+  return std::exp(log_binomial(n, k));
+}
+
+}  // namespace mbus

@@ -1,0 +1,35 @@
+// Exact binomial coefficients and factorials over BigUint.
+//
+// The bandwidth formulas need C(N,i) for N up to ~1024 in the exact
+// evaluation path. We use the multiplicative formula, which stays exact at
+// every intermediate step because C(n,k) = C(n,k-1)·(n-k+1)/k divides
+// evenly, plus a row cache for repeated evaluation of whole PMFs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+
+namespace mbus {
+
+/// C(n, k); zero when k > n.
+BigUint binomial(std::uint64_t n, std::uint64_t k);
+
+/// The full row [C(n,0), C(n,1), …, C(n,n)] computed with one Pascal pass.
+std::vector<BigUint> binomial_row(std::uint64_t n);
+
+/// n! (0! == 1).
+BigUint factorial(std::uint64_t n);
+
+/// Falling factorial n·(n−1)···(n−k+1); 1 when k == 0.
+BigUint falling_factorial(std::uint64_t n, std::uint64_t k);
+
+/// C(n, k) as a double via lgamma — the fast approximate path used when
+/// exactness is not required; accurate to ~1e-14 relative for n <= 1024.
+double binomial_double(std::uint64_t n, std::uint64_t k);
+
+/// log C(n, k) (natural log); -inf when k > n.
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+}  // namespace mbus

@@ -1,0 +1,42 @@
+#include "core/evaluate.hpp"
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+Evaluation evaluate(const Topology& topology, const Workload& workload,
+                    const EvaluationOptions& options) {
+  MBUS_EXPECTS(topology.num_processors() == workload.num_processors(),
+               cat("topology N=", topology.num_processors(),
+                   " but workload N=", workload.num_processors()));
+  MBUS_EXPECTS(topology.num_memories() == workload.num_memories(),
+               cat("topology M=", topology.num_memories(),
+                   " but workload M=", workload.num_memories()));
+
+  Evaluation out;
+  out.topology_name = topology.name();
+  out.workload_description = workload.description();
+  out.request_probability = workload.request_probability();
+  out.analytic_bandwidth =
+      analytical_bandwidth(topology, out.request_probability);
+  out.crossbar_bandwidth =
+      bandwidth_crossbar(topology.num_memories(), out.request_probability);
+  if (options.exact) {
+    out.exact_bandwidth = exact_analytical_bandwidth(
+        topology, workload.exact_request_probability());
+  }
+  if (options.simulate) {
+    out.simulation = simulate(topology, workload.model(), options.sim);
+  }
+  out.cost = cost_summary(topology);
+  out.perf_cost_ratio = 1000.0 * out.analytic_bandwidth /
+                        static_cast<double>(out.cost.connections);
+  const double offered = static_cast<double>(workload.num_processors()) *
+                         workload.request_rate();
+  out.acceptance_probability =
+      offered > 0.0 ? out.analytic_bandwidth / offered : 0.0;
+  return out;
+}
+
+}  // namespace mbus

@@ -1,0 +1,53 @@
+// One-call evaluation of a (topology, workload) pair: analytic bandwidth,
+// optional exact-rational bandwidth, optional Monte-Carlo simulation, and
+// the Table I cost summary.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/bandwidth.hpp"
+#include "analysis/exact_bandwidth.hpp"
+#include "core/system.hpp"
+#include "sim/engine.hpp"
+#include "topology/cost.hpp"
+
+namespace mbus {
+
+struct EvaluationOptions {
+  /// Also evaluate the closed forms in exact rational arithmetic.
+  bool exact = false;
+  /// Also run the Monte-Carlo simulator with `sim` below.
+  bool simulate = false;
+  SimConfig sim;
+};
+
+struct Evaluation {
+  std::string topology_name;
+  std::string workload_description;
+  /// Per-module request probability X (eq. 2).
+  double request_probability = 0.0;
+  /// Closed-form effective memory bandwidth (Section III).
+  double analytic_bandwidth = 0.0;
+  /// Crossbar upper reference M·X.
+  double crossbar_bandwidth = 0.0;
+  /// Exact-rational bandwidth, when requested.
+  std::optional<BigRational> exact_bandwidth;
+  /// Simulation result, when requested.
+  std::optional<SimResult> simulation;
+  /// Table I quantities.
+  CostSummary cost;
+  /// Bandwidth per connection ×1000 (the Section IV cost-effectiveness
+  /// comparison metric).
+  double perf_cost_ratio = 0.0;
+  /// Probability of acceptance PA = MBW / (N·r) — the companion metric of
+  /// Das & Bhuyan (the fraction of issued requests served per cycle);
+  /// 0 when r == 0.
+  double acceptance_probability = 0.0;
+};
+
+/// Evaluate `topology` under `workload`. The two must agree on N and M.
+Evaluation evaluate(const Topology& topology, const Workload& workload,
+                    const EvaluationOptions& options = {});
+
+}  // namespace mbus

@@ -1,0 +1,46 @@
+#include "core/perf_cost.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mbus {
+
+namespace {
+/// Does `a` dominate `b` (at least as good everywhere, better somewhere)?
+bool dominates(const DesignPoint& a, const DesignPoint& b) {
+  const bool as_good = a.bandwidth >= b.bandwidth && a.cost <= b.cost &&
+                       a.fault_tolerance >= b.fault_tolerance;
+  const bool better = a.bandwidth > b.bandwidth || a.cost < b.cost ||
+                      a.fault_tolerance > b.fault_tolerance;
+  return as_good && better;
+}
+}  // namespace
+
+std::vector<std::size_t> pareto_front(
+    const std::vector<DesignPoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j != i && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<std::size_t> rank_by_perf_cost(
+    const std::vector<DesignPoint>& points) {
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&points](std::size_t a, std::size_t b) {
+              const double ra = points[a].perf_cost_ratio();
+              const double rb = points[b].perf_cost_ratio();
+              if (ra != rb) return ra > rb;
+              return points[a].name < points[b].name;
+            });
+  return order;
+}
+
+}  // namespace mbus

@@ -1,0 +1,31 @@
+// Performance–cost comparison helpers for the Section IV discussion:
+// ranking connection schemes by bandwidth per connection and extracting
+// the Pareto-efficient designs from a candidate set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mbus {
+
+struct DesignPoint {
+  std::string name;
+  double bandwidth = 0.0;  // higher is better
+  double cost = 0.0;       // lower is better (e.g. connection count)
+  int fault_tolerance = 0; // higher is better
+
+  double perf_cost_ratio() const noexcept {
+    return cost > 0.0 ? bandwidth / cost : 0.0;
+  }
+};
+
+/// Indices of the Pareto-efficient points under (bandwidth↑, cost↓,
+/// fault_tolerance↑): a point is kept iff no other point is at least as
+/// good on all three axes and strictly better on one.
+std::vector<std::size_t> pareto_front(const std::vector<DesignPoint>& points);
+
+/// Indices sorted by descending bandwidth/cost ratio (ties by name).
+std::vector<std::size_t> rank_by_perf_cost(
+    const std::vector<DesignPoint>& points);
+
+}  // namespace mbus

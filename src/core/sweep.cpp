@@ -1,0 +1,112 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+namespace {
+/// Can `scheme` be built at this (N, M, B) with even layouts?
+bool layout_feasible(const std::string& scheme, int memories, int buses,
+                     int groups, int classes) {
+  if (scheme == "full") return true;
+  if (scheme == "single") return memories % buses == 0;
+  if (scheme == "partial-g") {
+    return groups >= 1 && memories % groups == 0 && buses % groups == 0;
+  }
+  if (scheme == "k-classes") {
+    const int k = classes > 0 ? classes : buses;
+    return k <= buses && memories % k == 0;
+  }
+  return false;
+}
+}  // namespace
+
+Sweep Sweep::run(const SweepSpec& spec, const Workload& workload) {
+  MBUS_EXPECTS(!spec.schemes.empty(), "sweep needs at least one scheme");
+  MBUS_EXPECTS(!spec.bus_counts.empty(),
+               "sweep needs at least one bus count");
+  Sweep out;
+  for (const std::string& scheme : spec.schemes) {
+    for (const int buses : spec.bus_counts) {
+      MBUS_EXPECTS(buses >= 1, "bus counts must be >= 1");
+      if (!layout_feasible(scheme, workload.num_memories(), buses,
+                           spec.groups, spec.classes)) {
+        continue;
+      }
+      TopologySpec topo_spec;
+      topo_spec.scheme = scheme;
+      topo_spec.processors = workload.num_processors();
+      topo_spec.memories = workload.num_memories();
+      topo_spec.buses = buses;
+      topo_spec.groups = spec.groups;
+      topo_spec.classes = spec.classes;
+      const auto topology = make_topology(topo_spec);
+      out.points_.push_back(SweepPoint{
+          scheme, buses, workload.description(),
+          evaluate(*topology, workload, spec.options)});
+    }
+  }
+  return out;
+}
+
+std::vector<SweepPoint> Sweep::of_scheme(const std::string& scheme) const {
+  std::vector<SweepPoint> out;
+  for (const SweepPoint& p : points_) {
+    if (p.scheme == scheme) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SweepPoint& a, const SweepPoint& b) {
+              return a.buses < b.buses;
+            });
+  return out;
+}
+
+std::optional<SweepPoint> Sweep::best_bandwidth() const {
+  if (points_.empty()) return std::nullopt;
+  return *std::max_element(
+      points_.begin(), points_.end(),
+      [](const SweepPoint& a, const SweepPoint& b) {
+        return a.evaluation.analytic_bandwidth <
+               b.evaluation.analytic_bandwidth;
+      });
+}
+
+std::optional<SweepPoint> Sweep::best_perf_cost() const {
+  if (points_.empty()) return std::nullopt;
+  return *std::max_element(
+      points_.begin(), points_.end(),
+      [](const SweepPoint& a, const SweepPoint& b) {
+        return a.evaluation.perf_cost_ratio < b.evaluation.perf_cost_ratio;
+      });
+}
+
+Table Sweep::to_table(const std::string& title) const {
+  const bool simulated =
+      !points_.empty() && points_.front().evaluation.simulation.has_value();
+  std::vector<std::string> headers = {"scheme",     "B",
+                                      "bandwidth",  "connections",
+                                      "FT degree",  "MBW/conn x1000"};
+  if (simulated) headers.push_back("sim");
+  Table table(headers);
+  table.set_title(title);
+  table.set_alignment(0, Align::kLeft);
+  for (const SweepPoint& p : points_) {
+    std::vector<std::string> row = {
+        p.scheme,
+        std::to_string(p.buses),
+        fmt_fixed(p.evaluation.analytic_bandwidth, 3),
+        std::to_string(p.evaluation.cost.connections),
+        std::to_string(p.evaluation.cost.fault_tolerance_degree),
+        fmt_fixed(p.evaluation.perf_cost_ratio, 2)};
+    if (simulated) {
+      row.push_back(fmt_fixed(p.evaluation.simulation->bandwidth, 3));
+    }
+    table.add_row(row);
+  }
+  return table;
+}
+
+}  // namespace mbus

@@ -1,0 +1,62 @@
+// Declarative parameter sweeps: evaluate a grid of (topology spec × bus
+// count × workload) points and collect the results in one structure the
+// report layer can render. This is the engine behind the comparison
+// tables the bench binaries print, available to library users directly.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core/system.hpp"
+#include "report/table.hpp"
+#include "topology/factory.hpp"
+
+namespace mbus {
+
+struct SweepPoint {
+  std::string scheme;
+  int buses = 0;
+  std::string workload_description;
+  Evaluation evaluation;
+};
+
+struct SweepSpec {
+  /// Schemes to include (names per topology/factory.hpp).
+  std::vector<std::string> schemes = {"full", "single", "partial-g",
+                                      "k-classes"};
+  /// Bus counts to include. Non-divisor counts are skipped for schemes
+  /// whose even layouts require divisibility (single, partial-g,
+  /// k-classes) rather than failing the sweep.
+  std::vector<int> bus_counts;
+  int groups = 2;   // partial-g parameter
+  int classes = 0;  // k-classes parameter; 0 = K = B
+  EvaluationOptions options;
+};
+
+class Sweep {
+ public:
+  /// Run the sweep for `workload` (fixes N and M).
+  static Sweep run(const SweepSpec& spec, const Workload& workload);
+
+  const std::vector<SweepPoint>& points() const noexcept { return points_; }
+
+  /// Points of one scheme, in bus-count order.
+  std::vector<SweepPoint> of_scheme(const std::string& scheme) const;
+
+  /// The point with the highest analytic bandwidth (nullopt if empty).
+  std::optional<SweepPoint> best_bandwidth() const;
+  /// The point with the highest bandwidth-per-connection.
+  std::optional<SweepPoint> best_perf_cost() const;
+
+  /// Render as a comparison table (scheme, B, bandwidth, connections,
+  /// fault tolerance, perf/cost; plus sim column when simulated).
+  Table to_table(const std::string& title) const;
+
+ private:
+  std::vector<SweepPoint> points_;
+};
+
+}  // namespace mbus

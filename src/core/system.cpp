@@ -1,0 +1,89 @@
+#include "core/system.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace mbus {
+
+namespace {
+std::string fractions_to_string(const std::vector<BigRational>& fs) {
+  std::vector<std::string> parts;
+  parts.reserve(fs.size());
+  for (const auto& f : fs) parts.push_back(f.to_decimal_string(4));
+  return join(parts, "/");
+}
+
+std::string sizes_to_string(const std::vector<int>& ks) {
+  std::vector<std::string> parts;
+  parts.reserve(ks.size());
+  for (const int k : ks) parts.push_back(std::to_string(k));
+  return join(parts, "x");
+}
+}  // namespace
+
+Workload::Workload(ModelVariant model, std::string description)
+    : model_(std::move(model)), description_(std::move(description)) {}
+
+Workload Workload::uniform(int num_processors, int num_memories,
+                           BigRational request_rate) {
+  std::string desc = cat("uniform(N=", num_processors, ",M=", num_memories,
+                         ",r=", request_rate.to_decimal_string(2), ")");
+  return Workload(
+      UniformModel(num_processors, num_memories, std::move(request_rate)),
+      std::move(desc));
+}
+
+Workload Workload::hierarchical_nxn(std::vector<int> cluster_sizes,
+                                    std::vector<BigRational> aggregates,
+                                    BigRational request_rate) {
+  std::string desc =
+      cat("hierarchical-nxn(k=", sizes_to_string(cluster_sizes),
+          ", a=", fractions_to_string(aggregates),
+          ", r=", request_rate.to_decimal_string(2), ")");
+  return Workload(HierarchicalModel::nxn_from_aggregate(
+                      std::move(cluster_sizes), std::move(aggregates),
+                      std::move(request_rate)),
+                  std::move(desc));
+}
+
+Workload Workload::hierarchical_nxm(std::vector<int> cluster_sizes,
+                                    int favorite_group_size,
+                                    std::vector<BigRational> aggregates,
+                                    BigRational request_rate) {
+  std::string desc =
+      cat("hierarchical-nxm(k=", sizes_to_string(cluster_sizes),
+          ", k'=", favorite_group_size,
+          ", a=", fractions_to_string(aggregates),
+          ", r=", request_rate.to_decimal_string(2), ")");
+  return Workload(HierarchicalModel::nxm_from_aggregate(
+                      std::move(cluster_sizes), favorite_group_size,
+                      std::move(aggregates), std::move(request_rate)),
+                  std::move(desc));
+}
+
+const RequestModel& Workload::model() const noexcept {
+  return std::visit(
+      [](const auto& m) -> const RequestModel& { return m; }, model_);
+}
+
+double Workload::request_probability() const {
+  return std::visit(
+      [](const auto& m) { return m.closed_form_request_probability(); },
+      model_);
+}
+
+double Workload::request_probability_at(double rate) const {
+  return std::visit(
+      [rate](const auto& m) { return m.request_probability_at(rate); },
+      model_);
+}
+
+BigRational Workload::exact_request_probability() const {
+  return std::visit(
+      [](const auto& m) { return m.exact_request_probability(); }, model_);
+}
+
+std::string Workload::description() const { return description_; }
+
+}  // namespace mbus

@@ -1,0 +1,59 @@
+// High-level facade: a Workload bundles a request model with its exact and
+// double closed-form request probabilities, so callers don't have to care
+// which concrete model they hold.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bignum/bigrational.hpp"
+#include "workload/hierarchical.hpp"
+#include "workload/uniform.hpp"
+
+namespace mbus {
+
+class Workload {
+ public:
+  /// Uniform referencing: every module equally likely.
+  static Workload uniform(int num_processors, int num_memories,
+                          BigRational request_rate);
+
+  /// N×N×B hierarchical model from aggregate fractions (Section IV style:
+  /// e.g. {0.6, 0.3, 0.1} over a two-level {4, N/4} hierarchy).
+  static Workload hierarchical_nxn(std::vector<int> cluster_sizes,
+                                   std::vector<BigRational> aggregates,
+                                   BigRational request_rate);
+
+  /// N×M×B hierarchical model from aggregate fractions.
+  static Workload hierarchical_nxm(std::vector<int> cluster_sizes,
+                                   int favorite_group_size,
+                                   std::vector<BigRational> aggregates,
+                                   BigRational request_rate);
+
+  const RequestModel& model() const noexcept;
+  int num_processors() const noexcept { return model().num_processors(); }
+  int num_memories() const noexcept { return model().num_memories(); }
+  double request_rate() const noexcept { return model().request_rate(); }
+
+  /// X (eq. 2) via the model's closed form, double precision.
+  double request_probability() const;
+  /// X evaluated with the request rate overridden to `rate` (used by the
+  /// resubmission fixed point, which sweeps the adjusted rate).
+  double request_probability_at(double rate) const;
+  /// X (eq. 2), exact.
+  BigRational exact_request_probability() const;
+
+  /// e.g. "hierarchical(k=4x4, a=0.6/0.3/0.1, r=1)".
+  std::string description() const;
+
+ private:
+  using ModelVariant = std::variant<UniformModel, HierarchicalModel>;
+  explicit Workload(ModelVariant model, std::string description);
+
+  ModelVariant model_;
+  std::string description_;
+};
+
+}  // namespace mbus

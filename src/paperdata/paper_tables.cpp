@@ -1,0 +1,188 @@
+#include "paperdata/paper_tables.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mbus::paperdata {
+
+namespace {
+
+constexpr auto kH = PaperWorkload::kHierarchical;
+constexpr auto kU = PaperWorkload::kUniform;
+
+/// Append the (B = 1..values.size()) column of a Table II/III block.
+void append_column(std::vector<PaperCell>& out, PaperTable table, int n,
+                   double r, PaperWorkload wl,
+                   const std::vector<double>& values) {
+  int b = 1;
+  for (const double v : values) {
+    if (v >= 0.0) {  // negative marks an illegible cell
+      out.push_back(PaperCell{table, n, b, r, wl, v});
+    }
+    ++b;
+  }
+}
+
+/// Append cells at power-of-two bus counts (Tables IV–VI style).
+void append_pow2(std::vector<PaperCell>& out, PaperTable table, int n,
+                 double r, PaperWorkload wl, int first_b,
+                 const std::vector<double>& values) {
+  int b = first_b;
+  for (const double v : values) {
+    if (v >= 0.0) {
+      out.push_back(PaperCell{table, n, b, r, wl, v});
+    }
+    b *= 2;
+  }
+}
+
+std::vector<PaperCell> build_all() {
+  std::vector<PaperCell> out;
+  constexpr double kIllegible = -1.0;
+
+  // ----- Table II: full bus–memory connection, r = 1.0 -------------------
+  append_column(out, PaperTable::kTable2, 8, 1.0, kH,
+                {1.0, 2.0, 3.0, 3.97, 4.85, 5.52, 5.88, 5.98});
+  append_column(out, PaperTable::kTable2, 8, 1.0, kU,
+                {1.0, 2.0, 2.97, 3.87, 4.59, 5.04, 5.22, 5.25});
+  append_column(out, PaperTable::kTable2, 12, 1.0, kH,
+                {1.0, 2.0, 3.0, 4.0, 5.0, 5.98, 6.91, 7.73, 8.34, 8.70,
+                 8.84, 8.86});
+  append_column(out, PaperTable::kTable2, 12, 1.0, kU,
+                {1.0, 2.0, 3.0, 3.99, 4.97, 5.88, 6.66, 7.24, 7.58, 7.73,
+                 7.77, 7.78});
+  append_column(out, PaperTable::kTable2, 16, 1.0, kH,
+                {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 7.99, 8.95, 9.85,
+                 10.62, 11.20, 11.56, 11.72, 11.77, 11.78});
+  // The N=16 uniform column has two cells lost to scan damage (B=9, 10).
+  append_column(out, PaperTable::kTable2, 16, 1.0, kU,
+                {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 6.97, 7.89, kIllegible,
+                 kIllegible, 9.86, 10.13, 10.25, 10.29, kIllegible, 10.30});
+
+  // ----- Table III: full bus–memory connection, r = 0.5 ------------------
+  append_column(out, PaperTable::kTable3, 8, 0.5, kH,
+                {0.99, 1.91, 2.67, 3.15, 3.38, 3.46, 3.47, 3.47});
+  append_column(out, PaperTable::kTable3, 8, 0.5, kU,
+                {0.98, 1.88, 2.57, 2.99, 3.16, 3.22, 3.23, 3.23});
+  append_column(out, PaperTable::kTable3, 12, 0.5, kH,
+                {1.0, 1.99, 2.93, 3.76, 4.41, 4.83, 5.04, 5.13, 5.16, 5.16,
+                 5.16, 5.16});
+  append_column(out, PaperTable::kTable3, 12, 0.5, kU,
+                {1.0, 1.98, 2.89, 3.67, 4.23, 4.57, 4.72, 4.78, 4.80, 4.80,
+                 4.80, 4.80});
+  // N=16 columns lose one row each to scan damage (B=6).
+  append_column(out, PaperTable::kTable3, 16, 0.5, kH,
+                {1.0, 2.0, 2.99, 3.95, 4.83, kIllegible, 6.15, 6.52, 6.73,
+                 6.82, 6.85, 6.87, 6.87, 6.87, 6.87, 6.87});
+  append_column(out, PaperTable::kTable3, 16, 0.5, kU,
+                {1.0, 2.0, 2.98, 3.91, 4.74, kIllegible, 5.87, 6.15, 6.29,
+                 6.35, 6.37, 6.37, 6.37, 6.37, 6.37, 6.37});
+
+  // ----- Table IV: single bus–memory connection ---------------------------
+  // r = 1.0 (clean in the scan).
+  append_pow2(out, PaperTable::kTable4, 8, 1.0, kH, 1,
+              {1.0, 1.99, 3.74, 5.97});
+  append_pow2(out, PaperTable::kTable4, 8, 1.0, kU, 1,
+              {1.0, 1.97, 3.53, 5.25});
+  append_pow2(out, PaperTable::kTable4, 16, 1.0, kH, 1,
+              {1.0, 2.0, 3.98, 7.44, 11.78});
+  append_pow2(out, PaperTable::kTable4, 16, 1.0, kU, 1,
+              {1.0, 2.0, 3.94, 6.99, 10.30});
+  append_pow2(out, PaperTable::kTable4, 32, 1.0, kH, 1,
+              {1.0, 2.0, 4.0, 7.96, 14.87, 23.48});
+  append_pow2(out, PaperTable::kTable4, 32, 1.0, kU, 1,
+              {1.0, 2.0, 4.0, 7.86, 13.90, 20.41});
+  // r = 0.5 (heavily damaged in the scan; only the unambiguous cells).
+  append_pow2(out, PaperTable::kTable4, 8, 0.5, kH, 1,
+              {kIllegible, kIllegible, kIllegible, 3.47});
+  append_pow2(out, PaperTable::kTable4, 8, 0.5, kU, 1,
+              {0.98, kIllegible, kIllegible, 3.23});
+  append_pow2(out, PaperTable::kTable4, 16, 0.5, kH, 1,
+              {1.0, 1.98, kIllegible, 5.39, 6.87});
+  append_pow2(out, PaperTable::kTable4, 16, 0.5, kU, 1,
+              {1.0, kIllegible, kIllegible, kIllegible, 6.37});
+  append_pow2(out, PaperTable::kTable4, 32, 0.5, kH, 1,
+              {1.0, 2.0, 3.95, 7.14, 10.76, 13.69});
+  append_pow2(out, PaperTable::kTable4, 32, 0.5, kU, 1,
+              {1.0, 2.0, 3.93, 6.93, 10.16, 12.67});
+
+  // ----- Table V: partial bus networks, g = 2 -----------------------------
+  append_pow2(out, PaperTable::kTable5, 8, 1.0, kH, 2, {1.99, 3.89, 5.97});
+  append_pow2(out, PaperTable::kTable5, 8, 1.0, kU, 2, {1.97, 3.73, 5.25});
+  append_pow2(out, PaperTable::kTable5, 16, 1.0, kH, 2,
+              {2.0, 4.0, 7.92, 11.78});
+  append_pow2(out, PaperTable::kTable5, 16, 1.0, kU, 2,
+              {2.0, 3.99, 7.71, 10.30});
+  append_pow2(out, PaperTable::kTable5, 32, 1.0, kH, 2,
+              {2.0, 4.0, 8.0, 15.97, 23.48});
+  append_pow2(out, PaperTable::kTable5, 32, 1.0, kU, 2,
+              {2.0, 4.0, 8.0, 15.76, 20.41});
+  append_pow2(out, PaperTable::kTable5, 8, 0.5, kH, 2, {1.79, 2.96, 3.47});
+  append_pow2(out, PaperTable::kTable5, 8, 0.5, kU, 2, {1.75, 2.81, 3.23});
+  append_pow2(out, PaperTable::kTable5, 16, 0.5, kH, 2,
+              {1.98, 3.82, 6.25, 6.87});
+  append_pow2(out, PaperTable::kTable5, 16, 0.5, kU, 2,
+              {1.97, 3.75, 5.92, 6.37});
+  append_pow2(out, PaperTable::kTable5, 32, 0.5, kH, 2,
+              {2.0, 4.0, 7.89, 13.02, 13.69});
+  append_pow2(out, PaperTable::kTable5, 32, 0.5, kU, 2,
+              {2.0, 3.99, 7.81, 12.24, 12.67});
+
+  // ----- Table VI: partial bus networks with K = B classes ----------------
+  append_pow2(out, PaperTable::kTable6, 8, 1.0, kH, 2, {2.0, 3.85, 5.97});
+  append_pow2(out, PaperTable::kTable6, 8, 1.0, kU, 2, {1.98, 3.68, 5.25});
+  append_pow2(out, PaperTable::kTable6, 16, 1.0, kH, 2,
+              {2.0, 3.99, 7.71, 11.78});
+  append_pow2(out, PaperTable::kTable6, 16, 1.0, kU, 2,
+              {2.0, 3.98, 7.35, 10.30});
+  append_pow2(out, PaperTable::kTable6, 32, 1.0, kH, 2,
+              {2.0, 4.0, 7.99, 15.44, 23.48});
+  append_pow2(out, PaperTable::kTable6, 32, 1.0, kU, 2,
+              {2.0, 4.0, 7.97, 14.70, 20.41});
+  append_pow2(out, PaperTable::kTable6, 8, 0.5, kH, 2, {1.85, 2.90, 3.47});
+  append_pow2(out, PaperTable::kTable6, 8, 0.5, kU, 2, {1.81, 2.75, 3.23});
+  append_pow2(out, PaperTable::kTable6, 16, 0.5, kH, 2,
+              {1.99, 3.78, 5.81, 6.87});
+  append_pow2(out, PaperTable::kTable6, 16, 0.5, kU, 2,
+              {1.98, 3.70, 5.51, 6.37});
+  append_pow2(out, PaperTable::kTable6, 32, 0.5, kH, 2,
+              {2.0, 3.99, 7.64, 11.66, 13.69});
+  append_pow2(out, PaperTable::kTable6, 32, 0.5, kU, 2,
+              {2.0, 3.98, 7.49, 11.02, 12.67});
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<PaperCell>& all_cells() {
+  static const std::vector<PaperCell> cells = build_all();
+  return cells;
+}
+
+std::vector<PaperCell> cells_of(PaperTable table) {
+  std::vector<PaperCell> out;
+  for (const PaperCell& c : all_cells()) {
+    if (c.table == table) out.push_back(c);
+  }
+  return out;
+}
+
+std::optional<double> lookup(PaperTable table, int n, int b, double r,
+                             PaperWorkload workload) {
+  for (const PaperCell& c : all_cells()) {
+    if (c.table == table && c.n == n && c.b == b && c.r == r &&
+        c.workload == workload) {
+      return c.value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<int> section4_cluster_sizes(int n) {
+  MBUS_EXPECTS(n % 4 == 0, "Section IV partitions N into 4 clusters");
+  return {4, n / 4};
+}
+
+}  // namespace mbus::paperdata

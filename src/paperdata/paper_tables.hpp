@@ -1,0 +1,49 @@
+// The printed numerical results of Chen & Sheu, Tables II–VI, transcribed
+// cell by cell. Shared by the reproduction test-suite (which asserts our
+// closed forms match every cell to the paper's printed precision) and by
+// the bench binaries (which print paper-vs-computed columns).
+//
+// Cells that are illegible in the available scan are simply absent; the
+// benches recompute the full grids regardless.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace mbus::paperdata {
+
+enum class PaperWorkload { kHierarchical, kUniform };
+
+enum class PaperTable {
+  kTable2,  // full connection, r = 1.0
+  kTable3,  // full connection, r = 0.5
+  kTable4,  // single connection, r ∈ {1.0, 0.5}
+  kTable5,  // partial bus g = 2, r ∈ {1.0, 0.5}
+  kTable6,  // K = B classes,    r ∈ {1.0, 0.5}
+};
+
+struct PaperCell {
+  PaperTable table;
+  int n;        // N = M
+  int b;        // number of buses
+  double r;     // request rate
+  PaperWorkload workload;
+  double value; // memory bandwidth as printed (2 decimals or fewer)
+};
+
+/// Every legible printed cell of Tables II–VI.
+const std::vector<PaperCell>& all_cells();
+
+/// Cells of one table.
+std::vector<PaperCell> cells_of(PaperTable table);
+
+/// The printed value for a configuration, if that cell is legible.
+std::optional<double> lookup(PaperTable table, int n, int b, double r,
+                             PaperWorkload workload);
+
+/// The paper's common workload setup for Section IV: a two-level
+/// hierarchy with k_1 = 4 clusters and aggregate fractions 0.6/0.3/0.1.
+/// (Returned as the {k_1, k_2} cluster vector for a given N.)
+std::vector<int> section4_cluster_sizes(int n);
+
+}  // namespace mbus::paperdata

@@ -1,0 +1,70 @@
+#include "prob/binomial_dist.hpp"
+
+#include <cmath>
+
+#include "bignum/binomial.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+
+BinomialDistribution::BinomialDistribution(std::int64_t n, double p)
+    : n_(n), p_(p) {
+  MBUS_EXPECTS(n >= 0, "number of trials must be non-negative");
+  MBUS_EXPECTS(p >= 0.0 && p <= 1.0 && std::isfinite(p),
+               "probability must lie in [0, 1]");
+  pmf_.assign(static_cast<std::size_t>(n) + 1, 0.0);
+  if (p == 0.0) {
+    pmf_[0] = 1.0;
+    return;
+  }
+  if (p == 1.0) {
+    pmf_.back() = 1.0;
+    return;
+  }
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  for (std::int64_t i = 0; i <= n; ++i) {
+    const double log_term =
+        log_binomial(static_cast<std::uint64_t>(n),
+                     static_cast<std::uint64_t>(i)) +
+        static_cast<double>(i) * log_p +
+        static_cast<double>(n - i) * log_q;
+    pmf_[static_cast<std::size_t>(i)] = std::exp(log_term);
+  }
+}
+
+double BinomialDistribution::mean() const noexcept {
+  return static_cast<double>(n_) * p_;
+}
+
+double BinomialDistribution::pmf(std::int64_t i) const {
+  if (i < 0 || i > n_) return 0.0;
+  return pmf_[static_cast<std::size_t>(i)];
+}
+
+double BinomialDistribution::cdf(std::int64_t i) const {
+  if (i < 0) return 0.0;
+  if (i >= n_) return 1.0;
+  double acc = 0.0;
+  for (std::int64_t j = 0; j <= i; ++j) {
+    acc += pmf_[static_cast<std::size_t>(j)];
+  }
+  return acc;
+}
+
+double BinomialDistribution::expected_excess_over(std::int64_t b) const {
+  MBUS_EXPECTS(b >= 0, "capacity must be non-negative");
+  double acc = 0.0;
+  // Sum smallest terms first for accuracy: the tail decays away from the
+  // mode, so iterate from n downward only when b is left of the mode.
+  for (std::int64_t i = n_; i > b; --i) {
+    acc += static_cast<double>(i - b) * pmf_[static_cast<std::size_t>(i)];
+  }
+  return acc;
+}
+
+double BinomialDistribution::expected_min_with(std::int64_t b) const {
+  return mean() - expected_excess_over(b);
+}
+
+}  // namespace mbus

@@ -1,0 +1,50 @@
+// Binomial distribution Bin(n, p) in double precision, evaluated in log
+// space so that no table entry under- or over-flows even for n in the
+// thousands with p near 0 or 1 (a naive recurrence from (1-p)^n underflows
+// at p = 0.99, n = 1024 — exactly the "big-number care" trap in the
+// paper's combinatorics).
+//
+// The two derived quantities the bandwidth analysis needs:
+//   * expected_min_with(b)  = E[min(I, b)]       (eq. 4 / eq. 8 inner sum)
+//   * expected_excess_over(b) = E[(I − b)^+]     (the tail correction)
+// which satisfy E[min(I,b)] = n·p − E[(I−b)^+].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mbus {
+
+class BinomialDistribution {
+ public:
+  /// n >= 0 trials with success probability p in [0, 1].
+  BinomialDistribution(std::int64_t n, double p);
+
+  std::int64_t trials() const noexcept { return n_; }
+  double success_probability() const noexcept { return p_; }
+  double mean() const noexcept;
+
+  /// P(I == i); zero outside [0, n].
+  double pmf(std::int64_t i) const;
+
+  /// P(I <= i); 0 below 0, 1 at and above n.
+  double cdf(std::int64_t i) const;
+
+  /// Σ_{i > b} (i − b) · P(I == i)  — the expected number of requests that
+  /// exceed a capacity of b servers.
+  double expected_excess_over(std::int64_t b) const;
+
+  /// E[min(I, b)] — the expected number of requests a capacity of b
+  /// servers can grant.
+  double expected_min_with(std::int64_t b) const;
+
+  /// The full PMF table, indices 0..n.
+  const std::vector<double>& pmf_table() const noexcept { return pmf_; }
+
+ private:
+  std::int64_t n_;
+  double p_;
+  std::vector<double> pmf_;
+};
+
+}  // namespace mbus

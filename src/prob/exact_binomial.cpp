@@ -1,0 +1,84 @@
+#include "prob/exact_binomial.hpp"
+
+#include "bignum/binomial.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+
+ExactBinomialDistribution::ExactBinomialDistribution(std::int64_t n,
+                                                     BigRational p)
+    : n_(n), p_(std::move(p)) {
+  MBUS_EXPECTS(n >= 0, "number of trials must be non-negative");
+  MBUS_EXPECTS(!p_.is_negative() && p_ <= BigRational(1),
+               "probability must lie in [0, 1]");
+  const auto un = static_cast<std::uint64_t>(n);
+
+  // p = u/v in lowest terms; q = (v−u)/v; pmf_i = C(n,i)·u^i·(v−u)^{n−i}/v^n.
+  //
+  // Performance note: all PMF terms share the denominator v^n, which for
+  // large n can run to thousands of digits. We therefore keep raw
+  // numerators over that common denominator and reduce to a canonical
+  // BigRational only at the API boundary — otherwise every partial sum in
+  // cdf()/expected_excess_over() would pay a multi-thousand-digit gcd.
+  const BigUint u = p_.numerator().magnitude();
+  const BigUint v = p_.denominator_magnitude();
+  const BigUint w = v - u;  // numerator of q
+  common_denominator_ = v.pow(un);
+
+  const std::vector<BigUint> row = binomial_row(un);
+
+  std::vector<BigUint> u_pows(un + 1), w_pows(un + 1);
+  u_pows[0] = BigUint(1);
+  w_pows[0] = BigUint(1);
+  for (std::uint64_t i = 1; i <= un; ++i) {
+    u_pows[i] = u_pows[i - 1] * u;
+    w_pows[i] = w_pows[i - 1] * w;
+  }
+  numerators_.reserve(row.size());
+  for (std::uint64_t i = 0; i <= un; ++i) {
+    numerators_.push_back(row[i] * u_pows[i] * w_pows[un - i]);
+  }
+}
+
+BigRational ExactBinomialDistribution::as_probability(
+    BigUint numerator) const {
+  return BigRational(BigInt(std::move(numerator)),
+                     BigInt(common_denominator_));
+}
+
+BigRational ExactBinomialDistribution::mean() const {
+  return BigRational(n_) * p_;
+}
+
+BigRational ExactBinomialDistribution::pmf(std::int64_t i) const {
+  if (i < 0 || i > n_) return BigRational();
+  return as_probability(numerators_[static_cast<std::size_t>(i)]);
+}
+
+BigRational ExactBinomialDistribution::cdf(std::int64_t i) const {
+  if (i < 0) return BigRational();
+  if (i >= n_) return BigRational(1);
+  BigUint acc;
+  for (std::int64_t j = 0; j <= i; ++j) {
+    acc += numerators_[static_cast<std::size_t>(j)];
+  }
+  return as_probability(std::move(acc));
+}
+
+BigRational ExactBinomialDistribution::expected_excess_over(
+    std::int64_t b) const {
+  MBUS_EXPECTS(b >= 0, "capacity must be non-negative");
+  BigUint acc;
+  for (std::int64_t i = b + 1; i <= n_; ++i) {
+    acc += BigUint(static_cast<std::uint64_t>(i - b)) *
+           numerators_[static_cast<std::size_t>(i)];
+  }
+  return as_probability(std::move(acc));
+}
+
+BigRational ExactBinomialDistribution::expected_min_with(
+    std::int64_t b) const {
+  return mean() - expected_excess_over(b);
+}
+
+}  // namespace mbus

@@ -1,0 +1,51 @@
+// The binomial distribution in exact rational arithmetic.
+//
+// For rational p = u/v, every PMF value C(n,i)·u^i·(v−u)^{n−i} / v^n is an
+// exact rational; sums and the capacity-excess expectation are therefore
+// exact as well. These are used to cross-validate the double-precision
+// path (tests require agreement to ~1e-12 relative everywhere) and to run
+// large-N sweeps where doubles need care.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigrational.hpp"
+
+namespace mbus {
+
+class ExactBinomialDistribution {
+ public:
+  /// n >= 0 trials, success probability p in [0, 1] (checked).
+  ExactBinomialDistribution(std::int64_t n, BigRational p);
+
+  std::int64_t trials() const noexcept { return n_; }
+  const BigRational& success_probability() const noexcept { return p_; }
+
+  BigRational mean() const;
+
+  /// P(I == i); zero outside [0, n].
+  BigRational pmf(std::int64_t i) const;
+
+  /// P(I <= i).
+  BigRational cdf(std::int64_t i) const;
+
+  /// Σ_{i > b} (i − b) · P(I == i), exactly.
+  BigRational expected_excess_over(std::int64_t b) const;
+
+  /// E[min(I, b)], exactly.
+  BigRational expected_min_with(std::int64_t b) const;
+
+ private:
+  /// Reduce a raw numerator over the common denominator v^n.
+  BigRational as_probability(BigUint numerator) const;
+
+  std::int64_t n_;
+  BigRational p_;
+  // PMF stored as raw numerators over the shared denominator v^n, so that
+  // sums stay in integer arithmetic and only API results pay a gcd.
+  std::vector<BigUint> numerators_;
+  BigUint common_denominator_;
+};
+
+}  // namespace mbus

@@ -1,0 +1,62 @@
+#include "prob/exact_poisson_binomial.hpp"
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+ExactPoissonBinomialDistribution::ExactPoissonBinomialDistribution(
+    std::vector<BigRational> probabilities)
+    : probabilities_(std::move(probabilities)) {
+  for (const auto& p : probabilities_) {
+    MBUS_EXPECTS(!p.is_negative() && p <= BigRational(1),
+                 "success probabilities must lie in [0, 1]");
+  }
+  pmf_.assign(1, BigRational(1));
+  pmf_.reserve(probabilities_.size() + 1);
+  for (const auto& p : probabilities_) {
+    const BigRational q = BigRational(1) - p;
+    pmf_.push_back(pmf_.back() * p);
+    for (std::size_t i = pmf_.size() - 2; i > 0; --i) {
+      pmf_[i] = pmf_[i] * q + pmf_[i - 1] * p;
+    }
+    pmf_[0] *= q;
+  }
+}
+
+BigRational ExactPoissonBinomialDistribution::mean() const {
+  BigRational sum;
+  for (const auto& p : probabilities_) sum += p;
+  return sum;
+}
+
+BigRational ExactPoissonBinomialDistribution::pmf(std::int64_t i) const {
+  if (i < 0 || i > trials()) return BigRational();
+  return pmf_[static_cast<std::size_t>(i)];
+}
+
+BigRational ExactPoissonBinomialDistribution::cdf(std::int64_t i) const {
+  if (i < 0) return BigRational();
+  if (i >= trials()) return BigRational(1);
+  BigRational acc;
+  for (std::int64_t j = 0; j <= i; ++j) {
+    acc += pmf_[static_cast<std::size_t>(j)];
+  }
+  return acc;
+}
+
+BigRational ExactPoissonBinomialDistribution::expected_excess_over(
+    std::int64_t b) const {
+  MBUS_EXPECTS(b >= 0, "capacity must be non-negative");
+  BigRational acc;
+  for (std::int64_t i = b + 1; i <= trials(); ++i) {
+    acc += BigRational(i - b) * pmf_[static_cast<std::size_t>(i)];
+  }
+  return acc;
+}
+
+BigRational ExactPoissonBinomialDistribution::expected_min_with(
+    std::int64_t b) const {
+  return mean() - expected_excess_over(b);
+}
+
+}  // namespace mbus

@@ -1,0 +1,47 @@
+// The Poisson-binomial distribution in exact rational arithmetic —
+// the exact companion of prob/poisson_binomial.hpp, closing the last gap
+// in the exact evaluation path: asymmetric per-module probabilities (hot
+// spots, uneven favorites) with zero rounding.
+//
+// The same O(M²) dynamic program as the double version, carried out over
+// BigRational. Intended for moderate M (the rationals' denominators grow
+// with the product of the input denominators).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigrational.hpp"
+
+namespace mbus {
+
+class ExactPoissonBinomialDistribution {
+ public:
+  /// Success probabilities, each in [0, 1] (checked).
+  explicit ExactPoissonBinomialDistribution(
+      std::vector<BigRational> probabilities);
+
+  std::int64_t trials() const noexcept {
+    return static_cast<std::int64_t>(probabilities_.size());
+  }
+
+  BigRational mean() const;
+
+  /// P(I == i); zero outside [0, trials()].
+  BigRational pmf(std::int64_t i) const;
+
+  /// P(I <= i).
+  BigRational cdf(std::int64_t i) const;
+
+  /// Σ_{i > b} (i − b)·P(I == i), exactly.
+  BigRational expected_excess_over(std::int64_t b) const;
+
+  /// E[min(I, b)], exactly.
+  BigRational expected_min_with(std::int64_t b) const;
+
+ private:
+  std::vector<BigRational> probabilities_;
+  std::vector<BigRational> pmf_;
+};
+
+}  // namespace mbus

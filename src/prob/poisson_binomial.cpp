@@ -1,0 +1,69 @@
+#include "prob/poisson_binomial.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+PoissonBinomialDistribution::PoissonBinomialDistribution(
+    std::vector<double> probabilities)
+    : probabilities_(std::move(probabilities)) {
+  for (const double p : probabilities_) {
+    MBUS_EXPECTS(std::isfinite(p) && p >= 0.0 && p <= 1.0,
+                 "success probabilities must lie in [0, 1]");
+  }
+  // DP over trials: after processing k trials, pmf_[i] = P(i successes).
+  pmf_.assign(1, 1.0);
+  pmf_.reserve(probabilities_.size() + 1);
+  for (const double p : probabilities_) {
+    pmf_.push_back(pmf_.back() * p);
+    for (std::size_t i = pmf_.size() - 2; i > 0; --i) {
+      pmf_[i] = pmf_[i] * (1.0 - p) + pmf_[i - 1] * p;
+    }
+    pmf_[0] *= 1.0 - p;
+  }
+}
+
+double PoissonBinomialDistribution::mean() const noexcept {
+  double sum = 0.0;
+  for (const double p : probabilities_) sum += p;
+  return sum;
+}
+
+double PoissonBinomialDistribution::variance() const noexcept {
+  double sum = 0.0;
+  for (const double p : probabilities_) sum += p * (1.0 - p);
+  return sum;
+}
+
+double PoissonBinomialDistribution::pmf(std::int64_t i) const {
+  if (i < 0 || i > trials()) return 0.0;
+  return pmf_[static_cast<std::size_t>(i)];
+}
+
+double PoissonBinomialDistribution::cdf(std::int64_t i) const {
+  if (i < 0) return 0.0;
+  if (i >= trials()) return 1.0;
+  double acc = 0.0;
+  for (std::int64_t j = 0; j <= i; ++j) {
+    acc += pmf_[static_cast<std::size_t>(j)];
+  }
+  return acc;
+}
+
+double PoissonBinomialDistribution::expected_excess_over(
+    std::int64_t b) const {
+  MBUS_EXPECTS(b >= 0, "capacity must be non-negative");
+  double acc = 0.0;
+  for (std::int64_t i = trials(); i > b; --i) {
+    acc += static_cast<double>(i - b) * pmf_[static_cast<std::size_t>(i)];
+  }
+  return acc;
+}
+
+double PoissonBinomialDistribution::expected_min_with(std::int64_t b) const {
+  return mean() - expected_excess_over(b);
+}
+
+}  // namespace mbus

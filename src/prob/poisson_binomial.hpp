@@ -1,0 +1,52 @@
+// The Poisson-binomial distribution: the number of successes among
+// independent but *non-identically* distributed Bernoulli trials.
+//
+// This generalizes the binomial engine behind eqs. 3–4 to asymmetric
+// request probabilities: when the per-module request probabilities X_m
+// differ (hot-spot workloads, asymmetric hierarchies, N×M×B layouts with
+// uneven favorites), the number of requested modules is Poisson-binomial
+// with parameters {X_m}, and the bandwidth of a B-bus full-connection
+// network is E[min(I, B)] under this law.
+//
+// The PMF is computed by the standard O(M²) dynamic program, which is
+// numerically benign (all terms non-negative; no cancellation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mbus {
+
+class PoissonBinomialDistribution {
+ public:
+  /// Success probabilities, each in [0, 1]. An empty list is the
+  /// degenerate distribution at 0.
+  explicit PoissonBinomialDistribution(std::vector<double> probabilities);
+
+  std::int64_t trials() const noexcept {
+    return static_cast<std::int64_t>(probabilities_.size());
+  }
+
+  double mean() const noexcept;
+  double variance() const noexcept;
+
+  /// P(I == i); zero outside [0, trials()].
+  double pmf(std::int64_t i) const;
+
+  /// P(I <= i).
+  double cdf(std::int64_t i) const;
+
+  /// Σ_{i > b} (i − b)·P(I == i).
+  double expected_excess_over(std::int64_t b) const;
+
+  /// E[min(I, b)].
+  double expected_min_with(std::int64_t b) const;
+
+  const std::vector<double>& pmf_table() const noexcept { return pmf_; }
+
+ private:
+  std::vector<double> probabilities_;
+  std::vector<double> pmf_;
+};
+
+}  // namespace mbus

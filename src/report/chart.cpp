@@ -1,0 +1,93 @@
+#include "report/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+AsciiChart::AsciiChart(std::string title, int height)
+    : title_(std::move(title)), height_(height) {
+  MBUS_EXPECTS(height >= 2, "chart height must be >= 2");
+}
+
+void AsciiChart::add_series(std::string name, std::vector<double> values,
+                            char glyph) {
+  MBUS_EXPECTS(!values.empty(), "series must be non-empty");
+  if (!series_.empty()) {
+    MBUS_EXPECTS(values.size() == series_.front().values.size(),
+                 "all series must have the same length");
+  }
+  series_.push_back(Series{std::move(name), std::move(values), glyph});
+}
+
+std::string AsciiChart::render(
+    const std::vector<std::string>& x_labels) const {
+  MBUS_EXPECTS(!series_.empty(), "chart has no series");
+  const std::size_t points = series_.front().values.size();
+  MBUS_EXPECTS(x_labels.size() == points,
+               "need exactly one x label per point");
+
+  double lo = series_.front().values.front();
+  double hi = lo;
+  for (const Series& s : series_) {
+    for (const double v : s.values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi == lo) hi = lo + 1.0;  // flat series: avoid zero span
+
+  // Layout: y-axis labels (10 cols) + one column block per point.
+  const std::size_t col_width =
+      std::max<std::size_t>(3, [&] {
+        std::size_t w = 0;
+        for (const auto& label : x_labels) w = std::max(w, label.size());
+        return w + 1;
+      }());
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(height_),
+      std::string(points * col_width, ' '));
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < points; ++i) {
+      const double frac = (s.values[i] - lo) / (hi - lo);
+      const int row = height_ - 1 -
+                      static_cast<int>(std::lround(
+                          frac * static_cast<double>(height_ - 1)));
+      const std::size_t col = i * col_width + col_width / 2;
+      char& cell = grid[static_cast<std::size_t>(row)][col];
+      // Collisions between series render as '+'.
+      cell = (cell == ' ' || cell == s.glyph) ? s.glyph : '+';
+    }
+  }
+
+  std::ostringstream os;
+  os << title_ << "\n";
+  for (int row = 0; row < height_; ++row) {
+    const double frac =
+        static_cast<double>(height_ - 1 - row) /
+        static_cast<double>(height_ - 1);
+    const double y = lo + frac * (hi - lo);
+    os << pad_left(fmt_fixed(y, 2), 9) << " |"
+       << grid[static_cast<std::size_t>(row)] << "\n";
+  }
+  os << pad_left("", 9) << " +" << repeat('-', points * col_width) << "\n"
+     << pad_left("", 11);
+  for (const auto& label : x_labels) {
+    os << pad_center(label, col_width);
+  }
+  os << "\n  legend: ";
+  std::vector<std::string> legend;
+  legend.reserve(series_.size());
+  for (const Series& s : series_) {
+    legend.push_back(cat(s.glyph, " = ", s.name));
+  }
+  os << join(legend, ", ") << "\n";
+  return os.str();
+}
+
+}  // namespace mbus

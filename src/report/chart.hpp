@@ -1,0 +1,37 @@
+// ASCII line charts for bench output: multiple named series over a shared
+// integer x-axis, rendered as a fixed-size character grid with per-series
+// glyphs and a y-axis scale. Used to render the bandwidth-vs-bus-count
+// curves implied by the paper's tables as terminal "figures".
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mbus {
+
+class AsciiChart {
+ public:
+  /// `height` rows of plotting area (excluding axes); must be >= 2.
+  AsciiChart(std::string title, int height = 16);
+
+  /// Add a named series. All series must have the same length; points are
+  /// plotted at equally spaced x positions labelled by `x_labels` given to
+  /// render(). `glyph` is the character used for this series.
+  void add_series(std::string name, std::vector<double> values, char glyph);
+
+  /// Render with the given x labels (one per point).
+  std::string render(const std::vector<std::string>& x_labels) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> values;
+    char glyph;
+  };
+
+  std::string title_;
+  int height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace mbus

@@ -1,0 +1,25 @@
+// Minimal CSV writer (RFC 4180 quoting) for exporting bench results.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mbus {
+
+class CsvWriter {
+ public:
+  /// Writes rows to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Quote a single cell per RFC 4180 (quotes doubled; quoted when the
+  /// cell contains a comma, quote, or newline).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace mbus

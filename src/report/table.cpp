@@ -1,0 +1,135 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)),
+      aligns_(headers_.size(), Align::kRight) {
+  MBUS_EXPECTS(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::set_alignment(std::size_t column, Align align) {
+  MBUS_EXPECTS(column < aligns_.size(), "column index out of range");
+  aligns_[column] = align;
+  return *this;
+}
+
+Table& Table::set_title(std::string title) {
+  title_ = std::move(title);
+  return *this;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MBUS_EXPECTS(cells.size() == headers_.size(),
+               cat("row has ", cells.size(), " cells, table has ",
+                   headers_.size(), " columns"));
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::vector<std::size_t> Table::column_widths() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string Table::format_cell(const std::string& text, std::size_t width,
+                               Align align) const {
+  switch (align) {
+    case Align::kLeft:
+      return pad_right(text, width);
+    case Align::kRight:
+      return pad_left(text, width);
+    case Align::kCenter:
+      return pad_center(text, width);
+  }
+  MBUS_ASSERT(false, "unknown alignment");
+  return text;
+}
+
+std::string Table::to_text() const {
+  const std::vector<std::size_t> widths = column_widths();
+  std::ostringstream os;
+
+  const auto rule = [&widths]() {
+    std::string line = "+";
+    for (const std::size_t w : widths) {
+      line += repeat('-', w + 2);
+      line += '+';
+    }
+    return line;
+  }();
+
+  if (!title_.empty()) os << title_ << "\n";
+  os << rule << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ' << format_cell(headers_[c], widths[c], Align::kCenter)
+       << " |";
+  }
+  os << "\n" << rule << "\n";
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      os << rule << "\n";
+      continue;
+    }
+    os << '|';
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      os << ' ' << format_cell(row.cells[c], widths[c], aligns_[c]) << " |";
+    }
+    os << "\n";
+  }
+  os << rule << "\n";
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  const std::vector<std::size_t> widths = column_widths();
+  std::ostringstream os;
+  if (!title_.empty()) os << "**" << title_ << "**\n\n";
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ' << format_cell(headers_[c], widths[c], Align::kCenter)
+       << " |";
+  }
+  os << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    switch (aligns_[c]) {
+      case Align::kLeft:
+        os << ':' << repeat('-', widths[c] + 1) << '|';
+        break;
+      case Align::kRight:
+        os << repeat('-', widths[c] + 1) << ':' << '|';
+        break;
+      case Align::kCenter:
+        os << ':' << repeat('-', widths[c]) << ':' << '|';
+        break;
+    }
+  }
+  os << "\n";
+  for (const Row& row : rows_) {
+    if (row.separator) continue;  // markdown has no mid-table rules
+    os << '|';
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      os << ' ' << format_cell(row.cells[c], widths[c], aligns_[c]) << " |";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mbus

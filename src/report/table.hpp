@@ -1,0 +1,49 @@
+// Aligned text tables for bench and example output.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mbus {
+
+enum class Align { kLeft, kRight, kCenter };
+
+class Table {
+ public:
+  /// Column headers; all columns default to right alignment (numbers).
+  explicit Table(std::vector<std::string> headers);
+
+  Table& set_alignment(std::size_t column, Align align);
+  /// Optional caption printed above the table.
+  Table& set_title(std::string title);
+
+  void add_row(std::vector<std::string> cells);
+  /// A horizontal rule between row groups.
+  void add_separator();
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_columns() const noexcept { return headers_.size(); }
+
+  /// Fixed-width text rendering with box-drawing rules.
+  std::string to_text() const;
+  /// GitHub-flavored markdown rendering.
+  std::string to_markdown() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::size_t> column_widths() const;
+  std::string format_cell(const std::string& text, std::size_t width,
+                          Align align) const;
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mbus

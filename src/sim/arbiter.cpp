@@ -1,0 +1,37 @@
+#include "sim/arbiter.hpp"
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+MemoryArbiter::MemoryArbiter(int num_modules, ArbitrationPolicy policy)
+    : policy_(policy),
+      priority_(static_cast<std::size_t>(num_modules), 0) {
+  MBUS_EXPECTS(num_modules >= 1, "need at least one module");
+}
+
+int MemoryArbiter::select(int module, const std::vector<int>& requesters,
+                          Xoshiro256& rng) {
+  MBUS_EXPECTS(!requesters.empty(), "arbiter invoked without requesters");
+  MBUS_EXPECTS(module >= 0 &&
+                   module < static_cast<int>(priority_.size()),
+               "module index out of range");
+  if (policy_ == ArbitrationPolicy::kRandom) {
+    return requesters[static_cast<std::size_t>(
+        rng.below(requesters.size()))];
+  }
+  // Round-robin: requesters arrive in ascending processor order; take the
+  // first at or after the pointer, wrapping around.
+  const int pointer = priority_[static_cast<std::size_t>(module)];
+  int winner = requesters.front();
+  for (const int p : requesters) {
+    if (p >= pointer) {
+      winner = p;
+      break;
+    }
+  }
+  priority_[static_cast<std::size_t>(module)] = winner + 1;
+  return winner;
+}
+
+}  // namespace mbus

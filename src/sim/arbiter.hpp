@@ -1,0 +1,37 @@
+// Stage-one arbitration: one N-user/1-server arbiter per memory module
+// (Lang et al.'s two-stage scheme, Section II-A). Each cycle, every module
+// with outstanding requests selects exactly one winning processor.
+//
+// The paper's arbiter picks uniformly at random among requesters; we also
+// provide a rotating-priority (round-robin) variant for the fairness
+// ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mbus {
+
+enum class ArbitrationPolicy { kRandom, kRoundRobin };
+
+class MemoryArbiter {
+ public:
+  MemoryArbiter(int num_modules, ArbitrationPolicy policy);
+
+  /// Pick the winning processor for `module` among `requesters` (non-empty).
+  /// Random policy: uniform choice. Round-robin: the first requester at or
+  /// after the module's rotating priority pointer; the pointer then moves
+  /// one past the winner.
+  int select(int module, const std::vector<int>& requesters,
+             Xoshiro256& rng);
+
+  ArbitrationPolicy policy() const noexcept { return policy_; }
+
+ private:
+  ArbitrationPolicy policy_;
+  std::vector<int> priority_;  // per-module rotating pointer (processor id)
+};
+
+}  // namespace mbus

@@ -1,0 +1,322 @@
+#include "sim/bus_assign.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+namespace {
+
+/// Pick `take` module ids from `requested` (ascending) cyclically starting
+/// at the first id >= *pointer; advances *pointer one past the last pick.
+/// This is the round-robin B-out-of-M grant of Section II-A.
+void pick_round_robin(const std::vector<int>& requested, std::size_t take,
+                      int modulus, int* pointer, std::vector<int>& out) {
+  MBUS_ASSERT(take <= requested.size(), "cannot grant more than requested");
+  const auto first = std::lower_bound(requested.begin(), requested.end(),
+                                      *pointer);
+  std::size_t idx = static_cast<std::size_t>(first - requested.begin());
+  int last = *pointer;
+  for (std::size_t granted = 0; granted < take; ++granted) {
+    if (idx == requested.size()) idx = 0;  // wrap around the module space
+    out.push_back(requested[idx]);
+    last = requested[idx];
+    ++idx;
+  }
+  *pointer = (last + 1) % modulus;
+}
+
+/// Ascending list of available buses within [first_bus, first_bus+count).
+std::vector<int> available_in_range(const std::vector<bool>& unavailable,
+                                    int first_bus, int count) {
+  std::vector<int> out;
+  for (int b = first_bus; b < first_bus + count; ++b) {
+    if (!unavailable[static_cast<std::size_t>(b)]) out.push_back(b);
+  }
+  return out;
+}
+
+class FullAssigner final : public BusAssigner {
+ public:
+  FullAssigner(int num_memories, int num_buses)
+      : num_memories_(num_memories),
+        unavailable_(static_cast<std::size_t>(num_buses), false),
+        num_buses_(num_buses) {}
+
+  void set_bus_unavailable(std::vector<bool> bus_unavailable) override {
+    MBUS_EXPECTS(bus_unavailable.size() == unavailable_.size(),
+                 "bus mask size mismatch");
+    unavailable_ = std::move(bus_unavailable);
+  }
+
+  void assign(const std::vector<int>& requested, Xoshiro256& /*rng*/,
+              std::vector<BusGrant>& grants) override {
+    grants.clear();
+    const std::vector<int> buses =
+        available_in_range(unavailable_, 0, num_buses_);
+    const std::size_t capacity = buses.size();
+    std::vector<int> picked;
+    if (requested.size() <= capacity) {
+      picked = requested;
+    } else {
+      pick_round_robin(requested, capacity, num_memories_, &pointer_,
+                       picked);
+    }
+    for (std::size_t i = 0; i < picked.size(); ++i) {
+      grants.push_back(BusGrant{picked[i], buses[i]});
+    }
+  }
+
+ private:
+  int num_memories_;
+  std::vector<bool> unavailable_;
+  int num_buses_;
+  int pointer_ = 0;
+};
+
+class SingleAssigner final : public BusAssigner {
+ public:
+  SingleAssigner(const SingleTopology& topo, ArbitrationPolicy policy)
+      : policy_(policy),
+        bus_of_module_(static_cast<std::size_t>(topo.num_memories())),
+        unavailable_(static_cast<std::size_t>(topo.num_buses()), false),
+        candidates_(static_cast<std::size_t>(topo.num_buses())),
+        rr_pointer_(static_cast<std::size_t>(topo.num_buses()), 0) {
+    for (int m = 0; m < topo.num_memories(); ++m) {
+      bus_of_module_[static_cast<std::size_t>(m)] = topo.bus_of_module(m);
+    }
+  }
+
+  void set_bus_unavailable(std::vector<bool> bus_unavailable) override {
+    MBUS_EXPECTS(bus_unavailable.size() == unavailable_.size(),
+                 "bus mask size mismatch");
+    unavailable_ = std::move(bus_unavailable);
+  }
+
+  void assign(const std::vector<int>& requested, Xoshiro256& rng,
+              std::vector<BusGrant>& grants) override {
+    grants.clear();
+    for (auto& c : candidates_) c.clear();
+    for (const int m : requested) {
+      const int b = bus_of_module_[static_cast<std::size_t>(m)];
+      if (!unavailable_[static_cast<std::size_t>(b)]) {
+        candidates_[static_cast<std::size_t>(b)].push_back(m);
+      }
+    }
+    for (std::size_t b = 0; b < candidates_.size(); ++b) {
+      auto& c = candidates_[b];
+      if (c.empty()) continue;
+      int winner;
+      if (policy_ == ArbitrationPolicy::kRandom) {
+        winner = c[static_cast<std::size_t>(rng.below(c.size()))];
+      } else {
+        winner = c.front();
+        for (const int m : c) {
+          if (m >= rr_pointer_[b]) {
+            winner = m;
+            break;
+          }
+        }
+        rr_pointer_[b] = winner + 1;
+      }
+      grants.push_back(BusGrant{winner, static_cast<int>(b)});
+    }
+  }
+
+ private:
+  ArbitrationPolicy policy_;
+  std::vector<int> bus_of_module_;
+  std::vector<bool> unavailable_;
+  std::vector<std::vector<int>> candidates_;  // per bus
+  std::vector<int> rr_pointer_;
+};
+
+class PartialGAssigner final : public BusAssigner {
+ public:
+  explicit PartialGAssigner(const PartialGTopology& topo)
+      : groups_(topo.groups()),
+        modules_per_group_(topo.modules_per_group()),
+        buses_per_group_(topo.buses_per_group()),
+        unavailable_(static_cast<std::size_t>(topo.num_buses()), false),
+        pointer_(static_cast<std::size_t>(groups_), 0),
+        group_requests_(static_cast<std::size_t>(groups_)) {}
+
+  void set_bus_unavailable(std::vector<bool> bus_unavailable) override {
+    MBUS_EXPECTS(bus_unavailable.size() == unavailable_.size(),
+                 "bus mask size mismatch");
+    unavailable_ = std::move(bus_unavailable);
+  }
+
+  void assign(const std::vector<int>& requested, Xoshiro256& /*rng*/,
+              std::vector<BusGrant>& grants) override {
+    grants.clear();
+    for (auto& g : group_requests_) g.clear();
+    for (const int m : requested) {
+      group_requests_[static_cast<std::size_t>(m / modules_per_group_)]
+          .push_back(m);
+    }
+    for (int g = 0; g < groups_; ++g) {
+      const auto& reqs = group_requests_[static_cast<std::size_t>(g)];
+      if (reqs.empty()) continue;
+      const std::vector<int> buses = available_in_range(
+          unavailable_, g * buses_per_group_, buses_per_group_);
+      const std::size_t capacity = buses.size();
+      std::vector<int> picked;
+      if (reqs.size() <= capacity) {
+        picked = reqs;
+      } else {
+        // Round-robin pointer is local to the group's module range; the
+        // modulus below maps it back into [g·M/g, (g+1)·M/g).
+        int pointer = pointer_[static_cast<std::size_t>(g)];
+        pick_round_robin(reqs, capacity, (g + 1) * modules_per_group_,
+                         &pointer, picked);
+        if (pointer < g * modules_per_group_) {
+          pointer = g * modules_per_group_;  // wrapped: restart at base
+        }
+        pointer_[static_cast<std::size_t>(g)] = pointer;
+      }
+      for (std::size_t i = 0; i < picked.size(); ++i) {
+        grants.push_back(BusGrant{picked[i], buses[i]});
+      }
+    }
+  }
+
+ private:
+  int groups_;
+  int modules_per_group_;
+  int buses_per_group_;
+  std::vector<bool> unavailable_;
+  std::vector<int> pointer_;
+  std::vector<std::vector<int>> group_requests_;
+};
+
+class KClassAssigner final : public BusAssigner {
+ public:
+  KClassAssigner(const KClassTopology& topo, ArbitrationPolicy policy)
+      : policy_(policy),
+        num_buses_(topo.num_buses()),
+        num_classes_(topo.num_classes()),
+        class_of_module_(static_cast<std::size_t>(topo.num_memories())),
+        top_bus_of_class_(static_cast<std::size_t>(num_classes_)),
+        unavailable_(static_cast<std::size_t>(num_buses_), false),
+        class_requests_(static_cast<std::size_t>(num_classes_)),
+        class_pointer_(static_cast<std::size_t>(num_classes_), 0),
+        candidates_(static_cast<std::size_t>(num_buses_)),
+        bus_pointer_(static_cast<std::size_t>(num_buses_), 0) {
+    for (int m = 0; m < topo.num_memories(); ++m) {
+      class_of_module_[static_cast<std::size_t>(m)] =
+          topo.class_of_module(m);
+    }
+    for (int j = 1; j <= num_classes_; ++j) {
+      // 0-based index of the highest bus wired to class j.
+      top_bus_of_class_[static_cast<std::size_t>(j - 1)] =
+          topo.buses_of_class(j) - 1;
+    }
+    num_memories_ = topo.num_memories();
+  }
+
+  void set_bus_unavailable(std::vector<bool> bus_unavailable) override {
+    MBUS_EXPECTS(bus_unavailable.size() == unavailable_.size(),
+                 "bus mask size mismatch");
+    unavailable_ = std::move(bus_unavailable);
+  }
+
+  void assign(const std::vector<int>& requested, Xoshiro256& rng,
+              std::vector<BusGrant>& grants) override {
+    grants.clear();
+    for (auto& c : class_requests_) c.clear();
+    for (auto& c : candidates_) c.clear();
+
+    for (const int m : requested) {
+      const int j = class_of_module_[static_cast<std::size_t>(m)];
+      class_requests_[static_cast<std::size_t>(j - 1)].push_back(m);
+    }
+
+    // Step 1: each class assigns its requesting modules to its available
+    // buses from the highest bus index downward.
+    for (int j = 1; j <= num_classes_; ++j) {
+      const auto& reqs = class_requests_[static_cast<std::size_t>(j - 1)];
+      if (reqs.empty()) continue;
+      std::vector<int> buses;
+      for (int b = top_bus_of_class_[static_cast<std::size_t>(j - 1)];
+           b >= 0; --b) {
+        if (!unavailable_[static_cast<std::size_t>(b)]) buses.push_back(b);
+      }
+      const std::size_t take = std::min(buses.size(), reqs.size());
+      if (take == 0) continue;
+      // Which modules get picked when oversubscribed: round-robin over
+      // the class's module ids (the paper leaves the choice unspecified;
+      // any fair rule yields the same bus-request distribution).
+      std::vector<int> picked;
+      int pointer = class_pointer_[static_cast<std::size_t>(j - 1)];
+      pick_round_robin(reqs, take, num_memories_, &pointer, picked);
+      class_pointer_[static_cast<std::size_t>(j - 1)] = pointer;
+      for (std::size_t t = 0; t < take; ++t) {
+        candidates_[static_cast<std::size_t>(buses[t])].push_back(picked[t]);
+      }
+    }
+
+    // Step 2: every bus grants one of its candidates.
+    for (std::size_t b = 0; b < candidates_.size(); ++b) {
+      auto& c = candidates_[b];
+      if (c.empty()) continue;
+      int winner;
+      if (policy_ == ArbitrationPolicy::kRandom) {
+        winner = c[static_cast<std::size_t>(rng.below(c.size()))];
+      } else {
+        std::sort(c.begin(), c.end());
+        winner = c.front();
+        for (const int m : c) {
+          if (m >= bus_pointer_[b]) {
+            winner = m;
+            break;
+          }
+        }
+        bus_pointer_[b] = winner + 1;
+      }
+      grants.push_back(BusGrant{winner, static_cast<int>(b)});
+    }
+    std::sort(grants.begin(), grants.end(),
+              [](const BusGrant& a, const BusGrant& b) {
+                return a.module < b.module;
+              });
+  }
+
+ private:
+  ArbitrationPolicy policy_;
+  int num_buses_;
+  int num_classes_;
+  int num_memories_ = 0;
+  std::vector<int> class_of_module_;  // 1-based class id per module
+  std::vector<int> top_bus_of_class_;
+  std::vector<bool> unavailable_;
+  std::vector<std::vector<int>> class_requests_;
+  std::vector<int> class_pointer_;
+  std::vector<std::vector<int>> candidates_;  // per bus, one per class max
+  std::vector<int> bus_pointer_;
+};
+
+}  // namespace
+
+std::unique_ptr<BusAssigner> make_bus_assigner(const Topology& topology,
+                                               ArbitrationPolicy policy) {
+  switch (topology.scheme()) {
+    case Scheme::kFull:
+      return std::make_unique<FullAssigner>(topology.num_memories(),
+                                            topology.num_buses());
+    case Scheme::kSingle:
+      return std::make_unique<SingleAssigner>(
+          dynamic_cast<const SingleTopology&>(topology), policy);
+    case Scheme::kPartialG:
+      return std::make_unique<PartialGAssigner>(
+          dynamic_cast<const PartialGTopology&>(topology));
+    case Scheme::kKClasses:
+      return std::make_unique<KClassAssigner>(
+          dynamic_cast<const KClassTopology&>(topology), policy);
+  }
+  MBUS_ASSERT(false, "unknown scheme");
+  return nullptr;
+}
+
+}  // namespace mbus

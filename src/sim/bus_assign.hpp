@@ -1,0 +1,60 @@
+// Stage-two arbitration: assigning buses to the memory services selected
+// by the per-module arbiters. One policy object per connection scheme:
+//
+//   * full       — a B-out-of-M arbiter; when more than B modules request,
+//                  buses are granted round-robin over the module index
+//                  space (Section II-A).
+//   * single     — each bus independently grants one of its requesting
+//                  modules.
+//   * partial-g  — the full policy applied per group with B/g buses.
+//   * k-classes  — the paper's two-step procedure (Section III-D): first
+//                  each class C_j assigns up to |alive buses of C_j| of its
+//                  requesting modules to its buses from the highest index
+//                  down; then each bus picks one candidate among the
+//                  classes contending for it.
+//
+// All policies honour an unavailable-bus mask (failed buses, and buses
+// held by in-flight multi-cycle transfers): masked buses grant nothing,
+// and the K-class step-1 assignment skips them (matching
+// analysis/degraded). Each grant names both the module served and the
+// bus carrying it, so the engine can model transfers that occupy a bus
+// for several cycles.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/arbiter.hpp"
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace mbus {
+
+/// One bus grant: `module` is served over `bus` this cycle.
+struct BusGrant {
+  int module = 0;
+  int bus = 0;
+};
+
+class BusAssigner {
+ public:
+  virtual ~BusAssigner() = default;
+
+  /// `requested` — module ids with one selected memory service each,
+  /// strictly ascending. Fills `grants` (cleared first). Every granted
+  /// module occupies exactly one distinct available bus wired to it.
+  virtual void assign(const std::vector<int>& requested, Xoshiro256& rng,
+                      std::vector<BusGrant>& grants) = 0;
+
+  /// Update the unavailable-bus mask (size B): true = bus grants nothing
+  /// this cycle (failed, or held by an in-flight transfer).
+  virtual void set_bus_unavailable(std::vector<bool> bus_unavailable) = 0;
+};
+
+/// Build the assigner matching `topology`'s scheme. `policy` controls the
+/// tie-breaking arbiter used where the scheme needs one (single-bus grant
+/// choice and K-class step 2); the paper's default is random selection.
+std::unique_ptr<BusAssigner> make_bus_assigner(const Topology& topology,
+                                               ArbitrationPolicy policy);
+
+}  // namespace mbus

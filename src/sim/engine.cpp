@@ -1,0 +1,323 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "sim/bus_assign.hpp"
+#include "util/alias_sampler.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+Simulator::Simulator(const Topology& topology, const RequestModel& model,
+                     SimConfig config)
+    : topology_(topology), model_(model), config_(std::move(config)),
+      rng_(config_.seed) {
+  MBUS_EXPECTS(topology.num_processors() == model.num_processors(),
+               cat("topology has ", topology.num_processors(),
+                   " processors but the model has ",
+                   model.num_processors()));
+  MBUS_EXPECTS(topology.num_memories() == model.num_memories(),
+               cat("topology has ", topology.num_memories(),
+                   " modules but the model has ", model.num_memories()));
+  MBUS_EXPECTS(config_.cycles > 0, "need at least one measured cycle");
+  MBUS_EXPECTS(config_.warmup >= 0, "warmup must be >= 0");
+  MBUS_EXPECTS(config_.batches >= 1, "need at least one batch");
+  MBUS_EXPECTS(config_.batches <= config_.cycles,
+               "more batches than measured cycles");
+  MBUS_EXPECTS(config_.transfer_cycles >= 1,
+               "transfers take at least one cycle");
+  if (!config_.faults.empty()) {
+    MBUS_EXPECTS(config_.faults.num_buses() == topology.num_buses(),
+                 "fault plan sized for a different bus count");
+  }
+  model.validate();
+}
+
+SimResult Simulator::run() {
+  const int n = topology_.num_processors();
+  const int m = topology_.num_memories();
+  const int num_buses = topology_.num_buses();
+  const double r = model_.request_rate();
+  const std::int64_t transfer = config_.transfer_cycles;
+
+  // Destination samplers, one per processor.
+  std::vector<AliasSampler> samplers;
+  samplers.reserve(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    samplers.emplace_back(model_.fraction_row(p));
+  }
+
+  MemoryArbiter memory_arbiter(m, config_.memory_arbitration);
+  std::unique_ptr<BusAssigner> bus_assigner =
+      make_bus_assigner(topology_, config_.bus_arbitration);
+
+  std::vector<bool> bus_failed(static_cast<std::size_t>(num_buses), false);
+  if (!config_.faults.empty()) bus_failed = config_.faults.initial_mask();
+  std::size_t next_event = 0;
+  const auto& events = config_.faults.events();
+
+  // Multi-cycle transfer occupancy (cycles remaining per bus / module).
+  std::vector<std::int64_t> bus_remaining(
+      static_cast<std::size_t>(num_buses), 0);
+  std::vector<std::int64_t> module_remaining(static_cast<std::size_t>(m),
+                                             0);
+  std::vector<bool> bus_unavailable = bus_failed;
+  bus_assigner->set_bus_unavailable(bus_unavailable);
+  // The mask only changes on fault events or when transfers span cycles.
+  const bool dynamic_mask = transfer > 1;
+
+  // Per-cycle scratch, allocated once.
+  std::vector<std::vector<int>> requesters(static_cast<std::size_t>(m));
+  std::vector<int> requesting_modules;
+  requesting_modules.reserve(static_cast<std::size_t>(m));
+  std::vector<int> winner_of_module(static_cast<std::size_t>(m), -1);
+  std::vector<BusGrant> grants;
+  grants.reserve(static_cast<std::size_t>(num_buses));
+  std::vector<int> pending(static_cast<std::size_t>(n), -1);  // resubmission
+  std::vector<std::int64_t> issue_cycle(static_cast<std::size_t>(n), -1);
+
+  // Accumulators.
+  std::vector<std::int64_t> proc_granted(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> module_served(static_cast<std::size_t>(m), 0);
+  std::vector<std::int64_t> service_histogram;
+  std::int64_t issued_total = 0;
+  std::int64_t blocked_total = 0;
+  std::int64_t served_total = 0;
+  std::int64_t latency_total = 0;
+  std::int64_t latency_grants = 0;
+  std::int64_t busy_bus_cycles = 0;
+
+  RunningStats batch_stats;
+  const std::int64_t batch_size =
+      std::max<std::int64_t>(1, config_.cycles / config_.batches);
+  std::int64_t batch_served = 0;
+  std::int64_t batch_cycles = 0;
+  std::vector<double> window_bandwidth;
+  std::int64_t window_served = 0;
+  std::int64_t window_cycles_seen = 0;
+
+  const std::int64_t total_cycles = config_.warmup + config_.cycles;
+  for (std::int64_t cycle = 0; cycle < total_cycles; ++cycle) {
+    bool mask_changed = false;
+
+    // Fault timeline (timed relative to measured cycles; warmup excluded).
+    while (next_event < events.size() &&
+           events[next_event].cycle <= cycle - config_.warmup) {
+      bus_failed[static_cast<std::size_t>(events[next_event].bus)] =
+          events[next_event].failed;
+      mask_changed = true;
+      ++next_event;
+    }
+
+    // Release finished transfers.
+    if (dynamic_mask) {
+      for (std::int64_t& rem : bus_remaining) {
+        if (rem > 0) {
+          --rem;
+          mask_changed = true;
+        }
+      }
+      for (std::int64_t& rem : module_remaining) {
+        if (rem > 0) --rem;
+      }
+    }
+    if (mask_changed || dynamic_mask) {
+      for (int b = 0; b < num_buses; ++b) {
+        bus_unavailable[static_cast<std::size_t>(b)] =
+            bus_failed[static_cast<std::size_t>(b)] ||
+            bus_remaining[static_cast<std::size_t>(b)] > 0;
+      }
+      bus_assigner->set_bus_unavailable(bus_unavailable);
+    }
+
+    // 1. Request generation.
+    requesting_modules.clear();
+    std::int64_t issued = 0;
+    std::int64_t busy_module_blocked = 0;
+    for (int p = 0; p < n; ++p) {
+      int dest = -1;
+      if (config_.resubmit_blocked &&
+          pending[static_cast<std::size_t>(p)] >= 0) {
+        dest = pending[static_cast<std::size_t>(p)];
+      } else if (rng_.bernoulli(r)) {
+        dest = static_cast<int>(
+            samplers[static_cast<std::size_t>(p)].sample(rng_));
+        issue_cycle[static_cast<std::size_t>(p)] = cycle;
+      }
+      if (dest < 0) continue;
+      ++issued;
+      pending[static_cast<std::size_t>(p)] = dest;
+      // A module still transferring rejects new requests outright
+      // (memory interference, Section II-A).
+      if (module_remaining[static_cast<std::size_t>(dest)] > 0) {
+        ++busy_module_blocked;
+        if (!config_.resubmit_blocked) {
+          pending[static_cast<std::size_t>(p)] = -1;
+        }
+        continue;
+      }
+      auto& list = requesters[static_cast<std::size_t>(dest)];
+      if (list.empty()) requesting_modules.push_back(dest);
+      list.push_back(p);
+    }
+    std::sort(requesting_modules.begin(), requesting_modules.end());
+
+    // 2. Stage-one (memory) arbitration.
+    for (const int module : requesting_modules) {
+      winner_of_module[static_cast<std::size_t>(module)] =
+          memory_arbiter.select(
+              module, requesters[static_cast<std::size_t>(module)], rng_);
+    }
+
+    // 3. Stage-two (bus) arbitration.
+    bus_assigner->assign(requesting_modules, rng_, grants);
+
+    // 4. Completion bookkeeping.
+    const auto served_count = static_cast<std::int64_t>(grants.size());
+    const bool measuring = cycle >= config_.warmup;
+    for (const BusGrant& grant : grants) {
+      const int winner =
+          winner_of_module[static_cast<std::size_t>(grant.module)];
+      pending[static_cast<std::size_t>(winner)] = -1;
+      if (transfer > 1) {
+        bus_remaining[static_cast<std::size_t>(grant.bus)] = transfer;
+        module_remaining[static_cast<std::size_t>(grant.module)] = transfer;
+      }
+      if (measuring) {
+        ++proc_granted[static_cast<std::size_t>(winner)];
+        ++module_served[static_cast<std::size_t>(grant.module)];
+        latency_total +=
+            cycle - issue_cycle[static_cast<std::size_t>(winner)] + 1;
+        ++latency_grants;
+        if (config_.trace != nullptr) {
+          config_.trace->record(TraceEvent{cycle - config_.warmup,
+                                           TraceEventKind::kGrant, winner,
+                                           grant.module, grant.bus});
+        }
+      }
+    }
+    if (config_.trace != nullptr && measuring) {
+      // Blocked events: at this point only the winners of *served*
+      // modules have had their pending slot cleared, so any requester
+      // with a live pending entry was blocked this cycle.
+      for (const int module : requesting_modules) {
+        for (const int p : requesters[static_cast<std::size_t>(module)]) {
+          if (pending[static_cast<std::size_t>(p)] >= 0) {
+            config_.trace->record(TraceEvent{cycle - config_.warmup,
+                                             TraceEventKind::kBlocked, p,
+                                             module, -1});
+          }
+        }
+      }
+    }
+    if (!config_.resubmit_blocked) {
+      // Assumption 5: blocked requests vanish.
+      for (const int module : requesting_modules) {
+        for (const int p : requesters[static_cast<std::size_t>(module)]) {
+          pending[static_cast<std::size_t>(p)] = -1;
+        }
+      }
+    }
+    for (const int module : requesting_modules) {
+      requesters[static_cast<std::size_t>(module)].clear();
+    }
+
+    if (!measuring) continue;
+    issued_total += issued;
+    blocked_total += issued - served_count;
+    served_total += served_count;
+    // A bus is busy this cycle if it carried a fresh grant or an ongoing
+    // transfer (bus_remaining was set to `transfer` at grant and counts
+    // this cycle implicitly via the grant).
+    std::int64_t carrying = served_count;
+    if (dynamic_mask) {
+      for (int b = 0; b < num_buses; ++b) {
+        if (bus_remaining[static_cast<std::size_t>(b)] > 0 &&
+            bus_unavailable[static_cast<std::size_t>(b)] &&
+            !bus_failed[static_cast<std::size_t>(b)]) {
+          ++carrying;
+        }
+      }
+    }
+    busy_bus_cycles += carrying;
+    (void)busy_module_blocked;
+
+    if (static_cast<std::size_t>(served_count) >= service_histogram.size()) {
+      service_histogram.resize(static_cast<std::size_t>(served_count) + 1,
+                               0);
+    }
+    ++service_histogram[static_cast<std::size_t>(served_count)];
+
+    batch_served += served_count;
+    if (++batch_cycles == batch_size) {
+      batch_stats.add(static_cast<double>(batch_served) /
+                      static_cast<double>(batch_cycles));
+      batch_served = 0;
+      batch_cycles = 0;
+    }
+    if (config_.window_cycles > 0) {
+      window_served += served_count;
+      if (++window_cycles_seen == config_.window_cycles) {
+        window_bandwidth.push_back(static_cast<double>(window_served) /
+                                   static_cast<double>(window_cycles_seen));
+        window_served = 0;
+        window_cycles_seen = 0;
+      }
+    }
+  }
+  if (batch_cycles > 0) {
+    batch_stats.add(static_cast<double>(batch_served) /
+                    static_cast<double>(batch_cycles));
+  }
+  if (config_.window_cycles > 0 && window_cycles_seen > 0) {
+    window_bandwidth.push_back(static_cast<double>(window_served) /
+                               static_cast<double>(window_cycles_seen));
+  }
+
+  SimResult result;
+  result.measured_cycles = config_.cycles;
+  const auto cycles_d = static_cast<double>(config_.cycles);
+  result.bandwidth = static_cast<double>(served_total) / cycles_d;
+  result.bandwidth_ci = confidence_interval(batch_stats, 0.95);
+  result.offered_load = static_cast<double>(issued_total) / cycles_d;
+  result.blocked_fraction =
+      issued_total == 0
+          ? 0.0
+          : static_cast<double>(blocked_total) /
+                static_cast<double>(issued_total);
+  result.bus_utilization =
+      static_cast<double>(busy_bus_cycles) /
+      (cycles_d * static_cast<double>(num_buses));
+  result.mean_service_cycles =
+      latency_grants == 0 ? 0.0
+                          : static_cast<double>(latency_total) /
+                                static_cast<double>(latency_grants);
+  result.per_processor_acceptance.reserve(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    result.per_processor_acceptance.push_back(
+        static_cast<double>(proc_granted[static_cast<std::size_t>(p)]) /
+        cycles_d);
+  }
+  result.per_module_service.reserve(static_cast<std::size_t>(m));
+  for (int module = 0; module < m; ++module) {
+    result.per_module_service.push_back(
+        static_cast<double>(module_served[static_cast<std::size_t>(module)]) /
+        cycles_d);
+  }
+  result.service_count_distribution.reserve(service_histogram.size());
+  for (const std::int64_t count : service_histogram) {
+    result.service_count_distribution.push_back(
+        static_cast<double>(count) / cycles_d);
+  }
+  result.window_bandwidth = std::move(window_bandwidth);
+  return result;
+}
+
+SimResult simulate(const Topology& topology, const RequestModel& model,
+                   const SimConfig& config) {
+  Simulator sim(topology, model, config);
+  return sim.run();
+}
+
+}  // namespace mbus

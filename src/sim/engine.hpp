@@ -1,0 +1,87 @@
+// A cycle-accurate synchronous simulator of the multiprocessor
+// multiple-bus system (assumptions 1–5, Section III-A).
+//
+// Each cycle:
+//   1. Every processor issues a request with probability r, choosing a
+//      destination module from its request-model fraction row (O(1) alias
+//      sampling). In resubmission mode, a processor whose last request was
+//      blocked re-issues the same request instead (relaxing assumption 5).
+//   2. Stage-one arbitration: the per-module N-user/1-server arbiters each
+//      select one winning processor.
+//   3. Stage-two arbitration: the scheme's bus-assignment policy grants
+//      buses to the selected memory services (see sim/bus_assign.hpp).
+//   4. Winners complete in one memory cycle (assumption 4 folds wire and
+//      arbitration delay into the cycle); losers are dropped or retained
+//      according to the resubmission mode.
+//
+// The analytic formulas assume per-module request indicators are
+// independent; the simulator enforces the true one-request-per-processor
+// coupling, so a small systematic gap between the two is expected and is
+// itself a result we report (EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/arbiter.hpp"
+#include "sim/fault.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "topology/topology.hpp"
+#include "workload/request_model.hpp"
+
+namespace mbus {
+
+struct SimConfig {
+  /// Measured cycles (after warmup).
+  std::int64_t cycles = 200000;
+  /// Cycles discarded before measurement starts.
+  std::int64_t warmup = 1000;
+  std::uint64_t seed = 0xC0FFEE;
+  /// Relax assumption 5: blocked requests are re-issued next cycle.
+  bool resubmit_blocked = false;
+  /// Memory/bus occupancy of one transfer in cycles (assumption 1 uses 1).
+  /// With T > 1 a granted module and its bus stay busy for T cycles;
+  /// requests to a busy module are blocked (the "referenced memory module
+  /// might be busy" conflict of Section II-A).
+  std::int64_t transfer_cycles = 1;
+  /// Stage-one policy (the paper uses random selection).
+  ArbitrationPolicy memory_arbitration = ArbitrationPolicy::kRandom;
+  /// Stage-two tie-break policy where the scheme needs one.
+  ArbitrationPolicy bus_arbitration = ArbitrationPolicy::kRandom;
+  /// Number of equal batches for the batch-means confidence interval.
+  int batches = 20;
+  /// When positive, also record the bandwidth of consecutive measurement
+  /// windows of this many cycles (SimResult::window_bandwidth) — used by
+  /// the transient-fault studies to see throughput drop and recover.
+  std::int64_t window_cycles = 0;
+  /// Bus-fault injection; empty plan = all buses healthy.
+  FaultPlan faults;
+  /// Optional event trace (non-owning; must outlive the run). Grant and
+  /// blocked events of measured cycles are recorded.
+  TraceBuffer* trace = nullptr;
+};
+
+class Simulator {
+ public:
+  /// `topology` and `model` must agree on N and M and outlive the
+  /// simulator. The model is validated on construction.
+  Simulator(const Topology& topology, const RequestModel& model,
+            SimConfig config);
+
+  /// Run the configured number of cycles and gather metrics. Can be
+  /// called repeatedly; each call continues the same random stream.
+  SimResult run();
+
+ private:
+  const Topology& topology_;
+  const RequestModel& model_;
+  SimConfig config_;
+  Xoshiro256 rng_;
+};
+
+/// One-shot convenience wrapper.
+SimResult simulate(const Topology& topology, const RequestModel& model,
+                   const SimConfig& config);
+
+}  // namespace mbus

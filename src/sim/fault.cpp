@@ -1,0 +1,38 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+FaultPlan FaultPlan::static_failures(int num_buses,
+                                     const std::vector<int>& failed_buses) {
+  MBUS_EXPECTS(num_buses >= 1, "need at least one bus");
+  FaultPlan plan;
+  plan.initial_.assign(static_cast<std::size_t>(num_buses), false);
+  for (const int b : failed_buses) {
+    MBUS_EXPECTS(b >= 0 && b < num_buses, "failed bus index out of range");
+    plan.initial_[static_cast<std::size_t>(b)] = true;
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::timeline(int num_buses, std::vector<FaultEvent> events) {
+  MBUS_EXPECTS(num_buses >= 1, "need at least one bus");
+  for (const FaultEvent& e : events) {
+    MBUS_EXPECTS(e.bus >= 0 && e.bus < num_buses,
+                 "fault event bus index out of range");
+    MBUS_EXPECTS(e.cycle >= 0, "fault event cycle must be >= 0");
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+  FaultPlan plan;
+  plan.initial_.assign(static_cast<std::size_t>(num_buses), false);
+  plan.events_ = std::move(events);
+  return plan;
+}
+
+}  // namespace mbus

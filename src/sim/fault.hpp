@@ -1,0 +1,53 @@
+// Bus-fault injection for the simulator.
+//
+// A FaultPlan is a static failed-bus mask plus an optional timeline of
+// fail/repair events; the engine applies events at the start of the cycle
+// whose index matches. The static mask reproduces the degraded-mode
+// analysis; the timeline supports transient-fault experiments beyond the
+// paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mbus {
+
+struct FaultEvent {
+  std::int64_t cycle = 0;  // applied at the start of this cycle
+  int bus = 0;
+  bool failed = true;  // true = bus goes down, false = bus repaired
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Static plan: the given buses are down for the whole run.
+  static FaultPlan static_failures(int num_buses,
+                                   const std::vector<int>& failed_buses);
+
+  /// Timeline plan starting from all-healthy.
+  static FaultPlan timeline(int num_buses, std::vector<FaultEvent> events);
+
+  /// The mask in force at cycle 0.
+  const std::vector<bool>& initial_mask() const noexcept { return initial_; }
+
+  /// Events sorted by cycle (stable).
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+
+  bool empty() const noexcept {
+    if (!events_.empty()) return false;
+    for (const bool f : initial_) {
+      if (f) return false;
+    }
+    return true;
+  }
+
+  int num_buses() const noexcept { return static_cast<int>(initial_.size()); }
+
+ private:
+  std::vector<bool> initial_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace mbus

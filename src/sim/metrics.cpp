@@ -1,0 +1,29 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace mbus {
+
+double jain_fairness(const std::vector<double>& rates) {
+  if (rates.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : rates) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // everybody got zero — equally unfair
+  return sum * sum / (static_cast<double>(rates.size()) * sum_sq);
+}
+
+double relative_spread(const std::vector<double>& rates) {
+  if (rates.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(rates.begin(), rates.end());
+  double sum = 0.0;
+  for (const double x : rates) sum += x;
+  const double mean = sum / static_cast<double>(rates.size());
+  if (mean == 0.0) return 0.0;
+  return (*hi - *lo) / mean;
+}
+
+}  // namespace mbus

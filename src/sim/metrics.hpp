@@ -1,0 +1,56 @@
+// Measurement results of a simulation run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace mbus {
+
+struct SimResult {
+  /// Mean number of memory services granted per cycle — the effective
+  /// memory bandwidth estimate (post-warmup).
+  double bandwidth = 0.0;
+  /// 95% confidence interval from batch means.
+  ConfidenceInterval bandwidth_ci;
+
+  std::int64_t measured_cycles = 0;
+  /// Mean requests issued per cycle (should approach N·r without
+  /// resubmission).
+  double offered_load = 0.0;
+  /// Fraction of issued requests that were blocked (memory or bus
+  /// contention).
+  double blocked_fraction = 0.0;
+
+  /// Fraction of bus-cycles spent carrying transfers (with single-cycle
+  /// transfers this equals bandwidth / B).
+  double bus_utilization = 0.0;
+
+  /// Mean cycles from a request's first issue to its grant (1.0 = every
+  /// granted request succeeded on its first attempt). Greater than 1 only
+  /// in resubmission mode, where blocked requests retry.
+  double mean_service_cycles = 0.0;
+
+  /// Per-processor acceptance rate (granted requests per cycle) — used by
+  /// the arbitration-fairness ablation.
+  std::vector<double> per_processor_acceptance;
+  /// Per-module service rate (services per cycle).
+  std::vector<double> per_module_service;
+  /// Per-cycle distribution of the number of services (index = count).
+  std::vector<double> service_count_distribution;
+
+  /// Bandwidth of consecutive measurement windows (only populated when
+  /// SimConfig::window_cycles > 0); the last, possibly partial, window is
+  /// included.
+  std::vector<double> window_bandwidth;
+};
+
+/// Jain's fairness index of a rate vector: (Σx)² / (n·Σx²); 1.0 means
+/// perfectly equal rates, 1/n means one party gets everything.
+double jain_fairness(const std::vector<double>& rates);
+
+/// Relative spread (max−min)/mean of a rate vector; 0 for empty input.
+double relative_spread(const std::vector<double>& rates);
+
+}  // namespace mbus

@@ -1,0 +1,56 @@
+#include "sim/trace.hpp"
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kGrant:
+      return "grant";
+    case TraceEventKind::kBlocked:
+      return "blocked";
+  }
+  MBUS_ASSERT(false, "unknown trace event kind");
+  return "";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : buffer_(capacity) {
+  MBUS_EXPECTS(capacity > 0, "trace capacity must be positive");
+}
+
+void TraceBuffer::record(const TraceEvent& event) {
+  if (count_ == buffer_.size()) ++dropped_;
+  buffer_[head_] = event;
+  head_ = (head_ + 1) % buffer_.size();
+  if (count_ < buffer_.size()) ++count_;
+}
+
+std::size_t TraceBuffer::size() const noexcept { return count_; }
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  const std::size_t start =
+      (head_ + buffer_.size() - count_) % buffer_.size();
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+void TraceBuffer::write_csv(std::ostream& out) const {
+  out << "cycle,kind,processor,module,bus\n";
+  for (const TraceEvent& e : snapshot()) {
+    out << e.cycle << ',' << to_string(e.kind) << ',' << e.processor << ','
+        << e.module << ',' << e.bus << '\n';
+  }
+}
+
+void TraceBuffer::clear() noexcept {
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace mbus

@@ -1,0 +1,58 @@
+// Optional per-cycle event tracing for the simulator: a bounded ring
+// buffer of grant/block events with CSV export, for debugging arbitration
+// behaviour and for fine-grained post-processing the aggregate metrics
+// cannot answer (e.g. per-module burstiness).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace mbus {
+
+enum class TraceEventKind {
+  kGrant,    // module served over a bus; processor is the winner
+  kBlocked,  // processor's request was not served this cycle
+};
+
+struct TraceEvent {
+  std::int64_t cycle = 0;
+  TraceEventKind kind = TraceEventKind::kGrant;
+  int processor = -1;
+  int module = -1;
+  int bus = -1;  // -1 for blocked events
+};
+
+/// Fixed-capacity ring buffer of simulator events. When full, the oldest
+/// events are overwritten; `dropped()` counts the overwritten ones.
+class TraceBuffer {
+ public:
+  /// `capacity` > 0 events.
+  explicit TraceBuffer(std::size_t capacity);
+
+  void record(const TraceEvent& event);
+
+  std::size_t size() const noexcept;
+  std::size_t capacity() const noexcept { return buffer_.size(); }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Events in chronological order (oldest retained first).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// CSV export: header + one row per event.
+  void write_csv(std::ostream& out) const;
+
+  void clear() noexcept;
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  std::size_t head_ = 0;   // next write position
+  std::size_t count_ = 0;  // valid entries
+  std::uint64_t dropped_ = 0;
+};
+
+/// Short name of an event kind ("grant" / "blocked").
+const char* to_string(TraceEventKind kind);
+
+}  // namespace mbus

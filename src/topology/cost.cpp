@@ -1,0 +1,32 @@
+#include "topology/cost.hpp"
+
+#include <algorithm>
+
+namespace mbus {
+
+CostSummary cost_summary(const Topology& topology) {
+  CostSummary out;
+  out.connections = topology.connections();
+  out.bus_loads.reserve(static_cast<std::size_t>(topology.num_buses()));
+  for (int b = 0; b < topology.num_buses(); ++b) {
+    out.bus_loads.push_back(topology.bus_load(b));
+  }
+  out.max_bus_load =
+      *std::max_element(out.bus_loads.begin(), out.bus_loads.end());
+  out.min_bus_load =
+      *std::min_element(out.bus_loads.begin(), out.bus_loads.end());
+  out.fault_tolerance_degree = topology.fault_tolerance_degree();
+  return out;
+}
+
+std::vector<SymbolicCostRow> table1_symbolic_rows() {
+  return {
+      {"full bus-memory connection", "B(N+M)", "N+M", "B-1"},
+      {"single bus-memory connection", "BN+M", "N+M_i", "0"},
+      {"partial bus network (g groups)", "B(N+M/g)", "N+M/g", "B/g-1"},
+      {"partial bus network with K classes",
+       "BN + sum_j M_j(j+B-K)", "N + sum_{j>=max(i+K-B,1)} M_j", "B-K"},
+  };
+}
+
+}  // namespace mbus

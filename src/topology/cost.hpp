@@ -1,0 +1,34 @@
+// Cost and fault-tolerance summary of a topology (Table I of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace mbus {
+
+struct CostSummary {
+  long connections = 0;        // total processor + memory taps
+  std::vector<int> bus_loads;  // load of each bus (N + modules on it)
+  int max_bus_load = 0;
+  int min_bus_load = 0;
+  int fault_tolerance_degree = 0;  // tolerable arbitrary bus failures
+};
+
+/// Compute the Table I quantities from the scheme's closed forms.
+CostSummary cost_summary(const Topology& topology);
+
+/// The symbolic Table I row for a scheme (for report output), e.g.
+/// "B(N+M)" / "N+M" / "B-1" for the full connection scheme.
+struct SymbolicCostRow {
+  std::string scheme;
+  std::string connections;
+  std::string bus_load;
+  std::string fault_tolerance;
+};
+
+/// All four rows of Table I, in paper order.
+std::vector<SymbolicCostRow> table1_symbolic_rows();
+
+}  // namespace mbus

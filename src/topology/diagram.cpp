@@ -1,0 +1,54 @@
+#include "topology/diagram.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace mbus {
+
+namespace {
+constexpr int kColumnWidth = 4;
+
+std::string column_label(const std::string& prefix, int index) {
+  return prefix + std::to_string(index + 1);
+}
+}  // namespace
+
+std::string render_diagram(const Topology& topology) {
+  const int n = topology.num_processors();
+  const int m = topology.num_memories();
+  const int b = topology.num_buses();
+
+  std::ostringstream os;
+  os << topology.name() << "\n";
+
+  // Header row: processor columns, a separator, then memory columns.
+  std::string header = "      ";
+  for (int p = 0; p < n; ++p) {
+    header += pad_center(column_label("P", p), kColumnWidth);
+  }
+  header += " | ";
+  for (int j = 0; j < m; ++j) {
+    header += pad_center(column_label("M", j), kColumnWidth);
+  }
+  os << header << "\n";
+
+  // One rail per bus. Processors tap every bus in all schemes in this
+  // paper; memory taps follow the topology's connectivity relation.
+  for (int bus = 0; bus < b; ++bus) {
+    std::string rail = pad_right(column_label("B", bus), 5) + " ";
+    for (int p = 0; p < n; ++p) {
+      (void)p;
+      rail += pad_center("*", kColumnWidth);
+    }
+    rail += " | ";
+    for (int j = 0; j < m; ++j) {
+      rail += pad_center(topology.memory_on_bus(j, bus) ? "*" : "-",
+                         kColumnWidth);
+    }
+    os << rail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mbus

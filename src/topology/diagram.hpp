@@ -1,0 +1,18 @@
+// ASCII rendering of bus–memory connection diagrams, reproducing the
+// shape of Figs. 1–4 of the paper: buses as horizontal rails, processors
+// and memory modules as labelled columns, `●` marking a tap (connection)
+// of that column onto that bus rail.
+#pragma once
+
+#include <string>
+
+#include "topology/topology.hpp"
+
+namespace mbus {
+
+/// Render `topology` as a multi-line ASCII diagram. Intended for the
+/// fig_topologies bench and for debugging small configurations; width
+/// grows linearly with N+M, so keep N+M below ~40.
+std::string render_diagram(const Topology& topology);
+
+}  // namespace mbus

@@ -1,0 +1,46 @@
+#include "topology/factory.hpp"
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+std::unique_ptr<Topology> make_topology(const TopologySpec& spec) {
+  if (spec.scheme == "full") {
+    return std::make_unique<FullTopology>(spec.processors, spec.memories,
+                                          spec.buses);
+  }
+  if (spec.scheme == "single") {
+    return std::make_unique<SingleTopology>(
+        SingleTopology::even(spec.processors, spec.memories, spec.buses));
+  }
+  if (spec.scheme == "partial-g") {
+    return std::make_unique<PartialGTopology>(
+        spec.processors, spec.memories, spec.buses, spec.groups);
+  }
+  if (spec.scheme == "k-classes") {
+    const int k = spec.classes > 0 ? spec.classes : spec.buses;
+    return std::make_unique<KClassTopology>(KClassTopology::even(
+        spec.processors, spec.memories, spec.buses, k));
+  }
+  MBUS_EXPECTS(false, "unknown scheme: " + spec.scheme +
+                          " (expected full | single | partial-g | "
+                          "k-classes)");
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<Topology>> make_all_schemes(int processors,
+                                                        int memories,
+                                                        int buses) {
+  std::vector<std::unique_ptr<Topology>> out;
+  for (const char* scheme : {"full", "single", "partial-g", "k-classes"}) {
+    TopologySpec spec;
+    spec.scheme = scheme;
+    spec.processors = processors;
+    spec.memories = memories;
+    spec.buses = buses;
+    out.push_back(make_topology(spec));
+  }
+  return out;
+}
+
+}  // namespace mbus

@@ -1,0 +1,31 @@
+// String-keyed topology construction, shared by the examples and bench
+// binaries ("full" | "single" | "partial-g" | "k-classes").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "topology/topology.hpp"
+
+namespace mbus {
+
+struct TopologySpec {
+  std::string scheme = "full";  // full | single | partial-g | k-classes
+  int processors = 16;
+  int memories = 16;
+  int buses = 8;
+  int groups = 2;       // partial-g only
+  int classes = 0;      // k-classes; 0 means K = B
+};
+
+/// Build the topology described by `spec` (even module layouts).
+/// Throws InvalidArgument on an unknown scheme name or invalid sizes.
+std::unique_ptr<Topology> make_topology(const TopologySpec& spec);
+
+/// All four schemes at the same (N, M, B), for comparison sweeps; uses
+/// g = 2 and K = B.
+std::vector<std::unique_ptr<Topology>> make_all_schemes(int processors,
+                                                        int memories,
+                                                        int buses);
+
+}  // namespace mbus

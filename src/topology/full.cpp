@@ -1,0 +1,35 @@
+#include "topology/topology.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+FullTopology::FullTopology(int num_processors, int num_memories,
+                           int num_buses)
+    : Topology(num_processors, num_memories, num_buses) {}
+
+std::string FullTopology::name() const {
+  return cat("full(N=", num_processors(), ",M=", num_memories(),
+             ",B=", num_buses(), ")");
+}
+
+bool FullTopology::memory_on_bus(int m, int b) const {
+  check_module_index(m);
+  check_bus_index(b);
+  return true;
+}
+
+long FullTopology::connections() const {
+  return static_cast<long>(num_buses()) *
+         (num_processors() + num_memories());
+}
+
+int FullTopology::bus_load(int b) const {
+  check_bus_index(b);
+  return num_processors() + num_memories();
+}
+
+int FullTopology::fault_tolerance_degree() const {
+  return num_buses() - 1;
+}
+
+}  // namespace mbus

@@ -1,0 +1,97 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+KClassTopology::KClassTopology(int num_processors, int num_buses,
+                               std::vector<int> class_sizes)
+    : Topology(num_processors,
+               std::accumulate(class_sizes.begin(), class_sizes.end(), 0),
+               num_buses),
+      class_sizes_(std::move(class_sizes)) {
+  const int k = static_cast<int>(class_sizes_.size());
+  MBUS_EXPECTS(k >= 1, "need at least one class");
+  MBUS_EXPECTS(k <= num_buses, "the paper requires K <= B");
+  for (int size : class_sizes_) {
+    MBUS_EXPECTS(size >= 0, "class sizes must be non-negative");
+  }
+  // Modules are laid out class by class: first M_1 modules in C_1, etc.
+  class_of_module_.reserve(static_cast<std::size_t>(num_memories()));
+  for (int j = 1; j <= k; ++j) {
+    for (int i = 0; i < class_sizes_[static_cast<std::size_t>(j - 1)]; ++i) {
+      class_of_module_.push_back(j);
+    }
+  }
+}
+
+KClassTopology KClassTopology::even(int num_processors, int num_memories,
+                                    int num_buses, int num_classes) {
+  MBUS_EXPECTS(num_classes >= 1, "need at least one class");
+  MBUS_EXPECTS(num_memories % num_classes == 0,
+               "even layout requires K | M");
+  std::vector<int> sizes(static_cast<std::size_t>(num_classes),
+                         num_memories / num_classes);
+  return KClassTopology(num_processors, num_buses, std::move(sizes));
+}
+
+std::string KClassTopology::name() const {
+  return cat("k-classes(N=", num_processors(), ",M=", num_memories(),
+             ",B=", num_buses(), ",K=", num_classes(), ")");
+}
+
+int KClassTopology::class_of_module(int m) const {
+  check_module_index(m);
+  return class_of_module_[static_cast<std::size_t>(m)];
+}
+
+int KClassTopology::buses_of_class(int j) const {
+  MBUS_EXPECTS(j >= 1 && j <= num_classes(), "class index out of range");
+  return j + num_buses() - num_classes();
+}
+
+std::vector<int> KClassTopology::modules_of_class(int j) const {
+  MBUS_EXPECTS(j >= 1 && j <= num_classes(), "class index out of range");
+  std::vector<int> out;
+  for (int m = 0; m < num_memories(); ++m) {
+    if (class_of_module_[static_cast<std::size_t>(m)] == j) out.push_back(m);
+  }
+  return out;
+}
+
+bool KClassTopology::memory_on_bus(int m, int b) const {
+  check_bus_index(b);
+  // Class C_j is wired to 0-based buses 0 … j+B−K−1.
+  return b < buses_of_class(class_of_module(m));
+}
+
+long KClassTopology::connections() const {
+  long total = static_cast<long>(num_buses()) * num_processors();
+  for (int j = 1; j <= num_classes(); ++j) {
+    total += static_cast<long>(class_sizes_[static_cast<std::size_t>(j - 1)]) *
+             buses_of_class(j);
+  }
+  return total;
+}
+
+int KClassTopology::bus_load(int b) const {
+  check_bus_index(b);
+  // Bus i (1-based) carries classes C_K down to C_max(i+K−B, 1).
+  const int i = b + 1;
+  const int low = std::max(i + num_classes() - num_buses(), 1);
+  int load = num_processors();
+  for (int j = low; j <= num_classes(); ++j) {
+    load += class_sizes_[static_cast<std::size_t>(j - 1)];
+  }
+  return load;
+}
+
+int KClassTopology::fault_tolerance_degree() const {
+  return num_buses() - num_classes();
+}
+
+}  // namespace mbus

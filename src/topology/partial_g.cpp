@@ -1,0 +1,58 @@
+#include "topology/topology.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+PartialGTopology::PartialGTopology(int num_processors, int num_memories,
+                                   int num_buses, int groups)
+    : Topology(num_processors, num_memories, num_buses), groups_(groups) {
+  MBUS_EXPECTS(groups >= 1, "need at least one group");
+  MBUS_EXPECTS(num_memories % groups == 0,
+               "partial bus network requires g | M");
+  MBUS_EXPECTS(num_buses % groups == 0,
+               "partial bus network requires g | B");
+}
+
+std::string PartialGTopology::name() const {
+  return cat("partial-g(N=", num_processors(), ",M=", num_memories(),
+             ",B=", num_buses(), ",g=", groups_, ")");
+}
+
+int PartialGTopology::modules_per_group() const noexcept {
+  return num_memories() / groups_;
+}
+
+int PartialGTopology::buses_per_group() const noexcept {
+  return num_buses() / groups_;
+}
+
+int PartialGTopology::group_of_module(int m) const {
+  check_module_index(m);
+  return m / modules_per_group();
+}
+
+int PartialGTopology::group_of_bus(int b) const {
+  check_bus_index(b);
+  return b / buses_per_group();
+}
+
+bool PartialGTopology::memory_on_bus(int m, int b) const {
+  return group_of_module(m) == group_of_bus(b);
+}
+
+long PartialGTopology::connections() const {
+  return static_cast<long>(num_buses()) *
+         (num_processors() + modules_per_group());
+}
+
+int PartialGTopology::bus_load(int b) const {
+  check_bus_index(b);
+  return num_processors() + modules_per_group();
+}
+
+int PartialGTopology::fault_tolerance_degree() const {
+  return buses_per_group() - 1;
+}
+
+}  // namespace mbus

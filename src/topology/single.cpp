@@ -1,0 +1,66 @@
+#include "topology/topology.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+SingleTopology::SingleTopology(int num_processors, int num_buses,
+                               std::vector<int> bus_of_module)
+    : Topology(num_processors, static_cast<int>(bus_of_module.size()),
+               num_buses),
+      bus_of_module_(std::move(bus_of_module)),
+      modules_per_bus_(static_cast<std::size_t>(num_buses), 0) {
+  for (std::size_t m = 0; m < bus_of_module_.size(); ++m) {
+    const int b = bus_of_module_[m];
+    MBUS_EXPECTS(b >= 0 && b < num_buses,
+                 cat("module ", m, " mapped to invalid bus ", b));
+    ++modules_per_bus_[static_cast<std::size_t>(b)];
+  }
+}
+
+SingleTopology SingleTopology::even(int num_processors, int num_memories,
+                                    int num_buses) {
+  MBUS_EXPECTS(num_buses >= 1, "need at least one bus");
+  MBUS_EXPECTS(num_memories % num_buses == 0,
+               "even layout requires B | M");
+  const int per_bus = num_memories / num_buses;
+  std::vector<int> mapping(static_cast<std::size_t>(num_memories));
+  for (int m = 0; m < num_memories; ++m) {
+    mapping[static_cast<std::size_t>(m)] = m / per_bus;
+  }
+  return SingleTopology(num_processors, num_buses, std::move(mapping));
+}
+
+std::string SingleTopology::name() const {
+  return cat("single(N=", num_processors(), ",M=", num_memories(),
+             ",B=", num_buses(), ")");
+}
+
+bool SingleTopology::memory_on_bus(int m, int b) const {
+  check_module_index(m);
+  check_bus_index(b);
+  return bus_of_module_[static_cast<std::size_t>(m)] == b;
+}
+
+long SingleTopology::connections() const {
+  return static_cast<long>(num_buses()) * num_processors() + num_memories();
+}
+
+int SingleTopology::bus_load(int b) const {
+  check_bus_index(b);
+  return num_processors() + modules_per_bus_[static_cast<std::size_t>(b)];
+}
+
+int SingleTopology::fault_tolerance_degree() const { return 0; }
+
+int SingleTopology::bus_of_module(int m) const {
+  check_module_index(m);
+  return bus_of_module_[static_cast<std::size_t>(m)];
+}
+
+int SingleTopology::modules_on_bus_count(int b) const {
+  check_bus_index(b);
+  return modules_per_bus_[static_cast<std::size_t>(b)];
+}
+
+}  // namespace mbus

@@ -1,0 +1,115 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+std::string to_string(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kFull:
+      return "full";
+    case Scheme::kSingle:
+      return "single";
+    case Scheme::kPartialG:
+      return "partial-g";
+    case Scheme::kKClasses:
+      return "k-classes";
+  }
+  MBUS_ASSERT(false, "unknown scheme");
+  return {};
+}
+
+Topology::Topology(int num_processors, int num_memories, int num_buses)
+    : num_processors_(num_processors),
+      num_memories_(num_memories),
+      num_buses_(num_buses) {
+  MBUS_EXPECTS(num_processors >= 1, "need at least one processor");
+  MBUS_EXPECTS(num_memories >= 1, "need at least one memory module");
+  MBUS_EXPECTS(num_buses >= 1, "need at least one bus");
+  // The paper states B <= min(M, N) in the introduction, yet its own
+  // Fig. 3 example is a 3×6×4 network (B=4 > N=3); we therefore do not
+  // enforce that inequality — the formulas remain well defined without it.
+}
+
+void Topology::check_module_index(int m) const {
+  MBUS_EXPECTS(m >= 0 && m < num_memories_, "module index out of range");
+}
+
+void Topology::check_bus_index(int b) const {
+  MBUS_EXPECTS(b >= 0 && b < num_buses_, "bus index out of range");
+}
+
+std::vector<int> Topology::buses_of_memory(int m) const {
+  check_module_index(m);
+  std::vector<int> out;
+  for (int b = 0; b < num_buses_; ++b) {
+    if (memory_on_bus(m, b)) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<int> Topology::memories_on_bus(int b) const {
+  check_bus_index(b);
+  std::vector<int> out;
+  for (int m = 0; m < num_memories_; ++m) {
+    if (memory_on_bus(m, b)) out.push_back(m);
+  }
+  return out;
+}
+
+int Topology::memory_degree(int m) const {
+  check_module_index(m);
+  int degree = 0;
+  for (int b = 0; b < num_buses_; ++b) {
+    if (memory_on_bus(m, b)) ++degree;
+  }
+  return degree;
+}
+
+long Topology::count_connections() const {
+  long total = static_cast<long>(num_buses_) * num_processors_;
+  for (int m = 0; m < num_memories_; ++m) total += memory_degree(m);
+  return total;
+}
+
+int Topology::count_bus_load(int b) const {
+  check_bus_index(b);
+  int load = num_processors_;
+  for (int m = 0; m < num_memories_; ++m) {
+    if (memory_on_bus(m, b)) ++load;
+  }
+  return load;
+}
+
+int Topology::count_fault_tolerance_degree() const {
+  int min_degree = std::numeric_limits<int>::max();
+  for (int m = 0; m < num_memories_; ++m) {
+    min_degree = std::min(min_degree, memory_degree(m));
+  }
+  return min_degree - 1;
+}
+
+int Topology::accessible_memories(const std::vector<bool>& bus_failed) const {
+  MBUS_EXPECTS(bus_failed.size() == static_cast<std::size_t>(num_buses_),
+               "bus_failed must have one entry per bus");
+  int accessible = 0;
+  for (int m = 0; m < num_memories_; ++m) {
+    for (int b = 0; b < num_buses_; ++b) {
+      if (!bus_failed[static_cast<std::size_t>(b)] && memory_on_bus(m, b)) {
+        ++accessible;
+        break;
+      }
+    }
+  }
+  return accessible;
+}
+
+bool Topology::fully_accessible(const std::vector<bool>& bus_failed) const {
+  return accessible_memories(bus_failed) == num_memories();
+}
+
+}  // namespace mbus

@@ -1,0 +1,193 @@
+// Bus–memory connection schemes of Section II.
+//
+// In every scheme all N processors are connected to all B buses; schemes
+// differ only in which buses each memory module is wired to:
+//
+//   * FullTopology      — every module on every bus (Fig. 1).
+//   * SingleTopology    — every module on exactly one bus (Fig. 4).
+//   * PartialGTopology  — modules and buses split into g groups; each group
+//                         of M/g modules on its own B/g buses (Fig. 2,
+//                         Lang et al. 1982).
+//   * KClassTopology    — module class C_j (1 ≤ j ≤ K ≤ B) wired to buses
+//                         1 … j+B−K (Fig. 3, the paper's proposal).
+//
+// The base class computes connection cost, bus load, and the degree of
+// fault tolerance *generically* from the connectivity relation; each
+// concrete scheme also exposes the closed forms of Table I, and the tests
+// verify the two agree.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mbus {
+
+enum class Scheme { kFull, kSingle, kPartialG, kKClasses };
+
+/// Human-readable scheme name ("full", "single", "partial-g", "k-classes").
+std::string to_string(Scheme scheme);
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual Scheme scheme() const noexcept = 0;
+  /// Short description including parameters, e.g. "partial-g(N=16,M=16,B=8,g=2)".
+  virtual std::string name() const = 0;
+
+  int num_processors() const noexcept { return num_processors_; }
+  int num_memories() const noexcept { return num_memories_; }
+  int num_buses() const noexcept { return num_buses_; }
+
+  /// The connectivity relation: is module `m` wired to bus `b`?
+  virtual bool memory_on_bus(int m, int b) const = 0;
+
+  // -- generic derived quantities (computed from the relation) ------------
+  /// Buses wired to module `m`, ascending.
+  std::vector<int> buses_of_memory(int m) const;
+  /// Modules wired to bus `b`, ascending.
+  std::vector<int> memories_on_bus(int b) const;
+  /// Number of buses module `m` is wired to.
+  int memory_degree(int m) const;
+  /// Total connection count: B·N processor taps + Σ_m degree(m).
+  long count_connections() const;
+  /// Load of bus `b`: N + (# modules wired to b).
+  int count_bus_load(int b) const;
+  /// min_m degree(m) − 1: the number of arbitrary bus failures under which
+  /// every processor can still reach every module.
+  int count_fault_tolerance_degree() const;
+
+  // -- Table I closed forms (overridden per scheme) ------------------------
+  virtual long connections() const = 0;
+  virtual int bus_load(int b) const = 0;
+  virtual int fault_tolerance_degree() const = 0;
+
+  // -- fault reasoning ------------------------------------------------------
+  /// Number of modules still reachable when the buses flagged in
+  /// `bus_failed` (size B) are down.
+  int accessible_memories(const std::vector<bool>& bus_failed) const;
+  /// True iff every module remains reachable.
+  bool fully_accessible(const std::vector<bool>& bus_failed) const;
+
+ protected:
+  Topology(int num_processors, int num_memories, int num_buses);
+
+  void check_module_index(int m) const;
+  void check_bus_index(int b) const;
+
+ private:
+  int num_processors_;
+  int num_memories_;
+  int num_buses_;
+};
+
+/// Fig. 1 — full bus–memory connection.
+class FullTopology final : public Topology {
+ public:
+  FullTopology(int num_processors, int num_memories, int num_buses);
+
+  Scheme scheme() const noexcept override { return Scheme::kFull; }
+  std::string name() const override;
+  bool memory_on_bus(int m, int b) const override;
+
+  long connections() const override;        // B(N+M)
+  int bus_load(int b) const override;       // N+M
+  int fault_tolerance_degree() const override;  // B−1
+};
+
+/// Fig. 4 — each module on exactly one bus.
+class SingleTopology final : public Topology {
+ public:
+  /// `bus_of_module[m]` gives the bus of module m.
+  SingleTopology(int num_processors, int num_buses,
+                 std::vector<int> bus_of_module);
+
+  /// The paper's Section IV layout: M modules distributed evenly over the
+  /// B buses in contiguous runs (requires B | M).
+  static SingleTopology even(int num_processors, int num_memories,
+                             int num_buses);
+
+  Scheme scheme() const noexcept override { return Scheme::kSingle; }
+  std::string name() const override;
+  bool memory_on_bus(int m, int b) const override;
+
+  long connections() const override;        // BN+M
+  int bus_load(int b) const override;       // N+M_b
+  int fault_tolerance_degree() const override;  // 0
+
+  int bus_of_module(int m) const;
+  /// M_b — number of modules on bus b.
+  int modules_on_bus_count(int b) const;
+
+ private:
+  std::vector<int> bus_of_module_;
+  std::vector<int> modules_per_bus_;
+};
+
+/// Fig. 2 — Lang et al. partial bus network with g groups.
+class PartialGTopology final : public Topology {
+ public:
+  /// Requires g ≥ 1, g | M, g | B.
+  PartialGTopology(int num_processors, int num_memories, int num_buses,
+                   int groups);
+
+  Scheme scheme() const noexcept override { return Scheme::kPartialG; }
+  std::string name() const override;
+  bool memory_on_bus(int m, int b) const override;
+
+  long connections() const override;        // B(N+M/g)
+  int bus_load(int b) const override;       // N+M/g
+  int fault_tolerance_degree() const override;  // B/g−1
+
+  int groups() const noexcept { return groups_; }
+  int group_of_module(int m) const;
+  int group_of_bus(int b) const;
+  int modules_per_group() const noexcept;
+  int buses_per_group() const noexcept;
+
+ private:
+  int groups_;
+};
+
+/// Fig. 3 — the paper's partial bus network with K classes. Class C_j
+/// (1-based, 1 ≤ j ≤ K) is wired to buses 1 … j+B−K (1-based), i.e. class
+/// C_K sees all B buses and class C_1 sees B−K+1 buses.
+class KClassTopology final : public Topology {
+ public:
+  /// `class_sizes[j-1]` = M_j; Σ M_j = M; requires 1 ≤ K ≤ B.
+  KClassTopology(int num_processors, int num_buses,
+                 std::vector<int> class_sizes);
+
+  /// The paper's Section IV layout: K classes of M/K modules each
+  /// (requires K | M).
+  static KClassTopology even(int num_processors, int num_memories,
+                             int num_buses, int num_classes);
+
+  Scheme scheme() const noexcept override { return Scheme::kKClasses; }
+  std::string name() const override;
+  bool memory_on_bus(int m, int b) const override;
+
+  long connections() const override;   // BN + Σ_j M_j(j+B−K)
+  int bus_load(int b) const override;  // N + Σ_{j≥max(i+K−B,1)} M_j
+  int fault_tolerance_degree() const override;  // B−K
+
+  int num_classes() const noexcept {
+    return static_cast<int>(class_sizes_.size());
+  }
+  const std::vector<int>& class_sizes() const noexcept {
+    return class_sizes_;
+  }
+  /// 1-based class of module m.
+  int class_of_module(int m) const;
+  /// Number of buses wired to class j (1-based): j+B−K.
+  int buses_of_class(int j) const;
+  /// Modules of class j (1-based), ascending.
+  std::vector<int> modules_of_class(int j) const;
+
+ private:
+  std::vector<int> class_sizes_;
+  std::vector<int> class_of_module_;  // 1-based class per module
+};
+
+}  // namespace mbus

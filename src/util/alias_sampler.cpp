@@ -1,0 +1,72 @@
+#include "util/alias_sampler.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  MBUS_EXPECTS(!weights.empty(), "weights must be non-empty");
+  MBUS_EXPECTS(weights.size() <= std::numeric_limits<std::uint32_t>::max(),
+               "too many weights for the alias table");
+  double sum = 0.0;
+  for (double w : weights) {
+    MBUS_EXPECTS(std::isfinite(w) && w >= 0.0,
+                 "weights must be finite and non-negative");
+    sum += w;
+  }
+  MBUS_EXPECTS(sum > 0.0, "weights must have a positive sum");
+
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's stable construction: scale each weight so the average is 1,
+  // then pair an under-full column with an over-full one until done.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / sum;
+  }
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(
+        static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly-full columns up to rounding.
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasSampler::sample(Xoshiro256& rng) const noexcept {
+  const std::size_t column = rng.below(prob_.size());
+  return rng.uniform01() < prob_[column] ? column : alias_[column];
+}
+
+double AliasSampler::probability(std::size_t i) const {
+  MBUS_EXPECTS(i < prob_.size(), "index out of range");
+  const std::size_t n = prob_.size();
+  double p = prob_[i];
+  for (std::size_t c = 0; c < n; ++c) {
+    if (c != i && alias_[c] == i) p += 1.0 - prob_[c];
+  }
+  return p / static_cast<double>(n);
+}
+
+}  // namespace mbus

@@ -1,0 +1,38 @@
+// Walker/Vose alias method for O(1) sampling from a discrete distribution.
+//
+// The simulator draws a destination memory module for every processor
+// request every cycle; with N×M up to ~10^6 weight entries and millions of
+// cycles, O(log M) binary-search sampling would dominate the run time.
+// The alias table gives constant-time draws after O(M) setup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mbus {
+
+class AliasSampler {
+ public:
+  /// Build a sampler over indices [0, weights.size()).
+  ///
+  /// `weights` must be non-empty, contain no negative or non-finite values,
+  /// and have a positive sum; they are normalized internally.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draw an index with probability proportional to its weight.
+  std::size_t sample(Xoshiro256& rng) const noexcept;
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// The normalized probability of index `i` as encoded in the table
+  /// (exposed for testing; reconstructs p_i from prob/alias entries).
+  double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;         // acceptance threshold per column
+  std::vector<std::uint32_t> alias_; // fallback index per column
+};
+
+}  // namespace mbus

@@ -1,0 +1,174 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+CliParser::CliParser(std::string program_summary)
+    : summary_(std::move(program_summary)) {}
+
+CliParser& CliParser::add_int(const std::string& name,
+                              std::int64_t default_value,
+                              const std::string& help) {
+  MBUS_EXPECTS(find(name) == nullptr, "duplicate option: " + name);
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::kInt;
+  opt.help = help;
+  opt.int_value = default_value;
+  opt.default_repr = std::to_string(default_value);
+  options_.push_back(std::move(opt));
+  return *this;
+}
+
+CliParser& CliParser::add_double(const std::string& name,
+                                 double default_value,
+                                 const std::string& help) {
+  MBUS_EXPECTS(find(name) == nullptr, "duplicate option: " + name);
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::kDouble;
+  opt.help = help;
+  opt.double_value = default_value;
+  opt.default_repr = cat(default_value);
+  options_.push_back(std::move(opt));
+  return *this;
+}
+
+CliParser& CliParser::add_string(const std::string& name,
+                                 const std::string& default_value,
+                                 const std::string& help) {
+  MBUS_EXPECTS(find(name) == nullptr, "duplicate option: " + name);
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::kString;
+  opt.help = help;
+  opt.string_value = default_value;
+  opt.default_repr = default_value.empty() ? "\"\"" : default_value;
+  options_.push_back(std::move(opt));
+  return *this;
+}
+
+CliParser& CliParser::add_flag(const std::string& name,
+                               const std::string& help) {
+  MBUS_EXPECTS(find(name) == nullptr, "duplicate option: " + name);
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::kFlag;
+  opt.help = help;
+  opt.default_repr = "false";
+  options_.push_back(std::move(opt));
+  return *this;
+}
+
+CliParser::Option* CliParser::find(const std::string& name) {
+  for (auto& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+const CliParser::Option& CliParser::require(const std::string& name,
+                                            Kind kind) const {
+  for (const auto& opt : options_) {
+    if (opt.name == name) {
+      MBUS_EXPECTS(opt.kind == kind, "option type mismatch for " + name);
+      return opt;
+    }
+  }
+  MBUS_EXPECTS(false, "unknown option queried: " + name);
+  std::abort();  // unreachable; MBUS_EXPECTS throws
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help_text();
+      return false;
+    }
+    MBUS_EXPECTS(arg.rfind("--", 0) == 0, "expected --option, got: " + arg);
+    arg = arg.substr(2);
+
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+
+    Option* opt = find(name);
+    MBUS_EXPECTS(opt != nullptr, "unknown option: --" + name);
+
+    if (opt->kind == Kind::kFlag) {
+      MBUS_EXPECTS(!inline_value.has_value(),
+                   "flag --" + name + " does not take a value");
+      opt->flag_value = true;
+      continue;
+    }
+
+    std::string value;
+    if (inline_value.has_value()) {
+      value = *inline_value;
+    } else {
+      MBUS_EXPECTS(i + 1 < argc, "missing value for --" + name);
+      value = argv[++i];
+    }
+
+    try {
+      switch (opt->kind) {
+        case Kind::kInt:
+          opt->int_value = std::stoll(value);
+          break;
+        case Kind::kDouble:
+          opt->double_value = std::stod(value);
+          break;
+        case Kind::kString:
+          opt->string_value = value;
+          break;
+        case Kind::kFlag:
+          break;  // handled above
+      }
+    } catch (const std::exception&) {
+      MBUS_EXPECTS(false, "malformed value for --" + name + ": " + value);
+    }
+  }
+  return true;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return require(name, Kind::kInt).int_value;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return require(name, Kind::kDouble).double_value;
+}
+
+const std::string& CliParser::get_string(const std::string& name) const {
+  return require(name, Kind::kString).string_value;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return require(name, Kind::kFlag).flag_value;
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << summary_ << "\n\nOptions:\n";
+  for (const auto& opt : options_) {
+    std::string lhs = "  --" + opt.name;
+    if (opt.kind != Kind::kFlag) lhs += " <value>";
+    os << pad_right(lhs, 28) << opt.help << " (default: " << opt.default_repr
+       << ")\n";
+  }
+  os << pad_right("  --help", 28) << "show this message\n";
+  return os.str();
+}
+
+}  // namespace mbus

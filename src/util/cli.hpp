@@ -1,0 +1,63 @@
+// A minimal command-line option parser for the bench and example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean switches `--flag`.
+// Unknown options are an error; `--help` prints the registered options.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mbus {
+
+class CliParser {
+ public:
+  /// `program_summary` is printed at the top of --help output.
+  explicit CliParser(std::string program_summary);
+
+  /// Register an option with a default; returns *this for chaining.
+  CliParser& add_int(const std::string& name, std::int64_t default_value,
+                     const std::string& help);
+  CliParser& add_double(const std::string& name, double default_value,
+                        const std::string& help);
+  CliParser& add_string(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help);
+  CliParser& add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false if --help was requested (help text has been
+  /// printed); throws `InvalidArgument` on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// The rendered help text (also printed when --help is seen).
+  std::string help_text() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+
+  struct Option {
+    std::string name;
+    Kind kind;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool flag_value = false;
+    std::string default_repr;
+  };
+
+  Option* find(const std::string& name);
+  const Option& require(const std::string& name, Kind kind) const;
+
+  std::string summary_;
+  std::string program_name_;
+  std::vector<Option> options_;
+};
+
+}  // namespace mbus

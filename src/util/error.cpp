@@ -1,0 +1,29 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace mbus::detail {
+
+namespace {
+std::string build_message(const char* kind, const char* file, int line,
+                          const char* cond, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " at " << file << ':' << line << ": `" << cond << "` — "
+     << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_invalid_argument(const char* file, int line, const char* cond,
+                            const std::string& msg) {
+  throw InvalidArgument(
+      build_message("precondition violation", file, line, cond, msg));
+}
+
+void throw_internal_error(const char* file, int line, const char* cond,
+                          const std::string& msg) {
+  throw InternalError(
+      build_message("internal invariant violation", file, line, cond, msg));
+}
+
+}  // namespace mbus::detail

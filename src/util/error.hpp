@@ -1,0 +1,70 @@
+// Error types and contract-checking macros used across the mbus library.
+//
+// The library follows a simple discipline:
+//   * Precondition violations on public APIs throw `mbus::InvalidArgument`
+//     (the caller passed something outside the documented domain).
+//   * Internal invariant violations throw `mbus::InternalError` (a bug in
+//     mbus itself, never the caller's fault).
+//   * Numeric-domain problems (e.g. division by zero in exact arithmetic)
+//     throw `mbus::DomainError`.
+//
+// All of these derive from `mbus::Error` so callers can catch one type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mbus {
+
+/// Root of the mbus exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A numeric operation was applied outside its mathematical domain.
+class DomainError : public Error {
+ public:
+  explicit DomainError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant of the library failed — a bug in mbus.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* file, int line,
+                                         const char* cond,
+                                         const std::string& msg);
+[[noreturn]] void throw_internal_error(const char* file, int line,
+                                       const char* cond,
+                                       const std::string& msg);
+}  // namespace detail
+
+}  // namespace mbus
+
+/// Check a public-API precondition; throws `mbus::InvalidArgument` on failure.
+#define MBUS_EXPECTS(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::mbus::detail::throw_invalid_argument(__FILE__, __LINE__, #cond,    \
+                                             (msg));                        \
+    }                                                                       \
+  } while (false)
+
+/// Check an internal invariant; throws `mbus::InternalError` on failure.
+#define MBUS_ASSERT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::mbus::detail::throw_internal_error(__FILE__, __LINE__, #cond,      \
+                                           (msg));                          \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,64 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+std::string fmt_fixed(double value, int precision) {
+  MBUS_EXPECTS(precision >= 0, "precision must be non-negative");
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_sci(double value, int precision) {
+  MBUS_EXPECTS(precision >= 0, "precision must be non-negative");
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(width - s.size(), ' ') + std::string(s);
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(s) + std::string(width - s.size(), ' ');
+}
+
+std::string pad_center(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  const std::size_t total = width - s.size();
+  const std::size_t left = total / 2;
+  return std::string(left, ' ') + std::string(s) +
+         std::string(total - left, ' ');
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string repeat(char c, std::size_t count) {
+  return std::string(count, c);
+}
+
+bool approx_equal(double a, double b, double abs_tol, double rel_tol) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= rel_tol * scale;
+}
+
+}  // namespace mbus

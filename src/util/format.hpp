@@ -1,0 +1,49 @@
+// Small string-formatting helpers (GCC 12 lacks <format>).
+//
+// These cover everything the report/bench layers need: fixed-precision
+// doubles, width padding, joining, and a printf-free `cat(...)` that
+// stringifies any streamable arguments.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbus {
+
+/// Render `value` with exactly `precision` digits after the decimal point.
+std::string fmt_fixed(double value, int precision);
+
+/// Render `value` in scientific notation with `precision` significant
+/// decimals (e.g. 1.23e-04).
+std::string fmt_sci(double value, int precision);
+
+/// Left-pad `s` with spaces to width `width` (no-op if already wider).
+std::string pad_left(std::string_view s, std::size_t width);
+
+/// Right-pad `s` with spaces to width `width` (no-op if already wider).
+std::string pad_right(std::string_view s, std::size_t width);
+
+/// Center `s` in a field of width `width` (extra space goes to the right).
+std::string pad_center(std::string_view s, std::size_t width);
+
+/// Join `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Repeat character `c` `count` times.
+std::string repeat(char c, std::size_t count);
+
+/// Stringify and concatenate any streamable arguments.
+template <typename... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// True if `a` and `b` differ by at most `abs_tol` absolutely or `rel_tol`
+/// relative to max(|a|,|b|). Used by benches to flag paper-vs-computed gaps.
+bool approx_equal(double a, double b, double abs_tol, double rel_tol);
+
+}  // namespace mbus

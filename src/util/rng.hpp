@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We implement xoshiro256** (Blackman & Vigna) seeded through splitmix64.
+// Rationale: the simulator's results must be bit-reproducible across
+// platforms given a seed, which rules out std::default_random_engine (its
+// meaning is implementation-defined), and std::uniform_real_distribution
+// et al. are also not guaranteed to produce identical streams across
+// standard libraries. All distribution logic here is hand-rolled and
+// portable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace mbus {
+
+/// splitmix64 — used for seeding and as a cheap standalone generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — the library's main engine.
+///
+/// Satisfies std::uniform_random_bit_generator so it can also be plugged
+/// into standard algorithms when portability of the *distribution* does not
+/// matter (e.g. std::shuffle in tests).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from splitmix64(seed), as recommended by
+  /// the xoshiro authors; guarantees a nonzero state for any seed.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Advance 2^128 steps; useful for carving independent substreams.
+  void jump() noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept;
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace mbus

@@ -1,0 +1,61 @@
+// Streaming statistics used by the simulator's measurement layer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mbus {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one (Chan et al. parallel update).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  /// Standard error of the mean; 0 when fewer than two observations.
+  double std_error() const noexcept;
+
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A symmetric confidence interval around a mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+
+  double lower() const noexcept { return mean - half_width; }
+  double upper() const noexcept { return mean + half_width; }
+  bool contains(double x) const noexcept {
+    return x >= lower() && x <= upper();
+  }
+};
+
+/// Normal-approximation confidence interval for the mean of `stats`.
+/// `confidence` must be one of 0.90, 0.95, 0.99 (the z table we carry).
+ConfidenceInterval confidence_interval(const RunningStats& stats,
+                                       double confidence);
+
+/// Mean of a sample (0 for empty input).
+double mean_of(const std::vector<double>& xs) noexcept;
+
+/// Unbiased sample variance of a sample (0 for fewer than two values).
+double variance_of(const std::vector<double>& xs) noexcept;
+
+}  // namespace mbus

@@ -1,0 +1,249 @@
+#include "workload/hierarchical.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+namespace {
+
+/// Block sizes s_d = Π_{j>d} sizes[j] for d = 0 … sizes.size(): s_d is the
+/// number of leaves in a depth-d block of the hierarchy (s_0 = all leaves,
+/// s_n = 1). The returned vector has sizes.size()+1 entries.
+std::vector<long> block_sizes_of(const std::vector<int>& sizes) {
+  std::vector<long> out(sizes.size() + 1, 1);
+  for (std::size_t d = sizes.size(); d-- > 0;) {
+    out[d] = out[d + 1] * sizes[d];
+  }
+  return out;
+}
+
+long checked_product(const std::vector<int>& sizes) {
+  long product = 1;
+  for (int k : sizes) {
+    MBUS_EXPECTS(k >= 1, "cluster sizes must be >= 1");
+    product *= k;
+    MBUS_EXPECTS(product <= (1L << 30), "hierarchy too large");
+  }
+  return product;
+}
+
+}  // namespace
+
+HierarchicalModel::HierarchicalModel(Kind kind, std::vector<int> ks,
+                                     int favorite_group_size,
+                                     std::vector<BigRational> fractions,
+                                     BigRational rate)
+    : kind_(kind),
+      ks_(std::move(ks)),
+      favorite_group_size_(favorite_group_size),
+      fractions_(std::move(fractions)),
+      rate_(std::move(rate)) {
+  MBUS_EXPECTS(!ks_.empty(), "need at least one hierarchy level");
+  const long n_procs = checked_product(ks_);
+  MBUS_EXPECTS(favorite_group_size_ >= 1,
+               "favorite group size must be >= 1");
+  MBUS_EXPECTS(!rate_.is_negative() && rate_ <= BigRational(1),
+               "request rate must lie in [0, 1]");
+
+  const int n = static_cast<int>(ks_.size());
+  const std::size_t expected_fractions =
+      kind_ == Kind::kNxN ? static_cast<std::size_t>(n) + 1
+                          : static_cast<std::size_t>(n);
+  MBUS_EXPECTS(fractions_.size() == expected_fractions,
+               cat("expected ", expected_fractions, " level fractions, got ",
+                   fractions_.size()));
+  for (const auto& f : fractions_) {
+    MBUS_EXPECTS(!f.is_negative(), "level fractions must be >= 0");
+  }
+
+  num_processors_ = static_cast<int>(n_procs);
+  proc_block_sizes_ = block_sizes_of(ks_);
+
+  if (kind_ == Kind::kNxN) {
+    MBUS_EXPECTS(favorite_group_size_ == 1,
+                 "N×N×B variant has exactly one favorite module");
+    num_memories_ = num_processors_;
+    mem_block_sizes_ = proc_block_sizes_;
+    // T_0 = 1; T_t = s_{n−t} − s_{n−t+1}  (eq. 1).
+    target_counts_.assign(fractions_.size(), 0);
+    target_counts_[0] = 1;
+    for (int t = 1; t <= n; ++t) {
+      target_counts_[static_cast<std::size_t>(t)] =
+          proc_block_sizes_[static_cast<std::size_t>(n - t)] -
+          proc_block_sizes_[static_cast<std::size_t>(n - t + 1)];
+    }
+    requester_counts_ = target_counts_;
+  } else {
+    // Subcluster tree over the first n−1 levels.
+    std::vector<int> subcluster_sizes(ks_.begin(), ks_.end() - 1);
+    const std::vector<long> sub_blocks = block_sizes_of(subcluster_sizes);
+    const long n_sub = sub_blocks.empty() ? 1 : sub_blocks[0];
+    num_memories_ = static_cast<int>(n_sub * favorite_group_size_);
+
+    target_counts_.assign(fractions_.size(), 0);
+    requester_counts_.assign(fractions_.size(), 0);
+    target_counts_[0] = favorite_group_size_;
+    requester_counts_[0] = ks_.back();
+    for (int t = 1; t <= n - 1; ++t) {
+      const long sub_count =
+          sub_blocks[static_cast<std::size_t>(n - 1 - t)] -
+          sub_blocks[static_cast<std::size_t>(n - t)];
+      target_counts_[static_cast<std::size_t>(t)] =
+          sub_count * favorite_group_size_;
+      requester_counts_[static_cast<std::size_t>(t)] =
+          sub_count * ks_.back();
+    }
+    mem_block_sizes_ = sub_blocks;
+  }
+
+  // Normalization Σ m_t · T_t == 1 (exact).
+  BigRational total;
+  for (std::size_t t = 0; t < fractions_.size(); ++t) {
+    total += fractions_[t] * BigRational(target_counts_[t]);
+  }
+  MBUS_EXPECTS(total == BigRational(1),
+               "level fractions must satisfy sum(m_t * N_t) == 1, got " +
+                   total.to_string());
+
+  rate_double_ = rate_.to_double();
+  fraction_doubles_.reserve(fractions_.size());
+  for (const auto& f : fractions_) {
+    fraction_doubles_.push_back(f.to_double());
+  }
+}
+
+HierarchicalModel HierarchicalModel::nxn(
+    std::vector<int> cluster_sizes, std::vector<BigRational> level_fractions,
+    BigRational request_rate) {
+  return HierarchicalModel(Kind::kNxN, std::move(cluster_sizes), 1,
+                           std::move(level_fractions),
+                           std::move(request_rate));
+}
+
+HierarchicalModel HierarchicalModel::nxn_from_aggregate(
+    std::vector<int> cluster_sizes,
+    std::vector<BigRational> aggregate_fractions, BigRational request_rate) {
+  const int n = static_cast<int>(cluster_sizes.size());
+  MBUS_EXPECTS(aggregate_fractions.size() ==
+                   static_cast<std::size_t>(n) + 1,
+               "N×N×B aggregate needs n+1 fractions");
+  // Derive the counts the same way the constructor will.
+  const std::vector<long> blocks = block_sizes_of(cluster_sizes);
+  std::vector<BigRational> per_module(aggregate_fractions.size());
+  per_module[0] = aggregate_fractions[0];
+  for (int t = 1; t <= n; ++t) {
+    const long count = blocks[static_cast<std::size_t>(n - t)] -
+                       blocks[static_cast<std::size_t>(n - t + 1)];
+    if (count == 0) {
+      MBUS_EXPECTS(aggregate_fractions[static_cast<std::size_t>(t)].is_zero(),
+                   "aggregate fraction on an empty level must be zero");
+      per_module[static_cast<std::size_t>(t)] = BigRational();
+    } else {
+      per_module[static_cast<std::size_t>(t)] =
+          aggregate_fractions[static_cast<std::size_t>(t)] /
+          BigRational(count);
+    }
+  }
+  return nxn(std::move(cluster_sizes), std::move(per_module),
+             std::move(request_rate));
+}
+
+HierarchicalModel HierarchicalModel::nxm(
+    std::vector<int> cluster_sizes, int favorite_group_size,
+    std::vector<BigRational> level_fractions, BigRational request_rate) {
+  return HierarchicalModel(Kind::kNxM, std::move(cluster_sizes),
+                           favorite_group_size, std::move(level_fractions),
+                           std::move(request_rate));
+}
+
+HierarchicalModel HierarchicalModel::nxm_from_aggregate(
+    std::vector<int> cluster_sizes, int favorite_group_size,
+    std::vector<BigRational> aggregate_fractions, BigRational request_rate) {
+  const int n = static_cast<int>(cluster_sizes.size());
+  MBUS_EXPECTS(aggregate_fractions.size() == static_cast<std::size_t>(n),
+               "N×M×B aggregate needs n fractions");
+  MBUS_EXPECTS(favorite_group_size >= 1,
+               "favorite group size must be >= 1");
+  std::vector<int> subcluster_sizes(cluster_sizes.begin(),
+                                    cluster_sizes.end() - 1);
+  const std::vector<long> sub_blocks = block_sizes_of(subcluster_sizes);
+  std::vector<BigRational> per_module(aggregate_fractions.size());
+  per_module[0] = aggregate_fractions[0] / BigRational(favorite_group_size);
+  for (int t = 1; t <= n - 1; ++t) {
+    const long count = (sub_blocks[static_cast<std::size_t>(n - 1 - t)] -
+                        sub_blocks[static_cast<std::size_t>(n - t)]) *
+                       favorite_group_size;
+    if (count == 0) {
+      MBUS_EXPECTS(aggregate_fractions[static_cast<std::size_t>(t)].is_zero(),
+                   "aggregate fraction on an empty level must be zero");
+      per_module[static_cast<std::size_t>(t)] = BigRational();
+    } else {
+      per_module[static_cast<std::size_t>(t)] =
+          aggregate_fractions[static_cast<std::size_t>(t)] /
+          BigRational(count);
+    }
+  }
+  return nxm(std::move(cluster_sizes), favorite_group_size,
+             std::move(per_module), std::move(request_rate));
+}
+
+int HierarchicalModel::deepest_shared_depth(
+    long a, long b, const std::vector<long>& block_sizes) {
+  for (std::size_t d = block_sizes.size(); d-- > 0;) {
+    if (a / block_sizes[d] == b / block_sizes[d]) {
+      return static_cast<int>(d);
+    }
+  }
+  MBUS_ASSERT(false, "depth 0 always shares the root block");
+  return 0;
+}
+
+int HierarchicalModel::level_of(int p, int m) const {
+  MBUS_EXPECTS(p >= 0 && p < num_processors_, "processor index out of range");
+  MBUS_EXPECTS(m >= 0 && m < num_memories_, "module index out of range");
+  const int n = static_cast<int>(ks_.size());
+  if (kind_ == Kind::kNxN) {
+    // Depth d where p and m last share a block; favorite iff p == m.
+    const int d = deepest_shared_depth(p, m, proc_block_sizes_);
+    return n - d;
+  }
+  const long p_sub = static_cast<long>(p) / ks_.back();
+  const long m_sub = static_cast<long>(m) / favorite_group_size_;
+  const int d = deepest_shared_depth(p_sub, m_sub, mem_block_sizes_);
+  return (n - 1) - d;
+}
+
+double HierarchicalModel::fraction(int p, int m) const {
+  return fraction_doubles_[static_cast<std::size_t>(level_of(p, m))];
+}
+
+BigRational HierarchicalModel::exact_request_probability() const {
+  // Eq. 2: X = 1 − Π_t (1 − r·m_t)^{R_t}, R_t = requesters at fraction m_t.
+  BigRational miss_all(1);
+  for (std::size_t t = 0; t < fractions_.size(); ++t) {
+    const BigRational one_minus = BigRational(1) - rate_ * fractions_[t];
+    miss_all *= one_minus.pow(requester_counts_[t]);
+  }
+  return BigRational(1) - miss_all;
+}
+
+double HierarchicalModel::closed_form_request_probability() const {
+  return request_probability_at(rate_double_);
+}
+
+double HierarchicalModel::request_probability_at(double rate) const {
+  MBUS_EXPECTS(rate >= 0.0 && rate <= 1.0,
+               "request rate must lie in [0, 1]");
+  double miss_all = 1.0;
+  for (std::size_t t = 0; t < fractions_.size(); ++t) {
+    const double one_minus = 1.0 - rate * fraction_doubles_[t];
+    miss_all *= std::pow(one_minus,
+                         static_cast<double>(requester_counts_[t]));
+  }
+  return 1.0 - miss_all;
+}
+
+}  // namespace mbus

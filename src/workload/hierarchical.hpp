@@ -1,0 +1,130 @@
+// The hierarchical requesting model of Chen & Sheu, Section III-A.
+//
+// Processors (and memory modules) are organized into an n-level hierarchy
+// with cluster sizes k_1, …, k_n (N = k_1·k_2···k_n). Two variants exist:
+//
+//   * N×N×B — every processor P_i has its own favorite module MM_i. A
+//     processor has n+1 request fractions: m_0 to its favorite module and
+//     m_t (1 ≤ t ≤ n) to each module whose deepest shared subcluster with
+//     the processor is at level n−t. The number of modules at fraction m_t
+//     is N_t = (k_{n−t+1} − 1)·k_{n−t+2}···k_n, with N_0 = 1 (eq. 1), and
+//     the fractions must satisfy Σ m_t·N_t = 1.
+//
+//   * N×M×B — each last-level subcluster of k_n processors shares k'_n
+//     favorite modules (M = k_1···k_{n−1}·k'_n). A processor has n
+//     fractions m_0 … m_{n−1}: m_0 to each favorite module, m_t to each
+//     module at subcluster distance t. Module counts per level are
+//     M_0 = k'_n, M_t = (k_{n−t} − 1)·k_{n−t+1}···k_{n−1}·k'_n.
+//
+// All fractions and the request rate are stored as exact rationals so the
+// model supports both the double-precision and the exact analysis paths.
+#pragma once
+
+#include <vector>
+
+#include "bignum/bigrational.hpp"
+#include "workload/request_model.hpp"
+
+namespace mbus {
+
+class HierarchicalModel final : public RequestModel {
+ public:
+  /// N×N×B variant with explicit per-module fractions m_0 … m_n.
+  /// `cluster_sizes` is k_1 … k_n (each ≥ 1, product = N ≥ 1).
+  static HierarchicalModel nxn(std::vector<int> cluster_sizes,
+                               std::vector<BigRational> level_fractions,
+                               BigRational request_rate);
+
+  /// N×N×B variant from *aggregate* fractions a_0 … a_n with Σ a_t = 1:
+  /// a_0 is the total fraction to the favorite module, a_t the total
+  /// fraction spread evenly over the N_t modules at level t (this is the
+  /// 0.6 / 0.3 / 0.1 parameterization of Section IV). Levels with zero
+  /// modules (N_t == 0) must carry a_t == 0.
+  static HierarchicalModel nxn_from_aggregate(
+      std::vector<int> cluster_sizes,
+      std::vector<BigRational> aggregate_fractions,
+      BigRational request_rate);
+
+  /// N×M×B variant with explicit per-module fractions m_0 … m_{n−1}.
+  /// `favorite_group_size` is k'_n.
+  static HierarchicalModel nxm(std::vector<int> cluster_sizes,
+                               int favorite_group_size,
+                               std::vector<BigRational> level_fractions,
+                               BigRational request_rate);
+
+  /// N×M×B variant from aggregate fractions a_0 … a_{n−1}.
+  static HierarchicalModel nxm_from_aggregate(
+      std::vector<int> cluster_sizes, int favorite_group_size,
+      std::vector<BigRational> aggregate_fractions,
+      BigRational request_rate);
+
+  // -- RequestModel -------------------------------------------------------
+  int num_processors() const noexcept override { return num_processors_; }
+  int num_memories() const noexcept override { return num_memories_; }
+  double request_rate() const noexcept override { return rate_double_; }
+  double fraction(int p, int m) const override;
+
+  // -- model structure ----------------------------------------------------
+  /// Number of hierarchy levels n.
+  int levels() const noexcept { return static_cast<int>(ks_.size()); }
+  const std::vector<int>& cluster_sizes() const noexcept { return ks_; }
+  /// k'_n for the N×M×B variant; equals 1 for N×N×B by convention.
+  int favorite_group_size() const noexcept { return favorite_group_size_; }
+  bool is_nxn() const noexcept { return kind_ == Kind::kNxN; }
+
+  /// Per-module fractions m_t, exact. Size n+1 (N×N×B) or n (N×M×B).
+  const std::vector<BigRational>& level_fractions() const noexcept {
+    return fractions_;
+  }
+  /// Number of *modules* a fixed processor addresses at fraction m_t
+  /// (N_t of eq. 1 for N×N×B; M_t for N×M×B).
+  const std::vector<long>& target_counts() const noexcept {
+    return target_counts_;
+  }
+  /// Number of *processors* that address a fixed module at fraction m_t
+  /// (equals target_counts for N×N×B by symmetry).
+  const std::vector<long>& requester_counts() const noexcept {
+    return requester_counts_;
+  }
+
+  /// Level index t of the pair (p, m): 0 = favorite, …
+  int level_of(int p, int m) const;
+
+  // -- closed forms -------------------------------------------------------
+  /// Eq. 2 — exact: X = 1 − Π_t (1 − r·m_t)^{R_t} over requester counts.
+  BigRational exact_request_probability() const;
+  /// Eq. 2 in double precision.
+  double closed_form_request_probability() const;
+  /// Eq. 2 evaluated at an overridden request rate (for the adjusted-rate
+  /// resubmission fixed point).
+  double request_probability_at(double rate) const;
+  /// Exact request rate r.
+  const BigRational& exact_request_rate() const noexcept { return rate_; }
+
+ private:
+  enum class Kind { kNxN, kNxM };
+
+  HierarchicalModel(Kind kind, std::vector<int> ks, int favorite_group_size,
+                    std::vector<BigRational> fractions, BigRational rate);
+
+  /// Deepest hierarchy depth at which indices a and b share a block, given
+  /// per-depth block sizes; returns a depth in [0, sizes.size()-1].
+  static int deepest_shared_depth(long a, long b,
+                                  const std::vector<long>& block_sizes);
+
+  Kind kind_;
+  std::vector<int> ks_;
+  int favorite_group_size_;
+  std::vector<BigRational> fractions_;
+  BigRational rate_;
+  double rate_double_;
+  int num_processors_;
+  int num_memories_;
+  std::vector<long> target_counts_;
+  std::vector<long> requester_counts_;
+  std::vector<double> fraction_doubles_;
+  std::vector<long> proc_block_sizes_;  // s_d over processor indices
+  std::vector<long> mem_block_sizes_;   // block sizes over module indices
+};
+
+}  // namespace mbus

@@ -1,0 +1,64 @@
+#include "workload/hotspot.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+HotSpotModel::HotSpotModel(int num_processors, int num_memories,
+                           int hot_module, BigRational hot_fraction,
+                           BigRational request_rate)
+    : num_processors_(num_processors),
+      num_memories_(num_memories),
+      hot_module_(hot_module),
+      hot_fraction_(std::move(hot_fraction)),
+      rate_(std::move(request_rate)) {
+  MBUS_EXPECTS(num_processors >= 1, "need at least one processor");
+  MBUS_EXPECTS(num_memories >= 1, "need at least one memory module");
+  MBUS_EXPECTS(hot_module >= 0 && hot_module < num_memories,
+               "hot module index out of range");
+  MBUS_EXPECTS(!hot_fraction_.is_negative() &&
+                   hot_fraction_ <= BigRational(1),
+               "hot fraction must lie in [0, 1]");
+  MBUS_EXPECTS(!rate_.is_negative() && rate_ <= BigRational(1),
+               "request rate must lie in [0, 1]");
+  rate_double_ = rate_.to_double();
+  const double h = hot_fraction_.to_double();
+  const double uniform = (1.0 - h) / static_cast<double>(num_memories_);
+  hot_double_ = h + uniform;
+  cold_double_ = uniform;
+}
+
+double HotSpotModel::fraction(int p, int m) const {
+  MBUS_EXPECTS(p >= 0 && p < num_processors_, "processor index out of range");
+  MBUS_EXPECTS(m >= 0 && m < num_memories_, "module index out of range");
+  return m == hot_module_ ? hot_double_ : cold_double_;
+}
+
+double HotSpotModel::hot_request_probability() const {
+  return 1.0 - std::pow(1.0 - rate_double_ * hot_double_,
+                        static_cast<double>(num_processors_));
+}
+
+BigRational HotSpotModel::exact_hot_request_probability() const {
+  const BigRational m(num_memories_);
+  const BigRational per_module =
+      hot_fraction_ + (BigRational(1) - hot_fraction_) / m;
+  return BigRational(1) -
+         (BigRational(1) - rate_ * per_module).pow(num_processors_);
+}
+
+double HotSpotModel::cold_request_probability() const {
+  return 1.0 - std::pow(1.0 - rate_double_ * cold_double_,
+                        static_cast<double>(num_processors_));
+}
+
+BigRational HotSpotModel::exact_cold_request_probability() const {
+  const BigRational m(num_memories_);
+  const BigRational per_module = (BigRational(1) - hot_fraction_) / m;
+  return BigRational(1) -
+         (BigRational(1) - rate_ * per_module).pow(num_processors_);
+}
+
+}  // namespace mbus

@@ -1,0 +1,49 @@
+// The hot-spot referencing model (Pfister & Norton, 1985): every
+// processor directs an extra fraction `h` of its traffic at one shared
+// hot module and spreads the remainder uniformly, i.e.
+//     fraction(p, hot)   = h + (1 − h)/M
+//     fraction(p, other) = (1 − h)/M.
+// This is the canonical *asymmetric* workload: the hot module's request
+// probability X_hot exceeds the others', so the symmetric closed forms of
+// the paper do not apply and the Poisson-binomial generalization in
+// analysis/asymmetric.hpp is required.
+#pragma once
+
+#include "bignum/bigrational.hpp"
+#include "workload/request_model.hpp"
+
+namespace mbus {
+
+class HotSpotModel final : public RequestModel {
+ public:
+  /// `hot_fraction` = h in [0, 1]; `hot_module` in [0, M).
+  HotSpotModel(int num_processors, int num_memories, int hot_module,
+               BigRational hot_fraction, BigRational request_rate);
+
+  int num_processors() const noexcept override { return num_processors_; }
+  int num_memories() const noexcept override { return num_memories_; }
+  double request_rate() const noexcept override { return rate_double_; }
+  double fraction(int p, int m) const override;
+
+  int hot_module() const noexcept { return hot_module_; }
+
+  /// X of the hot module: 1 − (1 − r(h + (1−h)/M))^N.
+  double hot_request_probability() const;
+  BigRational exact_hot_request_probability() const;
+
+  /// X of every other module: 1 − (1 − r(1−h)/M)^N.
+  double cold_request_probability() const;
+  BigRational exact_cold_request_probability() const;
+
+ private:
+  int num_processors_;
+  int num_memories_;
+  int hot_module_;
+  BigRational hot_fraction_;
+  BigRational rate_;
+  double rate_double_;
+  double hot_double_;
+  double cold_double_;
+};
+
+}  // namespace mbus

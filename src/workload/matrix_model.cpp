@@ -1,0 +1,65 @@
+#include "workload/matrix_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+MatrixModel::MatrixModel(std::vector<std::vector<double>> fractions,
+                         double request_rate)
+    : fractions_(std::move(fractions)), rate_(request_rate) {
+  MBUS_EXPECTS(!fractions_.empty(), "fraction matrix must be non-empty");
+  MBUS_EXPECTS(rate_ >= 0.0 && rate_ <= 1.0,
+               "request rate must lie in [0, 1]");
+  const std::size_t m = fractions_.front().size();
+  MBUS_EXPECTS(m > 0, "fraction matrix must have columns");
+  for (std::size_t p = 0; p < fractions_.size(); ++p) {
+    MBUS_EXPECTS(fractions_[p].size() == m,
+                 "all fraction rows must have the same length");
+    double row_sum = 0.0;
+    for (const double f : fractions_[p]) {
+      MBUS_EXPECTS(f >= 0.0 && f <= 1.0,
+                   "fractions must lie in [0, 1]");
+      row_sum += f;
+    }
+    MBUS_EXPECTS(std::fabs(row_sum - 1.0) <= 1e-9,
+                 cat("row ", p, " sums to ", row_sum, ", expected 1"));
+  }
+}
+
+MatrixModel MatrixModel::das_bhuyan(int num_processors, int num_memories,
+                                    double favorite_fraction,
+                                    double request_rate) {
+  MBUS_EXPECTS(num_processors >= 1, "need at least one processor");
+  MBUS_EXPECTS(num_memories >= 1, "need at least one memory module");
+  MBUS_EXPECTS(favorite_fraction >= 0.0 && favorite_fraction <= 1.0,
+               "favorite fraction must lie in [0, 1]");
+  if (num_memories == 1) {
+    MBUS_EXPECTS(favorite_fraction == 1.0,
+                 "single module must receive the whole fraction");
+  }
+  const double rest =
+      num_memories == 1
+          ? 0.0
+          : (1.0 - favorite_fraction) / static_cast<double>(num_memories - 1);
+  std::vector<std::vector<double>> rows(
+      static_cast<std::size_t>(num_processors),
+      std::vector<double>(static_cast<std::size_t>(num_memories), rest));
+  for (int p = 0; p < num_processors; ++p) {
+    rows[static_cast<std::size_t>(p)]
+        [static_cast<std::size_t>(p % num_memories)] = favorite_fraction;
+  }
+  return MatrixModel(std::move(rows), request_rate);
+}
+
+double MatrixModel::fraction(int p, int m) const {
+  MBUS_EXPECTS(p >= 0 && p < num_processors(),
+               "processor index out of range");
+  MBUS_EXPECTS(m >= 0 && m < num_memories(), "module index out of range");
+  return fractions_[static_cast<std::size_t>(p)]
+                   [static_cast<std::size_t>(m)];
+}
+
+}  // namespace mbus

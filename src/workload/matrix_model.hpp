@@ -1,0 +1,42 @@
+// A fully general requesting model backed by an explicit N×M row-stochastic
+// fraction matrix. Used for testing the closed forms against brute force
+// and for modelling workloads outside the hierarchical family (e.g. the
+// favorite-memory model of Das & Bhuyan with arbitrary skew).
+#pragma once
+
+#include <vector>
+
+#include "workload/request_model.hpp"
+
+namespace mbus {
+
+class MatrixModel final : public RequestModel {
+ public:
+  /// `fractions[p][m]` = P(request from p targets m). Every row must sum
+  /// to 1 within 1e-9; all rows must have the same length.
+  MatrixModel(std::vector<std::vector<double>> fractions,
+              double request_rate);
+
+  /// Das–Bhuyan favorite-memory model: processor p addresses module
+  /// (p mod M) with probability `favorite_fraction` and spreads the rest
+  /// evenly over the other modules.
+  static MatrixModel das_bhuyan(int num_processors, int num_memories,
+                                double favorite_fraction,
+                                double request_rate);
+
+  int num_processors() const noexcept override {
+    return static_cast<int>(fractions_.size());
+  }
+  int num_memories() const noexcept override {
+    return fractions_.empty() ? 0
+                              : static_cast<int>(fractions_.front().size());
+  }
+  double request_rate() const noexcept override { return rate_; }
+  double fraction(int p, int m) const override;
+
+ private:
+  std::vector<std::vector<double>> fractions_;
+  double rate_;
+};
+
+}  // namespace mbus

@@ -1,0 +1,59 @@
+#include "workload/request_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+double RequestModel::module_request_probability(int m) const {
+  MBUS_EXPECTS(m >= 0 && m < num_memories(), "module index out of range");
+  const double r = request_rate();
+  double miss_all = 1.0;
+  for (int p = 0; p < num_processors(); ++p) {
+    miss_all *= 1.0 - r * fraction(p, m);
+  }
+  return 1.0 - miss_all;
+}
+
+double RequestModel::symmetric_request_probability(double tol) const {
+  const double x0 = module_request_probability(0);
+  for (int m = 1; m < num_memories(); ++m) {
+    const double xm = module_request_probability(m);
+    MBUS_EXPECTS(std::fabs(xm - x0) <= tol,
+                 cat("model is not symmetric: X_0=", x0, " X_", m, "=", xm));
+  }
+  return x0;
+}
+
+std::vector<double> RequestModel::fraction_row(int p) const {
+  MBUS_EXPECTS(p >= 0 && p < num_processors(),
+               "processor index out of range");
+  std::vector<double> row(static_cast<std::size_t>(num_memories()));
+  for (int m = 0; m < num_memories(); ++m) {
+    row[static_cast<std::size_t>(m)] = fraction(p, m);
+  }
+  return row;
+}
+
+void RequestModel::validate(double tol) const {
+  MBUS_EXPECTS(num_processors() > 0, "model must have processors");
+  MBUS_EXPECTS(num_memories() > 0, "model must have memory modules");
+  const double r = request_rate();
+  MBUS_EXPECTS(r >= 0.0 && r <= 1.0, "request rate must lie in [0, 1]");
+  for (int p = 0; p < num_processors(); ++p) {
+    double row_sum = 0.0;
+    for (int m = 0; m < num_memories(); ++m) {
+      const double f = fraction(p, m);
+      MBUS_EXPECTS(f >= -tol && f <= 1.0 + tol,
+                   cat("fraction(", p, ",", m, ") = ", f, " out of [0,1]"));
+      row_sum += f;
+    }
+    MBUS_EXPECTS(std::fabs(row_sum - 1.0) <= tol,
+                 cat("fractions of processor ", p, " sum to ", row_sum,
+                     ", expected 1"));
+  }
+}
+
+}  // namespace mbus

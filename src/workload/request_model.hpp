@@ -1,0 +1,48 @@
+// Abstract memory-requesting model (Section III-A of Chen & Sheu).
+//
+// A request model answers one question: conditioned on processor `p`
+// issuing a request this cycle, what is the probability that it targets
+// memory module `m`? Together with the per-cycle request rate `r`
+// (assumption 3), this determines everything the bandwidth analysis needs,
+// in particular the per-module request probability
+//     X_m = 1 − Π_p (1 − r · fraction(p, m))                       (eq. 2)
+// i.e. the probability that at least one processor requests module m.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace mbus {
+
+class RequestModel {
+ public:
+  virtual ~RequestModel() = default;
+
+  virtual int num_processors() const noexcept = 0;
+  virtual int num_memories() const noexcept = 0;
+
+  /// Probability that a processor issues a request in a given cycle
+  /// (assumption 3); identical for all processors.
+  virtual double request_rate() const noexcept = 0;
+
+  /// P(request from `p` targets `m` | `p` issues a request).
+  /// Each row over m must sum to 1.
+  virtual double fraction(int p, int m) const = 0;
+
+  /// X_m computed from first principles as a product over all processors.
+  /// O(N); mainly used to cross-check closed forms.
+  double module_request_probability(int m) const;
+
+  /// X for symmetric models. Verifies every module agrees within `tol`
+  /// and throws InvalidArgument otherwise.
+  double symmetric_request_probability(double tol = 1e-9) const;
+
+  /// The full fraction row of processor `p` (for building samplers).
+  std::vector<double> fraction_row(int p) const;
+
+  /// Checks domain invariants: valid sizes, r in [0,1], rows sum to 1.
+  /// Throws InvalidArgument on violation.
+  void validate(double tol = 1e-9) const;
+};
+
+}  // namespace mbus

@@ -1,0 +1,45 @@
+#include "workload/uniform.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+UniformModel::UniformModel(int num_processors, int num_memories,
+                           BigRational request_rate)
+    : num_processors_(num_processors),
+      num_memories_(num_memories),
+      rate_(std::move(request_rate)) {
+  MBUS_EXPECTS(num_processors >= 1, "need at least one processor");
+  MBUS_EXPECTS(num_memories >= 1, "need at least one memory module");
+  MBUS_EXPECTS(!rate_.is_negative() && rate_ <= BigRational(1),
+               "request rate must lie in [0, 1]");
+  rate_double_ = rate_.to_double();
+  fraction_ = 1.0 / static_cast<double>(num_memories_);
+}
+
+double UniformModel::fraction(int p, int m) const {
+  MBUS_EXPECTS(p >= 0 && p < num_processors_, "processor index out of range");
+  MBUS_EXPECTS(m >= 0 && m < num_memories_, "module index out of range");
+  return fraction_;
+}
+
+BigRational UniformModel::exact_request_probability() const {
+  const BigRational miss =
+      BigRational(1) - rate_ / BigRational(num_memories_);
+  return BigRational(1) - miss.pow(num_processors_);
+}
+
+double UniformModel::closed_form_request_probability() const {
+  return request_probability_at(rate_double_);
+}
+
+double UniformModel::request_probability_at(double rate) const {
+  MBUS_EXPECTS(rate >= 0.0 && rate <= 1.0,
+               "request rate must lie in [0, 1]");
+  const double miss = 1.0 - rate / static_cast<double>(num_memories_);
+  return 1.0 - std::pow(miss, static_cast<double>(num_processors_));
+}
+
+}  // namespace mbus

@@ -1,0 +1,38 @@
+// The uniform requesting model: every processor addresses every memory
+// module with equal probability 1/M. This is the baseline against which
+// the hierarchical model is compared throughout Section IV.
+#pragma once
+
+#include "bignum/bigrational.hpp"
+#include "workload/request_model.hpp"
+
+namespace mbus {
+
+class UniformModel final : public RequestModel {
+ public:
+  UniformModel(int num_processors, int num_memories,
+               BigRational request_rate);
+
+  int num_processors() const noexcept override { return num_processors_; }
+  int num_memories() const noexcept override { return num_memories_; }
+  double request_rate() const noexcept override { return rate_double_; }
+  double fraction(int p, int m) const override;
+
+  /// X = 1 − (1 − r/M)^N, exactly.
+  BigRational exact_request_probability() const;
+  /// X in double precision.
+  double closed_form_request_probability() const;
+  /// X evaluated at an overridden request rate (for the adjusted-rate
+  /// resubmission fixed point).
+  double request_probability_at(double rate) const;
+  const BigRational& exact_request_rate() const noexcept { return rate_; }
+
+ private:
+  int num_processors_;
+  int num_memories_;
+  BigRational rate_;
+  double rate_double_;
+  double fraction_;
+};
+
+}  // namespace mbus

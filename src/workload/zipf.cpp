@@ -1,0 +1,46 @@
+#include "workload/zipf.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+ZipfModel::ZipfModel(int num_processors, int num_memories, double exponent,
+                     double request_rate)
+    : num_processors_(num_processors),
+      exponent_(exponent),
+      rate_(request_rate) {
+  MBUS_EXPECTS(num_processors >= 1, "need at least one processor");
+  MBUS_EXPECTS(num_memories >= 1, "need at least one memory module");
+  MBUS_EXPECTS(std::isfinite(exponent) && exponent >= 0.0,
+               "Zipf exponent must be finite and >= 0");
+  MBUS_EXPECTS(request_rate >= 0.0 && request_rate <= 1.0,
+               "request rate must lie in [0, 1]");
+  fractions_.resize(static_cast<std::size_t>(num_memories));
+  double norm = 0.0;
+  for (int m = 0; m < num_memories; ++m) {
+    fractions_[static_cast<std::size_t>(m)] =
+        1.0 / std::pow(static_cast<double>(m + 1), exponent);
+    norm += fractions_[static_cast<std::size_t>(m)];
+  }
+  for (double& f : fractions_) f /= norm;
+}
+
+double ZipfModel::fraction(int p, int m) const {
+  MBUS_EXPECTS(p >= 0 && p < num_processors_, "processor index out of range");
+  MBUS_EXPECTS(m >= 0 && m < num_memories(), "module index out of range");
+  return fractions_[static_cast<std::size_t>(m)];
+}
+
+std::vector<double> ZipfModel::per_module_request_probabilities() const {
+  std::vector<double> xs;
+  xs.reserve(fractions_.size());
+  for (const double f : fractions_) {
+    xs.push_back(1.0 - std::pow(1.0 - rate_ * f,
+                                static_cast<double>(num_processors_)));
+  }
+  return xs;
+}
+
+}  // namespace mbus

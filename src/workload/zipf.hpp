@@ -1,0 +1,41 @@
+// Zipf-distributed module popularity: module m is requested with
+// probability proportional to 1/(m+1)^s. The classic skewed-popularity
+// model; with s = 0 it degenerates to uniform referencing. Like the
+// hot-spot model this is asymmetric across modules, so the bandwidth
+// analysis goes through analysis/asymmetric.hpp.
+#pragma once
+
+#include <vector>
+
+#include "workload/request_model.hpp"
+
+namespace mbus {
+
+class ZipfModel final : public RequestModel {
+ public:
+  /// `exponent` = s >= 0. All processors share the same popularity
+  /// ranking (module 0 most popular).
+  ZipfModel(int num_processors, int num_memories, double exponent,
+            double request_rate);
+
+  int num_processors() const noexcept override { return num_processors_; }
+  int num_memories() const noexcept override {
+    return static_cast<int>(fractions_.size());
+  }
+  double request_rate() const noexcept override { return rate_; }
+  double fraction(int p, int m) const override;
+
+  double exponent() const noexcept { return exponent_; }
+
+  /// X_m for every module, closed form (all processors identical):
+  /// X_m = 1 − (1 − r·f_m)^N.
+  std::vector<double> per_module_request_probabilities() const;
+
+ private:
+  int num_processors_;
+  double exponent_;
+  double rate_;
+  std::vector<double> fractions_;  // shared by all processors
+};
+
+}  // namespace mbus

@@ -1,0 +1,104 @@
+#include "util/alias_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(AliasSampler, RejectsBadInput) {
+  EXPECT_THROW(AliasSampler({}), InvalidArgument);
+  EXPECT_THROW(AliasSampler({0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(AliasSampler({1.0, -0.5}), InvalidArgument);
+  EXPECT_THROW(AliasSampler({std::numeric_limits<double>::quiet_NaN()}),
+               InvalidArgument);
+}
+
+TEST(AliasSampler, SingleOutcome) {
+  AliasSampler sampler({5.0});
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.sample(rng), 0u);
+  }
+  EXPECT_NEAR(sampler.probability(0), 1.0, 1e-12);
+}
+
+TEST(AliasSampler, TableEncodesExactProbabilities) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler(weights);
+  const double total = 10.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(sampler.probability(i), weights[i] / total, 1e-12);
+  }
+}
+
+TEST(AliasSampler, ZeroWeightNeverSampled) {
+  AliasSampler sampler({0.0, 1.0, 0.0, 1.0});
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t s = sampler.sample(rng);
+    ASSERT_TRUE(s == 1 || s == 3);
+  }
+  EXPECT_NEAR(sampler.probability(0), 0.0, 1e-12);
+  EXPECT_NEAR(sampler.probability(2), 0.0, 1e-12);
+}
+
+TEST(AliasSampler, EmpiricalFrequenciesMatch) {
+  const std::vector<double> weights = {0.6, 0.3, 0.1};
+  AliasSampler sampler(weights);
+  Xoshiro256 rng(3);
+  const int samples = 300000;
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < samples; ++i) {
+    ++counts[sampler.sample(rng)];
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / samples, weights[i], 0.005);
+  }
+}
+
+TEST(AliasSampler, SkewedDistribution) {
+  // One heavy outcome among many light ones — the regime the alias method
+  // exists for.
+  std::vector<double> weights(100, 0.001);
+  weights[42] = 1.0;
+  AliasSampler sampler(weights);
+  Xoshiro256 rng(4);
+  const int samples = 100000;
+  int heavy = 0;
+  for (int i = 0; i < samples; ++i) {
+    if (sampler.sample(rng) == 42) ++heavy;
+  }
+  const double expected = 1.0 / (1.0 + 99.0 * 0.001);
+  EXPECT_NEAR(static_cast<double>(heavy) / samples, expected, 0.01);
+}
+
+TEST(AliasSampler, ProbabilitiesSumToOne) {
+  const std::vector<double> weights = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0};
+  AliasSampler sampler(weights);
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    total += sampler.probability(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(AliasSampler, ProbabilityIndexOutOfRangeThrows) {
+  AliasSampler sampler({1.0, 1.0});
+  EXPECT_THROW(sampler.probability(2), InvalidArgument);
+}
+
+TEST(AliasSampler, UniformWeightsAreUniform) {
+  AliasSampler sampler(std::vector<double>(8, 1.0));
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(sampler.probability(i), 0.125, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,186 @@
+#include "analysis/asymmetric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bandwidth.hpp"
+#include "core/system.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+#include "workload/hotspot.hpp"
+
+namespace mbus {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(Asymmetric, SymmetricInputReducesToSymmetricFormulas) {
+  const double x = 0.65;
+  const std::vector<double> xs(8, x);
+  for (int b = 1; b <= 8; ++b) {
+    EXPECT_NEAR(asymmetric_bandwidth_full(xs, b), bandwidth_full(8, b, x),
+                kTol)
+        << "B=" << b;
+  }
+  // partial g=2 over contiguous halves.
+  std::vector<int> groups = {0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_NEAR(asymmetric_bandwidth_partial_g(groups, 2, 2, xs),
+              bandwidth_partial_g(8, 4, 2, x), kTol);
+  // K = 4 classes of 2.
+  std::vector<int> classes = {1, 1, 2, 2, 3, 3, 4, 4};
+  EXPECT_NEAR(asymmetric_bandwidth_k_classes(classes, 4, 4, xs),
+              bandwidth_k_classes(4, {2, 2, 2, 2}, x), kTol);
+  // single, 2 modules per bus.
+  std::vector<std::vector<int>> on_bus = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  EXPECT_NEAR(asymmetric_bandwidth_single(on_bus, xs),
+              bandwidth_single({2, 2, 2, 2}, x), kTol);
+}
+
+TEST(Asymmetric, SingleHandComputed) {
+  // Bus 0 carries X = {0.5, 0.5}; bus 1 carries {0.9}.
+  std::vector<std::vector<int>> on_bus = {{0, 1}, {2}};
+  const std::vector<double> xs = {0.5, 0.5, 0.9};
+  EXPECT_NEAR(asymmetric_bandwidth_single(on_bus, xs),
+              (1.0 - 0.25) + 0.9, kTol);
+}
+
+TEST(Asymmetric, FullBoundedByCapacityAndOffered) {
+  const std::vector<double> xs = {0.99, 0.9, 0.1, 0.05, 0.5};
+  double offered = 0.0;
+  for (const double x : xs) offered += x;
+  for (int b = 1; b <= 5; ++b) {
+    const double mbw = asymmetric_bandwidth_full(xs, b);
+    EXPECT_LE(mbw, static_cast<double>(b) + kTol);
+    EXPECT_LE(mbw, offered + kTol);
+    EXPECT_GE(mbw, 0.0);
+  }
+  EXPECT_NEAR(asymmetric_bandwidth_full(xs, 5), offered, kTol);
+}
+
+TEST(Asymmetric, DispatchMatchesDirectForms) {
+  const std::vector<double> xs = {0.9, 0.7, 0.5, 0.3, 0.2, 0.4, 0.6, 0.8};
+  FullTopology full(8, 8, 4);
+  EXPECT_NEAR(asymmetric_analytical_bandwidth(full, xs),
+              asymmetric_bandwidth_full(xs, 4), kTol);
+  auto single = SingleTopology::even(8, 8, 4);
+  std::vector<std::vector<int>> on_bus = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  EXPECT_NEAR(asymmetric_analytical_bandwidth(single, xs),
+              asymmetric_bandwidth_single(on_bus, xs), kTol);
+  PartialGTopology partial(8, 8, 4, 2);
+  std::vector<int> groups = {0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_NEAR(asymmetric_analytical_bandwidth(partial, xs),
+              asymmetric_bandwidth_partial_g(groups, 2, 2, xs), kTol);
+  auto kc = KClassTopology::even(8, 8, 4, 4);
+  std::vector<int> classes = {1, 1, 2, 2, 3, 3, 4, 4};
+  EXPECT_NEAR(asymmetric_analytical_bandwidth(kc, xs),
+              asymmetric_bandwidth_k_classes(classes, 4, 4, xs), kTol);
+}
+
+TEST(Asymmetric, PerModuleProbabilitiesMatchModel) {
+  HotSpotModel hs(8, 8, /*hot_module=*/3, BigRational::parse("0.25"),
+                  BigRational(1));
+  const auto xs = per_module_request_probabilities(hs);
+  ASSERT_EQ(xs.size(), 8u);
+  EXPECT_NEAR(xs[3], hs.hot_request_probability(), 1e-12);
+  for (int m = 0; m < 8; ++m) {
+    if (m == 3) continue;
+    EXPECT_NEAR(xs[static_cast<std::size_t>(m)],
+                hs.cold_request_probability(), 1e-12);
+  }
+}
+
+TEST(Asymmetric, HotSpotDegradesFullBandwidth) {
+  // With the offered rate fixed, concentrating traffic on one module
+  // reduces the number of distinct requested modules and thus bandwidth.
+  UniformModel uniform(16, 16, BigRational(1));
+  HotSpotModel hot(16, 16, 0, BigRational::parse("0.5"), BigRational(1));
+  FullTopology topo(16, 16, 8);
+  const double mbw_uniform =
+      asymmetric_analytical_bandwidth(topo, uniform);
+  const double mbw_hot = asymmetric_analytical_bandwidth(topo, hot);
+  EXPECT_LT(mbw_hot, mbw_uniform - 0.5);
+}
+
+TEST(Asymmetric, MatchesSimulationOnHotSpot) {
+  HotSpotModel hot(16, 16, 0, BigRational::parse("0.3"),
+                   BigRational::parse("0.5"));
+  FullTopology topo(16, 16, 8);
+  SimConfig cfg;
+  cfg.cycles = 100000;
+  const SimResult r = simulate(topo, hot, cfg);
+  const double analytic = asymmetric_analytical_bandwidth(topo, hot);
+  EXPECT_NEAR(r.bandwidth / analytic, 1.0, 0.05);
+}
+
+TEST(Asymmetric, HotSpotPlacementMattersForKClasses) {
+  // Placing the hot module in the best-connected class (C_K) must yield
+  // at least the bandwidth of placing it in the worst-connected (C_1) —
+  // the paper's design principle "frequently referenced modules connect
+  // to more buses".
+  auto topo = KClassTopology::even(16, 16, 8, 8);
+  HotSpotModel hot_in_c1(16, 16, /*hot=*/0, BigRational::parse("0.4"),
+                         BigRational(1));
+  HotSpotModel hot_in_ck(16, 16, /*hot=*/15, BigRational::parse("0.4"),
+                         BigRational(1));
+  const double worst = asymmetric_analytical_bandwidth(topo, hot_in_c1);
+  const double best = asymmetric_analytical_bandwidth(topo, hot_in_ck);
+  EXPECT_GT(best, worst + 1e-3);
+}
+
+TEST(Asymmetric, ValidationErrors) {
+  EXPECT_THROW(asymmetric_bandwidth_full({}, 2), InvalidArgument);
+  EXPECT_THROW(asymmetric_bandwidth_full({1.2}, 2), InvalidArgument);
+  EXPECT_THROW(asymmetric_bandwidth_partial_g({0, 0}, 2, 1, {0.5}),
+               InvalidArgument);
+  EXPECT_THROW(asymmetric_bandwidth_k_classes({1, 5}, 2, 4, {0.5, 0.5}),
+               InvalidArgument);
+  FullTopology topo(4, 4, 2);
+  EXPECT_THROW(asymmetric_analytical_bandwidth(topo, {0.5}),
+               InvalidArgument);
+}
+
+TEST(HotSpot, FractionsAndValidation) {
+  HotSpotModel hs(4, 8, 2, BigRational::parse("0.5"), BigRational(1));
+  EXPECT_NEAR(hs.fraction(0, 2), 0.5 + 0.5 / 8, 1e-15);
+  EXPECT_NEAR(hs.fraction(3, 5), 0.5 / 8, 1e-15);
+  EXPECT_NO_THROW(hs.validate());
+  EXPECT_THROW(HotSpotModel(4, 8, 8, BigRational::parse("0.5"),
+                            BigRational(1)),
+               InvalidArgument);
+  EXPECT_THROW(HotSpotModel(4, 8, 0, BigRational::parse("1.5"),
+                            BigRational(1)),
+               InvalidArgument);
+}
+
+TEST(HotSpot, ZeroFractionIsUniform) {
+  HotSpotModel hs(8, 8, 0, BigRational(0), BigRational(1));
+  UniformModel u(8, 8, BigRational(1));
+  EXPECT_NEAR(hs.hot_request_probability(),
+              u.closed_form_request_probability(), 1e-12);
+  EXPECT_NEAR(hs.cold_request_probability(),
+              u.closed_form_request_probability(), 1e-12);
+}
+
+TEST(HotSpot, ExactMatchesDouble) {
+  HotSpotModel hs(8, 8, 0, BigRational::parse("0.25"),
+                  BigRational::parse("0.5"));
+  EXPECT_NEAR(hs.exact_hot_request_probability().to_double(),
+              hs.hot_request_probability(), 1e-12);
+  EXPECT_NEAR(hs.exact_cold_request_probability().to_double(),
+              hs.cold_request_probability(), 1e-12);
+}
+
+TEST(HotSpot, FullFractionSendsEverythingToHotModule) {
+  HotSpotModel hs(8, 8, 5, BigRational(1), BigRational(1));
+  EXPECT_NEAR(hs.fraction(0, 5), 1.0, 1e-15);
+  EXPECT_NEAR(hs.fraction(0, 0), 0.0, 1e-15);
+  EXPECT_NEAR(hs.hot_request_probability(), 1.0, 1e-12);
+  EXPECT_NEAR(hs.cold_request_probability(), 0.0, 1e-12);
+  // Bandwidth collapses to one service per cycle on any topology.
+  FullTopology topo(8, 8, 4);
+  EXPECT_NEAR(asymmetric_analytical_bandwidth(topo, hs), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mbus

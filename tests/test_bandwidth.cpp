@@ -1,0 +1,245 @@
+#include "analysis/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/exact_bandwidth.hpp"
+#include "core/system.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(Bandwidth, Crossbar) {
+  EXPECT_NEAR(bandwidth_crossbar(8, 0.5), 4.0, kTol);
+  EXPECT_NEAR(bandwidth_crossbar(16, 0.0), 0.0, kTol);
+  EXPECT_NEAR(bandwidth_crossbar(16, 1.0), 16.0, kTol);
+  EXPECT_THROW(bandwidth_crossbar(0, 0.5), InvalidArgument);
+  EXPECT_THROW(bandwidth_crossbar(8, 1.5), InvalidArgument);
+}
+
+TEST(Bandwidth, FullAtXOneIsBusLimited) {
+  // Every module requested every cycle: MBW = min(M, B) = B.
+  for (int b = 1; b <= 8; ++b) {
+    EXPECT_NEAR(bandwidth_full(8, b, 1.0), static_cast<double>(b), kTol);
+  }
+}
+
+TEST(Bandwidth, FullAtXZeroIsZero) {
+  EXPECT_NEAR(bandwidth_full(8, 4, 0.0), 0.0, kTol);
+}
+
+TEST(Bandwidth, FullWithEnoughBusesEqualsCrossbar) {
+  for (const double x : {0.1, 0.5, 0.746859}) {
+    EXPECT_NEAR(bandwidth_full(8, 8, x), bandwidth_crossbar(8, x), kTol);
+    EXPECT_NEAR(bandwidth_full(12, 12, x), bandwidth_crossbar(12, x), kTol);
+  }
+}
+
+TEST(Bandwidth, FullMonotoneNondecreasingInBuses) {
+  const double x = 0.65;
+  double prev = 0.0;
+  for (int b = 1; b <= 16; ++b) {
+    const double cur = bandwidth_full(16, b, x);
+    EXPECT_GE(cur, prev - kTol);
+    prev = cur;
+  }
+}
+
+TEST(Bandwidth, FullBoundedByCapacityAndOffered) {
+  for (const double x : {0.2, 0.5, 0.9}) {
+    for (int b = 1; b <= 12; ++b) {
+      const double mbw = bandwidth_full(12, b, x);
+      EXPECT_LE(mbw, static_cast<double>(b) + kTol);
+      EXPECT_LE(mbw, 12.0 * x + kTol);
+      EXPECT_GE(mbw, 0.0);
+    }
+  }
+}
+
+TEST(Bandwidth, SingleMatchesFormula) {
+  // MBW_s = Σ 1 − (1−X)^{M_b}.
+  const double x = 0.6;
+  EXPECT_NEAR(bandwidth_single({2, 2}, x),
+              2.0 * (1.0 - std::pow(0.4, 2)), kTol);
+  EXPECT_NEAR(bandwidth_single({1, 3}, x),
+              (1.0 - 0.4) + (1.0 - std::pow(0.4, 3)), kTol);
+}
+
+TEST(Bandwidth, SingleWithOneModulePerBusEqualsCrossbar) {
+  const double x = 0.746859;
+  EXPECT_NEAR(bandwidth_single(std::vector<int>(8, 1), x),
+              bandwidth_crossbar(8, x), kTol);
+}
+
+TEST(Bandwidth, SingleEmptyBusContributesNothing) {
+  EXPECT_NEAR(bandwidth_single({0, 4}, 0.5),
+              bandwidth_single({4}, 0.5), kTol);
+}
+
+TEST(Bandwidth, PartialGOneEqualsFull) {
+  for (const double x : {0.3, 0.746859}) {
+    for (int b = 1; b <= 8; ++b) {
+      EXPECT_NEAR(bandwidth_partial_g(8, b, 1, x), bandwidth_full(8, b, x),
+                  kTol);
+    }
+  }
+}
+
+TEST(Bandwidth, PartialGEqualsBEqualsMIsCrossbar) {
+  // g = B = M: every group is one module on one bus.
+  const double x = 0.55;
+  EXPECT_NEAR(bandwidth_partial_g(8, 8, 8, x), bandwidth_crossbar(8, x),
+              kTol);
+}
+
+TEST(Bandwidth, PartialBelowFullAboveSingle) {
+  // For the same B, full >= partial(g=2) >= single(even) — the Section IV
+  // ordering.
+  const double x = 0.746859;
+  for (int b = 2; b <= 8; b += 2) {
+    const double full = bandwidth_full(8, b, x);
+    const double partial = bandwidth_partial_g(8, b, 2, x);
+    const double single =
+        bandwidth_single(std::vector<int>(static_cast<std::size_t>(b), 8 / b),
+                         x);
+    EXPECT_GE(full, partial - kTol) << "B=" << b;
+    EXPECT_GE(partial, single - kTol) << "B=" << b;
+  }
+}
+
+TEST(Bandwidth, PartialGDivisibilityEnforced) {
+  EXPECT_THROW(bandwidth_partial_g(9, 4, 2, 0.5), InvalidArgument);
+  EXPECT_THROW(bandwidth_partial_g(8, 5, 2, 0.5), InvalidArgument);
+}
+
+TEST(Bandwidth, KClassesSingleClassEqualsFull) {
+  // K = 1: all modules on all buses — reduces to eq. 4.
+  for (const double x : {0.3, 0.746859, 0.95}) {
+    for (int b = 1; b <= 8; ++b) {
+      EXPECT_NEAR(bandwidth_k_classes(b, {8}, x), bandwidth_full(8, b, x),
+                  1e-10)
+          << "x=" << x << " B=" << b;
+    }
+  }
+}
+
+TEST(Bandwidth, KClassesHandValue) {
+  // Hand-computed N=8, B=K=4, classes of 2, X for the Section IV setup:
+  // Y_4 = 1 − q², Y_3 = Y_2 = Y_1 = 1 − q²(q² + 2Xq).
+  const double x = 0.7468592526938238;
+  const double q = 1.0 - x;
+  const double y4 = 1.0 - q * q;
+  const double y_rest = 1.0 - (q * q) * (q * q + 2.0 * x * q);
+  EXPECT_NEAR(bandwidth_k_classes(4, {2, 2, 2, 2}, x), y4 + 3.0 * y_rest,
+              1e-12);
+}
+
+TEST(Bandwidth, KClassesAtXOneSaturates) {
+  // All modules requested: with K = B and M_j = 2 every bus is requested,
+  // so MBW = B.
+  EXPECT_NEAR(bandwidth_k_classes(4, {2, 2, 2, 2}, 1.0), 4.0, kTol);
+  // With K = 2 classes of 3 on B = 6 buses, the top-down assignment can
+  // only ever reach buses 3..6 (class 1 covers buses 5,4,3; class 2 covers
+  // 6,5,4): buses 1 and 2 are structurally idle, so MBW = 4, not 6.
+  EXPECT_NEAR(bandwidth_k_classes(6, {3, 3}, 1.0), 4.0, kTol);
+}
+
+TEST(Bandwidth, KClassesEmptyClassActsAsAbsent) {
+  // An empty class contributes Q_j(0) = 1 everywhere.
+  const double x = 0.6;
+  EXPECT_NEAR(bandwidth_k_classes(4, {0, 8, 0, 0}, x),
+              bandwidth_k_classes(4, std::vector<int>{0, 8, 0, 0}, x), kTol);
+  // With modules only in C_2 of K=4/B=4, buses 3,4 can never be requested:
+  // C_2 connects to buses 1..2 only.
+  const double mbw = bandwidth_k_classes(4, {0, 8, 0, 0}, 1.0);
+  EXPECT_NEAR(mbw, 2.0, kTol);
+}
+
+TEST(Bandwidth, KClassesValidation) {
+  EXPECT_THROW(bandwidth_k_classes(2, {1, 1, 1}, 0.5), InvalidArgument);
+  EXPECT_THROW(bandwidth_k_classes(4, std::vector<int>{}, 0.5),
+               InvalidArgument);
+  EXPECT_THROW(bandwidth_k_classes(4, {2, -2, 2, 2}, 0.5), InvalidArgument);
+}
+
+TEST(Bandwidth, DispatchMatchesDirectCalls) {
+  const double x = 0.65;
+  FullTopology full(8, 8, 4);
+  EXPECT_NEAR(analytical_bandwidth(full, x), bandwidth_full(8, 4, x), kTol);
+  auto single = SingleTopology::even(8, 8, 4);
+  EXPECT_NEAR(analytical_bandwidth(single, x),
+              bandwidth_single({2, 2, 2, 2}, x), kTol);
+  PartialGTopology partial(8, 8, 4, 2);
+  EXPECT_NEAR(analytical_bandwidth(partial, x),
+              bandwidth_partial_g(8, 4, 2, x), kTol);
+  auto kc = KClassTopology::even(8, 8, 4, 4);
+  EXPECT_NEAR(analytical_bandwidth(kc, x),
+              bandwidth_k_classes(4, {2, 2, 2, 2}, x), kTol);
+}
+
+// ----- exact path parity ---------------------------------------------------
+
+TEST(ExactBandwidth, MatchesDoubleEverywhere) {
+  const BigRational x_exact =
+      BigRational(1) - BigRational::ratio(2, 5) * BigRational::ratio(7, 10) *
+                           BigRational::ratio(59, 60).pow(6);
+  const double x = x_exact.to_double();
+  for (int b = 1; b <= 8; ++b) {
+    EXPECT_NEAR(exact_bandwidth_full(8, b, x_exact).to_double(),
+                bandwidth_full(8, b, x), 1e-12)
+        << "B=" << b;
+  }
+  EXPECT_NEAR(exact_bandwidth_single({2, 2, 2, 2}, x_exact).to_double(),
+              bandwidth_single({2, 2, 2, 2}, x), 1e-12);
+  EXPECT_NEAR(exact_bandwidth_partial_g(8, 4, 2, x_exact).to_double(),
+              bandwidth_partial_g(8, 4, 2, x), 1e-12);
+  EXPECT_NEAR(
+      exact_bandwidth_k_classes(4, {2, 2, 2, 2}, x_exact).to_double(),
+      bandwidth_k_classes(4, {2, 2, 2, 2}, x), 1e-12);
+}
+
+TEST(ExactBandwidth, LargeNWhereDoublesNeedCare) {
+  // N = 512, B = 128, X = 255/256: the binomial terms individually
+  // overflow/underflow naive evaluation; compare the stable double path
+  // against the exact one.
+  const BigRational x_exact = BigRational::ratio(255, 256);
+  const double exact =
+      exact_bandwidth_full(512, 128, x_exact).to_double();
+  const double approx = bandwidth_full(512, 128, x_exact.to_double());
+  EXPECT_NEAR(approx / exact, 1.0, 1e-10);
+}
+
+TEST(ExactBandwidth, CrossbarExactness) {
+  EXPECT_EQ(exact_bandwidth_crossbar(8, BigRational::ratio(1, 2)),
+            BigRational(4));
+}
+
+TEST(ExactBandwidth, DispatchMatchesDirect) {
+  const BigRational x = BigRational::ratio(3, 5);
+  auto kc = KClassTopology::even(8, 8, 4, 4);
+  EXPECT_EQ(exact_analytical_bandwidth(kc, x),
+            exact_bandwidth_k_classes(4, {2, 2, 2, 2}, x));
+  FullTopology full(8, 8, 4);
+  EXPECT_EQ(exact_analytical_bandwidth(full, x),
+            exact_bandwidth_full(8, 4, x));
+}
+
+TEST(ExactBandwidth, KClassesReductionToFullIsExact) {
+  const BigRational x = BigRational::ratio(2, 3);
+  EXPECT_EQ(exact_bandwidth_k_classes(5, {10}, x),
+            exact_bandwidth_full(10, 5, x));
+}
+
+TEST(ExactBandwidth, PartialSumOfGroupsIsExact) {
+  const BigRational x = BigRational::ratio(1, 4);
+  EXPECT_EQ(exact_bandwidth_partial_g(12, 6, 3, x),
+            BigRational(3) * exact_bandwidth_full(4, 2, x));
+}
+
+}  // namespace
+}  // namespace mbus

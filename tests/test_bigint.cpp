@@ -1,0 +1,134 @@
+#include "bignum/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mbus {
+namespace {
+
+std::int64_t small_signed(Xoshiro256& rng) {
+  // Values in [-2^31, 2^31) so products fit int64 comfortably.
+  return static_cast<std::int64_t>(rng.below(1ULL << 32)) -
+         (1LL << 31);
+}
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_negative());
+  EXPECT_EQ(z.signum(), 0);
+  EXPECT_EQ(z.to_decimal(), "0");
+}
+
+TEST(BigInt, NegativeZeroNormalizes) {
+  BigInt z(true, BigUint(0));
+  EXPECT_FALSE(z.is_negative());
+  EXPECT_EQ(z, BigInt(0));
+}
+
+TEST(BigInt, FromI64Extremes) {
+  const auto min = std::numeric_limits<std::int64_t>::min();
+  const auto max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(BigInt(min).to_decimal(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(max).to_decimal(), "9223372036854775807");
+  EXPECT_EQ(BigInt(min).to_i64(), min);
+  EXPECT_EQ(BigInt(max).to_i64(), max);
+}
+
+TEST(BigInt, ToI64OverflowThrows) {
+  const BigInt big = BigInt::from_decimal("9223372036854775808");  // 2^63
+  EXPECT_THROW(big.to_i64(), DomainError);
+  const BigInt small = BigInt::from_decimal("-9223372036854775809");
+  EXPECT_THROW(small.to_i64(), DomainError);
+  EXPECT_EQ(BigInt::from_decimal("-9223372036854775808").to_i64(),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(BigInt, ParseSigns) {
+  EXPECT_EQ(BigInt::from_decimal("-42"), BigInt(-42));
+  EXPECT_EQ(BigInt::from_decimal("+42"), BigInt(42));
+  EXPECT_EQ(BigInt::from_decimal("42"), BigInt(42));
+  EXPECT_THROW(BigInt::from_decimal(""), InvalidArgument);
+  EXPECT_THROW(BigInt::from_decimal("-"), InvalidArgument);
+}
+
+TEST(BigInt, ArithmeticRandomizedAgainstI64) {
+  Xoshiro256 rng(201);
+  for (int i = 0; i < 3000; ++i) {
+    const std::int64_t a = small_signed(rng);
+    const std::int64_t b = small_signed(rng);
+    EXPECT_EQ((BigInt(a) + BigInt(b)).to_i64(), a + b);
+    EXPECT_EQ((BigInt(a) - BigInt(b)).to_i64(), a - b);
+    EXPECT_EQ((BigInt(a) * BigInt(b)).to_i64(), a * b);
+    if (b != 0) {
+      EXPECT_EQ((BigInt(a) / BigInt(b)).to_i64(), a / b);
+      EXPECT_EQ((BigInt(a) % BigInt(b)).to_i64(), a % b);
+    }
+  }
+}
+
+TEST(BigInt, TruncatedDivisionSemantics) {
+  // C++ semantics: quotient rounds toward zero, remainder keeps the sign
+  // of the dividend.
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_i64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_i64(), -3);
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).to_i64(), -3);
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).to_i64(), 3);
+  EXPECT_EQ((BigInt(7) % BigInt(2)).to_i64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).to_i64(), -1);
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).to_i64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(-2)).to_i64(), -1);
+}
+
+TEST(BigInt, ComparisonAcrossSigns) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_LT(BigInt(-1), BigInt(0));
+  EXPECT_EQ(BigInt(-5), BigInt(-5));
+  EXPECT_GT(BigInt(5), BigInt(-5));
+}
+
+TEST(BigInt, NegationAndAbs) {
+  EXPECT_EQ((-BigInt(5)).to_i64(), -5);
+  EXPECT_EQ((-BigInt(-5)).to_i64(), 5);
+  EXPECT_EQ((-BigInt(0)).to_i64(), 0);
+  EXPECT_EQ(BigInt(-5).abs(), BigInt(5));
+  EXPECT_EQ(BigInt(5).abs(), BigInt(5));
+}
+
+TEST(BigInt, PowSignAlternates) {
+  EXPECT_EQ(BigInt(-2).pow(3), BigInt(-8));
+  EXPECT_EQ(BigInt(-2).pow(4), BigInt(16));
+  EXPECT_EQ(BigInt(-2).pow(0), BigInt(1));
+  EXPECT_EQ(BigInt(3).pow(5), BigInt(243));
+}
+
+TEST(BigInt, HugeValuesRoundTrip) {
+  const std::string s = "-12345678901234567890123456789012345678901234567890";
+  EXPECT_EQ(BigInt::from_decimal(s).to_decimal(), s);
+}
+
+TEST(BigInt, ToDoubleSigned) {
+  EXPECT_DOUBLE_EQ(BigInt(-1000).to_double(), -1000.0);
+  EXPECT_DOUBLE_EQ(BigInt(1000).to_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(BigInt(0).to_double(), 0.0);
+}
+
+TEST(BigInt, CompoundOperators) {
+  BigInt v(10);
+  v += BigInt(-15);
+  EXPECT_EQ(v, BigInt(-5));
+  v -= BigInt(-3);
+  EXPECT_EQ(v, BigInt(-2));
+  v *= BigInt(-6);
+  EXPECT_EQ(v, BigInt(12));
+}
+
+}  // namespace
+}  // namespace mbus

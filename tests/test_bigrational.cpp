@@ -1,0 +1,170 @@
+#include "bignum/bigrational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(BigRational, DefaultIsZero) {
+  BigRational z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_TRUE(z.is_integer());
+  EXPECT_EQ(z.to_string(), "0");
+}
+
+TEST(BigRational, ReducesOnConstruction) {
+  const BigRational r(BigInt(6), BigInt(8));
+  EXPECT_EQ(r.to_string(), "3/4");
+  EXPECT_EQ(BigRational(BigInt(10), BigInt(5)).to_string(), "2");
+  EXPECT_EQ(BigRational(BigInt(0), BigInt(7)).to_string(), "0");
+}
+
+TEST(BigRational, SignNormalization) {
+  EXPECT_EQ(BigRational(BigInt(-1), BigInt(2)).to_string(), "-1/2");
+  EXPECT_EQ(BigRational(BigInt(1), BigInt(-2)).to_string(), "-1/2");
+  EXPECT_EQ(BigRational(BigInt(-1), BigInt(-2)).to_string(), "1/2");
+}
+
+TEST(BigRational, ZeroDenominatorThrows) {
+  EXPECT_THROW(BigRational(BigInt(1), BigInt(0)), DomainError);
+  EXPECT_THROW(BigRational::ratio(1, 0), DomainError);
+}
+
+TEST(BigRational, ParseIntegers) {
+  EXPECT_EQ(BigRational::parse("42").to_string(), "42");
+  EXPECT_EQ(BigRational::parse("-42").to_string(), "-42");
+}
+
+TEST(BigRational, ParseFractions) {
+  EXPECT_EQ(BigRational::parse("3/8").to_string(), "3/8");
+  EXPECT_EQ(BigRational::parse("-6/8").to_string(), "-3/4");
+}
+
+TEST(BigRational, ParseDecimals) {
+  EXPECT_EQ(BigRational::parse("0.5"), BigRational::ratio(1, 2));
+  EXPECT_EQ(BigRational::parse("0.6"), BigRational::ratio(3, 5));
+  EXPECT_EQ(BigRational::parse("-12.0625"), BigRational::ratio(-193, 16));
+  EXPECT_EQ(BigRational::parse(".25"), BigRational::ratio(1, 4));
+  EXPECT_EQ(BigRational::parse("-0.1"), BigRational::ratio(-1, 10));
+  EXPECT_THROW(BigRational::parse("1."), InvalidArgument);
+  EXPECT_THROW(BigRational::parse(""), InvalidArgument);
+}
+
+TEST(BigRational, ArithmeticIdentities) {
+  const BigRational half = BigRational::ratio(1, 2);
+  const BigRational third = BigRational::ratio(1, 3);
+  EXPECT_EQ(half + third, BigRational::ratio(5, 6));
+  EXPECT_EQ(half - third, BigRational::ratio(1, 6));
+  EXPECT_EQ(half * third, BigRational::ratio(1, 6));
+  EXPECT_EQ(half / third, BigRational::ratio(3, 2));
+}
+
+TEST(BigRational, ArithmeticRandomizedConsistency) {
+  Xoshiro256 rng(301);
+  for (int i = 0; i < 500; ++i) {
+    const auto p = static_cast<std::int64_t>(rng.below(2000)) - 1000;
+    const auto q = static_cast<std::int64_t>(rng.below(999)) + 1;
+    const auto s = static_cast<std::int64_t>(rng.below(2000)) - 1000;
+    const auto t = static_cast<std::int64_t>(rng.below(999)) + 1;
+    const BigRational a = BigRational::ratio(p, q);
+    const BigRational b = BigRational::ratio(s, t);
+    // (a+b) - b == a, (a*b)/b == a for b != 0.
+    EXPECT_EQ((a + b) - b, a);
+    if (!b.is_zero()) {
+      EXPECT_EQ((a * b) / b, a);
+    }
+    // Cross-multiplication law: a/q + s/t == (p t + s q)/(q t).
+    EXPECT_EQ(a + b, BigRational::ratio(p * t + s * q, q * t));
+  }
+}
+
+TEST(BigRational, CompareAcrossSignsAndMagnitudes) {
+  EXPECT_LT(BigRational::ratio(-1, 2), BigRational::ratio(1, 3));
+  EXPECT_LT(BigRational::ratio(1, 3), BigRational::ratio(1, 2));
+  EXPECT_LT(BigRational::ratio(-1, 2), BigRational::ratio(-1, 3));
+  EXPECT_EQ(BigRational::ratio(2, 4), BigRational::ratio(1, 2));
+  EXPECT_GT(BigRational(1), BigRational::ratio(999, 1000));
+}
+
+TEST(BigRational, Reciprocal) {
+  EXPECT_EQ(BigRational::ratio(3, 4).reciprocal(), BigRational::ratio(4, 3));
+  EXPECT_EQ(BigRational::ratio(-3, 4).reciprocal(),
+            BigRational::ratio(-4, 3));
+  EXPECT_THROW(BigRational().reciprocal(), DomainError);
+}
+
+TEST(BigRational, PowPositiveNegativeZero) {
+  const BigRational r = BigRational::ratio(2, 3);
+  EXPECT_EQ(r.pow(3), BigRational::ratio(8, 27));
+  EXPECT_EQ(r.pow(0), BigRational(1));
+  EXPECT_EQ(r.pow(-2), BigRational::ratio(9, 4));
+  EXPECT_EQ(BigRational::ratio(-2, 3).pow(2), BigRational::ratio(4, 9));
+  EXPECT_EQ(BigRational::ratio(-2, 3).pow(3), BigRational::ratio(-8, 27));
+  EXPECT_THROW(BigRational().pow(-1), DomainError);
+}
+
+TEST(BigRational, ToDoubleAccuracy) {
+  EXPECT_DOUBLE_EQ(BigRational::ratio(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(BigRational::ratio(-1, 4).to_double(), -0.25);
+  EXPECT_NEAR(BigRational::ratio(1, 3).to_double(), 1.0 / 3.0, 1e-15);
+  // A ratio of two ~200-bit numbers still converts accurately.
+  const BigRational big(BigInt(BigUint(10).pow(60) + BigUint(7)),
+                        BigInt(BigUint(10).pow(60)));
+  EXPECT_NEAR(big.to_double(), 1.0, 1e-12);
+}
+
+TEST(BigRational, ToDecimalStringRounding) {
+  EXPECT_EQ(BigRational::ratio(1, 3).to_decimal_string(4), "0.3333");
+  EXPECT_EQ(BigRational::ratio(2, 3).to_decimal_string(4), "0.6667");
+  EXPECT_EQ(BigRational::ratio(1, 2).to_decimal_string(0), "1");  // half away
+  EXPECT_EQ(BigRational::ratio(-2, 3).to_decimal_string(2), "-0.67");
+  EXPECT_EQ(BigRational(5).to_decimal_string(2), "5.00");
+  EXPECT_EQ(BigRational::ratio(1, 8).to_decimal_string(3), "0.125");
+  EXPECT_EQ(BigRational::ratio(125, 1000).to_decimal_string(2), "0.13");
+}
+
+TEST(BigRational, NegatedAbs) {
+  const BigRational r = BigRational::ratio(-3, 7);
+  EXPECT_EQ(r.negated(), BigRational::ratio(3, 7));
+  EXPECT_EQ(r.abs(), BigRational::ratio(3, 7));
+  EXPECT_EQ(BigRational::ratio(3, 7).abs(), BigRational::ratio(3, 7));
+}
+
+TEST(BigRational, CompoundOperators) {
+  BigRational v = BigRational::ratio(1, 2);
+  v += BigRational::ratio(1, 3);
+  EXPECT_EQ(v, BigRational::ratio(5, 6));
+  v -= BigRational::ratio(1, 6);
+  EXPECT_EQ(v, BigRational::ratio(2, 3));
+  v *= BigRational::ratio(3, 4);
+  EXPECT_EQ(v, BigRational::ratio(1, 2));
+  v /= BigRational::ratio(1, 4);
+  EXPECT_EQ(v, BigRational(2));
+}
+
+TEST(BigRational, ExactProbabilityChain) {
+  // The X computation pattern from eq. 2: 1 − Π (1 − r·m_i)^{N_i}, checked
+  // against hand-reduced values for the N=8 Section IV setup.
+  const BigRational r(1);
+  const BigRational m0 = BigRational::parse("0.6");
+  const BigRational m1 = BigRational::parse("0.3");
+  const BigRational m2 = BigRational::ratio(1, 60);  // 0.1 / 6
+  const BigRational miss = (BigRational(1) - r * m0) *
+                           (BigRational(1) - r * m1) *
+                           (BigRational(1) - r * m2).pow(6);
+  const BigRational x = BigRational(1) - miss;
+  // miss = 0.4 · 0.7 · (59/60)^6 = (2/5)(7/10)(59^6/60^6).
+  const BigRational expect =
+      BigRational(1) - BigRational::ratio(2, 5) * BigRational::ratio(7, 10) *
+                           BigRational::ratio(59, 60).pow(6);
+  EXPECT_EQ(x, expect);
+  EXPECT_NEAR(x.to_double(), 0.746859, 1e-6);
+}
+
+}  // namespace
+}  // namespace mbus

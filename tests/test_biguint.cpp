@@ -1,0 +1,276 @@
+#include "bignum/biguint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mbus {
+namespace {
+
+__extension__ using Uint128 = unsigned __int128;
+
+std::string u128_to_string(Uint128 v) {
+  if (v == 0) return "0";
+  std::string out;
+  while (v > 0) {
+    out.insert(out.begin(), static_cast<char>('0' + v % 10));
+    v /= 10;
+  }
+  return out;
+}
+
+TEST(BigUint, DefaultIsZero) {
+  BigUint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.to_decimal(), "0");
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_u64(), 0u);
+}
+
+TEST(BigUint, FromU64RoundTrips) {
+  for (const std::uint64_t v :
+       {0ULL, 1ULL, 42ULL, 0xFFFFFFFFULL, 0x100000000ULL,
+        0xFFFFFFFFFFFFFFFFULL}) {
+    BigUint b(v);
+    EXPECT_EQ(b.to_u64(), v);
+    EXPECT_EQ(b.to_decimal(), std::to_string(v));
+  }
+}
+
+TEST(BigUint, FromDecimalRoundTrips) {
+  for (const std::string s :
+       {"0", "1", "999999999", "1000000000", "18446744073709551615",
+        "18446744073709551616",
+        "340282366920938463463374607431768211456",
+        "123456789012345678901234567890123456789012345678901234567890"}) {
+    EXPECT_EQ(BigUint::from_decimal(s).to_decimal(), s);
+  }
+}
+
+TEST(BigUint, FromDecimalRejectsGarbage) {
+  EXPECT_THROW(BigUint::from_decimal(""), InvalidArgument);
+  EXPECT_THROW(BigUint::from_decimal("12a3"), InvalidArgument);
+  EXPECT_THROW(BigUint::from_decimal("-5"), InvalidArgument);
+  EXPECT_THROW(BigUint::from_decimal(" 5"), InvalidArgument);
+}
+
+TEST(BigUint, ComparisonTotalOrder) {
+  const BigUint a(5);
+  const BigUint b(7);
+  const BigUint c = BigUint::from_decimal("99999999999999999999999999");
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a < c);
+  EXPECT_TRUE(a == BigUint(5));
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(c >= b);
+  EXPECT_TRUE(a <= a);
+}
+
+TEST(BigUint, AdditionRandomizedAgainstU128) {
+  Xoshiro256 rng(101);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next();
+    const std::uint64_t b = rng.next();
+    const Uint128 expect = static_cast<Uint128>(a) + b;
+    EXPECT_EQ((BigUint(a) + BigUint(b)).to_decimal(),
+              u128_to_string(expect));
+  }
+}
+
+TEST(BigUint, SubtractionRandomizedAgainstU64) {
+  Xoshiro256 rng(102);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t a = rng.next();
+    std::uint64_t b = rng.next();
+    if (a < b) std::swap(a, b);
+    EXPECT_EQ((BigUint(a) - BigUint(b)).to_u64(), a - b);
+  }
+}
+
+TEST(BigUint, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUint(3) - BigUint(5), DomainError);
+  EXPECT_THROW(BigUint(0) - BigUint(1), DomainError);
+}
+
+TEST(BigUint, MultiplicationRandomizedAgainstU128) {
+  Xoshiro256 rng(103);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next();
+    const std::uint64_t b = rng.next();
+    const Uint128 expect = static_cast<Uint128>(a) * b;
+    EXPECT_EQ((BigUint(a) * BigUint(b)).to_decimal(),
+              u128_to_string(expect));
+  }
+}
+
+TEST(BigUint, MultiplicationByZeroAndOne) {
+  const BigUint big = BigUint::from_decimal("123456789012345678901234567890");
+  EXPECT_TRUE((big * BigUint()).is_zero());
+  EXPECT_EQ(big * BigUint(1), big);
+}
+
+TEST(BigUint, KaratsubaMatchesSchoolbook) {
+  // Operands large enough to trigger the Karatsuba path several levels
+  // deep (threshold is 32 limbs = 1024 bits).
+  Xoshiro256 rng(104);
+  for (int trial = 0; trial < 20; ++trial) {
+    BigUint a(1);
+    BigUint b(1);
+    const int limbs = 40 + static_cast<int>(rng.below(80));
+    for (int i = 0; i < limbs; ++i) {
+      a = a.shifted_left(32) + BigUint(rng.next() & 0xFFFFFFFFULL);
+      b = b.shifted_left(32) + BigUint(rng.next() & 0xFFFFFFFFULL);
+    }
+    EXPECT_EQ(BigUint::multiply_karatsuba(a, b),
+              BigUint::multiply_schoolbook(a, b));
+  }
+}
+
+TEST(BigUint, DivModIdentityRandomized) {
+  Xoshiro256 rng(105);
+  for (int i = 0; i < 500; ++i) {
+    // Build operands of varying widths, including multi-limb divisors.
+    BigUint a(rng.next());
+    for (int j = 0; j < static_cast<int>(rng.below(6)); ++j) {
+      a = a * BigUint(rng.next() | 1);
+    }
+    BigUint b(rng.next() | 1);
+    for (int j = 0; j < static_cast<int>(rng.below(3)); ++j) {
+      b = b * BigUint(rng.next() | 1);
+    }
+    const auto dm = BigUint::divmod(a, b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_TRUE(dm.remainder < b);
+  }
+}
+
+TEST(BigUint, DivisionBySmallerYieldsZeroQuotient) {
+  const auto dm = BigUint::divmod(BigUint(5), BigUint(9));
+  EXPECT_TRUE(dm.quotient.is_zero());
+  EXPECT_EQ(dm.remainder, BigUint(5));
+}
+
+TEST(BigUint, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUint(5) / BigUint(), DomainError);
+  EXPECT_THROW(BigUint(5) % BigUint(), DomainError);
+}
+
+TEST(BigUint, DivisionKnuthAddBackCase) {
+  // A case engineered to exercise the rare "add back" branch of Algorithm
+  // D: numerator with a run of high limbs just below the divisor pattern.
+  const BigUint n = BigUint::power_of_two(192) - BigUint(1);
+  const BigUint d = BigUint::power_of_two(96) + BigUint(1);
+  const auto dm = BigUint::divmod(n, d);
+  EXPECT_EQ(dm.quotient * d + dm.remainder, n);
+  EXPECT_TRUE(dm.remainder < d);
+}
+
+TEST(BigUint, ShiftsRoundTrip) {
+  const BigUint v = BigUint::from_decimal("987654321987654321987654321");
+  for (const std::size_t s : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(v.shifted_left(s).shifted_right(s), v);
+  }
+  EXPECT_EQ(v.shifted_left(0), v);
+  EXPECT_TRUE(BigUint(1).shifted_right(1).is_zero());
+}
+
+TEST(BigUint, ShiftLeftMultipliesByPowerOfTwo) {
+  EXPECT_EQ(BigUint(3).shifted_left(10), BigUint(3072));
+  EXPECT_EQ(BigUint(1).shifted_left(100), BigUint::power_of_two(100));
+}
+
+TEST(BigUint, PowerOfTwoHasRightBitLength) {
+  for (const std::size_t e : {0u, 1u, 31u, 32u, 63u, 64u, 100u}) {
+    const BigUint p = BigUint::power_of_two(e);
+    EXPECT_EQ(p.bit_length(), e + 1);
+    EXPECT_TRUE(p.bit(e));
+    if (e > 0) EXPECT_FALSE(p.bit(e - 1));
+  }
+}
+
+TEST(BigUint, Pow) {
+  EXPECT_EQ(BigUint(2).pow(10), BigUint(1024));
+  EXPECT_EQ(BigUint(10).pow(20), BigUint::from_decimal("1" + std::string(20, '0')));
+  EXPECT_EQ(BigUint(7).pow(0), BigUint(1));
+  EXPECT_EQ(BigUint(0).pow(0), BigUint(1));  // documented convention
+  EXPECT_TRUE(BigUint(0).pow(5).is_zero());
+}
+
+TEST(BigUint, PowMatchesRepeatedMultiplication) {
+  BigUint acc(1);
+  const BigUint base(123456789);
+  for (unsigned e = 0; e <= 12; ++e) {
+    EXPECT_EQ(base.pow(e), acc);
+    acc *= base;
+  }
+}
+
+TEST(BigUint, Gcd) {
+  EXPECT_EQ(BigUint::gcd(BigUint(12), BigUint(18)), BigUint(6));
+  EXPECT_EQ(BigUint::gcd(BigUint(17), BigUint(5)), BigUint(1));
+  EXPECT_EQ(BigUint::gcd(BigUint(), BigUint(7)), BigUint(7));
+  EXPECT_EQ(BigUint::gcd(BigUint(7), BigUint()), BigUint(7));
+  EXPECT_TRUE(BigUint::gcd(BigUint(), BigUint()).is_zero());
+}
+
+TEST(BigUint, GcdRandomizedBezoutStyle) {
+  Xoshiro256 rng(106);
+  for (int i = 0; i < 300; ++i) {
+    const BigUint g(rng.next() | 1);
+    const BigUint a = g * BigUint(rng.below(1000) + 1);
+    const BigUint b = g * BigUint(rng.below(1000) + 1);
+    const BigUint d = BigUint::gcd(a, b);
+    // d divides both and is a multiple of g.
+    EXPECT_TRUE((a % d).is_zero());
+    EXPECT_TRUE((b % d).is_zero());
+    EXPECT_TRUE((d % g).is_zero());
+  }
+}
+
+TEST(BigUint, ToDoubleSmallExact) {
+  EXPECT_DOUBLE_EQ(BigUint(0).to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(BigUint(1).to_double(), 1.0);
+  EXPECT_DOUBLE_EQ(BigUint(1ULL << 52).to_double(),
+                   std::ldexp(1.0, 52));
+}
+
+TEST(BigUint, ToDoubleLargeRelativeError) {
+  // 10^40: compare against the mathematically exact value 1e40.
+  const BigUint v = BigUint(10).pow(40);
+  EXPECT_NEAR(v.to_double() / 1e40, 1.0, 1e-12);
+}
+
+TEST(BigUint, ToU64OverflowThrows) {
+  EXPECT_THROW(BigUint::power_of_two(64).to_u64(), DomainError);
+  EXPECT_EQ((BigUint::power_of_two(64) - BigUint(1)).to_u64(), ~0ULL);
+}
+
+TEST(BigUint, DecimalDigits) {
+  EXPECT_EQ(BigUint(0).decimal_digits(), 1u);
+  EXPECT_EQ(BigUint(9).decimal_digits(), 1u);
+  EXPECT_EQ(BigUint(10).decimal_digits(), 2u);
+  EXPECT_EQ(BigUint(10).pow(100).decimal_digits(), 101u);
+}
+
+TEST(BigUint, CompoundOperators) {
+  BigUint v(10);
+  v += BigUint(5);
+  EXPECT_EQ(v, BigUint(15));
+  v -= BigUint(3);
+  EXPECT_EQ(v, BigUint(12));
+  v *= BigUint(4);
+  EXPECT_EQ(v, BigUint(48));
+  v /= BigUint(5);
+  EXPECT_EQ(v, BigUint(9));
+  v %= BigUint(4);
+  EXPECT_EQ(v, BigUint(1));
+}
+
+}  // namespace
+}  // namespace mbus

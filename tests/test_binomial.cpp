@@ -1,0 +1,111 @@
+#include "bignum/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mbus {
+namespace {
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(binomial(0, 0), BigUint(1));
+  EXPECT_EQ(binomial(5, 0), BigUint(1));
+  EXPECT_EQ(binomial(5, 5), BigUint(1));
+  EXPECT_EQ(binomial(5, 2), BigUint(10));
+  EXPECT_EQ(binomial(10, 3), BigUint(120));
+  EXPECT_TRUE(binomial(3, 5).is_zero());
+}
+
+TEST(Binomial, Symmetry) {
+  for (std::uint64_t n = 0; n <= 30; ++n) {
+    for (std::uint64_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n, n - k));
+    }
+  }
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (std::uint64_t n = 1; n <= 40; ++n) {
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(Binomial, RowSumsArePowersOfTwo) {
+  for (std::uint64_t n = 0; n <= 64; ++n) {
+    BigUint sum;
+    for (const BigUint& c : binomial_row(n)) sum += c;
+    EXPECT_EQ(sum, BigUint::power_of_two(n));
+  }
+}
+
+TEST(Binomial, RowMatchesPointwise) {
+  const auto row = binomial_row(25);
+  ASSERT_EQ(row.size(), 26u);
+  for (std::uint64_t k = 0; k <= 25; ++k) {
+    EXPECT_EQ(row[k], binomial(25, k));
+  }
+}
+
+TEST(Binomial, CentralCoefficient1024) {
+  // The big-number stress case called out in the reproduction notes:
+  // C(1024, 512) has 307 decimal digits.
+  const BigUint c = binomial(1024, 512);
+  EXPECT_EQ(c.decimal_digits(), 307u);
+  // Vandermonde-ish sanity: C(1024,512) = C(1023,511) + C(1023,512).
+  EXPECT_EQ(c, binomial(1023, 511) + binomial(1023, 512));
+}
+
+TEST(Binomial, Factorials) {
+  EXPECT_EQ(factorial(0), BigUint(1));
+  EXPECT_EQ(factorial(1), BigUint(1));
+  EXPECT_EQ(factorial(5), BigUint(120));
+  EXPECT_EQ(factorial(20), BigUint(2432902008176640000ULL));
+  // 100! has 158 digits and ends in exactly 24 zeros.
+  const BigUint f100 = factorial(100);
+  EXPECT_EQ(f100.decimal_digits(), 158u);
+  const std::string s = f100.to_decimal();
+  EXPECT_EQ(s.substr(s.size() - 24), std::string(24, '0'));
+  EXPECT_NE(s[s.size() - 25], '0');
+}
+
+TEST(Binomial, FactorialRatioDefinition) {
+  // C(n,k) == n! / (k!(n-k)!) for a sample of values.
+  for (const auto [n, k] : {std::pair<std::uint64_t, std::uint64_t>{10, 4},
+                            {30, 15},
+                            {50, 7},
+                            {64, 32}}) {
+    EXPECT_EQ(binomial(n, k),
+              factorial(n) / (factorial(k) * factorial(n - k)));
+  }
+}
+
+TEST(Binomial, FallingFactorial) {
+  EXPECT_EQ(falling_factorial(5, 0), BigUint(1));
+  EXPECT_EQ(falling_factorial(5, 2), BigUint(20));
+  EXPECT_EQ(falling_factorial(5, 5), BigUint(120));
+  EXPECT_EQ(falling_factorial(10, 3), BigUint(720));
+}
+
+TEST(Binomial, DoubleApproximationAccuracy) {
+  for (const auto [n, k] : {std::pair<std::uint64_t, std::uint64_t>{10, 5},
+                            {100, 50},
+                            {500, 123},
+                            {1024, 512}}) {
+    const double approx = binomial_double(n, k);
+    const double exact = binomial(n, k).to_double();
+    EXPECT_NEAR(approx / exact, 1.0, 1e-10);
+  }
+}
+
+TEST(Binomial, LogBinomialEdges) {
+  EXPECT_DOUBLE_EQ(log_binomial(10, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log_binomial(10, 10), 0.0);
+  EXPECT_TRUE(std::isinf(log_binomial(3, 5)));
+  EXPECT_LT(log_binomial(3, 5), 0.0);
+  EXPECT_NEAR(log_binomial(10, 5), std::log(252.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace mbus

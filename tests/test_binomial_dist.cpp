@@ -1,0 +1,172 @@
+#include "prob/binomial_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bignum/binomial.hpp"
+#include "prob/exact_binomial.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(BinomialDist, RejectsBadParameters) {
+  EXPECT_THROW(BinomialDistribution(-1, 0.5), InvalidArgument);
+  EXPECT_THROW(BinomialDistribution(10, -0.1), InvalidArgument);
+  EXPECT_THROW(BinomialDistribution(10, 1.1), InvalidArgument);
+}
+
+TEST(BinomialDist, DegenerateP0) {
+  BinomialDistribution d(10, 0.0);
+  EXPECT_DOUBLE_EQ(d.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.pmf(1), 0.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.expected_excess_over(0), 0.0);
+}
+
+TEST(BinomialDist, DegenerateP1) {
+  BinomialDistribution d(10, 1.0);
+  EXPECT_DOUBLE_EQ(d.pmf(10), 1.0);
+  EXPECT_DOUBLE_EQ(d.pmf(9), 0.0);
+  EXPECT_DOUBLE_EQ(d.expected_excess_over(4), 6.0);
+  EXPECT_DOUBLE_EQ(d.expected_min_with(4), 4.0);
+}
+
+TEST(BinomialDist, ZeroTrials) {
+  BinomialDistribution d(0, 0.7);
+  EXPECT_DOUBLE_EQ(d.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.expected_min_with(3), 0.0);
+}
+
+TEST(BinomialDist, PmfSumsToOne) {
+  for (const double p : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    for (const int n : {1, 7, 32, 200}) {
+      BinomialDistribution d(n, p);
+      double sum = 0.0;
+      for (int i = 0; i <= n; ++i) sum += d.pmf(i);
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(BinomialDist, PmfOutsideSupportIsZero) {
+  BinomialDistribution d(5, 0.4);
+  EXPECT_DOUBLE_EQ(d.pmf(-1), 0.0);
+  EXPECT_DOUBLE_EQ(d.pmf(6), 0.0);
+}
+
+TEST(BinomialDist, KnownSmallValues) {
+  BinomialDistribution d(4, 0.5);
+  EXPECT_NEAR(d.pmf(0), 1.0 / 16, 1e-14);
+  EXPECT_NEAR(d.pmf(1), 4.0 / 16, 1e-14);
+  EXPECT_NEAR(d.pmf(2), 6.0 / 16, 1e-14);
+  EXPECT_NEAR(d.cdf(2), 11.0 / 16, 1e-14);
+}
+
+TEST(BinomialDist, MeanIdentity) {
+  // E[min(I,b)] + E[(I-b)^+] == n p for all capacities.
+  BinomialDistribution d(20, 0.3);
+  for (int b = 0; b <= 20; ++b) {
+    EXPECT_NEAR(d.expected_min_with(b) + d.expected_excess_over(b),
+                d.mean(), 1e-12);
+  }
+}
+
+TEST(BinomialDist, ExcessMonotoneDecreasingInCapacity) {
+  BinomialDistribution d(50, 0.6);
+  double prev = d.expected_excess_over(0);
+  for (int b = 1; b <= 50; ++b) {
+    const double cur = d.expected_excess_over(b);
+    EXPECT_LE(cur, prev + 1e-15);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(d.expected_excess_over(50), 0.0);
+}
+
+TEST(BinomialDist, CapacityZeroGrantsNothing) {
+  BinomialDistribution d(12, 0.8);
+  EXPECT_NEAR(d.expected_min_with(0), 0.0, 1e-12);
+  EXPECT_NEAR(d.expected_excess_over(0), d.mean(), 1e-12);
+}
+
+TEST(BinomialDist, CdfEdges) {
+  BinomialDistribution d(8, 0.35);
+  EXPECT_DOUBLE_EQ(d.cdf(-1), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(8), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(100), 1.0);
+  // CDF is nondecreasing.
+  double prev = 0.0;
+  for (int i = 0; i <= 8; ++i) {
+    EXPECT_GE(d.cdf(i), prev - 1e-15);
+    prev = d.cdf(i);
+  }
+}
+
+TEST(BinomialDist, AgreesWithExactRationalModerate) {
+  const BigRational p = BigRational::ratio(3, 10);
+  ExactBinomialDistribution exact(64, p);
+  BinomialDistribution approx(64, 0.3);
+  for (int i = 0; i <= 64; ++i) {
+    const double e = exact.pmf(i).to_double();
+    EXPECT_NEAR(approx.pmf(i), e, 1e-13 + 1e-11 * e) << "i=" << i;
+  }
+  for (int b = 0; b <= 64; b += 8) {
+    EXPECT_NEAR(approx.expected_excess_over(b),
+                exact.expected_excess_over(b).to_double(), 1e-10);
+  }
+}
+
+TEST(BinomialDist, LargeNExtremePNoUnderflowBlowup) {
+  // This is the case a naive recurrence from (1-p)^n cannot handle:
+  // (0.01)^1024 underflows to zero, destroying the whole table.
+  BinomialDistribution d(1024, 0.99);
+  double sum = 0.0;
+  for (int i = 0; i <= 1024; ++i) sum += d.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR(d.expected_min_with(1024), d.mean(), 1e-9);
+  // Cross-check a tail expectation against the exact rational path.
+  ExactBinomialDistribution exact(1024, BigRational::ratio(99, 100));
+  EXPECT_NEAR(d.expected_excess_over(1000),
+              exact.expected_excess_over(1000).to_double(), 1e-8);
+}
+
+TEST(BinomialDist, ExactPmfSumsToExactlyOne) {
+  ExactBinomialDistribution d(32, BigRational::ratio(2, 7));
+  BigRational sum;
+  for (int i = 0; i <= 32; ++i) sum += d.pmf(i);
+  EXPECT_EQ(sum, BigRational(1));
+}
+
+TEST(BinomialDist, ExactMeanIdentity) {
+  ExactBinomialDistribution d(16, BigRational::ratio(5, 8));
+  for (int b = 0; b <= 16; b += 4) {
+    EXPECT_EQ(d.expected_min_with(b) + d.expected_excess_over(b), d.mean());
+  }
+}
+
+TEST(BinomialDist, ExactDegenerateEdges) {
+  ExactBinomialDistribution zero(8, BigRational());
+  EXPECT_EQ(zero.pmf(0), BigRational(1));
+  EXPECT_TRUE(zero.pmf(3).is_zero());
+  ExactBinomialDistribution one(8, BigRational(1));
+  EXPECT_EQ(one.pmf(8), BigRational(1));
+  EXPECT_TRUE(one.pmf(7).is_zero());
+}
+
+TEST(BinomialDist, ExactMatchesDirectFormula) {
+  // pmf(i) == C(n,i) p^i (1-p)^{n-i} exactly.
+  const BigRational p = BigRational::ratio(1, 3);
+  ExactBinomialDistribution d(9, p);
+  const BigRational q = BigRational(1) - p;
+  for (int i = 0; i <= 9; ++i) {
+    const BigRational direct =
+        BigRational(BigInt(binomial(9, static_cast<std::uint64_t>(i)))) *
+        p.pow(i) * q.pow(9 - i);
+    EXPECT_EQ(d.pmf(i), direct) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace mbus

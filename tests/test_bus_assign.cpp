@@ -1,0 +1,257 @@
+#include "sim/bus_assign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace mbus {
+namespace {
+
+std::vector<int> modules_of(const std::vector<BusGrant>& grants) {
+  std::vector<int> out;
+  out.reserve(grants.size());
+  for (const BusGrant& g : grants) out.push_back(g.module);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool modules_unique(const std::vector<BusGrant>& grants) {
+  std::set<int> s;
+  for (const BusGrant& g : grants) s.insert(g.module);
+  return s.size() == grants.size();
+}
+
+bool buses_unique(const std::vector<BusGrant>& grants) {
+  std::set<int> s;
+  for (const BusGrant& g : grants) s.insert(g.bus);
+  return s.size() == grants.size();
+}
+
+/// Every grant's bus must actually be wired to its module.
+bool grants_respect_wiring(const Topology& topo,
+                           const std::vector<BusGrant>& grants) {
+  for (const BusGrant& g : grants) {
+    if (!topo.memory_on_bus(g.module, g.bus)) return false;
+  }
+  return true;
+}
+
+TEST(FullAssigner, ServesAllWhenUnderCapacity) {
+  FullTopology t(8, 8, 4);
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  Xoshiro256 rng(1);
+  std::vector<BusGrant> grants;
+  assigner->assign({1, 5, 7}, rng, grants);
+  EXPECT_EQ(modules_of(grants), (std::vector<int>{1, 5, 7}));
+  EXPECT_TRUE(buses_unique(grants));
+  EXPECT_TRUE(grants_respect_wiring(t, grants));
+}
+
+TEST(FullAssigner, CapsAtBusCount) {
+  FullTopology t(8, 8, 3);
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  Xoshiro256 rng(2);
+  std::vector<BusGrant> grants;
+  assigner->assign({0, 1, 2, 3, 4, 5}, rng, grants);
+  EXPECT_EQ(grants.size(), 3u);
+  EXPECT_TRUE(modules_unique(grants));
+  EXPECT_TRUE(buses_unique(grants));
+}
+
+TEST(FullAssigner, RoundRobinRotatesGrants) {
+  FullTopology t(8, 8, 2);
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  Xoshiro256 rng(3);
+  std::vector<BusGrant> grants;
+  // Same four modules request every cycle with capacity 2: the rotating
+  // pointer must cycle through all of them over two rounds.
+  std::set<int> granted;
+  for (int round = 0; round < 2; ++round) {
+    assigner->assign({0, 2, 4, 6}, rng, grants);
+    for (const BusGrant& g : grants) granted.insert(g.module);
+  }
+  EXPECT_EQ(granted, (std::set<int>{0, 2, 4, 6}));
+}
+
+TEST(FullAssigner, HonoursUnavailableBuses) {
+  FullTopology t(8, 8, 4);
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  assigner->set_bus_unavailable({true, true, false, false});
+  Xoshiro256 rng(4);
+  std::vector<BusGrant> grants;
+  assigner->assign({0, 1, 2, 3, 4}, rng, grants);
+  EXPECT_EQ(grants.size(), 2u);
+  for (const BusGrant& g : grants) {
+    EXPECT_GE(g.bus, 2);  // only buses 2 and 3 are available
+  }
+  assigner->set_bus_unavailable({true, true, true, true});
+  assigner->assign({0, 1, 2}, rng, grants);
+  EXPECT_TRUE(grants.empty());
+}
+
+TEST(SingleAssigner, OneGrantPerBusOnItsOwnBus) {
+  auto t = SingleTopology::even(8, 8, 4);  // modules 2b, 2b+1 on bus b
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  Xoshiro256 rng(5);
+  std::vector<BusGrant> grants;
+  // Both modules of bus 0 and both of bus 1 request: one grant each.
+  assigner->assign({0, 1, 2, 3}, rng, grants);
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_TRUE(grants_respect_wiring(t, grants));
+  EXPECT_TRUE(buses_unique(grants));
+}
+
+TEST(SingleAssigner, UnavailableBusGrantsNothing) {
+  auto t = SingleTopology::even(8, 8, 4);
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  assigner->set_bus_unavailable({true, false, false, false});
+  Xoshiro256 rng(6);
+  std::vector<BusGrant> grants;
+  assigner->assign({0, 1, 2}, rng, grants);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].module, 2);
+  EXPECT_EQ(grants[0].bus, 1);
+}
+
+TEST(SingleAssigner, RoundRobinAlternates) {
+  auto t = SingleTopology::even(8, 8, 4);
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRoundRobin);
+  Xoshiro256 rng(7);
+  std::vector<BusGrant> grants;
+  std::vector<int> winners;
+  for (int i = 0; i < 4; ++i) {
+    assigner->assign({0, 1}, rng, grants);
+    ASSERT_EQ(grants.size(), 1u);
+    winners.push_back(grants[0].module);
+  }
+  // Strict alternation between the two contenders on bus 0.
+  EXPECT_NE(winners[0], winners[1]);
+  EXPECT_EQ(winners[0], winners[2]);
+  EXPECT_EQ(winners[1], winners[3]);
+}
+
+TEST(PartialAssigner, GroupCapacityIndependent) {
+  PartialGTopology t(8, 8, 4, 2);  // groups of 4 modules / 2 buses
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  Xoshiro256 rng(8);
+  std::vector<BusGrant> grants;
+  // Three requests in group 0 (cap 2), one in group 1.
+  assigner->assign({0, 1, 2, 5}, rng, grants);
+  ASSERT_EQ(grants.size(), 3u);
+  EXPECT_TRUE(grants_respect_wiring(t, grants));
+  int group0 = 0;
+  int group1 = 0;
+  for (const BusGrant& g : grants) {
+    (g.module < 4 ? group0 : group1)++;
+  }
+  EXPECT_EQ(group0, 2);
+  EXPECT_EQ(group1, 1);
+}
+
+TEST(PartialAssigner, UnavailableGroupBusReducesCapacity) {
+  PartialGTopology t(8, 8, 4, 2);
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  assigner->set_bus_unavailable({true, false, false, false});
+  Xoshiro256 rng(9);
+  std::vector<BusGrant> grants;
+  assigner->assign({0, 1, 2, 3}, rng, grants);
+  ASSERT_EQ(grants.size(), 1u);  // group 0 down to one bus
+  EXPECT_LT(grants[0].module, 4);
+  EXPECT_EQ(grants[0].bus, 1);
+}
+
+TEST(KClassAssigner, ModulesAndBusesUniquePerCycle) {
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  Xoshiro256 rng(10);
+  std::vector<BusGrant> grants;
+  for (int round = 0; round < 200; ++round) {
+    assigner->assign({0, 1, 2, 3, 4, 5, 6, 7}, rng, grants);
+    EXPECT_LE(grants.size(), 4u);
+    EXPECT_TRUE(modules_unique(grants));
+    EXPECT_TRUE(buses_unique(grants));
+    EXPECT_TRUE(grants_respect_wiring(t, grants));
+  }
+}
+
+TEST(KClassAssigner, SingleRequestAlwaysServed) {
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  Xoshiro256 rng(11);
+  std::vector<BusGrant> grants;
+  for (int m = 0; m < 8; ++m) {
+    assigner->assign({m}, rng, grants);
+    ASSERT_EQ(grants.size(), 1u) << "module " << m;
+    EXPECT_EQ(grants[0].module, m);
+    // Step 1 assigns the highest connected bus first.
+    EXPECT_EQ(grants[0].bus, t.buses_of_class(t.class_of_module(m)) - 1);
+  }
+}
+
+TEST(KClassAssigner, ClassOneLimitedToItsBuses) {
+  // K = B = 4, classes of 2. If only class-1 modules request, at most one
+  // can be served (class 1 reaches only bus 1).
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  Xoshiro256 rng(12);
+  std::vector<BusGrant> grants;
+  assigner->assign({0, 1}, rng, grants);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_TRUE(grants[0].module == 0 || grants[0].module == 1);
+  EXPECT_EQ(grants[0].bus, 0);
+}
+
+TEST(KClassAssigner, TopClassUsesAllBuses) {
+  // Only class-4 modules requesting: class 4 reaches all four buses.
+  KClassTopology t(8, 4, {1, 1, 1, 5});
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  Xoshiro256 rng(13);
+  std::vector<BusGrant> grants;
+  assigner->assign({3, 4, 5, 6, 7}, rng, grants);  // five class-4 modules
+  EXPECT_EQ(grants.size(), 4u);
+  EXPECT_TRUE(buses_unique(grants));
+}
+
+TEST(KClassAssigner, CrossClassContentionOnSharedBus) {
+  // Classes {2,2,2,2}: if one module of each class requests, buses 4,3,2,1
+  // each receive one candidate in step 1 — all four get served.
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  Xoshiro256 rng(14);
+  std::vector<BusGrant> grants;
+  assigner->assign({0, 2, 4, 6}, rng, grants);
+  EXPECT_EQ(modules_of(grants), (std::vector<int>{0, 2, 4, 6}));
+  EXPECT_TRUE(buses_unique(grants));
+}
+
+TEST(KClassAssigner, UnavailableBusSkippedInStepOne) {
+  // Class 4 modules with bus 4 (0-based 3) down: requests shift to lower
+  // buses; with three requests and three surviving buses all are served.
+  KClassTopology t(8, 4, {1, 1, 1, 5});
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  assigner->set_bus_unavailable({false, false, false, true});
+  Xoshiro256 rng(15);
+  std::vector<BusGrant> grants;
+  assigner->assign({3, 4, 5}, rng, grants);
+  EXPECT_EQ(grants.size(), 3u);
+  for (const BusGrant& g : grants) {
+    EXPECT_NE(g.bus, 3);
+  }
+}
+
+TEST(KClassAssigner, AllBusesUnavailableServesNothing) {
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  auto assigner = make_bus_assigner(t, ArbitrationPolicy::kRandom);
+  assigner->set_bus_unavailable({true, true, true, true});
+  Xoshiro256 rng(16);
+  std::vector<BusGrant> grants;
+  assigner->assign({0, 1, 2, 3}, rng, grants);
+  EXPECT_TRUE(grants.empty());
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,107 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+CliParser make_parser() {
+  CliParser parser("test program");
+  parser.add_int("n", 8, "processor count")
+      .add_double("r", 1.0, "request rate")
+      .add_string("scheme", "full", "connection scheme")
+      .add_flag("exact", "use exact arithmetic");
+  return parser;
+}
+
+TEST(Cli, Defaults) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get_int("n"), 8);
+  EXPECT_DOUBLE_EQ(parser.get_double("r"), 1.0);
+  EXPECT_EQ(parser.get_string("scheme"), "full");
+  EXPECT_FALSE(parser.get_flag("exact"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--n", "16", "--r", "0.5"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get_int("n"), 16);
+  EXPECT_DOUBLE_EQ(parser.get_double("r"), 0.5);
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--n=32", "--scheme=single"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("n"), 32);
+  EXPECT_EQ(parser.get_string("scheme"), "single");
+}
+
+TEST(Cli, Flags) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--exact"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.get_flag("exact"));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(parser.parse(2, argv));
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("--n"), std::string::npos);
+  EXPECT_NE(out.find("request rate"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(parser.parse(3, argv), InvalidArgument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(parser.parse(2, argv), InvalidArgument);
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--n", "eight"};
+  EXPECT_THROW(parser.parse(3, argv), InvalidArgument);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--exact=yes"};
+  EXPECT_THROW(parser.parse(2, argv), InvalidArgument);
+}
+
+TEST(Cli, PositionalArgumentThrows) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "value"};
+  EXPECT_THROW(parser.parse(2, argv), InvalidArgument);
+}
+
+TEST(Cli, DuplicateRegistrationThrows) {
+  CliParser parser("p");
+  parser.add_int("n", 1, "x");
+  EXPECT_THROW(parser.add_double("n", 1.0, "y"), InvalidArgument);
+}
+
+TEST(Cli, TypeMismatchQueryThrows) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_THROW(parser.get_int("r"), InvalidArgument);
+  EXPECT_THROW(parser.get_flag("n"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,169 @@
+#include "analysis/degraded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bandwidth.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+constexpr double kTol = 1e-12;
+constexpr double kX = 0.7468592526938238;  // Section IV setup, N=8, r=1
+
+std::vector<bool> none(int b) {
+  return std::vector<bool>(static_cast<std::size_t>(b), false);
+}
+
+std::vector<bool> failing(int b, std::initializer_list<int> failed) {
+  std::vector<bool> mask(static_cast<std::size_t>(b), false);
+  for (const int i : failed) mask[static_cast<std::size_t>(i)] = true;
+  return mask;
+}
+
+TEST(Degraded, NoFailuresEqualsBaseFormulaEverySheme) {
+  FullTopology full(8, 8, 4);
+  EXPECT_NEAR(degraded_bandwidth(full, kX, none(4)),
+              analytical_bandwidth(full, kX), kTol);
+  auto single = SingleTopology::even(8, 8, 4);
+  EXPECT_NEAR(degraded_bandwidth(single, kX, none(4)),
+              analytical_bandwidth(single, kX), kTol);
+  PartialGTopology partial(8, 8, 4, 2);
+  EXPECT_NEAR(degraded_bandwidth(partial, kX, none(4)),
+              analytical_bandwidth(partial, kX), kTol);
+  auto kc = KClassTopology::even(8, 8, 4, 4);
+  EXPECT_NEAR(degraded_bandwidth(kc, kX, none(4)),
+              analytical_bandwidth(kc, kX), kTol);
+}
+
+TEST(Degraded, FullLosesOneBusEqualsSmallerB) {
+  FullTopology t(8, 8, 4);
+  // Any single failed bus leaves an effective B = 3 network.
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_NEAR(degraded_bandwidth(t, kX, failing(4, {b})),
+                bandwidth_full(8, 3, kX), kTol);
+  }
+}
+
+TEST(Degraded, FullAllBusesDownIsZero) {
+  FullTopology t(8, 8, 4);
+  EXPECT_NEAR(degraded_bandwidth(t, kX, {true, true, true, true}), 0.0,
+              kTol);
+}
+
+TEST(Degraded, SingleLosesExactlyTheBusTerm) {
+  auto t = SingleTopology::even(8, 8, 4);
+  const double per_bus = 1.0 - std::pow(1.0 - kX, 2.0);
+  EXPECT_NEAR(degraded_bandwidth(t, kX, failing(4, {2})), 3.0 * per_bus,
+              kTol);
+  EXPECT_NEAR(degraded_bandwidth(t, kX, failing(4, {0, 3})), 2.0 * per_bus,
+              kTol);
+}
+
+TEST(Degraded, PartialGroupDegradesIndependently) {
+  PartialGTopology t(8, 8, 4, 2);
+  // Failing one bus of group 0 leaves that group with one bus.
+  const double expect =
+      bandwidth_full(4, 1, kX) + bandwidth_full(4, 2, kX);
+  EXPECT_NEAR(degraded_bandwidth(t, kX, failing(4, {0})), expect, kTol);
+  // Failing both buses of a group removes that group entirely.
+  EXPECT_NEAR(degraded_bandwidth(t, kX, failing(4, {0, 1})),
+              bandwidth_full(4, 2, kX), kTol);
+}
+
+TEST(Degraded, KClassReducesToEquationElevenWhenHealthy) {
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  EXPECT_NEAR(degraded_bandwidth(t, kX, none(4)),
+              bandwidth_k_classes(4, {2, 2, 2, 2}, kX), kTol);
+}
+
+TEST(Degraded, KClassLosingTopBusShiftsAssignments) {
+  // With K = 1 (full connectivity) losing any bus must equal the full
+  // scheme losing a bus.
+  KClassTopology t(8, 4, {8});
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_NEAR(degraded_bandwidth(t, kX, failing(4, {b})),
+                bandwidth_full(8, 3, kX), kTol)
+        << "failed bus " << b;
+  }
+}
+
+TEST(Degraded, KClassClassOneCanBeCutOff) {
+  // K = B = 4, classes of 2. Class 1 only reaches bus 1 (1-based); failing
+  // it makes class-1 modules unreachable. The remaining system is
+  // equivalent to classes {2,2,2} on buses 2..4, i.e. a K=3/B=3 network.
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  const double degraded = degraded_bandwidth(t, kX, failing(4, {0}));
+  const double equivalent = bandwidth_k_classes(3, {2, 2, 2}, kX);
+  EXPECT_NEAR(degraded, equivalent, kTol);
+}
+
+TEST(Degraded, MonotoneNonincreasingInFailures) {
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  double prev = degraded_bandwidth(t, kX, none(4));
+  std::vector<bool> mask = none(4);
+  for (int b = 3; b >= 0; --b) {
+    mask[static_cast<std::size_t>(b)] = true;
+    const double cur = degraded_bandwidth(t, kX, mask);
+    EXPECT_LE(cur, prev + kTol);
+    prev = cur;
+  }
+  EXPECT_NEAR(prev, 0.0, kTol);
+}
+
+TEST(Degraded, MaskSizeValidated) {
+  FullTopology t(8, 8, 4);
+  EXPECT_THROW(degraded_bandwidth(t, kX, {true}), InvalidArgument);
+}
+
+TEST(Degraded, MeanOverPatternsBetweenWorstAndHealthy) {
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  const double healthy = degraded_bandwidth(t, kX, none(4));
+  for (int f = 0; f <= 4; ++f) {
+    const double mean = mean_degraded_bandwidth(t, kX, f);
+    const double worst = worst_degraded_bandwidth(t, kX, f);
+    EXPECT_LE(worst, mean + kTol) << "f=" << f;
+    EXPECT_LE(mean, healthy + kTol) << "f=" << f;
+  }
+  EXPECT_NEAR(mean_degraded_bandwidth(t, kX, 0), healthy, kTol);
+  EXPECT_NEAR(worst_degraded_bandwidth(t, kX, 4), 0.0, kTol);
+}
+
+TEST(Degraded, MeanEnumeratesAllPatterns) {
+  // For the full scheme, every f-failure pattern is equivalent, so the
+  // mean equals any single pattern.
+  FullTopology t(8, 8, 4);
+  for (int f = 0; f <= 4; ++f) {
+    std::vector<bool> mask = none(4);
+    for (int i = 0; i < f; ++i) mask[static_cast<std::size_t>(i)] = true;
+    EXPECT_NEAR(mean_degraded_bandwidth(t, kX, f),
+                degraded_bandwidth(t, kX, mask), kTol);
+  }
+}
+
+TEST(Degraded, FlexibilityClaimKClassVsPartial) {
+  // The paper's qualitative claim: under a single worst-case bus failure
+  // the K-class scheme degrades more gracefully in the worst pattern than
+  // the partial scheme of equal B when the failure hits a whole group's
+  // capacity. Verify the quantities are at least computed consistently:
+  // worst <= mean for both schemes.
+  PartialGTopology partial(16, 16, 8, 2);
+  auto kc = KClassTopology::even(16, 16, 8, 8);
+  for (int f = 1; f <= 3; ++f) {
+    EXPECT_LE(worst_degraded_bandwidth(partial, kX, f),
+              mean_degraded_bandwidth(partial, kX, f) + kTol);
+    EXPECT_LE(worst_degraded_bandwidth(kc, kX, f),
+              mean_degraded_bandwidth(kc, kX, f) + kTol);
+  }
+}
+
+TEST(Degraded, ValidatesFailureCount) {
+  FullTopology t(8, 8, 4);
+  EXPECT_THROW(mean_degraded_bandwidth(t, kX, -1), InvalidArgument);
+  EXPECT_THROW(mean_degraded_bandwidth(t, kX, 5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mbus

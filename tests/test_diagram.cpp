@@ -1,0 +1,83 @@
+#include "topology/diagram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mbus {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Diagram, HasOneRailPerBus) {
+  FullTopology t(3, 4, 2);
+  const auto lines = lines_of(render_diagram(t));
+  // Name + header + one line per bus.
+  ASSERT_EQ(lines.size(), 2u + 2u);
+  EXPECT_NE(lines[0].find("full"), std::string::npos);
+  EXPECT_NE(lines[2].find("B1"), std::string::npos);
+  EXPECT_NE(lines[3].find("B2"), std::string::npos);
+}
+
+TEST(Diagram, HeaderListsAllColumns) {
+  FullTopology t(3, 4, 2);
+  const auto lines = lines_of(render_diagram(t));
+  const std::string& header = lines[1];
+  for (const char* label : {"P1", "P2", "P3", "M1", "M2", "M3", "M4"}) {
+    EXPECT_NE(header.find(label), std::string::npos) << label;
+  }
+}
+
+TEST(Diagram, FullHasNoGaps) {
+  FullTopology t(2, 3, 2);
+  const auto lines = lines_of(render_diagram(t));
+  for (std::size_t i = 2; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].find('-'), std::string::npos)
+        << "full connection must tap every module on every bus";
+  }
+}
+
+TEST(Diagram, SingleShowsExactlyOneTapPerModule) {
+  auto t = SingleTopology::even(2, 4, 2);
+  const std::string text = render_diagram(t);
+  const auto lines = lines_of(text);
+  // Memory side of each rail: count '*' taps after the '|' separator.
+  int taps = 0;
+  for (std::size_t i = 2; i < lines.size(); ++i) {
+    const auto sep = lines[i].find('|');
+    ASSERT_NE(sep, std::string::npos);
+    for (std::size_t c = sep; c < lines[i].size(); ++c) {
+      if (lines[i][c] == '*') ++taps;
+    }
+  }
+  EXPECT_EQ(taps, 4);  // one per module
+}
+
+TEST(Diagram, KClassPatternMatchesFigureThree) {
+  auto t = KClassTopology::even(3, 6, 4, 3);
+  const std::string text = render_diagram(t);
+  EXPECT_NE(text.find("k-classes(N=3,M=6,B=4,K=3)"), std::string::npos);
+  const auto lines = lines_of(text);
+  ASSERT_EQ(lines.size(), 6u);
+  // Bus rails are lines 2..5 (B1..B4). Memory taps per rail must be
+  // 6, 6, 4, 2 (classes C1..C3 hold 2 modules each).
+  const int expected_taps[] = {6, 6, 4, 2};
+  for (int b = 0; b < 4; ++b) {
+    const std::string& rail = lines[static_cast<std::size_t>(2 + b)];
+    const auto sep = rail.find('|');
+    int taps = 0;
+    for (std::size_t c = sep; c < rail.size(); ++c) {
+      if (rail[c] == '*') ++taps;
+    }
+    EXPECT_EQ(taps, expected_taps[b]) << "bus " << b + 1;
+  }
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,215 @@
+// Randomized differential tests: generate random configurations and check
+// that independently implemented evaluation paths agree —
+//   * double closed forms vs exact rationals,
+//   * symmetric closed forms vs the asymmetric (Poisson-binomial)
+//     generalization with equal X,
+//   * degraded forms vs base forms at zero failures,
+//   * simulator structural invariants on random topologies.
+// Seeds are fixed, so failures are reproducible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/asymmetric.hpp"
+#include "analysis/bandwidth.hpp"
+#include "analysis/degraded.hpp"
+#include "analysis/exact_bandwidth.hpp"
+#include "sim/engine.hpp"
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+#include "workload/matrix_model.hpp"
+
+namespace mbus {
+namespace {
+
+/// A random rational in [0, 1] with denominator <= 64.
+BigRational random_probability(Xoshiro256& rng) {
+  const auto den = static_cast<std::int64_t>(rng.below(63) + 1);
+  const auto num = static_cast<std::int64_t>(
+      rng.below(static_cast<std::uint64_t>(den) + 1));
+  return BigRational::ratio(num, den);
+}
+
+/// A random topology over n modules (processor count matches).
+std::unique_ptr<Topology> random_topology(Xoshiro256& rng, int n) {
+  switch (rng.below(4)) {
+    case 0: {
+      const int b = static_cast<int>(rng.below(
+                        static_cast<std::uint64_t>(n))) + 1;
+      return std::make_unique<FullTopology>(n, n, b);
+    }
+    case 1: {
+      // Random single mapping over a random bus count.
+      const int b = static_cast<int>(rng.below(
+                        static_cast<std::uint64_t>(n))) + 1;
+      std::vector<int> mapping(static_cast<std::size_t>(n));
+      // Ensure every bus hosts at least one module, then fill randomly.
+      for (int i = 0; i < b; ++i) mapping[static_cast<std::size_t>(i)] = i;
+      for (int i = b; i < n; ++i) {
+        mapping[static_cast<std::size_t>(i)] =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(b)));
+      }
+      return std::make_unique<SingleTopology>(n, b, std::move(mapping));
+    }
+    case 2: {
+      // Pick g from the divisors of n, then B = g * (random per-group).
+      std::vector<int> divisors;
+      for (int g = 1; g <= n; ++g) {
+        if (n % g == 0) divisors.push_back(g);
+      }
+      const int g = divisors[static_cast<std::size_t>(
+          rng.below(divisors.size()))];
+      const int per_group = static_cast<int>(rng.below(3)) + 1;
+      return std::make_unique<PartialGTopology>(n, n, g * per_group, g);
+    }
+    default: {
+      // Random class sizes summing to n; K <= B <= K + 3.
+      std::vector<int> sizes;
+      int remaining = n;
+      while (remaining > 0) {
+        const int take = static_cast<int>(rng.below(
+                             static_cast<std::uint64_t>(remaining))) + 1;
+        sizes.push_back(take);
+        remaining -= take;
+      }
+      const int k = static_cast<int>(sizes.size());
+      const int b = k + static_cast<int>(rng.below(4));
+      return std::make_unique<KClassTopology>(n, b, std::move(sizes));
+    }
+  }
+}
+
+TEST(DifferentialFuzz, ExactMatchesDoubleOnRandomConfigs) {
+  Xoshiro256 rng(20260704);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int n = static_cast<int>(rng.below(14)) + 2;  // 2..15 modules
+    const auto topo = random_topology(rng, n);
+    const BigRational x_exact = random_probability(rng);
+    const double x = x_exact.to_double();
+    const double d = analytical_bandwidth(*topo, x);
+    const double e = exact_analytical_bandwidth(*topo, x_exact).to_double();
+    ASSERT_NEAR(d, e, 1e-10 + 1e-10 * std::fabs(e))
+        << topo->name() << " X=" << x_exact.to_string();
+  }
+}
+
+TEST(DifferentialFuzz, AsymmetricReducesToSymmetricOnRandomConfigs) {
+  Xoshiro256 rng(778899);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int n = static_cast<int>(rng.below(14)) + 2;
+    const auto topo = random_topology(rng, n);
+    const double x = rng.uniform01();
+    const std::vector<double> xs(static_cast<std::size_t>(n), x);
+    const double sym = analytical_bandwidth(*topo, x);
+    const double asym = asymmetric_analytical_bandwidth(*topo, xs);
+    ASSERT_NEAR(sym, asym, 1e-9 + 1e-9 * std::fabs(sym)) << topo->name();
+  }
+}
+
+TEST(DifferentialFuzz, DegradedWithNoFailuresMatchesBase) {
+  Xoshiro256 rng(31337);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int n = static_cast<int>(rng.below(14)) + 2;
+    const auto topo = random_topology(rng, n);
+    const double x = rng.uniform01();
+    const std::vector<bool> healthy(
+        static_cast<std::size_t>(topo->num_buses()), false);
+    ASSERT_NEAR(degraded_bandwidth(*topo, x, healthy),
+                analytical_bandwidth(*topo, x), 1e-10)
+        << topo->name();
+  }
+}
+
+TEST(DifferentialFuzz, DegradedMonotoneInFailuresRandom) {
+  Xoshiro256 rng(5150);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(rng.below(10)) + 2;
+    const auto topo = random_topology(rng, n);
+    const double x = rng.uniform01();
+    std::vector<bool> mask(static_cast<std::size_t>(topo->num_buses()),
+                           false);
+    double prev = degraded_bandwidth(*topo, x, mask);
+    // Fail buses one at a time in random order; bandwidth never rises.
+    std::vector<int> order(static_cast<std::size_t>(topo->num_buses()));
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<int>(i);
+    }
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    for (const int b : order) {
+      mask[static_cast<std::size_t>(b)] = true;
+      const double cur = degraded_bandwidth(*topo, x, mask);
+      ASSERT_LE(cur, prev + 1e-10) << topo->name();
+      prev = cur;
+    }
+    ASSERT_NEAR(prev, 0.0, 1e-12);
+  }
+}
+
+TEST(DifferentialFuzz, SimulatorInvariantsOnRandomConfigs) {
+  Xoshiro256 rng(94110);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = static_cast<int>(rng.below(10)) + 2;
+    const auto topo = random_topology(rng, n);
+    // Random row-stochastic fraction matrix.
+    std::vector<std::vector<double>> rows(
+        static_cast<std::size_t>(n),
+        std::vector<double>(static_cast<std::size_t>(n)));
+    for (auto& row : rows) {
+      double sum = 0.0;
+      for (auto& f : row) {
+        f = rng.uniform01() + 1e-3;
+        sum += f;
+      }
+      for (auto& f : row) f /= sum;
+      // Renormalize exactly to defeat accumulation error.
+      double resum = 0.0;
+      for (const double f : row) resum += f;
+      row.back() += 1.0 - resum;
+    }
+    MatrixModel model(std::move(rows), 0.25 + 0.75 * rng.uniform01());
+
+    SimConfig cfg;
+    cfg.cycles = 4000;
+    cfg.warmup = 100;
+    cfg.seed = rng.next();
+    cfg.resubmit_blocked = rng.bernoulli(0.5);
+    const SimResult r = simulate(*topo, model, cfg);
+
+    ASSERT_LE(r.bandwidth,
+              static_cast<double>(topo->num_buses()) + 1e-12);
+    ASSERT_LE(r.bandwidth, r.offered_load + 1e-12);
+    double proc_sum = 0.0;
+    for (const double a : r.per_processor_acceptance) proc_sum += a;
+    ASSERT_NEAR(proc_sum, r.bandwidth, 1e-9);
+    double mod_sum = 0.0;
+    for (const double a : r.per_module_service) mod_sum += a;
+    ASSERT_NEAR(mod_sum, r.bandwidth, 1e-9);
+    ASSERT_GE(r.blocked_fraction, 0.0);
+    ASSERT_LE(r.blocked_fraction, 1.0);
+  }
+}
+
+TEST(DifferentialFuzz, WindowedBandwidthAveragesToTotal) {
+  Xoshiro256 rng(60601);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 8;
+    const auto topo = random_topology(rng, n);
+    MatrixModel model = MatrixModel::das_bhuyan(n, n, 0.5, 1.0);
+    SimConfig cfg;
+    cfg.cycles = 10000;
+    cfg.window_cycles = 1000;
+    cfg.seed = rng.next();
+    const SimResult r = simulate(*topo, model, cfg);
+    ASSERT_EQ(r.window_bandwidth.size(), 10u);
+    double mean = 0.0;
+    for (const double wdw : r.window_bandwidth) mean += wdw;
+    mean /= static_cast<double>(r.window_bandwidth.size());
+    ASSERT_NEAR(mean, r.bandwidth, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,144 @@
+// Edge-case behaviour of the simulation engine: warmup/window interplay,
+// batch boundaries, fault events at the measurement boundary, and
+// distributional side metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/system.hpp"
+#include "sim/engine.hpp"
+#include "topology/topology.hpp"
+#include "util/error.hpp"
+#include "workload/hotspot.hpp"
+#include "workload/uniform.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(EngineEdge, WindowsCoverExactlyMeasuredCycles) {
+  FullTopology topo(4, 4, 2);
+  UniformModel model(4, 4, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 10500;  // not a multiple of the window
+  cfg.warmup = 777;
+  cfg.window_cycles = 1000;
+  const SimResult r = simulate(topo, model, cfg);
+  ASSERT_EQ(r.window_bandwidth.size(), 11u);  // 10 full + 1 partial
+  // Weighted mean of windows equals the total bandwidth.
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    weighted += r.window_bandwidth[i] * 1000.0;
+  }
+  weighted += r.window_bandwidth[10] * 500.0;
+  EXPECT_NEAR(weighted / 10500.0, r.bandwidth, 1e-9);
+}
+
+TEST(EngineEdge, BatchesEqualToCyclesIsAccepted) {
+  FullTopology topo(4, 4, 2);
+  UniformModel model(4, 4, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 100;
+  cfg.batches = 100;
+  EXPECT_NO_THROW(simulate(topo, model, cfg));
+  cfg.batches = 101;
+  EXPECT_THROW(simulate(topo, model, cfg), InvalidArgument);
+}
+
+TEST(EngineEdge, FaultAtMeasurementStart) {
+  // An event at relative cycle 0 applies to the whole measured span.
+  FullTopology topo(8, 8, 4);
+  UniformModel model(8, 8, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 30000;
+  cfg.warmup = 500;
+  cfg.faults = FaultPlan::timeline(4, {{0, 3, true}});
+  const SimResult with_event = simulate(topo, model, cfg);
+  SimConfig static_cfg = cfg;
+  static_cfg.faults = FaultPlan::static_failures(4, {3});
+  const SimResult with_static = simulate(topo, model, static_cfg);
+  EXPECT_NEAR(with_event.bandwidth, with_static.bandwidth, 0.05);
+  EXPECT_LE(with_event.bandwidth, 3.0 + 1e-9);
+}
+
+TEST(EngineEdge, RepairEventRestoresCapacity) {
+  FullTopology topo(8, 8, 2);
+  UniformModel model(8, 8, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 40000;
+  cfg.faults = FaultPlan::timeline(2, {{0, 0, true}, {20000, 0, false}});
+  cfg.window_cycles = 20000;
+  const SimResult r = simulate(topo, model, cfg);
+  ASSERT_EQ(r.window_bandwidth.size(), 2u);
+  EXPECT_NEAR(r.window_bandwidth[0], 1.0, 1e-6);  // one bus, saturated
+  EXPECT_NEAR(r.window_bandwidth[1], 2.0, 0.01);  // both buses back
+}
+
+TEST(EngineEdge, HotSpotSkewsPerModuleServiceRates) {
+  HotSpotModel model(16, 16, /*hot=*/5, BigRational::parse("0.5"),
+                     BigRational(1));
+  FullTopology topo(16, 16, 16);  // no bus contention
+  SimConfig cfg;
+  cfg.cycles = 60000;
+  const SimResult r = simulate(topo, model, cfg);
+  // The hot module's service rate approaches X_hot; cold ones X_cold.
+  EXPECT_NEAR(r.per_module_service[5], model.hot_request_probability(),
+              0.01);
+  EXPECT_NEAR(r.per_module_service[0], model.cold_request_probability(),
+              0.01);
+  EXPECT_GT(r.per_module_service[5], 2.0 * r.per_module_service[0]);
+}
+
+TEST(EngineEdge, ResubmissionSaturationOffersN) {
+  // r = 1 with retries: every processor requests every cycle, so offered
+  // load is exactly N.
+  FullTopology topo(8, 8, 2);
+  UniformModel model(8, 8, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 20000;
+  cfg.resubmit_blocked = true;
+  const SimResult r = simulate(topo, model, cfg);
+  EXPECT_NEAR(r.offered_load, 8.0, 1e-9);
+  EXPECT_NEAR(r.bandwidth, 2.0, 1e-6);  // bus-limited
+  EXPECT_NEAR(r.blocked_fraction, 0.75, 0.01);
+}
+
+TEST(EngineEdge, ServiceDistributionUpperBoundedByBuses) {
+  FullTopology topo(8, 8, 3);
+  UniformModel model(8, 8, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 20000;
+  const SimResult r = simulate(topo, model, cfg);
+  EXPECT_LE(r.service_count_distribution.size(), 4u);  // counts 0..3
+}
+
+TEST(EngineEdge, RunContinuesRandomStream) {
+  // A second run() continues the stream — results differ but stay
+  // statistically consistent.
+  FullTopology topo(8, 8, 4);
+  UniformModel model(8, 8, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 30000;
+  Simulator sim(topo, model, cfg);
+  const SimResult first = sim.run();
+  const SimResult second = sim.run();
+  EXPECT_NE(first.bandwidth, second.bandwidth);
+  EXPECT_NEAR(first.bandwidth, second.bandwidth, 0.05);
+}
+
+TEST(EngineEdge, WorkloadRequestProbabilityAtFacade) {
+  const auto w = Workload::hierarchical_nxn(
+      {4, 2},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational(1));
+  EXPECT_NEAR(w.request_probability_at(1.0), w.request_probability(),
+              1e-15);
+  EXPECT_DOUBLE_EQ(w.request_probability_at(0.0), 0.0);
+  EXPECT_LT(w.request_probability_at(0.5), w.request_probability_at(1.0));
+  const auto u = Workload::uniform(8, 8, BigRational::parse("0.25"));
+  EXPECT_NEAR(u.request_probability_at(0.25), u.request_probability(),
+              1e-15);
+}
+
+}  // namespace
+}  // namespace mbus

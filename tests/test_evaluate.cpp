@@ -1,0 +1,141 @@
+#include "core/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+Workload section4_n8(const char* r) {
+  return Workload::hierarchical_nxn(
+      {4, 2},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational::parse(r));
+}
+
+TEST(Workload, DescriptionsAreInformative) {
+  const auto u = Workload::uniform(8, 8, BigRational(1));
+  EXPECT_NE(u.description().find("uniform"), std::string::npos);
+  EXPECT_NE(u.description().find("N=8"), std::string::npos);
+  const auto h = section4_n8("0.5");
+  EXPECT_NE(h.description().find("hierarchical"), std::string::npos);
+  EXPECT_NE(h.description().find("0.6"), std::string::npos);
+}
+
+TEST(Workload, AccessorsDelegate) {
+  const auto h = section4_n8("0.5");
+  EXPECT_EQ(h.num_processors(), 8);
+  EXPECT_EQ(h.num_memories(), 8);
+  EXPECT_DOUBLE_EQ(h.request_rate(), 0.5);
+  EXPECT_NEAR(h.exact_request_probability().to_double(),
+              h.request_probability(), 1e-12);
+}
+
+TEST(Workload, NxmVariant) {
+  const auto w = Workload::hierarchical_nxm(
+      {2, 2}, 3, {BigRational::parse("0.7"), BigRational::parse("0.3")},
+      BigRational(1));
+  EXPECT_EQ(w.num_processors(), 4);
+  EXPECT_EQ(w.num_memories(), 6);
+  EXPECT_NE(w.description().find("k'=3"), std::string::npos);
+}
+
+TEST(Evaluate, RejectsShapeMismatch) {
+  FullTopology t(8, 8, 4);
+  const auto w = Workload::uniform(16, 16, BigRational(1));
+  EXPECT_THROW(evaluate(t, w), InvalidArgument);
+}
+
+TEST(Evaluate, AnalyticOnlyByDefault) {
+  FullTopology t(8, 8, 4);
+  const auto w = section4_n8("1");
+  const Evaluation e = evaluate(t, w);
+  EXPECT_FALSE(e.exact_bandwidth.has_value());
+  EXPECT_FALSE(e.simulation.has_value());
+  EXPECT_NEAR(e.request_probability, 0.746859, 1e-6);
+  EXPECT_NEAR(e.analytic_bandwidth, 3.9663, 5e-4);
+  EXPECT_NEAR(e.crossbar_bandwidth, 5.975, 5e-3);
+  EXPECT_EQ(e.cost.connections, 64);
+  EXPECT_GT(e.perf_cost_ratio, 0.0);
+  EXPECT_EQ(e.topology_name, t.name());
+}
+
+TEST(Evaluate, ExactPathAgreesWithDouble) {
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  const auto w = section4_n8("1");
+  EvaluationOptions opt;
+  opt.exact = true;
+  const Evaluation e = evaluate(t, w, opt);
+  ASSERT_TRUE(e.exact_bandwidth.has_value());
+  EXPECT_NEAR(e.exact_bandwidth->to_double(), e.analytic_bandwidth, 1e-12);
+}
+
+TEST(Evaluate, SimulationPathRuns) {
+  FullTopology t(8, 8, 4);
+  const auto w = section4_n8("0.5");
+  EvaluationOptions opt;
+  opt.simulate = true;
+  opt.sim.cycles = 40000;
+  opt.sim.warmup = 500;
+  const Evaluation e = evaluate(t, w, opt);
+  ASSERT_TRUE(e.simulation.has_value());
+  EXPECT_NEAR(e.simulation->bandwidth / e.analytic_bandwidth, 1.0, 0.05);
+}
+
+TEST(Evaluate, PerfCostOrderingMatchesSectionFour) {
+  // Section IV: single is the most cost-effective, full the least, with
+  // partial schemes in between (same N, B).
+  const auto w = section4_n8("1");
+  FullTopology full(8, 8, 4);
+  auto single = SingleTopology::even(8, 8, 4);
+  PartialGTopology partial(8, 8, 4, 2);
+  auto kc = KClassTopology::even(8, 8, 4, 4);
+  const double ratio_full = evaluate(full, w).perf_cost_ratio;
+  const double ratio_single = evaluate(single, w).perf_cost_ratio;
+  const double ratio_partial = evaluate(partial, w).perf_cost_ratio;
+  const double ratio_kc = evaluate(kc, w).perf_cost_ratio;
+  EXPECT_GT(ratio_single, ratio_partial);
+  EXPECT_GT(ratio_partial, ratio_full);
+  EXPECT_GT(ratio_kc, ratio_full);
+}
+
+TEST(Evaluate, BandwidthOrderingMatchesSectionFour) {
+  // full >= partial >= single at equal B (the performance ordering).
+  const auto w = section4_n8("1");
+  FullTopology full(8, 8, 4);
+  auto single = SingleTopology::even(8, 8, 4);
+  PartialGTopology partial(8, 8, 4, 2);
+  EXPECT_GE(evaluate(full, w).analytic_bandwidth,
+            evaluate(partial, w).analytic_bandwidth - 1e-12);
+  EXPECT_GE(evaluate(partial, w).analytic_bandwidth,
+            evaluate(single, w).analytic_bandwidth - 1e-12);
+}
+
+TEST(Evaluate, HierarchicalBeatsUniform) {
+  // The paper's headline observation: hierarchical referencing yields
+  // higher bandwidth than uniform for the same machine.
+  FullTopology t(16, 16, 8);
+  const auto hier = Workload::hierarchical_nxn(
+      {4, 4},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational(1));
+  const auto unif = Workload::uniform(16, 16, BigRational(1));
+  EXPECT_GT(evaluate(t, hier).analytic_bandwidth,
+            evaluate(t, unif).analytic_bandwidth);
+}
+
+TEST(Evaluate, AcceptanceProbability) {
+  FullTopology t(8, 8, 8);
+  const auto w = section4_n8("1");
+  const Evaluation e = evaluate(t, w);
+  // B = N: MBW = N·X, so PA = X.
+  EXPECT_NEAR(e.acceptance_probability, e.request_probability, 1e-12);
+  const auto zero = Workload::uniform(8, 8, BigRational(0));
+  EXPECT_DOUBLE_EQ(evaluate(t, zero).acceptance_probability, 0.0);
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,93 @@
+#include "analysis/exact_asymmetric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/asymmetric.hpp"
+#include "analysis/exact_bandwidth.hpp"
+#include "topology/topology.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+BigRational q(int num, int den) { return BigRational::ratio(num, den); }
+
+std::vector<BigRational> sample_xs() {
+  return {q(9, 10), q(7, 10), q(1, 2), q(3, 10),
+          q(1, 5),  q(2, 5),  q(3, 5), q(4, 5)};
+}
+
+std::vector<double> to_doubles(const std::vector<BigRational>& xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const auto& x : xs) out.push_back(x.to_double());
+  return out;
+}
+
+TEST(ExactAsymmetric, EqualXsReduceToSymmetricExactForms) {
+  const BigRational x = q(2, 3);
+  const std::vector<BigRational> xs(8, x);
+  EXPECT_EQ(exact_asymmetric_bandwidth_full(xs, 4),
+            exact_bandwidth_full(8, 4, x));
+  std::vector<int> groups = {0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_EQ(exact_asymmetric_bandwidth_partial_g(groups, 2, 2, xs),
+            exact_bandwidth_partial_g(8, 4, 2, x));
+  std::vector<int> classes = {1, 1, 2, 2, 3, 3, 4, 4};
+  EXPECT_EQ(exact_asymmetric_bandwidth_k_classes(classes, 4, 4, xs),
+            exact_bandwidth_k_classes(4, {2, 2, 2, 2}, x));
+  std::vector<std::vector<int>> on_bus = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  EXPECT_EQ(exact_asymmetric_bandwidth_single(on_bus, xs),
+            exact_bandwidth_single({2, 2, 2, 2}, x));
+}
+
+TEST(ExactAsymmetric, MatchesDoublePathOnSkewedInput) {
+  const auto xs = sample_xs();
+  const auto xs_d = to_doubles(xs);
+  FullTopology full(8, 8, 4);
+  EXPECT_NEAR(exact_asymmetric_analytical_bandwidth(full, xs).to_double(),
+              asymmetric_analytical_bandwidth(full, xs_d), 1e-12);
+  auto single = SingleTopology::even(8, 8, 4);
+  EXPECT_NEAR(
+      exact_asymmetric_analytical_bandwidth(single, xs).to_double(),
+      asymmetric_analytical_bandwidth(single, xs_d), 1e-12);
+  PartialGTopology partial(8, 8, 4, 2);
+  EXPECT_NEAR(
+      exact_asymmetric_analytical_bandwidth(partial, xs).to_double(),
+      asymmetric_analytical_bandwidth(partial, xs_d), 1e-12);
+  auto kc = KClassTopology::even(8, 8, 4, 4);
+  EXPECT_NEAR(exact_asymmetric_analytical_bandwidth(kc, xs).to_double(),
+              asymmetric_analytical_bandwidth(kc, xs_d), 1e-12);
+}
+
+TEST(ExactAsymmetric, SingleHandValue) {
+  // Bus 0 carries X = {1/2, 1/2} -> 3/4; bus 1 carries {9/10}.
+  std::vector<std::vector<int>> on_bus = {{0, 1}, {2}};
+  const std::vector<BigRational> xs = {q(1, 2), q(1, 2), q(9, 10)};
+  EXPECT_EQ(exact_asymmetric_bandwidth_single(on_bus, xs),
+            q(3, 4) + q(9, 10));
+}
+
+TEST(ExactAsymmetric, FullSaturationExact) {
+  const std::vector<BigRational> xs(6, BigRational(1));
+  EXPECT_EQ(exact_asymmetric_bandwidth_full(xs, 4), BigRational(4));
+  EXPECT_EQ(exact_asymmetric_bandwidth_full(xs, 6), BigRational(6));
+}
+
+TEST(ExactAsymmetric, Validation) {
+  EXPECT_THROW(exact_asymmetric_bandwidth_full({}, 2), InvalidArgument);
+  EXPECT_THROW(exact_asymmetric_bandwidth_full({q(3, 2)}, 2),
+               InvalidArgument);
+  FullTopology topo(4, 4, 2);
+  EXPECT_THROW(
+      exact_asymmetric_analytical_bandwidth(topo, {q(1, 2)}),
+      InvalidArgument);
+}
+
+TEST(BignumStreams, InsertersRenderDecimal) {
+  std::ostringstream os;
+  os << BigUint(42) << " " << BigInt(-7) << " " << q(2, 6);
+  EXPECT_EQ(os.str(), "42 -7 1/3");
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,90 @@
+#include "prob/exact_poisson_binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "prob/exact_binomial.hpp"
+#include "prob/poisson_binomial.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+BigRational q(int num, int den) { return BigRational::ratio(num, den); }
+
+TEST(ExactPoissonBinomial, RejectsBadProbabilities) {
+  EXPECT_THROW(ExactPoissonBinomialDistribution({q(3, 2)}),
+               InvalidArgument);
+  EXPECT_THROW(ExactPoissonBinomialDistribution({q(-1, 2)}),
+               InvalidArgument);
+}
+
+TEST(ExactPoissonBinomial, EmptyIsDegenerate) {
+  ExactPoissonBinomialDistribution d({});
+  EXPECT_EQ(d.pmf(0), BigRational(1));
+  EXPECT_TRUE(d.mean().is_zero());
+  EXPECT_TRUE(d.expected_min_with(2).is_zero());
+}
+
+TEST(ExactPoissonBinomial, HandComputedTwoTrials) {
+  ExactPoissonBinomialDistribution d({q(1, 2), q(1, 4)});
+  EXPECT_EQ(d.pmf(0), q(3, 8));
+  EXPECT_EQ(d.pmf(1), q(1, 2));
+  EXPECT_EQ(d.pmf(2), q(1, 8));
+  EXPECT_EQ(d.cdf(1), q(7, 8));
+  EXPECT_EQ(d.mean(), q(3, 4));
+}
+
+TEST(ExactPoissonBinomial, PmfSumsToExactlyOne) {
+  ExactPoissonBinomialDistribution d(
+      {q(1, 3), q(2, 7), q(5, 11), q(9, 13)});
+  BigRational sum;
+  for (int i = 0; i <= 4; ++i) sum += d.pmf(i);
+  EXPECT_EQ(sum, BigRational(1));
+}
+
+TEST(ExactPoissonBinomial, EqualProbabilitiesReduceToExactBinomial) {
+  const BigRational p = q(2, 5);
+  ExactPoissonBinomialDistribution pb(std::vector<BigRational>(6, p));
+  ExactBinomialDistribution b(6, p);
+  for (int i = 0; i <= 6; ++i) {
+    EXPECT_EQ(pb.pmf(i), b.pmf(i)) << "i=" << i;
+  }
+  for (int cap = 0; cap <= 6; cap += 2) {
+    EXPECT_EQ(pb.expected_min_with(cap), b.expected_min_with(cap));
+  }
+}
+
+TEST(ExactPoissonBinomial, MatchesDoubleVersion) {
+  const std::vector<BigRational> ps = {q(9, 10), q(1, 10), q(1, 2),
+                                       q(3, 8), q(7, 16)};
+  std::vector<double> ps_d;
+  for (const auto& p : ps) ps_d.push_back(p.to_double());
+  ExactPoissonBinomialDistribution exact(ps);
+  PoissonBinomialDistribution approx(ps_d);
+  for (int i = 0; i <= 5; ++i) {
+    EXPECT_NEAR(approx.pmf(i), exact.pmf(i).to_double(), 1e-14);
+  }
+  for (int cap = 0; cap <= 5; ++cap) {
+    EXPECT_NEAR(approx.expected_min_with(cap),
+                exact.expected_min_with(cap).to_double(), 1e-13);
+  }
+}
+
+TEST(ExactPoissonBinomial, MinExcessIdentityExact) {
+  ExactPoissonBinomialDistribution d({q(1, 2), q(1, 3), q(1, 5)});
+  for (int b = 0; b <= 3; ++b) {
+    EXPECT_EQ(d.expected_min_with(b) + d.expected_excess_over(b), d.mean());
+  }
+}
+
+TEST(ExactPoissonBinomial, DegenerateEdges) {
+  ExactPoissonBinomialDistribution d(
+      {BigRational(1), BigRational(), BigRational(1)});
+  EXPECT_EQ(d.pmf(2), BigRational(1));
+  EXPECT_TRUE(d.pmf(1).is_zero());
+  EXPECT_TRUE(d.pmf(3).is_zero());
+  EXPECT_EQ(d.expected_min_with(1), BigRational(1));
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,76 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt_fixed(-1.0, 1), "-1.0");
+  EXPECT_EQ(fmt_fixed(0.0, 0), "0");
+  EXPECT_EQ(fmt_fixed(2.5, 0), "2");  // banker's rounding under iostreams
+}
+
+TEST(Format, FixedRejectsNegativePrecision) {
+  EXPECT_THROW(fmt_fixed(1.0, -1), InvalidArgument);
+}
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(fmt_sci(0.00123, 1), "1.2e-03");
+}
+
+TEST(Format, PadLeft) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+  EXPECT_EQ(pad_left("", 2), "  ");
+}
+
+TEST(Format, PadRight) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(Format, PadCenter) {
+  EXPECT_EQ(pad_center("ab", 6), "  ab  ");
+  EXPECT_EQ(pad_center("ab", 5), " ab  ");  // extra space goes right
+  EXPECT_EQ(pad_center("abcdef", 2), "abcdef");
+}
+
+TEST(Format, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Format, Repeat) {
+  EXPECT_EQ(repeat('-', 3), "---");
+  EXPECT_EQ(repeat('x', 0), "");
+}
+
+TEST(Format, Cat) {
+  EXPECT_EQ(cat("N=", 8, " r=", 0.5), "N=8 r=0.5");
+  EXPECT_EQ(cat(), "");
+}
+
+TEST(Format, ApproxEqualAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.005, 0.01, 0.0));
+  EXPECT_FALSE(approx_equal(1.0, 1.02, 0.01, 0.0));
+}
+
+TEST(Format, ApproxEqualRelative) {
+  EXPECT_TRUE(approx_equal(1000.0, 1001.0, 0.0, 1e-2));
+  EXPECT_FALSE(approx_equal(1000.0, 1100.0, 0.0, 1e-2));
+}
+
+TEST(Format, ApproxEqualExact) {
+  EXPECT_TRUE(approx_equal(0.0, 0.0, 0.0, 0.0));
+  EXPECT_TRUE(approx_equal(-2.5, -2.5, 0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,234 @@
+#include "workload/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "workload/uniform.hpp"
+
+namespace mbus {
+namespace {
+
+BigRational dec(const char* s) { return BigRational::parse(s); }
+
+/// The Section IV two-level setup: 4 clusters, fractions 0.6/0.3/0.1.
+HierarchicalModel section4_model(int n, const char* r) {
+  return HierarchicalModel::nxn_from_aggregate(
+      {4, n / 4}, {dec("0.6"), dec("0.3"), dec("0.1")}, dec(r));
+}
+
+TEST(Hierarchical, LevelCountsMatchEquationOne) {
+  // Paper example: three levels, N = k1 k2 k3; N_0 = 1, N_1 = k3-1,
+  // N_2 = (k2-1)k3, N_3 = (k1-1)k2k3.
+  const int k1 = 3, k2 = 4, k3 = 5;
+  auto m = HierarchicalModel::nxn_from_aggregate(
+      {k1, k2, k3}, {dec("0.4"), dec("0.3"), dec("0.2"), dec("0.1")},
+      BigRational(1));
+  const auto& counts = m.target_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], k3 - 1);
+  EXPECT_EQ(counts[2], (k2 - 1) * k3);
+  EXPECT_EQ(counts[3], (k1 - 1) * k2 * k3);
+  EXPECT_EQ(m.num_processors(), k1 * k2 * k3);
+  EXPECT_EQ(m.num_memories(), k1 * k2 * k3);
+  // Counts cover every module exactly once.
+  EXPECT_EQ(counts[0] + counts[1] + counts[2] + counts[3],
+            m.num_memories());
+}
+
+TEST(Hierarchical, NxnRequesterCountsEqualTargetCounts) {
+  auto m = section4_model(8, "1");
+  EXPECT_EQ(m.target_counts(), m.requester_counts());
+}
+
+TEST(Hierarchical, NormalizationEnforced) {
+  // Per-module fractions must satisfy sum m_t N_t == 1 exactly; counts for
+  // ks {2,2} are {1, 1, 2}, so {0.5, 0.3, 0.2} sums to 1.2 and must throw.
+  EXPECT_THROW(
+      HierarchicalModel::nxn({2, 2}, {dec("0.5"), dec("0.3"), dec("0.2")},
+                             BigRational(1)),
+      InvalidArgument);
+  // 0.5 + 0.3·1 + 0.1·2 = 1.0 is accepted.
+  EXPECT_NO_THROW(HierarchicalModel::nxn(
+      {2, 2}, {dec("0.5"), dec("0.3"), dec("0.1")}, BigRational(1)));
+}
+
+TEST(Hierarchical, RejectsBadParameters) {
+  EXPECT_THROW(HierarchicalModel::nxn_from_aggregate({}, {dec("1")},
+                                                     BigRational(1)),
+               InvalidArgument);
+  EXPECT_THROW(section4_model(8, "2"), InvalidArgument);   // r > 1
+  EXPECT_THROW(section4_model(8, "-1"), InvalidArgument);  // r < 0
+  // Wrong number of aggregate fractions.
+  EXPECT_THROW(HierarchicalModel::nxn_from_aggregate(
+                   {4, 2}, {dec("0.6"), dec("0.4")}, BigRational(1)),
+               InvalidArgument);
+  // Negative fraction.
+  EXPECT_THROW(HierarchicalModel::nxn_from_aggregate(
+                   {4, 2}, {dec("1.2"), dec("-0.3"), dec("0.1")},
+                   BigRational(1)),
+               InvalidArgument);
+}
+
+TEST(Hierarchical, FractionLevelsSection4) {
+  // N=8 = 4 clusters × 2: processor 0's favorite is module 0; module 1 is
+  // in the same cluster; modules 2..7 are in other clusters.
+  auto m = section4_model(8, "1");
+  EXPECT_EQ(m.level_of(0, 0), 0);
+  EXPECT_EQ(m.level_of(0, 1), 1);
+  for (int j = 2; j < 8; ++j) {
+    EXPECT_EQ(m.level_of(0, j), 2) << "j=" << j;
+  }
+  // Processor 5 lives in cluster 2 (modules 4,5).
+  EXPECT_EQ(m.level_of(5, 5), 0);
+  EXPECT_EQ(m.level_of(5, 4), 1);
+  EXPECT_EQ(m.level_of(5, 6), 2);
+  EXPECT_DOUBLE_EQ(m.fraction(0, 0), 0.6);
+  EXPECT_DOUBLE_EQ(m.fraction(0, 1), 0.3);
+  EXPECT_NEAR(m.fraction(0, 7), 0.1 / 6, 1e-15);
+}
+
+TEST(Hierarchical, RowsSumToOne) {
+  auto m = section4_model(16, "0.5");
+  EXPECT_NO_THROW(m.validate());
+  auto m3 = HierarchicalModel::nxn_from_aggregate(
+      {2, 3, 4}, {dec("0.4"), dec("0.3"), dec("0.2"), dec("0.1")},
+      dec("0.75"));
+  EXPECT_NO_THROW(m3.validate());
+}
+
+TEST(Hierarchical, ClosedFormXMatchesBruteForce) {
+  for (const int n : {8, 12, 16}) {
+    for (const char* r : {"1", "0.5", "0.25"}) {
+      auto m = section4_model(n, r);
+      const double brute = m.module_request_probability(0);
+      EXPECT_NEAR(m.closed_form_request_probability(), brute, 1e-12)
+          << "n=" << n << " r=" << r;
+      EXPECT_NEAR(m.exact_request_probability().to_double(), brute, 1e-12);
+    }
+  }
+}
+
+TEST(Hierarchical, SymmetricAcrossModules) {
+  auto m = section4_model(12, "1");
+  EXPECT_NO_THROW(m.symmetric_request_probability());
+}
+
+TEST(Hierarchical, ThreeLevelClosedFormMatchesBruteForce) {
+  auto m = HierarchicalModel::nxn_from_aggregate(
+      {2, 3, 4}, {dec("0.5"), dec("0.25"), dec("0.15"), dec("0.1")},
+      dec("0.8"));
+  const double brute = m.module_request_probability(0);
+  EXPECT_NEAR(m.closed_form_request_probability(), brute, 1e-12);
+  EXPECT_NO_THROW(m.symmetric_request_probability());
+}
+
+TEST(Hierarchical, PaperXValue) {
+  // N=8, r=1, Section IV setup: X = 1 − 0.4·0.7·(59/60)^6 ≈ 0.746859.
+  auto m = section4_model(8, "1");
+  EXPECT_NEAR(m.closed_form_request_probability(), 0.746859, 1e-6);
+  // Exact value as a rational: 1 − (2/5)(7/10)(59/60)^6.
+  const BigRational expect =
+      BigRational(1) - BigRational::ratio(2, 5) * BigRational::ratio(7, 10) *
+                           BigRational::ratio(59, 60).pow(6);
+  EXPECT_EQ(m.exact_request_probability(), expect);
+}
+
+TEST(Hierarchical, UniformSpecialCase) {
+  // Equal aggregate split proportional to level sizes == uniform model.
+  // For ks {4,2}: counts {1, 1, 6}; aggregates {1/8, 1/8, 6/8}.
+  auto m = HierarchicalModel::nxn_from_aggregate(
+      {4, 2},
+      {BigRational::ratio(1, 8), BigRational::ratio(1, 8),
+       BigRational::ratio(6, 8)},
+      BigRational(1));
+  UniformModel u(8, 8, BigRational(1));
+  EXPECT_NEAR(m.closed_form_request_probability(),
+              u.closed_form_request_probability(), 1e-12);
+  EXPECT_EQ(m.exact_request_probability(), u.exact_request_probability());
+}
+
+TEST(Hierarchical, SingleLevelHierarchy) {
+  // n=1: one favorite + the other k1−1 modules.
+  auto m = HierarchicalModel::nxn_from_aggregate(
+      {4}, {dec("0.7"), dec("0.3")}, BigRational(1));
+  EXPECT_EQ(m.num_processors(), 4);
+  EXPECT_EQ(m.level_of(2, 2), 0);
+  EXPECT_EQ(m.level_of(2, 0), 1);
+  EXPECT_DOUBLE_EQ(m.fraction(2, 2), 0.7);
+  EXPECT_DOUBLE_EQ(m.fraction(2, 0), 0.1);
+  EXPECT_NO_THROW(m.validate());
+}
+
+// ----- N×M×B variant -------------------------------------------------------
+
+TEST(HierarchicalNxM, StructureAndCounts) {
+  // Paper example: N = k1 k2 k3, M = k1 k2 k3'; two-level counts
+  // M_0 = k'_n, M_t = (k_{n-t} − 1)·…·k'_n.
+  auto m = HierarchicalModel::nxm_from_aggregate(
+      {2, 3, 4}, /*favorite_group_size=*/2,
+      {dec("0.5"), dec("0.3"), dec("0.2")}, BigRational(1));
+  EXPECT_EQ(m.num_processors(), 24);
+  EXPECT_EQ(m.num_memories(), 12);  // 2·3 subclusters × 2 favorites
+  const auto& counts = m.target_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2);            // k'_3
+  EXPECT_EQ(counts[1], (3 - 1) * 2);  // (k2−1)·k'_3
+  EXPECT_EQ(counts[2], (2 - 1) * 3 * 2);
+  const auto& req = m.requester_counts();
+  EXPECT_EQ(req[0], 4);            // k_3 processors share the favorites
+  EXPECT_EQ(req[1], (3 - 1) * 4);
+  EXPECT_EQ(req[2], (2 - 1) * 3 * 4);
+}
+
+TEST(HierarchicalNxM, FractionLevels) {
+  auto m = HierarchicalModel::nxm_from_aggregate(
+      {2, 2}, /*favorite_group_size=*/3,
+      {dec("0.7"), dec("0.3")}, BigRational(1));
+  // N = 4 processors (2 subclusters × 2), M = 6 modules (2 × 3).
+  EXPECT_EQ(m.num_processors(), 4);
+  EXPECT_EQ(m.num_memories(), 6);
+  // Processor 0 is in subcluster 0; favorites are modules 0,1,2.
+  EXPECT_EQ(m.level_of(0, 0), 0);
+  EXPECT_EQ(m.level_of(0, 2), 0);
+  EXPECT_EQ(m.level_of(0, 3), 1);
+  // Processor 3 is in subcluster 1; favorites are modules 3,4,5.
+  EXPECT_EQ(m.level_of(3, 4), 0);
+  EXPECT_EQ(m.level_of(3, 1), 1);
+  EXPECT_NEAR(m.fraction(0, 0), 0.7 / 3, 1e-15);
+  EXPECT_NEAR(m.fraction(0, 3), 0.3 / 3, 1e-15);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(HierarchicalNxM, ClosedFormXMatchesBruteForce) {
+  auto m = HierarchicalModel::nxm_from_aggregate(
+      {2, 3, 2}, /*favorite_group_size=*/3,
+      {dec("0.5"), dec("0.3"), dec("0.2")}, dec("0.7"));
+  const double brute = m.module_request_probability(0);
+  EXPECT_NEAR(m.closed_form_request_probability(), brute, 1e-12);
+  EXPECT_NEAR(m.exact_request_probability().to_double(), brute, 1e-12);
+  EXPECT_NO_THROW(m.symmetric_request_probability());
+}
+
+TEST(HierarchicalNxM, SingleLevel) {
+  // n=1: all processors share all favorites; M = k'_1.
+  auto m = HierarchicalModel::nxm_from_aggregate(
+      {4}, /*favorite_group_size=*/2, {dec("1")}, BigRational(1));
+  EXPECT_EQ(m.num_processors(), 4);
+  EXPECT_EQ(m.num_memories(), 2);
+  EXPECT_EQ(m.level_of(3, 1), 0);
+  EXPECT_DOUBLE_EQ(m.fraction(0, 0), 0.5);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(HierarchicalNxM, NxnVariantRejectsFavoriteGroup) {
+  EXPECT_THROW(
+      HierarchicalModel::nxm({2, 2}, 0, {dec("0.7"), dec("0.3")},
+                             BigRational(1)),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,129 @@
+#include "analysis/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bandwidth.hpp"
+#include "analysis/resubmission.hpp"
+#include "core/system.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+#include "workload/uniform.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(MarkovChain, StateSpaceBudgetEnforced) {
+  UniformModel big(8, 8, BigRational(1));
+  EXPECT_THROW(ExactResubmissionChain(big, 4), InvalidArgument);
+  UniformModel ok(3, 3, BigRational(1));
+  EXPECT_NO_THROW(ExactResubmissionChain(ok, 2));
+}
+
+TEST(MarkovChain, StateCount) {
+  UniformModel m(3, 3, BigRational(1));
+  ExactResubmissionChain chain(m, 2);
+  EXPECT_EQ(chain.num_states(), 64u);  // (3+1)^3
+}
+
+TEST(MarkovChain, SingleProcessorSingleModule) {
+  // N = M = B = 1: every issued request is served immediately; bandwidth
+  // equals r exactly.
+  UniformModel m(1, 1, BigRational::parse("0.3"));
+  ExactResubmissionChain chain(m, 1);
+  EXPECT_NEAR(chain.stationary_bandwidth(), 0.3, 1e-12);
+  EXPECT_NEAR(chain.stationary_waiting_processors(), 0.0, 1e-12);
+}
+
+TEST(MarkovChain, NoBlockingMeansNoWaiting) {
+  // B = M = N with r = 1 and distinct favorite modules: contention still
+  // exists (two processors can pick the same module), so some waiting
+  // occurs; but with a 1-module system and N = 1 there is none. Here:
+  // 2 processors, 2 modules, 2 buses, uniform — blocking only via memory
+  // contention.
+  UniformModel m(2, 2, BigRational(1));
+  ExactResubmissionChain chain(m, 2);
+  const double bw = chain.stationary_bandwidth();
+  // Per cycle both processors request (r=1, or retry). Served = number of
+  // distinct requested modules. The chain must find a bandwidth in
+  // (1, 2) — more than one (collisions) and less than two.
+  EXPECT_GT(bw, 1.0);
+  EXPECT_LT(bw, 2.0);
+  EXPECT_GT(chain.stationary_waiting_processors(), 0.0);
+}
+
+TEST(MarkovChain, ThroughputEqualsOfferedAtLightLoad) {
+  // In steady state, throughput == fresh-request arrival rate
+  // = r · E[#idle processors]. Check the flow-balance identity.
+  UniformModel m(3, 3, BigRational::parse("0.4"));
+  ExactResubmissionChain chain(m, 2);
+  const double bw = chain.stationary_bandwidth();
+  const double waiting = chain.stationary_waiting_processors();
+  const double idle = 3.0 - waiting;
+  EXPECT_NEAR(bw, 0.4 * idle, 1e-10);
+}
+
+TEST(MarkovChain, FlowBalanceHoldsAtSaturation) {
+  UniformModel m(4, 4, BigRational(1));
+  ExactResubmissionChain chain(m, 2);
+  const double bw = chain.stationary_bandwidth();
+  const double waiting = chain.stationary_waiting_processors();
+  EXPECT_NEAR(bw, 1.0 * (4.0 - waiting), 1e-10);
+  EXPECT_LE(bw, 2.0 + 1e-12);  // bus-limited
+}
+
+TEST(MarkovChain, MatchesResubmissionSimulator) {
+  // The simulator in resubmission mode with random policies realizes the
+  // same process (up to the bus-grant rule: RR pointer vs random subset,
+  // which leaves mean throughput nearly unchanged).
+  UniformModel m(4, 4, BigRational::parse("0.7"));
+  ExactResubmissionChain chain(m, 2);
+  const double exact = chain.stationary_bandwidth();
+
+  FullTopology topo(4, 4, 2);
+  SimConfig cfg;
+  cfg.cycles = 300000;
+  cfg.resubmit_blocked = true;
+  const SimResult sim = simulate(topo, m, cfg);
+  EXPECT_NEAR(sim.bandwidth / exact, 1.0, 0.02);
+}
+
+TEST(MarkovChain, FixedPointApproximationIsClose) {
+  // The adjusted-rate fixed point should land within a few percent of the
+  // exact chain on small systems.
+  UniformModel m(4, 4, BigRational::parse("0.6"));
+  ExactResubmissionChain chain(m, 2);
+  const double exact = chain.stationary_bandwidth();
+
+  FullTopology topo(4, 4, 2);
+  const auto approx = resubmission_bandwidth(
+      topo, 4, 0.6,
+      [&](double ra) { return m.request_probability_at(ra); });
+  EXPECT_NEAR(approx.bandwidth / exact, 1.0, 0.08);
+}
+
+TEST(MarkovChain, MoreBusesNeverHurt) {
+  UniformModel m(4, 4, BigRational(1));
+  double prev = 0.0;
+  for (int b = 1; b <= 4; ++b) {
+    ExactResubmissionChain chain(m, b);
+    const double bw = chain.stationary_bandwidth();
+    EXPECT_GE(bw, prev - 1e-10) << "B=" << b;
+    prev = bw;
+  }
+}
+
+TEST(MarkovChain, ResubmissionBeatsDropAssumption) {
+  // At r < 1 the drop model loses blocked work; the true resubmission
+  // bandwidth is higher.
+  UniformModel m(4, 4, BigRational::parse("0.5"));
+  ExactResubmissionChain chain(m, 2);
+  const double exact = chain.stationary_bandwidth();
+  const double drop =
+      bandwidth_full(4, 2, m.closed_form_request_probability());
+  EXPECT_GT(exact, drop);
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,78 @@
+#include "core/perf_cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbus {
+namespace {
+
+TEST(PerfCost, RatioHandlesZeroCost) {
+  DesignPoint p{"x", 5.0, 0.0, 1};
+  EXPECT_DOUBLE_EQ(p.perf_cost_ratio(), 0.0);
+  DesignPoint q{"y", 5.0, 2.0, 1};
+  EXPECT_DOUBLE_EQ(q.perf_cost_ratio(), 2.5);
+}
+
+TEST(PerfCost, ParetoFrontEmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(PerfCost, ParetoSinglePoint) {
+  const std::vector<DesignPoint> pts = {{"a", 1.0, 1.0, 0}};
+  EXPECT_EQ(pareto_front(pts), (std::vector<std::size_t>{0}));
+}
+
+TEST(PerfCost, DominatedPointRemoved) {
+  const std::vector<DesignPoint> pts = {
+      {"good", 5.0, 10.0, 2},
+      {"bad", 4.0, 12.0, 1},  // worse on all axes
+  };
+  EXPECT_EQ(pareto_front(pts), (std::vector<std::size_t>{0}));
+}
+
+TEST(PerfCost, TradeoffsAllKept) {
+  const std::vector<DesignPoint> pts = {
+      {"fast-expensive", 10.0, 100.0, 3},
+      {"slow-cheap", 2.0, 10.0, 0},
+      {"balanced", 6.0, 50.0, 1},
+  };
+  EXPECT_EQ(pareto_front(pts).size(), 3u);
+}
+
+TEST(PerfCost, DuplicatePointsBothSurvive) {
+  // Equal points do not dominate each other (no strict improvement).
+  const std::vector<DesignPoint> pts = {
+      {"a", 5.0, 10.0, 1},
+      {"b", 5.0, 10.0, 1},
+  };
+  EXPECT_EQ(pareto_front(pts).size(), 2u);
+}
+
+TEST(PerfCost, FaultToleranceAxisMatters) {
+  // Same bandwidth and cost, higher fault tolerance dominates.
+  const std::vector<DesignPoint> pts = {
+      {"ft2", 5.0, 10.0, 2},
+      {"ft0", 5.0, 10.0, 0},
+  };
+  EXPECT_EQ(pareto_front(pts), (std::vector<std::size_t>{0}));
+}
+
+TEST(PerfCost, RankByRatio) {
+  const std::vector<DesignPoint> pts = {
+      {"a", 4.0, 8.0, 0},   // 0.5
+      {"b", 9.0, 9.0, 0},   // 1.0
+      {"c", 3.0, 12.0, 0},  // 0.25
+  };
+  EXPECT_EQ(rank_by_perf_cost(pts),
+            (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(PerfCost, RankBreaksTiesByName) {
+  const std::vector<DesignPoint> pts = {
+      {"zeta", 1.0, 2.0, 0},
+      {"alpha", 2.0, 4.0, 0},  // same ratio 0.5
+  };
+  EXPECT_EQ(rank_by_perf_cost(pts), (std::vector<std::size_t>{1, 0}));
+}
+
+}  // namespace
+}  // namespace mbus

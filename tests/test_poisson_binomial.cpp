@@ -1,0 +1,137 @@
+#include "prob/poisson_binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/binomial_dist.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(PoissonBinomial, RejectsBadProbabilities) {
+  EXPECT_THROW(PoissonBinomialDistribution({0.5, 1.5}), InvalidArgument);
+  EXPECT_THROW(PoissonBinomialDistribution({-0.1}), InvalidArgument);
+}
+
+TEST(PoissonBinomial, EmptyIsDegenerateAtZero) {
+  PoissonBinomialDistribution d({});
+  EXPECT_EQ(d.trials(), 0);
+  EXPECT_DOUBLE_EQ(d.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.expected_min_with(3), 0.0);
+}
+
+TEST(PoissonBinomial, SingleTrial) {
+  PoissonBinomialDistribution d({0.3});
+  EXPECT_DOUBLE_EQ(d.pmf(0), 0.7);
+  EXPECT_DOUBLE_EQ(d.pmf(1), 0.3);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.3);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.21);
+}
+
+TEST(PoissonBinomial, EqualProbabilitiesReduceToBinomial) {
+  for (const double p : {0.0, 0.2, 0.5, 0.9, 1.0}) {
+    PoissonBinomialDistribution pb(std::vector<double>(12, p));
+    BinomialDistribution b(12, p);
+    for (int i = 0; i <= 12; ++i) {
+      EXPECT_NEAR(pb.pmf(i), b.pmf(i), 1e-12) << "p=" << p << " i=" << i;
+    }
+    for (int cap = 0; cap <= 12; cap += 3) {
+      EXPECT_NEAR(pb.expected_min_with(cap), b.expected_min_with(cap),
+                  1e-12);
+    }
+  }
+}
+
+TEST(PoissonBinomial, PmfSumsToOne) {
+  PoissonBinomialDistribution d({0.1, 0.9, 0.5, 0.3, 0.7, 0.01, 0.99});
+  double sum = 0.0;
+  for (int i = 0; i <= d.trials(); ++i) sum += d.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+}
+
+TEST(PoissonBinomial, HandComputedTwoTrials) {
+  PoissonBinomialDistribution d({0.5, 0.25});
+  EXPECT_NEAR(d.pmf(0), 0.5 * 0.75, 1e-15);
+  EXPECT_NEAR(d.pmf(1), 0.5 * 0.75 + 0.5 * 0.25, 1e-15);
+  EXPECT_NEAR(d.pmf(2), 0.5 * 0.25, 1e-15);
+}
+
+TEST(PoissonBinomial, MeanAndVarianceFormulas) {
+  const std::vector<double> ps = {0.2, 0.4, 0.6, 0.8};
+  PoissonBinomialDistribution d(ps);
+  EXPECT_NEAR(d.mean(), 2.0, 1e-15);
+  double var = 0.0;
+  for (const double p : ps) var += p * (1 - p);
+  EXPECT_NEAR(d.variance(), var, 1e-15);
+  // Moments from the PMF agree.
+  double mean_from_pmf = 0.0;
+  for (int i = 0; i <= 4; ++i) mean_from_pmf += i * d.pmf(i);
+  EXPECT_NEAR(mean_from_pmf, d.mean(), 1e-13);
+}
+
+TEST(PoissonBinomial, DegenerateOnesAndZeros) {
+  PoissonBinomialDistribution d({1.0, 0.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(d.pmf(2), 1.0);
+  EXPECT_DOUBLE_EQ(d.pmf(1), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2), 1.0);
+}
+
+TEST(PoissonBinomial, MinExcessIdentity) {
+  PoissonBinomialDistribution d({0.9, 0.8, 0.7, 0.1, 0.2});
+  for (int b = 0; b <= 5; ++b) {
+    EXPECT_NEAR(d.expected_min_with(b) + d.expected_excess_over(b),
+                d.mean(), 1e-13);
+  }
+}
+
+TEST(PoissonBinomial, CdfMonotone) {
+  PoissonBinomialDistribution d({0.3, 0.6, 0.2, 0.9});
+  double prev = 0.0;
+  for (int i = 0; i <= 4; ++i) {
+    EXPECT_GE(d.cdf(i), prev - 1e-15);
+    prev = d.cdf(i);
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-14);
+}
+
+TEST(PoissonBinomial, MatchesMonteCarlo) {
+  const std::vector<double> ps = {0.9, 0.1, 0.5, 0.5, 0.25};
+  PoissonBinomialDistribution d(ps);
+  Xoshiro256 rng(404);
+  const int samples = 200000;
+  std::vector<int> counts(ps.size() + 1, 0);
+  for (int s = 0; s < samples; ++s) {
+    int successes = 0;
+    for (const double p : ps) {
+      if (rng.bernoulli(p)) ++successes;
+    }
+    ++counts[static_cast<std::size_t>(successes)];
+  }
+  for (std::size_t i = 0; i <= ps.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / samples,
+                d.pmf(static_cast<std::int64_t>(i)), 0.005)
+        << "i=" << i;
+  }
+}
+
+TEST(PoissonBinomial, LargeSkewedInput) {
+  // 200 modules, a few hot: numerically stable, sums to 1.
+  std::vector<double> ps(200, 0.01);
+  ps[0] = 0.999;
+  ps[1] = 0.95;
+  PoissonBinomialDistribution d(ps);
+  double sum = 0.0;
+  for (int i = 0; i <= d.trials(); ++i) {
+    ASSERT_GE(d.pmf(i), 0.0);
+    sum += d.pmf(i);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), InvalidArgument);
+  EXPECT_NO_THROW(t.add_row({"1", "2"}));
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(Table, TextRenderingGolden) {
+  Table t({"B", "MBW"});
+  t.add_row({"1", "1.00"});
+  t.add_row({"2", "1.99"});
+  const std::string expect =
+      "+---+------+\n"
+      "| B | MBW  |\n"
+      "+---+------+\n"
+      "| 1 | 1.00 |\n"
+      "| 2 | 1.99 |\n"
+      "+---+------+\n";
+  EXPECT_EQ(t.to_text(), expect);
+}
+
+TEST(Table, TitleAndSeparator) {
+  Table t({"x"});
+  t.set_title("Demo");
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string text = t.to_text();
+  EXPECT_EQ(text.rfind("Demo\n", 0), 0u);
+  // Separator adds one extra rule line: 3 base rules + 1.
+  int rules = 0;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(Table, AlignmentApplied) {
+  Table t({"name", "v"});
+  t.set_alignment(0, Align::kLeft);
+  t.add_row({"ab", "1"});
+  t.add_row({"abcdef", "2"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| ab     |"), std::string::npos);  // left aligned
+}
+
+TEST(Table, MarkdownRendering) {
+  Table t({"a", "b"});
+  t.set_alignment(0, Align::kLeft);
+  t.add_row({"x", "1"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find(":--"), std::string::npos);   // left marker
+  EXPECT_NE(md.find("--:"), std::string::npos);   // right marker (default)
+  EXPECT_NE(md.find("| x | 1 |"), std::string::npos);
+}
+
+TEST(Table, SetAlignmentValidatesIndex) {
+  Table t({"a"});
+  EXPECT_THROW(t.set_alignment(1, Align::kLeft), InvalidArgument);
+}
+
+TEST(Csv, PlainCells) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b", "1.5"});
+  EXPECT_EQ(os.str(), "a,b,1.5\n");
+}
+
+TEST(Csv, QuotingRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(Csv, MultipleRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"h1", "h2"});
+  w.write_row({"a,b", "c"});
+  EXPECT_EQ(os.str(), "h1,h2\n\"a,b\",c\n");
+}
+
+TEST(Csv, EmptyRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+}  // namespace
+}  // namespace mbus

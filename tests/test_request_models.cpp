@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "workload/matrix_model.hpp"
+#include "workload/uniform.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(UniformModel, BasicProperties) {
+  UniformModel m(8, 16, BigRational(1));
+  EXPECT_EQ(m.num_processors(), 8);
+  EXPECT_EQ(m.num_memories(), 16);
+  EXPECT_DOUBLE_EQ(m.request_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(m.fraction(0, 0), 1.0 / 16);
+  EXPECT_DOUBLE_EQ(m.fraction(7, 15), 1.0 / 16);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(UniformModel, RejectsBadParameters) {
+  EXPECT_THROW(UniformModel(0, 8, BigRational(1)), InvalidArgument);
+  EXPECT_THROW(UniformModel(8, 0, BigRational(1)), InvalidArgument);
+  EXPECT_THROW(UniformModel(8, 8, BigRational(2)), InvalidArgument);
+  EXPECT_THROW(UniformModel(8, 8, BigRational(-1)), InvalidArgument);
+}
+
+TEST(UniformModel, ClosedFormXMatchesBruteForce) {
+  for (const auto& [n, m, r] :
+       {std::tuple<int, int, const char*>{8, 8, "1"},
+        {8, 8, "0.5"},
+        {16, 8, "0.25"},
+        {12, 24, "0.9"}}) {
+    UniformModel model(n, m, BigRational::parse(r));
+    const double brute = model.module_request_probability(0);
+    EXPECT_NEAR(model.closed_form_request_probability(), brute, 1e-12);
+    EXPECT_NEAR(model.exact_request_probability().to_double(), brute,
+                1e-12);
+  }
+}
+
+TEST(UniformModel, SymmetricAcrossModules) {
+  UniformModel model(8, 8, BigRational::parse("0.5"));
+  EXPECT_NO_THROW(model.symmetric_request_probability());
+}
+
+TEST(UniformModel, KnownPaperValue) {
+  // Uniform, N=8, r=1: X = 1 - (7/8)^8 = 0.656391...; 8X = 5.25 (Table II).
+  UniformModel model(8, 8, BigRational(1));
+  EXPECT_NEAR(model.closed_form_request_probability(), 0.6563911, 1e-6);
+}
+
+TEST(UniformModel, ZeroRateMeansNoRequests) {
+  UniformModel model(8, 8, BigRational(0));
+  EXPECT_DOUBLE_EQ(model.closed_form_request_probability(), 0.0);
+  EXPECT_TRUE(model.exact_request_probability().is_zero());
+}
+
+TEST(MatrixModel, ValidatesRows) {
+  EXPECT_THROW(MatrixModel({}, 1.0), InvalidArgument);
+  EXPECT_THROW(MatrixModel({{0.5, 0.4}}, 1.0), InvalidArgument);  // sums .9
+  EXPECT_THROW(MatrixModel({{0.5, 0.5}, {1.0}}, 1.0), InvalidArgument);
+  EXPECT_THROW(MatrixModel({{1.2, -0.2}}, 1.0), InvalidArgument);
+  EXPECT_NO_THROW(MatrixModel({{0.25, 0.75}, {1.0, 0.0}}, 0.5));
+}
+
+TEST(MatrixModel, FractionLookup) {
+  MatrixModel m({{0.25, 0.75}, {0.6, 0.4}}, 0.5);
+  EXPECT_DOUBLE_EQ(m.fraction(0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(m.fraction(1, 0), 0.6);
+  EXPECT_THROW(m.fraction(2, 0), InvalidArgument);
+  EXPECT_THROW(m.fraction(0, 2), InvalidArgument);
+}
+
+TEST(MatrixModel, ModuleRequestProbabilityFirstPrinciples) {
+  MatrixModel m({{0.5, 0.5}, {0.25, 0.75}}, 1.0);
+  // X_0 = 1 - (1-0.5)(1-0.25) = 0.625; X_1 = 1 - 0.5*0.25 = 0.875.
+  EXPECT_NEAR(m.module_request_probability(0), 0.625, 1e-12);
+  EXPECT_NEAR(m.module_request_probability(1), 0.875, 1e-12);
+}
+
+TEST(MatrixModel, AsymmetricModelFailsSymmetricQuery) {
+  MatrixModel m({{0.5, 0.5}, {0.25, 0.75}}, 1.0);
+  EXPECT_THROW(m.symmetric_request_probability(), InvalidArgument);
+}
+
+TEST(MatrixModel, DasBhuyanFavoriteModel) {
+  MatrixModel m = MatrixModel::das_bhuyan(4, 4, 0.7, 1.0);
+  EXPECT_DOUBLE_EQ(m.fraction(0, 0), 0.7);
+  EXPECT_DOUBLE_EQ(m.fraction(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(m.fraction(2, 2), 0.7);
+  EXPECT_NO_THROW(m.validate());
+  // With N == M the model is symmetric across modules.
+  EXPECT_NO_THROW(m.symmetric_request_probability());
+}
+
+TEST(MatrixModel, DasBhuyanUniformSpecialCase) {
+  // favorite fraction 1/M makes it the uniform model.
+  MatrixModel m = MatrixModel::das_bhuyan(8, 8, 0.125, 1.0);
+  UniformModel u(8, 8, BigRational(1));
+  EXPECT_NEAR(m.module_request_probability(0),
+              u.closed_form_request_probability(), 1e-12);
+}
+
+TEST(MatrixModel, DasBhuyanRejectsBadFavorite) {
+  EXPECT_THROW(MatrixModel::das_bhuyan(4, 4, 1.5, 1.0), InvalidArgument);
+  EXPECT_THROW(MatrixModel::das_bhuyan(4, 1, 0.5, 1.0), InvalidArgument);
+  EXPECT_NO_THROW(MatrixModel::das_bhuyan(4, 1, 1.0, 1.0));
+}
+
+TEST(RequestModel, FractionRowMatchesFraction) {
+  MatrixModel m({{0.2, 0.3, 0.5}, {1.0, 0.0, 0.0}}, 1.0);
+  const auto row = m.fraction_row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 0.2);
+  EXPECT_DOUBLE_EQ(row[1], 0.3);
+  EXPECT_DOUBLE_EQ(row[2], 0.5);
+  EXPECT_THROW(m.fraction_row(5), InvalidArgument);
+}
+
+TEST(RequestModel, RequestRateScalesX) {
+  // With r = 0, X = 0 regardless of the fraction structure.
+  MatrixModel m({{0.5, 0.5}, {0.5, 0.5}}, 0.0);
+  EXPECT_DOUBLE_EQ(m.module_request_probability(0), 0.0);
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,163 @@
+#include "analysis/resubmission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bandwidth.hpp"
+#include "core/system.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+Workload section4(int n, const char* r) {
+  return Workload::hierarchical_nxn(
+      {4, n / 4},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational::parse(r));
+}
+
+TEST(Resubmission, ZeroRateIsTrivial) {
+  FullTopology topo(8, 8, 4);
+  const auto w = section4(8, "1");
+  const auto result = resubmission_bandwidth(
+      topo, 8, 0.0, [&](double ra) { return w.request_probability_at(ra); });
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.bandwidth, 0.0);
+  EXPECT_DOUBLE_EQ(result.acceptance, 1.0);
+}
+
+TEST(Resubmission, Converges) {
+  FullTopology topo(16, 16, 8);
+  const auto w = section4(16, "0.5");
+  const auto result = resubmission_bandwidth(
+      topo, 16, 0.5,
+      [&](double ra) { return w.request_probability_at(ra); });
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.adjusted_rate, 0.0);
+  EXPECT_LE(result.adjusted_rate, 1.0);
+  EXPECT_GT(result.acceptance, 0.0);
+  EXPECT_LE(result.acceptance, 1.0);
+}
+
+TEST(Resubmission, AdjustedRateAtLeastBaseRate) {
+  // Retries can only add load: r_a >= r always.
+  for (const char* rate : {"0.25", "0.5", "0.75", "1"}) {
+    FullTopology topo(16, 16, 4);  // heavily contended
+    const auto w = section4(16, rate);
+    const double r = std::stod(rate);
+    const auto result = resubmission_bandwidth(
+        topo, 16, r,
+        [&](double ra) { return w.request_probability_at(ra); });
+    EXPECT_GE(result.adjusted_rate, r - 1e-9) << rate;
+  }
+}
+
+TEST(Resubmission, RateOneIsFixedAtOne) {
+  // With r = 1 a processor always has an outstanding request: r_a = 1 and
+  // the model coincides with the no-resubmission closed form at r = 1.
+  FullTopology topo(8, 8, 4);
+  const auto w = section4(8, "1");
+  const auto result = resubmission_bandwidth(
+      topo, 8, 1.0, [&](double ra) { return w.request_probability_at(ra); });
+  EXPECT_NEAR(result.adjusted_rate, 1.0, 1e-9);
+  EXPECT_NEAR(result.bandwidth,
+              analytical_bandwidth(topo, w.request_probability()), 1e-9);
+}
+
+TEST(Resubmission, UncontendedSystemUnchanged) {
+  // Light load, B = N: acceptance ~1, so r_a ~ r and the bandwidth is the
+  // no-resubmission value.
+  FullTopology topo(8, 8, 8);
+  const auto w = section4(8, "0.1");
+  const auto result = resubmission_bandwidth(
+      topo, 8, 0.1, [&](double ra) { return w.request_probability_at(ra); });
+  EXPECT_NEAR(result.acceptance, 1.0, 0.05);
+  EXPECT_NEAR(result.bandwidth,
+              analytical_bandwidth(topo, w.request_probability()),
+              0.05);
+  EXPECT_LT(result.mean_wait_cycles, 0.1);
+}
+
+TEST(Resubmission, BandwidthExceedsDropModel) {
+  // Retries raise the offered load, so the predicted bandwidth under
+  // resubmission is at least the assumption-5 value (capacity permitting).
+  FullTopology topo(16, 16, 4);
+  const auto w = section4(16, "0.5");
+  const auto result = resubmission_bandwidth(
+      topo, 16, 0.5,
+      [&](double ra) { return w.request_probability_at(ra); });
+  const double drop = analytical_bandwidth(topo, w.request_probability());
+  EXPECT_GE(result.bandwidth, drop - 1e-9);
+}
+
+TEST(Resubmission, TracksResubmissionSimulator) {
+  // The fixed point is an approximation; it must land within a few
+  // percent of the resubmission-mode simulator on moderate systems.
+  for (const int b : {4, 8}) {
+    FullTopology topo(16, 16, b);
+    const auto w = section4(16, "0.5");
+    const auto fixed_point = resubmission_bandwidth(
+        topo, 16, 0.5,
+        [&](double ra) { return w.request_probability_at(ra); });
+    SimConfig cfg;
+    cfg.cycles = 150000;
+    cfg.resubmit_blocked = true;
+    const SimResult sim = simulate(topo, w.model(), cfg);
+    EXPECT_NEAR(fixed_point.bandwidth / sim.bandwidth, 1.0, 0.06)
+        << "B=" << b;
+  }
+}
+
+TEST(Resubmission, WaitCyclesTrackSimulatorLatency) {
+  FullTopology topo(16, 16, 4);
+  const auto w = section4(16, "0.75");
+  const auto fixed_point = resubmission_bandwidth(
+      topo, 16, 0.75,
+      [&](double ra) { return w.request_probability_at(ra); });
+  SimConfig cfg;
+  cfg.cycles = 150000;
+  cfg.resubmit_blocked = true;
+  const SimResult sim = simulate(topo, w.model(), cfg);
+  // Fixed-point mean service time = 1 + mean_wait_cycles; simulator
+  // reports mean cycles from issue to grant.
+  EXPECT_NEAR((1.0 + fixed_point.mean_wait_cycles) /
+                  sim.mean_service_cycles,
+              1.0, 0.15);
+}
+
+TEST(Resubmission, ValidatesInput) {
+  FullTopology topo(8, 8, 4);
+  const auto id = [](double ra) { return ra; };
+  EXPECT_THROW(resubmission_bandwidth(topo, 0, 0.5, id), InvalidArgument);
+  EXPECT_THROW(resubmission_bandwidth(topo, 8, 1.5, id), InvalidArgument);
+  EXPECT_THROW(resubmission_bandwidth(topo, 8, 0.5, id, -1.0),
+               InvalidArgument);
+  EXPECT_THROW(resubmission_bandwidth(topo, 8, 0.5, id, 1e-12, 0),
+               InvalidArgument);
+}
+
+TEST(SimulatorLatency, DropModeIsAlwaysOneCycle) {
+  FullTopology topo(8, 8, 4);
+  const auto w = section4(8, "1");
+  SimConfig cfg;
+  cfg.cycles = 30000;
+  const SimResult r = simulate(topo, w.model(), cfg);
+  EXPECT_NEAR(r.mean_service_cycles, 1.0, 1e-12);
+}
+
+TEST(SimulatorLatency, ResubmissionRaisesLatencyUnderContention) {
+  FullTopology topo(8, 8, 2);
+  const auto w = section4(8, "1");
+  SimConfig cfg;
+  cfg.cycles = 50000;
+  cfg.resubmit_blocked = true;
+  const SimResult r = simulate(topo, w.model(), cfg);
+  EXPECT_GT(r.mean_service_cycles, 1.5);
+}
+
+}  // namespace
+}  // namespace mbus

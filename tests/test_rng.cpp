@@ -1,0 +1,137 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace mbus {
+namespace {
+
+TEST(SplitMix64, KnownStream) {
+  // Reference values from the splitmix64 reference implementation with
+  // seed 0 (first outputs of the sequence).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454FULL);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, Uniform01Range) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, Uniform01MeanAndVariance) {
+  Xoshiro256 rng(11);
+  const int samples = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double u = rng.uniform01();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / samples;
+  const double var = sum_sq / samples - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Xoshiro, BelowStaysInBounds) {
+  Xoshiro256 rng(3);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 100ULL}) {
+    for (int i = 0; i < 10000; ++i) {
+      ASSERT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Xoshiro, BelowIsApproximatelyUniform) {
+  Xoshiro256 rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.below(kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  // Chi-square with 9 dof; 99.9% quantile ~ 27.9.
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Xoshiro, BernoulliEdges) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Xoshiro, BernoulliFrequency) {
+  Xoshiro256 rng(19);
+  const int samples = 100000;
+  int hits = 0;
+  for (int i = 0; i < samples; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / samples, 0.3, 0.01);
+}
+
+TEST(Xoshiro, JumpDecorrelatesStreams) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  b.jump();
+  // The jumped stream must not collide with the original's first outputs.
+  std::set<std::uint64_t> head;
+  for (int i = 0; i < 1000; ++i) head.insert(a.next());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(head.count(b.next()), 0u);
+  }
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  EXPECT_EQ(Xoshiro256::min(), 0u);
+  EXPECT_EQ(Xoshiro256::max(), ~0ULL);
+}
+
+}  // namespace
+}  // namespace mbus

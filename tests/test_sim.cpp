@@ -1,0 +1,273 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bandwidth.hpp"
+#include "analysis/degraded.hpp"
+#include "core/system.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+Workload section4(int n, const char* r) {
+  return Workload::hierarchical_nxn(
+      {4, n / 4},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational::parse(r));
+}
+
+SimConfig quick(std::uint64_t seed = 42) {
+  SimConfig cfg;
+  cfg.cycles = 60000;
+  cfg.warmup = 500;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Simulator, ValidatesShapes) {
+  FullTopology t(8, 8, 4);
+  auto w = Workload::uniform(16, 8, BigRational(1));  // N mismatch
+  EXPECT_THROW(Simulator(t, w.model(), quick()), InvalidArgument);
+  auto w2 = Workload::uniform(8, 16, BigRational(1));  // M mismatch
+  EXPECT_THROW(Simulator(t, w2.model(), quick()), InvalidArgument);
+  SimConfig bad = quick();
+  bad.cycles = 0;
+  auto w3 = Workload::uniform(8, 8, BigRational(1));
+  EXPECT_THROW(Simulator(t, w3.model(), bad), InvalidArgument);
+  SimConfig bad2 = quick();
+  bad2.batches = 0;
+  EXPECT_THROW(Simulator(t, w3.model(), bad2), InvalidArgument);
+  SimConfig bad3 = quick();
+  bad3.faults = FaultPlan::static_failures(3, {0});  // wrong bus count
+  EXPECT_THROW(Simulator(t, w3.model(), bad3), InvalidArgument);
+}
+
+TEST(Simulator, DeterministicForSeed) {
+  FullTopology t(8, 8, 4);
+  auto w = section4(8, "1");
+  const SimResult a = simulate(t, w.model(), quick(7));
+  const SimResult b = simulate(t, w.model(), quick(7));
+  EXPECT_DOUBLE_EQ(a.bandwidth, b.bandwidth);
+  EXPECT_EQ(a.per_processor_acceptance, b.per_processor_acceptance);
+}
+
+TEST(Simulator, DifferentSeedsGiveDifferentStreamsSameMean) {
+  FullTopology t(8, 8, 4);
+  auto w = section4(8, "1");
+  const SimResult a = simulate(t, w.model(), quick(1));
+  const SimResult b = simulate(t, w.model(), quick(2));
+  EXPECT_NE(a.bandwidth, b.bandwidth);
+  EXPECT_NEAR(a.bandwidth, b.bandwidth, 0.05);
+}
+
+TEST(Simulator, BandwidthNeverExceedsBusesOrOffered) {
+  auto w = section4(8, "0.5");
+  FullTopology t(8, 8, 4);
+  const SimResult r = simulate(t, w.model(), quick());
+  EXPECT_LE(r.bandwidth, 4.0);
+  EXPECT_LE(r.bandwidth, r.offered_load);
+  EXPECT_GE(r.bandwidth, 0.0);
+  EXPECT_GE(r.blocked_fraction, 0.0);
+  EXPECT_LE(r.blocked_fraction, 1.0);
+}
+
+TEST(Simulator, OfferedLoadApproachesNTimesR) {
+  auto w = section4(8, "0.5");
+  FullTopology t(8, 8, 8);
+  const SimResult r = simulate(t, w.model(), quick());
+  EXPECT_NEAR(r.offered_load, 4.0, 0.05);
+}
+
+TEST(Simulator, ExactCaseFullBEqualsN) {
+  // With B = N the closed form makes no independence approximation:
+  // MBW = N·X exactly. The simulator must agree within its CI.
+  auto w = section4(8, "1");
+  FullTopology t(8, 8, 8);
+  SimConfig cfg = quick();
+  cfg.cycles = 200000;
+  const SimResult r = simulate(t, w.model(), cfg);
+  const double expect = bandwidth_crossbar(8, w.request_probability());
+  EXPECT_NEAR(r.bandwidth, expect, 3.0 * r.bandwidth_ci.half_width + 0.01);
+}
+
+TEST(Simulator, ExactCaseSingleOneModulePerBus) {
+  auto w = section4(8, "0.5");
+  auto t = SingleTopology::even(8, 8, 8);
+  SimConfig cfg = quick();
+  cfg.cycles = 200000;
+  const SimResult r = simulate(t, w.model(), cfg);
+  const double expect = bandwidth_crossbar(8, w.request_probability());
+  EXPECT_NEAR(r.bandwidth, expect, 3.0 * r.bandwidth_ci.half_width + 0.01);
+}
+
+TEST(Simulator, TracksAnalysisWithinApproximationGap) {
+  // For B < N the closed form's independence approximation biases it a
+  // few percent below simulation at heavy load; both must stay within a
+  // 5% band on the Section IV configurations.
+  auto w = section4(16, "1");
+  for (const int b : {4, 8, 12}) {
+    FullTopology t(16, 16, b);
+    const SimResult r = simulate(t, w.model(), quick());
+    const double analytic = analytical_bandwidth(t, w.request_probability());
+    EXPECT_NEAR(r.bandwidth / analytic, 1.0, 0.05) << "B=" << b;
+  }
+}
+
+TEST(Simulator, KClassTracksAnalysis) {
+  auto w = section4(16, "0.5");
+  auto t = KClassTopology::even(16, 16, 8, 8);
+  const SimResult r = simulate(t, w.model(), quick());
+  const double analytic = analytical_bandwidth(t, w.request_probability());
+  EXPECT_NEAR(r.bandwidth / analytic, 1.0, 0.05);
+}
+
+TEST(Simulator, PartialTracksAnalysis) {
+  auto w = section4(16, "0.5");
+  PartialGTopology t(16, 16, 8, 2);
+  const SimResult r = simulate(t, w.model(), quick());
+  const double analytic = analytical_bandwidth(t, w.request_probability());
+  EXPECT_NEAR(r.bandwidth / analytic, 1.0, 0.05);
+}
+
+TEST(Simulator, ZeroRequestRateProducesNothing) {
+  auto w = Workload::uniform(8, 8, BigRational(0));
+  FullTopology t(8, 8, 4);
+  const SimResult r = simulate(t, w.model(), quick());
+  EXPECT_DOUBLE_EQ(r.bandwidth, 0.0);
+  EXPECT_DOUBLE_EQ(r.offered_load, 0.0);
+}
+
+TEST(Simulator, SaturatedUniformBusLimited) {
+  // r = 1, B = 1: exactly one service per cycle (some module always wins).
+  auto w = Workload::uniform(8, 8, BigRational(1));
+  FullTopology t(8, 8, 1);
+  const SimResult r = simulate(t, w.model(), quick());
+  EXPECT_DOUBLE_EQ(r.bandwidth, 1.0);
+}
+
+TEST(Simulator, StaticFaultMatchesDegradedAnalysisExactCase) {
+  // Full topology with one failed bus behaves as B−1 buses; at B = N the
+  // degraded closed form is again exact for B−1 >= number of requested
+  // modules... use B = N and fail buses down to a still-exact case is not
+  // possible, so just check the degraded analysis within the usual gap.
+  auto w = section4(8, "0.5");
+  FullTopology t(8, 8, 4);
+  SimConfig cfg = quick();
+  cfg.faults = FaultPlan::static_failures(4, {1});
+  const SimResult r = simulate(t, w.model(), cfg);
+  const double analytic =
+      degraded_bandwidth(t, w.request_probability(),
+                         {false, true, false, false});
+  EXPECT_NEAR(r.bandwidth / analytic, 1.0, 0.05);
+}
+
+TEST(Simulator, FaultTimelineChangesThroughput) {
+  auto w = section4(8, "1");
+  FullTopology t(8, 8, 4);
+  SimConfig cfg = quick();
+  cfg.cycles = 100000;
+  // All buses fail at the midpoint and never recover.
+  cfg.faults = FaultPlan::timeline(
+      4, {{50000, 0, true}, {50000, 1, true}, {50000, 2, true},
+          {50000, 3, true}});
+  const SimResult r = simulate(t, w.model(), cfg);
+  const SimResult healthy = simulate(t, w.model(), quick());
+  EXPECT_NEAR(r.bandwidth, healthy.bandwidth / 2.0,
+              healthy.bandwidth * 0.05);
+}
+
+TEST(Simulator, ResubmissionIncreasesOfferedLoad) {
+  // Retried requests add to the offered stream when blocking is common.
+  auto w = section4(8, "0.5");
+  FullTopology t(8, 8, 2);  // heavily bus-limited
+  SimConfig base = quick();
+  SimConfig resub = quick();
+  resub.resubmit_blocked = true;
+  const SimResult a = simulate(t, w.model(), base);
+  const SimResult b = simulate(t, w.model(), resub);
+  EXPECT_GT(b.offered_load, a.offered_load + 0.1);
+  // Saturated bus capacity bounds both runs.
+  EXPECT_LE(a.bandwidth, 2.0);
+  EXPECT_LE(b.bandwidth, 2.0);
+}
+
+TEST(Simulator, PerProcessorRatesSumToBandwidth) {
+  auto w = section4(8, "1");
+  FullTopology t(8, 8, 4);
+  const SimResult r = simulate(t, w.model(), quick());
+  double sum = 0.0;
+  for (const double a : r.per_processor_acceptance) sum += a;
+  EXPECT_NEAR(sum, r.bandwidth, 1e-9);
+  sum = 0.0;
+  for (const double a : r.per_module_service) sum += a;
+  EXPECT_NEAR(sum, r.bandwidth, 1e-9);
+}
+
+TEST(Simulator, ServiceDistributionIsNormalized) {
+  auto w = section4(8, "1");
+  FullTopology t(8, 8, 4);
+  const SimResult r = simulate(t, w.model(), quick());
+  double mass = 0.0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < r.service_count_distribution.size(); ++i) {
+    mass += r.service_count_distribution[i];
+    mean += static_cast<double>(i) * r.service_count_distribution[i];
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+  EXPECT_NEAR(mean, r.bandwidth, 1e-9);
+  EXPECT_LE(r.service_count_distribution.size(), 6u);  // counts 0..4 + slack
+}
+
+TEST(Simulator, RandomMemoryArbitrationIsFairAcrossProcessors) {
+  auto w = Workload::uniform(8, 8, BigRational(1));
+  FullTopology t(8, 8, 4);
+  SimConfig cfg = quick();
+  cfg.cycles = 100000;
+  const SimResult r = simulate(t, w.model(), cfg);
+  EXPECT_GT(jain_fairness(r.per_processor_acceptance), 0.999);
+}
+
+TEST(Simulator, ConfidenceIntervalShrinksWithCycles) {
+  auto w = section4(8, "1");
+  FullTopology t(8, 8, 4);
+  SimConfig small = quick();
+  small.cycles = 20000;
+  SimConfig large = quick();
+  large.cycles = 200000;
+  const SimResult a = simulate(t, w.model(), small);
+  const SimResult b = simulate(t, w.model(), large);
+  EXPECT_LT(b.bandwidth_ci.half_width, a.bandwidth_ci.half_width);
+}
+
+TEST(Metrics, JainFairnessEdges) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0, 1.0, 1.0}), 1.0);
+  EXPECT_NEAR(jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+}
+
+TEST(Metrics, RelativeSpread) {
+  EXPECT_DOUBLE_EQ(relative_spread({}), 0.0);
+  EXPECT_DOUBLE_EQ(relative_spread({2.0, 2.0}), 0.0);
+  EXPECT_NEAR(relative_spread({1.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(FaultPlan, StaticAndTimelineConstruction) {
+  const FaultPlan s = FaultPlan::static_failures(4, {1, 3});
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.initial_mask(),
+            (std::vector<bool>{false, true, false, true}));
+  const FaultPlan t = FaultPlan::timeline(2, {{10, 1, true}, {5, 0, true}});
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].cycle, 5);  // sorted
+  EXPECT_TRUE(FaultPlan().empty());
+  EXPECT_THROW(FaultPlan::static_failures(4, {4}), InvalidArgument);
+  EXPECT_THROW(FaultPlan::timeline(2, {{-1, 0, true}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mbus

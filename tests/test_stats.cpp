@@ -1,0 +1,133 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.std_error(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 0.0, 7.75, -1.25};
+  RunningStats s;
+  for (const double x : xs) s.add(x);
+  EXPECT_NEAR(s.mean(), mean_of(xs), 1e-12);
+  EXPECT_NEAR(s.variance(), variance_of(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.75);
+}
+
+TEST(RunningStats, NumericallyStableWithLargeOffset) {
+  // Welford must survive a huge common offset that would destroy the
+  // naive sum-of-squares formula.
+  RunningStats s;
+  const double offset = 1e12;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(offset + x);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-3);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  Xoshiro256 rng(21);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 10.0 - 5.0;
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(ConfidenceInterval, WidthScalesWithZ) {
+  RunningStats s;
+  for (int i = 0; i < 100; ++i) s.add(static_cast<double>(i % 10));
+  const auto ci90 = confidence_interval(s, 0.90);
+  const auto ci95 = confidence_interval(s, 0.95);
+  const auto ci99 = confidence_interval(s, 0.99);
+  EXPECT_LT(ci90.half_width, ci95.half_width);
+  EXPECT_LT(ci95.half_width, ci99.half_width);
+  EXPECT_DOUBLE_EQ(ci95.mean, s.mean());
+}
+
+TEST(ConfidenceInterval, ContainsAndBounds) {
+  ConfidenceInterval ci{10.0, 2.0};
+  EXPECT_DOUBLE_EQ(ci.lower(), 8.0);
+  EXPECT_DOUBLE_EQ(ci.upper(), 12.0);
+  EXPECT_TRUE(ci.contains(10.0));
+  EXPECT_TRUE(ci.contains(8.0));
+  EXPECT_FALSE(ci.contains(7.99));
+}
+
+TEST(ConfidenceInterval, RejectsUnsupportedLevel) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_THROW(confidence_interval(s, 0.5), InvalidArgument);
+}
+
+TEST(ConfidenceInterval, CoversTrueMeanUsually) {
+  // 95% CI over batch means of a uniform stream should cover 0.5.
+  Xoshiro256 rng(23);
+  int covered = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    RunningStats batch;
+    for (int i = 0; i < 50; ++i) {
+      double acc = 0.0;
+      for (int j = 0; j < 100; ++j) acc += rng.uniform01();
+      batch.add(acc / 100.0);
+    }
+    if (confidence_interval(batch, 0.95).contains(0.5)) ++covered;
+  }
+  EXPECT_GE(covered, 85);  // allow slack around the nominal 95
+}
+
+TEST(SampleHelpers, MeanAndVarianceEdgeCases) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance_of({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(variance_of({2.0, 4.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace mbus

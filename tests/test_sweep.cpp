@@ -1,0 +1,125 @@
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+Workload w16() {
+  return Workload::hierarchical_nxn(
+      {4, 4},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational(1));
+}
+
+TEST(Sweep, ValidatesSpec) {
+  SweepSpec empty_schemes;
+  empty_schemes.schemes.clear();
+  empty_schemes.bus_counts = {4};
+  EXPECT_THROW(Sweep::run(empty_schemes, w16()), InvalidArgument);
+
+  SweepSpec empty_buses;
+  EXPECT_THROW(Sweep::run(empty_buses, w16()), InvalidArgument);
+
+  SweepSpec bad_bus;
+  bad_bus.bus_counts = {0};
+  EXPECT_THROW(Sweep::run(bad_bus, w16()), InvalidArgument);
+}
+
+TEST(Sweep, CoversFeasibleGrid) {
+  SweepSpec spec;
+  spec.bus_counts = {2, 4, 8};
+  const Sweep sweep = Sweep::run(spec, w16());
+  // 4 schemes × 3 bus counts, all feasible at N = 16.
+  EXPECT_EQ(sweep.points().size(), 12u);
+}
+
+TEST(Sweep, SkipsInfeasibleLayouts) {
+  SweepSpec spec;
+  spec.bus_counts = {3};  // 16 % 3 != 0
+  const Sweep sweep = Sweep::run(spec, w16());
+  // Only full (any B) and k-classes with explicit classes=... K=3 needs
+  // 16 % 3 == 0 so it is skipped too; partial-g and single skipped.
+  ASSERT_EQ(sweep.points().size(), 1u);
+  EXPECT_EQ(sweep.points().front().scheme, "full");
+}
+
+TEST(Sweep, OfSchemeSortsAndFilters) {
+  SweepSpec spec;
+  spec.bus_counts = {8, 2, 4};
+  const Sweep sweep = Sweep::run(spec, w16());
+  const auto full = sweep.of_scheme("full");
+  ASSERT_EQ(full.size(), 3u);
+  EXPECT_EQ(full[0].buses, 2);
+  EXPECT_EQ(full[2].buses, 8);
+  EXPECT_TRUE(sweep.of_scheme("crossbar").empty());
+}
+
+TEST(Sweep, BestSelectorsAgreeWithSectionFour) {
+  SweepSpec spec;
+  spec.bus_counts = {4, 8};
+  const Sweep sweep = Sweep::run(spec, w16());
+  const auto best_bw = sweep.best_bandwidth();
+  ASSERT_TRUE(best_bw.has_value());
+  // Highest bandwidth is the full scheme at the highest B.
+  EXPECT_EQ(best_bw->scheme, "full");
+  EXPECT_EQ(best_bw->buses, 8);
+  const auto best_pc = sweep.best_perf_cost();
+  ASSERT_TRUE(best_pc.has_value());
+  // Most cost-effective is the single scheme (Section IV conclusion).
+  EXPECT_EQ(best_pc->scheme, "single");
+}
+
+TEST(Sweep, EmptySweepSelectorsReturnNullopt) {
+  SweepSpec spec;
+  spec.schemes = {"single"};
+  spec.bus_counts = {3};  // infeasible for single at N=16
+  const Sweep sweep = Sweep::run(spec, w16());
+  EXPECT_TRUE(sweep.points().empty());
+  EXPECT_FALSE(sweep.best_bandwidth().has_value());
+  EXPECT_FALSE(sweep.best_perf_cost().has_value());
+}
+
+TEST(Sweep, TableRendering) {
+  SweepSpec spec;
+  spec.schemes = {"full", "k-classes"};
+  spec.bus_counts = {4};
+  const Sweep sweep = Sweep::run(spec, w16());
+  const Table t = sweep.to_table("demo sweep");
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("demo sweep"), std::string::npos);
+  EXPECT_NE(text.find("full"), std::string::npos);
+  EXPECT_NE(text.find("k-classes"), std::string::npos);
+  EXPECT_EQ(text.find("sim"), std::string::npos);  // no sim column
+}
+
+TEST(Sweep, SimulationColumnAppearsWhenRequested) {
+  SweepSpec spec;
+  spec.schemes = {"full"};
+  spec.bus_counts = {4};
+  spec.options.simulate = true;
+  spec.options.sim.cycles = 5000;
+  const Sweep sweep = Sweep::run(spec, w16());
+  ASSERT_EQ(sweep.points().size(), 1u);
+  EXPECT_TRUE(sweep.points().front().evaluation.simulation.has_value());
+  const std::string text = sweep.to_table("t").to_text();
+  EXPECT_NE(text.find("sim"), std::string::npos);
+}
+
+TEST(Sweep, CustomClassCount) {
+  SweepSpec spec;
+  spec.schemes = {"k-classes"};
+  spec.bus_counts = {8};
+  spec.classes = 4;  // K = 4 < B = 8
+  const Sweep sweep = Sweep::run(spec, w16());
+  ASSERT_EQ(sweep.points().size(), 1u);
+  // K=4 on B=8: fault tolerance degree B−K = 4.
+  EXPECT_EQ(sweep.points().front().evaluation.cost.fault_tolerance_degree,
+            4);
+}
+
+}  // namespace
+}  // namespace mbus

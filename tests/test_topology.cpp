@@ -1,0 +1,298 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "topology/cost.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(FullTopology, EverythingConnected) {
+  FullTopology t(4, 6, 3);
+  for (int m = 0; m < 6; ++m) {
+    for (int b = 0; b < 3; ++b) {
+      EXPECT_TRUE(t.memory_on_bus(m, b));
+    }
+    EXPECT_EQ(t.memory_degree(m), 3);
+  }
+}
+
+TEST(FullTopology, TableOneClosedForms) {
+  FullTopology t(8, 8, 4);
+  EXPECT_EQ(t.connections(), 4 * (8 + 8));
+  EXPECT_EQ(t.bus_load(0), 16);
+  EXPECT_EQ(t.fault_tolerance_degree(), 3);
+}
+
+TEST(SingleTopology, EvenLayout) {
+  auto t = SingleTopology::even(8, 8, 4);
+  // Modules 0,1 on bus 0; 2,3 on bus 1; etc.
+  EXPECT_EQ(t.bus_of_module(0), 0);
+  EXPECT_EQ(t.bus_of_module(1), 0);
+  EXPECT_EQ(t.bus_of_module(2), 1);
+  EXPECT_EQ(t.bus_of_module(7), 3);
+  for (int m = 0; m < 8; ++m) {
+    EXPECT_EQ(t.memory_degree(m), 1);
+  }
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_EQ(t.modules_on_bus_count(b), 2);
+  }
+}
+
+TEST(SingleTopology, TableOneClosedForms) {
+  auto t = SingleTopology::even(8, 8, 4);
+  EXPECT_EQ(t.connections(), 4 * 8 + 8);  // BN + M
+  EXPECT_EQ(t.bus_load(1), 8 + 2);        // N + M_i
+  EXPECT_EQ(t.fault_tolerance_degree(), 0);
+}
+
+TEST(SingleTopology, CustomMappingAndErrors) {
+  SingleTopology t(4, 2, {0, 1, 1, 1});
+  EXPECT_EQ(t.modules_on_bus_count(0), 1);
+  EXPECT_EQ(t.modules_on_bus_count(1), 3);
+  EXPECT_EQ(t.bus_load(1), 7);
+  EXPECT_THROW(SingleTopology(4, 2, {0, 2}), InvalidArgument);
+  EXPECT_THROW(SingleTopology::even(8, 9, 4), InvalidArgument);
+}
+
+TEST(PartialGTopology, GroupStructure) {
+  PartialGTopology t(8, 8, 4, 2);
+  EXPECT_EQ(t.modules_per_group(), 4);
+  EXPECT_EQ(t.buses_per_group(), 2);
+  EXPECT_EQ(t.group_of_module(0), 0);
+  EXPECT_EQ(t.group_of_module(4), 1);
+  EXPECT_EQ(t.group_of_bus(1), 0);
+  EXPECT_EQ(t.group_of_bus(2), 1);
+  // Module 0 (group 0) is only on buses 0,1.
+  EXPECT_TRUE(t.memory_on_bus(0, 0));
+  EXPECT_TRUE(t.memory_on_bus(0, 1));
+  EXPECT_FALSE(t.memory_on_bus(0, 2));
+  EXPECT_FALSE(t.memory_on_bus(0, 3));
+  EXPECT_TRUE(t.memory_on_bus(5, 3));
+}
+
+TEST(PartialGTopology, TableOneClosedForms) {
+  PartialGTopology t(8, 8, 4, 2);
+  EXPECT_EQ(t.connections(), 4 * (8 + 4));  // B(N + M/g)
+  EXPECT_EQ(t.bus_load(0), 8 + 4);
+  EXPECT_EQ(t.fault_tolerance_degree(), 1);  // B/g − 1
+}
+
+TEST(PartialGTopology, GEqualsOneIsFull) {
+  PartialGTopology t(8, 8, 4, 1);
+  FullTopology f(8, 8, 4);
+  for (int m = 0; m < 8; ++m) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(t.memory_on_bus(m, b), f.memory_on_bus(m, b));
+    }
+  }
+  EXPECT_EQ(t.connections(), f.connections());
+  EXPECT_EQ(t.fault_tolerance_degree(), f.fault_tolerance_degree());
+}
+
+TEST(PartialGTopology, DivisibilityEnforced) {
+  EXPECT_THROW(PartialGTopology(8, 9, 4, 2), InvalidArgument);
+  EXPECT_THROW(PartialGTopology(8, 8, 5, 2), InvalidArgument);
+  EXPECT_THROW(PartialGTopology(8, 8, 4, 0), InvalidArgument);
+}
+
+TEST(KClassTopology, PaperFigureThree) {
+  // The paper's Fig. 3: a 3×6×4 network with three classes of two modules
+  // each. C_1 → buses 1..2, C_2 → buses 1..3, C_3 → buses 1..4 (1-based).
+  auto t = KClassTopology::even(3, 6, 4, 3);
+  EXPECT_EQ(t.num_classes(), 3);
+  EXPECT_EQ(t.class_of_module(0), 1);
+  EXPECT_EQ(t.class_of_module(1), 1);
+  EXPECT_EQ(t.class_of_module(2), 2);
+  EXPECT_EQ(t.class_of_module(5), 3);
+  EXPECT_EQ(t.buses_of_class(1), 2);
+  EXPECT_EQ(t.buses_of_class(2), 3);
+  EXPECT_EQ(t.buses_of_class(3), 4);
+  // 0-based connectivity.
+  EXPECT_TRUE(t.memory_on_bus(0, 0));
+  EXPECT_TRUE(t.memory_on_bus(0, 1));
+  EXPECT_FALSE(t.memory_on_bus(0, 2));
+  EXPECT_TRUE(t.memory_on_bus(2, 2));
+  EXPECT_FALSE(t.memory_on_bus(2, 3));
+  EXPECT_TRUE(t.memory_on_bus(5, 3));
+}
+
+TEST(KClassTopology, TableOneClosedForms) {
+  auto t = KClassTopology::even(3, 6, 4, 3);
+  // BN + Σ M_j (j+B−K) = 12 + 2·(2+3+4) = 30.
+  EXPECT_EQ(t.connections(), 30);
+  // Bus 4 (i=4): classes ≥ max(4+3−4,1)=3 → load 3 + 2 = 5.
+  EXPECT_EQ(t.bus_load(3), 5);
+  // Bus 1 (i=1): classes ≥ max(0,1)=1 → all 6 modules → load 9.
+  EXPECT_EQ(t.bus_load(0), 9);
+  EXPECT_EQ(t.fault_tolerance_degree(), 1);  // B − K
+}
+
+TEST(KClassTopology, ModulesOfClass) {
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  EXPECT_EQ(t.modules_of_class(1), (std::vector<int>{0, 1}));
+  EXPECT_EQ(t.modules_of_class(4), (std::vector<int>{6, 7}));
+  EXPECT_THROW(t.modules_of_class(0), InvalidArgument);
+  EXPECT_THROW(t.modules_of_class(5), InvalidArgument);
+}
+
+TEST(KClassTopology, UnevenClassSizes) {
+  KClassTopology t(8, 4, {1, 3, 2});
+  EXPECT_EQ(t.num_memories(), 6);
+  EXPECT_EQ(t.class_of_module(0), 1);
+  EXPECT_EQ(t.class_of_module(1), 2);
+  EXPECT_EQ(t.class_of_module(3), 2);
+  EXPECT_EQ(t.class_of_module(4), 3);
+  EXPECT_EQ(t.connections(), 4 * 8 + 1 * 2 + 3 * 3 + 2 * 4);
+}
+
+TEST(KClassTopology, KOneIsFull) {
+  KClassTopology t(8, 4, {8});
+  FullTopology f(8, 8, 4);
+  for (int m = 0; m < 8; ++m) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(t.memory_on_bus(m, b), f.memory_on_bus(m, b));
+    }
+  }
+  EXPECT_EQ(t.fault_tolerance_degree(), 3);
+}
+
+TEST(KClassTopology, ValidationErrors) {
+  EXPECT_THROW(KClassTopology(8, 4, std::vector<int>{}), InvalidArgument);
+  EXPECT_THROW(KClassTopology(8, 4, {1, 1, 1, 1, 1}), InvalidArgument);
+  EXPECT_THROW(KClassTopology(8, 4, {2, -1, 2, 2}), InvalidArgument);
+  EXPECT_THROW(KClassTopology::even(8, 9, 4, 4), InvalidArgument);
+}
+
+// ----- closed forms vs generic counting, across all schemes ---------------
+
+struct TopologyCase {
+  std::string label;
+  std::shared_ptr<const Topology> topology;
+};
+
+class ClosedFormVsGeneric : public testing::TestWithParam<TopologyCase> {};
+
+TEST_P(ClosedFormVsGeneric, ConnectionsMatch) {
+  const Topology& t = *GetParam().topology;
+  EXPECT_EQ(t.connections(), t.count_connections());
+}
+
+TEST_P(ClosedFormVsGeneric, BusLoadsMatch) {
+  const Topology& t = *GetParam().topology;
+  for (int b = 0; b < t.num_buses(); ++b) {
+    EXPECT_EQ(t.bus_load(b), t.count_bus_load(b)) << "bus " << b;
+  }
+}
+
+TEST_P(ClosedFormVsGeneric, FaultToleranceMatches) {
+  const Topology& t = *GetParam().topology;
+  EXPECT_EQ(t.fault_tolerance_degree(), t.count_fault_tolerance_degree());
+}
+
+TEST_P(ClosedFormVsGeneric, FaultToleranceDegreeIsTight) {
+  // Any f <= degree failures leave everything reachable; some pattern of
+  // degree+1 failures does not (unless that exceeds the bus count).
+  const Topology& t = *GetParam().topology;
+  const int degree = t.fault_tolerance_degree();
+  ASSERT_GE(degree, 0);
+  // Failing the highest-indexed `degree` buses (worst case for k-classes).
+  std::vector<bool> failed(static_cast<std::size_t>(t.num_buses()), false);
+  for (int i = 0; i < degree; ++i) {
+    failed[static_cast<std::size_t>(t.num_buses() - 1 - i)] = true;
+  }
+  EXPECT_TRUE(t.fully_accessible(failed));
+  if (degree + 1 <= t.num_buses()) {
+    // There exists a (degree+1)-failure pattern that cuts off a module:
+    // fail the buses of a minimum-degree module.
+    int min_m = 0;
+    for (int m = 1; m < t.num_memories(); ++m) {
+      if (t.memory_degree(m) < t.memory_degree(min_m)) min_m = m;
+    }
+    std::vector<bool> cut(static_cast<std::size_t>(t.num_buses()), false);
+    for (const int b : t.buses_of_memory(min_m)) {
+      cut[static_cast<std::size_t>(b)] = true;
+    }
+    EXPECT_FALSE(t.fully_accessible(cut));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ClosedFormVsGeneric,
+    testing::Values(
+        TopologyCase{"full_8_8_4", std::make_shared<FullTopology>(8, 8, 4)},
+        TopologyCase{"full_16_12_7",
+                     std::make_shared<FullTopology>(16, 12, 7)},
+        TopologyCase{"single_8_8_4", std::make_shared<SingleTopology>(
+                                         SingleTopology::even(8, 8, 4))},
+        TopologyCase{"single_16_16_8", std::make_shared<SingleTopology>(
+                                           SingleTopology::even(16, 16, 8))},
+        TopologyCase{"single_uneven",
+                     std::make_shared<SingleTopology>(
+                         4, 3, std::vector<int>{0, 1, 1, 2, 2, 2})},
+        TopologyCase{"partial_8_8_4_2",
+                     std::make_shared<PartialGTopology>(8, 8, 4, 2)},
+        TopologyCase{"partial_16_16_8_4",
+                     std::make_shared<PartialGTopology>(16, 16, 8, 4)},
+        TopologyCase{"partial_g1",
+                     std::make_shared<PartialGTopology>(8, 8, 4, 1)},
+        TopologyCase{"kclass_even_8_8_4", std::make_shared<KClassTopology>(
+                                              KClassTopology::even(8, 8, 4,
+                                                                   4))},
+        TopologyCase{"kclass_fig3", std::make_shared<KClassTopology>(
+                                        KClassTopology::even(3, 6, 4, 3))},
+        TopologyCase{"kclass_uneven",
+                     std::make_shared<KClassTopology>(
+                         8, 5, std::vector<int>{1, 3, 2})}),
+    [](const testing::TestParamInfo<TopologyCase>& info) {
+      return info.param.label;
+    });
+
+TEST(TopologyBase, AccessibleMemories) {
+  auto t = SingleTopology::even(8, 8, 4);
+  std::vector<bool> none(4, false);
+  EXPECT_EQ(t.accessible_memories(none), 8);
+  std::vector<bool> one(4, false);
+  one[0] = true;
+  EXPECT_EQ(t.accessible_memories(one), 6);  // 2 modules lost
+  std::vector<bool> all(4, true);
+  EXPECT_EQ(t.accessible_memories(all), 0);
+  EXPECT_THROW(t.accessible_memories({true}), InvalidArgument);
+}
+
+TEST(TopologyBase, SchemeNames) {
+  EXPECT_EQ(to_string(Scheme::kFull), "full");
+  EXPECT_EQ(to_string(Scheme::kSingle), "single");
+  EXPECT_EQ(to_string(Scheme::kPartialG), "partial-g");
+  EXPECT_EQ(to_string(Scheme::kKClasses), "k-classes");
+  FullTopology t(4, 4, 2);
+  EXPECT_EQ(t.name(), "full(N=4,M=4,B=2)");
+}
+
+TEST(CostSummary, AggregatesClosedForms) {
+  auto t = KClassTopology::even(3, 6, 4, 3);
+  const CostSummary cost = cost_summary(t);
+  EXPECT_EQ(cost.connections, 30);
+  ASSERT_EQ(cost.bus_loads.size(), 4u);
+  EXPECT_EQ(cost.bus_loads[0], 9);
+  EXPECT_EQ(cost.bus_loads[3], 5);
+  EXPECT_EQ(cost.max_bus_load, 9);
+  EXPECT_EQ(cost.min_bus_load, 5);
+  EXPECT_EQ(cost.fault_tolerance_degree, 1);
+}
+
+TEST(CostSummary, SymbolicTableOneRows) {
+  const auto rows = table1_symbolic_rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].connections, "B(N+M)");
+  EXPECT_EQ(rows[1].fault_tolerance, "0");
+  EXPECT_EQ(rows[2].bus_load, "N+M/g");
+  EXPECT_EQ(rows[3].fault_tolerance, "B-K");
+}
+
+}  // namespace
+}  // namespace mbus

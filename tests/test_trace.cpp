@@ -1,0 +1,117 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/system.hpp"
+#include "sim/engine.hpp"
+#include "topology/topology.hpp"
+#include "util/error.hpp"
+#include "workload/uniform.hpp"
+
+namespace mbus {
+namespace {
+
+TraceEvent grant(std::int64_t cycle, int p, int m, int b) {
+  return TraceEvent{cycle, TraceEventKind::kGrant, p, m, b};
+}
+
+TEST(TraceBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(TraceBuffer(0), InvalidArgument);
+}
+
+TEST(TraceBuffer, RecordsInOrder) {
+  TraceBuffer buf(8);
+  EXPECT_TRUE(buf.empty());
+  buf.record(grant(0, 1, 2, 3));
+  buf.record(grant(1, 4, 5, 6));
+  EXPECT_EQ(buf.size(), 2u);
+  const auto events = buf.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].cycle, 0);
+  EXPECT_EQ(events[1].processor, 4);
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
+TEST(TraceBuffer, RingOverwritesOldest) {
+  TraceBuffer buf(3);
+  for (int i = 0; i < 5; ++i) {
+    buf.record(grant(i, i, 0, 0));
+  }
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.dropped(), 2u);
+  const auto events = buf.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].cycle, 2);
+  EXPECT_EQ(events[2].cycle, 4);
+}
+
+TEST(TraceBuffer, ClearResets) {
+  TraceBuffer buf(2);
+  buf.record(grant(0, 0, 0, 0));
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
+TEST(TraceBuffer, CsvFormat) {
+  TraceBuffer buf(4);
+  buf.record(grant(7, 1, 2, 3));
+  buf.record(TraceEvent{8, TraceEventKind::kBlocked, 5, 6, -1});
+  std::ostringstream os;
+  buf.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "cycle,kind,processor,module,bus\n"
+            "7,grant,1,2,3\n"
+            "8,blocked,5,6,-1\n");
+}
+
+TEST(TraceIntegration, GrantCountMatchesBandwidth) {
+  FullTopology topo(4, 4, 2);
+  UniformModel model(4, 4, BigRational(1));
+  TraceBuffer trace(1 << 20);
+  SimConfig cfg;
+  cfg.cycles = 2000;
+  cfg.warmup = 10;
+  cfg.trace = &trace;
+  const SimResult r = simulate(topo, model, cfg);
+  std::int64_t grants = 0;
+  std::int64_t blocked = 0;
+  for (const TraceEvent& e : trace.snapshot()) {
+    (e.kind == TraceEventKind::kGrant ? grants : blocked)++;
+    EXPECT_GE(e.cycle, 0);
+    EXPECT_LT(e.cycle, 2000);
+    if (e.kind == TraceEventKind::kGrant) {
+      EXPECT_GE(e.bus, 0);
+      EXPECT_LT(e.bus, 2);
+    } else {
+      EXPECT_EQ(e.bus, -1);
+    }
+  }
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_NEAR(static_cast<double>(grants) / 2000.0, r.bandwidth, 1e-12);
+  // blocked events + busy-module rejections = blocked_fraction·issued;
+  // with single-cycle transfers there are no busy-module rejections.
+  EXPECT_NEAR(static_cast<double>(blocked),
+              r.blocked_fraction * r.offered_load * 2000.0, 0.5);
+}
+
+TEST(TraceIntegration, EveryGrantRespectsWiring) {
+  auto topo = KClassTopology::even(8, 8, 4, 4);
+  UniformModel model(8, 8, BigRational(1));
+  TraceBuffer trace(1 << 18);
+  SimConfig cfg;
+  cfg.cycles = 1000;
+  cfg.trace = &trace;
+  simulate(topo, model, cfg);
+  for (const TraceEvent& e : trace.snapshot()) {
+    if (e.kind == TraceEventKind::kGrant) {
+      EXPECT_TRUE(topo.memory_on_bus(e.module, e.bus))
+          << "module " << e.module << " bus " << e.bus;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbus

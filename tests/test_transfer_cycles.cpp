@@ -1,0 +1,147 @@
+// Multi-cycle transfers: a granted module and its bus stay busy for
+// T = SimConfig::transfer_cycles cycles; new requests to a busy module
+// are blocked (the "referenced memory module might be busy" conflict of
+// Section II-A, which the paper's single-cycle assumption 1 removes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/system.hpp"
+#include "sim/engine.hpp"
+#include "topology/topology.hpp"
+#include "util/error.hpp"
+#include "workload/uniform.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(TransferCycles, ValidatesParameter) {
+  FullTopology t(4, 4, 2);
+  UniformModel m(4, 4, BigRational(1));
+  SimConfig cfg;
+  cfg.transfer_cycles = 0;
+  EXPECT_THROW(Simulator(t, m, cfg), InvalidArgument);
+}
+
+TEST(TransferCycles, DeterministicSingleProcessorPattern) {
+  // One processor, one module, one bus, r = 1, T = 3: a grant every third
+  // cycle (grant, busy, busy, grant, …) — bandwidth exactly 1/3.
+  FullTopology t(1, 1, 1);
+  UniformModel m(1, 1, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 30000;
+  cfg.warmup = 30;  // multiple of 3 keeps the pattern aligned
+  cfg.transfer_cycles = 3;
+  const SimResult r = simulate(t, m, cfg);
+  EXPECT_NEAR(r.bandwidth, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(r.bus_utilization, 1.0, 1e-9);
+}
+
+TEST(TransferCycles, OneEqualsLegacyBehaviour) {
+  FullTopology t(8, 8, 4);
+  UniformModel m(8, 8, BigRational(1));
+  SimConfig a;
+  a.cycles = 20000;
+  a.seed = 99;
+  SimConfig b = a;
+  b.transfer_cycles = 1;
+  const SimResult ra = simulate(t, m, a);
+  const SimResult rb = simulate(t, m, b);
+  EXPECT_DOUBLE_EQ(ra.bandwidth, rb.bandwidth);
+  EXPECT_NEAR(ra.bus_utilization, ra.bandwidth / 4.0, 1e-12);
+}
+
+TEST(TransferCycles, UtilizationIdentity) {
+  // Bus busy-cycles = grants · T, so utilization == bandwidth · T / B.
+  FullTopology t(8, 8, 4);
+  UniformModel m(8, 8, BigRational(1));
+  for (const std::int64_t transfer : {2, 4}) {
+    SimConfig cfg;
+    cfg.cycles = 40000;
+    cfg.transfer_cycles = transfer;
+    const SimResult r = simulate(t, m, cfg);
+    EXPECT_NEAR(r.bus_utilization,
+                r.bandwidth * static_cast<double>(transfer) / 4.0, 5e-3)
+        << "T=" << transfer;
+  }
+}
+
+TEST(TransferCycles, BandwidthBoundedByBusesOverT) {
+  // Each bus can start at most one transfer per T cycles.
+  FullTopology t(16, 16, 4);
+  UniformModel m(16, 16, BigRational(1));
+  for (const std::int64_t transfer : {1, 2, 4, 8}) {
+    SimConfig cfg;
+    cfg.cycles = 30000;
+    cfg.transfer_cycles = transfer;
+    const SimResult r = simulate(t, m, cfg);
+    EXPECT_LE(r.bandwidth,
+              4.0 / static_cast<double>(transfer) + 1e-9)
+        << "T=" << transfer;
+  }
+}
+
+TEST(TransferCycles, ThroughputDecreasesWithT) {
+  FullTopology t(16, 16, 8);
+  UniformModel m(16, 16, BigRational(1));
+  double prev = 1e300;
+  for (const std::int64_t transfer : {1, 2, 4}) {
+    SimConfig cfg;
+    cfg.cycles = 40000;
+    cfg.transfer_cycles = transfer;
+    const SimResult r = simulate(t, m, cfg);
+    EXPECT_LT(r.bandwidth, prev);
+    prev = r.bandwidth;
+  }
+}
+
+TEST(TransferCycles, WorksOnEveryScheme) {
+  UniformModel m(8, 8, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 20000;
+  cfg.transfer_cycles = 2;
+  FullTopology full(8, 8, 4);
+  auto single = SingleTopology::even(8, 8, 4);
+  PartialGTopology partial(8, 8, 4, 2);
+  auto kc = KClassTopology::even(8, 8, 4, 4);
+  for (const Topology* topo :
+       std::vector<const Topology*>{&full, &single, &partial, &kc}) {
+    const SimResult r = simulate(*topo, m, cfg);
+    EXPECT_GT(r.bandwidth, 0.5) << topo->name();
+    EXPECT_LE(r.bandwidth, 2.0 + 1e-9) << topo->name();  // B/T bound
+    EXPECT_LE(r.bus_utilization, 1.0 + 1e-9) << topo->name();
+  }
+}
+
+TEST(TransferCycles, ResubmissionWithBusyModules) {
+  // Heavy contention with retries and T = 2: the system stays consistent
+  // (bandwidth positive, bounded, accounting identities hold).
+  FullTopology t(8, 8, 2);
+  UniformModel m(8, 8, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 30000;
+  cfg.transfer_cycles = 2;
+  cfg.resubmit_blocked = true;
+  const SimResult r = simulate(t, m, cfg);
+  EXPECT_GT(r.bandwidth, 0.5);
+  EXPECT_LE(r.bandwidth, 1.0 + 1e-9);  // B/T = 1
+  double sum = 0.0;
+  for (const double a : r.per_processor_acceptance) sum += a;
+  EXPECT_NEAR(sum, r.bandwidth, 1e-9);
+  EXPECT_GT(r.mean_service_cycles, 1.0);
+}
+
+TEST(TransferCycles, FaultsComposeWithTransfers) {
+  FullTopology t(8, 8, 4);
+  UniformModel m(8, 8, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 30000;
+  cfg.transfer_cycles = 2;
+  cfg.faults = FaultPlan::static_failures(4, {0, 1});
+  const SimResult r = simulate(t, m, cfg);
+  EXPECT_LE(r.bandwidth, 1.0 + 1e-9);  // 2 alive buses / T = 1
+  EXPECT_GT(r.bandwidth, 0.4);
+}
+
+}  // namespace
+}  // namespace mbus

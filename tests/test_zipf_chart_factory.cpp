@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/asymmetric.hpp"
+#include "report/chart.hpp"
+#include "topology/factory.hpp"
+#include "util/error.hpp"
+#include "workload/uniform.hpp"
+#include "workload/zipf.hpp"
+
+namespace mbus {
+namespace {
+
+// ----- ZipfModel -----------------------------------------------------------
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  ZipfModel z(8, 8, 0.0, 1.0);
+  for (int m = 0; m < 8; ++m) {
+    EXPECT_NEAR(z.fraction(0, m), 0.125, 1e-15);
+  }
+  UniformModel u(8, 8, BigRational(1));
+  EXPECT_NEAR(z.per_module_request_probabilities()[3],
+              u.closed_form_request_probability(), 1e-12);
+}
+
+TEST(Zipf, FractionsFollowPowerLaw) {
+  ZipfModel z(4, 4, 1.0, 1.0);
+  // Normalized 1, 1/2, 1/3, 1/4 over 25/12.
+  const double norm = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+  EXPECT_NEAR(z.fraction(0, 0), 1.0 / norm, 1e-14);
+  EXPECT_NEAR(z.fraction(0, 1), 0.5 / norm, 1e-14);
+  EXPECT_NEAR(z.fraction(0, 3), 0.25 / norm, 1e-14);
+  EXPECT_NO_THROW(z.validate());
+}
+
+TEST(Zipf, RowsSumToOneForLargeExponent) {
+  ZipfModel z(4, 16, 3.0, 0.5);
+  EXPECT_NO_THROW(z.validate());
+  EXPECT_GT(z.fraction(0, 0), 0.8);  // heavy concentration
+}
+
+TEST(Zipf, PerModuleXMatchesGenericComputation) {
+  ZipfModel z(6, 8, 1.2, 0.7);
+  const auto closed = z.per_module_request_probabilities();
+  for (int m = 0; m < 8; ++m) {
+    EXPECT_NEAR(closed[static_cast<std::size_t>(m)],
+                z.module_request_probability(m), 1e-12)
+        << "m=" << m;
+  }
+}
+
+TEST(Zipf, SkewReducesFullBandwidth) {
+  FullTopology topo(16, 16, 8);
+  ZipfModel flat(16, 16, 0.0, 1.0);
+  ZipfModel skewed(16, 16, 2.0, 1.0);
+  const double mbw_flat = asymmetric_analytical_bandwidth(topo, flat);
+  const double mbw_skewed = asymmetric_analytical_bandwidth(topo, skewed);
+  EXPECT_GT(mbw_flat, mbw_skewed + 1.0);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfModel(0, 8, 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(ZipfModel(8, 0, 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(ZipfModel(8, 8, -1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(ZipfModel(8, 8, 1.0, 1.5), InvalidArgument);
+}
+
+// ----- AsciiChart ----------------------------------------------------------
+
+TEST(AsciiChart, RendersGridWithLegend) {
+  AsciiChart chart("demo", 4);
+  chart.add_series("up", {1.0, 2.0, 3.0}, 'u');
+  chart.add_series("down", {3.0, 2.0, 1.0}, 'd');
+  const std::string out = chart.render({"a", "b", "c"});
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("legend: u = up, d = down"), std::string::npos);
+  // The crossing point renders as '+'.
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find('u'), std::string::npos);
+  EXPECT_NE(out.find('d'), std::string::npos);
+}
+
+TEST(AsciiChart, FlatSeriesDoesNotDivideByZero) {
+  AsciiChart chart("flat", 4);
+  chart.add_series("c", {2.0, 2.0}, 'c');
+  EXPECT_NO_THROW(chart.render({"x", "y"}));
+}
+
+TEST(AsciiChart, ValidatesInput) {
+  AsciiChart chart("bad", 4);
+  EXPECT_THROW(chart.render({"x"}), InvalidArgument);  // no series
+  chart.add_series("a", {1.0, 2.0}, 'a');
+  EXPECT_THROW(chart.add_series("b", {1.0}, 'b'), InvalidArgument);
+  EXPECT_THROW(chart.render({"only-one"}), InvalidArgument);
+  EXPECT_THROW(AsciiChart("tiny", 1), InvalidArgument);
+}
+
+TEST(AsciiChart, ExtremesLandOnTopAndBottomRows) {
+  AsciiChart chart("rows", 5);
+  chart.add_series("s", {0.0, 10.0}, 's');
+  const std::string out = chart.render({"lo", "hi"});
+  std::vector<std::string> lines;
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  // Line 1 is the top row (max), line 5 the bottom row (min).
+  EXPECT_NE(lines[1].find('s'), std::string::npos);
+  EXPECT_NE(lines[5].find('s'), std::string::npos);
+}
+
+// ----- topology factory ----------------------------------------------------
+
+TEST(TopologyFactory, BuildsEveryScheme) {
+  for (const char* scheme : {"full", "single", "partial-g", "k-classes"}) {
+    TopologySpec spec;
+    spec.scheme = scheme;
+    spec.processors = 16;
+    spec.memories = 16;
+    spec.buses = 8;
+    const auto topo = make_topology(spec);
+    ASSERT_NE(topo, nullptr) << scheme;
+    EXPECT_EQ(topo->num_processors(), 16);
+    EXPECT_EQ(topo->num_memories(), 16);
+    EXPECT_EQ(topo->num_buses(), 8);
+  }
+}
+
+TEST(TopologyFactory, SchemeSpecificParameters) {
+  TopologySpec spec;
+  spec.scheme = "partial-g";
+  spec.groups = 4;
+  spec.processors = spec.memories = 16;
+  spec.buses = 8;
+  const auto partial = make_topology(spec);
+  EXPECT_EQ(dynamic_cast<const PartialGTopology&>(*partial).groups(), 4);
+
+  spec.scheme = "k-classes";
+  spec.classes = 4;
+  const auto kc = make_topology(spec);
+  EXPECT_EQ(dynamic_cast<const KClassTopology&>(*kc).num_classes(), 4);
+
+  spec.classes = 0;  // default: K = B
+  const auto kcb = make_topology(spec);
+  EXPECT_EQ(dynamic_cast<const KClassTopology&>(*kcb).num_classes(), 8);
+}
+
+TEST(TopologyFactory, UnknownSchemeThrows) {
+  TopologySpec spec;
+  spec.scheme = "crossbar";
+  EXPECT_THROW(make_topology(spec), InvalidArgument);
+}
+
+TEST(TopologyFactory, MakeAllSchemes) {
+  const auto all = make_all_schemes(8, 8, 4);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0]->scheme(), Scheme::kFull);
+  EXPECT_EQ(all[1]->scheme(), Scheme::kSingle);
+  EXPECT_EQ(all[2]->scheme(), Scheme::kPartialG);
+  EXPECT_EQ(all[3]->scheme(), Scheme::kKClasses);
+}
+
+}  // namespace
+}  // namespace mbus
