@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_arbitration.cpp" "bench/CMakeFiles/ablation_arbitration.dir/ablation_arbitration.cpp.o" "gcc" "bench/CMakeFiles/ablation_arbitration.dir/ablation_arbitration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbus_paperdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

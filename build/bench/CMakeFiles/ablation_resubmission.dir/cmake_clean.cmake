@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resubmission.dir/ablation_resubmission.cpp.o"
+  "CMakeFiles/ablation_resubmission.dir/ablation_resubmission.cpp.o.d"
+  "ablation_resubmission"
+  "ablation_resubmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resubmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

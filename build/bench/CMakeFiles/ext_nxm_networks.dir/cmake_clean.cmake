@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_nxm_networks.dir/ext_nxm_networks.cpp.o"
+  "CMakeFiles/ext_nxm_networks.dir/ext_nxm_networks.cpp.o.d"
+  "ext_nxm_networks"
+  "ext_nxm_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nxm_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

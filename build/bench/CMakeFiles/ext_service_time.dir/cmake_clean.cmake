@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_service_time.dir/ext_service_time.cpp.o"
+  "CMakeFiles/ext_service_time.dir/ext_service_time.cpp.o.d"
+  "ext_service_time"
+  "ext_service_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_service_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

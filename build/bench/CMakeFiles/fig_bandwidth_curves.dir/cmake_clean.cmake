@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_bandwidth_curves.dir/fig_bandwidth_curves.cpp.o"
+  "CMakeFiles/fig_bandwidth_curves.dir/fig_bandwidth_curves.cpp.o.d"
+  "fig_bandwidth_curves"
+  "fig_bandwidth_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_bandwidth_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

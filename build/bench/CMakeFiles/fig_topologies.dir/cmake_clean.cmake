@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_topologies.dir/fig_topologies.cpp.o"
+  "CMakeFiles/fig_topologies.dir/fig_topologies.cpp.o.d"
+  "fig_topologies"
+  "fig_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_exact_large_n.dir/sweep_exact_large_n.cpp.o"
+  "CMakeFiles/sweep_exact_large_n.dir/sweep_exact_large_n.cpp.o.d"
+  "sweep_exact_large_n"
+  "sweep_exact_large_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_exact_large_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

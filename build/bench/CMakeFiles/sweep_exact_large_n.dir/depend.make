@@ -1,0 +1,2 @@
+# Empty dependencies file for sweep_exact_large_n.
+# This may be replaced when dependencies are built.

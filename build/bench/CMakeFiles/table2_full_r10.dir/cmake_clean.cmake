@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_full_r10.dir/table2_full_r10.cpp.o"
+  "CMakeFiles/table2_full_r10.dir/table2_full_r10.cpp.o.d"
+  "table2_full_r10"
+  "table2_full_r10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_full_r10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_full_r05.dir/table3_full_r05.cpp.o"
+  "CMakeFiles/table3_full_r05.dir/table3_full_r05.cpp.o.d"
+  "table3_full_r05"
+  "table3_full_r05.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_full_r05.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

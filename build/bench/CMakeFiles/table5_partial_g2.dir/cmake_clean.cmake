@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_partial_g2.dir/table5_partial_g2.cpp.o"
+  "CMakeFiles/table5_partial_g2.dir/table5_partial_g2.cpp.o.d"
+  "table5_partial_g2"
+  "table5_partial_g2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_partial_g2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_k_classes.dir/table6_k_classes.cpp.o"
+  "CMakeFiles/table6_k_classes.dir/table6_k_classes.cpp.o.d"
+  "table6_k_classes"
+  "table6_k_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_k_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_perf_cost.dir/table_perf_cost.cpp.o"
+  "CMakeFiles/table_perf_cost.dir/table_perf_cost.cpp.o.d"
+  "table_perf_cost"
+  "table_perf_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_perf_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

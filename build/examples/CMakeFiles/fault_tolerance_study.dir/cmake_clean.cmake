@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerance_study.dir/fault_tolerance_study.cpp.o"
+  "CMakeFiles/fault_tolerance_study.dir/fault_tolerance_study.cpp.o.d"
+  "fault_tolerance_study"
+  "fault_tolerance_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerance_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

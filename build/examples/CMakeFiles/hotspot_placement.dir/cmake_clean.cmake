@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_placement.dir/hotspot_placement.cpp.o"
+  "CMakeFiles/hotspot_placement.dir/hotspot_placement.cpp.o.d"
+  "hotspot_placement"
+  "hotspot_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

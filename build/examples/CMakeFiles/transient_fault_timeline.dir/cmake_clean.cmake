@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_fault_timeline.dir/transient_fault_timeline.cpp.o"
+  "CMakeFiles/transient_fault_timeline.dir/transient_fault_timeline.cpp.o.d"
+  "transient_fault_timeline"
+  "transient_fault_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_fault_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_simulation.dir/validate_simulation.cpp.o"
+  "CMakeFiles/validate_simulation.dir/validate_simulation.cpp.o.d"
+  "validate_simulation"
+  "validate_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

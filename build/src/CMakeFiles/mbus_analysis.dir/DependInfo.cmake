@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/asymmetric.cpp" "src/CMakeFiles/mbus_analysis.dir/analysis/asymmetric.cpp.o" "gcc" "src/CMakeFiles/mbus_analysis.dir/analysis/asymmetric.cpp.o.d"
+  "/root/repo/src/analysis/bandwidth.cpp" "src/CMakeFiles/mbus_analysis.dir/analysis/bandwidth.cpp.o" "gcc" "src/CMakeFiles/mbus_analysis.dir/analysis/bandwidth.cpp.o.d"
+  "/root/repo/src/analysis/degraded.cpp" "src/CMakeFiles/mbus_analysis.dir/analysis/degraded.cpp.o" "gcc" "src/CMakeFiles/mbus_analysis.dir/analysis/degraded.cpp.o.d"
+  "/root/repo/src/analysis/exact_asymmetric.cpp" "src/CMakeFiles/mbus_analysis.dir/analysis/exact_asymmetric.cpp.o" "gcc" "src/CMakeFiles/mbus_analysis.dir/analysis/exact_asymmetric.cpp.o.d"
+  "/root/repo/src/analysis/exact_bandwidth.cpp" "src/CMakeFiles/mbus_analysis.dir/analysis/exact_bandwidth.cpp.o" "gcc" "src/CMakeFiles/mbus_analysis.dir/analysis/exact_bandwidth.cpp.o.d"
+  "/root/repo/src/analysis/markov.cpp" "src/CMakeFiles/mbus_analysis.dir/analysis/markov.cpp.o" "gcc" "src/CMakeFiles/mbus_analysis.dir/analysis/markov.cpp.o.d"
+  "/root/repo/src/analysis/resubmission.cpp" "src/CMakeFiles/mbus_analysis.dir/analysis/resubmission.cpp.o" "gcc" "src/CMakeFiles/mbus_analysis.dir/analysis/resubmission.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbus_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbus_analysis.dir/analysis/asymmetric.cpp.o"
+  "CMakeFiles/mbus_analysis.dir/analysis/asymmetric.cpp.o.d"
+  "CMakeFiles/mbus_analysis.dir/analysis/bandwidth.cpp.o"
+  "CMakeFiles/mbus_analysis.dir/analysis/bandwidth.cpp.o.d"
+  "CMakeFiles/mbus_analysis.dir/analysis/degraded.cpp.o"
+  "CMakeFiles/mbus_analysis.dir/analysis/degraded.cpp.o.d"
+  "CMakeFiles/mbus_analysis.dir/analysis/exact_asymmetric.cpp.o"
+  "CMakeFiles/mbus_analysis.dir/analysis/exact_asymmetric.cpp.o.d"
+  "CMakeFiles/mbus_analysis.dir/analysis/exact_bandwidth.cpp.o"
+  "CMakeFiles/mbus_analysis.dir/analysis/exact_bandwidth.cpp.o.d"
+  "CMakeFiles/mbus_analysis.dir/analysis/markov.cpp.o"
+  "CMakeFiles/mbus_analysis.dir/analysis/markov.cpp.o.d"
+  "CMakeFiles/mbus_analysis.dir/analysis/resubmission.cpp.o"
+  "CMakeFiles/mbus_analysis.dir/analysis/resubmission.cpp.o.d"
+  "libmbus_analysis.a"
+  "libmbus_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbus_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

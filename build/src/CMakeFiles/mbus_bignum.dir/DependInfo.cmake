@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bignum/bigint.cpp" "src/CMakeFiles/mbus_bignum.dir/bignum/bigint.cpp.o" "gcc" "src/CMakeFiles/mbus_bignum.dir/bignum/bigint.cpp.o.d"
+  "/root/repo/src/bignum/bigrational.cpp" "src/CMakeFiles/mbus_bignum.dir/bignum/bigrational.cpp.o" "gcc" "src/CMakeFiles/mbus_bignum.dir/bignum/bigrational.cpp.o.d"
+  "/root/repo/src/bignum/biguint.cpp" "src/CMakeFiles/mbus_bignum.dir/bignum/biguint.cpp.o" "gcc" "src/CMakeFiles/mbus_bignum.dir/bignum/biguint.cpp.o.d"
+  "/root/repo/src/bignum/binomial.cpp" "src/CMakeFiles/mbus_bignum.dir/bignum/binomial.cpp.o" "gcc" "src/CMakeFiles/mbus_bignum.dir/bignum/binomial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbus_bignum.dir/bignum/bigint.cpp.o"
+  "CMakeFiles/mbus_bignum.dir/bignum/bigint.cpp.o.d"
+  "CMakeFiles/mbus_bignum.dir/bignum/bigrational.cpp.o"
+  "CMakeFiles/mbus_bignum.dir/bignum/bigrational.cpp.o.d"
+  "CMakeFiles/mbus_bignum.dir/bignum/biguint.cpp.o"
+  "CMakeFiles/mbus_bignum.dir/bignum/biguint.cpp.o.d"
+  "CMakeFiles/mbus_bignum.dir/bignum/binomial.cpp.o"
+  "CMakeFiles/mbus_bignum.dir/bignum/binomial.cpp.o.d"
+  "libmbus_bignum.a"
+  "libmbus_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbus_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

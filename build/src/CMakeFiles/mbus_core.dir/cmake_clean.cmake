@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbus_core.dir/core/evaluate.cpp.o"
+  "CMakeFiles/mbus_core.dir/core/evaluate.cpp.o.d"
+  "CMakeFiles/mbus_core.dir/core/perf_cost.cpp.o"
+  "CMakeFiles/mbus_core.dir/core/perf_cost.cpp.o.d"
+  "CMakeFiles/mbus_core.dir/core/sweep.cpp.o"
+  "CMakeFiles/mbus_core.dir/core/sweep.cpp.o.d"
+  "CMakeFiles/mbus_core.dir/core/system.cpp.o"
+  "CMakeFiles/mbus_core.dir/core/system.cpp.o.d"
+  "libmbus_core.a"
+  "libmbus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

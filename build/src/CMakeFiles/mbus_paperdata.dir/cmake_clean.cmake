@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbus_paperdata.dir/paperdata/paper_tables.cpp.o"
+  "CMakeFiles/mbus_paperdata.dir/paperdata/paper_tables.cpp.o.d"
+  "libmbus_paperdata.a"
+  "libmbus_paperdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbus_paperdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

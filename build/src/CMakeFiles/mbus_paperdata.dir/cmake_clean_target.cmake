@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmbus_paperdata.a"
+)

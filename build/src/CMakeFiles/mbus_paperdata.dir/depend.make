@@ -1,0 +1,2 @@
+# Empty dependencies file for mbus_paperdata.
+# This may be replaced when dependencies are built.

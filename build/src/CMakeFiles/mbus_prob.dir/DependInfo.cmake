@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prob/binomial_dist.cpp" "src/CMakeFiles/mbus_prob.dir/prob/binomial_dist.cpp.o" "gcc" "src/CMakeFiles/mbus_prob.dir/prob/binomial_dist.cpp.o.d"
+  "/root/repo/src/prob/exact_binomial.cpp" "src/CMakeFiles/mbus_prob.dir/prob/exact_binomial.cpp.o" "gcc" "src/CMakeFiles/mbus_prob.dir/prob/exact_binomial.cpp.o.d"
+  "/root/repo/src/prob/exact_poisson_binomial.cpp" "src/CMakeFiles/mbus_prob.dir/prob/exact_poisson_binomial.cpp.o" "gcc" "src/CMakeFiles/mbus_prob.dir/prob/exact_poisson_binomial.cpp.o.d"
+  "/root/repo/src/prob/poisson_binomial.cpp" "src/CMakeFiles/mbus_prob.dir/prob/poisson_binomial.cpp.o" "gcc" "src/CMakeFiles/mbus_prob.dir/prob/poisson_binomial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbus_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbus_prob.dir/prob/binomial_dist.cpp.o"
+  "CMakeFiles/mbus_prob.dir/prob/binomial_dist.cpp.o.d"
+  "CMakeFiles/mbus_prob.dir/prob/exact_binomial.cpp.o"
+  "CMakeFiles/mbus_prob.dir/prob/exact_binomial.cpp.o.d"
+  "CMakeFiles/mbus_prob.dir/prob/exact_poisson_binomial.cpp.o"
+  "CMakeFiles/mbus_prob.dir/prob/exact_poisson_binomial.cpp.o.d"
+  "CMakeFiles/mbus_prob.dir/prob/poisson_binomial.cpp.o"
+  "CMakeFiles/mbus_prob.dir/prob/poisson_binomial.cpp.o.d"
+  "libmbus_prob.a"
+  "libmbus_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbus_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

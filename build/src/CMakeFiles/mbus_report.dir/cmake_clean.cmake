@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbus_report.dir/report/chart.cpp.o"
+  "CMakeFiles/mbus_report.dir/report/chart.cpp.o.d"
+  "CMakeFiles/mbus_report.dir/report/csv.cpp.o"
+  "CMakeFiles/mbus_report.dir/report/csv.cpp.o.d"
+  "CMakeFiles/mbus_report.dir/report/table.cpp.o"
+  "CMakeFiles/mbus_report.dir/report/table.cpp.o.d"
+  "libmbus_report.a"
+  "libmbus_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbus_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

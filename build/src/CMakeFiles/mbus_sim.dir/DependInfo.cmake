@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arbiter.cpp" "src/CMakeFiles/mbus_sim.dir/sim/arbiter.cpp.o" "gcc" "src/CMakeFiles/mbus_sim.dir/sim/arbiter.cpp.o.d"
+  "/root/repo/src/sim/bus_assign.cpp" "src/CMakeFiles/mbus_sim.dir/sim/bus_assign.cpp.o" "gcc" "src/CMakeFiles/mbus_sim.dir/sim/bus_assign.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/mbus_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/mbus_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/CMakeFiles/mbus_sim.dir/sim/fault.cpp.o" "gcc" "src/CMakeFiles/mbus_sim.dir/sim/fault.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/mbus_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/mbus_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/mbus_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/mbus_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbus_sim.dir/sim/arbiter.cpp.o"
+  "CMakeFiles/mbus_sim.dir/sim/arbiter.cpp.o.d"
+  "CMakeFiles/mbus_sim.dir/sim/bus_assign.cpp.o"
+  "CMakeFiles/mbus_sim.dir/sim/bus_assign.cpp.o.d"
+  "CMakeFiles/mbus_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/mbus_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/mbus_sim.dir/sim/fault.cpp.o"
+  "CMakeFiles/mbus_sim.dir/sim/fault.cpp.o.d"
+  "CMakeFiles/mbus_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/mbus_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/mbus_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/mbus_sim.dir/sim/trace.cpp.o.d"
+  "libmbus_sim.a"
+  "libmbus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

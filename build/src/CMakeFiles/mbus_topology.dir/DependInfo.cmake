@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/cost.cpp" "src/CMakeFiles/mbus_topology.dir/topology/cost.cpp.o" "gcc" "src/CMakeFiles/mbus_topology.dir/topology/cost.cpp.o.d"
+  "/root/repo/src/topology/diagram.cpp" "src/CMakeFiles/mbus_topology.dir/topology/diagram.cpp.o" "gcc" "src/CMakeFiles/mbus_topology.dir/topology/diagram.cpp.o.d"
+  "/root/repo/src/topology/factory.cpp" "src/CMakeFiles/mbus_topology.dir/topology/factory.cpp.o" "gcc" "src/CMakeFiles/mbus_topology.dir/topology/factory.cpp.o.d"
+  "/root/repo/src/topology/full.cpp" "src/CMakeFiles/mbus_topology.dir/topology/full.cpp.o" "gcc" "src/CMakeFiles/mbus_topology.dir/topology/full.cpp.o.d"
+  "/root/repo/src/topology/k_classes.cpp" "src/CMakeFiles/mbus_topology.dir/topology/k_classes.cpp.o" "gcc" "src/CMakeFiles/mbus_topology.dir/topology/k_classes.cpp.o.d"
+  "/root/repo/src/topology/partial_g.cpp" "src/CMakeFiles/mbus_topology.dir/topology/partial_g.cpp.o" "gcc" "src/CMakeFiles/mbus_topology.dir/topology/partial_g.cpp.o.d"
+  "/root/repo/src/topology/single.cpp" "src/CMakeFiles/mbus_topology.dir/topology/single.cpp.o" "gcc" "src/CMakeFiles/mbus_topology.dir/topology/single.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/CMakeFiles/mbus_topology.dir/topology/topology.cpp.o" "gcc" "src/CMakeFiles/mbus_topology.dir/topology/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbus_topology.dir/topology/cost.cpp.o"
+  "CMakeFiles/mbus_topology.dir/topology/cost.cpp.o.d"
+  "CMakeFiles/mbus_topology.dir/topology/diagram.cpp.o"
+  "CMakeFiles/mbus_topology.dir/topology/diagram.cpp.o.d"
+  "CMakeFiles/mbus_topology.dir/topology/factory.cpp.o"
+  "CMakeFiles/mbus_topology.dir/topology/factory.cpp.o.d"
+  "CMakeFiles/mbus_topology.dir/topology/full.cpp.o"
+  "CMakeFiles/mbus_topology.dir/topology/full.cpp.o.d"
+  "CMakeFiles/mbus_topology.dir/topology/k_classes.cpp.o"
+  "CMakeFiles/mbus_topology.dir/topology/k_classes.cpp.o.d"
+  "CMakeFiles/mbus_topology.dir/topology/partial_g.cpp.o"
+  "CMakeFiles/mbus_topology.dir/topology/partial_g.cpp.o.d"
+  "CMakeFiles/mbus_topology.dir/topology/single.cpp.o"
+  "CMakeFiles/mbus_topology.dir/topology/single.cpp.o.d"
+  "CMakeFiles/mbus_topology.dir/topology/topology.cpp.o"
+  "CMakeFiles/mbus_topology.dir/topology/topology.cpp.o.d"
+  "libmbus_topology.a"
+  "libmbus_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbus_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbus_util.dir/util/alias_sampler.cpp.o"
+  "CMakeFiles/mbus_util.dir/util/alias_sampler.cpp.o.d"
+  "CMakeFiles/mbus_util.dir/util/cli.cpp.o"
+  "CMakeFiles/mbus_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/mbus_util.dir/util/error.cpp.o"
+  "CMakeFiles/mbus_util.dir/util/error.cpp.o.d"
+  "CMakeFiles/mbus_util.dir/util/format.cpp.o"
+  "CMakeFiles/mbus_util.dir/util/format.cpp.o.d"
+  "CMakeFiles/mbus_util.dir/util/rng.cpp.o"
+  "CMakeFiles/mbus_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/mbus_util.dir/util/stats.cpp.o"
+  "CMakeFiles/mbus_util.dir/util/stats.cpp.o.d"
+  "libmbus_util.a"
+  "libmbus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

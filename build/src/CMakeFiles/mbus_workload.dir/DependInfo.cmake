@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/hierarchical.cpp" "src/CMakeFiles/mbus_workload.dir/workload/hierarchical.cpp.o" "gcc" "src/CMakeFiles/mbus_workload.dir/workload/hierarchical.cpp.o.d"
+  "/root/repo/src/workload/hotspot.cpp" "src/CMakeFiles/mbus_workload.dir/workload/hotspot.cpp.o" "gcc" "src/CMakeFiles/mbus_workload.dir/workload/hotspot.cpp.o.d"
+  "/root/repo/src/workload/matrix_model.cpp" "src/CMakeFiles/mbus_workload.dir/workload/matrix_model.cpp.o" "gcc" "src/CMakeFiles/mbus_workload.dir/workload/matrix_model.cpp.o.d"
+  "/root/repo/src/workload/request_model.cpp" "src/CMakeFiles/mbus_workload.dir/workload/request_model.cpp.o" "gcc" "src/CMakeFiles/mbus_workload.dir/workload/request_model.cpp.o.d"
+  "/root/repo/src/workload/uniform.cpp" "src/CMakeFiles/mbus_workload.dir/workload/uniform.cpp.o" "gcc" "src/CMakeFiles/mbus_workload.dir/workload/uniform.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/CMakeFiles/mbus_workload.dir/workload/zipf.cpp.o" "gcc" "src/CMakeFiles/mbus_workload.dir/workload/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbus_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

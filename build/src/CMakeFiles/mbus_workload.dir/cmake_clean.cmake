@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbus_workload.dir/workload/hierarchical.cpp.o"
+  "CMakeFiles/mbus_workload.dir/workload/hierarchical.cpp.o.d"
+  "CMakeFiles/mbus_workload.dir/workload/hotspot.cpp.o"
+  "CMakeFiles/mbus_workload.dir/workload/hotspot.cpp.o.d"
+  "CMakeFiles/mbus_workload.dir/workload/matrix_model.cpp.o"
+  "CMakeFiles/mbus_workload.dir/workload/matrix_model.cpp.o.d"
+  "CMakeFiles/mbus_workload.dir/workload/request_model.cpp.o"
+  "CMakeFiles/mbus_workload.dir/workload/request_model.cpp.o.d"
+  "CMakeFiles/mbus_workload.dir/workload/uniform.cpp.o"
+  "CMakeFiles/mbus_workload.dir/workload/uniform.cpp.o.d"
+  "CMakeFiles/mbus_workload.dir/workload/zipf.cpp.o"
+  "CMakeFiles/mbus_workload.dir/workload/zipf.cpp.o.d"
+  "libmbus_workload.a"
+  "libmbus_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbus_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alias_sampler.cpp" "tests/CMakeFiles/mbus_tests.dir/test_alias_sampler.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_alias_sampler.cpp.o.d"
+  "/root/repo/tests/test_asymmetric.cpp" "tests/CMakeFiles/mbus_tests.dir/test_asymmetric.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_asymmetric.cpp.o.d"
+  "/root/repo/tests/test_bandwidth.cpp" "tests/CMakeFiles/mbus_tests.dir/test_bandwidth.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_bandwidth.cpp.o.d"
+  "/root/repo/tests/test_bigint.cpp" "tests/CMakeFiles/mbus_tests.dir/test_bigint.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_bigint.cpp.o.d"
+  "/root/repo/tests/test_bigrational.cpp" "tests/CMakeFiles/mbus_tests.dir/test_bigrational.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_bigrational.cpp.o.d"
+  "/root/repo/tests/test_biguint.cpp" "tests/CMakeFiles/mbus_tests.dir/test_biguint.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_biguint.cpp.o.d"
+  "/root/repo/tests/test_binomial.cpp" "tests/CMakeFiles/mbus_tests.dir/test_binomial.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_binomial.cpp.o.d"
+  "/root/repo/tests/test_binomial_dist.cpp" "tests/CMakeFiles/mbus_tests.dir/test_binomial_dist.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_binomial_dist.cpp.o.d"
+  "/root/repo/tests/test_bus_assign.cpp" "tests/CMakeFiles/mbus_tests.dir/test_bus_assign.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_bus_assign.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/mbus_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_degraded.cpp" "tests/CMakeFiles/mbus_tests.dir/test_degraded.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_degraded.cpp.o.d"
+  "/root/repo/tests/test_diagram.cpp" "tests/CMakeFiles/mbus_tests.dir/test_diagram.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_diagram.cpp.o.d"
+  "/root/repo/tests/test_differential_fuzz.cpp" "tests/CMakeFiles/mbus_tests.dir/test_differential_fuzz.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_differential_fuzz.cpp.o.d"
+  "/root/repo/tests/test_engine_edge.cpp" "tests/CMakeFiles/mbus_tests.dir/test_engine_edge.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_engine_edge.cpp.o.d"
+  "/root/repo/tests/test_evaluate.cpp" "tests/CMakeFiles/mbus_tests.dir/test_evaluate.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_evaluate.cpp.o.d"
+  "/root/repo/tests/test_exact_asymmetric.cpp" "tests/CMakeFiles/mbus_tests.dir/test_exact_asymmetric.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_exact_asymmetric.cpp.o.d"
+  "/root/repo/tests/test_exact_poisson_binomial.cpp" "tests/CMakeFiles/mbus_tests.dir/test_exact_poisson_binomial.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_exact_poisson_binomial.cpp.o.d"
+  "/root/repo/tests/test_exhaustive_truth.cpp" "tests/CMakeFiles/mbus_tests.dir/test_exhaustive_truth.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_exhaustive_truth.cpp.o.d"
+  "/root/repo/tests/test_format.cpp" "tests/CMakeFiles/mbus_tests.dir/test_format.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_format.cpp.o.d"
+  "/root/repo/tests/test_hierarchical.cpp" "tests/CMakeFiles/mbus_tests.dir/test_hierarchical.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_hierarchical.cpp.o.d"
+  "/root/repo/tests/test_markov.cpp" "tests/CMakeFiles/mbus_tests.dir/test_markov.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_markov.cpp.o.d"
+  "/root/repo/tests/test_paper_tables.cpp" "tests/CMakeFiles/mbus_tests.dir/test_paper_tables.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_paper_tables.cpp.o.d"
+  "/root/repo/tests/test_perf_cost.cpp" "tests/CMakeFiles/mbus_tests.dir/test_perf_cost.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_perf_cost.cpp.o.d"
+  "/root/repo/tests/test_poisson_binomial.cpp" "tests/CMakeFiles/mbus_tests.dir/test_poisson_binomial.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_poisson_binomial.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/mbus_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_request_models.cpp" "tests/CMakeFiles/mbus_tests.dir/test_request_models.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_request_models.cpp.o.d"
+  "/root/repo/tests/test_resubmission.cpp" "tests/CMakeFiles/mbus_tests.dir/test_resubmission.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_resubmission.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/mbus_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/mbus_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/mbus_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_sweep.cpp" "tests/CMakeFiles/mbus_tests.dir/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_sweep.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/mbus_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/mbus_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_transfer_cycles.cpp" "tests/CMakeFiles/mbus_tests.dir/test_transfer_cycles.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_transfer_cycles.cpp.o.d"
+  "/root/repo/tests/test_zipf_chart_factory.cpp" "tests/CMakeFiles/mbus_tests.dir/test_zipf_chart_factory.cpp.o" "gcc" "tests/CMakeFiles/mbus_tests.dir/test_zipf_chart_factory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbus_paperdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
