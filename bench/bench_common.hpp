@@ -31,11 +31,16 @@ inline Workload section4_uniform(int n, const std::string& rate) {
   return Workload::uniform(n, n, BigRational::parse(rate));
 }
 
-/// Standard bench options: Monte-Carlo budget and toggles.
+/// Standard bench options: Monte-Carlo budget, parallelism, and toggles.
 inline CliParser standard_parser(const std::string& summary) {
   CliParser parser(summary);
   parser.add_int("cycles", 100000, "simulated cycles per configuration")
       .add_int("seed", 12345, "simulation seed")
+      .add_int("threads", 1,
+               "worker threads for simulation replications (0 = all "
+               "hardware threads); results are identical at any count")
+      .add_int("replications", 1,
+               "independent simulation replications pooled per row")
       .add_flag("no-sim", "skip the Monte-Carlo column")
       .add_flag("markdown", "emit markdown instead of text tables");
   return parser;
@@ -45,6 +50,8 @@ struct RowOptions {
   bool simulate = true;
   std::int64_t cycles = 100000;
   std::uint64_t seed = 12345;
+  int threads = 1;
+  int replications = 1;
 };
 
 inline RowOptions row_options_from(const CliParser& cli) {
@@ -52,6 +59,8 @@ inline RowOptions row_options_from(const CliParser& cli) {
   opt.simulate = !cli.get_flag("no-sim");
   opt.cycles = cli.get_int("cycles");
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  opt.threads = static_cast<int>(cli.get_int("threads"));
+  opt.replications = static_cast<int>(cli.get_int("replications"));
   return opt;
 }
 
@@ -65,6 +74,8 @@ inline std::vector<std::string> comparison_cells(
   eval_opt.sim.cycles = opt.cycles;
   eval_opt.sim.seed = opt.seed;
   eval_opt.sim.warmup = 1000;
+  eval_opt.parallel.threads = opt.threads;
+  eval_opt.parallel.replications = opt.replications;
   const Evaluation e = evaluate(topology, workload, eval_opt);
 
   std::vector<std::string> cells;
@@ -77,6 +88,7 @@ inline std::vector<std::string> comparison_cells(
   }
   if (opt.simulate && e.simulation) {
     cells.push_back(fmt_fixed(e.simulation->bandwidth, 3));
+    cells.push_back(fmt_fixed(e.simulation->bandwidth_ci.half_width, 3));
     const double gap = e.analytic_bandwidth == 0.0
                            ? 0.0
                            : (e.simulation->bandwidth - e.analytic_bandwidth) /
@@ -90,6 +102,7 @@ inline std::vector<std::string> comparison_headers(bool simulate) {
   std::vector<std::string> headers = {"paper", "analytic", "delta"};
   if (simulate) {
     headers.push_back("sim");
+    headers.push_back("ci95");
     headers.push_back("sim-gap");
   }
   return headers;

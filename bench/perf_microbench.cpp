@@ -1,13 +1,16 @@
 // google-benchmark timings of the library's hot kernels: big-integer
-// arithmetic, exact binomial tables, the closed-form evaluators, and the
-// Monte-Carlo simulator's cycle loop.
+// arithmetic, exact binomial tables, the closed-form evaluators, the
+// Monte-Carlo simulator's cycle loop, and the parallel sweep/replication
+// engine (thread count as the benchmark argument).
 #include <benchmark/benchmark.h>
 
 #include "analysis/bandwidth.hpp"
 #include "analysis/exact_bandwidth.hpp"
 #include "bignum/binomial.hpp"
+#include "core/sweep.hpp"
 #include "core/system.hpp"
 #include "sim/engine.hpp"
+#include "sim/replicate.hpp"
 #include "topology/topology.hpp"
 
 namespace {
@@ -88,6 +91,57 @@ void BM_SimulatorCycles(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * cfg.cycles);
 }
 BENCHMARK(BM_SimulatorCycles)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// The full 4-scheme simulated sweep on `state.range(0)` worker threads.
+// Results are bit-identical across the thread axis; only the wall clock
+// moves — compare the /1 and /8 timings for the engine's speedup.
+void BM_ParallelSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const Workload w = Workload::hierarchical_nxn(
+      {4, 4},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational(1));
+  SweepSpec spec;
+  spec.bus_counts = {2, 4, 8, 16};
+  spec.options.simulate = true;
+  spec.options.sim.cycles = 5000;
+  spec.options.sim.warmup = 100;
+  spec.options.parallel.threads = threads;
+  spec.options.parallel.replications = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sweep::run(spec, w));
+  }
+}
+BENCHMARK(BM_ParallelSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Replication pooling on its own: R independent simulator streams of one
+// grid point, merged deterministically.
+void BM_ReplicatedSimulation(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const Workload w = Workload::hierarchical_nxn(
+      {4, 4},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational(1));
+  FullTopology topo(16, 16, 8);
+  SimConfig cfg;
+  cfg.cycles = 5000;
+  cfg.warmup = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_replications(topo, w.model(), cfg, 8, "full", threads));
+  }
+}
+BENCHMARK(BM_ReplicatedSimulation)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

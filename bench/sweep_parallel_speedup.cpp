@@ -1,0 +1,103 @@
+// Demonstrates the parallel sweep/replication engine: runs the full
+// 4-scheme × bus-count simulated sweep serially and then on T threads,
+// verifies the two results are bit-identical, and prints the wall-clock
+// speedup. On a machine with >= 8 hardware threads the 8-thread run is
+// expected to be >= 3x faster than serial; on smaller machines the
+// bit-identical check still holds (determinism never depends on the
+// thread count).
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/sweep.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace mbus;
+using namespace mbus::bench;
+
+SweepSpec make_spec(int n, const RowOptions& opt, int threads) {
+  SweepSpec spec;
+  spec.bus_counts.clear();
+  for (int b = 2; b <= n; b *= 2) spec.bus_counts.push_back(b);
+  spec.options.simulate = opt.simulate;
+  spec.options.sim.cycles = opt.cycles;
+  spec.options.sim.warmup = 1000;
+  spec.options.sim.seed = opt.seed;
+  spec.options.parallel.threads = threads;
+  spec.options.parallel.replications = opt.replications;
+  return spec;
+}
+
+bool identical(const Sweep& a, const Sweep& b) {
+  if (a.points().size() != b.points().size()) return false;
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    const Evaluation& ea = a.points()[i].evaluation;
+    const Evaluation& eb = b.points()[i].evaluation;
+    if (ea.analytic_bandwidth != eb.analytic_bandwidth) return false;
+    if (ea.simulation.has_value() != eb.simulation.has_value()) return false;
+    if (!ea.simulation) continue;
+    if (ea.simulation->bandwidth != eb.simulation->bandwidth) return false;
+    if (ea.simulation->bandwidth_ci.half_width !=
+        eb.simulation->bandwidth_ci.half_width) {
+      return false;
+    }
+    if (ea.simulation->batch_means != eb.simulation->batch_means) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double run_once(const SweepSpec& spec, const Workload& workload,
+                Sweep& out) {
+  const auto start = std::chrono::steady_clock::now();
+  out = Sweep::run(spec, workload);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli = standard_parser(
+      "Measure the parallel sweep speedup and verify serial == parallel "
+      "bit-for-bit.");
+  cli.add_int("n", 16, "processors and memory modules (N = M, 4 | N)");
+  if (!cli.parse(argc, argv)) return 0;
+  RowOptions opt = row_options_from(cli);
+  opt.replications = std::max(opt.replications, 1);
+  const int n = static_cast<int>(cli.get_int("n"));
+  const int threads =
+      opt.threads == 0 ? ThreadPool::hardware_threads() : opt.threads;
+
+  const Workload workload =
+      section4_hierarchical(n, "1");
+  std::cout << "sweep: 4 schemes x {2,4,...," << n << "} buses, "
+            << opt.cycles << " cycles, " << opt.replications
+            << " replication(s) per point\n"
+            << "hardware threads: " << ThreadPool::hardware_threads()
+            << "\n\n";
+
+  Sweep serial;
+  const double serial_s = run_once(make_spec(n, opt, 1), workload, serial);
+  Sweep parallel;
+  const double parallel_s =
+      run_once(make_spec(n, opt, threads), workload, parallel);
+
+  Table t({"mode", "threads", "wall s", "speedup"});
+  t.set_title("parallel sweep engine");
+  t.set_alignment(0, Align::kLeft);
+  t.add_row({"serial", "1", fmt_fixed(serial_s, 3), "1.00"});
+  t.add_row({"parallel", std::to_string(threads), fmt_fixed(parallel_s, 3),
+             fmt_fixed(parallel_s > 0.0 ? serial_s / parallel_s : 0.0, 2)});
+  emit(t, cli);
+
+  if (!identical(serial, parallel)) {
+    std::cerr << "FAIL: parallel result differs from serial\n";
+    return 1;
+  }
+  std::cout << "serial == parallel(T=" << threads << "): bit-identical\n";
+  return 0;
+}

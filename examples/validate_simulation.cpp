@@ -23,7 +23,10 @@ int main(int argc, char** argv) {
   CliParser cli("Analysis-vs-simulation accuracy sweep over request rate.");
   cli.add_int("n", 16, "processors and memory modules (N = M, 4 | N)")
       .add_int("b", 8, "buses")
-      .add_int("cycles", 100000, "Monte-Carlo cycles per point");
+      .add_int("cycles", 100000, "Monte-Carlo cycles per point")
+      .add_int("threads", 1,
+               "worker threads for replications (0 = all hardware threads)")
+      .add_int("replications", 1, "independent replications pooled per point");
   if (!cli.parse(argc, argv)) return 0;
 
   const int n = static_cast<int>(cli.get_int("n"));
@@ -50,6 +53,9 @@ int main(int argc, char** argv) {
       EvaluationOptions opt;
       opt.simulate = true;
       opt.sim.cycles = cli.get_int("cycles");
+      opt.parallel.threads = static_cast<int>(cli.get_int("threads"));
+      opt.parallel.replications =
+          static_cast<int>(cli.get_int("replications"));
       const Evaluation e = evaluate(*topo, w, opt);
       const double gap =
           e.analytic_bandwidth == 0.0

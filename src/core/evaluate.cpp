@@ -1,5 +1,8 @@
 #include "core/evaluate.hpp"
 
+#include <algorithm>
+
+#include "sim/replicate.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 
@@ -27,7 +30,10 @@ Evaluation evaluate(const Topology& topology, const Workload& workload,
         topology, workload.exact_request_probability());
   }
   if (options.simulate) {
-    out.simulation = simulate(topology, workload.model(), options.sim);
+    out.simulation = run_replications(
+        topology, workload.model(), options.sim,
+        std::max(1, options.parallel.replications), topology.name(),
+        options.parallel.threads);
   }
   out.cost = cost_summary(topology);
   out.perf_cost_ratio = 1000.0 * out.analytic_bandwidth /

@@ -11,6 +11,7 @@
 #include "core/system.hpp"
 #include "sim/engine.hpp"
 #include "topology/cost.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mbus {
 
@@ -20,6 +21,11 @@ struct EvaluationOptions {
   /// Also run the Monte-Carlo simulator with `sim` below.
   bool simulate = false;
   SimConfig sim;
+  /// Worker threads and independent replications for the simulation part.
+  /// Replication seeds derive from (sim.seed, topology name, B,
+  /// replication index), so results are bit-identical for any thread
+  /// count (see sim/replicate.hpp).
+  ParallelOptions parallel;
 };
 
 struct Evaluation {

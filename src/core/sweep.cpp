@@ -1,26 +1,47 @@
 #include "core/sweep.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 
+#include "sim/replicate.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mbus {
 
 namespace {
-/// Can `scheme` be built at this (N, M, B) with even layouts?
-bool layout_feasible(const std::string& scheme, int memories, int buses,
-                     int groups, int classes) {
-  if (scheme == "full") return true;
-  if (scheme == "single") return memories % buses == 0;
+/// Why `scheme` cannot be built at this (N, M, B) with even layouts;
+/// empty when it can.
+std::string layout_obstacle(const std::string& scheme, int memories,
+                            int buses, int groups, int classes) {
+  if (scheme == "full") return "";
+  if (scheme == "single") {
+    if (memories % buses != 0) {
+      return cat("M=", memories, " is not divisible by B=", buses);
+    }
+    return "";
+  }
   if (scheme == "partial-g") {
-    return groups >= 1 && memories % groups == 0 && buses % groups == 0;
+    if (groups < 1) return cat("g=", groups, " is not a valid group count");
+    if (memories % groups != 0) {
+      return cat("M=", memories, " is not divisible by g=", groups);
+    }
+    if (buses % groups != 0) {
+      return cat("B=", buses, " is not divisible by g=", groups);
+    }
+    return "";
   }
   if (scheme == "k-classes") {
     const int k = classes > 0 ? classes : buses;
-    return k <= buses && memories % k == 0;
+    if (k > buses) return cat("K=", k, " exceeds B=", buses);
+    if (memories % k != 0) {
+      return cat("M=", memories, " is not divisible by K=", k);
+    }
+    return "";
   }
-  return false;
+  return cat("unknown scheme '", scheme, "'");
 }
 }  // namespace
 
@@ -28,12 +49,30 @@ Sweep Sweep::run(const SweepSpec& spec, const Workload& workload) {
   MBUS_EXPECTS(!spec.schemes.empty(), "sweep needs at least one scheme");
   MBUS_EXPECTS(!spec.bus_counts.empty(),
                "sweep needs at least one bus count");
+  MBUS_EXPECTS(!spec.options.simulate || spec.options.sim.trace == nullptr,
+               "sweep simulation does not support event tracing (a shared "
+               "trace buffer would interleave across points)");
+
+  // Phase 1 (serial): enumerate the grid in its canonical scheme-major
+  // order, building topologies for feasible points and recording the rest
+  // as skipped. Everything downstream indexes into this fixed layout, so
+  // parallel execution cannot reorder the result.
+  struct GridPoint {
+    std::string scheme;
+    int buses = 0;
+    std::unique_ptr<Topology> topology;
+  };
   Sweep out;
+  std::vector<GridPoint> grid;
   for (const std::string& scheme : spec.schemes) {
     for (const int buses : spec.bus_counts) {
       MBUS_EXPECTS(buses >= 1, "bus counts must be >= 1");
-      if (!layout_feasible(scheme, workload.num_memories(), buses,
-                           spec.groups, spec.classes)) {
+      std::string obstacle =
+          layout_obstacle(scheme, workload.num_memories(), buses,
+                          spec.groups, spec.classes);
+      if (!obstacle.empty()) {
+        out.skipped_.push_back(
+            SkippedPoint{scheme, buses, std::move(obstacle)});
         continue;
       }
       TopologySpec topo_spec;
@@ -43,11 +82,53 @@ Sweep Sweep::run(const SweepSpec& spec, const Workload& workload) {
       topo_spec.buses = buses;
       topo_spec.groups = spec.groups;
       topo_spec.classes = spec.classes;
-      const auto topology = make_topology(topo_spec);
-      out.points_.push_back(SweepPoint{
-          scheme, buses, workload.description(),
-          evaluate(*topology, workload, spec.options)});
+      grid.push_back(GridPoint{scheme, buses, make_topology(topo_spec)});
     }
+  }
+
+  // Phase 2 (parallel): one task per point for the closed forms, plus one
+  // task per (point, replication) for the simulator. Each task writes its
+  // own pre-allocated slot; seeds are a pure function of
+  // (sim.seed, scheme, B, replication), never of scheduling.
+  const int replications = std::max(1, spec.options.parallel.replications);
+  EvaluationOptions analytic_options = spec.options;
+  analytic_options.simulate = false;
+  std::vector<Evaluation> evaluations(grid.size());
+  std::vector<std::vector<SimResult>> sims(
+      grid.size(),
+      std::vector<SimResult>(static_cast<std::size_t>(replications)));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(grid.size() * (spec.options.simulate
+                                   ? static_cast<std::size_t>(replications) + 1
+                                   : 1));
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    tasks.push_back([&, i] {
+      evaluations[i] =
+          evaluate(*grid[i].topology, workload, analytic_options);
+    });
+    if (!spec.options.simulate) continue;
+    for (int rep = 0; rep < replications; ++rep) {
+      tasks.push_back([&, i, rep] {
+        SimConfig config = spec.options.sim;
+        config.seed = derive_stream_seed(spec.options.sim.seed,
+                                         grid[i].scheme, grid[i].buses, rep);
+        sims[i][static_cast<std::size_t>(rep)] =
+            simulate(*grid[i].topology, workload.model(), config);
+      });
+    }
+  }
+  run_parallel(std::move(tasks), spec.options.parallel.threads);
+
+  // Phase 3 (serial): merge replications and assemble points in grid
+  // order — deterministic because merge order is fixed by index.
+  out.points_.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (spec.options.simulate) {
+      evaluations[i].simulation = merge_replications(std::move(sims[i]));
+    }
+    out.points_.push_back(SweepPoint{grid[i].scheme, grid[i].buses,
+                                     workload.description(),
+                                     std::move(evaluations[i])});
   }
   return out;
 }
@@ -89,7 +170,11 @@ Table Sweep::to_table(const std::string& title) const {
   std::vector<std::string> headers = {"scheme",     "B",
                                       "bandwidth",  "connections",
                                       "FT degree",  "MBW/conn x1000"};
-  if (simulated) headers.push_back("sim");
+  if (simulated) {
+    headers.push_back("sim");
+    headers.push_back("ci95");
+    headers.push_back("reps");
+  }
   Table table(headers);
   table.set_title(title);
   table.set_alignment(0, Align::kLeft);
@@ -102,7 +187,10 @@ Table Sweep::to_table(const std::string& title) const {
         std::to_string(p.evaluation.cost.fault_tolerance_degree),
         fmt_fixed(p.evaluation.perf_cost_ratio, 2)};
     if (simulated) {
-      row.push_back(fmt_fixed(p.evaluation.simulation->bandwidth, 3));
+      const SimResult& sim = *p.evaluation.simulation;
+      row.push_back(fmt_fixed(sim.bandwidth, 3));
+      row.push_back(fmt_fixed(sim.bandwidth_ci.half_width, 3));
+      row.push_back(std::to_string(sim.replications));
     }
     table.add_row(row);
   }

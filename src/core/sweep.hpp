@@ -23,16 +23,30 @@ struct SweepPoint {
   Evaluation evaluation;
 };
 
+/// A grid point the sweep could not evaluate (infeasible even layout),
+/// reported rather than silently dropped.
+struct SkippedPoint {
+  std::string scheme;
+  int buses = 0;
+  std::string reason;
+};
+
 struct SweepSpec {
   /// Schemes to include (names per topology/factory.hpp).
   std::vector<std::string> schemes = {"full", "single", "partial-g",
                                       "k-classes"};
-  /// Bus counts to include. Non-divisor counts are skipped for schemes
-  /// whose even layouts require divisibility (single, partial-g,
-  /// k-classes) rather than failing the sweep.
+  /// Bus counts to include. Non-divisor counts are recorded as skipped
+  /// points for schemes whose even layouts require divisibility (single,
+  /// partial-g, k-classes) rather than failing the sweep; see
+  /// Sweep::skipped().
   std::vector<int> bus_counts;
   int groups = 2;   // partial-g parameter
   int classes = 0;  // k-classes parameter; 0 = K = B
+  /// Per-point evaluation knobs. options.parallel controls the sweep's
+  /// execution: grid points (and, when simulating, every replication of
+  /// every point) run as independent tasks on `parallel.threads` workers.
+  /// Simulation seeds derive from (sim.seed, scheme, B, replication), so
+  /// the sweep result is bit-identical for any thread count.
   EvaluationOptions options;
 };
 
@@ -43,6 +57,11 @@ class Sweep {
 
   const std::vector<SweepPoint>& points() const noexcept { return points_; }
 
+  /// Grid points that were skipped as layout-infeasible, in grid order.
+  const std::vector<SkippedPoint>& skipped() const noexcept {
+    return skipped_;
+  }
+
   /// Points of one scheme, in bus-count order.
   std::vector<SweepPoint> of_scheme(const std::string& scheme) const;
 
@@ -52,11 +71,13 @@ class Sweep {
   std::optional<SweepPoint> best_perf_cost() const;
 
   /// Render as a comparison table (scheme, B, bandwidth, connections,
-  /// fault tolerance, perf/cost; plus sim column when simulated).
+  /// fault tolerance, perf/cost; plus sim, 95% half-width, and
+  /// replication-count columns when simulated).
   Table to_table(const std::string& title) const;
 
  private:
   std::vector<SweepPoint> points_;
+  std::vector<SkippedPoint> skipped_;
 };
 
 }  // namespace mbus

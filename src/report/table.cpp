@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "report/csv.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 
@@ -128,6 +129,17 @@ std::string Table::to_markdown() const {
       os << ' ' << format_cell(row.cells[c], widths[c], aligns_[c]) << " |";
     }
     os << "\n";
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row(headers_);
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    writer.write_row(row.cells);
   }
   return os.str();
 }

@@ -29,6 +29,9 @@ class Table {
   std::string to_text() const;
   /// GitHub-flavored markdown rendering.
   std::string to_markdown() const;
+  /// RFC 4180 CSV rendering: header row then data rows (the title and
+  /// separator rules have no CSV form and are omitted).
+  std::string to_csv() const;
 
  private:
   struct Row {

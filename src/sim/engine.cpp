@@ -89,6 +89,7 @@ SimResult Simulator::run() {
   std::int64_t busy_bus_cycles = 0;
 
   RunningStats batch_stats;
+  std::vector<double> batch_means;
   const std::int64_t batch_size =
       std::max<std::int64_t>(1, config_.cycles / config_.batches);
   std::int64_t batch_served = 0;
@@ -251,8 +252,10 @@ SimResult Simulator::run() {
 
     batch_served += served_count;
     if (++batch_cycles == batch_size) {
-      batch_stats.add(static_cast<double>(batch_served) /
-                      static_cast<double>(batch_cycles));
+      const double batch_mean = static_cast<double>(batch_served) /
+                                static_cast<double>(batch_cycles);
+      batch_stats.add(batch_mean);
+      batch_means.push_back(batch_mean);
       batch_served = 0;
       batch_cycles = 0;
     }
@@ -267,8 +270,10 @@ SimResult Simulator::run() {
     }
   }
   if (batch_cycles > 0) {
-    batch_stats.add(static_cast<double>(batch_served) /
-                    static_cast<double>(batch_cycles));
+    const double batch_mean = static_cast<double>(batch_served) /
+                              static_cast<double>(batch_cycles);
+    batch_stats.add(batch_mean);
+    batch_means.push_back(batch_mean);
   }
   if (config_.window_cycles > 0 && window_cycles_seen > 0) {
     window_bandwidth.push_back(static_cast<double>(window_served) /
@@ -276,6 +281,8 @@ SimResult Simulator::run() {
   }
 
   SimResult result;
+  result.seed = config_.seed;
+  result.batch_means = std::move(batch_means);
   result.measured_cycles = config_.cycles;
   const auto cycles_d = static_cast<double>(config_.cycles);
   result.bandwidth = static_cast<double>(served_total) / cycles_d;

@@ -12,8 +12,19 @@ struct SimResult {
   /// Mean number of memory services granted per cycle — the effective
   /// memory bandwidth estimate (post-warmup).
   double bandwidth = 0.0;
-  /// 95% confidence interval from batch means.
+  /// 95% confidence interval from batch means (pooled across replications
+  /// when the result was produced by merge_replications).
   ConfidenceInterval bandwidth_ci;
+
+  /// The seed the run was executed with. Merged results keep the smallest
+  /// seed of their inputs; the seed also serves as the canonical sort key
+  /// that makes merging independent of completion order.
+  std::uint64_t seed = 0;
+  /// Number of pooled independent replications (1 for a single run).
+  int replications = 1;
+  /// The per-batch bandwidth means behind `bandwidth_ci`, kept so
+  /// replications can be pooled into one batch-means interval.
+  std::vector<double> batch_means;
 
   std::int64_t measured_cycles = 0;
   /// Mean requests issued per cycle (should approach N·r without

@@ -1,0 +1,145 @@
+#include "sim/replicate.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mbus {
+
+namespace {
+
+/// FNV-1a of the tag, so schemes with different names (or parameters
+/// embedded in the name) get distinct streams.
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// One SplitMix64 scrambling step: absorb `value` into `state`.
+std::uint64_t absorb(std::uint64_t state, std::uint64_t value) noexcept {
+  return SplitMix64(state ^ value).next();
+}
+
+}  // namespace
+
+std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                 std::string_view tag, int buses,
+                                 int replication) {
+  std::uint64_t state = SplitMix64(base_seed).next();
+  state = absorb(state, fnv1a(tag));
+  state = absorb(state, static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(buses)));
+  state = absorb(state, static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(replication)));
+  return state;
+}
+
+SimResult merge_replications(std::vector<SimResult> results) {
+  MBUS_EXPECTS(!results.empty(), "merge needs at least one replication");
+  if (results.size() == 1) return std::move(results.front());
+
+  // Canonical order: by seed, so the merge is a function of the result
+  // *set*, not of the order replications completed in.
+  std::sort(results.begin(), results.end(),
+            [](const SimResult& a, const SimResult& b) {
+              return a.seed < b.seed;
+            });
+
+  SimResult out;
+  out.seed = results.front().seed;
+
+  out.replications = 0;
+  double total_cycles = 0.0;
+  for (const SimResult& r : results) {
+    out.replications += r.replications;
+    out.measured_cycles += r.measured_cycles;
+    total_cycles += static_cast<double>(r.measured_cycles);
+  }
+  MBUS_EXPECTS(total_cycles > 0.0, "replications measured no cycles");
+
+  std::size_t procs = 0;
+  std::size_t modules = 0;
+  std::size_t histogram = 0;
+  for (const SimResult& r : results) {
+    procs = std::max(procs, r.per_processor_acceptance.size());
+    modules = std::max(modules, r.per_module_service.size());
+    histogram = std::max(histogram, r.service_count_distribution.size());
+  }
+  out.per_processor_acceptance.assign(procs, 0.0);
+  out.per_module_service.assign(modules, 0.0);
+  out.service_count_distribution.assign(histogram, 0.0);
+
+  double issued = 0.0;
+  double blocked = 0.0;
+  double grants = 0.0;
+  double service_cycles = 0.0;
+  RunningStats pooled_batches;
+  for (const SimResult& r : results) {
+    const double cycles = static_cast<double>(r.measured_cycles);
+    const double weight = cycles / total_cycles;
+    out.bandwidth += r.bandwidth * weight;
+    out.offered_load += r.offered_load * weight;
+    out.bus_utilization += r.bus_utilization * weight;
+    const double r_issued = r.offered_load * cycles;
+    issued += r_issued;
+    blocked += r.blocked_fraction * r_issued;
+    const double r_grants = r.bandwidth * cycles;
+    grants += r_grants;
+    service_cycles += r.mean_service_cycles * r_grants;
+    for (std::size_t i = 0; i < r.per_processor_acceptance.size(); ++i) {
+      out.per_processor_acceptance[i] +=
+          r.per_processor_acceptance[i] * weight;
+    }
+    for (std::size_t i = 0; i < r.per_module_service.size(); ++i) {
+      out.per_module_service[i] += r.per_module_service[i] * weight;
+    }
+    for (std::size_t i = 0; i < r.service_count_distribution.size(); ++i) {
+      out.service_count_distribution[i] +=
+          r.service_count_distribution[i] * weight;
+    }
+    for (const double mean : r.batch_means) {
+      pooled_batches.add(mean);
+      out.batch_means.push_back(mean);
+    }
+    out.window_bandwidth.insert(out.window_bandwidth.end(),
+                                r.window_bandwidth.begin(),
+                                r.window_bandwidth.end());
+  }
+  out.blocked_fraction = issued > 0.0 ? blocked / issued : 0.0;
+  out.mean_service_cycles = grants > 0.0 ? service_cycles / grants : 0.0;
+  out.bandwidth_ci = confidence_interval(pooled_batches, 0.95);
+  return out;
+}
+
+SimResult run_replications(const Topology& topology,
+                           const RequestModel& model, const SimConfig& base,
+                           int replications, std::string_view tag,
+                           int threads) {
+  MBUS_EXPECTS(replications >= 1, "need at least one replication");
+  MBUS_EXPECTS(base.trace == nullptr || replications == 1,
+               "event tracing is limited to a single replication (a shared "
+               "trace buffer would interleave nondeterministically)");
+  std::vector<SimResult> results(static_cast<std::size_t>(replications));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(replications));
+  for (int rep = 0; rep < replications; ++rep) {
+    tasks.push_back([&topology, &model, &base, &results, tag, rep] {
+      SimConfig config = base;
+      config.seed = derive_stream_seed(base.seed, tag,
+                                       topology.num_buses(), rep);
+      results[static_cast<std::size_t>(rep)] =
+          simulate(topology, model, config);
+    });
+  }
+  run_parallel(std::move(tasks), threads);
+  return merge_replications(std::move(results));
+}
+
+}  // namespace mbus

@@ -1,0 +1,84 @@
+#include "util/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+int ParallelOptions::resolved_threads() const noexcept {
+  return threads == 0 ? ThreadPool::hardware_threads() : threads;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  MBUS_EXPECTS(threads >= 0, "thread count must be >= 0");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Inline mode (no workers) never queues, so nothing can be left behind;
+  // with workers, the loop below drains the queue before exiting.
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (workers_.empty()) {
+    packaged();  // inline execution; the exception lands in the future
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+int ThreadPool::hardware_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception into its future
+  }
+}
+
+void run_parallel(std::vector<std::function<void()>> tasks, int threads) {
+  ParallelOptions opts;
+  opts.threads = threads;
+  const int resolved = opts.resolved_threads();
+  MBUS_EXPECTS(resolved >= 1, "thread count must be >= 0");
+  ThreadPool pool(resolved <= 1 ? 0 : resolved);
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks.size());
+  for (auto& task : tasks) futures.push_back(pool.submit(std::move(task)));
+  std::exception_ptr first;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace mbus

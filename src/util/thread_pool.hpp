@@ -1,0 +1,80 @@
+// A small fixed-size thread pool for the parallel sweep/replication layer.
+//
+// Design constraints (see DESIGN.md, "Parallel execution &
+// reproducibility"): tasks must not share mutable state — callers give
+// every task its own output slot — so the pool needs no work stealing and
+// no task ordering guarantees. Determinism is achieved above the pool:
+// results are merged in a fixed index order after all tasks complete, so
+// thread count and scheduling order never influence the output bits.
+//
+// A pool constructed with zero workers executes each task inline on the
+// submitting thread (same future/exception semantics), which is both the
+// serial reference path and the fallback on single-core machines.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mbus {
+
+/// The user-facing parallelism knob, threaded through EvaluationOptions
+/// and SweepSpec.
+struct ParallelOptions {
+  /// Worker threads for sweep grid points and simulation replications.
+  /// 1 = serial (inline execution), 0 = one per hardware thread.
+  int threads = 1;
+  /// Independent simulator replications per evaluation; their results are
+  /// pooled (mean, variance, batch-means CI). Each replication derives its
+  /// own seed, so estimates are independent and merge deterministically.
+  int replications = 1;
+
+  /// `threads` with 0 resolved to the hardware concurrency (at least 1).
+  int resolved_threads() const noexcept;
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means inline (serial) execution.
+  /// Negative counts are an error.
+  explicit ThreadPool(int threads);
+
+  /// Drains all queued tasks, then joins the workers. Tasks submitted
+  /// before destruction always run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueue a task. The returned future carries any exception the task
+  /// throws. With zero workers the task runs before submit() returns.
+  std::future<void> submit(std::function<void()> task);
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static int hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Run `tasks` to completion on a pool of `threads` workers (per
+/// ParallelOptions::threads semantics: 1 = inline serial, 0 = hardware).
+/// Exceptions are rethrown on the calling thread; when several tasks
+/// throw, the one earliest in `tasks` order wins (deterministically).
+void run_parallel(std::vector<std::function<void()>> tasks, int threads);
+
+}  // namespace mbus

@@ -1,0 +1,195 @@
+// The parallel layer's design contract: results are a pure function of
+// (spec, workload, base seed) — never of thread count, scheduling order,
+// or the order replications are merged in. These tests compare runs
+// bit-for-bit (EXPECT_EQ on doubles, no tolerance).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/sweep.hpp"
+#include "sim/replicate.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mbus {
+namespace {
+
+Workload w16() {
+  return Workload::hierarchical_nxn(
+      {4, 4},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational(1));
+}
+
+void expect_bit_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.bandwidth, b.bandwidth);
+  EXPECT_EQ(a.bandwidth_ci.mean, b.bandwidth_ci.mean);
+  EXPECT_EQ(a.bandwidth_ci.half_width, b.bandwidth_ci.half_width);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.replications, b.replications);
+  EXPECT_EQ(a.batch_means, b.batch_means);
+  EXPECT_EQ(a.measured_cycles, b.measured_cycles);
+  EXPECT_EQ(a.offered_load, b.offered_load);
+  EXPECT_EQ(a.blocked_fraction, b.blocked_fraction);
+  EXPECT_EQ(a.bus_utilization, b.bus_utilization);
+  EXPECT_EQ(a.mean_service_cycles, b.mean_service_cycles);
+  EXPECT_EQ(a.per_processor_acceptance, b.per_processor_acceptance);
+  EXPECT_EQ(a.per_module_service, b.per_module_service);
+  EXPECT_EQ(a.service_count_distribution, b.service_count_distribution);
+  EXPECT_EQ(a.window_bandwidth, b.window_bandwidth);
+}
+
+void expect_bit_identical(const Sweep& a, const Sweep& b) {
+  ASSERT_EQ(a.points().size(), b.points().size());
+  ASSERT_EQ(a.skipped().size(), b.skipped().size());
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    const SweepPoint& pa = a.points()[i];
+    const SweepPoint& pb = b.points()[i];
+    EXPECT_EQ(pa.scheme, pb.scheme);
+    EXPECT_EQ(pa.buses, pb.buses);
+    EXPECT_EQ(pa.evaluation.analytic_bandwidth,
+              pb.evaluation.analytic_bandwidth);
+    EXPECT_EQ(pa.evaluation.perf_cost_ratio, pb.evaluation.perf_cost_ratio);
+    ASSERT_EQ(pa.evaluation.simulation.has_value(),
+              pb.evaluation.simulation.has_value());
+    if (pa.evaluation.simulation) {
+      expect_bit_identical(*pa.evaluation.simulation,
+                           *pb.evaluation.simulation);
+    }
+  }
+}
+
+SweepSpec simulated_spec(int threads, int replications) {
+  SweepSpec spec;
+  spec.bus_counts = {2, 4, 8};
+  spec.options.simulate = true;
+  spec.options.sim.cycles = 2000;
+  spec.options.sim.warmup = 100;
+  spec.options.sim.seed = 2024;
+  spec.options.parallel.threads = threads;
+  spec.options.parallel.replications = replications;
+  return spec;
+}
+
+TEST(ParallelDeterminism, SweepIsBitIdenticalAcrossThreadCounts) {
+  const Workload workload = w16();
+  const Sweep serial = Sweep::run(simulated_spec(1, 3), workload);
+  const int hw = ThreadPool::hardware_threads();
+  const Sweep parallel_hw = Sweep::run(simulated_spec(hw, 3), workload);
+  expect_bit_identical(serial, parallel_hw);
+  // Oversubscription (more threads than cores, odd count) changes nothing.
+  const Sweep oversubscribed = Sweep::run(simulated_spec(7, 3), workload);
+  expect_bit_identical(serial, oversubscribed);
+  // threads = 0 resolves to the hardware concurrency.
+  const Sweep auto_threads = Sweep::run(simulated_spec(0, 3), workload);
+  expect_bit_identical(serial, auto_threads);
+}
+
+TEST(ParallelDeterminism, EvaluateIsBitIdenticalAcrossThreadCounts) {
+  const Workload workload = w16();
+  FullTopology topo(16, 16, 8);
+  EvaluationOptions options;
+  options.simulate = true;
+  options.sim.cycles = 2000;
+  options.sim.warmup = 100;
+  options.parallel.replications = 4;
+
+  options.parallel.threads = 1;
+  const Evaluation serial = evaluate(topo, workload, options);
+  options.parallel.threads = ThreadPool::hardware_threads();
+  const Evaluation parallel_hw = evaluate(topo, workload, options);
+  options.parallel.threads = 3;
+  const Evaluation three = evaluate(topo, workload, options);
+
+  ASSERT_TRUE(serial.simulation && parallel_hw.simulation &&
+              three.simulation);
+  EXPECT_EQ(serial.simulation->replications, 4);
+  expect_bit_identical(*serial.simulation, *parallel_hw.simulation);
+  expect_bit_identical(*serial.simulation, *three.simulation);
+}
+
+TEST(ParallelDeterminism, MergeIsInvariantToReplicationOrder) {
+  const Workload workload = w16();
+  FullTopology topo(16, 16, 4);
+  SimConfig base;
+  base.cycles = 1500;
+  base.warmup = 50;
+  base.seed = 99;
+
+  std::vector<SimResult> results;
+  for (int rep = 0; rep < 6; ++rep) {
+    SimConfig config = base;
+    config.seed = derive_stream_seed(base.seed, "full", 4, rep);
+    results.push_back(simulate(topo, workload.model(), config));
+  }
+  const SimResult in_order = merge_replications(results);
+
+  Xoshiro256 rng(7);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<SimResult> shuffled = results;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    expect_bit_identical(in_order, merge_replications(std::move(shuffled)));
+  }
+}
+
+TEST(ParallelDeterminism, MergedEstimatePoolsAllReplications) {
+  const Workload workload = w16();
+  // B=8 keeps the system below saturation so batch means actually vary
+  // (at B=4, r=1 every batch pins at exactly 4.0 services/cycle).
+  FullTopology topo(16, 16, 8);
+  SimConfig base;
+  base.cycles = 1000;
+  base.warmup = 50;
+  const SimResult merged =
+      run_replications(topo, workload.model(), base, 5, "full", 1);
+  EXPECT_EQ(merged.replications, 5);
+  EXPECT_EQ(merged.measured_cycles, 5000);
+  EXPECT_EQ(merged.batch_means.size(), 5u * 20u);  // 20 batches per run
+  EXPECT_GT(merged.bandwidth, 0.0);
+  EXPECT_GT(merged.bandwidth_ci.half_width, 0.0);
+  EXPECT_TRUE(merged.bandwidth_ci.contains(merged.bandwidth));
+}
+
+TEST(ParallelDeterminism, SingleReplicationMatchesDirectSimulation) {
+  const Workload workload = w16();
+  FullTopology topo(16, 16, 4);
+  SimConfig base;
+  base.cycles = 1000;
+  base.warmup = 50;
+  const SimResult via_runner =
+      run_replications(topo, workload.model(), base, 1, "full", 1);
+  SimConfig direct = base;
+  direct.seed = derive_stream_seed(base.seed, "full", 4, 0);
+  expect_bit_identical(via_runner, simulate(topo, workload.model(), direct));
+}
+
+TEST(SeedDerivation, NoCollisionsAcrossTenThousandPointRepPairs) {
+  const char* schemes[] = {"full", "single", "partial-g", "k-classes"};
+  std::unordered_set<std::uint64_t> seen;
+  int pairs = 0;
+  for (const char* scheme : schemes) {
+    for (int buses = 1; buses <= 50 && pairs < 10000; ++buses) {
+      for (int rep = 0; rep < 50 && pairs < 10000; ++rep) {
+        seen.insert(derive_stream_seed(0xC0FFEE, scheme, buses, rep));
+        ++pairs;
+      }
+    }
+  }
+  EXPECT_EQ(pairs, 10000);
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(SeedDerivation, IsSensitiveToEveryInput) {
+  const std::uint64_t base = derive_stream_seed(1, "full", 4, 0);
+  EXPECT_NE(base, derive_stream_seed(2, "full", 4, 0));
+  EXPECT_NE(base, derive_stream_seed(1, "single", 4, 0));
+  EXPECT_NE(base, derive_stream_seed(1, "full", 5, 0));
+  EXPECT_NE(base, derive_stream_seed(1, "full", 4, 1));
+  // And it is a pure function: same inputs, same stream.
+  EXPECT_EQ(base, derive_stream_seed(1, "full", 4, 0));
+}
+
+}  // namespace
+}  // namespace mbus

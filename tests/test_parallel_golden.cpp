@@ -1,0 +1,70 @@
+// Golden-value regression: the parallel sweep path must reproduce the
+// paper's printed cells, not just the serial evaluator. Pinned here are
+// Table V (partial bus g=2, N=8, B=4, hierarchical, r=1 ⇒ 3.89) and
+// Table VI (K=B classes, N=8, B=4, hierarchical, r=1 ⇒ 3.85).
+#include <gtest/gtest.h>
+
+#include "core/sweep.hpp"
+#include "paperdata/paper_tables.hpp"
+#include "util/format.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mbus {
+namespace {
+
+using paperdata::PaperTable;
+using paperdata::PaperWorkload;
+
+Workload section4_n8() {
+  return Workload::hierarchical_nxn(
+      paperdata::section4_cluster_sizes(8),
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational(1));
+}
+
+SweepSpec parallel_spec(const std::string& scheme) {
+  SweepSpec spec;
+  spec.schemes = {scheme};
+  spec.bus_counts = {4};
+  spec.options.simulate = true;
+  spec.options.sim.cycles = 20000;
+  spec.options.sim.warmup = 500;
+  spec.options.parallel.threads = ThreadPool::hardware_threads();
+  spec.options.parallel.replications = 4;
+  return spec;
+}
+
+void expect_matches_paper(const SweepSpec& spec, PaperTable table,
+                          double printed) {
+  const auto paper = paperdata::lookup(table, 8, 4, 1.0,
+                                       PaperWorkload::kHierarchical);
+  ASSERT_TRUE(paper.has_value());
+  EXPECT_EQ(*paper, printed);
+
+  const Sweep sweep = Sweep::run(spec, section4_n8());
+  ASSERT_EQ(sweep.points().size(), 1u);
+  const Evaluation& e = sweep.points().front().evaluation;
+  // The closed form reproduces the printed cell to its 2-decimal
+  // precision, through the parallel path.
+  EXPECT_EQ(fmt_fixed(e.analytic_bandwidth, 2), fmt_fixed(printed, 2));
+  // And the pooled parallel simulation corroborates it (the simulator
+  // enforces the true request coupling, so allow the known small gap).
+  ASSERT_TRUE(e.simulation.has_value());
+  EXPECT_EQ(e.simulation->replications, 4);
+  EXPECT_NEAR(e.simulation->bandwidth, printed, 0.15);
+}
+
+TEST(ParallelGolden, TableFivePartialG2N8B4) {
+  expect_matches_paper(parallel_spec("partial-g"), PaperTable::kTable5,
+                       3.89);
+}
+
+TEST(ParallelGolden, TableSixKClassesN8B4) {
+  SweepSpec spec = parallel_spec("k-classes");
+  spec.classes = 0;  // K = B, the paper's Table VI configuration
+  expect_matches_paper(spec, PaperTable::kTable6, 3.85);
+}
+
+}  // namespace
+}  // namespace mbus

@@ -78,6 +78,18 @@ TEST(Table, SetAlignmentValidatesIndex) {
   EXPECT_THROW(t.set_alignment(1, Align::kLeft), InvalidArgument);
 }
 
+TEST(Table, CsvRendering) {
+  Table t({"scheme", "sim", "ci95"});
+  t.set_title("ignored in csv");
+  t.add_row({"full", "3.885", "0.012"});
+  t.add_separator();
+  t.add_row({"k,classes", "3.850", "0.015"});
+  EXPECT_EQ(t.to_csv(),
+            "scheme,sim,ci95\n"
+            "full,3.885,0.012\n"
+            "\"k,classes\",3.850,0.015\n");
+}
+
 TEST(Csv, PlainCells) {
   std::ostringstream os;
   CsvWriter w(os);

@@ -47,6 +47,32 @@ TEST(Sweep, SkipsInfeasibleLayouts) {
   EXPECT_EQ(sweep.points().front().scheme, "full");
 }
 
+TEST(Sweep, ReportsSkippedPointsInsteadOfLosingThem) {
+  SweepSpec spec;
+  spec.bus_counts = {3, 4};
+  const Sweep sweep = Sweep::run(spec, w16());
+  // B=4 is feasible everywhere; B=3 only for full. Every dropped grid
+  // point must be accounted for with a reason.
+  EXPECT_EQ(sweep.points().size(), 5u);
+  ASSERT_EQ(sweep.skipped().size(), 3u);
+  EXPECT_EQ(sweep.points().size() + sweep.skipped().size(),
+            spec.schemes.size() * spec.bus_counts.size());
+  for (const SkippedPoint& s : sweep.skipped()) {
+    EXPECT_EQ(s.buses, 3);
+    EXPECT_NE(s.scheme, "full");
+    EXPECT_FALSE(s.reason.empty());
+  }
+  // Reasons name the violated divisibility constraint.
+  EXPECT_EQ(sweep.skipped()[0].scheme, "single");
+  EXPECT_NE(sweep.skipped()[0].reason.find("not divisible"),
+            std::string::npos);
+
+  // A fully feasible sweep reports nothing skipped.
+  SweepSpec clean;
+  clean.bus_counts = {2, 4};
+  EXPECT_TRUE(Sweep::run(clean, w16()).skipped().empty());
+}
+
 TEST(Sweep, OfSchemeSortsAndFilters) {
   SweepSpec spec;
   spec.bus_counts = {8, 2, 4};

@@ -1,0 +1,121 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DrainsQueuedWorkOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++count;
+      });
+    }
+    // Destructor must finish the backlog, not abandon it.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ZeroThreadsExecutesInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  auto future = pool.submit([&ran_on] { ran_on = std::this_thread::get_id(); });
+  // Inline mode completes before submit returns.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, ZeroThreadsStillCapturesExceptions) {
+  ThreadPool pool(0);
+  auto future = pool.submit([] { throw std::logic_error("inline boom"); });
+  EXPECT_THROW(future.get(), std::logic_error);
+}
+
+TEST(ThreadPool, RejectsNegativeThreadCounts) {
+  EXPECT_THROW(ThreadPool(-1), InvalidArgument);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(RunParallel, SerialModeRunsTasksInSubmissionOrder) {
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([&order, i] { order.push_back(i); });
+  }
+  run_parallel(std::move(tasks), 1);
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RunParallel, RethrowsFirstExceptionInTaskOrder) {
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] {});
+  tasks.push_back([] { throw std::runtime_error("first"); });
+  tasks.push_back([] { throw std::logic_error("second"); });
+  try {
+    run_parallel(std::move(tasks), 2);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(RunParallel, CompletesAllTasksAcrossThreadCounts) {
+  for (const int threads : {0, 1, 3, 8}) {
+    std::atomic<int> count{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 32; ++i) tasks.push_back([&count] { ++count; });
+    run_parallel(std::move(tasks), threads);
+    EXPECT_EQ(count.load(), 32) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelOptions, ResolvesZeroToHardwareConcurrency) {
+  ParallelOptions opts;
+  EXPECT_EQ(opts.resolved_threads(), 1);  // default is serial
+  opts.threads = 0;
+  EXPECT_EQ(opts.resolved_threads(), ThreadPool::hardware_threads());
+  opts.threads = 6;
+  EXPECT_EQ(opts.resolved_threads(), 6);
+}
+
+}  // namespace
+}  // namespace mbus
