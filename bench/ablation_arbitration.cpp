@@ -9,7 +9,9 @@
 #include "sim/engine.hpp"
 #include "topology/topology.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace mbus;
   using namespace mbus::bench;
 
@@ -66,3 +68,7 @@ int main(int argc, char** argv) {
   emit(t, cli);
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

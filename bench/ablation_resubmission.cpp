@@ -14,7 +14,9 @@
 #include "topology/topology.hpp"
 #include "workload/uniform.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace mbus;
   using namespace mbus::bench;
 
@@ -86,3 +88,7 @@ int main(int argc, char** argv) {
   emit(exact, cli);
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

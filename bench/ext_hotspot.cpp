@@ -14,7 +14,9 @@
 #include "topology/topology.hpp"
 #include "workload/hotspot.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace mbus;
   using namespace mbus::bench;
 
@@ -79,3 +81,7 @@ int main(int argc, char** argv) {
   emit(placement, cli);
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

@@ -11,7 +11,9 @@
 #include "sim/engine.hpp"
 #include "topology/topology.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace mbus;
   using namespace mbus::bench;
 
@@ -83,3 +85,7 @@ int main(int argc, char** argv) {
   emit(t3, cli);
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

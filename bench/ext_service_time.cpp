@@ -10,7 +10,9 @@
 #include "sim/engine.hpp"
 #include "topology/factory.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace mbus;
   using namespace mbus::bench;
 
@@ -51,3 +53,7 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

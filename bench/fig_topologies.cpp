@@ -12,7 +12,9 @@
 #include "topology/topology.hpp"
 #include "util/cli.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace mbus;
   CliParser cli("Render the bus-memory connection diagrams of Figs. 1-4.");
   cli.add_int("n", 4, "processors for the generic figures");
@@ -37,3 +39,7 @@ int main(int argc, char** argv) {
             << render_diagram(SingleTopology::even(n, m, 3)) << "\n";
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

@@ -15,7 +15,9 @@
 #include "util/cli.hpp"
 #include "util/format.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace mbus;
   CliParser cli(
       "Exact vs double evaluation of eq. 4 at large N (big-number care).");
@@ -57,3 +59,7 @@ int main(int argc, char** argv) {
   std::cout << t.to_text() << "\n";
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

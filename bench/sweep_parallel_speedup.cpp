@@ -60,7 +60,9 @@ double run_once(const SweepSpec& spec, const Workload& workload,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   CliParser cli = standard_parser(
       "Measure the parallel sweep speedup and verify serial == parallel "
       "bit-for-bit.");
@@ -101,3 +103,7 @@ int main(int argc, char** argv) {
   std::cout << "serial == parallel(T=" << threads << "): bit-identical\n";
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

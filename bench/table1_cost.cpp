@@ -59,7 +59,9 @@ void print_concrete(int n, int b) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   mbus::CliParser cli(
       "Reproduce Table I: cost and fault tolerance of the four schemes.");
   cli.add_int("n", 16, "number of processors / memory modules");
@@ -72,3 +74,7 @@ int main(int argc, char** argv) {
   print_concrete(32, 8);
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

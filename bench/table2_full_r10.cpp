@@ -51,7 +51,9 @@ void run_block(int n, const RowOptions& opt, const CliParser& cli) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   CliParser cli = standard_parser(
       "Reproduce Table II: MBW of full-connection networks at r=1.0.");
   if (!cli.parse(argc, argv)) return 0;
@@ -61,3 +63,7 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

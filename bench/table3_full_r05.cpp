@@ -41,7 +41,9 @@ void run_block(int n, const RowOptions& opt, const CliParser& cli) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   CliParser cli = standard_parser(
       "Reproduce Table III: MBW of full-connection networks at r=0.5.");
   if (!cli.parse(argc, argv)) return 0;
@@ -51,3 +53,7 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

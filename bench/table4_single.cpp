@@ -42,7 +42,9 @@ void run_block(int n, const char* rate, double r, const RowOptions& opt,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   CliParser cli = standard_parser(
       "Reproduce Table IV: MBW of single-connection networks.");
   if (!cli.parse(argc, argv)) return 0;
@@ -55,3 +57,7 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

@@ -41,7 +41,9 @@ void run_block(int n, const char* rate, double r, const RowOptions& opt,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   CliParser cli = standard_parser(
       "Reproduce Table V: MBW of partial bus networks with g=2.");
   if (!cli.parse(argc, argv)) return 0;
@@ -54,3 +56,7 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

@@ -14,7 +14,9 @@
 #include "util/cli.hpp"
 #include "util/format.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace mbus;
   CliParser cli("Explore the scheme/bus-count design space for an N-way "
                 "multiprocessor.");
@@ -81,3 +83,7 @@ int main(int argc, char** argv) {
   std::cout << front.to_text();
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

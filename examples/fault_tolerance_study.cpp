@@ -53,7 +53,9 @@ std::vector<bool> worst_pattern(const Topology& topo, double x, int f) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   CliParser cli("Quantify bandwidth degradation under bus failures.");
   cli.add_int("n", 16, "processors and memory modules (N = M, 4 | N)")
       .add_int("b", 8, "buses")
@@ -115,3 +117,7 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

@@ -38,7 +38,9 @@ double placement_bandwidth(const KClassTopology& topo,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   CliParser cli(
       "Quantify the paper's placement principle: popular modules belong "
       "in well-connected classes.");
@@ -82,3 +84,7 @@ int main(int argc, char** argv) {
          "the quantitative form of the paper's design principle.\n";
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

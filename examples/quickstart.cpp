@@ -14,7 +14,9 @@
 #include "util/cli.hpp"
 #include "util/format.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace mbus;
   CliParser cli("Evaluate one multiple-bus multiprocessor configuration.");
   cli.add_int("n", 16, "processors and memory modules (N = M, 4 | N)")
@@ -90,3 +92,7 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

@@ -36,7 +36,9 @@ void render_series(const std::vector<double>& values, double healthy) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   CliParser cli("Throughput timeline around a bus failure and repair.");
   cli.add_int("n", 16, "processors and memory modules (N = M, 4 | N)")
       .add_int("b", 8, "buses")
@@ -87,3 +89,7 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

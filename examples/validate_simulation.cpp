@@ -18,7 +18,9 @@
 #include "util/cli.hpp"
 #include "util/format.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace mbus;
   CliParser cli("Analysis-vs-simulation accuracy sweep over request rate.");
   cli.add_int("n", 16, "processors and memory modules (N = M, 4 | N)")
@@ -101,3 +103,7 @@ int main(int argc, char** argv) {
   std::cout << exact.to_text();
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

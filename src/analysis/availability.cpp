@@ -1,0 +1,478 @@
+#include "analysis/availability.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "analysis/bandwidth.hpp"
+#include "sim/engine.hpp"
+#include "sim/replicate.hpp"
+#include "topology/factory.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mbus {
+
+namespace {
+
+// ---- JSON-lines checkpoint plumbing -----------------------------------
+
+/// Shortest decimal that round-trips a double exactly.
+std::string json_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Cursor-based field extraction: finds `"key":` at or after `pos` and
+/// leaves `pos` on the first character of the value. Sequential parsing
+/// in write order keeps string *values* (escaped on write) from ever
+/// being confused with keys.
+bool seek_key(const std::string& line, const char* key, std::size_t& pos) {
+  const std::string needle = cat('"', key, "\":");
+  const std::size_t at = line.find(needle, pos);
+  if (at == std::string::npos) return false;
+  pos = at + needle.size();
+  return true;
+}
+
+bool parse_json_string(const std::string& line, std::size_t& pos,
+                       std::string& out) {
+  if (pos >= line.size() || line[pos] != '"') return false;
+  ++pos;
+  out.clear();
+  while (pos < line.size()) {
+    const char c = line[pos];
+    if (c == '"') {
+      ++pos;
+      return true;
+    }
+    if (c == '\\') {
+      if (pos + 1 >= line.size()) return false;
+      const char esc = line[pos + 1];
+      pos += 2;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > line.size()) return false;
+          const unsigned long code =
+              std::strtoul(line.substr(pos, 4).c_str(), nullptr, 16);
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          pos += 4;
+          break;
+        }
+        default: return false;
+      }
+    } else {
+      out += c;
+      ++pos;
+    }
+  }
+  return false;  // unterminated — a partial line from an interrupted write
+}
+
+bool parse_json_double(const std::string& line, std::size_t& pos,
+                       double& out) {
+  char* end = nullptr;
+  out = std::strtod(line.c_str() + pos, &end);
+  if (end == line.c_str() + pos) return false;
+  pos = static_cast<std::size_t>(end - line.c_str());
+  return true;
+}
+
+bool parse_json_int(const std::string& line, std::size_t& pos,
+                    std::int64_t& out) {
+  char* end = nullptr;
+  out = std::strtoll(line.c_str() + pos, &end, 10);
+  if (end == line.c_str() + pos) return false;
+  pos = static_cast<std::size_t>(end - line.c_str());
+  return true;
+}
+
+bool parse_json_bool(const std::string& line, std::size_t& pos, bool& out) {
+  if (line.compare(pos, 4, "true") == 0) {
+    out = true;
+    pos += 4;
+    return true;
+  }
+  if (line.compare(pos, 5, "false") == 0) {
+    out = false;
+    pos += 5;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t fnv1a(const std::string& text) noexcept {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// The spec fields that determine point values (not threads — results are
+/// thread-count independent — and not the checkpoint path itself).
+std::string spec_fingerprint(const CampaignSpec& spec,
+                             const RequestModel& model) {
+  std::string text = cat(
+      join(spec.schemes, ","), "|", spec.buses, "|", spec.groups, "|",
+      spec.classes, "|", json_double(spec.process.bus_mtbf), "|",
+      json_double(spec.process.bus_mttr), "|",
+      json_double(spec.process.module_mtbf), "|",
+      json_double(spec.process.module_mttr), "|", spec.horizon, "|",
+      spec.window_cycles, "|", spec.replications, "|", spec.base_seed, "|",
+      model.num_processors(), "x", model.num_memories(), "|",
+      json_double(model.request_rate()));
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(fnv1a(text)));
+  return buffer;
+}
+
+std::string checkpoint_header(const std::string& fingerprint) {
+  return cat("{\"mbus_fault_campaign\":1,\"fingerprint\":\"", fingerprint,
+             "\"}");
+}
+
+// ---- point evaluation --------------------------------------------------
+
+void evaluate_point(const CampaignSpec& spec, const RequestModel& model,
+                    const std::string& scheme, int replication,
+                    CampaignPoint& point) {
+  TopologySpec tspec;
+  tspec.scheme = scheme;
+  tspec.processors = model.num_processors();
+  tspec.memories = model.num_memories();
+  tspec.buses = spec.buses;
+  tspec.groups = spec.groups;
+  tspec.classes = spec.classes;
+  const std::unique_ptr<Topology> topology = make_topology(tspec);
+
+  const double x = model.symmetric_request_probability(1e-6);
+  point.healthy_bandwidth = analytical_bandwidth(*topology, x);
+
+  const bool module_faults = spec.process.module_mtbf > 0.0;
+  const FaultPlan plan = generate_fault_timeline(
+      spec.process, spec.buses,
+      module_faults ? model.num_memories() : 0, spec.horizon,
+      derive_stream_seed(spec.base_seed, cat(scheme, "/faults"), spec.buses,
+                         replication));
+
+  SimConfig config;
+  config.cycles = spec.horizon;
+  config.warmup = 1000;
+  config.batches = static_cast<int>(std::min<std::int64_t>(20, spec.horizon));
+  config.window_cycles = spec.window_cycles;
+  config.seed = derive_stream_seed(spec.base_seed, cat(scheme, "/sim"),
+                                   spec.buses, replication);
+  config.faults = plan;
+  const SimResult result = simulate(*topology, model, config);
+
+  point.delivered_bandwidth = result.bandwidth;
+  point.availability = point.healthy_bandwidth > 0.0
+                           ? result.bandwidth / point.healthy_bandwidth
+                           : 0.0;
+  point.min_window_bandwidth =
+      result.window_bandwidth.empty()
+          ? result.bandwidth
+          : *std::min_element(result.window_bandwidth.begin(),
+                              result.window_bandwidth.end());
+  point.connectivity = connectivity_fraction(*topology, plan, spec.horizon);
+  point.disconnect_cycle =
+      first_disconnect_cycle(*topology, plan, spec.horizon);
+}
+
+}  // namespace
+
+std::string campaign_point_to_json(const CampaignPoint& point) {
+  std::string line = "{\"scheme\":";
+  append_json_string(line, point.scheme);
+  line += cat(",\"replication\":", point.replication,
+              ",\"ok\":", point.ok ? "true" : "false",
+              ",\"healthy\":", json_double(point.healthy_bandwidth),
+              ",\"delivered\":", json_double(point.delivered_bandwidth),
+              ",\"availability\":", json_double(point.availability),
+              ",\"min_window\":", json_double(point.min_window_bandwidth),
+              ",\"connectivity\":", json_double(point.connectivity),
+              ",\"disconnect\":", point.disconnect_cycle, ",\"error\":");
+  append_json_string(line, point.error);
+  line += "}";
+  return line;
+}
+
+bool campaign_point_from_json(const std::string& line, CampaignPoint& out) {
+  CampaignPoint point;
+  std::size_t pos = 0;
+  std::int64_t replication = 0;
+  std::int64_t disconnect = 0;
+  if (!seek_key(line, "scheme", pos) ||
+      !parse_json_string(line, pos, point.scheme)) {
+    return false;
+  }
+  if (!seek_key(line, "replication", pos) ||
+      !parse_json_int(line, pos, replication)) {
+    return false;
+  }
+  if (!seek_key(line, "ok", pos) || !parse_json_bool(line, pos, point.ok)) {
+    return false;
+  }
+  if (!seek_key(line, "healthy", pos) ||
+      !parse_json_double(line, pos, point.healthy_bandwidth)) {
+    return false;
+  }
+  if (!seek_key(line, "delivered", pos) ||
+      !parse_json_double(line, pos, point.delivered_bandwidth)) {
+    return false;
+  }
+  if (!seek_key(line, "availability", pos) ||
+      !parse_json_double(line, pos, point.availability)) {
+    return false;
+  }
+  if (!seek_key(line, "min_window", pos) ||
+      !parse_json_double(line, pos, point.min_window_bandwidth)) {
+    return false;
+  }
+  if (!seek_key(line, "connectivity", pos) ||
+      !parse_json_double(line, pos, point.connectivity)) {
+    return false;
+  }
+  if (!seek_key(line, "disconnect", pos) ||
+      !parse_json_int(line, pos, disconnect)) {
+    return false;
+  }
+  if (!seek_key(line, "error", pos) ||
+      !parse_json_string(line, pos, point.error)) {
+    return false;
+  }
+  point.replication = static_cast<int>(replication);
+  point.disconnect_cycle = disconnect;
+  out = std::move(point);
+  return true;
+}
+
+Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
+  MBUS_EXPECTS(!spec.schemes.empty(), "campaign needs at least one scheme");
+  MBUS_EXPECTS(spec.buses >= 1, "need at least one bus");
+  MBUS_EXPECTS(spec.horizon >= 1, "need a positive horizon");
+  MBUS_EXPECTS(spec.window_cycles >= 0, "window_cycles must be >= 0");
+  MBUS_EXPECTS(spec.replications >= 1, "need at least one replication");
+  model.validate();
+
+  const int reps = spec.replications;
+  const std::size_t num_schemes = spec.schemes.size();
+  Campaign out;
+  out.points_.resize(num_schemes * static_cast<std::size_t>(reps));
+
+  // Checkpoint: load completed points (same-spec files only), then keep
+  // the file open for appending newly completed ones.
+  std::map<std::pair<std::string, int>, CampaignPoint> done;
+  std::ofstream checkpoint;
+  std::mutex checkpoint_mutex;
+  if (!spec.checkpoint_path.empty()) {
+    const std::string header = checkpoint_header(
+        spec_fingerprint(spec, model));
+    bool reuse = false;
+    {
+      std::ifstream in(spec.checkpoint_path);
+      std::string line;
+      if (in.is_open() && std::getline(in, line) && line == header) {
+        reuse = true;
+        while (std::getline(in, line)) {
+          CampaignPoint point;
+          // Malformed lines (e.g. cut short by a crash) are skipped; only
+          // successfully completed points are trusted.
+          if (campaign_point_from_json(line, point) && point.ok) {
+            done[{point.scheme, point.replication}] = std::move(point);
+          }
+        }
+      }
+    }
+    checkpoint.open(spec.checkpoint_path,
+                    reuse ? std::ios::app : std::ios::trunc);
+    MBUS_EXPECTS(checkpoint.is_open(),
+                 cat("cannot open checkpoint file ", spec.checkpoint_path));
+    if (!reuse) checkpoint << header << "\n" << std::flush;
+  }
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(out.points_.size());
+  for (std::size_t si = 0; si < num_schemes; ++si) {
+    const std::string& scheme = spec.schemes[si];
+    for (int rep = 0; rep < reps; ++rep) {
+      const std::size_t slot =
+          si * static_cast<std::size_t>(reps) + static_cast<std::size_t>(rep);
+      const auto found = done.find({scheme, rep});
+      if (found != done.end()) {
+        out.points_[slot] = found->second;
+        ++out.resumed_;
+        continue;
+      }
+      tasks.push_back([&spec, &model, &out, &checkpoint, &checkpoint_mutex,
+                       &scheme, rep, slot] {
+        CampaignPoint point;
+        point.scheme = scheme;
+        point.replication = rep;
+        try {
+          if (spec.before_point) spec.before_point(scheme, rep);
+          evaluate_point(spec, model, scheme, rep, point);
+          point.ok = true;
+        } catch (const std::exception& e) {
+          // Graceful degradation: the point records its error and the
+          // campaign continues. Failed points are not checkpointed, so a
+          // resume retries them.
+          point = CampaignPoint{};
+          point.scheme = scheme;
+          point.replication = rep;
+          point.error = e.what();
+        } catch (...) {
+          point = CampaignPoint{};
+          point.scheme = scheme;
+          point.replication = rep;
+          point.error = "unknown error";
+        }
+        if (point.ok && checkpoint.is_open()) {
+          const std::string line = campaign_point_to_json(point);
+          const std::lock_guard<std::mutex> lock(checkpoint_mutex);
+          checkpoint << line << "\n" << std::flush;
+        }
+        out.points_[slot] = std::move(point);
+      });
+    }
+  }
+  run_parallel(std::move(tasks), spec.threads);
+
+  // Per-scheme summaries, in spec order; means are over ok points only.
+  out.summaries_.reserve(num_schemes);
+  for (std::size_t si = 0; si < num_schemes; ++si) {
+    CampaignSummary summary;
+    summary.scheme = spec.schemes[si];
+    try {
+      TopologySpec tspec;
+      tspec.scheme = summary.scheme;
+      tspec.processors = model.num_processors();
+      tspec.memories = model.num_memories();
+      tspec.buses = spec.buses;
+      tspec.groups = spec.groups;
+      tspec.classes = spec.classes;
+      summary.fault_tolerance_degree =
+          make_topology(tspec)->fault_tolerance_degree();
+    } catch (const std::exception&) {
+      // Scheme unconstructible at this shape — its points carry the error.
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      const CampaignPoint& point =
+          out.points_[si * static_cast<std::size_t>(reps) +
+                      static_cast<std::size_t>(rep)];
+      if (!point.ok) {
+        ++summary.failed_points;
+        continue;
+      }
+      ++summary.ok_points;
+      summary.healthy_bandwidth = point.healthy_bandwidth;
+      summary.mean_delivered += point.delivered_bandwidth;
+      summary.mean_availability += point.availability;
+      summary.mean_connectivity += point.connectivity;
+      summary.mean_min_window += point.min_window_bandwidth;
+      if (point.disconnect_cycle >= 0) {
+        ++summary.disconnected;
+        summary.mean_disconnect_cycle +=
+            static_cast<double>(point.disconnect_cycle);
+      } else {
+        summary.mean_disconnect_cycle += static_cast<double>(spec.horizon);
+      }
+    }
+    if (summary.ok_points > 0) {
+      const double n = static_cast<double>(summary.ok_points);
+      summary.mean_delivered /= n;
+      summary.mean_availability /= n;
+      summary.mean_connectivity /= n;
+      summary.mean_min_window /= n;
+      summary.mean_disconnect_cycle /= n;
+    }
+    out.summaries_.push_back(std::move(summary));
+  }
+  return out;
+}
+
+std::vector<CampaignPoint> Campaign::failed_points() const {
+  std::vector<CampaignPoint> failed;
+  for (const CampaignPoint& point : points_) {
+    if (!point.ok) failed.push_back(point);
+  }
+  return failed;
+}
+
+Table Campaign::to_table(const std::string& title) const {
+  Table table({"scheme", "FT deg", "healthy", "delivered", "avail", "conn",
+               "min-win", "mean-ttd", "disc", "errors"});
+  table.set_alignment(0, Align::kLeft);
+  table.set_title(title);
+  for (const CampaignSummary& s : summaries_) {
+    table.add_row({s.scheme, std::to_string(s.fault_tolerance_degree),
+                   fmt_fixed(s.healthy_bandwidth, 3),
+                   fmt_fixed(s.mean_delivered, 3),
+                   fmt_fixed(s.mean_availability, 4),
+                   fmt_fixed(s.mean_connectivity, 4),
+                   fmt_fixed(s.mean_min_window, 3),
+                   fmt_fixed(s.mean_disconnect_cycle, 1),
+                   cat(s.disconnected, "/", s.ok_points + s.failed_points),
+                   std::to_string(s.failed_points)});
+  }
+  return table;
+}
+
+Table Campaign::points_table() const {
+  Table table({"scheme", "rep", "status", "healthy", "delivered", "avail",
+               "min-win", "conn", "disconnect", "error"});
+  table.set_alignment(0, Align::kLeft);
+  table.set_alignment(9, Align::kLeft);
+  for (const CampaignPoint& p : points_) {
+    table.add_row({p.scheme, std::to_string(p.replication),
+                   p.ok ? "ok" : "error", fmt_fixed(p.healthy_bandwidth, 6),
+                   fmt_fixed(p.delivered_bandwidth, 6),
+                   fmt_fixed(p.availability, 6),
+                   fmt_fixed(p.min_window_bandwidth, 6),
+                   fmt_fixed(p.connectivity, 6),
+                   std::to_string(p.disconnect_cycle), p.error});
+  }
+  return table;
+}
+
+}  // namespace mbus

@@ -1,0 +1,161 @@
+// Monte-Carlo fault/repair campaigns: what bandwidth actually survives
+// failures over time?
+//
+// The paper compares the four bus–memory connection schemes only by their
+// *degree* of fault tolerance (Table I). A campaign turns that single
+// integer into availability metrics: for every scheme it generates
+// stochastic fail/repair timelines (sim/fault_process.hpp), runs the
+// cycle-accurate simulator against each, and reports
+//
+//   * delivered bandwidth   — mean services/cycle under the fault process,
+//   * availability          — delivered / healthy closed-form bandwidth,
+//   * connectivity          — fraction of cycles every module was
+//                             bus-reachable (analytic timeline replay),
+//   * time-to-disconnect    — first cycle some module lost its last bus
+//                             (the empirical counterpart of Table I; a
+//                             campaign cross-checks that the observed
+//                             ordering matches fault_tolerance_degree()).
+//
+// Execution is crash-proof by design:
+//   * every (scheme, replication) point runs inside its own exception
+//     barrier — a throwing point records its error and the campaign
+//     continues (generalizing the sweep's skipped-point reporting);
+//   * an optional JSON-lines checkpoint file persists each completed
+//     point as soon as it finishes, so an interrupted campaign resumes
+//     exactly where it stopped and reproduces the uninterrupted result
+//     bit for bit (doubles round-trip through %.17g).
+//
+// Determinism: point seeds derive from (base_seed, scheme tag, B,
+// replication) via derive_stream_seed, so results are bit-identical for
+// any thread count, with or without checkpoint resume.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "report/table.hpp"
+#include "sim/fault_process.hpp"
+#include "workload/request_model.hpp"
+
+namespace mbus {
+
+struct CampaignSpec {
+  /// Schemes to campaign over (names per topology/factory.hpp).
+  std::vector<std::string> schemes = {"full", "single", "partial-g",
+                                      "k-classes"};
+  int buses = 8;
+  int groups = 2;   // partial-g parameter
+  int classes = 0;  // k-classes parameter; 0 = K = B
+
+  /// The stochastic fail/repair process; module faults are enabled by a
+  /// positive module_mtbf.
+  FaultProcessSpec process;
+
+  /// Measured cycles per replication (also the fault-timeline horizon).
+  std::int64_t horizon = 50000;
+  /// Window size for min-window (worst sustained) bandwidth; 0 disables.
+  std::int64_t window_cycles = 1000;
+
+  int replications = 8;
+  /// Worker threads (ParallelOptions semantics: 1 = serial, 0 = hardware).
+  int threads = 1;
+  std::uint64_t base_seed = 12345;
+
+  /// JSON-lines checkpoint file; empty disables checkpointing. Completed
+  /// points are appended as they finish and skipped on the next run.
+  std::string checkpoint_path;
+
+  /// Invoked before each point is evaluated (progress reporting / fault
+  /// injection in tests). An exception thrown here is captured as that
+  /// point's error, like any other point failure.
+  std::function<void(const std::string& scheme, int replication)>
+      before_point;
+};
+
+/// One (scheme, replication) campaign point.
+struct CampaignPoint {
+  std::string scheme;
+  int replication = 0;
+
+  /// False when the point threw; `error` then holds the message and the
+  /// metric fields are zero.
+  bool ok = false;
+  std::string error;
+
+  double healthy_bandwidth = 0.0;    // closed form, no faults
+  double delivered_bandwidth = 0.0;  // simulated mean under the process
+  double availability = 0.0;         // delivered / healthy
+  double min_window_bandwidth = 0.0;  // worst measurement window
+  double connectivity = 0.0;  // fraction of cycles fully bus-connected
+  /// First cycle some module was bus-unreachable; -1 = never in horizon.
+  std::int64_t disconnect_cycle = -1;
+};
+
+/// Per-scheme aggregation of a campaign's points.
+struct CampaignSummary {
+  std::string scheme;
+  int ok_points = 0;
+  int failed_points = 0;
+  int fault_tolerance_degree = 0;
+
+  double healthy_bandwidth = 0.0;
+  double mean_delivered = 0.0;
+  double mean_availability = 0.0;
+  double mean_connectivity = 0.0;
+  double mean_min_window = 0.0;
+
+  /// Replications that disconnected within the horizon.
+  int disconnected = 0;
+  /// Mean time-to-disconnect, censored at the horizon (replications that
+  /// never disconnected contribute the horizon).
+  double mean_disconnect_cycle = 0.0;
+};
+
+class Campaign {
+ public:
+  /// Run the campaign for `model` (fixes N and M). Never throws for
+  /// per-point failures — inspect points()/summaries() for errors; throws
+  /// InvalidArgument only for a malformed spec.
+  static Campaign run(const CampaignSpec& spec, const RequestModel& model);
+
+  /// All points in canonical (scheme, replication) grid order,
+  /// independent of thread count and checkpoint state.
+  const std::vector<CampaignPoint>& points() const noexcept {
+    return points_;
+  }
+
+  /// Points that failed, in grid order (subset view of points()).
+  std::vector<CampaignPoint> failed_points() const;
+
+  /// Per-scheme summaries in spec order.
+  const std::vector<CampaignSummary>& summaries() const noexcept {
+    return summaries_;
+  }
+
+  /// Number of points loaded from the checkpoint instead of recomputed.
+  int resumed_points() const noexcept { return resumed_; }
+
+  /// Scheme-level comparison table (the bench's main output).
+  Table to_table(const std::string& title) const;
+
+  /// Per-point table (one row per (scheme, replication)); pairs with
+  /// Table::to_csv for raw exports.
+  Table points_table() const;
+
+ private:
+  std::vector<CampaignPoint> points_;
+  std::vector<CampaignSummary> summaries_;
+  int resumed_ = 0;
+};
+
+/// Serialize one point as a single-line JSON object (the checkpoint
+/// format; see DESIGN.md "Fault campaigns").
+std::string campaign_point_to_json(const CampaignPoint& point);
+
+/// Parse a checkpoint line; returns false (leaving `out` untouched) for
+/// malformed lines — e.g. a partial line from an interrupted write.
+bool campaign_point_from_json(const std::string& line, CampaignPoint& out);
+
+}  // namespace mbus

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "analysis/bandwidth.hpp"
@@ -12,29 +13,50 @@ namespace mbus {
 
 namespace {
 
-double degraded_full(const FullTopology& topo, double x,
-                     const std::vector<bool>& bus_failed) {
+/// Modules of `topo` that are not flagged in `module_failed`, as a count.
+int alive_modules(const std::vector<bool>& module_failed) {
+  int alive = 0;
+  for (const bool failed : module_failed) {
+    if (!failed) ++alive;
+  }
+  return alive;
+}
+
+double degraded_full(const FullTopology& /*topo*/, double x,
+                     const std::vector<bool>& bus_failed,
+                     const std::vector<bool>& module_failed) {
   int alive = 0;
   for (const bool failed : bus_failed) {
     if (!failed) ++alive;
   }
-  if (alive == 0) return 0.0;
-  return bandwidth_full(topo.num_memories(), alive, x);
+  const int modules = alive_modules(module_failed);
+  if (alive == 0 || modules == 0) return 0.0;
+  return bandwidth_full(modules, alive, x);
 }
 
 double degraded_single(const SingleTopology& topo, double x,
-                       const std::vector<bool>& bus_failed) {
+                       const std::vector<bool>& bus_failed,
+                       const std::vector<bool>& module_failed) {
+  // Surviving modules per bus (a failed bus loses all of its modules).
+  std::vector<int> alive_on_bus(static_cast<std::size_t>(topo.num_buses()),
+                                0);
+  for (int m = 0; m < topo.num_memories(); ++m) {
+    if (module_failed[static_cast<std::size_t>(m)]) continue;
+    ++alive_on_bus[static_cast<std::size_t>(topo.bus_of_module(m))];
+  }
   double total = 0.0;
   for (int b = 0; b < topo.num_buses(); ++b) {
     if (bus_failed[static_cast<std::size_t>(b)]) continue;
     total += 1.0 - std::pow(1.0 - x, static_cast<double>(
-                                         topo.modules_on_bus_count(b)));
+                                         alive_on_bus[
+                                             static_cast<std::size_t>(b)]));
   }
   return total;
 }
 
 double degraded_partial_g(const PartialGTopology& topo, double x,
-                          const std::vector<bool>& bus_failed) {
+                          const std::vector<bool>& bus_failed,
+                          const std::vector<bool>& module_failed) {
   double total = 0.0;
   for (int group = 0; group < topo.groups(); ++group) {
     int alive = 0;
@@ -44,21 +66,36 @@ double degraded_partial_g(const PartialGTopology& topo, double x,
         ++alive;
       }
     }
-    if (alive == 0) continue;
-    total += bandwidth_full(topo.modules_per_group(), alive, x);
+    int modules = 0;
+    for (int m = 0; m < topo.num_memories(); ++m) {
+      if (topo.group_of_module(m) == group &&
+          !module_failed[static_cast<std::size_t>(m)]) {
+        ++modules;
+      }
+    }
+    if (alive == 0 || modules == 0) continue;
+    total += bandwidth_full(modules, alive, x);
   }
   return total;
 }
 
 double degraded_k_classes(const KClassTopology& topo, double x,
-                          const std::vector<bool>& bus_failed) {
+                          const std::vector<bool>& bus_failed,
+                          const std::vector<bool>& module_failed) {
   const int num_buses = topo.num_buses();
   const int k = topo.num_classes();
 
+  // Class sizes reduced to their surviving modules: a dead module issues
+  // no requests, so class C_j's request count is Bin(alive_j, x).
+  std::vector<std::int64_t> alive_in_class(static_cast<std::size_t>(k), 0);
+  for (int m = 0; m < topo.num_memories(); ++m) {
+    if (module_failed[static_cast<std::size_t>(m)]) continue;
+    ++alive_in_class[static_cast<std::size_t>(topo.class_of_module(m) - 1)];
+  }
   std::vector<BinomialDistribution> per_class;
   per_class.reserve(static_cast<std::size_t>(k));
   for (int j = 1; j <= k; ++j) {
-    per_class.emplace_back(topo.class_sizes()[static_cast<std::size_t>(j - 1)],
+    per_class.emplace_back(alive_in_class[static_cast<std::size_t>(j - 1)],
                            x);
   }
 
@@ -113,22 +150,36 @@ void for_each_failure_pattern(int num_buses, int failures, Fn&& fn) {
 
 double degraded_bandwidth(const Topology& topology, double x,
                           const std::vector<bool>& bus_failed) {
+  return degraded_bandwidth(
+      topology, x, bus_failed,
+      std::vector<bool>(static_cast<std::size_t>(topology.num_memories()),
+                        false));
+}
+
+double degraded_bandwidth(const Topology& topology, double x,
+                          const std::vector<bool>& bus_failed,
+                          const std::vector<bool>& module_failed) {
   MBUS_EXPECTS(
       bus_failed.size() == static_cast<std::size_t>(topology.num_buses()),
       "bus_failed must have one entry per bus");
+  MBUS_EXPECTS(module_failed.size() ==
+                   static_cast<std::size_t>(topology.num_memories()),
+               "module_failed must have one entry per module");
   switch (topology.scheme()) {
     case Scheme::kFull:
       return degraded_full(dynamic_cast<const FullTopology&>(topology), x,
-                           bus_failed);
+                           bus_failed, module_failed);
     case Scheme::kSingle:
       return degraded_single(dynamic_cast<const SingleTopology&>(topology),
-                             x, bus_failed);
+                             x, bus_failed, module_failed);
     case Scheme::kPartialG:
       return degraded_partial_g(
-          dynamic_cast<const PartialGTopology&>(topology), x, bus_failed);
+          dynamic_cast<const PartialGTopology&>(topology), x, bus_failed,
+          module_failed);
     case Scheme::kKClasses:
       return degraded_k_classes(
-          dynamic_cast<const KClassTopology&>(topology), x, bus_failed);
+          dynamic_cast<const KClassTopology&>(topology), x, bus_failed,
+          module_failed);
   }
   MBUS_ASSERT(false, "unknown scheme");
   return 0.0;

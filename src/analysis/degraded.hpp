@@ -30,6 +30,16 @@ namespace mbus {
 double degraded_bandwidth(const Topology& topology, double x,
                           const std::vector<bool>& bus_failed);
 
+/// Bandwidth when the buses in `bus_failed` (size B) *and* the memory
+/// modules in `module_failed` (size M) are down. Requests to a failed
+/// module are blocked (matching the simulator), so a dead module simply
+/// leaves the per-module request competition: each surviving subnetwork
+/// keeps its formula with the module count reduced to its survivors.
+/// With all modules healthy this equals the bus-only overload.
+double degraded_bandwidth(const Topology& topology, double x,
+                          const std::vector<bool>& bus_failed,
+                          const std::vector<bool>& module_failed);
+
 /// Expected bandwidth under all (B choose f) failure patterns of exactly
 /// `failures` buses, averaged uniformly. Exhaustive; B must stay small
 /// (≤ ~24).

@@ -31,6 +31,10 @@ Simulator::Simulator(const Topology& topology, const RequestModel& model,
     MBUS_EXPECTS(config_.faults.num_buses() == topology.num_buses(),
                  "fault plan sized for a different bus count");
   }
+  if (config_.faults.num_modules() > 0) {
+    MBUS_EXPECTS(config_.faults.num_modules() == topology.num_memories(),
+                 "fault plan sized for a different module count");
+  }
   model.validate();
 }
 
@@ -54,6 +58,10 @@ SimResult Simulator::run() {
 
   std::vector<bool> bus_failed(static_cast<std::size_t>(num_buses), false);
   if (!config_.faults.empty()) bus_failed = config_.faults.initial_mask();
+  std::vector<bool> module_failed(static_cast<std::size_t>(m), false);
+  if (config_.faults.num_modules() > 0) {
+    module_failed = config_.faults.initial_module_mask();
+  }
   std::size_t next_event = 0;
   const auto& events = config_.faults.events();
 
@@ -105,9 +113,14 @@ SimResult Simulator::run() {
     // Fault timeline (timed relative to measured cycles; warmup excluded).
     while (next_event < events.size() &&
            events[next_event].cycle <= cycle - config_.warmup) {
-      bus_failed[static_cast<std::size_t>(events[next_event].bus)] =
-          events[next_event].failed;
-      mask_changed = true;
+      const FaultEvent& event = events[next_event];
+      if (event.kind == FaultKind::kBus) {
+        bus_failed[static_cast<std::size_t>(event.component)] = event.failed;
+        mask_changed = true;
+      } else {
+        module_failed[static_cast<std::size_t>(event.component)] =
+            event.failed;
+      }
       ++next_event;
     }
 
@@ -149,9 +162,11 @@ SimResult Simulator::run() {
       if (dest < 0) continue;
       ++issued;
       pending[static_cast<std::size_t>(p)] = dest;
-      // A module still transferring rejects new requests outright
-      // (memory interference, Section II-A).
-      if (module_remaining[static_cast<std::size_t>(dest)] > 0) {
+      // A failed module or one still transferring rejects new requests
+      // outright (memory interference, Section II-A). With resubmission
+      // the processor retries every cycle until repair.
+      if (module_failed[static_cast<std::size_t>(dest)] ||
+          module_remaining[static_cast<std::size_t>(dest)] > 0) {
         ++busy_module_blocked;
         if (!config_.resubmit_blocked) {
           pending[static_cast<std::size_t>(p)] = -1;

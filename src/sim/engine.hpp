@@ -55,7 +55,9 @@ struct SimConfig {
   /// windows of this many cycles (SimResult::window_bandwidth) — used by
   /// the transient-fault studies to see throughput drop and recover.
   std::int64_t window_cycles = 0;
-  /// Bus-fault injection; empty plan = all buses healthy.
+  /// Fault injection over buses and memory modules; empty plan = all
+  /// components healthy. Requests to a failed module are blocked until
+  /// its repair event.
   FaultPlan faults;
   /// Optional event trace (non-owning; must outlive the run). Grant and
   /// blocked events of measured cycles are recorded.

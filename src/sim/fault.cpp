@@ -6,6 +6,34 @@
 
 namespace mbus {
 
+namespace {
+
+void sort_events(std::vector<FaultEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+}
+
+void check_events(const std::vector<FaultEvent>& events, int num_buses,
+                  int num_modules, bool allow_modules) {
+  for (const FaultEvent& e : events) {
+    MBUS_EXPECTS(e.cycle >= 0, "fault event cycle must be >= 0");
+    if (e.kind == FaultKind::kBus) {
+      MBUS_EXPECTS(e.component >= 0 && e.component < num_buses,
+                   "fault event bus index out of range");
+    } else {
+      MBUS_EXPECTS(allow_modules,
+                   "module fault events require the module-aware timeline "
+                   "overload");
+      MBUS_EXPECTS(e.component >= 0 && e.component < num_modules,
+                   "fault event module index out of range");
+    }
+  }
+}
+
+}  // namespace
+
 FaultPlan FaultPlan::static_failures(int num_buses,
                                      const std::vector<int>& failed_buses) {
   MBUS_EXPECTS(num_buses >= 1, "need at least one bus");
@@ -18,19 +46,40 @@ FaultPlan FaultPlan::static_failures(int num_buses,
   return plan;
 }
 
+FaultPlan FaultPlan::static_failures(int num_buses,
+                                     const std::vector<int>& failed_buses,
+                                     int num_modules,
+                                     const std::vector<int>& failed_modules) {
+  MBUS_EXPECTS(num_modules >= 1, "need at least one module");
+  FaultPlan plan = static_failures(num_buses, failed_buses);
+  plan.initial_modules_.assign(static_cast<std::size_t>(num_modules), false);
+  for (const int m : failed_modules) {
+    MBUS_EXPECTS(m >= 0 && m < num_modules,
+                 "failed module index out of range");
+    plan.initial_modules_[static_cast<std::size_t>(m)] = true;
+  }
+  return plan;
+}
+
 FaultPlan FaultPlan::timeline(int num_buses, std::vector<FaultEvent> events) {
   MBUS_EXPECTS(num_buses >= 1, "need at least one bus");
-  for (const FaultEvent& e : events) {
-    MBUS_EXPECTS(e.bus >= 0 && e.bus < num_buses,
-                 "fault event bus index out of range");
-    MBUS_EXPECTS(e.cycle >= 0, "fault event cycle must be >= 0");
-  }
-  std::stable_sort(events.begin(), events.end(),
-                   [](const FaultEvent& a, const FaultEvent& b) {
-                     return a.cycle < b.cycle;
-                   });
+  check_events(events, num_buses, 0, /*allow_modules=*/false);
+  sort_events(events);
   FaultPlan plan;
   plan.initial_.assign(static_cast<std::size_t>(num_buses), false);
+  plan.events_ = std::move(events);
+  return plan;
+}
+
+FaultPlan FaultPlan::timeline(int num_buses, int num_modules,
+                              std::vector<FaultEvent> events) {
+  MBUS_EXPECTS(num_buses >= 1, "need at least one bus");
+  MBUS_EXPECTS(num_modules >= 1, "need at least one module");
+  check_events(events, num_buses, num_modules, /*allow_modules=*/true);
+  sort_events(events);
+  FaultPlan plan;
+  plan.initial_.assign(static_cast<std::size_t>(num_buses), false);
+  plan.initial_modules_.assign(static_cast<std::size_t>(num_modules), false);
   plan.events_ = std::move(events);
   return plan;
 }

@@ -1,10 +1,18 @@
-// Bus-fault injection for the simulator.
+// Fault injection for the simulator: buses and memory modules.
 //
-// A FaultPlan is a static failed-bus mask plus an optional timeline of
-// fail/repair events; the engine applies events at the start of the cycle
-// whose index matches. The static mask reproduces the degraded-mode
-// analysis; the timeline supports transient-fault experiments beyond the
+// A FaultPlan is a static failed-component mask plus an optional timeline
+// of fail/repair events; the engine applies events at the start of the
+// cycle whose index matches. The static mask reproduces the degraded-mode
+// analysis; the timeline supports transient-fault experiments and the
+// stochastic fail/repair campaigns (sim/fault_process.hpp) beyond the
 // paper.
+//
+// Bus faults take the bus out of stage-two arbitration; module faults
+// block every request addressed to the module (the module neither joins
+// stage-one arbitration nor occupies a bus) until it is repaired. A plan
+// may carry bus faults only (num_modules() == 0, the pre-module API) or
+// both kinds; the engine validates the plan's shape against the topology
+// at Simulator construction.
 #pragma once
 
 #include <cstdint>
@@ -12,10 +20,14 @@
 
 namespace mbus {
 
+/// Which component an event (or index) refers to.
+enum class FaultKind { kBus, kModule };
+
 struct FaultEvent {
   std::int64_t cycle = 0;  // applied at the start of this cycle
-  int bus = 0;
-  bool failed = true;  // true = bus goes down, false = bus repaired
+  int component = 0;       // bus or module index, per `kind`
+  bool failed = true;  // true = component goes down, false = repaired
+  FaultKind kind = FaultKind::kBus;
 };
 
 class FaultPlan {
@@ -26,11 +38,29 @@ class FaultPlan {
   static FaultPlan static_failures(int num_buses,
                                    const std::vector<int>& failed_buses);
 
-  /// Timeline plan starting from all-healthy.
+  /// Static plan over both component kinds: the given buses and memory
+  /// modules are down for the whole run.
+  static FaultPlan static_failures(int num_buses,
+                                   const std::vector<int>& failed_buses,
+                                   int num_modules,
+                                   const std::vector<int>& failed_modules);
+
+  /// Timeline plan starting from all-healthy. Bus events only; module
+  /// events require the module-aware overload below.
   static FaultPlan timeline(int num_buses, std::vector<FaultEvent> events);
 
-  /// The mask in force at cycle 0.
+  /// Timeline plan over both component kinds, starting from all-healthy.
+  static FaultPlan timeline(int num_buses, int num_modules,
+                            std::vector<FaultEvent> events);
+
+  /// The bus mask in force at cycle 0.
   const std::vector<bool>& initial_mask() const noexcept { return initial_; }
+
+  /// The module mask in force at cycle 0 (empty when the plan carries no
+  /// module information).
+  const std::vector<bool>& initial_module_mask() const noexcept {
+    return initial_modules_;
+  }
 
   /// Events sorted by cycle (stable).
   const std::vector<FaultEvent>& events() const noexcept { return events_; }
@@ -40,13 +70,22 @@ class FaultPlan {
     for (const bool f : initial_) {
       if (f) return false;
     }
+    for (const bool f : initial_modules_) {
+      if (f) return false;
+    }
     return true;
   }
 
   int num_buses() const noexcept { return static_cast<int>(initial_.size()); }
 
+  /// 0 when the plan carries no module information (bus-only plans).
+  int num_modules() const noexcept {
+    return static_cast<int>(initial_modules_.size());
+  }
+
  private:
   std::vector<bool> initial_;
+  std::vector<bool> initial_modules_;
   std::vector<FaultEvent> events_;
 };
 

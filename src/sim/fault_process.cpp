@@ -1,0 +1,158 @@
+#include "sim/fault_process.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace mbus {
+
+namespace {
+
+/// One SplitMix64 scrambling step: absorb `value` into `state` (the same
+/// construction as sim/replicate.hpp's seed derivation).
+std::uint64_t absorb(std::uint64_t state, std::uint64_t value) noexcept {
+  return SplitMix64(state ^ value).next();
+}
+
+std::uint64_t substream_seed(std::uint64_t base, FaultKind kind,
+                             int index) noexcept {
+  std::uint64_t state = SplitMix64(base).next();
+  state = absorb(state, kind == FaultKind::kBus ? 0x6275736573ULL
+                                                : 0x6d6f64756c6573ULL);
+  state = absorb(state,
+                 static_cast<std::uint64_t>(static_cast<std::int64_t>(index)));
+  return state;
+}
+
+/// Geometric sojourn on {1, 2, ...} with mean 1/p (inverse-CDF method on
+/// the portable uniform01 stream).
+std::int64_t geometric(Xoshiro256& rng, double p) {
+  if (p >= 1.0) return 1;
+  const double u = rng.uniform01();
+  double steps = std::floor(std::log1p(-u) / std::log1p(-p));
+  // Guard the cast: u near 1 with tiny p can produce astronomically long
+  // sojourns; anything beyond any usable horizon is equivalent.
+  if (!(steps < 1e18)) steps = 1e18;
+  return 1 + static_cast<std::int64_t>(steps);
+}
+
+/// Append the fail/repair events of one component over [0, horizon).
+void component_timeline(std::vector<FaultEvent>& events, FaultKind kind,
+                        int index, double mtbf, double mttr,
+                        std::int64_t horizon, std::uint64_t seed) {
+  Xoshiro256 rng(substream_seed(seed, kind, index));
+  std::int64_t t = 0;
+  bool failed = false;
+  while (true) {
+    t += geometric(rng, failed ? 1.0 / mttr : 1.0 / mtbf);
+    if (t >= horizon) break;
+    failed = !failed;
+    events.push_back(FaultEvent{t, index, failed, kind});
+  }
+}
+
+void check_rates(double mtbf, double mttr, const char* what) {
+  MBUS_EXPECTS(mtbf == 0.0 || mtbf >= 1.0,
+               cat(what, " MTBF must be 0 (disabled) or >= 1 cycle"));
+  if (mtbf > 0.0) {
+    MBUS_EXPECTS(mttr >= 1.0, cat(what, " MTTR must be >= 1 cycle"));
+  }
+}
+
+/// Shared replay: walks the plan's bus events in cycle groups, invoking
+/// `visit(cycle, connected)` after cycle 0's initial mask and after every
+/// group; returns via the visitor's bookkeeping.
+template <typename Visit>
+void replay_bus_timeline(const Topology& topology, const FaultPlan& plan,
+                         std::int64_t horizon, Visit&& visit) {
+  std::vector<bool> mask = plan.initial_mask();
+  if (mask.empty()) {
+    mask.assign(static_cast<std::size_t>(topology.num_buses()), false);
+  }
+  visit(static_cast<std::int64_t>(0), topology.fully_accessible(mask));
+  const auto& events = plan.events();
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const std::int64_t cycle = events[i].cycle;
+    if (cycle >= horizon) break;
+    while (i < events.size() && events[i].cycle == cycle) {
+      if (events[i].kind == FaultKind::kBus) {
+        mask[static_cast<std::size_t>(events[i].component)] =
+            events[i].failed;
+      }
+      ++i;
+    }
+    visit(cycle, topology.fully_accessible(mask));
+  }
+}
+
+}  // namespace
+
+FaultPlan generate_fault_timeline(const FaultProcessSpec& spec,
+                                  int num_buses, int num_modules,
+                                  std::int64_t horizon, std::uint64_t seed) {
+  MBUS_EXPECTS(num_buses >= 1, "need at least one bus");
+  MBUS_EXPECTS(num_modules >= 0, "module count must be >= 0");
+  MBUS_EXPECTS(horizon >= 1, "need a positive horizon");
+  check_rates(spec.bus_mtbf, spec.bus_mttr, "bus");
+  check_rates(spec.module_mtbf, spec.module_mttr, "module");
+
+  std::vector<FaultEvent> events;
+  if (spec.bus_mtbf > 0.0) {
+    for (int b = 0; b < num_buses; ++b) {
+      component_timeline(events, FaultKind::kBus, b, spec.bus_mtbf,
+                         spec.bus_mttr, horizon, seed);
+    }
+  }
+  const bool module_process = spec.module_mtbf > 0.0 && num_modules > 0;
+  if (module_process) {
+    for (int m = 0; m < num_modules; ++m) {
+      component_timeline(events, FaultKind::kModule, m, spec.module_mtbf,
+                         spec.module_mttr, horizon, seed);
+    }
+  }
+  if (module_process) {
+    return FaultPlan::timeline(num_buses, num_modules, std::move(events));
+  }
+  return FaultPlan::timeline(num_buses, std::move(events));
+}
+
+std::int64_t first_disconnect_cycle(const Topology& topology,
+                                    const FaultPlan& plan,
+                                    std::int64_t horizon) {
+  MBUS_EXPECTS(horizon >= 1, "need a positive horizon");
+  MBUS_EXPECTS(plan.num_buses() == 0 ||
+                   plan.num_buses() == topology.num_buses(),
+               "fault plan sized for a different bus count");
+  std::int64_t first = -1;
+  replay_bus_timeline(topology, plan, horizon,
+                      [&](std::int64_t cycle, bool connected) {
+                        if (!connected && first < 0) first = cycle;
+                      });
+  return first;
+}
+
+double connectivity_fraction(const Topology& topology, const FaultPlan& plan,
+                             std::int64_t horizon) {
+  MBUS_EXPECTS(horizon >= 1, "need a positive horizon");
+  MBUS_EXPECTS(plan.num_buses() == 0 ||
+                   plan.num_buses() == topology.num_buses(),
+               "fault plan sized for a different bus count");
+  std::int64_t connected_cycles = 0;
+  std::int64_t prev_cycle = 0;
+  bool connected = true;
+  replay_bus_timeline(topology, plan, horizon,
+                      [&](std::int64_t cycle, bool now_connected) {
+                        if (connected) connected_cycles += cycle - prev_cycle;
+                        prev_cycle = cycle;
+                        connected = now_connected;
+                      });
+  if (connected) connected_cycles += horizon - prev_cycle;
+  return static_cast<double>(connected_cycles) /
+         static_cast<double>(horizon);
+}
+
+}  // namespace mbus

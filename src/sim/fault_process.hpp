@@ -1,0 +1,61 @@
+// Stochastic fail/repair processes over buses and memory modules.
+//
+// Each component alternates healthy and failed states with geometrically
+// distributed sojourn times in discrete cycles: a healthy component fails
+// each cycle with probability 1/MTBF, a failed one is repaired with
+// probability 1/MTTR. Every component draws from its own deterministic
+// substream (SplitMix64-derived, as in sim/replicate.hpp), so a generated
+// timeline is a pure function of (seed, spec, shape) — never of thread
+// count or scheduling — and fault campaigns stay bit-identical at any
+// parallelism.
+//
+// The generated FaultPlan feeds the simulator (delivered bandwidth under
+// faults, recovery visible through SimConfig::window_cycles) and the
+// analytic replay helpers below (connectivity availability and empirical
+// time-to-disconnect, the Monte-Carlo counterpart of Table I's
+// fault-tolerance degrees).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/fault.hpp"
+#include "topology/topology.hpp"
+
+namespace mbus {
+
+/// Geometric fail/repair parameters, in cycles. An MTBF of 0 disables
+/// faults for that component kind; positive values must be >= 1 (so the
+/// per-cycle probabilities 1/MTBF and 1/MTTR stay in (0, 1]).
+struct FaultProcessSpec {
+  double bus_mtbf = 0.0;    // mean cycles from repair to next failure
+  double bus_mttr = 1.0;    // mean cycles from failure to repair
+  double module_mtbf = 0.0;
+  double module_mttr = 1.0;
+};
+
+/// Generate the fail/repair timeline of `num_buses` buses and
+/// `num_modules` modules over `horizon` cycles. All components start
+/// healthy. Events are sorted by cycle; within a cycle, buses precede
+/// modules and components stay in index order. When `spec.module_mtbf`
+/// is 0 (or `num_modules` is 0) the plan carries no module information,
+/// i.e. it stays compatible with module-less consumers.
+FaultPlan generate_fault_timeline(const FaultProcessSpec& spec,
+                                  int num_buses, int num_modules,
+                                  std::int64_t horizon, std::uint64_t seed);
+
+/// First cycle at which some memory module loses its last surviving bus
+/// under the plan's *bus* timeline (module faults are down time, not
+/// disconnection, and are ignored here). Returns -1 when the system stays
+/// fully connected for all of [0, horizon). With a static all-healthy plan
+/// this is always -1; with Table I's degree d, at least d+1 simultaneous
+/// bus failures are required before this can trigger.
+std::int64_t first_disconnect_cycle(const Topology& topology,
+                                    const FaultPlan& plan,
+                                    std::int64_t horizon);
+
+/// Fraction of cycles in [0, horizon) during which every module was
+/// reachable over surviving buses (bus timeline only).
+double connectivity_fraction(const Topology& topology, const FaultPlan& plan,
+                             std::int64_t horizon);
+
+}  // namespace mbus

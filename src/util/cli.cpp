@@ -171,4 +171,18 @@ std::string CliParser::help_text() const {
   return os.str();
 }
 
+int run_cli_main(int argc, char** argv, int (*body)(int, char**)) noexcept {
+  const char* program = argc > 0 ? argv[0] : "mbus";
+  try {
+    return body(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << program << ": error: " << e.what() << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << program << ": unexpected error: " << e.what() << "\n";
+  } catch (...) {
+    std::cerr << program << ": unknown error\n";
+  }
+  return 1;
+}
+
 }  // namespace mbus

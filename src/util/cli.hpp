@@ -60,4 +60,14 @@ class CliParser {
   std::vector<Option> options_;
 };
 
+/// Top-level exception barrier for bench/example binaries: runs `body`
+/// and converts an escaping `mbus::Error` (or any std::exception — e.g.
+/// an InvalidArgument from a malformed flag) into a clean one-line
+/// message on stderr and exit status 1, instead of std::terminate.
+///
+///   int main(int argc, char** argv) {
+///     return mbus::run_cli_main(argc, argv, run);
+///   }
+int run_cli_main(int argc, char** argv, int (*body)(int, char**)) noexcept;
+
 }  // namespace mbus

@@ -1,0 +1,227 @@
+// Campaign runner: thread-count invariance, per-point exception capture,
+// and checkpoint/resume reproducibility.
+#include "analysis/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
+#include "workload/uniform.hpp"
+
+namespace mbus {
+namespace {
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.buses = 4;
+  spec.groups = 2;
+  spec.classes = 0;  // K = B
+  spec.process.bus_mtbf = 300;
+  spec.process.bus_mttr = 100;
+  spec.horizon = 3000;
+  spec.window_cycles = 500;
+  spec.replications = 3;
+  spec.base_seed = 777;
+  return spec;
+}
+
+UniformModel small_model() { return UniformModel(8, 8, BigRational(1)); }
+
+void expect_identical_points(const Campaign& a, const Campaign& b) {
+  ASSERT_EQ(a.points().size(), b.points().size());
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    const CampaignPoint& pa = a.points()[i];
+    const CampaignPoint& pb = b.points()[i];
+    EXPECT_EQ(pa.scheme, pb.scheme);
+    EXPECT_EQ(pa.replication, pb.replication);
+    EXPECT_EQ(pa.ok, pb.ok);
+    EXPECT_EQ(pa.error, pb.error);
+    EXPECT_EQ(pa.healthy_bandwidth, pb.healthy_bandwidth);
+    EXPECT_EQ(pa.delivered_bandwidth, pb.delivered_bandwidth);
+    EXPECT_EQ(pa.availability, pb.availability);
+    EXPECT_EQ(pa.min_window_bandwidth, pb.min_window_bandwidth);
+    EXPECT_EQ(pa.connectivity, pb.connectivity);
+    EXPECT_EQ(pa.disconnect_cycle, pb.disconnect_cycle);
+  }
+}
+
+TEST(Availability, BitIdenticalAcrossThreadCounts) {
+  const UniformModel model = small_model();
+  CampaignSpec serial = small_spec();
+  serial.threads = 1;
+  CampaignSpec parallel = small_spec();
+  parallel.threads = 4;
+  const Campaign a = Campaign::run(serial, model);
+  const Campaign b = Campaign::run(parallel, model);
+  expect_identical_points(a, b);
+  EXPECT_EQ(a.to_table("t").to_text(), b.to_table("t").to_text());
+  for (const CampaignPoint& point : a.points()) {
+    EXPECT_TRUE(point.ok) << point.scheme << "/" << point.replication << ": "
+                          << point.error;
+    EXPECT_GE(point.delivered_bandwidth, 0.0);
+    EXPECT_LE(point.delivered_bandwidth, 4.0 + 1e-9);
+    EXPECT_GE(point.connectivity, 0.0);
+    EXPECT_LE(point.connectivity, 1.0);
+  }
+}
+
+TEST(Availability, ThrowingPointIsRecordedAndCampaignCompletes) {
+  const UniformModel model = small_model();
+  CampaignSpec spec = small_spec();
+  spec.replications = 2;
+  spec.before_point = [](const std::string& scheme, int replication) {
+    if (scheme == "full" && replication == 1) {
+      throw std::runtime_error("injected failure");
+    }
+  };
+  const Campaign campaign = Campaign::run(spec, model);
+  ASSERT_EQ(campaign.points().size(), 8u);
+  int failed = 0;
+  for (const CampaignPoint& point : campaign.points()) {
+    if (point.scheme == "full" && point.replication == 1) {
+      EXPECT_FALSE(point.ok);
+      EXPECT_EQ(point.error, "injected failure");
+      EXPECT_EQ(point.delivered_bandwidth, 0.0);
+      ++failed;
+    } else {
+      EXPECT_TRUE(point.ok) << point.error;
+    }
+  }
+  EXPECT_EQ(failed, 1);
+  ASSERT_EQ(campaign.failed_points().size(), 1u);
+  EXPECT_EQ(campaign.failed_points()[0].error, "injected failure");
+  // The summary for "full" aggregates the surviving point only.
+  EXPECT_EQ(campaign.summaries()[0].scheme, "full");
+  EXPECT_EQ(campaign.summaries()[0].failed_points, 1);
+  EXPECT_EQ(campaign.summaries()[0].ok_points, 1);
+}
+
+TEST(Availability, CheckpointResumeReproducesUninterruptedRun) {
+  const UniformModel model = small_model();
+  const std::string path =
+      testing::TempDir() + "mbus_campaign_resume.jsonl";
+  std::remove(path.c_str());
+
+  const Campaign reference = Campaign::run(small_spec(), model);
+
+  // "Interrupted" run: every k-classes point fails, so only the other
+  // schemes' points reach the checkpoint.
+  CampaignSpec interrupted = small_spec();
+  interrupted.checkpoint_path = path;
+  interrupted.before_point = [](const std::string& scheme, int) {
+    if (scheme == "k-classes") throw std::runtime_error("simulated crash");
+  };
+  const Campaign partial = Campaign::run(interrupted, model);
+  EXPECT_EQ(partial.resumed_points(), 0);
+  EXPECT_EQ(partial.failed_points().size(), 3u);
+
+  // Resume without the injected failure: completed points load from the
+  // checkpoint, the failed ones are recomputed, and the final result is
+  // bit-identical to the uninterrupted reference.
+  CampaignSpec resume = small_spec();
+  resume.checkpoint_path = path;
+  const Campaign resumed = Campaign::run(resume, model);
+  EXPECT_EQ(resumed.resumed_points(), 9);  // 3 schemes x 3 reps
+  EXPECT_TRUE(resumed.failed_points().empty());
+  expect_identical_points(reference, resumed);
+
+  // A third run resumes everything.
+  const Campaign again = Campaign::run(resume, model);
+  EXPECT_EQ(again.resumed_points(), 12);
+  expect_identical_points(reference, again);
+  std::remove(path.c_str());
+}
+
+TEST(Availability, CheckpointInvalidatedByChangedSpec) {
+  const UniformModel model = small_model();
+  const std::string path =
+      testing::TempDir() + "mbus_campaign_stale.jsonl";
+  std::remove(path.c_str());
+
+  CampaignSpec spec = small_spec();
+  spec.checkpoint_path = path;
+  Campaign::run(spec, model);
+
+  CampaignSpec changed = small_spec();
+  changed.checkpoint_path = path;
+  changed.base_seed = 778;  // different seeds -> stale checkpoint
+  const Campaign rerun = Campaign::run(changed, model);
+  EXPECT_EQ(rerun.resumed_points(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Availability, PointJsonRoundTripsExactly) {
+  CampaignPoint point;
+  point.scheme = "partial-g";
+  point.replication = 7;
+  point.ok = false;
+  point.error = "a \"quoted\"\tmessage\nwith \\ tricky chars";
+  point.healthy_bandwidth = 0.1;
+  point.delivered_bandwidth = 1.0 / 3.0;
+  point.availability = 3.3333333333333335;
+  point.min_window_bandwidth = 2.2250738585072014e-308;
+  point.connectivity = 0.9999999999999999;
+  point.disconnect_cycle = -1;
+
+  CampaignPoint parsed;
+  ASSERT_TRUE(campaign_point_from_json(campaign_point_to_json(point), parsed));
+  EXPECT_EQ(parsed.scheme, point.scheme);
+  EXPECT_EQ(parsed.replication, point.replication);
+  EXPECT_EQ(parsed.ok, point.ok);
+  EXPECT_EQ(parsed.error, point.error);
+  EXPECT_EQ(parsed.healthy_bandwidth, point.healthy_bandwidth);
+  EXPECT_EQ(parsed.delivered_bandwidth, point.delivered_bandwidth);
+  EXPECT_EQ(parsed.availability, point.availability);
+  EXPECT_EQ(parsed.min_window_bandwidth, point.min_window_bandwidth);
+  EXPECT_EQ(parsed.connectivity, point.connectivity);
+  EXPECT_EQ(parsed.disconnect_cycle, point.disconnect_cycle);
+}
+
+TEST(Availability, MalformedCheckpointLinesAreRejected) {
+  CampaignPoint ignored;
+  EXPECT_FALSE(campaign_point_from_json("", ignored));
+  EXPECT_FALSE(campaign_point_from_json("{}", ignored));
+  EXPECT_FALSE(campaign_point_from_json("not json at all", ignored));
+  // A line cut short mid-write (the crash case) must parse as invalid,
+  // not as a half-filled point.
+  CampaignPoint point;
+  point.scheme = "full";
+  point.ok = true;
+  const std::string line = campaign_point_to_json(point);
+  EXPECT_FALSE(
+      campaign_point_from_json(line.substr(0, line.size() / 2), ignored));
+}
+
+TEST(Availability, ValidatesSpec) {
+  const UniformModel model = small_model();
+  CampaignSpec spec = small_spec();
+  spec.replications = 0;
+  EXPECT_THROW(Campaign::run(spec, model), InvalidArgument);
+  spec = small_spec();
+  spec.schemes.clear();
+  EXPECT_THROW(Campaign::run(spec, model), InvalidArgument);
+  spec = small_spec();
+  spec.horizon = 0;
+  EXPECT_THROW(Campaign::run(spec, model), InvalidArgument);
+}
+
+TEST(Availability, UnknownSchemeBecomesPointErrorsNotACrash) {
+  const UniformModel model = small_model();
+  CampaignSpec spec = small_spec();
+  spec.schemes = {"full", "no-such-scheme"};
+  spec.replications = 2;
+  const Campaign campaign = Campaign::run(spec, model);
+  EXPECT_EQ(campaign.failed_points().size(), 2u);
+  for (const CampaignPoint& point : campaign.failed_points()) {
+    EXPECT_EQ(point.scheme, "no-such-scheme");
+    EXPECT_FALSE(point.error.empty());
+  }
+  EXPECT_EQ(campaign.summaries()[1].ok_points, 0);
+  EXPECT_EQ(campaign.summaries()[1].failed_points, 2);
+}
+
+}  // namespace
+}  // namespace mbus

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "util/error.hpp"
 
 namespace mbus {
@@ -101,6 +103,36 @@ TEST(Cli, TypeMismatchQueryThrows) {
   ASSERT_TRUE(parser.parse(1, argv));
   EXPECT_THROW(parser.get_int("r"), InvalidArgument);
   EXPECT_THROW(parser.get_flag("n"), InvalidArgument);
+}
+
+TEST(Cli, RunCliMainPassesThroughTheBodyResult) {
+  char prog[] = "prog";
+  char* argv[] = {prog, nullptr};
+  EXPECT_EQ(run_cli_main(1, argv, [](int, char**) { return 0; }), 0);
+  EXPECT_EQ(run_cli_main(1, argv, [](int, char**) { return 3; }), 3);
+}
+
+TEST(Cli, RunCliMainConvertsExceptionsToExitCodeOne) {
+  char prog[] = "prog";
+  char* argv[] = {prog, nullptr};
+  testing::internal::CaptureStderr();
+  const int from_error = run_cli_main(1, argv, [](int, char**) -> int {
+    MBUS_EXPECTS(false, "bad flag combination");
+    return 0;
+  });
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(from_error, 1);
+  EXPECT_NE(err.find("prog: error: "), std::string::npos);
+  EXPECT_NE(err.find("bad flag combination"), std::string::npos);
+
+  testing::internal::CaptureStderr();
+  const int from_std = run_cli_main(1, argv, [](int, char**) -> int {
+    throw std::runtime_error("disk on fire");
+  });
+  err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(from_std, 1);
+  EXPECT_NE(err.find("prog: unexpected error: disk on fire"),
+            std::string::npos);
 }
 
 }  // namespace

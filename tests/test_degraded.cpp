@@ -159,6 +159,60 @@ TEST(Degraded, FlexibilityClaimKClassVsPartial) {
   }
 }
 
+TEST(Degraded, ModuleMaskDefaultsToAllHealthy) {
+  FullTopology t(8, 8, 4);
+  EXPECT_NEAR(degraded_bandwidth(t, kX, failing(4, {1}),
+                                 std::vector<bool>(8, false)),
+              degraded_bandwidth(t, kX, failing(4, {1})), kTol);
+}
+
+TEST(Degraded, FullLosingModulesShrinksM) {
+  FullTopology t(8, 8, 4);
+  EXPECT_NEAR(degraded_bandwidth(t, kX, none(4), failing(8, {1, 5})),
+              bandwidth_full(6, 4, kX), kTol);
+  EXPECT_NEAR(
+      degraded_bandwidth(t, kX, none(4), std::vector<bool>(8, true)), 0.0,
+      kTol);
+}
+
+TEST(Degraded, SingleLosingAModuleWeakensOneBusTerm) {
+  // Even layout: two modules per bus. Losing one module turns its bus's
+  // term from 1-(1-x)^2 into 1-(1-x)^1, wherever the module sits.
+  auto t = SingleTopology::even(8, 8, 4);
+  const double per_bus2 = 1.0 - std::pow(1.0 - kX, 2.0);
+  const double per_bus1 = kX;
+  EXPECT_NEAR(degraded_bandwidth(t, kX, none(4), failing(8, {4})),
+              3.0 * per_bus2 + per_bus1, kTol);
+}
+
+TEST(Degraded, PartialLosingAModuleShrinksItsGroup) {
+  PartialGTopology t(8, 8, 4, 2);
+  // Module 0's group drops to 3 modules on its 2 buses.
+  EXPECT_NEAR(degraded_bandwidth(t, kX, none(4), failing(8, {0})),
+              bandwidth_full(3, 2, kX) + bandwidth_full(4, 2, kX), kTol);
+}
+
+TEST(Degraded, KClassLosingAModuleShrinksItsClass) {
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  // Even layout assigns modules to classes contiguously: module 0 is in
+  // class 1.
+  EXPECT_NEAR(degraded_bandwidth(t, kX, none(4), failing(8, {0})),
+              bandwidth_k_classes(4, {1, 2, 2, 2}, kX), kTol);
+}
+
+TEST(Degraded, BusAndModuleFaultsCompose) {
+  // Full scheme: 1 failed bus + 2 failed modules = a 6x3 full network.
+  FullTopology t(8, 8, 4);
+  EXPECT_NEAR(
+      degraded_bandwidth(t, kX, failing(4, {2}), failing(8, {0, 7})),
+      bandwidth_full(6, 3, kX), kTol);
+}
+
+TEST(Degraded, ModuleMaskSizeValidated) {
+  FullTopology t(8, 8, 4);
+  EXPECT_THROW(degraded_bandwidth(t, kX, none(4), {true}), InvalidArgument);
+}
+
 TEST(Degraded, ValidatesFailureCount) {
   FullTopology t(8, 8, 4);
   EXPECT_THROW(mean_degraded_bandwidth(t, kX, -1), InvalidArgument);

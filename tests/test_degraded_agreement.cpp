@@ -1,0 +1,176 @@
+// Degraded-mode agreement: the closed-form degraded bandwidth must track
+// the simulator under static bus and module faults for all four schemes,
+// and the engine must survive arbitrary fault timelines.
+#include <gtest/gtest.h>
+
+#include "analysis/degraded.hpp"
+#include "core/system.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault_process.hpp"
+#include "topology/factory.hpp"
+#include "util/rng.hpp"
+
+namespace mbus {
+namespace {
+
+Workload section4(int n, const char* r) {
+  return Workload::hierarchical_nxn(
+      {4, n / 4},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational::parse(r));
+}
+
+SimConfig quick(std::uint64_t seed = 42) {
+  SimConfig cfg;
+  cfg.cycles = 60000;
+  cfg.warmup = 500;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<bool> none(int b) {
+  return std::vector<bool>(static_cast<std::size_t>(b), false);
+}
+
+std::vector<bool> failing(int b, std::initializer_list<int> failed) {
+  std::vector<bool> mask(static_cast<std::size_t>(b), false);
+  for (const int i : failed) mask[static_cast<std::size_t>(i)] = true;
+  return mask;
+}
+
+void expect_sim_tracks_degraded(const Topology& topo, const Workload& w,
+                                const FaultPlan& plan,
+                                const std::vector<bool>& bus_mask,
+                                const std::vector<bool>& module_mask) {
+  SimConfig cfg = quick();
+  cfg.faults = plan;
+  const SimResult r = simulate(topo, w.model(), cfg);
+  const double analytic =
+      degraded_bandwidth(topo, w.request_probability(), bus_mask,
+                         module_mask);
+  ASSERT_GT(analytic, 0.0);
+  EXPECT_NEAR(r.bandwidth / analytic, 1.0, 0.05);
+}
+
+TEST(DegradedAgreement, FullSchemeUnderBusFault) {
+  FullTopology t(8, 8, 4);
+  const auto w = section4(8, "0.5");
+  expect_sim_tracks_degraded(t, w, FaultPlan::static_failures(4, {1}),
+                             failing(4, {1}), none(8));
+}
+
+TEST(DegradedAgreement, SingleSchemeUnderBusFault) {
+  // The single scheme's closed form is per-module, so it needs the
+  // symmetric workload; the hierarchical one skews per-bus populations.
+  auto t = SingleTopology::even(8, 8, 4);
+  const auto w = Workload::uniform(8, 8, BigRational::parse("0.5"));
+  expect_sim_tracks_degraded(t, w, FaultPlan::static_failures(4, {2}),
+                             failing(4, {2}), none(8));
+}
+
+TEST(DegradedAgreement, PartialSchemeUnderBusFault) {
+  PartialGTopology t(8, 8, 4, 2);
+  const auto w = section4(8, "0.5");
+  expect_sim_tracks_degraded(t, w, FaultPlan::static_failures(4, {0}),
+                             failing(4, {0}), none(8));
+}
+
+TEST(DegradedAgreement, KClassSchemeUnderBusFault) {
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  const auto w = section4(8, "0.5");
+  expect_sim_tracks_degraded(t, w, FaultPlan::static_failures(4, {3}),
+                             failing(4, {3}), none(8));
+}
+
+TEST(DegradedAgreement, KClassCutOffClassStillAgrees) {
+  // Failing bus 1 (0-based 0) makes class-1 modules unreachable; both the
+  // closed form and the simulator must price those requests as lost.
+  auto t = KClassTopology::even(8, 8, 4, 4);
+  const auto w = section4(8, "0.5");
+  expect_sim_tracks_degraded(t, w, FaultPlan::static_failures(4, {0}),
+                             failing(4, {0}), none(8));
+}
+
+TEST(DegradedAgreement, ModuleFaultsMatchClosedForm) {
+  FullTopology t(8, 8, 4);
+  const auto w = Workload::uniform(8, 8, BigRational(1));
+  expect_sim_tracks_degraded(
+      t, w, FaultPlan::static_failures(4, {}, 8, {1, 5}), none(4),
+      failing(8, {1, 5}));
+}
+
+TEST(DegradedAgreement, MixedBusAndModuleFaults) {
+  PartialGTopology t(8, 8, 4, 2);
+  const auto w = Workload::uniform(8, 8, BigRational(1));
+  expect_sim_tracks_degraded(
+      t, w, FaultPlan::static_failures(4, {0}, 8, {6}), failing(4, {0}),
+      failing(8, {6}));
+}
+
+TEST(DegradedAgreement, EverythingFailedYieldsZeroWithoutCrashing) {
+  const auto w = Workload::uniform(8, 8, BigRational(1));
+  for (const auto& topo : make_all_schemes(8, 8, 4)) {
+    SimConfig cfg = quick();
+    cfg.cycles = 5000;
+    cfg.faults =
+        FaultPlan::static_failures(4, {0, 1, 2, 3}, 8,
+                                   {0, 1, 2, 3, 4, 5, 6, 7});
+    const SimResult r = simulate(*topo, w.model(), cfg);
+    EXPECT_DOUBLE_EQ(r.bandwidth, 0.0);
+    EXPECT_DOUBLE_EQ(
+        degraded_bandwidth(*topo, w.request_probability(),
+                           {true, true, true, true},
+                           std::vector<bool>(8, true)),
+        0.0);
+  }
+}
+
+TEST(DegradedAgreement, AllModulesFailedYieldsZeroEvenWithHealthyBuses) {
+  FullTopology t(8, 8, 4);
+  const auto w = Workload::uniform(8, 8, BigRational(1));
+  SimConfig cfg = quick();
+  cfg.cycles = 5000;
+  cfg.faults = FaultPlan::static_failures(4, {}, 8,
+                                          {0, 1, 2, 3, 4, 5, 6, 7});
+  const SimResult r = simulate(t, w.model(), cfg);
+  EXPECT_DOUBLE_EQ(r.bandwidth, 0.0);
+}
+
+TEST(DegradedAgreement, FuzzRandomTimelinesNeverCrashOrExceedBuses) {
+  // Randomized fail/repair timelines (bus and module events) across all
+  // four schemes: the engine must neither throw nor report a bandwidth
+  // outside [0, B].
+  const auto w = Workload::uniform(8, 8, BigRational(1));
+  const auto schemes = make_all_schemes(8, 8, 4);
+  Xoshiro256 rng(20260806);
+  for (int iter = 0; iter < 32; ++iter) {
+    const Topology& topo = *schemes[iter % schemes.size()];
+    FaultProcessSpec process;
+    process.bus_mtbf = 1.0 + static_cast<double>(rng.below(400));
+    process.bus_mttr = 1.0 + static_cast<double>(rng.below(150));
+    const bool with_modules = iter % 3 != 0;
+    if (with_modules) {
+      process.module_mtbf = 1.0 + static_cast<double>(rng.below(400));
+      process.module_mttr = 1.0 + static_cast<double>(rng.below(150));
+    }
+    SimConfig cfg;
+    cfg.cycles = 3000;
+    cfg.warmup = 200;
+    cfg.seed = static_cast<std::uint64_t>(iter) + 1;
+    cfg.resubmit_blocked = iter % 2 == 0;
+    cfg.window_cycles = iter % 4 == 0 ? 500 : 0;
+    cfg.faults = generate_fault_timeline(process, 4, with_modules ? 8 : 0,
+                                         cfg.cycles, rng.next());
+    const SimResult r = simulate(topo, w.model(), cfg);
+    EXPECT_GE(r.bandwidth, 0.0) << "iter " << iter;
+    EXPECT_LE(r.bandwidth, 4.0 + 1e-9) << "iter " << iter;
+    for (const double window : r.window_bandwidth) {
+      EXPECT_GE(window, 0.0) << "iter " << iter;
+      EXPECT_LE(window, 4.0 + 1e-9) << "iter " << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbus

@@ -125,6 +125,58 @@ TEST(EngineEdge, RunContinuesRandomStream) {
   EXPECT_NEAR(first.bandwidth, second.bandwidth, 0.05);
 }
 
+TEST(EngineEdge, ModulePlanShapeValidatedAtConstruction) {
+  // Mirrors the bus-count check: a plan sized for a different module
+  // count is rejected when the simulator is built, not mid-run.
+  FullTopology topo(4, 4, 2);
+  UniformModel model(4, 4, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 100;
+  cfg.batches = 10;
+  cfg.faults = FaultPlan::static_failures(2, {}, 5, {0});  // 5 != M = 4
+  EXPECT_THROW(Simulator(topo, model, cfg), InvalidArgument);
+  cfg.faults = FaultPlan::static_failures(2, {}, 4, {0});
+  EXPECT_NO_THROW(Simulator(topo, model, cfg));
+}
+
+TEST(EngineEdge, FaultPlanValidatesModuleEvents) {
+  EXPECT_THROW(FaultPlan::static_failures(2, {}, 4, {4}), InvalidArgument);
+  EXPECT_THROW(FaultPlan::static_failures(2, {}, 4, {-1}), InvalidArgument);
+  EXPECT_THROW(
+      FaultPlan::timeline(2, 4, {{0, 4, true, FaultKind::kModule}}),
+      InvalidArgument);
+  // Module events are meaningless in a bus-only plan.
+  EXPECT_THROW(FaultPlan::timeline(2, {{0, 1, true, FaultKind::kModule}}),
+               InvalidArgument);
+}
+
+TEST(EngineEdge, FailedModuleReceivesNoService) {
+  FullTopology topo(8, 8, 4);
+  UniformModel model(8, 8, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 20000;
+  cfg.faults = FaultPlan::static_failures(4, {}, 8, {3});
+  const SimResult r = simulate(topo, model, cfg);
+  EXPECT_DOUBLE_EQ(r.per_module_service[3], 0.0);
+  EXPECT_GT(r.per_module_service[0], 0.0);
+}
+
+TEST(EngineEdge, ModuleRepairRestoresService) {
+  FullTopology topo(8, 8, 4);
+  UniformModel model(8, 8, BigRational(1));
+  SimConfig cfg;
+  cfg.cycles = 40000;
+  cfg.window_cycles = 20000;
+  cfg.faults = FaultPlan::timeline(
+      4, 8,
+      {{0, 2, true, FaultKind::kModule},
+       {20000, 2, false, FaultKind::kModule}});
+  const SimResult r = simulate(topo, model, cfg);
+  ASSERT_EQ(r.window_bandwidth.size(), 2u);
+  // One module down costs measurable throughput; its repair restores it.
+  EXPECT_LT(r.window_bandwidth[0], r.window_bandwidth[1]);
+}
+
 TEST(EngineEdge, WorkloadRequestProbabilityAtFacade) {
   const auto w = Workload::hierarchical_nxn(
       {4, 2},

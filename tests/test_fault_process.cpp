@@ -1,0 +1,187 @@
+// The stochastic fail/repair process: deterministic timelines, analytic
+// replay (connectivity / time-to-disconnect), and the Monte-Carlo
+// counterpart of Table I's fault-tolerance ordering.
+#include "sim/fault_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+namespace {
+
+FaultProcessSpec both_kinds() {
+  FaultProcessSpec spec;
+  spec.bus_mtbf = 20;
+  spec.bus_mttr = 10;
+  spec.module_mtbf = 30;
+  spec.module_mttr = 15;
+  return spec;
+}
+
+bool same_events(const FaultPlan& a, const FaultPlan& b) {
+  if (a.events().size() != b.events().size()) return false;
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    const FaultEvent& ea = a.events()[i];
+    const FaultEvent& eb = b.events()[i];
+    if (ea.cycle != eb.cycle || ea.component != eb.component ||
+        ea.failed != eb.failed || ea.kind != eb.kind) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(FaultProcess, TimelineIsAPureFunctionOfSeed) {
+  const FaultProcessSpec spec = both_kinds();
+  const FaultPlan a = generate_fault_timeline(spec, 3, 4, 500, 42);
+  const FaultPlan b = generate_fault_timeline(spec, 3, 4, 500, 42);
+  const FaultPlan c = generate_fault_timeline(spec, 3, 4, 500, 43);
+  EXPECT_TRUE(same_events(a, b));
+  EXPECT_FALSE(same_events(a, c));
+  EXPECT_FALSE(a.events().empty());
+}
+
+TEST(FaultProcess, DisabledProcessYieldsEmptyPlan) {
+  FaultProcessSpec spec;  // both MTBFs zero
+  const FaultPlan plan = generate_fault_timeline(spec, 4, 8, 10000, 1);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.num_buses(), 4);
+  EXPECT_EQ(plan.num_modules(), 0);
+}
+
+TEST(FaultProcess, ModuleInfoOnlyWhenModuleFaultsEnabled) {
+  FaultProcessSpec bus_only;
+  bus_only.bus_mtbf = 20;
+  bus_only.bus_mttr = 10;
+  const FaultPlan plan = generate_fault_timeline(bus_only, 3, 8, 500, 7);
+  EXPECT_EQ(plan.num_modules(), 0);
+  for (const FaultEvent& event : plan.events()) {
+    EXPECT_EQ(event.kind, FaultKind::kBus);
+  }
+
+  const FaultPlan with_modules =
+      generate_fault_timeline(both_kinds(), 3, 8, 500, 7);
+  EXPECT_EQ(with_modules.num_modules(), 8);
+  bool saw_module_event = false;
+  for (const FaultEvent& event : with_modules.events()) {
+    saw_module_event |= event.kind == FaultKind::kModule;
+  }
+  EXPECT_TRUE(saw_module_event);
+}
+
+TEST(FaultProcess, EventsSortedInHorizonAndAlternating) {
+  const FaultPlan plan = generate_fault_timeline(both_kinds(), 4, 6, 800, 9);
+  std::int64_t prev_cycle = 0;
+  std::map<std::pair<int, int>, bool> next_failed;  // (kind, index) -> state
+  for (const FaultEvent& event : plan.events()) {
+    EXPECT_GE(event.cycle, prev_cycle);
+    EXPECT_LT(event.cycle, 800);
+    prev_cycle = event.cycle;
+    const std::pair<int, int> key{static_cast<int>(event.kind),
+                                  event.component};
+    if (next_failed.find(key) == next_failed.end()) next_failed[key] = true;
+    // Components start healthy, so each one strictly alternates
+    // fail, repair, fail, ...
+    EXPECT_EQ(event.failed, next_failed[key]);
+    next_failed[key] = !event.failed;
+  }
+}
+
+TEST(FaultProcess, ValidatesRates) {
+  FaultProcessSpec bad;
+  bad.bus_mtbf = 0.5;  // positive but < 1 cycle is meaningless
+  EXPECT_THROW(generate_fault_timeline(bad, 2, 0, 100, 1), InvalidArgument);
+  FaultProcessSpec bad_repair;
+  bad_repair.bus_mtbf = 10;
+  bad_repair.bus_mttr = 0.0;
+  EXPECT_THROW(generate_fault_timeline(bad_repair, 2, 0, 100, 1),
+               InvalidArgument);
+  EXPECT_THROW(generate_fault_timeline(both_kinds(), 0, 0, 100, 1),
+               InvalidArgument);
+  EXPECT_THROW(generate_fault_timeline(both_kinds(), 2, 0, 0, 1),
+               InvalidArgument);
+}
+
+TEST(FaultProcess, CraftedTimelineDisconnectAndConnectivity) {
+  // Full scheme: connected while any bus survives. Both buses are down
+  // exactly during [20, 30).
+  FullTopology topo(4, 4, 2);
+  const FaultPlan plan = FaultPlan::timeline(
+      2, {{10, 0, true}, {20, 1, true}, {30, 0, false}});
+  EXPECT_EQ(first_disconnect_cycle(topo, plan, 100), 20);
+  EXPECT_NEAR(connectivity_fraction(topo, plan, 100), 0.90, 1e-12);
+}
+
+TEST(FaultProcess, SingleSchemeDisconnectsAtFirstBusFailure) {
+  auto topo = SingleTopology::even(4, 4, 2);
+  const FaultPlan plan = FaultPlan::timeline(2, {{5, 1, true}});
+  EXPECT_EQ(first_disconnect_cycle(topo, plan, 10), 5);
+  EXPECT_NEAR(connectivity_fraction(topo, plan, 10), 0.5, 1e-12);
+}
+
+TEST(FaultProcess, HealthyPlanNeverDisconnects) {
+  FullTopology topo(4, 4, 2);
+  EXPECT_EQ(first_disconnect_cycle(topo, FaultPlan(), 1000), -1);
+  EXPECT_NEAR(connectivity_fraction(topo, FaultPlan(), 1000), 1.0, 1e-12);
+}
+
+TEST(FaultProcess, ModuleEventsDoNotAffectConnectivity) {
+  // Module downtime is degraded service, not disconnection.
+  FullTopology topo(4, 4, 2);
+  const FaultPlan plan = FaultPlan::timeline(
+      2, 4, {{5, 2, true, FaultKind::kModule}});
+  EXPECT_EQ(first_disconnect_cycle(topo, plan, 100), -1);
+  EXPECT_NEAR(connectivity_fraction(topo, plan, 100), 1.0, 1e-12);
+}
+
+TEST(FaultProcess, MeanTimeToDisconnectFollowsTableOneOrdering) {
+  // The empirical counterpart of Table I: with B = 8, g = 2, K = 4 the
+  // fault-tolerance degrees are full 7 > k-classes 4 > partial-g 3 >
+  // single 0, and mean time-to-disconnect under a no-repair failure
+  // process must follow the same ordering.
+  FullTopology full(16, 16, 8);
+  auto kc = KClassTopology::even(16, 16, 8, 4);
+  PartialGTopology partial(16, 16, 8, 2);
+  auto single = SingleTopology::even(16, 16, 8);
+  ASSERT_EQ(full.fault_tolerance_degree(), 7);
+  ASSERT_EQ(kc.fault_tolerance_degree(), 4);
+  ASSERT_EQ(partial.fault_tolerance_degree(), 3);
+  ASSERT_EQ(single.fault_tolerance_degree(), 0);
+
+  FaultProcessSpec spec;
+  spec.bus_mtbf = 40;
+  spec.bus_mttr = 1e8;  // effectively no repair within the horizon
+  const std::int64_t horizon = 5000;
+  const int reps = 200;
+
+  const auto mean_ttd = [&](const Topology& topo) {
+    double total = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const FaultPlan plan = generate_fault_timeline(
+          spec, 8, 0, horizon, 1000 + static_cast<std::uint64_t>(rep));
+      const std::int64_t t = first_disconnect_cycle(topo, plan, horizon);
+      total += static_cast<double>(t < 0 ? horizon : t);
+    }
+    return total / reps;
+  };
+
+  const double ttd_full = mean_ttd(full);
+  const double ttd_kc = mean_ttd(kc);
+  const double ttd_partial = mean_ttd(partial);
+  const double ttd_single = mean_ttd(single);
+  EXPECT_GT(ttd_full, ttd_kc);
+  EXPECT_GT(ttd_kc, ttd_partial);
+  EXPECT_GT(ttd_partial, ttd_single);
+  // Sanity anchors: the single scheme dies at the first of 8 failures
+  // (~MTBF/8), the full scheme only when all 8 buses are down.
+  EXPECT_LT(ttd_single, 20.0);
+  EXPECT_GT(ttd_full, 80.0);
+}
+
+}  // namespace
+}  // namespace mbus
