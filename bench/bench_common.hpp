@@ -42,6 +42,9 @@ inline CliParser standard_parser(const std::string& summary) {
       .add_int("replications", 1,
                "independent simulation replications pooled per row")
       .add_flag("no-sim", "skip the Monte-Carlo column")
+      .add_string("engine", "reference",
+                  "simulator cycle loop: 'reference' or 'fast' (bitmask "
+                  "kernel; bit-identical where supported)")
       .add_flag("markdown", "emit markdown instead of text tables");
   return parser;
 }
@@ -52,6 +55,7 @@ struct RowOptions {
   std::uint64_t seed = 12345;
   int threads = 1;
   int replications = 1;
+  EngineKind engine = EngineKind::kReference;
 };
 
 inline RowOptions row_options_from(const CliParser& cli) {
@@ -61,6 +65,7 @@ inline RowOptions row_options_from(const CliParser& cli) {
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   opt.threads = static_cast<int>(cli.get_int("threads"));
   opt.replications = static_cast<int>(cli.get_int("replications"));
+  opt.engine = engine_kind_from_string(cli.get_string("engine"));
   return opt;
 }
 
@@ -74,6 +79,7 @@ inline std::vector<std::string> comparison_cells(
   eval_opt.sim.cycles = opt.cycles;
   eval_opt.sim.seed = opt.seed;
   eval_opt.sim.warmup = 1000;
+  eval_opt.sim.engine = opt.engine;
   eval_opt.parallel.threads = opt.threads;
   eval_opt.parallel.replications = opt.replications;
   const Evaluation e = evaluate(topology, workload, eval_opt);

@@ -51,6 +51,9 @@ int run(int argc, char** argv) {
                "worker threads (0 = all hardware threads); results are "
                "identical at any count")
       .add_int("seed", 12345, "campaign base seed")
+      .add_string("engine", "reference",
+                  "simulator cycle loop: 'reference' or 'fast' (results "
+                  "are identical; 'fast' just evaluates points quicker)")
       .add_string("checkpoint", "",
                   "JSON-lines checkpoint file; rerun with identical flags "
                   "to resume")
@@ -79,6 +82,7 @@ int run(int argc, char** argv) {
   spec.replications = static_cast<int>(cli.get_int("replications"));
   spec.threads = static_cast<int>(cli.get_int("threads"));
   spec.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  spec.engine = engine_kind_from_string(cli.get_string("engine"));
   spec.checkpoint_path = cli.get_string("checkpoint");
 
   const Campaign campaign = Campaign::run(spec, workload.model());

@@ -1,0 +1,194 @@
+// Reference-vs-fast kernel microbenchmark: the repo's machine-readable
+// perf trajectory for the simulator cycle loop.
+//
+// Times both engines across the four connection schemes × {uniform,
+// hierarchical, hotspot} workloads, verifies on the fly that they produce
+// the same bandwidth (the full bit-identity battery lives in
+// tests/test_kernel_parity.cpp), and writes BENCH_kernel.json with
+// cycles/sec per engine, per-case speedup, and the run configuration —
+// plus a human-readable results/kernel_speedup.txt-style table on stdout.
+//
+// Regenerate the checked-in baseline with the `bench` preset (see
+// EXPERIMENTS.md):
+//   cmake --preset bench && cmake --build --preset bench
+//   ./build-bench/bench/microbench_kernel --json BENCH_kernel.json
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "report/table.hpp"
+#include "sim/kernel.hpp"
+#include "util/error.hpp"
+#include "workload/hotspot.hpp"
+
+namespace {
+
+using namespace mbus;
+using namespace mbus::bench;
+
+double seconds_per_run(const Topology& topology, const RequestModel& model,
+                       const SimConfig& config, int repetitions,
+                       double* bandwidth_out) {
+  double best = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const SimResult result = simulate(topology, model, config);
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double>(stop - start).count());
+    *bandwidth_out = result.bandwidth;
+  }
+  return best;
+}
+
+std::string json_number(double value) {
+  std::ostringstream out;
+  out.precision(10);
+  out << value;
+  return out.str();
+}
+
+struct CaseResult {
+  std::string scheme;
+  std::string workload;
+  double reference_cps = 0.0;  // simulated cycles per wall-clock second
+  double fast_cps = 0.0;
+  double speedup = 0.0;
+};
+
+int run(int argc, char** argv) {
+  CliParser cli(
+      "Time the reference vs bitmask-fast simulator kernels across "
+      "schemes and workloads; write BENCH_kernel.json.");
+  cli.add_int("n", 64, "processors and memory modules (N = M, 4 | N)")
+      .add_int("b", 16, "buses (divisor constraints as usual)")
+      .add_int("cycles", 200000, "measured cycles per timed run")
+      .add_int("repetitions", 3,
+               "timed repetitions per case (min taken, robust to load)")
+      .add_int("seed", 12345, "simulation seed")
+      .add_string("r", "1", "per-cycle request rate")
+      .add_string("json", "BENCH_kernel.json",
+                  "output path for the JSON record ('' = skip)")
+      .add_flag("markdown", "emit markdown instead of a text table");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int n = static_cast<int>(cli.get_int("n"));
+  const int b = static_cast<int>(cli.get_int("b"));
+  const std::string rate = cli.get_string("r");
+  const int repetitions = static_cast<int>(cli.get_int("repetitions"));
+
+  SimConfig config;
+  config.cycles = cli.get_int("cycles");
+  config.warmup = 1000;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto total_cycles =
+      static_cast<double>(config.cycles + config.warmup);
+
+  std::vector<std::unique_ptr<Topology>> topologies;
+  topologies.push_back(std::make_unique<FullTopology>(n, n, b));
+  topologies.push_back(
+      std::make_unique<SingleTopology>(SingleTopology::even(n, n, b)));
+  topologies.push_back(std::make_unique<PartialGTopology>(n, n, b, 2));
+  topologies.push_back(
+      std::make_unique<KClassTopology>(KClassTopology::even(n, n, b, b)));
+
+  const Workload uniform = section4_uniform(n, rate);
+  const Workload hierarchical = section4_hierarchical(n, rate);
+  const HotSpotModel hotspot(n, n, 0, BigRational::parse("0.2"),
+                             BigRational::parse(rate));
+  struct NamedModel {
+    std::string name;
+    const RequestModel* model;
+  };
+  const NamedModel workloads[] = {
+      {"uniform", &uniform.model()},
+      {"hierarchical", &hierarchical.model()},
+      {"hotspot", &hotspot},
+  };
+
+  std::vector<CaseResult> results;
+  double min_speedup = 1e300;
+  double log_speedup_sum = 0.0;
+  for (const auto& topo : topologies) {
+    for (const NamedModel& workload : workloads) {
+      CaseResult row;
+      row.scheme = to_string(topo->scheme());
+      row.workload = workload.name;
+      SimConfig cfg = config;
+      double bw_ref = 0.0;
+      double bw_fast = 0.0;
+      cfg.engine = EngineKind::kReference;
+      const double ref_s = seconds_per_run(*topo, *workload.model, cfg,
+                                           repetitions, &bw_ref);
+      cfg.engine = EngineKind::kFast;
+      const double fast_s = seconds_per_run(*topo, *workload.model, cfg,
+                                            repetitions, &bw_fast);
+      MBUS_EXPECTS(bw_ref == bw_fast,
+                   cat("engine mismatch on ", row.scheme, "/", row.workload,
+                       ": reference=", bw_ref, " fast=", bw_fast));
+      row.reference_cps = total_cycles / ref_s;
+      row.fast_cps = total_cycles / fast_s;
+      row.speedup = ref_s / fast_s;
+      min_speedup = std::min(min_speedup, row.speedup);
+      log_speedup_sum += std::log(row.speedup);
+      results.push_back(row);
+    }
+  }
+  const double geomean_speedup =
+      std::exp(log_speedup_sum / static_cast<double>(results.size()));
+
+  Table table({"scheme", "workload", "ref Mcyc/s", "fast Mcyc/s", "speedup"});
+  table.set_title(cat("Kernel microbench — N=M=", n, ", B=", b, ", r=", rate,
+                      ", ", config.cycles, " cycles, best of ", repetitions));
+  table.set_alignment(0, Align::kLeft);
+  table.set_alignment(1, Align::kLeft);
+  for (const CaseResult& row : results) {
+    table.add_row({row.scheme, row.workload,
+                   fmt_fixed(row.reference_cps / 1e6, 2),
+                   fmt_fixed(row.fast_cps / 1e6, 2),
+                   fmt_fixed(row.speedup, 2) + "x"});
+  }
+  table.add_row({"(min)", "-", "-", "-", fmt_fixed(min_speedup, 2) + "x"});
+  table.add_row(
+      {"(geomean)", "-", "-", "-", fmt_fixed(geomean_speedup, 2) + "x"});
+  std::cout << (cli.get_flag("markdown") ? table.to_markdown()
+                                         : table.to_text())
+            << "\n";
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    MBUS_EXPECTS(out.is_open(), cat("cannot open JSON file ", json_path));
+    out << "{\n  \"benchmark\": \"kernel\",\n"
+        << "  \"config\": {\"n\": " << n << ", \"m\": " << n
+        << ", \"b\": " << b << ", \"r\": \"" << rate
+        << "\", \"cycles\": " << config.cycles << ", \"warmup\": "
+        << config.warmup << ", \"seed\": " << config.seed
+        << ", \"repetitions\": " << repetitions << "},\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const CaseResult& row = results[i];
+      out << "    {\"scheme\": \"" << row.scheme << "\", \"workload\": \""
+          << row.workload << "\", \"reference_cycles_per_sec\": "
+          << json_number(row.reference_cps) << ", \"fast_cycles_per_sec\": "
+          << json_number(row.fast_cps) << ", \"speedup\": "
+          << json_number(row.speedup) << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"min_speedup\": " << json_number(min_speedup)
+        << ",\n  \"geomean_speedup\": " << json_number(geomean_speedup)
+        << "\n}\n";
+    std::cout << "JSON record written to " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

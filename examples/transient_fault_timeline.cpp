@@ -43,7 +43,10 @@ int run(int argc, char** argv) {
   cli.add_int("n", 16, "processors and memory modules (N = M, 4 | N)")
       .add_int("b", 8, "buses")
       .add_int("failed-bus", 7, "bus that fails (0-based)")
-      .add_int("window", 5000, "measurement window in cycles");
+      .add_int("window", 5000, "measurement window in cycles")
+      .add_string("engine", "reference",
+                  "simulator cycle loop: 'reference' or 'fast' "
+                  "(bit-identical results)");
   if (!cli.parse(argc, argv)) return 0;
 
   const int n = static_cast<int>(cli.get_int("n"));
@@ -70,6 +73,7 @@ int run(int argc, char** argv) {
     SimConfig cfg;
     cfg.cycles = cycles;
     cfg.window_cycles = window;
+    cfg.engine = engine_kind_from_string(cli.get_string("engine"));
     cfg.faults = FaultPlan::timeline(
         b, {{5 * window, victim, true}, {15 * window, victim, false}});
     const SimResult r = simulate(*topo, w.model(), cfg);

@@ -28,8 +28,12 @@ int run(int argc, char** argv) {
       .add_int("cycles", 100000, "Monte-Carlo cycles per point")
       .add_int("threads", 1,
                "worker threads for replications (0 = all hardware threads)")
-      .add_int("replications", 1, "independent replications pooled per point");
+      .add_int("replications", 1, "independent replications pooled per point")
+      .add_string("engine", "reference",
+                  "simulator cycle loop: 'reference' or 'fast' "
+                  "(bit-identical results)");
   if (!cli.parse(argc, argv)) return 0;
+  const EngineKind engine = engine_kind_from_string(cli.get_string("engine"));
 
   const int n = static_cast<int>(cli.get_int("n"));
   const int b = static_cast<int>(cli.get_int("b"));
@@ -55,6 +59,7 @@ int run(int argc, char** argv) {
       EvaluationOptions opt;
       opt.simulate = true;
       opt.sim.cycles = cli.get_int("cycles");
+      opt.sim.engine = engine;
       opt.parallel.threads = static_cast<int>(cli.get_int("threads"));
       opt.parallel.replications =
           static_cast<int>(cli.get_int("replications"));
@@ -93,6 +98,7 @@ int run(int argc, char** argv) {
     EvaluationOptions opt;
     opt.simulate = true;
     opt.sim.cycles = cli.get_int("cycles");
+    opt.sim.engine = engine;
     const Evaluation e = evaluate(*topo, w, opt);
     const double gap = (e.simulation->bandwidth - e.analytic_bandwidth) /
                        e.analytic_bandwidth * 100.0;

@@ -203,6 +203,10 @@ void evaluate_point(const CampaignSpec& spec, const RequestModel& model,
   config.seed = derive_stream_seed(spec.base_seed, cat(scheme, "/sim"),
                                    spec.buses, replication);
   config.faults = plan;
+  // Engine choice is deliberately absent from the checkpoint fingerprint:
+  // the kernel parity suite proves both engines produce identical points,
+  // so a campaign may resume under either.
+  config.engine = spec.engine;
   const SimResult result = simulate(*topology, model, config);
 
   point.delivered_bandwidth = result.bandwidth;
@@ -376,7 +380,11 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
       });
     }
   }
-  run_parallel(std::move(tasks), spec.threads);
+  if (spec.pool != nullptr) {
+    run_parallel(std::move(tasks), *spec.pool);
+  } else {
+    run_parallel(std::move(tasks), spec.threads);
+  }
 
   // Per-scheme summaries, in spec order; means are over ok points only.
   out.summaries_.reserve(num_schemes);

@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "report/table.hpp"
+#include "sim/engine.hpp"
 #include "sim/fault_process.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/request_model.hpp"
 
 namespace mbus {
@@ -60,8 +62,20 @@ struct CampaignSpec {
 
   int replications = 8;
   /// Worker threads (ParallelOptions semantics: 1 = serial, 0 = hardware).
+  /// Ignored when `pool` is set.
   int threads = 1;
+  /// Optional caller-owned worker pool. When non-null, all campaign
+  /// points run on this pool and `threads` is ignored — callers running
+  /// several campaigns (parameter sweeps over MTBF/MTTR, per-scheme
+  /// studies) reuse one pool instead of spawning/joining threads per
+  /// campaign. Results are identical either way.
+  ThreadPool* pool = nullptr;
   std::uint64_t base_seed = 12345;
+
+  /// Simulator cycle loop (sim/kernel.hpp); results are engine-invariant
+  /// (proven bit-identical by the kernel parity suite), so this only
+  /// changes how fast points evaluate.
+  EngineKind engine = EngineKind::kReference;
 
   /// JSON-lines checkpoint file; empty disables checkpointing. Completed
   /// points are appended as they finish and skipped on the next run.

@@ -41,12 +41,25 @@ BigUint falling_factorial(std::uint64_t n, std::uint64_t k) {
   return result;
 }
 
+double log_factorial(std::uint64_t n) {
+  // Covers every N the analysis layer evaluates (paper tables stop at
+  // N = 1024); larger arguments fall through to lgamma directly.
+  constexpr std::uint64_t kCached = 4096;
+  static const std::vector<double> table = [] {
+    std::vector<double> t(kCached + 1);
+    for (std::uint64_t i = 0; i <= kCached; ++i) {
+      t[i] = std::lgamma(static_cast<double>(i) + 1.0);
+    }
+    return t;
+  }();
+  if (n <= kCached) return table[n];
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
 double log_binomial(std::uint64_t n, std::uint64_t k) {
   if (k > n) return -std::numeric_limits<double>::infinity();
   if (k == 0 || k == n) return 0.0;
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
 }
 
 double binomial_double(std::uint64_t n, std::uint64_t k) {

@@ -29,7 +29,15 @@ BigUint falling_factorial(std::uint64_t n, std::uint64_t k);
 /// exactness is not required; accurate to ~1e-14 relative for n <= 1024.
 double binomial_double(std::uint64_t n, std::uint64_t k);
 
-/// log C(n, k) (natural log); -inf when k > n.
+/// log(n!) = lgamma(n + 1), memoized in a shared table for n <= 4096 so
+/// the bandwidth/degraded hot loops (which rebuild binomial PMFs per
+/// failure pattern) stop paying an lgamma per coefficient. Thread-safe
+/// (table built once under the magic-static guard); bit-identical to
+/// calling lgamma directly.
+double log_factorial(std::uint64_t n);
+
+/// log C(n, k) (natural log); -inf when k > n. Served from the memoized
+/// log_factorial table.
 double log_binomial(std::uint64_t n, std::uint64_t k);
 
 }  // namespace mbus

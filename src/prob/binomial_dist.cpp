@@ -15,21 +15,27 @@ BinomialDistribution::BinomialDistribution(std::int64_t n, double p)
   pmf_.assign(static_cast<std::size_t>(n) + 1, 0.0);
   if (p == 0.0) {
     pmf_[0] = 1.0;
-    return;
-  }
-  if (p == 1.0) {
+  } else if (p == 1.0) {
     pmf_.back() = 1.0;
-    return;
+  } else {
+    const double log_p = std::log(p);
+    const double log_q = std::log1p(-p);
+    for (std::int64_t i = 0; i <= n; ++i) {
+      const double log_term =
+          log_binomial(static_cast<std::uint64_t>(n),
+                       static_cast<std::uint64_t>(i)) +
+          static_cast<double>(i) * log_p +
+          static_cast<double>(n - i) * log_q;
+      pmf_[static_cast<std::size_t>(i)] = std::exp(log_term);
+    }
   }
-  const double log_p = std::log(p);
-  const double log_q = std::log1p(-p);
-  for (std::int64_t i = 0; i <= n; ++i) {
-    const double log_term =
-        log_binomial(static_cast<std::uint64_t>(n),
-                     static_cast<std::uint64_t>(i)) +
-        static_cast<double>(i) * log_p +
-        static_cast<double>(n - i) * log_q;
-    pmf_[static_cast<std::size_t>(i)] = std::exp(log_term);
+  // Prefix sums accumulated in the same ascending order the old per-call
+  // cdf() loop used, so every cdf value stays bit-identical.
+  cdf_.resize(pmf_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    acc += pmf_[i];
+    cdf_[i] = acc;
   }
 }
 
@@ -45,11 +51,7 @@ double BinomialDistribution::pmf(std::int64_t i) const {
 double BinomialDistribution::cdf(std::int64_t i) const {
   if (i < 0) return 0.0;
   if (i >= n_) return 1.0;
-  double acc = 0.0;
-  for (std::int64_t j = 0; j <= i; ++j) {
-    acc += pmf_[static_cast<std::size_t>(j)];
-  }
-  return acc;
+  return cdf_[static_cast<std::size_t>(i)];
 }
 
 double BinomialDistribution::expected_excess_over(std::int64_t b) const {

@@ -27,7 +27,10 @@ class BinomialDistribution {
   /// P(I == i); zero outside [0, n].
   double pmf(std::int64_t i) const;
 
-  /// P(I <= i); 0 below 0, 1 at and above n.
+  /// P(I <= i); 0 below 0, 1 at and above n. O(1): served from a prefix
+  /// table built alongside the PMF (the k-classes idle products call this
+  /// once per (bus, class) pair, which was quadratic when each call
+  /// re-summed the PMF).
   double cdf(std::int64_t i) const;
 
   /// Σ_{i > b} (i − b) · P(I == i)  — the expected number of requests that
@@ -45,6 +48,7 @@ class BinomialDistribution {
   std::int64_t n_;
   double p_;
   std::vector<double> pmf_;
+  std::vector<double> cdf_;  // cdf_[i] = pmf_[0] + … + pmf_[i]
 };
 
 }  // namespace mbus

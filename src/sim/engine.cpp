@@ -3,11 +3,24 @@
 #include <algorithm>
 
 #include "sim/bus_assign.hpp"
+#include "sim/kernel.hpp"
 #include "util/alias_sampler.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 
 namespace mbus {
+
+std::string to_string(EngineKind kind) {
+  return kind == EngineKind::kFast ? "fast" : "reference";
+}
+
+EngineKind engine_kind_from_string(const std::string& name) {
+  if (name == "fast") return EngineKind::kFast;
+  if (name == "reference" || name == "ref") return EngineKind::kReference;
+  MBUS_EXPECTS(false, cat("unknown engine kind '", name,
+                          "' (expected 'reference' or 'fast')"));
+  return EngineKind::kReference;
+}
 
 Simulator::Simulator(const Topology& topology, const RequestModel& model,
                      SimConfig config)
@@ -39,6 +52,14 @@ Simulator::Simulator(const Topology& topology, const RequestModel& model,
 }
 
 SimResult Simulator::run() {
+  if (config_.engine == EngineKind::kFast &&
+      fast_kernel_supported(topology_, config_)) {
+    return run_fast_kernel(topology_, model_, config_, rng_);
+  }
+  return run_reference();
+}
+
+SimResult Simulator::run_reference() {
   const int n = topology_.num_processors();
   const int m = topology_.num_memories();
   const int num_buses = topology_.num_buses();

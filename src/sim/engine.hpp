@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "sim/arbiter.hpp"
 #include "sim/fault.hpp"
@@ -31,6 +32,23 @@
 #include "workload/request_model.hpp"
 
 namespace mbus {
+
+/// Which cycle-loop implementation the simulator runs.
+///
+///   * kReference — the scalar per-processor/per-module loops above; the
+///     semantic ground truth.
+///   * kFast      — the structure-of-arrays bitmask kernel
+///     (sim/kernel.hpp). Bit-identical to the reference for the same seed
+///     whenever fast_kernel_supported() holds (N, M, B <= 64, no trace);
+///     unsupported configurations silently fall back to the reference
+///     engine, so results never depend on which kind was requested.
+enum class EngineKind { kReference, kFast };
+
+/// "reference" or "fast" (the --engine CLI vocabulary).
+std::string to_string(EngineKind kind);
+
+/// Parse "reference"/"ref" or "fast"; throws InvalidArgument otherwise.
+EngineKind engine_kind_from_string(const std::string& name);
 
 struct SimConfig {
   /// Measured cycles (after warmup).
@@ -62,6 +80,10 @@ struct SimConfig {
   /// Optional event trace (non-owning; must outlive the run). Grant and
   /// blocked events of measured cycles are recorded.
   TraceBuffer* trace = nullptr;
+  /// Cycle-loop implementation. kFast silently falls back to the
+  /// reference loop when fast_kernel_supported() is false for this
+  /// configuration, so results never depend on which kind was requested.
+  EngineKind engine = EngineKind::kReference;
 };
 
 class Simulator {
@@ -76,6 +98,8 @@ class Simulator {
   SimResult run();
 
  private:
+  SimResult run_reference();
+
   const Topology& topology_;
   const RequestModel& model_;
   SimConfig config_;

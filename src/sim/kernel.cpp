@@ -1,0 +1,580 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/alias_sampler.hpp"
+#include "util/error.hpp"
+
+namespace mbus {
+
+namespace {
+
+using u64 = std::uint64_t;
+
+inline int ctz(u64 x) noexcept { return std::countr_zero(x); }
+inline int popcount(u64 x) noexcept { return std::popcount(x); }
+
+/// Bits of `mask` at positions >= k. `k` may exceed 63 (round-robin
+/// pointers run up to one past the highest component id).
+inline u64 bits_ge(u64 mask, int k) noexcept {
+  return k >= 64 ? 0ULL : (mask >> k) << k;
+}
+
+/// Position of the (k+1)-th lowest set bit; `mask` must have > k set bits.
+inline int kth_set_bit(u64 mask, u64 k) noexcept {
+  while (k-- > 0) mask &= mask - 1;
+  return ctz(mask);
+}
+
+/// All-ones over bit positions [0, count), count <= 64.
+inline u64 low_mask(int count) noexcept {
+  return count >= 64 ? ~0ULL : (1ULL << count) - 1;
+}
+
+}  // namespace
+
+bool fast_kernel_supported(const Topology& topology,
+                           const SimConfig& config) noexcept {
+  return topology.num_processors() <= 64 && topology.num_memories() <= 64 &&
+         topology.num_buses() <= 64 && config.trace == nullptr &&
+         config.transfer_cycles <= 4096;
+}
+
+SimResult run_fast_kernel(const Topology& topology, const RequestModel& model,
+                          const SimConfig& config, Xoshiro256& rng) {
+  MBUS_ASSERT(fast_kernel_supported(topology, config),
+              "fast kernel invoked on an unsupported configuration");
+  const int n = topology.num_processors();
+  const int m = topology.num_memories();
+  const int num_buses = topology.num_buses();
+  const double r = model.request_rate();
+  const std::int64_t transfer = config.transfer_cycles;
+  const bool dynamic_mask = transfer > 1;
+  const bool resubmit = config.resubmit_blocked;
+  const Scheme scheme = topology.scheme();
+
+  // Destination sampling: the per-processor alias tables flattened into
+  // contiguous rows; draws below replicate AliasSampler::sample exactly.
+  std::vector<double> accept(static_cast<std::size_t>(n) *
+                             static_cast<std::size_t>(m));
+  std::vector<std::uint32_t> alias(accept.size());
+  for (int p = 0; p < n; ++p) {
+    const AliasSampler sampler(model.fraction_row(p));
+    const auto base = static_cast<std::ptrdiff_t>(p) * m;
+    std::copy(sampler.acceptance().begin(), sampler.acceptance().end(),
+              accept.begin() + base);
+    std::copy(sampler.aliases().begin(), sampler.aliases().end(),
+              alias.begin() + base);
+  }
+
+  // Scheme wiring, flattened to masks.
+  std::vector<int> bus_of_module;                // single
+  int groups = 0;                                // partial-g
+  int mpg = 0;
+  std::vector<u64> group_modules;
+  std::vector<u64> group_buses;
+  int num_classes = 0;                           // k-classes
+  std::vector<u64> class_modules;
+  std::vector<int> top_bus_of_class;
+  switch (scheme) {
+    case Scheme::kFull:
+      break;
+    case Scheme::kSingle: {
+      const auto& topo = dynamic_cast<const SingleTopology&>(topology);
+      bus_of_module.resize(static_cast<std::size_t>(m));
+      for (int mod = 0; mod < m; ++mod) {
+        bus_of_module[static_cast<std::size_t>(mod)] =
+            topo.bus_of_module(mod);
+      }
+      break;
+    }
+    case Scheme::kPartialG: {
+      const auto& topo = dynamic_cast<const PartialGTopology&>(topology);
+      groups = topo.groups();
+      mpg = topo.modules_per_group();
+      const int bpg = topo.buses_per_group();
+      group_modules.resize(static_cast<std::size_t>(groups));
+      group_buses.resize(static_cast<std::size_t>(groups));
+      for (int g = 0; g < groups; ++g) {
+        group_modules[static_cast<std::size_t>(g)] = low_mask(mpg)
+                                                     << (g * mpg);
+        group_buses[static_cast<std::size_t>(g)] = low_mask(bpg) << (g * bpg);
+      }
+      break;
+    }
+    case Scheme::kKClasses: {
+      const auto& topo = dynamic_cast<const KClassTopology&>(topology);
+      num_classes = topo.num_classes();
+      class_modules.assign(static_cast<std::size_t>(num_classes), 0);
+      top_bus_of_class.resize(static_cast<std::size_t>(num_classes));
+      for (int mod = 0; mod < m; ++mod) {
+        class_modules[static_cast<std::size_t>(topo.class_of_module(mod) -
+                                               1)] |= 1ULL << mod;
+      }
+      for (int j = 1; j <= num_classes; ++j) {
+        top_bus_of_class[static_cast<std::size_t>(j - 1)] =
+            topo.buses_of_class(j) - 1;
+      }
+      break;
+    }
+  }
+
+  // Fault state as AND-able masks.
+  u64 bus_failed = 0;
+  u64 module_failed = 0;
+  if (!config.faults.empty()) {
+    const std::vector<bool>& init = config.faults.initial_mask();
+    for (int b = 0; b < num_buses; ++b) {
+      if (init[static_cast<std::size_t>(b)]) bus_failed |= 1ULL << b;
+    }
+  }
+  if (config.faults.num_modules() > 0) {
+    const std::vector<bool>& init = config.faults.initial_module_mask();
+    for (int mod = 0; mod < m; ++mod) {
+      if (init[static_cast<std::size_t>(mod)]) module_failed |= 1ULL << mod;
+    }
+  }
+  std::size_t next_event = 0;
+  const auto& events = config.faults.events();
+
+  // Multi-cycle transfer occupancy: a grant in cycle c occupies its bus
+  // and module through cycle c+T-1; the release ring clears the busy bits
+  // at the start of cycle c+T (slot (c+T) mod T == c mod T).
+  u64 bus_busy = 0;
+  u64 module_busy = 0;
+  std::vector<u64> bus_release;
+  std::vector<u64> module_release;
+  if (dynamic_mask) {
+    bus_release.assign(static_cast<std::size_t>(transfer), 0);
+    module_release.assign(static_cast<std::size_t>(transfer), 0);
+  }
+
+  // Arbitration pointers (same initial values as the reference policies).
+  int full_pointer = 0;
+  std::vector<int> mem_rr(static_cast<std::size_t>(m), 0);
+  std::vector<int> single_rr(static_cast<std::size_t>(num_buses), 0);
+  std::vector<int> pg_pointer(static_cast<std::size_t>(groups), 0);
+  std::vector<int> class_pointer(static_cast<std::size_t>(num_classes), 0);
+  std::vector<int> kbus_pointer(static_cast<std::size_t>(num_buses), 0);
+
+  // Per-cycle scratch.
+  std::vector<u64> req_of_module(static_cast<std::size_t>(m), 0);
+  std::vector<int> winner_of_module(static_cast<std::size_t>(m), 0);
+  std::vector<u64> bus_cand(static_cast<std::size_t>(num_buses), 0);
+  std::vector<int> kclass_cand(
+      static_cast<std::size_t>(num_buses) *
+      static_cast<std::size_t>(std::max(num_classes, 1)));
+  std::vector<int> kclass_cand_count(static_cast<std::size_t>(num_buses), 0);
+  std::vector<std::int64_t> issue_cycle(static_cast<std::size_t>(n), -1);
+  std::vector<int> pending_dest(static_cast<std::size_t>(n), -1);
+  u64 pending = 0;  // resubmission
+  int grant_module[64];
+  int grant_bus[64];
+
+  // Accumulators (identical arithmetic to the reference loop).
+  std::vector<std::int64_t> proc_granted(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> module_served(static_cast<std::size_t>(m), 0);
+  std::vector<std::int64_t> service_histogram;
+  std::int64_t issued_total = 0;
+  std::int64_t blocked_total = 0;
+  std::int64_t served_total = 0;
+  std::int64_t latency_total = 0;
+  std::int64_t latency_grants = 0;
+  std::int64_t busy_bus_cycles = 0;
+
+  RunningStats batch_stats;
+  std::vector<double> batch_means;
+  const std::int64_t batch_size =
+      std::max<std::int64_t>(1, config.cycles / config.batches);
+  std::int64_t batch_served = 0;
+  std::int64_t batch_cycles = 0;
+  std::vector<double> window_bandwidth;
+  std::int64_t window_served = 0;
+  std::int64_t window_cycles_seen = 0;
+
+  const std::int64_t total_cycles = config.warmup + config.cycles;
+  for (std::int64_t cycle = 0; cycle < total_cycles; ++cycle) {
+    // Fault timeline (timed relative to measured cycles; warmup excluded).
+    while (next_event < events.size() &&
+           events[next_event].cycle <= cycle - config.warmup) {
+      const FaultEvent& event = events[next_event];
+      const u64 bit = 1ULL << event.component;
+      if (event.kind == FaultKind::kBus) {
+        bus_failed = event.failed ? bus_failed | bit : bus_failed & ~bit;
+      } else {
+        module_failed =
+            event.failed ? module_failed | bit : module_failed & ~bit;
+      }
+      ++next_event;
+    }
+
+    // Release finished transfers.
+    u64 busy_pre = 0;
+    if (dynamic_mask) {
+      const auto slot = static_cast<std::size_t>(cycle % transfer);
+      bus_busy &= ~bus_release[slot];
+      module_busy &= ~module_release[slot];
+      bus_release[slot] = 0;
+      module_release[slot] = 0;
+      busy_pre = bus_busy;
+    }
+    const u64 bus_unavail = bus_failed | bus_busy;
+    const u64 blocked_modules = module_failed | module_busy;
+
+    // 1. Request generation — the reference draw sequence verbatim.
+    // bernoulli(p >= 1) early-outs without consuming a draw, so at
+    // saturation the call is skipped outright (identical RNG state).
+    const bool always_request = r >= 1.0;
+    u64 requesting = 0;
+    std::int64_t issued = 0;
+    for (int p = 0; p < n; ++p) {
+      const u64 pbit = 1ULL << p;
+      int dest;
+      if (resubmit && (pending & pbit) != 0) {
+        dest = pending_dest[static_cast<std::size_t>(p)];
+      } else if (always_request || rng.bernoulli(r)) {
+        const auto col = static_cast<std::size_t>(
+            rng.below(static_cast<u64>(m)));
+        const std::size_t cell = static_cast<std::size_t>(p) *
+                                     static_cast<std::size_t>(m) +
+                                 col;
+        dest = rng.uniform01() < accept[cell]
+                   ? static_cast<int>(col)
+                   : static_cast<int>(alias[cell]);
+        issue_cycle[static_cast<std::size_t>(p)] = cycle;
+      } else {
+        continue;
+      }
+      ++issued;
+      if (resubmit) {
+        pending |= pbit;
+        pending_dest[static_cast<std::size_t>(p)] = dest;
+      }
+      const u64 dbit = 1ULL << dest;
+      // Failed or still-transferring module: blocked outright; with
+      // resubmission the processor retries every cycle until repair.
+      if ((blocked_modules & dbit) != 0) continue;
+      req_of_module[static_cast<std::size_t>(dest)] |= pbit;
+      requesting |= dbit;
+    }
+
+    // 2. Stage-one (memory) arbitration, ascending module order.
+    // below(1) consumes nothing, so a lone requester needs no RNG call;
+    // the reference pays that call's overhead, we branch on the mask.
+    const bool mem_random =
+        config.memory_arbitration == ArbitrationPolicy::kRandom;
+    for (u64 rm = requesting; rm != 0; rm &= rm - 1) {
+      const int mod = ctz(rm);
+      const u64 requesters = req_of_module[static_cast<std::size_t>(mod)];
+      req_of_module[static_cast<std::size_t>(mod)] = 0;
+      int winner;
+      if (mem_random) {
+        winner =
+            (requesters & (requesters - 1)) == 0
+                ? ctz(requesters)
+                : kth_set_bit(requesters, rng.below(static_cast<u64>(
+                                              popcount(requesters))));
+      } else {
+        const u64 ge =
+            bits_ge(requesters, mem_rr[static_cast<std::size_t>(mod)]);
+        winner = ge != 0 ? ctz(ge) : ctz(requesters);
+        mem_rr[static_cast<std::size_t>(mod)] = winner + 1;
+      }
+      winner_of_module[static_cast<std::size_t>(mod)] = winner;
+    }
+
+    // 3. Stage-two (bus) assignment.
+    int served = 0;
+    switch (scheme) {
+      case Scheme::kFull: {
+        u64 bm = low_mask(num_buses) & ~bus_unavail;
+        const int capacity = popcount(bm);
+        const int count = popcount(requesting);
+        if (count <= capacity) {
+          for (u64 rm = requesting; rm != 0; rm &= rm - 1) {
+            grant_module[served] = ctz(rm);
+            grant_bus[served] = ctz(bm);
+            bm &= bm - 1;
+            ++served;
+          }
+        } else {
+          // Round-robin B-out-of-M: cyclically from the pointer; the
+          // pointer advances one past the last pick (or by one when no
+          // bus was available, matching pick_round_robin's take == 0).
+          int last = full_pointer;
+          u64 cur = bits_ge(requesting, full_pointer);
+          u64 wrapped = requesting ^ cur;
+          while (served < capacity) {
+            if (cur == 0) {
+              cur = wrapped;
+              wrapped = 0;
+            }
+            const int mod = ctz(cur);
+            cur &= cur - 1;
+            grant_module[served] = mod;
+            grant_bus[served] = ctz(bm);
+            bm &= bm - 1;
+            last = mod;
+            ++served;
+          }
+          full_pointer = (last + 1) % m;
+        }
+        break;
+      }
+      case Scheme::kSingle: {
+        u64 used = 0;
+        for (u64 rm = requesting; rm != 0; rm &= rm - 1) {
+          const int mod = ctz(rm);
+          const int b = bus_of_module[static_cast<std::size_t>(mod)];
+          if ((bus_unavail >> b & 1ULL) == 0) {
+            bus_cand[static_cast<std::size_t>(b)] |= 1ULL << mod;
+            used |= 1ULL << b;
+          }
+        }
+        for (u64 um = used; um != 0; um &= um - 1) {
+          const int b = ctz(um);
+          const u64 cand = bus_cand[static_cast<std::size_t>(b)];
+          bus_cand[static_cast<std::size_t>(b)] = 0;
+          int winner;
+          if (config.bus_arbitration == ArbitrationPolicy::kRandom) {
+            winner = (cand & (cand - 1)) == 0
+                         ? ctz(cand)
+                         : kth_set_bit(cand, rng.below(static_cast<u64>(
+                                                 popcount(cand))));
+          } else {
+            const u64 ge =
+                bits_ge(cand, single_rr[static_cast<std::size_t>(b)]);
+            winner = ge != 0 ? ctz(ge) : ctz(cand);
+            single_rr[static_cast<std::size_t>(b)] = winner + 1;
+          }
+          grant_module[served] = winner;
+          grant_bus[served] = b;
+          ++served;
+        }
+        break;
+      }
+      case Scheme::kPartialG: {
+        for (int g = 0; g < groups; ++g) {
+          const u64 greq =
+              requesting & group_modules[static_cast<std::size_t>(g)];
+          if (greq == 0) continue;
+          u64 bm = group_buses[static_cast<std::size_t>(g)] & ~bus_unavail;
+          const int capacity = popcount(bm);
+          const int count = popcount(greq);
+          if (count <= capacity) {
+            for (u64 rm = greq; rm != 0; rm &= rm - 1) {
+              grant_module[served] = ctz(rm);
+              grant_bus[served] = ctz(bm);
+              bm &= bm - 1;
+              ++served;
+            }
+          } else {
+            int pointer = pg_pointer[static_cast<std::size_t>(g)];
+            int last = pointer;
+            u64 cur = bits_ge(greq, pointer);
+            u64 wrapped = greq ^ cur;
+            for (int take = capacity; take > 0; --take) {
+              if (cur == 0) {
+                cur = wrapped;
+                wrapped = 0;
+              }
+              const int mod = ctz(cur);
+              cur &= cur - 1;
+              grant_module[served] = mod;
+              grant_bus[served] = ctz(bm);
+              bm &= bm - 1;
+              last = mod;
+              ++served;
+            }
+            // Pointer lives in the group's module range; a wrap past the
+            // top restarts at the group base.
+            pointer = (last + 1) % ((g + 1) * mpg);
+            if (pointer < g * mpg) pointer = g * mpg;
+            pg_pointer[static_cast<std::size_t>(g)] = pointer;
+          }
+        }
+        break;
+      }
+      case Scheme::kKClasses: {
+        // Step 1: each class assigns its requesting modules (round-robin
+        // over module ids) to its available buses, highest index first.
+        u64 used = 0;
+        for (int j = 0; j < num_classes; ++j) {
+          const u64 creq =
+              requesting & class_modules[static_cast<std::size_t>(j)];
+          if (creq == 0) continue;
+          u64 bm = low_mask(top_bus_of_class[static_cast<std::size_t>(j)] +
+                            1) &
+                   ~bus_unavail;
+          int take = std::min(popcount(bm), popcount(creq));
+          if (take == 0) continue;
+          int pointer = class_pointer[static_cast<std::size_t>(j)];
+          int last = pointer;
+          u64 cur = bits_ge(creq, pointer);
+          u64 wrapped = creq ^ cur;
+          while (take-- > 0) {
+            if (cur == 0) {
+              cur = wrapped;
+              wrapped = 0;
+            }
+            const int mod = ctz(cur);
+            cur &= cur - 1;
+            const int b = 63 - std::countl_zero(bm);
+            bm &= ~(1ULL << b);
+            kclass_cand[static_cast<std::size_t>(b) *
+                            static_cast<std::size_t>(num_classes) +
+                        static_cast<std::size_t>(
+                            kclass_cand_count[static_cast<std::size_t>(b)])] =
+                mod;
+            ++kclass_cand_count[static_cast<std::size_t>(b)];
+            used |= 1ULL << b;
+            last = mod;
+          }
+          class_pointer[static_cast<std::size_t>(j)] = (last + 1) % m;
+        }
+        // Step 2: every bus grants one of its candidates (at most one per
+        // class, pushed in class order — the order the random policy
+        // indexes into).
+        for (u64 um = used; um != 0; um &= um - 1) {
+          const int b = ctz(um);
+          int* cand = kclass_cand.data() +
+                      static_cast<std::size_t>(b) *
+                          static_cast<std::size_t>(num_classes);
+          const int count = kclass_cand_count[static_cast<std::size_t>(b)];
+          kclass_cand_count[static_cast<std::size_t>(b)] = 0;
+          int winner;
+          if (config.bus_arbitration == ArbitrationPolicy::kRandom) {
+            winner =
+                count == 1 ? cand[0] : cand[rng.below(static_cast<u64>(count))];
+          } else {
+            std::sort(cand, cand + count);
+            winner = cand[0];
+            for (int i = 0; i < count; ++i) {
+              if (cand[i] >= kbus_pointer[static_cast<std::size_t>(b)]) {
+                winner = cand[i];
+                break;
+              }
+            }
+            kbus_pointer[static_cast<std::size_t>(b)] = winner + 1;
+          }
+          grant_module[served] = winner;
+          grant_bus[served] = b;
+          ++served;
+        }
+        break;
+      }
+    }
+
+    // 4. Completion bookkeeping.
+    const auto served_count = static_cast<std::int64_t>(served);
+    const bool measuring = cycle >= config.warmup;
+    for (int i = 0; i < served; ++i) {
+      const int mod = grant_module[i];
+      const int winner = winner_of_module[static_cast<std::size_t>(mod)];
+      if (resubmit) pending &= ~(1ULL << winner);
+      if (dynamic_mask) {
+        const auto slot = static_cast<std::size_t>(cycle % transfer);
+        bus_busy |= 1ULL << grant_bus[i];
+        module_busy |= 1ULL << mod;
+        bus_release[slot] |= 1ULL << grant_bus[i];
+        module_release[slot] |= 1ULL << mod;
+      }
+      if (measuring) {
+        ++proc_granted[static_cast<std::size_t>(winner)];
+        ++module_served[static_cast<std::size_t>(mod)];
+        latency_total +=
+            cycle - issue_cycle[static_cast<std::size_t>(winner)] + 1;
+        ++latency_grants;
+      }
+    }
+    if (!measuring) continue;
+    issued_total += issued;
+    blocked_total += issued - served_count;
+    served_total += served_count;
+    // Busy buses: fresh grants plus healthy buses still carrying a
+    // transfer that started in an earlier cycle.
+    std::int64_t carrying = served_count;
+    if (dynamic_mask) carrying += popcount(busy_pre & ~bus_failed);
+    busy_bus_cycles += carrying;
+
+    if (static_cast<std::size_t>(served_count) >= service_histogram.size()) {
+      service_histogram.resize(static_cast<std::size_t>(served_count) + 1,
+                               0);
+    }
+    ++service_histogram[static_cast<std::size_t>(served_count)];
+
+    batch_served += served_count;
+    if (++batch_cycles == batch_size) {
+      const double batch_mean = static_cast<double>(batch_served) /
+                                static_cast<double>(batch_cycles);
+      batch_stats.add(batch_mean);
+      batch_means.push_back(batch_mean);
+      batch_served = 0;
+      batch_cycles = 0;
+    }
+    if (config.window_cycles > 0) {
+      window_served += served_count;
+      if (++window_cycles_seen == config.window_cycles) {
+        window_bandwidth.push_back(static_cast<double>(window_served) /
+                                   static_cast<double>(window_cycles_seen));
+        window_served = 0;
+        window_cycles_seen = 0;
+      }
+    }
+  }
+  if (batch_cycles > 0) {
+    const double batch_mean = static_cast<double>(batch_served) /
+                              static_cast<double>(batch_cycles);
+    batch_stats.add(batch_mean);
+    batch_means.push_back(batch_mean);
+  }
+  if (config.window_cycles > 0 && window_cycles_seen > 0) {
+    window_bandwidth.push_back(static_cast<double>(window_served) /
+                               static_cast<double>(window_cycles_seen));
+  }
+
+  SimResult result;
+  result.seed = config.seed;
+  result.batch_means = std::move(batch_means);
+  result.measured_cycles = config.cycles;
+  const auto cycles_d = static_cast<double>(config.cycles);
+  result.bandwidth = static_cast<double>(served_total) / cycles_d;
+  result.bandwidth_ci = confidence_interval(batch_stats, 0.95);
+  result.offered_load = static_cast<double>(issued_total) / cycles_d;
+  result.blocked_fraction =
+      issued_total == 0
+          ? 0.0
+          : static_cast<double>(blocked_total) /
+                static_cast<double>(issued_total);
+  result.bus_utilization =
+      static_cast<double>(busy_bus_cycles) /
+      (cycles_d * static_cast<double>(num_buses));
+  result.mean_service_cycles =
+      latency_grants == 0 ? 0.0
+                          : static_cast<double>(latency_total) /
+                                static_cast<double>(latency_grants);
+  result.per_processor_acceptance.reserve(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    result.per_processor_acceptance.push_back(
+        static_cast<double>(proc_granted[static_cast<std::size_t>(p)]) /
+        cycles_d);
+  }
+  result.per_module_service.reserve(static_cast<std::size_t>(m));
+  for (int module = 0; module < m; ++module) {
+    result.per_module_service.push_back(
+        static_cast<double>(module_served[static_cast<std::size_t>(module)]) /
+        cycles_d);
+  }
+  result.service_count_distribution.reserve(service_histogram.size());
+  for (const std::int64_t count : service_histogram) {
+    result.service_count_distribution.push_back(
+        static_cast<double>(count) / cycles_d);
+  }
+  result.window_bandwidth = std::move(window_bandwidth);
+  return result;
+}
+
+}  // namespace mbus

@@ -1,0 +1,49 @@
+// Structure-of-arrays bitmask fast path for the cycle-level simulator.
+//
+// The reference engine (sim/engine.cpp) resolves every cycle with scalar
+// loops over vectors of ints and per-cycle heap churn (candidate lists,
+// available-bus vectors, sorts). This kernel keeps the identical
+// semantics — the same requests, the same arbitration winners, the same
+// metrics — but represents all per-cycle state as packed uint64_t
+// bitmasks:
+//
+//   * requesters of a module, requesting modules, failed/busy buses and
+//     modules are single machine words;
+//   * priority and round-robin arbitration become mask/ctz operations
+//     (first-set-bit at-or-after a pointer, k-th set bit);
+//   * FaultPlan masks fold in as AND-masks over bus/module availability;
+//   * destination sampling flattens the per-processor alias tables into
+//     contiguous arrays while consuming the shared RNG stream in exactly
+//     the reference order.
+//
+// Bit-identity contract: for any configuration where
+// fast_kernel_supported() returns true, run_fast_kernel() produces a
+// SimResult bit-identical to Simulator::run() with EngineKind::kReference
+// and the same seed (enforced by tests/test_kernel_parity.cpp). The
+// guarantee holds because the kernel performs the exact same sequence of
+// RNG draws (bernoulli, alias-table column + acceptance, arbitration
+// tie-breaks) and the exact same floating-point accumulation arithmetic
+// as the reference loop; only the data layout differs.
+//
+// Configurations outside the support envelope (more than 64 processors,
+// modules, or buses; an attached TraceBuffer; very long transfers) fall
+// back to the reference engine inside Simulator::run().
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace mbus {
+
+/// True when the bitmask kernel can run this exact configuration with
+/// bit-identical results: N, M, B all fit a 64-bit mask, no event trace
+/// is attached, and the transfer-release ring stays a sane size.
+bool fast_kernel_supported(const Topology& topology,
+                           const SimConfig& config) noexcept;
+
+/// Run the fast kernel. `rng` is the simulator's stream (continued across
+/// repeated run() calls, exactly like the reference loop). Preconditions
+/// are those of Simulator plus fast_kernel_supported().
+SimResult run_fast_kernel(const Topology& topology, const RequestModel& model,
+                          const SimConfig& config, Xoshiro256& rng);
+
+}  // namespace mbus

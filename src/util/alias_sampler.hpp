@@ -30,6 +30,14 @@ class AliasSampler {
   /// (exposed for testing; reconstructs p_i from prob/alias entries).
   double probability(std::size_t i) const;
 
+  /// Raw table views for the fast-path kernel (sim/kernel.cpp), which
+  /// flattens many samplers into contiguous arrays and inlines sample()'s
+  /// exact draw sequence.
+  const std::vector<double>& acceptance() const noexcept { return prob_; }
+  const std::vector<std::uint32_t>& aliases() const noexcept {
+    return alias_;
+  }
+
  private:
   std::vector<double> prob_;         // acceptance threshold per column
   std::vector<std::uint32_t> alias_; // fallback index per column

@@ -61,15 +61,10 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void run_parallel(std::vector<std::function<void()>> tasks, int threads) {
-  ParallelOptions opts;
-  opts.threads = threads;
-  const int resolved = opts.resolved_threads();
-  MBUS_EXPECTS(resolved >= 1, "thread count must be >= 0");
-  ThreadPool pool(resolved <= 1 ? 0 : resolved);
+void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   std::vector<std::future<void>> futures;
   futures.reserve(tasks.size());
-  for (auto& task : tasks) futures.push_back(pool.submit(std::move(task)));
+  for (auto& task : tasks) futures.push_back(submit(std::move(task)));
   std::exception_ptr first;
   for (auto& future : futures) {
     try {
@@ -79,6 +74,20 @@ void run_parallel(std::vector<std::function<void()>> tasks, int threads) {
     }
   }
   if (first) std::rethrow_exception(first);
+}
+
+void run_parallel(std::vector<std::function<void()>> tasks, int threads) {
+  ParallelOptions opts;
+  opts.threads = threads;
+  const int resolved = opts.resolved_threads();
+  MBUS_EXPECTS(resolved >= 1, "thread count must be >= 0");
+  ThreadPool pool(resolved <= 1 ? 0 : resolved);
+  pool.run(std::move(tasks));
+}
+
+void run_parallel(std::vector<std::function<void()>> tasks,
+                  ThreadPool& pool) {
+  pool.run(std::move(tasks));
 }
 
 }  // namespace mbus

@@ -58,6 +58,14 @@ class ThreadPool {
   /// throws. With zero workers the task runs before submit() returns.
   std::future<void> submit(std::function<void()> task);
 
+  /// Run a whole batch to completion on this pool and return. Exceptions
+  /// are rethrown on the calling thread; when several tasks throw, the one
+  /// earliest in `tasks` order wins (deterministically). The pool stays
+  /// usable afterwards — callers that evaluate many batches (sweep points,
+  /// campaign points, replication sets) construct one pool and call run()
+  /// per batch instead of paying thread spawn/join per batch.
+  void run(std::vector<std::function<void()>> tasks);
+
   /// max(1, std::thread::hardware_concurrency()).
   static int hardware_threads() noexcept;
 
@@ -75,6 +83,11 @@ class ThreadPool {
 /// ParallelOptions::threads semantics: 1 = inline serial, 0 = hardware).
 /// Exceptions are rethrown on the calling thread; when several tasks
 /// throw, the one earliest in `tasks` order wins (deterministically).
+/// Constructs a fresh pool per call; batch-heavy callers should hold a
+/// ThreadPool and use the overload below (or ThreadPool::run directly).
 void run_parallel(std::vector<std::function<void()>> tasks, int threads);
+
+/// Same contract, but on an existing pool — no thread spawn/join cost.
+void run_parallel(std::vector<std::function<void()>> tasks, ThreadPool& pool);
 
 }  // namespace mbus

@@ -68,6 +68,32 @@ TEST(Availability, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Availability, SharedPoolReuseMatchesOwnedThreads) {
+  // Back-to-back campaigns on one caller-owned pool (the MTBF-sweep
+  // pattern) must equal the spawn-per-campaign path bit for bit.
+  const UniformModel model = small_model();
+  CampaignSpec owned = small_spec();
+  owned.threads = 4;
+  const Campaign a = Campaign::run(owned, model);
+
+  ThreadPool pool(4);
+  CampaignSpec shared = small_spec();
+  shared.pool = &pool;
+  shared.threads = 1;  // ignored when pool is set
+  const Campaign b = Campaign::run(shared, model);
+  expect_identical_points(a, b);
+
+  // The same pool services a second campaign with a different seed.
+  CampaignSpec again = small_spec();
+  again.pool = &pool;
+  again.base_seed = 778;
+  const Campaign c = Campaign::run(again, model);
+  ASSERT_EQ(c.points().size(), a.points().size());
+  for (const CampaignPoint& point : c.points()) {
+    EXPECT_TRUE(point.ok) << point.error;
+  }
+}
+
 TEST(Availability, ThrowingPointIsRecordedAndCampaignCompletes) {
   const UniformModel model = small_model();
   CampaignSpec spec = small_spec();

@@ -1,0 +1,268 @@
+// Differential parity battery: the bitmask fast kernel (sim/kernel.cpp)
+// must be *bit-identical* to the reference engine for the same seed, for
+// every supported configuration. Each test runs both engines on the same
+// (topology, workload, config) and compares every SimResult field with
+// exact equality — any drift in RNG draw order, arbitration pointers, or
+// accumulation arithmetic fails loudly here.
+#include "sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/replicate.hpp"
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+#include "workload/hotspot.hpp"
+
+namespace mbus {
+namespace {
+
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.bandwidth, b.bandwidth);
+  EXPECT_EQ(a.bandwidth_ci.mean, b.bandwidth_ci.mean);
+  EXPECT_EQ(a.bandwidth_ci.half_width, b.bandwidth_ci.half_width);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.replications, b.replications);
+  EXPECT_EQ(a.batch_means, b.batch_means);
+  EXPECT_EQ(a.measured_cycles, b.measured_cycles);
+  EXPECT_EQ(a.offered_load, b.offered_load);
+  EXPECT_EQ(a.blocked_fraction, b.blocked_fraction);
+  EXPECT_EQ(a.bus_utilization, b.bus_utilization);
+  EXPECT_EQ(a.mean_service_cycles, b.mean_service_cycles);
+  EXPECT_EQ(a.per_processor_acceptance, b.per_processor_acceptance);
+  EXPECT_EQ(a.per_module_service, b.per_module_service);
+  EXPECT_EQ(a.service_count_distribution, b.service_count_distribution);
+  EXPECT_EQ(a.window_bandwidth, b.window_bandwidth);
+}
+
+/// Both engines on the same inputs; fails the current test on any
+/// non-identical field.
+void check_parity(const Topology& topology, const RequestModel& model,
+                  SimConfig config, const std::string& what) {
+  config.engine = EngineKind::kReference;
+  const SimResult ref = simulate(topology, model, config);
+  config.engine = EngineKind::kFast;
+  const SimResult fast = simulate(topology, model, config);
+  expect_identical(ref, fast, what);
+}
+
+/// The four schemes at (n, n, b); `groups`/`classes` must divide evenly.
+std::vector<std::unique_ptr<Topology>> all_schemes(int n, int b, int groups,
+                                                   int classes) {
+  std::vector<std::unique_ptr<Topology>> out;
+  out.push_back(std::make_unique<FullTopology>(n, n, b));
+  out.push_back(
+      std::make_unique<SingleTopology>(SingleTopology::even(n, n, b)));
+  out.push_back(std::make_unique<PartialGTopology>(n, n, b, groups));
+  out.push_back(std::make_unique<KClassTopology>(
+      KClassTopology::even(n, n, b, classes)));
+  return out;
+}
+
+Workload hierarchical(int n, const char* r) {
+  return Workload::hierarchical_nxn(
+      {4, n / 4},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational::parse(r));
+}
+
+SimConfig quick(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.cycles = 3000;
+  cfg.warmup = 100;
+  cfg.batches = 10;
+  cfg.window_cycles = 500;
+  cfg.seed = seed;
+  return cfg;
+}
+
+FaultPlan bus_and_module_timeline(int buses, int modules) {
+  return FaultPlan::timeline(
+      buses, modules,
+      {FaultEvent{200, 0, true, FaultKind::kBus},
+       FaultEvent{400, modules - 1, true, FaultKind::kModule},
+       FaultEvent{900, 0, false, FaultKind::kBus},
+       FaultEvent{1200, modules - 1, false, FaultKind::kModule},
+       FaultEvent{1500, buses - 1, true, FaultKind::kBus}});
+}
+
+TEST(KernelParity, GridAllSchemesAllWorkloads) {
+  for (const int n : {4, 8, 16, 64}) {
+    const int b = n / 2;
+    const auto topologies = all_schemes(n, b, 2, 2);
+    const Workload uni = Workload::uniform(n, n, BigRational::parse("0.7"));
+    const HotSpotModel hot(n, n, 0, BigRational::parse("0.3"),
+                           BigRational::parse("0.9"));
+    for (const auto& topo : topologies) {
+      check_parity(*topo, uni.model(), quick(11),
+                   topo->name() + " uniform");
+      if (n >= 8) {  // the {4, N/4} hierarchy needs a non-trivial level 2
+        const Workload hier = hierarchical(n, "0.9");
+        check_parity(*topo, hier.model(), quick(22),
+                     topo->name() + " hierarchical");
+      }
+      check_parity(*topo, hot, quick(33), topo->name() + " hotspot");
+    }
+  }
+}
+
+TEST(KernelParity, StaticFaults) {
+  const int n = 16;
+  const int b = 8;
+  const Workload w = hierarchical(n, "1");
+  for (const auto& topo : all_schemes(n, b, 2, 4)) {
+    SimConfig cfg = quick(44);
+    cfg.faults = FaultPlan::static_failures(b, {1, 5}, n, {3});
+    check_parity(*topo, w.model(), cfg, topo->name() + " static faults");
+  }
+}
+
+TEST(KernelParity, FaultTimeline) {
+  const int n = 16;
+  const int b = 8;
+  const Workload w = Workload::uniform(n, n, BigRational::parse("0.8"));
+  for (const auto& topo : all_schemes(n, b, 4, 2)) {
+    SimConfig cfg = quick(55);
+    cfg.faults = bus_and_module_timeline(b, n);
+    check_parity(*topo, w.model(), cfg, topo->name() + " fault timeline");
+  }
+}
+
+TEST(KernelParity, MultiCycleTransfers) {
+  const int n = 8;
+  const int b = 4;
+  const Workload w = hierarchical(n, "1");
+  for (const auto& topo : all_schemes(n, b, 2, 2)) {
+    SimConfig cfg = quick(66);
+    cfg.transfer_cycles = 3;
+    check_parity(*topo, w.model(), cfg, topo->name() + " transfer=3");
+    cfg.faults = bus_and_module_timeline(b, n);
+    check_parity(*topo, w.model(), cfg,
+                 topo->name() + " transfer=3 + faults");
+  }
+}
+
+TEST(KernelParity, ResubmissionMode) {
+  const int n = 16;
+  const int b = 4;  // oversubscribed so blocking actually happens
+  const Workload w = Workload::uniform(n, n, BigRational::parse("0.9"));
+  for (const auto& topo : all_schemes(n, b, 2, 2)) {
+    SimConfig cfg = quick(77);
+    cfg.resubmit_blocked = true;
+    check_parity(*topo, w.model(), cfg, topo->name() + " resubmit");
+    cfg.faults = bus_and_module_timeline(b, n);
+    check_parity(*topo, w.model(), cfg, topo->name() + " resubmit+faults");
+  }
+}
+
+TEST(KernelParity, RoundRobinPolicies) {
+  const int n = 16;
+  const int b = 4;
+  const Workload w = hierarchical(n, "1");
+  for (const auto& topo : all_schemes(n, b, 2, 2)) {
+    SimConfig cfg = quick(88);
+    cfg.memory_arbitration = ArbitrationPolicy::kRoundRobin;
+    check_parity(*topo, w.model(), cfg, topo->name() + " RR memory");
+    cfg.bus_arbitration = ArbitrationPolicy::kRoundRobin;
+    check_parity(*topo, w.model(), cfg, topo->name() + " RR memory+bus");
+  }
+}
+
+TEST(KernelParity, LowRateAndExtremeRates) {
+  const int n = 8;
+  const int b = 4;
+  for (const char* rate : {"0", "0.05", "1"}) {
+    const Workload w = Workload::uniform(n, n, BigRational::parse(rate));
+    for (const auto& topo : all_schemes(n, b, 2, 2)) {
+      check_parity(*topo, w.model(), quick(99),
+                   topo->name() + " r=" + rate);
+    }
+  }
+}
+
+TEST(KernelParity, RepeatedRunsContinueTheSameStream) {
+  const FullTopology topo(16, 16, 8);
+  const Workload w = hierarchical(16, "1");
+  SimConfig cfg = quick(123);
+  cfg.engine = EngineKind::kReference;
+  Simulator ref(topo, w.model(), cfg);
+  cfg.engine = EngineKind::kFast;
+  Simulator fast(topo, w.model(), cfg);
+  expect_identical(ref.run(), fast.run(), "first run");
+  expect_identical(ref.run(), fast.run(), "second run (continued stream)");
+}
+
+TEST(KernelParity, ReplicationPoolingIsEngineInvariant) {
+  const KClassTopology topo = KClassTopology::even(16, 16, 8, 4);
+  const Workload w = hierarchical(16, "1");
+  SimConfig base = quick(321);
+  base.engine = EngineKind::kReference;
+  const SimResult ref =
+      run_replications(topo, w.model(), base, 5, "parity", 1);
+  base.engine = EngineKind::kFast;
+  const SimResult fast_serial =
+      run_replications(topo, w.model(), base, 5, "parity", 1);
+  const SimResult fast_parallel =
+      run_replications(topo, w.model(), base, 5, "parity", 3);
+  expect_identical(ref, fast_serial, "pooled, serial");
+  expect_identical(ref, fast_parallel, "pooled, 3 threads");
+}
+
+TEST(KernelParity, UnsupportedConfigsFallBackToReference) {
+  const FullTopology topo(8, 8, 4);
+  const Workload w = hierarchical(8, "1");
+
+  // A trace buffer is outside the fast kernel's envelope.
+  SimConfig cfg = quick(42);
+  TraceBuffer trace_ref(1 << 12);
+  TraceBuffer trace_fast(1 << 12);
+  cfg.trace = &trace_ref;
+  cfg.engine = EngineKind::kReference;
+  const SimResult ref = simulate(topo, w.model(), cfg);
+  cfg.trace = &trace_fast;
+  cfg.engine = EngineKind::kFast;
+  const SimResult fast = simulate(topo, w.model(), cfg);
+  expect_identical(ref, fast, "trace fallback");
+  EXPECT_EQ(trace_ref.size(), trace_fast.size());
+  EXPECT_FALSE(fast_kernel_supported(topo, cfg));
+
+  // Very long transfers likewise fall back (release-ring bound).
+  SimConfig long_transfer = quick(42);
+  long_transfer.transfer_cycles = 100000;
+  EXPECT_FALSE(fast_kernel_supported(topo, long_transfer));
+  long_transfer.engine = EngineKind::kFast;
+  SimConfig long_ref = long_transfer;
+  long_ref.engine = EngineKind::kReference;
+  expect_identical(simulate(topo, w.model(), long_ref),
+                   simulate(topo, w.model(), long_transfer),
+                   "long-transfer fallback");
+}
+
+TEST(KernelParity, SupportEnvelope) {
+  const FullTopology small(8, 8, 4);
+  SimConfig cfg;
+  EXPECT_TRUE(fast_kernel_supported(small, cfg));
+  const FullTopology wide(80, 8, 4);
+  EXPECT_FALSE(fast_kernel_supported(wide, cfg));
+  const FullTopology many_modules(8, 80, 4);
+  EXPECT_FALSE(fast_kernel_supported(many_modules, cfg));
+}
+
+TEST(KernelParity, EngineKindStrings) {
+  EXPECT_EQ(to_string(EngineKind::kReference), "reference");
+  EXPECT_EQ(to_string(EngineKind::kFast), "fast");
+  EXPECT_EQ(engine_kind_from_string("fast"), EngineKind::kFast);
+  EXPECT_EQ(engine_kind_from_string("reference"), EngineKind::kReference);
+  EXPECT_EQ(engine_kind_from_string("ref"), EngineKind::kReference);
+  EXPECT_THROW(engine_kind_from_string("warp"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,224 @@
+// Property / metamorphic tests over the closed forms and both simulator
+// engines: invariants that must hold regardless of parameters, checked on
+// a grid rather than against golden numbers.
+//
+//   * bandwidth is monotone non-decreasing in the bus count B;
+//   * bandwidth never exceeds min(B, expected requests);
+//   * degraded-mode analysis with an all-healthy mask equals nominal;
+//   * relabeling equal-rate modules leaves bandwidth invariant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "analysis/asymmetric.hpp"
+#include "analysis/bandwidth.hpp"
+#include "analysis/degraded.hpp"
+#include "core/system.hpp"
+#include "sim/kernel.hpp"
+#include "workload/hotspot.hpp"
+
+namespace mbus {
+namespace {
+
+SimConfig sim_config(EngineKind engine, std::uint64_t seed = 7) {
+  SimConfig cfg;
+  cfg.cycles = 20000;
+  cfg.warmup = 500;
+  cfg.seed = seed;
+  cfg.engine = engine;
+  return cfg;
+}
+
+Workload hierarchical(int n, const char* r) {
+  return Workload::hierarchical_nxn(
+      {4, n / 4},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational::parse(r));
+}
+
+constexpr EngineKind kEngines[] = {EngineKind::kReference,
+                                   EngineKind::kFast};
+
+TEST(Properties, ClosedFormBandwidthMonotoneInBuses) {
+  const int m = 16;
+  for (const double x : {0.3, 0.7, 1.0}) {
+    double prev = 0.0;
+    for (int b = 1; b <= m; ++b) {
+      const double bw = bandwidth_full(m, b, x);
+      EXPECT_GE(bw, prev - 1e-12) << "B=" << b << " x=" << x;
+      prev = bw;
+    }
+    // Partial-g and k-classes at the B values their constraints allow.
+    double prev_pg = 0.0;
+    double prev_kc = 0.0;
+    for (int b = 4; b <= 16; b += 4) {
+      const double pg = bandwidth_partial_g(m, b, 4, x);
+      EXPECT_GE(pg, prev_pg - 1e-12) << "partial-g B=" << b;
+      prev_pg = pg;
+      const double kc = bandwidth_k_classes(b, {4, 4, 4, 4}, x);
+      EXPECT_GE(kc, prev_kc - 1e-12) << "k-classes B=" << b;
+      prev_kc = kc;
+    }
+  }
+}
+
+TEST(Properties, SimulatedBandwidthMonotoneInBuses) {
+  const int n = 16;
+  const Workload w = hierarchical(n, "1");
+  for (const EngineKind engine : kEngines) {
+    double prev = 0.0;
+    for (int b = 2; b <= n; b += 2) {
+      const FullTopology topo(n, n, b);
+      const SimResult res = simulate(topo, w.model(), sim_config(engine));
+      // Independent-arbitration noise allows a hair of non-monotonicity;
+      // the trend over 20k cycles must survive a generous slack.
+      EXPECT_GE(res.bandwidth, prev - 0.05)
+          << "engine=" << to_string(engine) << " B=" << b;
+      prev = std::max(prev, res.bandwidth);
+    }
+  }
+}
+
+TEST(Properties, BandwidthBoundedByBusesAndOfferedLoad) {
+  const int n = 16;
+  for (const char* rate : {"0.2", "0.6", "1"}) {
+    const Workload w = Workload::uniform(n, n, BigRational::parse(rate));
+    const double expected_requests =
+        static_cast<double>(n) * w.request_rate();
+    for (int b = 2; b <= 8; b += 2) {
+      const FullTopology topo(n, n, b);
+      const double analytic =
+          analytical_bandwidth(topo, w.request_probability());
+      EXPECT_LE(analytic,
+                std::min(static_cast<double>(b), expected_requests) + 1e-9);
+      for (const EngineKind engine : kEngines) {
+        const SimResult res = simulate(topo, w.model(), sim_config(engine));
+        EXPECT_LE(res.bandwidth, static_cast<double>(b));
+        EXPECT_LE(res.bandwidth, res.offered_load + 1e-12);
+        // Offered load is itself an estimate of N·r; allow sampling noise.
+        EXPECT_NEAR(res.offered_load, expected_requests,
+                    0.05 * static_cast<double>(n));
+      }
+    }
+  }
+}
+
+TEST(Properties, DegradedAllHealthyEqualsNominal) {
+  const int n = 16;
+  const int b = 8;
+  const double x = 0.83;
+  const std::vector<bool> healthy_buses(b, false);
+  const std::vector<bool> healthy_modules(n, false);
+  std::vector<std::unique_ptr<Topology>> topologies;
+  topologies.push_back(std::make_unique<FullTopology>(n, n, b));
+  topologies.push_back(
+      std::make_unique<SingleTopology>(SingleTopology::even(n, n, b)));
+  topologies.push_back(std::make_unique<PartialGTopology>(n, n, b, 2));
+  topologies.push_back(std::make_unique<KClassTopology>(
+      KClassTopology::even(n, n, b, 4)));
+  for (const auto& topo : topologies) {
+    const double nominal = analytical_bandwidth(*topo, x);
+    EXPECT_NEAR(degraded_bandwidth(*topo, x, healthy_buses), nominal, 1e-9)
+        << topo->name();
+    EXPECT_NEAR(
+        degraded_bandwidth(*topo, x, healthy_buses, healthy_modules),
+        nominal, 1e-9)
+        << topo->name();
+    EXPECT_NEAR(mean_degraded_bandwidth(*topo, x, 0), nominal, 1e-9);
+  }
+  // And in simulation: an all-healthy fault plan is a no-op for both
+  // engines (FaultPlan::empty() short-circuits to the no-fault path).
+  const Workload w = Workload::uniform(n, n, BigRational::parse("0.9"));
+  const FullTopology topo(n, n, b);
+  for (const EngineKind engine : kEngines) {
+    SimConfig plain = sim_config(engine);
+    SimConfig masked = sim_config(engine);
+    masked.faults = FaultPlan::static_failures(b, {}, n, {});
+    const SimResult a = simulate(topo, w.model(), plain);
+    const SimResult c = simulate(topo, w.model(), masked);
+    EXPECT_EQ(a.bandwidth, c.bandwidth) << to_string(engine);
+    EXPECT_EQ(a.batch_means, c.batch_means) << to_string(engine);
+  }
+}
+
+TEST(Properties, ClosedFormPermutationInvariance) {
+  // Equal-rate modules are exchangeable: permuting the per-module request
+  // probabilities (and with them the module labels) leaves every scheme's
+  // Poisson-binomial bandwidth unchanged.
+  const int n = 16;
+  const int b = 8;
+  const HotSpotModel hot_low(n, n, 0, BigRational::parse("0.25"),
+                             BigRational::parse("0.9"));
+  const HotSpotModel hot_high(n, n, n - 1, BigRational::parse("0.25"),
+                              BigRational::parse("0.9"));
+  const std::vector<double> xs_low =
+      per_module_request_probabilities(hot_low);
+  const std::vector<double> xs_high =
+      per_module_request_probabilities(hot_high);
+  // Same multiset of rates, different labels.
+  std::vector<double> sorted_low = xs_low;
+  std::vector<double> sorted_high = xs_high;
+  std::sort(sorted_low.begin(), sorted_low.end());
+  std::sort(sorted_high.begin(), sorted_high.end());
+  EXPECT_EQ(sorted_low, sorted_high);
+  // Full connection treats modules symmetrically, so the hot module's
+  // label cannot matter.
+  EXPECT_NEAR(asymmetric_bandwidth_full(xs_low, b),
+              asymmetric_bandwidth_full(xs_high, b), 1e-12);
+}
+
+TEST(Properties, SimulatedPermutationInvariance) {
+  // On the full connection, moving the hot module must not change the
+  // bandwidth distribution; different labels take different random draws,
+  // so compare means with a statistical tolerance, per engine.
+  const int n = 16;
+  const int b = 4;
+  const FullTopology topo(n, n, b);
+  const HotSpotModel hot_low(n, n, 0, BigRational::parse("0.25"),
+                             BigRational::parse("0.9"));
+  const HotSpotModel hot_high(n, n, n - 1, BigRational::parse("0.25"),
+                              BigRational::parse("0.9"));
+  for (const EngineKind engine : kEngines) {
+    const SimResult low = simulate(topo, hot_low, sim_config(engine));
+    const SimResult high = simulate(topo, hot_high, sim_config(engine, 8));
+    EXPECT_NEAR(low.bandwidth, high.bandwidth, 0.05)
+        << to_string(engine);
+    // The per-module service profile is the same multiset up to noise:
+    // compare the (sorted) hot and cold extremes.
+    std::vector<double> s_low = low.per_module_service;
+    std::vector<double> s_high = high.per_module_service;
+    std::sort(s_low.begin(), s_low.end());
+    std::sort(s_high.begin(), s_high.end());
+    EXPECT_NEAR(s_low.back(), s_high.back(), 0.05);
+    EXPECT_NEAR(s_low.front(), s_high.front(), 0.05);
+  }
+}
+
+TEST(Properties, EnginesAgreeWithClosedFormsStatistically) {
+  // Cross-validation: the fast kernel inherits the reference engine's
+  // agreement with the closed forms (the parity suite proves equality;
+  // this checks both stay near the analysis on an absolute scale).
+  const int n = 16;
+  const int b = 8;
+  const Workload w = hierarchical(n, "1");
+  const double x = w.request_probability();
+  std::vector<std::unique_ptr<Topology>> topologies;
+  topologies.push_back(std::make_unique<FullTopology>(n, n, b));
+  topologies.push_back(std::make_unique<PartialGTopology>(n, n, b, 2));
+  topologies.push_back(std::make_unique<KClassTopology>(
+      KClassTopology::even(n, n, b, 4)));
+  for (const auto& topo : topologies) {
+    const double analytic = analytical_bandwidth(*topo, x);
+    for (const EngineKind engine : kEngines) {
+      const SimResult res = simulate(*topo, w.model(), sim_config(engine));
+      EXPECT_NEAR(res.bandwidth, analytic, 0.35)
+          << topo->name() << " engine=" << to_string(engine);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbus

@@ -74,6 +74,49 @@ TEST(ThreadPool, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1);
 }
 
+TEST(ThreadPool, RunExecutesManyBatchesOnOnePool) {
+  // The reusable-batch API: one worker set services several run() calls
+  // (the campaign/sweep reuse pattern), with the pool usable after each.
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) tasks.push_back([&count] { ++count; });
+    pool.run(std::move(tasks));
+    EXPECT_EQ(count.load(), 16 * (batch + 1));
+  }
+  EXPECT_EQ(pool.thread_count(), 3);
+}
+
+TEST(ThreadPool, RunRethrowsFirstExceptionAndPoolSurvives) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] {});
+  tasks.push_back([] { throw std::runtime_error("first"); });
+  tasks.push_back([] { throw std::logic_error("second"); });
+  try {
+    pool.run(std::move(tasks));
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // A failed batch must not poison the pool for the next one.
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> next;
+  for (int i = 0; i < 8; ++i) next.push_back([&count] { ++count; });
+  pool.run(std::move(next));
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(RunParallel, ExistingPoolOverloadMatchesOwnedPool) {
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 32; ++i) tasks.push_back([&count] { ++count; });
+  ThreadPool pool(4);
+  run_parallel(std::move(tasks), pool);
+  EXPECT_EQ(count.load(), 32);
+}
+
 TEST(RunParallel, SerialModeRunsTasksInSubmissionOrder) {
   std::vector<int> order;
   std::vector<std::function<void()>> tasks;
