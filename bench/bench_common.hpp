@@ -61,10 +61,14 @@ struct RowOptions {
 inline RowOptions row_options_from(const CliParser& cli) {
   RowOptions opt;
   opt.simulate = !cli.get_flag("no-sim");
-  opt.cycles = cli.get_int("cycles");
+  // Uniform validation across every bench main: a nonsense budget dies
+  // with a clear flag-naming message, not an assertion deep in the
+  // simulator. --threads 0 means "all hardware threads" by convention,
+  // so only negatives are rejected.
+  opt.cycles = cli.get_positive_int("cycles");
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  opt.threads = static_cast<int>(cli.get_int("threads"));
-  opt.replications = static_cast<int>(cli.get_int("replications"));
+  opt.threads = static_cast<int>(cli.get_nonnegative_int("threads"));
+  opt.replications = static_cast<int>(cli.get_positive_int("replications"));
   opt.engine = engine_kind_from_string(cli.get_string("engine"));
   return opt;
 }

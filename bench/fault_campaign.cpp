@@ -9,15 +9,21 @@
 // Table I's fault-tolerance degrees.
 //
 // Campaigns are deterministic for a (seed, spec) pair at any --threads
-// count, survive interruption via --checkpoint (JSON-lines; rerun with
-// the same flags to resume), and record per-point errors instead of
-// aborting the run.
+// count, survive interruption via --checkpoint (CRC-framed JSON-lines;
+// rerun with the same flags to resume, --fresh to overwrite), and record
+// per-point errors instead of aborting the run. Ctrl-C / SIGTERM stops
+// the campaign cooperatively: completed points stay checkpointed and the
+// process exits with status 75 ("interrupted, resumable"). A per-point
+// wall-clock budget (--point-timeout-ms) plus --max-retries bounds the
+// damage any single wedged or flaky point can do.
 #include <fstream>
 #include <iostream>
 
 #include "analysis/availability.hpp"
 #include "bench_common.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/shutdown.hpp"
 
 namespace {
 
@@ -57,33 +63,64 @@ int run(int argc, char** argv) {
       .add_string("checkpoint", "",
                   "JSON-lines checkpoint file; rerun with identical flags "
                   "to resume")
+      .add_flag("fresh",
+                "overwrite an existing checkpoint instead of resuming "
+                "(required when the spec changed)")
+      .add_int("point-timeout-ms", 0,
+               "wall-clock budget per point attempt; 0 = no deadline")
+      .add_int("max-retries", 1,
+               "extra attempts for a failed or timed-out point (same "
+               "derived seed; a successful retry is bit-identical)")
+      .add_int("retry-backoff-ms", 50,
+               "base wait between attempts (doubled per retry, capped at "
+               "2s); 0 retries immediately")
+      .add_string("failpoints", "",
+                  "arm deterministic fault injection, e.g. "
+                  "'checkpoint.flush=throw@3' (see util/failpoint.hpp; "
+                  "$MBUS_FAILPOINTS works too)")
       .add_string("csv", "", "also write the per-point table to this file")
       .add_flag("markdown", "emit markdown instead of text tables");
   if (!cli.parse(argc, argv)) return 0;
 
-  const int n = static_cast<int>(cli.get_int("n"));
+  if (!cli.get_string("failpoints").empty()) {
+    failpoints::arm(cli.get_string("failpoints"));
+  }
+
+  const int n = static_cast<int>(cli.get_positive_int("n"));
   const Workload workload =
       cli.get_flag("uniform")
           ? section4_uniform(n, cli.get_string("r"))
           : section4_hierarchical(n, cli.get_string("r"));
 
   CampaignSpec spec;
-  spec.buses = static_cast<int>(cli.get_int("b"));
+  spec.buses = static_cast<int>(cli.get_positive_int("b"));
+  require_bus_count(spec.buses, n, n);
   spec.groups = static_cast<int>(cli.get_int("groups"));
   spec.classes = static_cast<int>(cli.get_int("classes"));
-  spec.process.bus_mtbf = cli.get_double("mtbf");
-  spec.process.bus_mttr = cli.get_double("mttr");
+  spec.process.bus_mtbf = cli.get_positive_double("mtbf");
+  spec.process.bus_mttr = cli.get_positive_double("mttr");
   if (cli.get_flag("module-faults")) {
-    spec.process.module_mtbf = cli.get_double("module-mtbf");
-    spec.process.module_mttr = cli.get_double("module-mttr");
+    spec.process.module_mtbf = cli.get_positive_double("module-mtbf");
+    spec.process.module_mttr = cli.get_positive_double("module-mttr");
   }
-  spec.horizon = cli.get_int("horizon");
-  spec.window_cycles = cli.get_int("window");
-  spec.replications = static_cast<int>(cli.get_int("replications"));
-  spec.threads = static_cast<int>(cli.get_int("threads"));
+  spec.horizon = cli.get_positive_int("horizon");
+  spec.window_cycles = cli.get_nonnegative_int("window");
+  spec.replications = static_cast<int>(cli.get_positive_int("replications"));
+  spec.threads = static_cast<int>(cli.get_nonnegative_int("threads"));
   spec.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   spec.engine = engine_kind_from_string(cli.get_string("engine"));
   spec.checkpoint_path = cli.get_string("checkpoint");
+  spec.fresh_checkpoint = cli.get_flag("fresh");
+  spec.point_timeout_ms = cli.get_nonnegative_int("point-timeout-ms");
+  spec.max_retries = static_cast<int>(cli.get_nonnegative_int("max-retries"));
+  spec.retry_backoff_ms = cli.get_nonnegative_int("retry-backoff-ms");
+
+  // Ctrl-C / SIGTERM requests a cooperative stop: in-flight points abort
+  // at the simulator's next poll, the checkpoint keeps everything that
+  // completed, and we exit with the "interrupted, resumable" status.
+  CancellationToken token;
+  SignalGuard guard(token);
+  spec.cancel = &token;
 
   const Campaign campaign = Campaign::run(spec, workload.model());
 
@@ -104,6 +141,14 @@ int run(int argc, char** argv) {
     std::cerr << "resumed " << campaign.resumed_points()
               << " completed points from " << spec.checkpoint_path << "\n";
   }
+  if (!campaign.repair_report().clean()) {
+    std::cerr << campaign.repair_report().to_string() << "\n";
+  }
+  if (campaign.checkpoint_flush_failures() > 0) {
+    std::cerr << "warning: " << campaign.checkpoint_flush_failures()
+              << " checkpoint flush(es) failed; the checkpoint may lag "
+                 "behind completed work\n";
+  }
   for (const CampaignPoint& point : campaign.failed_points()) {
     std::cerr << "point error: scheme=" << point.scheme
               << " replication=" << point.replication << ": " << point.error
@@ -116,6 +161,14 @@ int run(int argc, char** argv) {
     MBUS_EXPECTS(csv.is_open(), cat("cannot open CSV file ", csv_path));
     csv << campaign.points_table().to_csv();
     std::cout << "per-point CSV written to " << csv_path << "\n";
+  }
+  if (campaign.interrupted()) {
+    std::cerr << "interrupted — rerun with the same flags to resume"
+              << (spec.checkpoint_path.empty()
+                      ? " (add --checkpoint to keep completed points)"
+                      : "")
+              << "\n";
+    return kExitInterrupted;
   }
   // Partial failures are reported above but keep the campaign usable;
   // only a campaign with no surviving point is an overall failure.

@@ -78,13 +78,14 @@ int run(int argc, char** argv) {
       .add_flag("markdown", "emit markdown instead of a text table");
   if (!cli.parse(argc, argv)) return 0;
 
-  const int n = static_cast<int>(cli.get_int("n"));
-  const int b = static_cast<int>(cli.get_int("b"));
+  const int n = static_cast<int>(cli.get_positive_int("n"));
+  const int b = static_cast<int>(cli.get_positive_int("b"));
+  require_bus_count(b, n, n);
   const std::string rate = cli.get_string("r");
-  const int repetitions = static_cast<int>(cli.get_int("repetitions"));
+  const int repetitions = static_cast<int>(cli.get_positive_int("repetitions"));
 
   SimConfig config;
-  config.cycles = cli.get_int("cycles");
+  config.cycles = cli.get_positive_int("cycles");
   config.warmup = 1000;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const auto total_cycles =

@@ -64,9 +64,10 @@ int run(int argc, char** argv) {
       .add_flag("no-sim", "skip the Monte-Carlo column");
   if (!cli.parse(argc, argv)) return 0;
 
-  const int n = static_cast<int>(cli.get_int("n"));
-  const int b = static_cast<int>(cli.get_int("b"));
-  const int max_f = static_cast<int>(cli.get_int("max-failures"));
+  const int n = static_cast<int>(cli.get_positive_int("n"));
+  const int b = static_cast<int>(cli.get_positive_int("b"));
+  require_bus_count(b, n, n);
+  const int max_f = static_cast<int>(cli.get_nonnegative_int("max-failures"));
   const bool simulate_check = !cli.get_flag("no-sim");
 
   const Workload w = Workload::hierarchical_nxn(

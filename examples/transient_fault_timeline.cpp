@@ -49,10 +49,11 @@ int run(int argc, char** argv) {
                   "(bit-identical results)");
   if (!cli.parse(argc, argv)) return 0;
 
-  const int n = static_cast<int>(cli.get_int("n"));
-  const int b = static_cast<int>(cli.get_int("b"));
-  const int victim = static_cast<int>(cli.get_int("failed-bus"));
-  const std::int64_t window = cli.get_int("window");
+  const int n = static_cast<int>(cli.get_positive_int("n"));
+  const int b = static_cast<int>(cli.get_positive_int("b"));
+  require_bus_count(b, n, n);
+  const int victim = static_cast<int>(cli.get_nonnegative_int("failed-bus"));
+  const std::int64_t window = cli.get_positive_int("window");
 
   const Workload w = Workload::hierarchical_nxn(
       {4, n / 4},

@@ -35,8 +35,9 @@ int run(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
   const EngineKind engine = engine_kind_from_string(cli.get_string("engine"));
 
-  const int n = static_cast<int>(cli.get_int("n"));
-  const int b = static_cast<int>(cli.get_int("b"));
+  const int n = static_cast<int>(cli.get_positive_int("n"));
+  const int b = static_cast<int>(cli.get_positive_int("b"));
+  require_bus_count(b, n, n);
 
   std::vector<std::unique_ptr<Topology>> topologies;
   topologies.push_back(std::make_unique<FullTopology>(n, n, b));
@@ -58,11 +59,12 @@ int run(int argc, char** argv) {
           BigRational::parse(rate));
       EvaluationOptions opt;
       opt.simulate = true;
-      opt.sim.cycles = cli.get_int("cycles");
+      opt.sim.cycles = cli.get_positive_int("cycles");
       opt.sim.engine = engine;
-      opt.parallel.threads = static_cast<int>(cli.get_int("threads"));
+      opt.parallel.threads =
+          static_cast<int>(cli.get_nonnegative_int("threads"));
       opt.parallel.replications =
-          static_cast<int>(cli.get_int("replications"));
+          static_cast<int>(cli.get_positive_int("replications"));
       const Evaluation e = evaluate(*topo, w, opt);
       const double gap =
           e.analytic_bandwidth == 0.0

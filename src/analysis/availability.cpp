@@ -1,142 +1,33 @@
 #include "analysis/availability.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
+#include <thread>
 #include <utility>
 
 #include "analysis/bandwidth.hpp"
+#include "analysis/checkpoint.hpp"
 #include "sim/engine.hpp"
 #include "sim/replicate.hpp"
 #include "topology/factory.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/format.hpp"
 #include "util/thread_pool.hpp"
+#include "util/watchdog.hpp"
 
 namespace mbus {
 
 namespace {
 
-// ---- JSON-lines checkpoint plumbing -----------------------------------
-
-/// Shortest decimal that round-trips a double exactly.
-std::string json_double(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof buffer, "%.17g", value);
-  return buffer;
-}
-
-void append_json_string(std::string& out, const std::string& s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-/// Cursor-based field extraction: finds `"key":` at or after `pos` and
-/// leaves `pos` on the first character of the value. Sequential parsing
-/// in write order keeps string *values* (escaped on write) from ever
-/// being confused with keys.
-bool seek_key(const std::string& line, const char* key, std::size_t& pos) {
-  const std::string needle = cat('"', key, "\":");
-  const std::size_t at = line.find(needle, pos);
-  if (at == std::string::npos) return false;
-  pos = at + needle.size();
-  return true;
-}
-
-bool parse_json_string(const std::string& line, std::size_t& pos,
-                       std::string& out) {
-  if (pos >= line.size() || line[pos] != '"') return false;
-  ++pos;
-  out.clear();
-  while (pos < line.size()) {
-    const char c = line[pos];
-    if (c == '"') {
-      ++pos;
-      return true;
-    }
-    if (c == '\\') {
-      if (pos + 1 >= line.size()) return false;
-      const char esc = line[pos + 1];
-      pos += 2;
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos + 4 > line.size()) return false;
-          const unsigned long code =
-              std::strtoul(line.substr(pos, 4).c_str(), nullptr, 16);
-          out += code < 0x80 ? static_cast<char>(code) : '?';
-          pos += 4;
-          break;
-        }
-        default: return false;
-      }
-    } else {
-      out += c;
-      ++pos;
-    }
-  }
-  return false;  // unterminated — a partial line from an interrupted write
-}
-
-bool parse_json_double(const std::string& line, std::size_t& pos,
-                       double& out) {
-  char* end = nullptr;
-  out = std::strtod(line.c_str() + pos, &end);
-  if (end == line.c_str() + pos) return false;
-  pos = static_cast<std::size_t>(end - line.c_str());
-  return true;
-}
-
-bool parse_json_int(const std::string& line, std::size_t& pos,
-                    std::int64_t& out) {
-  char* end = nullptr;
-  out = std::strtoll(line.c_str() + pos, &end, 10);
-  if (end == line.c_str() + pos) return false;
-  pos = static_cast<std::size_t>(end - line.c_str());
-  return true;
-}
-
-bool parse_json_bool(const std::string& line, std::size_t& pos, bool& out) {
-  if (line.compare(pos, 4, "true") == 0) {
-    out = true;
-    pos += 4;
-    return true;
-  }
-  if (line.compare(pos, 5, "false") == 0) {
-    out = false;
-    pos += 5;
-    return true;
-  }
-  return false;
-}
+using jsonio::append_json_string;
+using jsonio::json_double;
 
 std::uint64_t fnv1a(const std::string& text) noexcept {
   std::uint64_t hash = 1469598103934665603ULL;
@@ -147,35 +38,38 @@ std::uint64_t fnv1a(const std::string& text) noexcept {
   return hash;
 }
 
-/// The spec fields that determine point values (not threads — results are
-/// thread-count independent — and not the checkpoint path itself).
-std::string spec_fingerprint(const CampaignSpec& spec,
-                             const RequestModel& model) {
-  std::string text = cat(
-      join(spec.schemes, ","), "|", spec.buses, "|", spec.groups, "|",
-      spec.classes, "|", json_double(spec.process.bus_mtbf), "|",
-      json_double(spec.process.bus_mttr), "|",
-      json_double(spec.process.module_mtbf), "|",
-      json_double(spec.process.module_mttr), "|", spec.horizon, "|",
-      spec.window_cycles, "|", spec.replications, "|", spec.base_seed, "|",
-      model.num_processors(), "x", model.num_memories(), "|",
-      json_double(model.request_rate()));
+/// The spec fields that determine point values, as labeled key=value
+/// pairs — not threads (results are thread-count independent), not the
+/// engine (proven bit-identical by the kernel parity suite), not the
+/// retry/timeout knobs (a retry reuses the same derived seed), and not
+/// the checkpoint path itself. The labels let a fingerprint mismatch
+/// report exactly which field differed (describe_spec_mismatch).
+std::string spec_text(const CampaignSpec& spec, const RequestModel& model) {
+  return cat(
+      "schemes=", join(spec.schemes, ","), "|buses=", spec.buses,
+      "|groups=", spec.groups, "|classes=", spec.classes,
+      "|bus_mtbf=", json_double(spec.process.bus_mtbf),
+      "|bus_mttr=", json_double(spec.process.bus_mttr),
+      "|module_mtbf=", json_double(spec.process.module_mtbf),
+      "|module_mttr=", json_double(spec.process.module_mttr),
+      "|horizon=", spec.horizon, "|window=", spec.window_cycles,
+      "|replications=", spec.replications, "|seed=", spec.base_seed,
+      "|shape=", model.num_processors(), "x", model.num_memories(),
+      "|rate=", json_double(model.request_rate()));
+}
+
+std::string spec_fingerprint(const std::string& text) {
   char buffer[32];
   std::snprintf(buffer, sizeof buffer, "%016llx",
                 static_cast<unsigned long long>(fnv1a(text)));
   return buffer;
 }
 
-std::string checkpoint_header(const std::string& fingerprint) {
-  return cat("{\"mbus_fault_campaign\":1,\"fingerprint\":\"", fingerprint,
-             "\"}");
-}
-
 // ---- point evaluation --------------------------------------------------
 
 void evaluate_point(const CampaignSpec& spec, const RequestModel& model,
                     const std::string& scheme, int replication,
-                    CampaignPoint& point) {
+                    const std::atomic<bool>* abort, CampaignPoint& point) {
   TopologySpec tspec;
   tspec.scheme = scheme;
   tspec.processors = model.num_processors();
@@ -207,6 +101,9 @@ void evaluate_point(const CampaignSpec& spec, const RequestModel& model,
   // the kernel parity suite proves both engines produce identical points,
   // so a campaign may resume under either.
   config.engine = spec.engine;
+  // Watchdog deadline or shutdown token; the cycle loop polls and throws
+  // Cancelled, which the per-point barrier classifies.
+  config.cancel = abort;
   const SimResult result = simulate(*topology, model, config);
 
   point.delivered_bandwidth = result.bandwidth;
@@ -223,6 +120,61 @@ void evaluate_point(const CampaignSpec& spec, const RequestModel& model,
       first_disconnect_cycle(*topology, plan, spec.horizon);
 }
 
+/// Loads resumable points out of an existing checkpoint, enforcing the
+/// refuse-on-mismatch contract. Returns the seed payloads for the
+/// writer; fills `done` with the ok points (last occurrence wins).
+std::vector<std::string> load_resumable_points(
+    const std::string& path, const std::string& text,
+    const std::string& fingerprint,
+    std::map<std::pair<std::string, int>, CampaignPoint>& done,
+    CheckpointRepairReport& report) {
+  LoadedCheckpoint loaded = load_checkpoint_file(path);
+  if (!loaded.exists || loaded.empty) return {};
+  if (loaded.version == 1) {
+    throw InvalidArgument(
+        cat("checkpoint ", path,
+            " is a legacy v1 file (no per-line checksums); rerun with "
+            "--fresh to overwrite it, or move it aside"));
+  }
+  if (loaded.version != 2) {
+    throw InvalidArgument(
+        cat("checkpoint ", path,
+            " has an unrecognized or corrupt header — it cannot be "
+            "verified against this campaign's spec; rerun with --fresh "
+            "to overwrite it, or move it aside"));
+  }
+  if (loaded.fingerprint != fingerprint) {
+    throw InvalidArgument(
+        cat("checkpoint ", path,
+            " was written by a different campaign spec (",
+            describe_spec_mismatch(loaded.spec_text, text),
+            "); rerun with --fresh to overwrite it intentionally"));
+  }
+
+  report = loaded.report;
+  std::vector<std::string> keep;
+  keep.reserve(loaded.payloads.size());
+  for (const std::string& payload : loaded.payloads) {
+    CampaignPoint point;
+    if (!campaign_point_from_json(payload, point)) {
+      ++report.rejected_points;
+      continue;
+    }
+    // Only successfully completed points are trusted; anything else is
+    // retried on resume. (v2 never writes non-ok points, but a repaired
+    // or hand-edited file might contain them.)
+    if (!point.ok) {
+      ++report.rejected_points;
+      continue;
+    }
+    const auto key = std::make_pair(point.scheme, point.replication);
+    if (done.find(key) != done.end()) ++report.duplicate_points;
+    done[key] = std::move(point);
+    keep.push_back(payload);
+  }
+  return keep;
+}
+
 }  // namespace
 
 std::string campaign_point_to_json(const CampaignPoint& point) {
@@ -230,6 +182,7 @@ std::string campaign_point_to_json(const CampaignPoint& point) {
   append_json_string(line, point.scheme);
   line += cat(",\"replication\":", point.replication,
               ",\"ok\":", point.ok ? "true" : "false",
+              ",\"attempts\":", point.attempts,
               ",\"healthy\":", json_double(point.healthy_bandwidth),
               ",\"delivered\":", json_double(point.delivered_bandwidth),
               ",\"availability\":", json_double(point.availability),
@@ -245,47 +198,54 @@ bool campaign_point_from_json(const std::string& line, CampaignPoint& out) {
   CampaignPoint point;
   std::size_t pos = 0;
   std::int64_t replication = 0;
+  std::int64_t attempts = 0;
   std::int64_t disconnect = 0;
-  if (!seek_key(line, "scheme", pos) ||
-      !parse_json_string(line, pos, point.scheme)) {
+  if (!jsonio::seek_key(line, "scheme", pos) ||
+      !jsonio::parse_json_string(line, pos, point.scheme)) {
     return false;
   }
-  if (!seek_key(line, "replication", pos) ||
-      !parse_json_int(line, pos, replication)) {
+  if (!jsonio::seek_key(line, "replication", pos) ||
+      !jsonio::parse_json_int(line, pos, replication)) {
     return false;
   }
-  if (!seek_key(line, "ok", pos) || !parse_json_bool(line, pos, point.ok)) {
+  if (!jsonio::seek_key(line, "ok", pos) ||
+      !jsonio::parse_json_bool(line, pos, point.ok)) {
     return false;
   }
-  if (!seek_key(line, "healthy", pos) ||
-      !parse_json_double(line, pos, point.healthy_bandwidth)) {
+  if (!jsonio::seek_key(line, "attempts", pos) ||
+      !jsonio::parse_json_int(line, pos, attempts)) {
     return false;
   }
-  if (!seek_key(line, "delivered", pos) ||
-      !parse_json_double(line, pos, point.delivered_bandwidth)) {
+  if (!jsonio::seek_key(line, "healthy", pos) ||
+      !jsonio::parse_json_double(line, pos, point.healthy_bandwidth)) {
     return false;
   }
-  if (!seek_key(line, "availability", pos) ||
-      !parse_json_double(line, pos, point.availability)) {
+  if (!jsonio::seek_key(line, "delivered", pos) ||
+      !jsonio::parse_json_double(line, pos, point.delivered_bandwidth)) {
     return false;
   }
-  if (!seek_key(line, "min_window", pos) ||
-      !parse_json_double(line, pos, point.min_window_bandwidth)) {
+  if (!jsonio::seek_key(line, "availability", pos) ||
+      !jsonio::parse_json_double(line, pos, point.availability)) {
     return false;
   }
-  if (!seek_key(line, "connectivity", pos) ||
-      !parse_json_double(line, pos, point.connectivity)) {
+  if (!jsonio::seek_key(line, "min_window", pos) ||
+      !jsonio::parse_json_double(line, pos, point.min_window_bandwidth)) {
     return false;
   }
-  if (!seek_key(line, "disconnect", pos) ||
-      !parse_json_int(line, pos, disconnect)) {
+  if (!jsonio::seek_key(line, "connectivity", pos) ||
+      !jsonio::parse_json_double(line, pos, point.connectivity)) {
     return false;
   }
-  if (!seek_key(line, "error", pos) ||
-      !parse_json_string(line, pos, point.error)) {
+  if (!jsonio::seek_key(line, "disconnect", pos) ||
+      !jsonio::parse_json_int(line, pos, disconnect)) {
+    return false;
+  }
+  if (!jsonio::seek_key(line, "error", pos) ||
+      !jsonio::parse_json_string(line, pos, point.error)) {
     return false;
   }
   point.replication = static_cast<int>(replication);
+  point.attempts = std::max(1, static_cast<int>(attempts));
   point.disconnect_cycle = disconnect;
   out = std::move(point);
   return true;
@@ -297,6 +257,9 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
   MBUS_EXPECTS(spec.horizon >= 1, "need a positive horizon");
   MBUS_EXPECTS(spec.window_cycles >= 0, "window_cycles must be >= 0");
   MBUS_EXPECTS(spec.replications >= 1, "need at least one replication");
+  MBUS_EXPECTS(spec.point_timeout_ms >= 0, "point_timeout_ms must be >= 0");
+  MBUS_EXPECTS(spec.max_retries >= 0, "max_retries must be >= 0");
+  MBUS_EXPECTS(spec.retry_backoff_ms >= 0, "retry_backoff_ms must be >= 0");
   model.validate();
 
   const int reps = spec.replications;
@@ -304,36 +267,31 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
   Campaign out;
   out.points_.resize(num_schemes * static_cast<std::size_t>(reps));
 
-  // Checkpoint: load completed points (same-spec files only), then keep
-  // the file open for appending newly completed ones.
+  // Checkpoint: resume completed points from a same-spec file (refusing
+  // mismatches unless fresh_checkpoint), then keep an atomic writer for
+  // newly completed ones.
   std::map<std::pair<std::string, int>, CampaignPoint> done;
-  std::ofstream checkpoint;
+  std::unique_ptr<CheckpointWriter> checkpoint;
   std::mutex checkpoint_mutex;
   if (!spec.checkpoint_path.empty()) {
-    const std::string header = checkpoint_header(
-        spec_fingerprint(spec, model));
-    bool reuse = false;
-    {
-      std::ifstream in(spec.checkpoint_path);
-      std::string line;
-      if (in.is_open() && std::getline(in, line) && line == header) {
-        reuse = true;
-        while (std::getline(in, line)) {
-          CampaignPoint point;
-          // Malformed lines (e.g. cut short by a crash) are skipped; only
-          // successfully completed points are trusted.
-          if (campaign_point_from_json(line, point) && point.ok) {
-            done[{point.scheme, point.replication}] = std::move(point);
-          }
-        }
-      }
+    const std::string text = spec_text(spec, model);
+    const std::string fingerprint = spec_fingerprint(text);
+    checkpoint = std::make_unique<CheckpointWriter>(spec.checkpoint_path,
+                                                    fingerprint, text);
+    if (!spec.fresh_checkpoint) {
+      checkpoint->seed(load_resumable_points(spec.checkpoint_path, text,
+                                             fingerprint, done, out.repair_));
     }
-    checkpoint.open(spec.checkpoint_path,
-                    reuse ? std::ios::app : std::ios::trunc);
-    MBUS_EXPECTS(checkpoint.is_open(),
-                 cat("cannot open checkpoint file ", spec.checkpoint_path));
-    if (!reuse) checkpoint << header << "\n" << std::flush;
+    // Publish the (possibly compacted, possibly fresh) file right away,
+    // so even a campaign killed before its first point leaves a valid
+    // resumable checkpoint behind.
+    checkpoint->flush();
   }
+
+  // The watchdog exists only when points have a deadline; plain shutdown
+  // cancellation polls the token's flag directly.
+  std::optional<Watchdog> watchdog;
+  if (spec.point_timeout_ms > 0) watchdog.emplace(spec.cancel);
 
   std::vector<std::function<void()>> tasks;
   tasks.reserve(out.points_.size());
@@ -349,41 +307,118 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
         continue;
       }
       tasks.push_back([&spec, &model, &out, &checkpoint, &checkpoint_mutex,
-                       &scheme, rep, slot] {
+                       &watchdog, &scheme, rep, slot] {
         CampaignPoint point;
         point.scheme = scheme;
         point.replication = rep;
-        try {
-          if (spec.before_point) spec.before_point(scheme, rep);
-          evaluate_point(spec, model, scheme, rep, point);
-          point.ok = true;
-        } catch (const std::exception& e) {
-          // Graceful degradation: the point records its error and the
-          // campaign continues. Failed points are not checkpointed, so a
-          // resume retries them.
+        const int max_attempts = 1 + spec.max_retries;
+        for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+          if (spec.cancel != nullptr && spec.cancel->stop_requested()) {
+            point.cancelled = true;
+            point.error = attempt == 1 ? "cancelled before start"
+                                       : "cancelled during retry";
+            break;
+          }
           point = CampaignPoint{};
           point.scheme = scheme;
           point.replication = rep;
-          point.error = e.what();
-        } catch (...) {
-          point = CampaignPoint{};
-          point.scheme = scheme;
-          point.replication = rep;
-          point.error = "unknown error";
+          point.attempts = attempt;
+
+          // Deadline plumbing: the watchdog (when armed) sets the
+          // per-attempt flag, which the simulator polls; without a
+          // deadline the simulator polls the shutdown token directly.
+          std::atomic<bool> deadline_flag{false};
+          const std::atomic<bool>* abort =
+              watchdog.has_value()
+                  ? &deadline_flag
+                  : (spec.cancel != nullptr ? spec.cancel->flag() : nullptr);
+          std::uint64_t lease = 0;
+          if (watchdog.has_value()) {
+            lease = watchdog->arm(
+                &deadline_flag,
+                std::chrono::milliseconds(spec.point_timeout_ms));
+          }
+
+          try {
+            if (spec.before_point) spec.before_point(scheme, rep);
+            MBUS_FAILPOINT("campaign.point");
+            evaluate_point(spec, model, scheme, rep, abort, point);
+            point.ok = true;
+          } catch (const Cancelled& e) {
+            if (spec.cancel != nullptr && spec.cancel->stop_requested()) {
+              point.cancelled = true;
+            }
+            point.error = e.what();
+          } catch (const std::exception& e) {
+            point.error = e.what();
+          } catch (...) {
+            point.error = "unknown error";
+          }
+          const bool deadline_fired =
+              watchdog.has_value() && watchdog->disarm(lease);
+
+          if (point.ok || point.cancelled) break;
+          if (deadline_fired) {
+            point.timed_out = true;
+            point.error = cat("timed out (budget ", spec.point_timeout_ms,
+                              " ms): ", point.error);
+          }
+          if (attempt == max_attempts) {
+            if (max_attempts > 1) {
+              point.error =
+                  cat(point.error, " [after ", max_attempts, " attempts]");
+            }
+            break;
+          }
+          if (spec.retry_backoff_ms > 0) {
+            const std::int64_t backoff = std::min<std::int64_t>(
+                spec.retry_backoff_ms << std::min(attempt - 1, 8), 2000);
+            std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+          }
         }
-        if (point.ok && checkpoint.is_open()) {
+
+        if (point.ok && checkpoint != nullptr) {
           const std::string line = campaign_point_to_json(point);
           const std::lock_guard<std::mutex> lock(checkpoint_mutex);
-          checkpoint << line << "\n" << std::flush;
+          checkpoint->append(line);
         }
         out.points_[slot] = std::move(point);
       });
     }
   }
+  const std::atomic<bool>* cancel_flag =
+      spec.cancel != nullptr ? spec.cancel->flag() : nullptr;
   if (spec.pool != nullptr) {
-    run_parallel(std::move(tasks), *spec.pool);
+    run_parallel(std::move(tasks), *spec.pool, cancel_flag);
   } else {
-    run_parallel(std::move(tasks), spec.threads);
+    run_parallel(std::move(tasks), spec.threads, cancel_flag);
+  }
+
+  // Points skipped at dispatch (cancelled before their task body ran)
+  // still carry their identity and cause.
+  for (std::size_t si = 0; si < num_schemes; ++si) {
+    for (int rep = 0; rep < reps; ++rep) {
+      CampaignPoint& point =
+          out.points_[si * static_cast<std::size_t>(reps) +
+                      static_cast<std::size_t>(rep)];
+      if (point.scheme.empty()) {
+        point.scheme = spec.schemes[si];
+        point.replication = rep;
+        point.cancelled = true;
+        point.error = "cancelled before start";
+      }
+    }
+  }
+  out.interrupted_ =
+      spec.cancel != nullptr && spec.cancel->stop_requested();
+  if (checkpoint != nullptr) {
+    out.flush_failures_ = checkpoint->flush_failures();
+    if (out.flush_failures_ > 0) {
+      out.repair_.notes.push_back(
+          cat(out.flush_failures_, " checkpoint flush(es) failed and were "
+                                   "absorbed; last error: ",
+              checkpoint->last_error()));
+    }
   }
 
   // Per-scheme summaries, in spec order; means are over ok points only.
@@ -410,6 +445,7 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
                       static_cast<std::size_t>(rep)];
       if (!point.ok) {
         ++summary.failed_points;
+        if (point.cancelled) ++summary.cancelled_points;
         continue;
       }
       ++summary.ok_points;
@@ -472,8 +508,12 @@ Table Campaign::points_table() const {
   table.set_alignment(0, Align::kLeft);
   table.set_alignment(9, Align::kLeft);
   for (const CampaignPoint& p : points_) {
-    table.add_row({p.scheme, std::to_string(p.replication),
-                   p.ok ? "ok" : "error", fmt_fixed(p.healthy_bandwidth, 6),
+    const char* status = p.ok ? "ok"
+                        : p.cancelled ? "cancelled"
+                        : p.timed_out ? "timeout"
+                                      : "error";
+    table.add_row({p.scheme, std::to_string(p.replication), status,
+                   fmt_fixed(p.healthy_bandwidth, 6),
                    fmt_fixed(p.delivered_bandwidth, 6),
                    fmt_fixed(p.availability, 6),
                    fmt_fixed(p.min_window_bandwidth, 6),

@@ -16,18 +16,34 @@
 //                             campaign cross-checks that the observed
 //                             ordering matches fault_tolerance_degree()).
 //
-// Execution is crash-proof by design:
+// Execution is crash-proof, cancellable, and self-healing by design:
 //   * every (scheme, replication) point runs inside its own exception
 //     barrier — a throwing point records its error and the campaign
 //     continues (generalizing the sweep's skipped-point reporting);
-//   * an optional JSON-lines checkpoint file persists each completed
-//     point as soon as it finishes, so an interrupted campaign resumes
-//     exactly where it stopped and reproduces the uninterrupted result
-//     bit for bit (doubles round-trip through %.17g).
+//   * an optional checkpoint file (format v2, analysis/checkpoint.hpp:
+//     per-line CRC-32, atomic temp-file + fsync + rename flushes)
+//     persists each completed point as soon as it finishes, so an
+//     interrupted campaign resumes exactly where it stopped and
+//     reproduces the uninterrupted result bit for bit (doubles
+//     round-trip through %.17g). Damaged lines are quarantined with a
+//     repair report instead of poisoning the resume; a checkpoint whose
+//     spec fingerprint differs is refused with a field-by-field diff
+//     unless `fresh_checkpoint` overwrites it intentionally;
+//   * a `CancellationToken` (util/shutdown.hpp — wired to SIGINT/SIGTERM
+//     by the benches) stops the campaign cooperatively: in-flight points
+//     abort at the simulator's next poll, queued points are skipped, the
+//     checkpoint stays flushed, and `interrupted()` reports the state;
+//   * a per-point wall-clock budget (`point_timeout_ms`, enforced by a
+//     util/watchdog.hpp monitor) aborts wedged points; timed-out or
+//     failed points are retried up to `max_retries` times with bounded
+//     backoff under the same derived seed — a successful retry is
+//     bit-identical to a never-failed run — then recorded as skipped
+//     with their cause.
 //
 // Determinism: point seeds derive from (base_seed, scheme tag, B,
 // replication) via derive_stream_seed, so results are bit-identical for
-// any thread count, with or without checkpoint resume.
+// any thread count, with or without checkpoint resume, retries, or
+// engine choice.
 #pragma once
 
 #include <cstdint>
@@ -35,9 +51,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/checkpoint.hpp"
 #include "report/table.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault_process.hpp"
+#include "util/shutdown.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/request_model.hpp"
 
@@ -80,8 +98,29 @@ struct CampaignSpec {
   /// JSON-lines checkpoint file; empty disables checkpointing. Completed
   /// points are appended as they finish and skipped on the next run.
   std::string checkpoint_path;
+  /// Overwrite an existing checkpoint instead of resuming from it. When
+  /// false (default), a checkpoint written by a *different* spec — or an
+  /// unreadable/legacy-format one — is refused with an InvalidArgument
+  /// naming the differing fields, never silently mixed or discarded.
+  bool fresh_checkpoint = false;
 
-  /// Invoked before each point is evaluated (progress reporting / fault
+  /// Cooperative cancellation (non-owning; may be null). Once the token
+  /// fires, queued points are skipped, in-flight points abort at the
+  /// simulator's next poll, and Campaign::interrupted() returns true.
+  const CancellationToken* cancel = nullptr;
+
+  /// Wall-clock budget per point attempt in milliseconds; 0 disables the
+  /// watchdog. A point that exceeds it aborts with a timeout error.
+  std::int64_t point_timeout_ms = 0;
+  /// Extra attempts for a failed or timed-out point. Every attempt uses
+  /// the same derived seed, so a successful retry is bit-identical to a
+  /// never-failed run. After exhaustion the point records its cause.
+  int max_retries = 1;
+  /// Base backoff between attempts (doubled per retry, capped at 2s);
+  /// 0 retries immediately.
+  std::int64_t retry_backoff_ms = 0;
+
+  /// Invoked before each point attempt (progress reporting / fault
   /// injection in tests). An exception thrown here is captured as that
   /// point's error, like any other point failure.
   std::function<void(const std::string& scheme, int replication)>
@@ -97,6 +136,14 @@ struct CampaignPoint {
   /// metric fields are zero.
   bool ok = false;
   std::string error;
+  /// Attempts consumed (1 = first try succeeded). Metadata only — it
+  /// never influences metric values.
+  int attempts = 1;
+  /// The final attempt exceeded `point_timeout_ms` (retries exhausted).
+  bool timed_out = false;
+  /// The point was skipped or aborted by a cancellation request; it is
+  /// not checkpointed and a resumed campaign recomputes it.
+  bool cancelled = false;
 
   double healthy_bandwidth = 0.0;    // closed form, no faults
   double delivered_bandwidth = 0.0;  // simulated mean under the process
@@ -112,6 +159,9 @@ struct CampaignSummary {
   std::string scheme;
   int ok_points = 0;
   int failed_points = 0;
+  /// Points skipped by a cancellation request (subset of failed_points
+  /// not caused by an error — a resume recomputes them).
+  int cancelled_points = 0;
   int fault_tolerance_degree = 0;
 
   double healthy_bandwidth = 0.0;
@@ -151,6 +201,20 @@ class Campaign {
   /// Number of points loaded from the checkpoint instead of recomputed.
   int resumed_points() const noexcept { return resumed_; }
 
+  /// True when the campaign observed its cancellation token: some points
+  /// may be recorded as cancelled, and the checkpoint (if any) holds
+  /// everything that completed. Rerunning the same spec resumes.
+  bool interrupted() const noexcept { return interrupted_; }
+
+  /// What the checkpoint load had to skip or repair (empty/default when
+  /// no checkpoint was used or the file was pristine).
+  const CheckpointRepairReport& repair_report() const noexcept {
+    return repair_;
+  }
+
+  /// Checkpoint flushes that failed and were absorbed (0 = healthy I/O).
+  int checkpoint_flush_failures() const noexcept { return flush_failures_; }
+
   /// Scheme-level comparison table (the bench's main output).
   Table to_table(const std::string& title) const;
 
@@ -162,6 +226,9 @@ class Campaign {
   std::vector<CampaignPoint> points_;
   std::vector<CampaignSummary> summaries_;
   int resumed_ = 0;
+  bool interrupted_ = false;
+  CheckpointRepairReport repair_;
+  int flush_failures_ = 0;
 };
 
 /// Serialize one point as a single-line JSON object (the checkpoint

@@ -1,0 +1,366 @@
+#include "analysis/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+namespace jsonio {
+
+std::string json_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+bool seek_key(const std::string& line, const char* key, std::size_t& pos) {
+  const std::string needle = cat('"', key, "\":");
+  const std::size_t at = line.find(needle, pos);
+  if (at == std::string::npos) return false;
+  pos = at + needle.size();
+  return true;
+}
+
+bool parse_json_string(const std::string& line, std::size_t& pos,
+                       std::string& out) {
+  if (pos >= line.size() || line[pos] != '"') return false;
+  ++pos;
+  out.clear();
+  while (pos < line.size()) {
+    const char c = line[pos];
+    if (c == '"') {
+      ++pos;
+      return true;
+    }
+    if (c == '\\') {
+      if (pos + 1 >= line.size()) return false;
+      const char esc = line[pos + 1];
+      pos += 2;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > line.size()) return false;
+          const unsigned long code =
+              std::strtoul(line.substr(pos, 4).c_str(), nullptr, 16);
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          pos += 4;
+          break;
+        }
+        default: return false;
+      }
+    } else {
+      out += c;
+      ++pos;
+    }
+  }
+  return false;  // unterminated — a partial line from an interrupted write
+}
+
+bool parse_json_double(const std::string& line, std::size_t& pos,
+                       double& out) {
+  char* end = nullptr;
+  out = std::strtod(line.c_str() + pos, &end);
+  if (end == line.c_str() + pos) return false;
+  pos = static_cast<std::size_t>(end - line.c_str());
+  return true;
+}
+
+bool parse_json_int(const std::string& line, std::size_t& pos,
+                    std::int64_t& out) {
+  char* end = nullptr;
+  out = std::strtoll(line.c_str() + pos, &end, 10);
+  if (end == line.c_str() + pos) return false;
+  pos = static_cast<std::size_t>(end - line.c_str());
+  return true;
+}
+
+bool parse_json_bool(const std::string& line, std::size_t& pos, bool& out) {
+  if (line.compare(pos, 4, "true") == 0) {
+    out = true;
+    pos += 4;
+    return true;
+  }
+  if (line.compare(pos, 5, "false") == 0) {
+    out = false;
+    pos += 5;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace jsonio
+
+namespace {
+
+constexpr std::size_t kMaxReportNotes = 8;
+
+void add_note(CheckpointRepairReport& report, std::string note) {
+  if (report.notes.size() < kMaxReportNotes) {
+    report.notes.push_back(std::move(note));
+  } else if (report.notes.size() == kMaxReportNotes) {
+    report.notes.push_back("... further incidents elided");
+  }
+}
+
+/// Split a `<crc8> <payload>` line; returns false when the framing or
+/// checksum is wrong.
+bool verify_line(const std::string& line, std::string& payload) {
+  if (line.size() < 10 || line[8] != ' ') return false;
+  std::uint32_t stored = 0;
+  if (!parse_crc32_hex(std::string_view(line).substr(0, 8), stored)) {
+    return false;
+  }
+  payload = line.substr(9);
+  return crc32(payload) == stored;
+}
+
+std::string frame_line(const std::string& payload) {
+  return cat(crc32_hex(crc32(payload)), " ", payload);
+}
+
+std::string header_payload(const std::string& fingerprint,
+                           const std::string& spec_text) {
+  std::string payload = "{\"mbus_fault_campaign\":2,\"fingerprint\":";
+  jsonio::append_json_string(payload, fingerprint);
+  payload += ",\"spec\":";
+  jsonio::append_json_string(payload, spec_text);
+  payload += "}";
+  return payload;
+}
+
+/// key=value fields of a labeled spec string, in order.
+std::vector<std::pair<std::string, std::string>> spec_fields(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t bar = spec.find('|', start);
+    if (bar == std::string::npos) bar = spec.size();
+    const std::string field = spec.substr(start, bar - start);
+    start = bar + 1;
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      fields.emplace_back(field, "");
+    } else {
+      fields.emplace_back(field.substr(0, eq), field.substr(eq + 1));
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::string CheckpointRepairReport::to_string() const {
+  std::string out =
+      cat("checkpoint load: ", data_lines, " data line(s), ", ok_lines,
+          " intact");
+  if (corrupt_lines > 0) {
+    out += cat(", ", corrupt_lines, " corrupt/truncated (quarantined)");
+  }
+  if (blank_lines > 0) out += cat(", ", blank_lines, " blank");
+  if (duplicate_points > 0) {
+    out += cat(", ", duplicate_points, " duplicate point(s) (last wins)");
+  }
+  if (rejected_points > 0) {
+    out += cat(", ", rejected_points, " unparsable point(s) (ignored)");
+  }
+  for (const std::string& note : notes) {
+    out += cat("\n  - ", note);
+  }
+  return out;
+}
+
+LoadedCheckpoint load_checkpoint_file(const std::string& path) {
+  LoadedCheckpoint out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return out;
+  out.exists = true;
+
+  std::string line;
+  bool saw_header_line = false;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
+    if (line.empty()) {
+      if (saw_header_line) ++out.report.blank_lines;
+      continue;
+    }
+
+    if (!saw_header_line) {
+      saw_header_line = true;
+      // Legacy v1 files framed the header as bare JSON with no CRC.
+      if (line.rfind("{\"mbus_fault_campaign\":1", 0) == 0) {
+        out.version = 1;
+        return out;
+      }
+      std::string payload;
+      if (!verify_line(line, payload) ||
+          payload.rfind("{\"mbus_fault_campaign\":2", 0) != 0) {
+        add_note(out.report, "header line unrecognized or corrupt");
+        return out;
+      }
+      std::size_t pos = 0;
+      if (!jsonio::seek_key(payload, "fingerprint", pos) ||
+          !jsonio::parse_json_string(payload, pos, out.fingerprint) ||
+          !jsonio::seek_key(payload, "spec", pos) ||
+          !jsonio::parse_json_string(payload, pos, out.spec_text)) {
+        add_note(out.report, "header fields missing or malformed");
+        return out;
+      }
+      out.version = 2;
+      continue;
+    }
+
+    ++out.report.data_lines;
+    std::string payload;
+    if (verify_line(line, payload)) {
+      ++out.report.ok_lines;
+      out.payloads.push_back(std::move(payload));
+    } else {
+      ++out.report.corrupt_lines;
+      add_note(out.report,
+               cat("line ", line_number, ": CRC mismatch or truncation (",
+                   std::min<std::size_t>(line.size(), 40), " byte prefix: '",
+                   line.substr(0, 40), "')"));
+    }
+  }
+  out.empty = !saw_header_line;
+  return out;
+}
+
+std::string describe_spec_mismatch(const std::string& checkpoint_spec,
+                                   const std::string& run_spec) {
+  const auto have = spec_fields(checkpoint_spec);
+  const auto want = spec_fields(run_spec);
+  std::vector<std::string> diffs;
+  for (const auto& [key, value] : want) {
+    bool found = false;
+    for (const auto& [ckey, cvalue] : have) {
+      if (ckey != key) continue;
+      found = true;
+      if (cvalue != value) {
+        diffs.push_back(
+            cat(key, ": checkpoint has ", cvalue, ", this run has ", value));
+      }
+      break;
+    }
+    if (!found) diffs.push_back(cat(key, ": absent from checkpoint"));
+  }
+  for (const auto& [ckey, cvalue] : have) {
+    bool known = false;
+    for (const auto& [key, value] : want) {
+      if (key == ckey) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) diffs.push_back(cat(ckey, ": only in checkpoint"));
+  }
+  if (diffs.empty()) return "specs differ in an unrecognized way";
+  return join(diffs, "; ");
+}
+
+CheckpointWriter::CheckpointWriter(std::string path, std::string fingerprint,
+                                   std::string spec_text)
+    : path_(std::move(path)),
+      fingerprint_(std::move(fingerprint)),
+      spec_text_(std::move(spec_text)) {
+  MBUS_EXPECTS(!path_.empty(), "checkpoint writer needs a path");
+}
+
+void CheckpointWriter::seed(std::vector<std::string> payloads) {
+  payloads_ = std::move(payloads);
+}
+
+bool CheckpointWriter::append(const std::string& payload) {
+  payloads_.push_back(payload);
+  return flush();
+}
+
+bool CheckpointWriter::flush() {
+  const std::string temp = path_ + ".tmp";
+  try {
+    MBUS_FAILPOINT("checkpoint.flush");
+    {
+      std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+      if (!out.is_open()) {
+        throw Error(cat("cannot open temp file ", temp));
+      }
+      out << frame_line(header_payload(fingerprint_, spec_text_)) << "\n";
+      for (const std::string& payload : payloads_) {
+        out << frame_line(payload) << "\n";
+      }
+      out.flush();
+      if (!out) throw Error(cat("short write to ", temp));
+    }
+#ifndef _WIN32
+    // Make the bytes durable before the rename publishes them; a crash
+    // after the rename must not resurrect a hollow file.
+    const int fd = ::open(temp.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+#endif
+    MBUS_FAILPOINT("checkpoint.rename");
+    if (std::rename(temp.c_str(), path_.c_str()) != 0) {
+      throw Error(cat("cannot rename ", temp, " over ", path_));
+    }
+    return true;
+  } catch (const std::exception& e) {
+    // Absorb: checkpointing degrades, the campaign lives on. The temp
+    // file (if any) is removed so a later resume cannot see half a flush.
+    std::remove(temp.c_str());
+    ++flush_failures_;
+    last_error_ = e.what();
+    return false;
+  }
+}
+
+}  // namespace mbus

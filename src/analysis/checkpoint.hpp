@@ -1,0 +1,137 @@
+// Checkpoint format v2: a self-verifying, atomically-replaced JSON-lines
+// file for long-running campaigns (analysis/availability.hpp).
+//
+// Layout — every line is `<crc32-hex8> <payload>`:
+//
+//   c0ffee12 {"mbus_fault_campaign":2,"fingerprint":"...","spec":"..."}
+//   9a3b44d1 {"scheme":"full","replication":0,...}
+//   ...
+//
+// The header carries both the FNV-1a fingerprint of the value-determining
+// spec fields *and* the labeled `key=value|key=value` text it was hashed
+// from, so a mismatch error can say exactly which field differed instead
+// of just "stale checkpoint". Each payload line carries its own CRC-32,
+// so a truncated or bit-flipped record is detected and quarantined — a
+// tolerant load returns every intact payload plus a repair report, never
+// throws on damaged content.
+//
+// Writes are atomic: the writer keeps all payloads in memory and, on
+// every append, rewrites `<path>.tmp`, fsyncs it, and renames it over
+// `<path>`. A crash at any instant leaves either the previous complete
+// file or the new complete file — never a torn line (the rewrite also
+// compacts away any quarantined garbage from a previous crash). Flush
+// failures are absorbed and counted rather than thrown: a sick disk
+// degrades checkpointing, it does not kill the campaign.
+//
+// Failpoint probe sites (util/failpoint.hpp): `checkpoint.flush` fires
+// at the start of a flush, `checkpoint.rename` after the temp file is
+// complete but before it replaces the real one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbus {
+
+/// What a tolerant load had to skip or repair. `clean()` means the file
+/// was exactly as written; anything else is worth a log line.
+struct CheckpointRepairReport {
+  int data_lines = 0;      ///< Non-header, non-blank lines seen.
+  int ok_lines = 0;        ///< Lines whose CRC and framing verified.
+  int corrupt_lines = 0;   ///< Quarantined: bad prefix, CRC mismatch,
+                           ///< or truncated tail.
+  int blank_lines = 0;
+  /// Filled by the consumer of the payloads (e.g. the campaign runner):
+  /// records that parsed but were superseded or unusable.
+  int duplicate_points = 0;  ///< Same point twice; last occurrence wins.
+  int rejected_points = 0;   ///< CRC-valid payload with a bad schema.
+  /// Human-readable details, capped to the first few incidents.
+  std::vector<std::string> notes;
+
+  bool clean() const noexcept {
+    return corrupt_lines == 0 && duplicate_points == 0 &&
+           rejected_points == 0;
+  }
+  /// One-paragraph summary for stderr / logs.
+  std::string to_string() const;
+};
+
+struct LoadedCheckpoint {
+  bool exists = false;   ///< The file was present and readable.
+  bool empty = false;    ///< Present but zero usable bytes.
+  /// 2 = valid v2 header; 1 = recognized legacy v1 header (payloads are
+  /// not loaded — v1 lines carry no CRC); 0 = unrecognized or corrupt.
+  int version = 0;
+  std::string fingerprint;
+  std::string spec_text;
+  /// CRC-verified payloads in file order (v2 only).
+  std::vector<std::string> payloads;
+  CheckpointRepairReport report;
+};
+
+/// Tolerantly read a checkpoint file. Handles CRLF line endings and a
+/// final line without newline; damaged lines are quarantined into the
+/// report. Never throws on file content.
+LoadedCheckpoint load_checkpoint_file(const std::string& path);
+
+/// Explain how two labeled `key=value|key=value` spec strings differ,
+/// field by field — e.g. "seed: checkpoint has 777, this run has 778".
+std::string describe_spec_mismatch(const std::string& checkpoint_spec,
+                                   const std::string& run_spec);
+
+class CheckpointWriter {
+ public:
+  /// Prepares a writer for `path`. Nothing touches the filesystem until
+  /// the first flush()/append().
+  CheckpointWriter(std::string path, std::string fingerprint,
+                   std::string spec_text);
+
+  /// Carry forward payloads from a tolerant load, so resume + append
+  /// preserves prior work (and the next flush compacts out any damage).
+  void seed(std::vector<std::string> payloads);
+
+  /// Append one payload and flush atomically. Returns false (and counts
+  /// the failure) instead of throwing on I/O errors. Thread-safety is the
+  /// caller's job — the campaign serializes appends under its own mutex.
+  bool append(const std::string& payload);
+
+  /// Write the current state (header + payloads) via temp-file + fsync +
+  /// rename. Same error contract as append().
+  bool flush();
+
+  int flush_failures() const noexcept { return flush_failures_; }
+  const std::string& last_error() const noexcept { return last_error_; }
+
+ private:
+  std::string path_;
+  std::string fingerprint_;
+  std::string spec_text_;
+  std::vector<std::string> payloads_;
+  int flush_failures_ = 0;
+  std::string last_error_;
+};
+
+namespace jsonio {
+// Minimal JSON plumbing shared by the checkpoint header and the
+// campaign-point serializer (analysis/availability.cpp).
+
+/// Append `s` as a quoted, escaped JSON string.
+void append_json_string(std::string& out, const std::string& s);
+/// Shortest decimal that round-trips a double exactly (%.17g).
+std::string json_double(double value);
+
+/// Cursor-based extraction: find `"key":` at or after `pos`, leaving
+/// `pos` on the first character of the value.
+bool seek_key(const std::string& line, const char* key, std::size_t& pos);
+bool parse_json_string(const std::string& line, std::size_t& pos,
+                       std::string& out);
+bool parse_json_double(const std::string& line, std::size_t& pos,
+                       double& out);
+bool parse_json_int(const std::string& line, std::size_t& pos,
+                    std::int64_t& out);
+bool parse_json_bool(const std::string& line, std::size_t& pos, bool& out);
+
+}  // namespace jsonio
+
+}  // namespace mbus

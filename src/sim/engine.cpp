@@ -129,6 +129,11 @@ SimResult Simulator::run_reference() {
 
   const std::int64_t total_cycles = config_.warmup + config_.cycles;
   for (std::int64_t cycle = 0; cycle < total_cycles; ++cycle) {
+    if (config_.cancel != nullptr && (cycle & 1023) == 0 &&
+        config_.cancel->load(std::memory_order_relaxed)) {
+      throw Cancelled(cat("simulation cancelled at cycle ", cycle, " of ",
+                          total_cycles));
+    }
     bool mask_changed = false;
 
     // Fault timeline (timed relative to measured cycles; warmup excluded).

@@ -20,6 +20,7 @@
 // itself a result we report (EXPERIMENTS.md).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -84,6 +85,13 @@ struct SimConfig {
   /// reference loop when fast_kernel_supported() is false for this
   /// configuration, so results never depend on which kind was requested.
   EngineKind engine = EngineKind::kReference;
+  /// Cooperative cancellation (non-owning; may be null). Both engines
+  /// poll the flag every 1024 cycles and throw `mbus::Cancelled` once it
+  /// is set — the hook that lets graceful shutdown (util/shutdown.hpp)
+  /// and per-point deadlines (util/watchdog.hpp) abort a long run
+  /// promptly. Polling never touches the RNG, so results with an unfired
+  /// flag are bit-identical to runs with no flag at all.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 class Simulator {

@@ -7,6 +7,7 @@
 
 #include "util/alias_sampler.hpp"
 #include "util/error.hpp"
+#include "util/format.hpp"
 
 namespace mbus {
 
@@ -197,6 +198,11 @@ SimResult run_fast_kernel(const Topology& topology, const RequestModel& model,
 
   const std::int64_t total_cycles = config.warmup + config.cycles;
   for (std::int64_t cycle = 0; cycle < total_cycles; ++cycle) {
+    if (config.cancel != nullptr && (cycle & 1023) == 0 &&
+        config.cancel->load(std::memory_order_relaxed)) {
+      throw Cancelled(cat("simulation cancelled at cycle ", cycle, " of ",
+                          total_cycles));
+    }
     // Fault timeline (timed relative to measured cycles; warmup excluded).
     while (next_event < events.size() &&
            events[next_event].cycle <= cycle - config.warmup) {

@@ -4,8 +4,12 @@
 #include <iostream>
 #include <sstream>
 
+#include <algorithm>
+
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/format.hpp"
+#include "util/shutdown.hpp"
 
 namespace mbus {
 
@@ -158,6 +162,33 @@ bool CliParser::get_flag(const std::string& name) const {
   return require(name, Kind::kFlag).flag_value;
 }
 
+std::int64_t CliParser::get_positive_int(const std::string& name) const {
+  const std::int64_t value = get_int(name);
+  if (value <= 0) {
+    throw InvalidArgument(cat("--", name,
+                              " must be a positive integer (got ", value,
+                              ")"));
+  }
+  return value;
+}
+
+std::int64_t CliParser::get_nonnegative_int(const std::string& name) const {
+  const std::int64_t value = get_int(name);
+  if (value < 0) {
+    throw InvalidArgument(cat("--", name, " must be >= 0 (got ", value, ")"));
+  }
+  return value;
+}
+
+double CliParser::get_positive_double(const std::string& name) const {
+  const double value = get_double(name);
+  if (!(value > 0.0)) {
+    throw InvalidArgument(
+        cat("--", name, " must be a positive number (got ", value, ")"));
+  }
+  return value;
+}
+
 std::string CliParser::help_text() const {
   std::ostringstream os;
   os << summary_ << "\n\nOptions:\n";
@@ -171,10 +202,23 @@ std::string CliParser::help_text() const {
   return os.str();
 }
 
+void require_bus_count(std::int64_t buses, std::int64_t processors,
+                       std::int64_t memories) {
+  const std::int64_t limit = std::min(processors, memories);
+  if (buses < 1 || buses > limit) {
+    throw InvalidArgument(cat("--b must satisfy 1 <= B <= min(N, M) = ",
+                              limit, " (got ", buses, ")"));
+  }
+}
+
 int run_cli_main(int argc, char** argv, int (*body)(int, char**)) noexcept {
   const char* program = argc > 0 ? argv[0] : "mbus";
   try {
+    failpoints::arm_from_env();
     return body(argc, argv);
+  } catch (const Cancelled& e) {
+    std::cerr << program << ": interrupted (resumable): " << e.what() << "\n";
+    return kExitInterrupted;
   } catch (const Error& e) {
     std::cerr << program << ": error: " << e.what() << "\n";
   } catch (const std::exception& e) {

@@ -35,6 +35,16 @@ class CliParser {
   const std::string& get_string(const std::string& name) const;
   bool get_flag(const std::string& name) const;
 
+  /// Validating getters: same lookup as get_int/get_double, but throw
+  /// InvalidArgument with a message naming the flag and the offending
+  /// value when the constraint fails. Every bench/example main uses
+  /// these for --horizon, --replications, --threads, etc., so malformed
+  /// runs die with a clear one-liner instead of an assertion deep in
+  /// the library (or silently absurd behavior).
+  std::int64_t get_positive_int(const std::string& name) const;
+  std::int64_t get_nonnegative_int(const std::string& name) const;
+  double get_positive_double(const std::string& name) const;
+
   /// The rendered help text (also printed when --help is seen).
   std::string help_text() const;
 
@@ -60,10 +70,25 @@ class CliParser {
   std::vector<Option> options_;
 };
 
+/// Validate a --b bus-count against the topology shape: throws
+/// InvalidArgument unless 1 <= buses <= min(processors, memories) — the
+/// paper's structural constraint (more buses than the smaller side can
+/// never be used, and several schemes reject the shape much less
+/// legibly). Shared by every main that takes --b/--n/--m.
+void require_bus_count(std::int64_t buses, std::int64_t processors,
+                       std::int64_t memories);
+
 /// Top-level exception barrier for bench/example binaries: runs `body`
 /// and converts an escaping `mbus::Error` (or any std::exception — e.g.
 /// an InvalidArgument from a malformed flag) into a clean one-line
 /// message on stderr and exit status 1, instead of std::terminate.
+/// Two extra duties for long-run robustness:
+///   * arms failpoints from $MBUS_FAILPOINTS first, so any binary can be
+///     fault-injected without code changes (util/failpoint.hpp);
+///   * maps an escaping `Cancelled` (shutdown signal observed outside a
+///     campaign's own handling) to exit status `kExitInterrupted` (75),
+///     which scripts read as "interrupted, rerun to resume" — distinct
+///     from status 1 = "failed, rerunning won't help".
 ///
 ///   int main(int argc, char** argv) {
 ///     return mbus::run_cli_main(argc, argv, run);

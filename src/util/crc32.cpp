@@ -1,0 +1,62 @@
+#include "util/crc32.hpp"
+
+#include <array>
+#include <string>
+
+namespace mbus {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string crc32_hex(std::uint32_t crc) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[crc & 0xFu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+bool parse_crc32_hex(std::string_view text, std::uint32_t& out) noexcept {
+  if (text.size() != 8) return false;
+  std::uint32_t value = 0;
+  for (const char ch : text) {
+    value <<= 4;
+    if (ch >= '0' && ch <= '9') {
+      value |= static_cast<std::uint32_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      value |= static_cast<std::uint32_t>(ch - 'a' + 10);
+    } else if (ch >= 'A' && ch <= 'F') {
+      value |= static_cast<std::uint32_t>(ch - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace mbus

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte strings.
+//
+// Used by the campaign checkpoint format (analysis/checkpoint.hpp) to
+// detect truncated or bit-flipped lines: every payload line carries its
+// own checksum, so a resume can quarantine damage instead of trusting a
+// half-written record. The implementation is the classic 256-entry table
+// — a few GB/s, far faster than the checkpoint's I/O path needs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mbus {
+
+/// CRC-32 of `data` (initial value 0xFFFFFFFF, final xor 0xFFFFFFFF —
+/// the zlib/PNG convention, so values can be cross-checked externally).
+std::uint32_t crc32(std::string_view data) noexcept;
+
+/// Fixed-width lowercase hex rendering ("xxxxxxxx") of a CRC value — the
+/// exact form the checkpoint line prefix uses.
+std::string crc32_hex(std::uint32_t crc);
+
+/// Parse the 8-hex-digit form back; returns false on malformed input.
+bool parse_crc32_hex(std::string_view text, std::uint32_t& out) noexcept;
+
+}  // namespace mbus

@@ -40,6 +40,15 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
+/// A long-running operation observed a cancellation request (graceful
+/// shutdown via util/shutdown.hpp, or a watchdog deadline via
+/// util/watchdog.hpp) and aborted cooperatively. Not a failure: the
+/// operation is resumable or retryable.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_invalid_argument(const char* file, int line,
                                          const char* cond,

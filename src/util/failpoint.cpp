@@ -1,0 +1,155 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/format.hpp"
+
+namespace mbus {
+namespace failpoints {
+
+namespace {
+
+enum class Action { kThrow, kSleep, kNoop };
+
+struct Site {
+  std::string name;
+  Action action = Action::kNoop;
+  std::int64_t sleep_ms = 0;
+  std::int64_t from_hit = 1;   // first hit that acts (1-based)
+  bool repeat = true;          // act on every hit >= from_hit
+  std::int64_t hits = 0;
+};
+
+std::atomic<bool> g_enabled{false};
+std::mutex g_mutex;
+std::vector<Site>& registry() {
+  static std::vector<Site> sites;
+  return sites;
+}
+
+Site* find_locked(const std::string& name) {
+  for (Site& site : registry()) {
+    if (site.name == name) return &site;
+  }
+  return nullptr;
+}
+
+/// Parses one `site=action[@trigger]` clause.
+Site parse_clause(const std::string& clause) {
+  const std::size_t eq = clause.find('=');
+  MBUS_EXPECTS(eq != std::string::npos && eq > 0,
+               cat("malformed failpoint clause '", clause,
+                   "' — expected site=action[@trigger]"));
+  Site site;
+  site.name = clause.substr(0, eq);
+  std::string action = clause.substr(eq + 1);
+
+  if (const std::size_t at = action.find('@'); at != std::string::npos) {
+    std::string trigger = action.substr(at + 1);
+    action = action.substr(0, at);
+    site.repeat = !trigger.empty() && trigger.back() == '+';
+    if (site.repeat) trigger.pop_back();
+    char* end = nullptr;
+    site.from_hit = std::strtoll(trigger.c_str(), &end, 10);
+    MBUS_EXPECTS(!trigger.empty() && end == trigger.c_str() + trigger.size()
+                     && site.from_hit >= 1,
+                 cat("malformed failpoint trigger '@", trigger,
+                     "' in '", clause, "' — expected @N or @N+ with N >= 1"));
+  }
+
+  if (action == "throw") {
+    site.action = Action::kThrow;
+  } else if (action == "noop") {
+    site.action = Action::kNoop;
+  } else if (action.rfind("sleep:", 0) == 0) {
+    const std::string ms = action.substr(6);
+    char* end = nullptr;
+    site.sleep_ms = std::strtoll(ms.c_str(), &end, 10);
+    MBUS_EXPECTS(!ms.empty() && end == ms.c_str() + ms.size() &&
+                     site.sleep_ms >= 0,
+                 cat("malformed sleep duration in failpoint '", clause, "'"));
+    site.action = Action::kSleep;
+  } else {
+    MBUS_EXPECTS(false, cat("unknown failpoint action '", action, "' in '",
+                            clause, "' — expected throw, sleep:<ms>, or noop"));
+  }
+  return site;
+}
+
+}  // namespace
+
+void arm(const std::string& spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string clause = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (clause.empty()) continue;
+    Site parsed = parse_clause(clause);
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (Site* existing = find_locked(parsed.name)) {
+      *existing = std::move(parsed);
+    } else {
+      registry().push_back(std::move(parsed));
+    }
+    g_enabled.store(true, std::memory_order_relaxed);
+  }
+}
+
+void arm_from_env() {
+  if (const char* spec = std::getenv("MBUS_FAILPOINTS")) {
+    if (*spec != '\0') arm(spec);
+  }
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  registry().clear();
+  g_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::int64_t hits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const Site* found = find_locked(site);
+  return found == nullptr ? 0 : found->hits;
+}
+
+bool enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void evaluate(const char* site) {
+  Action action = Action::kNoop;
+  std::int64_t sleep_ms = 0;
+  std::int64_t hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    Site* found = find_locked(site);
+    if (found == nullptr) return;
+    hit = ++found->hits;
+    const bool acts = found->repeat ? hit >= found->from_hit
+                                    : hit == found->from_hit;
+    if (!acts) return;
+    action = found->action;
+    sleep_ms = found->sleep_ms;
+  }
+  switch (action) {
+    case Action::kThrow:
+      throw FaultInjected(
+          cat("failpoint '", site, "' fired (hit ", hit, ")"));
+    case Action::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      break;
+    case Action::kNoop:
+      break;
+  }
+}
+
+}  // namespace failpoints
+}  // namespace mbus

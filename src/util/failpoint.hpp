@@ -1,0 +1,87 @@
+// Deterministic software fault injection ("failpoints").
+//
+// Probe sites are compiled into hot paths of the harness — checkpoint
+// I/O, campaign point evaluation, ThreadPool dispatch — as
+// `MBUS_FAILPOINT("site.name")`. Disarmed (the default), a probe is one
+// relaxed atomic load; builds with -DMBUS_NO_FAILPOINTS compile probes
+// out entirely. Armed, a probe consults the registry and performs its
+// configured action, deterministically by (site, hit count) — never by
+// time or randomness — so a fault-injection test reproduces exactly.
+//
+// Spec grammar (also accepted from the MBUS_FAILPOINTS environment
+// variable and the benches' --failpoints flag), comma-separated:
+//
+//   site=throw          throw FaultInjected on every hit
+//   site=throw@3        ... on the 3rd hit only
+//   site=throw@3+       ... on every hit from the 3rd on
+//   site=sleep:50       sleep 50 ms (stall injection for the watchdog)
+//   site=noop           count hits without acting (coverage probes)
+//
+// Example: MBUS_FAILPOINTS="checkpoint.flush=throw@2" fails the second
+// checkpoint flush of the process, wherever it happens.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+/// Thrown by a `throw`-action probe. Derives from Error, so the
+/// campaign's per-point barrier records it like any real failure.
+class FaultInjected : public Error {
+ public:
+  explicit FaultInjected(const std::string& what) : Error(what) {}
+};
+
+namespace failpoints {
+
+/// Arm failpoints from a spec string (see grammar above); cumulative
+/// with previously armed sites (re-arming a site replaces it). Throws
+/// InvalidArgument on a malformed spec.
+void arm(const std::string& spec);
+
+/// Arm from the MBUS_FAILPOINTS environment variable; no-op when unset
+/// or empty. Called by run_cli_main, so every bench/example binary is
+/// injectable without code changes.
+void arm_from_env();
+
+/// Disarm every site and reset all hit counters.
+void disarm_all();
+
+/// Hits observed at `site` since it was armed (0 for unknown sites).
+std::int64_t hits(const std::string& site);
+
+/// True when any site is armed (the macro's fast-path gate).
+bool enabled() noexcept;
+
+/// The macro's slow path; do not call directly.
+void evaluate(const char* site);
+
+/// RAII arm/disarm for tests: arms `spec` on construction, disarms
+/// everything on destruction (even when the test throws).
+class Scoped {
+ public:
+  explicit Scoped(const std::string& spec) { arm(spec); }
+  ~Scoped() { disarm_all(); }
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+};
+
+}  // namespace failpoints
+}  // namespace mbus
+
+#if defined(MBUS_NO_FAILPOINTS)
+#define MBUS_FAILPOINT(site) \
+  do {                       \
+  } while (false)
+#else
+/// A probe site: near-zero cost unless some failpoint is armed.
+#define MBUS_FAILPOINT(site)                                      \
+  do {                                                            \
+    if (::mbus::failpoints::enabled()) {                          \
+      ::mbus::failpoints::evaluate(site);                         \
+    }                                                             \
+  } while (false)
+#endif

@@ -1,0 +1,45 @@
+#include "util/shutdown.hpp"
+
+#include <csignal>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+namespace {
+
+// Signal-handler state: lock-free atomics only (async-signal-safe).
+std::atomic<CancellationToken*> g_token{nullptr};
+std::atomic<int> g_signal{0};
+
+extern "C" void mbus_signal_handler(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  if (CancellationToken* token = g_token.load(std::memory_order_relaxed)) {
+    token->request_stop();
+  }
+}
+
+}  // namespace
+
+SignalGuard::SignalGuard(CancellationToken& token) {
+  CancellationToken* expected = nullptr;
+  MBUS_EXPECTS(
+      g_token.compare_exchange_strong(expected, &token,
+                                      std::memory_order_relaxed),
+      "only one SignalGuard may be active at a time");
+  g_signal.store(0, std::memory_order_relaxed);
+  previous_int_ = std::signal(SIGINT, &mbus_signal_handler);
+  previous_term_ = std::signal(SIGTERM, &mbus_signal_handler);
+}
+
+SignalGuard::~SignalGuard() {
+  std::signal(SIGINT, previous_int_ == SIG_ERR ? SIG_DFL : previous_int_);
+  std::signal(SIGTERM, previous_term_ == SIG_ERR ? SIG_DFL : previous_term_);
+  g_token.store(nullptr, std::memory_order_relaxed);
+}
+
+int SignalGuard::signal_received() const noexcept {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace mbus

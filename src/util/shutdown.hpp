@@ -1,0 +1,73 @@
+// Graceful-shutdown plumbing for the long-running entry points.
+//
+// The model is cooperative cancellation: a `CancellationToken` is a
+// single sticky flag that signal handlers, watchdogs, or tests can set,
+// and that the campaign/sweep loops, ThreadPool batches, and both
+// simulator cycle loops poll at safe points. Nothing is preempted —
+// an in-flight point either finishes or aborts cleanly at its next
+// check, the checkpoint is flushed, and the caller reports "interrupted,
+// resumable" (exit code `kExitInterrupted`) instead of dying mid-write.
+//
+// `SignalGuard` is the RAII bridge from POSIX signals to a token:
+// while in scope, SIGINT/SIGTERM set the token (async-signal-safe —
+// the handler only stores to lock-free atomics) instead of killing the
+// process; previous handlers are restored on destruction. A second
+// signal while the first is still being honored falls through to the
+// previous handler, so a double Ctrl-C still force-quits.
+#pragma once
+
+#include <atomic>
+
+namespace mbus {
+
+/// Exit status for "interrupted but resumable" (EX_TEMPFAIL): the run
+/// stopped on SIGINT/SIGTERM after flushing its checkpoint; rerunning
+/// with the same flags resumes. Distinct from 1 = failed.
+inline constexpr int kExitInterrupted = 75;
+
+/// A sticky cooperative-cancellation flag. Thread-safe; setting is
+/// idempotent. Polling is a relaxed atomic load — cheap enough for the
+/// simulator cycle loops to check every ~1k cycles.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void request_stop() noexcept {
+    flag_.store(true, std::memory_order_relaxed);
+  }
+  bool stop_requested() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+  /// For tests that reuse one token across scenarios.
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+  /// The raw flag, for plumbing into SimConfig::cancel (the simulator
+  /// polls a bare atomic so sim/ does not depend on util/shutdown).
+  const std::atomic<bool>* flag() const noexcept { return &flag_; }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII signal→token bridge. At most one may be active per process
+/// (construction throws InvalidArgument otherwise); destruction restores
+/// the previous SIGINT/SIGTERM handlers.
+class SignalGuard {
+ public:
+  explicit SignalGuard(CancellationToken& token);
+  ~SignalGuard();
+
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+  /// The signal number that fired (0 if none so far).
+  int signal_received() const noexcept;
+
+ private:
+  void (*previous_int_)(int);
+  void (*previous_term_)(int);
+};
+
+}  // namespace mbus

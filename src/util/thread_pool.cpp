@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace mbus {
 
@@ -61,10 +62,22 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::run(std::vector<std::function<void()>> tasks) {
+void ThreadPool::run(std::vector<std::function<void()>> tasks,
+                     const std::atomic<bool>* cancel) {
   std::vector<std::future<void>> futures;
   futures.reserve(tasks.size());
-  for (auto& task : tasks) futures.push_back(submit(std::move(task)));
+  for (auto& task : tasks) {
+    // The dispatch wrapper is where a worker observes cancellation: a
+    // task whose turn comes after the flag is set never starts, but its
+    // future still completes so the batch join below returns promptly.
+    futures.push_back(submit([cancel, task = std::move(task)] {
+      MBUS_FAILPOINT("pool.dispatch");
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        return;
+      }
+      task();
+    }));
+  }
   std::exception_ptr first;
   for (auto& future : futures) {
     try {
@@ -76,18 +89,19 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   if (first) std::rethrow_exception(first);
 }
 
-void run_parallel(std::vector<std::function<void()>> tasks, int threads) {
+void run_parallel(std::vector<std::function<void()>> tasks, int threads,
+                  const std::atomic<bool>* cancel) {
   ParallelOptions opts;
   opts.threads = threads;
   const int resolved = opts.resolved_threads();
   MBUS_EXPECTS(resolved >= 1, "thread count must be >= 0");
   ThreadPool pool(resolved <= 1 ? 0 : resolved);
-  pool.run(std::move(tasks));
+  pool.run(std::move(tasks), cancel);
 }
 
-void run_parallel(std::vector<std::function<void()>> tasks,
-                  ThreadPool& pool) {
-  pool.run(std::move(tasks));
+void run_parallel(std::vector<std::function<void()>> tasks, ThreadPool& pool,
+                  const std::atomic<bool>* cancel) {
+  pool.run(std::move(tasks), cancel);
 }
 
 }  // namespace mbus

@@ -12,6 +12,7 @@
 // serial reference path and the fallback on single-core machines.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -64,7 +65,14 @@ class ThreadPool {
   /// usable afterwards — callers that evaluate many batches (sweep points,
   /// campaign points, replication sets) construct one pool and call run()
   /// per batch instead of paying thread spawn/join per batch.
-  void run(std::vector<std::function<void()>> tasks);
+  ///
+  /// `cancel` (optional) enables cooperative shutdown: each worker checks
+  /// the flag at dispatch and skips tasks that have not started once it
+  /// is set (their futures still complete, so run() returns promptly).
+  /// Tasks already in flight are not preempted — they observe the same
+  /// flag themselves at their own safe points (see util/shutdown.hpp).
+  void run(std::vector<std::function<void()>> tasks,
+           const std::atomic<bool>* cancel = nullptr);
 
   /// max(1, std::thread::hardware_concurrency()).
   static int hardware_threads() noexcept;
@@ -85,9 +93,12 @@ class ThreadPool {
 /// throw, the one earliest in `tasks` order wins (deterministically).
 /// Constructs a fresh pool per call; batch-heavy callers should hold a
 /// ThreadPool and use the overload below (or ThreadPool::run directly).
-void run_parallel(std::vector<std::function<void()>> tasks, int threads);
+/// `cancel` follows the ThreadPool::run contract.
+void run_parallel(std::vector<std::function<void()>> tasks, int threads,
+                  const std::atomic<bool>* cancel = nullptr);
 
 /// Same contract, but on an existing pool — no thread spawn/join cost.
-void run_parallel(std::vector<std::function<void()>> tasks, ThreadPool& pool);
+void run_parallel(std::vector<std::function<void()>> tasks, ThreadPool& pool,
+                  const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace mbus

@@ -1,0 +1,80 @@
+#include "util/watchdog.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+Watchdog::Watchdog(const CancellationToken* cancel,
+                   std::chrono::milliseconds poll)
+    : cancel_(cancel), poll_(std::max(poll, std::chrono::milliseconds(1))) {
+  monitor_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+}
+
+std::uint64_t Watchdog::arm(std::atomic<bool>* flag,
+                            std::chrono::milliseconds budget) {
+  MBUS_EXPECTS(flag != nullptr, "watchdog needs a flag to set");
+  Entry entry;
+  entry.flag = flag;
+  if (budget.count() > 0) {
+    entry.deadline = std::chrono::steady_clock::now() + budget;
+    entry.has_deadline = true;
+  }
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry.id = next_id_++;
+    id = entry.id;
+    entries_.push_back(entry);
+  }
+  cv_.notify_all();
+  return id;
+}
+
+bool Watchdog::disarm(std::uint64_t lease) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id != lease) continue;
+    const bool fired = entries_[i].fired;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    return fired;
+  }
+  MBUS_EXPECTS(false, "disarm of an unknown watchdog lease");
+  return false;  // unreachable
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    const auto now = std::chrono::steady_clock::now();
+    const bool cancelled = cancel_ != nullptr && cancel_->stop_requested();
+    for (Entry& entry : entries_) {
+      if (cancelled) entry.flag->store(true, std::memory_order_relaxed);
+      if (entry.has_deadline && !entry.fired && entry.deadline <= now) {
+        entry.fired = true;
+        entry.flag->store(true, std::memory_order_relaxed);
+      }
+    }
+    // Sleep until the nearest pending deadline, but never longer than the
+    // poll interval — the token can fire at any moment.
+    auto wake = now + poll_;
+    for (const Entry& entry : entries_) {
+      if (entry.has_deadline && !entry.fired && entry.deadline < wake) {
+        wake = entry.deadline;
+      }
+    }
+    cv_.wait_until(lock, wake, [this] { return stop_; });
+  }
+}
+
+}  // namespace mbus

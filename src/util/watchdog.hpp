@@ -1,0 +1,79 @@
+// A wall-clock watchdog for per-point deadlines.
+//
+// The campaign runner gives every (scheme, replication) point a time
+// budget; a point that wedges (pathological parameters, an injected
+// stall, a sick machine) must not hang the whole ThreadPool forever.
+// Preempting a compute-bound task is impossible in portable C++, so the
+// watchdog is cooperative: `arm()` registers an abort flag and a
+// deadline, one monitor thread sets the flag when the deadline passes,
+// and the simulator cycle loops poll the same flag (SimConfig::cancel)
+// and throw `Cancelled` at the next check. `disarm()` reports whether
+// the deadline fired, which lets the caller distinguish a timeout
+// (retryable — same derived seed, so a successful retry is bit-identical
+// to a never-failed run) from a graceful-shutdown cancellation (not
+// retryable).
+//
+// When constructed with a CancellationToken, the monitor also fans the
+// token out to every armed flag, so a SIGINT interrupts in-flight points
+// promptly without each point having to poll two flags.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/shutdown.hpp"
+
+namespace mbus {
+
+class Watchdog {
+ public:
+  /// Starts the monitor thread. `cancel` (optional) is propagated to all
+  /// armed flags once it fires; `poll` bounds how stale that propagation
+  /// and deadline detection may be.
+  explicit Watchdog(const CancellationToken* cancel = nullptr,
+                    std::chrono::milliseconds poll =
+                        std::chrono::milliseconds(5));
+  /// Disarms everything and joins the monitor.
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Watch `flag`: set it once `budget` elapses (or the token fires).
+  /// `flag` must stay valid until the returned lease is disarmed.
+  /// A non-positive budget means "no deadline" (token propagation only).
+  std::uint64_t arm(std::atomic<bool>* flag,
+                    std::chrono::milliseconds budget);
+
+  /// Stop watching; returns true iff the lease's own deadline fired
+  /// (token propagation does not count — that is a cancellation, not a
+  /// timeout). Safe to call with an already-expired lease exactly once.
+  bool disarm(std::uint64_t lease);
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+    std::atomic<bool>* flag = nullptr;
+    bool fired = false;  // this entry's deadline passed
+  };
+
+  void loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  bool stop_ = false;
+  const CancellationToken* cancel_;
+  std::chrono::milliseconds poll_;
+  std::thread monitor_;
+};
+
+}  // namespace mbus

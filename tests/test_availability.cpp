@@ -1,18 +1,40 @@
 // Campaign runner: thread-count invariance, per-point exception capture,
-// and checkpoint/resume reproducibility.
+// checkpoint/resume reproducibility, and checkpoint-format edge cases
+// (CRLF, missing final newline, duplicates, damage quarantine).
 #include "analysis/availability.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/format.hpp"
 #include "workload/uniform.hpp"
 
 namespace mbus {
 namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+/// Frame a payload the way the v2 checkpoint writer does.
+std::string framed(const std::string& payload) {
+  return cat(crc32_hex(crc32(payload)), " ", payload);
+}
 
 CampaignSpec small_spec() {
   CampaignSpec spec;
@@ -98,6 +120,7 @@ TEST(Availability, ThrowingPointIsRecordedAndCampaignCompletes) {
   const UniformModel model = small_model();
   CampaignSpec spec = small_spec();
   spec.replications = 2;
+  spec.max_retries = 0;  // deterministic failure: retrying cannot help
   spec.before_point = [](const std::string& scheme, int replication) {
     if (scheme == "full" && replication == 1) {
       throw std::runtime_error("injected failure");
@@ -171,11 +194,32 @@ TEST(Availability, CheckpointInvalidatedByChangedSpec) {
   spec.checkpoint_path = path;
   Campaign::run(spec, model);
 
+  // A checkpoint from a different spec is refused — never silently
+  // discarded — and the error names the field that differs.
   CampaignSpec changed = small_spec();
   changed.checkpoint_path = path;
   changed.base_seed = 778;  // different seeds -> stale checkpoint
+  try {
+    Campaign::run(changed, model);
+    FAIL() << "expected InvalidArgument for a stale checkpoint";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("seed: checkpoint has 777, this run has 778"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("--fresh"), std::string::npos) << what;
+  }
+
+  // fresh_checkpoint overwrites it intentionally.
+  changed.fresh_checkpoint = true;
   const Campaign rerun = Campaign::run(changed, model);
   EXPECT_EQ(rerun.resumed_points(), 0);
+  EXPECT_TRUE(rerun.failed_points().empty());
+
+  // The overwritten file now resumes under the *new* spec.
+  changed.fresh_checkpoint = false;
+  const Campaign resumed = Campaign::run(changed, model);
+  EXPECT_EQ(resumed.resumed_points(), 12);
   std::remove(path.c_str());
 }
 
@@ -191,12 +235,14 @@ TEST(Availability, PointJsonRoundTripsExactly) {
   point.min_window_bandwidth = 2.2250738585072014e-308;
   point.connectivity = 0.9999999999999999;
   point.disconnect_cycle = -1;
+  point.attempts = 3;
 
   CampaignPoint parsed;
   ASSERT_TRUE(campaign_point_from_json(campaign_point_to_json(point), parsed));
   EXPECT_EQ(parsed.scheme, point.scheme);
   EXPECT_EQ(parsed.replication, point.replication);
   EXPECT_EQ(parsed.ok, point.ok);
+  EXPECT_EQ(parsed.attempts, point.attempts);
   EXPECT_EQ(parsed.error, point.error);
   EXPECT_EQ(parsed.healthy_bandwidth, point.healthy_bandwidth);
   EXPECT_EQ(parsed.delivered_bandwidth, point.delivered_bandwidth);
@@ -232,6 +278,135 @@ TEST(Availability, ValidatesSpec) {
   spec = small_spec();
   spec.horizon = 0;
   EXPECT_THROW(Campaign::run(spec, model), InvalidArgument);
+}
+
+TEST(Availability, EmptyCheckpointFileStartsFresh) {
+  const UniformModel model = small_model();
+  const std::string path = testing::TempDir() + "mbus_campaign_empty.jsonl";
+  spit(path, "");
+
+  CampaignSpec spec = small_spec();
+  spec.checkpoint_path = path;
+  const Campaign campaign = Campaign::run(spec, model);
+  EXPECT_EQ(campaign.resumed_points(), 0);
+  EXPECT_TRUE(campaign.failed_points().empty());
+  EXPECT_TRUE(campaign.repair_report().clean());
+
+  // ... and the run leaves a full, resumable checkpoint behind.
+  const Campaign resumed = Campaign::run(spec, model);
+  EXPECT_EQ(resumed.resumed_points(), 12);
+  std::remove(path.c_str());
+}
+
+TEST(Availability, HeaderOnlyCheckpointResumesNothing) {
+  const UniformModel model = small_model();
+  const std::string path = testing::TempDir() + "mbus_campaign_hdr.jsonl";
+  std::remove(path.c_str());
+
+  CampaignSpec spec = small_spec();
+  spec.checkpoint_path = path;
+  const Campaign reference = Campaign::run(spec, model);
+
+  // Keep only the header line — as if the campaign died before its first
+  // point landed.
+  const std::string content = slurp(path);
+  spit(path, content.substr(0, content.find('\n') + 1));
+
+  const Campaign campaign = Campaign::run(spec, model);
+  EXPECT_EQ(campaign.resumed_points(), 0);
+  EXPECT_TRUE(campaign.repair_report().clean());
+  expect_identical_points(reference, campaign);
+  std::remove(path.c_str());
+}
+
+TEST(Availability, CheckpointToleratesCrlfAndMissingFinalNewline) {
+  const UniformModel model = small_model();
+  const std::string path = testing::TempDir() + "mbus_campaign_crlf.jsonl";
+  std::remove(path.c_str());
+
+  CampaignSpec spec = small_spec();
+  spec.checkpoint_path = path;
+  const Campaign reference = Campaign::run(spec, model);
+
+  // Rewrite with CRLF line endings and no final newline (a file that
+  // passed through a Windows editor or was cut at the last byte).
+  std::string content = slurp(path);
+  std::string mangled;
+  for (const char c : content) {
+    if (c == '\n') {
+      mangled += "\r\n";
+    } else {
+      mangled += c;
+    }
+  }
+  while (!mangled.empty() &&
+         (mangled.back() == '\n' || mangled.back() == '\r')) {
+    mangled.pop_back();
+  }
+  spit(path, mangled);
+
+  const Campaign resumed = Campaign::run(spec, model);
+  EXPECT_EQ(resumed.resumed_points(), 12);
+  EXPECT_TRUE(resumed.repair_report().clean());
+  expect_identical_points(reference, resumed);
+  std::remove(path.c_str());
+}
+
+TEST(Availability, DuplicateCheckpointLinesLastWins) {
+  const UniformModel model = small_model();
+  const std::string path = testing::TempDir() + "mbus_campaign_dup.jsonl";
+  std::remove(path.c_str());
+
+  CampaignSpec spec = small_spec();
+  spec.checkpoint_path = path;
+  Campaign::run(spec, model);
+
+  // Append a correctly-framed duplicate of (full, 0) with a sentinel
+  // value: the later occurrence must supersede the original.
+  CampaignPoint fake;
+  fake.scheme = "full";
+  fake.replication = 0;
+  fake.ok = true;
+  fake.delivered_bandwidth = 1234.5;
+  spit(path,
+       slurp(path) + framed(campaign_point_to_json(fake)) + "\n");
+
+  const Campaign resumed = Campaign::run(spec, model);
+  EXPECT_EQ(resumed.resumed_points(), 12);
+  EXPECT_EQ(resumed.repair_report().duplicate_points, 1);
+  EXPECT_FALSE(resumed.repair_report().clean());
+  bool found = false;
+  for (const CampaignPoint& point : resumed.points()) {
+    if (point.scheme == "full" && point.replication == 0) {
+      EXPECT_EQ(point.delivered_bandwidth, 1234.5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  std::remove(path.c_str());
+}
+
+TEST(Availability, LegacyV1CheckpointIsRefusedWithGuidance) {
+  const UniformModel model = small_model();
+  const std::string path = testing::TempDir() + "mbus_campaign_v1.jsonl";
+  spit(path, "{\"mbus_fault_campaign\":1,\"fingerprint\":\"abc\"}\n");
+
+  CampaignSpec spec = small_spec();
+  spec.checkpoint_path = path;
+  try {
+    Campaign::run(spec, model);
+    FAIL() << "expected InvalidArgument for a v1 checkpoint";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("legacy v1"), std::string::npos) << what;
+    EXPECT_NE(what.find("--fresh"), std::string::npos) << what;
+  }
+
+  // --fresh overwrites the legacy file and proceeds.
+  spec.fresh_checkpoint = true;
+  const Campaign campaign = Campaign::run(spec, model);
+  EXPECT_TRUE(campaign.failed_points().empty());
+  std::remove(path.c_str());
 }
 
 TEST(Availability, UnknownSchemeBecomesPointErrorsNotACrash) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/error.hpp"
+#include "util/shutdown.hpp"
 
 namespace mbus {
 namespace {
@@ -105,6 +106,91 @@ TEST(Cli, TypeMismatchQueryThrows) {
   EXPECT_THROW(parser.get_flag("n"), InvalidArgument);
 }
 
+TEST(Cli, ValidatingGettersAcceptGoodValues) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--n", "16", "--r", "0.5"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get_positive_int("n"), 16);
+  EXPECT_EQ(parser.get_nonnegative_int("n"), 16);
+  EXPECT_DOUBLE_EQ(parser.get_positive_double("r"), 0.5);
+}
+
+TEST(Cli, PositiveIntRejectsZeroAndNegativeWithFlagNamingMessage) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--n", "0"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  try {
+    parser.get_positive_int("n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "--n must be a positive integer (got 0)");
+  }
+
+  const char* argv2[] = {"prog", "--n", "-3"};
+  CliParser parser2 = make_parser();
+  ASSERT_TRUE(parser2.parse(3, argv2));
+  try {
+    parser2.get_positive_int("n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "--n must be a positive integer (got -3)");
+  }
+}
+
+TEST(Cli, NonnegativeIntRejectsNegative) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--n", "-1"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  try {
+    parser.get_nonnegative_int("n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "--n must be >= 0 (got -1)");
+  }
+  // Zero is fine — "--threads 0" means all hardware threads.
+  const char* argv2[] = {"prog", "--n", "0"};
+  CliParser parser2 = make_parser();
+  ASSERT_TRUE(parser2.parse(3, argv2));
+  EXPECT_EQ(parser2.get_nonnegative_int("n"), 0);
+}
+
+TEST(Cli, PositiveDoubleRejectsZeroNegativeAndNan) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--r", "0"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_THROW(parser.get_positive_double("r"), InvalidArgument);
+
+  CliParser parser2 = make_parser();
+  const char* argv2[] = {"prog", "--r", "-0.25"};
+  ASSERT_TRUE(parser2.parse(3, argv2));
+  try {
+    parser2.get_positive_double("r");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "--r must be a positive number (got -0.25)");
+  }
+
+  CliParser parser3 = make_parser();
+  const char* argv3[] = {"prog", "--r", "nan"};
+  ASSERT_TRUE(parser3.parse(3, argv3));
+  EXPECT_THROW(parser3.get_positive_double("r"), InvalidArgument);
+}
+
+TEST(Cli, RequireBusCountEnforcesTheStructuralBound) {
+  EXPECT_NO_THROW(require_bus_count(1, 8, 8));
+  EXPECT_NO_THROW(require_bus_count(8, 8, 8));
+  EXPECT_NO_THROW(require_bus_count(4, 8, 16));
+  try {
+    require_bus_count(9, 8, 16);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(),
+                 "--b must satisfy 1 <= B <= min(N, M) = 8 (got 9)");
+  }
+  EXPECT_THROW(require_bus_count(0, 8, 8), InvalidArgument);
+  EXPECT_THROW(require_bus_count(-2, 8, 8), InvalidArgument);
+}
+
 TEST(Cli, RunCliMainPassesThroughTheBodyResult) {
   char prog[] = "prog";
   char* argv[] = {prog, nullptr};
@@ -133,6 +219,19 @@ TEST(Cli, RunCliMainConvertsExceptionsToExitCodeOne) {
   EXPECT_EQ(from_std, 1);
   EXPECT_NE(err.find("prog: unexpected error: disk on fire"),
             std::string::npos);
+}
+
+TEST(Cli, RunCliMainMapsCancelledToResumableExitCode) {
+  char prog[] = "prog";
+  char* argv[] = {prog, nullptr};
+  testing::internal::CaptureStderr();
+  const int code = run_cli_main(1, argv, [](int, char**) -> int {
+    throw Cancelled("stopped at cycle 42");
+  });
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(code, kExitInterrupted);
+  EXPECT_NE(err.find("interrupted (resumable)"), std::string::npos);
+  EXPECT_NE(err.find("stopped at cycle 42"), std::string::npos);
 }
 
 }  // namespace

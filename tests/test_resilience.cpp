@@ -1,0 +1,473 @@
+// Fault-injection battery for the harness itself: deterministic
+// failpoints drive crashes, stalls, and I/O failures through the
+// checkpoint writer, ThreadPool dispatch, and campaign point evaluation,
+// proving that every recovery path (quarantine, retry, resume,
+// cooperative shutdown) reproduces the undisturbed run bit for bit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/availability.hpp"
+#include "analysis/checkpoint.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/shutdown.hpp"
+#include "workload/uniform.hpp"
+
+namespace mbus {
+namespace {
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.buses = 4;
+  spec.groups = 2;
+  spec.classes = 0;  // K = B
+  spec.process.bus_mtbf = 300;
+  spec.process.bus_mttr = 100;
+  spec.horizon = 3000;
+  spec.window_cycles = 500;
+  spec.replications = 3;
+  spec.base_seed = 777;
+  return spec;
+}
+
+UniformModel small_model() { return UniformModel(8, 8, BigRational(1)); }
+
+void expect_identical_points(const Campaign& a, const Campaign& b) {
+  ASSERT_EQ(a.points().size(), b.points().size());
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    const CampaignPoint& pa = a.points()[i];
+    const CampaignPoint& pb = b.points()[i];
+    EXPECT_EQ(pa.scheme, pb.scheme);
+    EXPECT_EQ(pa.replication, pb.replication);
+    EXPECT_EQ(pa.ok, pb.ok);
+    EXPECT_EQ(pa.healthy_bandwidth, pb.healthy_bandwidth);
+    EXPECT_EQ(pa.delivered_bandwidth, pb.delivered_bandwidth);
+    EXPECT_EQ(pa.availability, pb.availability);
+    EXPECT_EQ(pa.min_window_bandwidth, pb.min_window_bandwidth);
+    EXPECT_EQ(pa.connectivity, pb.connectivity);
+    EXPECT_EQ(pa.disconnect_cycle, pb.disconnect_cycle);
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+// ---- failpoint registry unit tests -------------------------------------
+
+TEST(Failpoint, DisarmedProbesAreInvisible) {
+  failpoints::disarm_all();
+  EXPECT_FALSE(failpoints::enabled());
+  MBUS_FAILPOINT("resilience.unit");  // must be a no-op
+  EXPECT_EQ(failpoints::hits("resilience.unit"), 0);
+}
+
+TEST(Failpoint, ThrowActsOnEveryHit) {
+  failpoints::Scoped armed("resilience.unit=throw");
+  EXPECT_TRUE(failpoints::enabled());
+  EXPECT_THROW(MBUS_FAILPOINT("resilience.unit"), FaultInjected);
+  EXPECT_THROW(MBUS_FAILPOINT("resilience.unit"), FaultInjected);
+  EXPECT_EQ(failpoints::hits("resilience.unit"), 2);
+  MBUS_FAILPOINT("resilience.other");  // unarmed site stays silent
+}
+
+TEST(Failpoint, AtNTriggersOnExactlyTheNthHit) {
+  failpoints::Scoped armed("resilience.unit=throw@2");
+  MBUS_FAILPOINT("resilience.unit");  // hit 1: silent
+  EXPECT_THROW(MBUS_FAILPOINT("resilience.unit"), FaultInjected);
+  MBUS_FAILPOINT("resilience.unit");  // hit 3: silent (one-shot)
+  EXPECT_EQ(failpoints::hits("resilience.unit"), 3);
+}
+
+TEST(Failpoint, AtNPlusTriggersFromTheNthHitOn) {
+  failpoints::Scoped armed("resilience.unit=throw@2+");
+  MBUS_FAILPOINT("resilience.unit");  // hit 1: silent
+  EXPECT_THROW(MBUS_FAILPOINT("resilience.unit"), FaultInjected);
+  EXPECT_THROW(MBUS_FAILPOINT("resilience.unit"), FaultInjected);
+}
+
+TEST(Failpoint, NoopCountsWithoutActing) {
+  failpoints::Scoped armed("resilience.unit=noop");
+  MBUS_FAILPOINT("resilience.unit");
+  MBUS_FAILPOINT("resilience.unit");
+  EXPECT_EQ(failpoints::hits("resilience.unit"), 2);
+}
+
+TEST(Failpoint, CommaSeparatedClausesAndRearming) {
+  failpoints::Scoped armed("a.one=noop,b.two=throw");
+  MBUS_FAILPOINT("a.one");
+  EXPECT_THROW(MBUS_FAILPOINT("b.two"), FaultInjected);
+  failpoints::arm("b.two=noop");  // re-arm replaces the action
+  MBUS_FAILPOINT("b.two");
+  EXPECT_EQ(failpoints::hits("a.one"), 1);
+}
+
+TEST(Failpoint, MalformedSpecsAreRejected) {
+  EXPECT_THROW(failpoints::arm("no-equals"), InvalidArgument);
+  EXPECT_THROW(failpoints::arm("site=explode"), InvalidArgument);
+  EXPECT_THROW(failpoints::arm("site=throw@0"), InvalidArgument);
+  EXPECT_THROW(failpoints::arm("site=throw@x"), InvalidArgument);
+  EXPECT_THROW(failpoints::arm("site=sleep:abc"), InvalidArgument);
+  EXPECT_THROW(failpoints::arm("=throw"), InvalidArgument);
+  failpoints::disarm_all();
+}
+
+TEST(Failpoint, ErrorMessageNamesSiteAndHit) {
+  failpoints::Scoped armed("resilience.unit=throw");
+  try {
+    MBUS_FAILPOINT("resilience.unit");
+    FAIL() << "expected FaultInjected";
+  } catch (const FaultInjected& e) {
+    EXPECT_STREQ(e.what(), "failpoint 'resilience.unit' fired (hit 1)");
+  }
+}
+
+// ---- checkpoint damage + repair ----------------------------------------
+
+TEST(Resilience, TruncatedCheckpointLineIsQuarantinedAndRecomputed) {
+  const UniformModel model = small_model();
+  const std::string path = testing::TempDir() + "mbus_res_trunc.jsonl";
+  std::remove(path.c_str());
+
+  CampaignSpec spec = small_spec();
+  spec.checkpoint_path = path;
+  const Campaign reference = Campaign::run(spec, model);
+
+  // Cut the file mid-way through its final line — the classic
+  // interrupted-write shape for a plain appending writer.
+  const std::string content = slurp(path);
+  spit(path, content.substr(0, content.size() - 25));
+
+  const Campaign resumed = Campaign::run(spec, model);
+  EXPECT_EQ(resumed.repair_report().corrupt_lines, 1);
+  EXPECT_FALSE(resumed.repair_report().clean());
+  EXPECT_EQ(resumed.resumed_points(), 11);  // 12 minus the damaged one
+  expect_identical_points(reference, resumed);
+
+  // The resume's first flush compacted the damage away.
+  const Campaign clean = Campaign::run(spec, model);
+  EXPECT_TRUE(clean.repair_report().clean());
+  EXPECT_EQ(clean.resumed_points(), 12);
+  std::remove(path.c_str());
+}
+
+TEST(Resilience, BitFlippedCheckpointLineFailsItsCrc) {
+  const UniformModel model = small_model();
+  const std::string path = testing::TempDir() + "mbus_res_flip.jsonl";
+  std::remove(path.c_str());
+
+  CampaignSpec spec = small_spec();
+  spec.checkpoint_path = path;
+  const Campaign reference = Campaign::run(spec, model);
+
+  // Flip one payload byte in the middle of the file; the CRC catches it
+  // even though the line still parses as JSON shape-wise.
+  std::string content = slurp(path);
+  const std::size_t at = content.find("\"delivered\":");
+  ASSERT_NE(at, std::string::npos);
+  content[at + 13] = content[at + 13] == '0' ? '1' : '0';
+  spit(path, content);
+
+  const Campaign resumed = Campaign::run(spec, model);
+  EXPECT_EQ(resumed.repair_report().corrupt_lines, 1);
+  EXPECT_EQ(resumed.resumed_points(), 11);
+  expect_identical_points(reference, resumed);
+  std::remove(path.c_str());
+}
+
+TEST(Resilience, CheckpointFlushFailuresAreAbsorbed) {
+  const UniformModel model = small_model();
+  const std::string path = testing::TempDir() + "mbus_res_flush.jsonl";
+  std::remove(path.c_str());
+
+  const Campaign reference = Campaign::run(small_spec(), model);
+
+  // Every flush from the 3rd on fails (site: checkpoint.flush). The
+  // campaign must complete with identical results anyway.
+  CampaignSpec spec = small_spec();
+  spec.checkpoint_path = path;
+  Campaign sick = [&] {
+    failpoints::Scoped armed("checkpoint.flush=throw@3+");
+    return Campaign::run(spec, model);
+  }();
+  EXPECT_GT(sick.checkpoint_flush_failures(), 0);
+  expect_identical_points(reference, sick);
+
+  // The checkpoint lags but is *valid*: a resume recomputes the missing
+  // tail and lands bit-identical.
+  const Campaign resumed = Campaign::run(spec, model);
+  EXPECT_TRUE(resumed.repair_report().clean());
+  EXPECT_GT(resumed.resumed_points(), 0);
+  EXPECT_LT(resumed.resumed_points(), 12);
+  expect_identical_points(reference, resumed);
+  std::remove(path.c_str());
+}
+
+TEST(Resilience, CrashBetweenTempWriteAndRenameLeavesOldFileIntact) {
+  const UniformModel model = small_model();
+  const std::string path = testing::TempDir() + "mbus_res_rename.jsonl";
+  std::remove(path.c_str());
+
+  const Campaign reference = Campaign::run(small_spec(), model);
+
+  // Site checkpoint.rename fires after the temp file is fully written
+  // but before it replaces the real checkpoint — the narrowest window of
+  // the atomic-flush protocol.
+  CampaignSpec spec = small_spec();
+  spec.checkpoint_path = path;
+  Campaign sick = [&] {
+    failpoints::Scoped armed("checkpoint.rename=throw@4+");
+    return Campaign::run(spec, model);
+  }();
+  EXPECT_GT(sick.checkpoint_flush_failures(), 0);
+  expect_identical_points(reference, sick);
+
+  // No orphaned temp file, and the surviving checkpoint verifies clean.
+  std::ifstream temp(path + ".tmp");
+  EXPECT_FALSE(temp.is_open());
+  const LoadedCheckpoint loaded = load_checkpoint_file(path);
+  EXPECT_EQ(loaded.version, 2);
+  EXPECT_EQ(loaded.report.corrupt_lines, 0);
+
+  const Campaign resumed = Campaign::run(spec, model);
+  expect_identical_points(reference, resumed);
+  std::remove(path.c_str());
+}
+
+// ---- dispatch + point faults, retries, timeouts ------------------------
+
+TEST(Resilience, PoolDispatchFaultEscapesButCheckpointStaysResumable) {
+  const UniformModel model = small_model();
+  const std::string path = testing::TempDir() + "mbus_res_dispatch.jsonl";
+  std::remove(path.c_str());
+
+  const Campaign reference = Campaign::run(small_spec(), model);
+
+  CampaignSpec spec = small_spec();
+  spec.checkpoint_path = path;
+  spec.threads = 2;
+  {
+    failpoints::Scoped armed("pool.dispatch=throw@7");
+    EXPECT_THROW(Campaign::run(spec, model), FaultInjected);
+  }
+
+  // The hard mid-campaign death left a valid checkpoint; resuming
+  // reproduces the reference bit for bit.
+  const LoadedCheckpoint loaded = load_checkpoint_file(path);
+  EXPECT_EQ(loaded.version, 2);
+  EXPECT_EQ(loaded.report.corrupt_lines, 0);
+  const Campaign resumed = Campaign::run(spec, model);
+  EXPECT_TRUE(resumed.failed_points().empty());
+  expect_identical_points(reference, resumed);
+  std::remove(path.c_str());
+}
+
+TEST(Resilience, FailedPointRetriesToBitIdenticalSuccess) {
+  const UniformModel model = small_model();
+  const Campaign reference = Campaign::run(small_spec(), model);
+
+  // The 5th point attempt dies once; max_retries=1 reruns it under the
+  // same derived seed. Serial execution keeps the hit count deterministic.
+  CampaignSpec spec = small_spec();
+  spec.threads = 1;
+  spec.max_retries = 1;
+  spec.retry_backoff_ms = 0;
+  Campaign healed = [&] {
+    failpoints::Scoped armed("campaign.point=throw@5");
+    return Campaign::run(spec, model);
+  }();
+  EXPECT_TRUE(healed.failed_points().empty());
+  expect_identical_points(reference, healed);
+  int retried = 0;
+  for (const CampaignPoint& point : healed.points()) {
+    if (point.attempts > 1) ++retried;
+  }
+  EXPECT_EQ(retried, 1);
+}
+
+TEST(Resilience, RetriesExhaustedRecordsTheCause) {
+  const UniformModel model = small_model();
+  CampaignSpec spec = small_spec();
+  spec.schemes = {"full"};
+  spec.replications = 1;
+  spec.threads = 1;
+  spec.max_retries = 2;
+  spec.retry_backoff_ms = 0;
+  Campaign campaign = [&] {
+    failpoints::Scoped armed("campaign.point=throw");
+    return Campaign::run(spec, model);
+  }();
+  const std::vector<CampaignPoint> failed = campaign.failed_points();
+  ASSERT_EQ(failed.size(), 1u);
+  const CampaignPoint& point = failed[0];
+  EXPECT_EQ(point.attempts, 3);  // 1 + max_retries
+  EXPECT_NE(point.error.find("failpoint 'campaign.point'"),
+            std::string::npos)
+      << point.error;
+  EXPECT_NE(point.error.find("[after 3 attempts]"), std::string::npos)
+      << point.error;
+}
+
+TEST(Resilience, StalledPointTimesOutAndRetrySucceedsBitIdentically) {
+  const UniformModel model = small_model();
+  const Campaign reference = Campaign::run(small_spec(), model);
+
+  // The first point attempt stalls far past its budget; the watchdog
+  // aborts it and the retry (no stall) must be bit-identical. The
+  // budget has to fit a CLEAN point evaluation even on a sanitized
+  // build (~10-20x slower than release), or the retry itself times
+  // out — hence seconds, not tens of milliseconds.
+  CampaignSpec spec = small_spec();
+  spec.threads = 1;
+  spec.point_timeout_ms = 2000;
+  spec.max_retries = 1;
+  spec.retry_backoff_ms = 0;
+  Campaign healed = [&] {
+    failpoints::Scoped armed("campaign.point=sleep:4000@1");
+    return Campaign::run(spec, model);
+  }();
+  EXPECT_TRUE(healed.failed_points().empty());
+  expect_identical_points(reference, healed);
+  EXPECT_GT(healed.points()[0].attempts, 1);
+}
+
+TEST(Resilience, TimeoutWithNoRetriesIsRecordedAsSuch) {
+  const UniformModel model = small_model();
+  CampaignSpec spec = small_spec();
+  spec.schemes = {"full"};
+  spec.replications = 1;
+  spec.threads = 1;
+  spec.point_timeout_ms = 50;
+  spec.max_retries = 0;
+  Campaign campaign = [&] {
+    failpoints::Scoped armed("campaign.point=sleep:400");
+    return Campaign::run(spec, model);
+  }();
+  const std::vector<CampaignPoint> failed = campaign.failed_points();
+  ASSERT_EQ(failed.size(), 1u);
+  const CampaignPoint& point = failed[0];
+  EXPECT_TRUE(point.timed_out);
+  EXPECT_FALSE(point.cancelled);
+  EXPECT_NE(point.error.find("timed out (budget 50 ms)"),
+            std::string::npos)
+      << point.error;
+}
+
+// ---- graceful shutdown: token and SIGTERM ------------------------------
+
+class ResilienceShutdown
+    : public testing::TestWithParam<std::tuple<int, EngineKind>> {};
+
+TEST_P(ResilienceShutdown, CancelMidCampaignThenResumeIsBitIdentical) {
+  const auto [threads, engine] = GetParam();
+  const UniformModel model = small_model();
+
+  CampaignSpec base = small_spec();
+  base.engine = engine;
+  const Campaign reference = Campaign::run(base, model);
+
+  const std::string path = testing::TempDir() + "mbus_res_cancel_" +
+                           std::to_string(threads) + "_" +
+                           std::to_string(static_cast<int>(engine)) +
+                           ".jsonl";
+  std::remove(path.c_str());
+
+  // Fire the token once the campaign is under way: remaining points are
+  // skipped as cancelled, completed ones stay checkpointed.
+  CancellationToken token;
+  std::atomic<int> started{0};
+  CampaignSpec interrupted = base;
+  interrupted.checkpoint_path = path;
+  interrupted.threads = threads;
+  interrupted.cancel = &token;
+  interrupted.before_point = [&token, &started](const std::string&, int) {
+    if (started.fetch_add(1) + 1 == 5) token.request_stop();
+  };
+  const Campaign partial = Campaign::run(interrupted, model);
+  EXPECT_TRUE(partial.interrupted());
+  EXPECT_FALSE(partial.failed_points().empty());
+  int cancelled = 0;
+  for (const CampaignSummary& summary : partial.summaries()) {
+    cancelled += summary.cancelled_points;
+  }
+  EXPECT_GT(cancelled, 0);
+
+  // Resume without the token: only the missing points are recomputed and
+  // the final result matches the undisturbed reference exactly.
+  CampaignSpec resume = base;
+  resume.checkpoint_path = path;
+  resume.threads = threads;
+  const Campaign resumed = Campaign::run(resume, model);
+  EXPECT_FALSE(resumed.interrupted());
+  EXPECT_TRUE(resumed.failed_points().empty());
+  expect_identical_points(reference, resumed);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndEngines, ResilienceShutdown,
+    testing::Values(std::make_tuple(1, EngineKind::kReference),
+                    std::make_tuple(4, EngineKind::kReference),
+                    std::make_tuple(1, EngineKind::kFast),
+                    std::make_tuple(4, EngineKind::kFast)));
+
+TEST(Resilience, SigtermStopsTheCampaignResumably) {
+  const UniformModel model = small_model();
+  const Campaign reference = Campaign::run(small_spec(), model);
+
+  const std::string path = testing::TempDir() + "mbus_res_sigterm.jsonl";
+  std::remove(path.c_str());
+
+  CancellationToken token;
+  SignalGuard guard(token);
+  std::atomic<int> started{0};
+  CampaignSpec spec = small_spec();
+  spec.checkpoint_path = path;
+  spec.threads = 2;
+  spec.cancel = &token;
+  spec.before_point = [&started](const std::string&, int) {
+    if (started.fetch_add(1) + 1 == 4) std::raise(SIGTERM);
+  };
+  const Campaign partial = Campaign::run(spec, model);
+  EXPECT_EQ(guard.signal_received(), SIGTERM);
+  EXPECT_TRUE(partial.interrupted());
+
+  CampaignSpec resume = small_spec();
+  resume.checkpoint_path = path;
+  resume.threads = 2;
+  const Campaign resumed = Campaign::run(resume, model);
+  expect_identical_points(reference, resumed);
+  std::remove(path.c_str());
+}
+
+TEST(Resilience, TokenAlreadyFiredSkipsEverythingImmediately) {
+  const UniformModel model = small_model();
+  CancellationToken token;
+  token.request_stop();
+  CampaignSpec spec = small_spec();
+  spec.cancel = &token;
+  const Campaign campaign = Campaign::run(spec, model);
+  EXPECT_TRUE(campaign.interrupted());
+  EXPECT_EQ(campaign.failed_points().size(), campaign.points().size());
+  for (const CampaignPoint& point : campaign.points()) {
+    EXPECT_TRUE(point.cancelled);
+    EXPECT_FALSE(point.scheme.empty());
+  }
+}
+
+}  // namespace
+}  // namespace mbus

@@ -1,0 +1,132 @@
+// Graceful-shutdown plumbing: cancellation tokens, the signal→token
+// bridge, and the per-point deadline watchdog.
+#include "util/shutdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/watchdog.hpp"
+
+namespace mbus {
+namespace {
+
+TEST(Shutdown, TokenIsStickyAndResettable) {
+  CancellationToken token;
+  EXPECT_FALSE(token.stop_requested());
+  token.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+  token.request_stop();  // idempotent
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(token.flag()->load());
+  token.reset();
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(Shutdown, SigintSetsTheTokenInsteadOfKillingTheProcess) {
+  CancellationToken token;
+  {
+    SignalGuard guard(token);
+    EXPECT_EQ(guard.signal_received(), 0);
+    ASSERT_EQ(std::raise(SIGINT), 0);
+    EXPECT_TRUE(token.stop_requested());
+    EXPECT_EQ(guard.signal_received(), SIGINT);
+  }
+  // Handlers restored: a fresh guard starts clean.
+  token.reset();
+  {
+    SignalGuard guard(token);
+    ASSERT_EQ(std::raise(SIGTERM), 0);
+    EXPECT_TRUE(token.stop_requested());
+    EXPECT_EQ(guard.signal_received(), SIGTERM);
+  }
+}
+
+TEST(Shutdown, SecondSimultaneousGuardIsRejected) {
+  CancellationToken token;
+  SignalGuard guard(token);
+  CancellationToken other;
+  EXPECT_THROW(SignalGuard second(other), InvalidArgument);
+}
+
+TEST(Watchdog, FiresTheFlagAfterTheBudget) {
+  Watchdog dog(nullptr, std::chrono::milliseconds(1));
+  std::atomic<bool> flag{false};
+  const std::uint64_t lease =
+      dog.arm(&flag, std::chrono::milliseconds(10));
+  const auto start = std::chrono::steady_clock::now();
+  while (!flag.load() &&
+         std::chrono::steady_clock::now() - start <
+             std::chrono::seconds(5)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(flag.load());
+  EXPECT_TRUE(dog.disarm(lease));  // the deadline fired
+}
+
+TEST(Watchdog, DisarmBeforeDeadlineReportsNoTimeout) {
+  Watchdog dog;
+  std::atomic<bool> flag{false};
+  const std::uint64_t lease =
+      dog.arm(&flag, std::chrono::minutes(10));
+  EXPECT_FALSE(dog.disarm(lease));
+  EXPECT_FALSE(flag.load());
+}
+
+TEST(Watchdog, TokenPropagatesToArmedFlagsButIsNotATimeout) {
+  CancellationToken token;
+  Watchdog dog(&token, std::chrono::milliseconds(1));
+  std::atomic<bool> flag{false};
+  const std::uint64_t lease =
+      dog.arm(&flag, std::chrono::minutes(10));
+  token.request_stop();
+  const auto start = std::chrono::steady_clock::now();
+  while (!flag.load() &&
+         std::chrono::steady_clock::now() - start <
+             std::chrono::seconds(5)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(flag.load());
+  // Cancellation, not a deadline: disarm must say "no timeout" so the
+  // campaign records the point as cancelled, not retryable.
+  EXPECT_FALSE(dog.disarm(lease));
+}
+
+TEST(Watchdog, NonPositiveBudgetMeansNoDeadline) {
+  Watchdog dog(nullptr, std::chrono::milliseconds(1));
+  std::atomic<bool> flag{false};
+  const std::uint64_t lease = dog.arm(&flag, std::chrono::milliseconds(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(flag.load());
+  EXPECT_FALSE(dog.disarm(lease));
+}
+
+TEST(Watchdog, ManyConcurrentLeasesTrackIndependently) {
+  Watchdog dog(nullptr, std::chrono::milliseconds(1));
+  std::atomic<bool> fast{false};
+  std::atomic<bool> slow{false};
+  const std::uint64_t fast_lease =
+      dog.arm(&fast, std::chrono::milliseconds(5));
+  const std::uint64_t slow_lease = dog.arm(&slow, std::chrono::minutes(10));
+  const auto start = std::chrono::steady_clock::now();
+  while (!fast.load() &&
+         std::chrono::steady_clock::now() - start <
+             std::chrono::seconds(5)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(dog.disarm(fast_lease));
+  EXPECT_FALSE(dog.disarm(slow_lease));
+  EXPECT_FALSE(slow.load());
+}
+
+TEST(Watchdog, UnknownLeaseIsAnError) {
+  Watchdog dog;
+  EXPECT_THROW(dog.disarm(999), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mbus
