@@ -21,6 +21,7 @@ int run(int argc, char** argv) {
   cli.add_int("b", 4, "number of buses");
   if (!cli.parse(argc, argv)) return 0;
   const RowOptions opt = row_options_from(cli);
+  const auto obs_guard = observability_scope(cli, "ablation-arbitration");
   const int n = static_cast<int>(cli.get_int("n"));
   const int b = static_cast<int>(cli.get_int("b"));
 

@@ -25,6 +25,7 @@ int run(int argc, char** argv) {
   cli.add_int("n", 16, "system size (N = M)");
   if (!cli.parse(argc, argv)) return 0;
   const RowOptions opt = row_options_from(cli);
+  const auto obs_guard = observability_scope(cli, "ablation-resubmission");
   const int n = static_cast<int>(cli.get_int("n"));
 
   for (const char* rate : {"1", "0.5"}) {

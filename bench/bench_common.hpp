@@ -10,6 +10,7 @@
 
 #include "core/evaluate.hpp"
 #include "core/system.hpp"
+#include "obs/obs_cli.hpp"
 #include "paperdata/paper_tables.hpp"
 #include "report/table.hpp"
 #include "util/cli.hpp"
@@ -46,7 +47,16 @@ inline CliParser standard_parser(const std::string& summary) {
                   "simulator cycle loop: 'reference' or 'fast' (bitmask "
                   "kernel; bit-identical where supported)")
       .add_flag("markdown", "emit markdown instead of text tables");
+  obs::add_observability_options(parser);
   return parser;
+}
+
+/// Observability scope for a bench main (run id "<name>/<seed>"); keep
+/// the returned guard alive for the whole run — its destructor writes
+/// --metrics-out / --events-out / --obs-summary output.
+inline obs::ObservabilityScope observability_scope(const CliParser& cli,
+                                                   const std::string& name) {
+  return obs::ObservabilityScope(cli, cat(name, "/", cli.get_int("seed")));
 }
 
 struct RowOptions {

@@ -21,6 +21,7 @@ int run(int argc, char** argv) {
       "N×M×B extension: hierarchical model with shared favorite modules.");
   if (!cli.parse(argc, argv)) return 0;
   const RowOptions opt = row_options_from(cli);
+  const auto obs_guard = observability_scope(cli, "ext-nxm-networks");
 
   // N = 16 processors in 4 subclusters of 4; vary the number of favorite
   // modules per subcluster k' (so M = 4·k'), full connection.

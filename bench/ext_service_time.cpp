@@ -22,6 +22,7 @@ int run(int argc, char** argv) {
   cli.add_int("b", 8, "buses");
   if (!cli.parse(argc, argv)) return 0;
   const RowOptions opt = row_options_from(cli);
+  const auto obs_guard = observability_scope(cli, "ext-service-time");
   const int n = static_cast<int>(cli.get_int("n"));
   const int b = static_cast<int>(cli.get_int("b"));
 

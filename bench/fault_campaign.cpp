@@ -79,7 +79,12 @@ int run(int argc, char** argv) {
                   "'checkpoint.flush=throw@3' (see util/failpoint.hpp; "
                   "$MBUS_FAILPOINTS works too)")
       .add_string("csv", "", "also write the per-point table to this file")
-      .add_flag("markdown", "emit markdown instead of text tables");
+      .add_flag("markdown", "emit markdown instead of text tables")
+      .add_int("heartbeat-ms", 1000,
+               "period of the campaign.heartbeat progress event "
+               "(points done/total, ETA) on the --events-out stream; "
+               "0 disables the heartbeat thread");
+  obs::add_observability_options(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   if (!cli.get_string("failpoints").empty()) {
@@ -114,6 +119,14 @@ int run(int argc, char** argv) {
   spec.point_timeout_ms = cli.get_nonnegative_int("point-timeout-ms");
   spec.max_retries = static_cast<int>(cli.get_nonnegative_int("max-retries"));
   spec.retry_backoff_ms = cli.get_nonnegative_int("retry-backoff-ms");
+  // The heartbeat exists to feed the event stream; without --events-out
+  // there is nothing to emit to, so skip spawning the thread.
+  if (!cli.get_string("events-out").empty()) {
+    spec.heartbeat_ms = cli.get_nonnegative_int("heartbeat-ms");
+  }
+
+  const obs::ObservabilityScope obs_guard(
+      cli, cat("fault-campaign/", cli.get_int("seed")));
 
   // Ctrl-C / SIGTERM requests a cooperative stop: in-flight points abort
   // at the simulator's next poll, the checkpoint keeps everything that

@@ -58,6 +58,7 @@ int run(int argc, char** argv) {
       "Reproduce Table II: MBW of full-connection networks at r=1.0.");
   if (!cli.parse(argc, argv)) return 0;
   const RowOptions opt = row_options_from(cli);
+  const auto obs_guard = observability_scope(cli, "table2-full-r10");
   for (const int n : {8, 12, 16}) {
     run_block(n, opt, cli);
   }

@@ -48,6 +48,7 @@ int run(int argc, char** argv) {
       "Reproduce Table III: MBW of full-connection networks at r=0.5.");
   if (!cli.parse(argc, argv)) return 0;
   const RowOptions opt = row_options_from(cli);
+  const auto obs_guard = observability_scope(cli, "table3-full-r05");
   for (const int n : {8, 12, 16}) {
     run_block(n, opt, cli);
   }

@@ -49,6 +49,7 @@ int run(int argc, char** argv) {
       "Reproduce Table IV: MBW of single-connection networks.");
   if (!cli.parse(argc, argv)) return 0;
   const RowOptions opt = row_options_from(cli);
+  const auto obs_guard = observability_scope(cli, "table4-single");
   for (const int n : {8, 16, 32}) {
     run_block(n, "1", 1.0, opt, cli);
   }

@@ -48,6 +48,7 @@ int run(int argc, char** argv) {
       "Reproduce Table V: MBW of partial bus networks with g=2.");
   if (!cli.parse(argc, argv)) return 0;
   const RowOptions opt = row_options_from(cli);
+  const auto obs_guard = observability_scope(cli, "table5-partial-g2");
   for (const int n : {8, 16, 32}) {
     run_block(n, "1", 1.0, opt, cli);
   }

@@ -55,6 +55,7 @@ int run(int argc, char** argv) {
       "Reproduce Table VI: MBW of partial bus networks with K=B classes.");
   if (!cli.parse(argc, argv)) return 0;
   const RowOptions opt = row_options_from(cli);
+  const auto obs_guard = observability_scope(cli, "table6-k-classes");
   for (const int n : {8, 16, 32}) {
     run_block(n, "1", 1.0, opt, cli);
   }

@@ -14,6 +14,7 @@
 
 #include "core/evaluate.hpp"
 #include "core/system.hpp"
+#include "obs/obs_cli.hpp"
 #include "report/table.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -32,7 +33,9 @@ int run(int argc, char** argv) {
       .add_string("engine", "reference",
                   "simulator cycle loop: 'reference' or 'fast' "
                   "(bit-identical results)");
+  obs::add_observability_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const obs::ObservabilityScope obs_guard(cli, "validate-simulation");
   const EngineKind engine = engine_kind_from_string(cli.get_string("engine"));
 
   const int n = static_cast<int>(cli.get_positive_int("n"));

@@ -13,6 +13,9 @@
 
 #include "analysis/bandwidth.hpp"
 #include "analysis/checkpoint.hpp"
+#include "obs/events.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/replicate.hpp"
 #include "topology/factory.hpp"
@@ -260,6 +263,7 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
   MBUS_EXPECTS(spec.point_timeout_ms >= 0, "point_timeout_ms must be >= 0");
   MBUS_EXPECTS(spec.max_retries >= 0, "max_retries must be >= 0");
   MBUS_EXPECTS(spec.retry_backoff_ms >= 0, "retry_backoff_ms must be >= 0");
+  MBUS_EXPECTS(spec.heartbeat_ms >= 0, "heartbeat_ms must be >= 0");
   model.validate();
 
   const int reps = spec.replications;
@@ -293,6 +297,10 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
   std::optional<Watchdog> watchdog;
   if (spec.point_timeout_ms > 0) watchdog.emplace(spec.cancel);
 
+  // Completed-point progress for the heartbeat; resumed points count as
+  // already done. Relaxed: the value is only read for progress display.
+  std::atomic<std::int64_t> progress{0};
+
   std::vector<std::function<void()>> tasks;
   tasks.reserve(out.points_.size());
   for (std::size_t si = 0; si < num_schemes; ++si) {
@@ -307,7 +315,7 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
         continue;
       }
       tasks.push_back([&spec, &model, &out, &checkpoint, &checkpoint_mutex,
-                       &watchdog, &scheme, rep, slot] {
+                       &watchdog, &progress, &scheme, rep, slot] {
         CampaignPoint point;
         point.scheme = scheme;
         point.replication = rep;
@@ -318,6 +326,13 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
             point.error = attempt == 1 ? "cancelled before start"
                                        : "cancelled during retry";
             break;
+          }
+          obs::MetricsRegistry::global()
+              .counter("campaign.points.attempted")
+              .increment();
+          if (attempt > 1) {
+            obs::MetricsRegistry::global().counter("campaign.retries")
+                .increment();
           }
           point = CampaignPoint{};
           point.scheme = scheme;
@@ -359,6 +374,8 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
 
           if (point.ok || point.cancelled) break;
           if (deadline_fired) {
+            obs::MetricsRegistry::global().counter("campaign.timeouts")
+                .increment();
             point.timed_out = true;
             point.error = cat("timed out (budget ", spec.point_timeout_ms,
                               " ms): ", point.error);
@@ -382,10 +399,67 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
           const std::lock_guard<std::mutex> lock(checkpoint_mutex);
           checkpoint->append(line);
         }
+        {
+          auto& reg = obs::MetricsRegistry::global();
+          if (point.ok) {
+            reg.counter("campaign.points.ok").increment();
+          } else if (point.cancelled) {
+            reg.counter("campaign.points.cancelled").increment();
+          } else {
+            reg.counter("campaign.points.failed").increment();
+          }
+          obs::EventLog::global().emit(
+              "campaign.point", {{"scheme", point.scheme},
+                                 {"replication", point.replication},
+                                 {"ok", point.ok},
+                                 {"attempts", point.attempts},
+                                 {"timed_out", point.timed_out},
+                                 {"cancelled", point.cancelled}});
+        }
         out.points_[slot] = std::move(point);
+        progress.fetch_add(1, std::memory_order_relaxed);
       });
     }
   }
+  obs::MetricsRegistry::global().counter("campaign.runs").increment();
+  obs::MetricsRegistry::global().counter("campaign.points.resumed")
+      .add(out.resumed_);
+  const auto total_points = static_cast<std::int64_t>(out.points_.size());
+  obs::EventLog::global().emit(
+      "campaign.start", {{"schemes", static_cast<std::int64_t>(num_schemes)},
+                         {"replications", reps},
+                         {"total_points", total_points},
+                         {"resumed", out.resumed_},
+                         {"engine", to_string(spec.engine)}});
+  progress.store(out.resumed_, std::memory_order_relaxed);
+
+  // Progress heartbeat: points done/total plus a linear ETA over the
+  // freshly computed (non-resumed) points. The thread honors the
+  // cancellation token and is stopped before any result bookkeeping, so
+  // no tick can observe partially aggregated state.
+  std::optional<obs::Heartbeat> heartbeat;
+  if (spec.heartbeat_ms > 0) {
+    const std::int64_t resumed_at_start = out.resumed_;
+    heartbeat.emplace(
+        spec.heartbeat_ms, spec.cancel,
+        [&progress, resumed_at_start, total_points](std::int64_t elapsed_ms) {
+          const std::int64_t done_now =
+              progress.load(std::memory_order_relaxed);
+          const std::int64_t fresh = done_now - resumed_at_start;
+          const std::int64_t eta_ms =
+              fresh > 0 && done_now < total_points
+                  ? elapsed_ms * (total_points - done_now) / fresh
+                  : -1;
+          obs::MetricsRegistry::global().counter("campaign.heartbeats")
+              .increment();
+          obs::EventLog::global().emit("campaign.heartbeat",
+                                       {{"done", done_now},
+                                        {"total", total_points},
+                                        {"elapsed_ms", elapsed_ms},
+                                        {"eta_ms", eta_ms}});
+        });
+  }
+
   const std::atomic<bool>* cancel_flag =
       spec.cancel != nullptr ? spec.cancel->flag() : nullptr;
   if (spec.pool != nullptr) {
@@ -393,6 +467,7 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
   } else {
     run_parallel(std::move(tasks), spec.threads, cancel_flag);
   }
+  heartbeat.reset();
 
   // Points skipped at dispatch (cancelled before their task body ran)
   // still carry their identity and cause.
@@ -420,6 +495,10 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
               checkpoint->last_error()));
     }
   }
+  obs::EventLog::global().emit("campaign.end",
+                               {{"interrupted", out.interrupted_},
+                                {"resumed", out.resumed_},
+                                {"flush_failures", out.flush_failures_}});
 
   // Per-scheme summaries, in spec order; means are over ok points only.
   out.summaries_.reserve(num_schemes);

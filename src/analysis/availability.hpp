@@ -125,6 +125,13 @@ struct CampaignSpec {
   /// point's error, like any other point failure.
   std::function<void(const std::string& scheme, int replication)>
       before_point;
+
+  /// Emit a `campaign.heartbeat` progress event (points done/total, ETA)
+  /// every this-many milliseconds while points run; 0 disables the
+  /// heartbeat thread. Timing-only — deliberately absent from the
+  /// checkpoint fingerprint, and the heartbeat honors `cancel` so SIGINT
+  /// never waits out a period (obs/heartbeat.hpp).
+  std::int64_t heartbeat_ms = 0;
 };
 
 /// One (scheme, replication) campaign point.

@@ -12,6 +12,7 @@
 #include <unistd.h>
 #endif
 
+#include "obs/metrics.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
@@ -324,6 +325,10 @@ bool CheckpointWriter::append(const std::string& payload) {
 }
 
 bool CheckpointWriter::flush() {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("checkpoint.flushes").increment();
+  const obs::ScopedTimer timer(
+      reg.histogram("checkpoint.flush_us", obs::latency_us_bounds()));
   const std::string temp = path_ + ".tmp";
   try {
     MBUS_FAILPOINT("checkpoint.flush");
@@ -358,6 +363,7 @@ bool CheckpointWriter::flush() {
     // file (if any) is removed so a later resume cannot see half a flush.
     std::remove(temp.c_str());
     ++flush_failures_;
+    reg.counter("checkpoint.flush_failures").increment();
     last_error_ = e.what();
     return false;
   }

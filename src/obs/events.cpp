@@ -1,0 +1,101 @@
+#include "obs/events.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus::obs {
+
+std::string format_event_line(std::int64_t ts_us, std::int64_t seq,
+                              std::string_view run_id, const char* event,
+                              std::initializer_list<EventField> fields) {
+  std::string line = cat("{\"ts_us\":", ts_us, ",\"seq\":", seq, ",\"run\":");
+  detail::append_json(line, run_id);
+  line += ",\"event\":";
+  detail::append_json(line, event);
+  for (const EventField& field : fields) {
+    line += ',';
+    detail::append_json(line, field.key);
+    line += ':';
+    switch (field.kind) {
+      case EventField::Kind::kInt:
+        line += cat(field.int_value);
+        break;
+      case EventField::Kind::kDouble: {
+        // %.17g round-trips doubles exactly (same contract as the
+        // checkpoint serializer).
+        char buffer[32];
+        std::snprintf(buffer, sizeof buffer, "%.17g", field.double_value);
+        line += buffer;
+        break;
+      }
+      case EventField::Kind::kBool:
+        line += field.bool_value ? "true" : "false";
+        break;
+      case EventField::Kind::kString:
+        detail::append_json(line, field.string_value);
+        break;
+    }
+  }
+  line += '}';
+  return line;
+}
+
+#if !defined(MBUS_NO_OBS)
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  return log;
+}
+
+void EventLog::open(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  file_.open(path, std::ios::binary | std::ios::trunc);
+  MBUS_EXPECTS(file_.is_open(), cat("cannot open events file ", path));
+  out_ = &file_;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void EventLog::open_stream(std::ostream* out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_.is_open()) file_.close();
+  out_ = out;
+  enabled_.store(out != nullptr, std::memory_order_relaxed);
+}
+
+void EventLog::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  if (file_.is_open()) {
+    file_.flush();
+    file_.close();
+  }
+  out_ = nullptr;
+}
+
+void EventLog::set_run_id(std::string run_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  run_id_ = std::move(run_id);
+}
+
+void EventLog::emit(const char* event,
+                    std::initializer_list<EventField> fields) {
+  if (!enabled()) return;
+  const std::int64_t ts = monotonic_us();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (out_ == nullptr) return;  // closed between the check and the lock
+  *out_ << format_event_line(ts, seq_++, run_id_, event, fields) << '\n';
+  out_->flush();
+}
+
+#else  // MBUS_NO_OBS
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  return log;
+}
+
+#endif  // MBUS_NO_OBS
+
+}  // namespace mbus::obs

@@ -1,0 +1,122 @@
+// Structured JSON-lines event log (the `obs/events` channel).
+//
+// Every line is one JSON object with reserved keys written first:
+//
+//   {"ts_us":152340,"seq":7,"run":"fault-campaign/12345",
+//    "event":"campaign.point","scheme":"full","replication":3,"ok":true}
+//
+//   * ts_us — microseconds on the monotonic clock since process start
+//     (never wall time, so lines are strictly ordered even across NTP
+//     slews);
+//   * seq   — a process-wide strictly increasing sequence number, the
+//     tie-breaker when two events share a microsecond;
+//   * run   — the run id set by the entry point (set_run_id), present on
+//     every line so interleaved logs from several runs stay separable;
+//   * event — the event name (dotted, like metric names).
+//
+// Everything after those is event-specific (point ids such as scheme /
+// replication ride here). Emission is a no-op until a sink is opened, so
+// instrumented library code never pays for an unused log; with
+// -DMBUS_NO_OBS the emitter compiles out entirely.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace mbus::obs {
+
+/// One key/value pair of an event line. Implicit constructors let emit
+/// sites write `{"scheme", scheme}, {"ok", true}, {"done", count}`.
+struct EventField {
+  enum class Kind { kInt, kDouble, kBool, kString };
+
+  EventField(const char* key, std::int64_t value)
+      : key(key), kind(Kind::kInt), int_value(value) {}
+  EventField(const char* key, int value)
+      : key(key), kind(Kind::kInt), int_value(value) {}
+  EventField(const char* key, double value)
+      : key(key), kind(Kind::kDouble), double_value(value) {}
+  EventField(const char* key, bool value)
+      : key(key), kind(Kind::kBool), bool_value(value) {}
+  EventField(const char* key, const char* value)
+      : key(key), kind(Kind::kString), string_value(value) {}
+  EventField(const char* key, const std::string& value)
+      : key(key), kind(Kind::kString), string_value(value) {}
+
+  const char* key;
+  Kind kind;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  bool bool_value = false;
+  std::string string_value;
+};
+
+#if !defined(MBUS_NO_OBS)
+
+class EventLog {
+ public:
+  EventLog() = default;
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// The process-wide log the built-in instrumentation emits to.
+  static EventLog& global();
+
+  /// Open (truncate) `path` as the sink; throws InvalidArgument when the
+  /// file cannot be created.
+  void open(const std::string& path);
+  /// Emit into a caller-owned stream instead of a file (tests). The
+  /// stream must outlive the log or be closed first.
+  void open_stream(std::ostream* out);
+  /// Flush and detach the sink; emit becomes a no-op again.
+  void close();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Stamped onto every subsequent line as "run".
+  void set_run_id(std::string run_id);
+
+  /// Write one event line. No-op without a sink. Thread-safe; each line
+  /// is written and flushed atomically under the log's mutex.
+  void emit(const char* event, std::initializer_list<EventField> fields);
+
+ private:
+  mutable std::mutex mutex_;
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+  std::string run_id_;
+  std::int64_t seq_ = 0;
+  std::atomic<bool> enabled_{false};
+};
+
+#else  // MBUS_NO_OBS
+
+class EventLog {
+ public:
+  static EventLog& global();
+  void open(const std::string&) {}
+  void open_stream(std::ostream*) {}
+  void close() {}
+  bool enabled() const noexcept { return false; }
+  void set_run_id(std::string) {}
+  void emit(const char*, std::initializer_list<EventField>) {}
+};
+
+#endif  // MBUS_NO_OBS
+
+/// Render one event line (without writing it) — the serialization the
+/// log uses, exposed for schema tests.
+std::string format_event_line(std::int64_t ts_us, std::int64_t seq,
+                              std::string_view run_id, const char* event,
+                              std::initializer_list<EventField> fields);
+
+}  // namespace mbus::obs

@@ -1,0 +1,60 @@
+#include "obs/heartbeat.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.hpp"
+
+#if !defined(MBUS_NO_OBS)
+
+namespace mbus::obs {
+
+Heartbeat::Heartbeat(std::int64_t period_ms, const CancellationToken* cancel,
+                     std::function<void(std::int64_t)> tick)
+    : period_ms_(period_ms), cancel_(cancel), tick_(std::move(tick)) {
+  MBUS_EXPECTS(period_ms_ >= 1, "heartbeat period must be >= 1 ms");
+  MBUS_EXPECTS(tick_ != nullptr, "heartbeat needs a tick callback");
+  thread_ = std::thread([this] { loop(); });
+}
+
+Heartbeat::~Heartbeat() { stop(); }
+
+void Heartbeat::stop() noexcept {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Heartbeat::loop() {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  Clock::time_point deadline = start + std::chrono::milliseconds(period_ms_);
+  // Wake at least every 100 ms so a fired CancellationToken (which has no
+  // way to notify our condition variable) is honored promptly even with
+  // long heartbeat periods.
+  const auto slice =
+      std::chrono::milliseconds(std::min<std::int64_t>(period_ms_, 100));
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait_for(lock, slice, [this] { return stop_; });
+    if (stop_) return;
+    if (cancel_ != nullptr && cancel_->stop_requested()) return;
+    const Clock::time_point now = Clock::now();
+    if (now < deadline) continue;
+    deadline = now + std::chrono::milliseconds(period_ms_);
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - start)
+            .count();
+    lock.unlock();
+    tick_(static_cast<std::int64_t>(elapsed_ms));
+    lock.lock();
+    if (stop_) return;
+  }
+}
+
+}  // namespace mbus::obs
+
+#endif  // MBUS_NO_OBS

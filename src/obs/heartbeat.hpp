@@ -1,0 +1,73 @@
+// Periodic progress heartbeat for long-running campaigns.
+//
+// A `Heartbeat` owns one background thread that invokes a caller-supplied
+// tick (typically: emit a `campaign.heartbeat` event with points
+// done/total and an ETA) every `period_ms`. Shutdown ordering is the
+// whole point of the class:
+//
+//   * the destructor (or stop()) wakes the thread immediately via its
+//     condition variable and joins — it never waits out a period, so
+//     SIGINT handling is never blocked on the emitter thread;
+//   * a `CancellationToken` (optional) is polled at least every 100 ms:
+//     once the token fires the thread exits on its own, even if the
+//     owner has not reached the destructor yet;
+//   * ticks run on the heartbeat thread with no lock held, so a slow
+//     sink cannot deadlock stop()/destruction (stop() does wait for an
+//     in-flight tick to return before joining — sinks must not block
+//     forever, the same contract as any logging backend).
+//
+// With -DMBUS_NO_OBS the class compiles to an inert stub (no thread).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "util/shutdown.hpp"
+
+namespace mbus::obs {
+
+#if !defined(MBUS_NO_OBS)
+
+class Heartbeat {
+ public:
+  /// Starts the thread. `tick(elapsed_ms)` fires every `period_ms`
+  /// (>= 1) until stop()/destruction or until `cancel` (may be null)
+  /// requests a stop.
+  Heartbeat(std::int64_t period_ms, const CancellationToken* cancel,
+            std::function<void(std::int64_t elapsed_ms)> tick);
+  ~Heartbeat();
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  /// Signal the thread and join it. Idempotent; returns promptly (the
+  /// thread is woken, never waited out).
+  void stop() noexcept;
+
+ private:
+  void loop();
+
+  std::int64_t period_ms_;
+  const CancellationToken* cancel_;
+  std::function<void(std::int64_t)> tick_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+#else  // MBUS_NO_OBS
+
+class Heartbeat {
+ public:
+  Heartbeat(std::int64_t, const CancellationToken*,
+            std::function<void(std::int64_t)>) {}
+  void stop() noexcept {}
+};
+
+#endif  // MBUS_NO_OBS
+
+}  // namespace mbus::obs

@@ -1,0 +1,502 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus::obs {
+
+namespace detail {
+
+void append_json(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace detail
+
+std::int64_t HistogramSnapshot::quantile_bound(double q) const noexcept {
+  if (count == 0 || counts.empty()) return 0;
+  const double target = q * static_cast<double>(count);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      return i < bounds.size() ? bounds[i] : -1;
+    }
+  }
+  return -1;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"mbus_metrics\":1,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    detail::append_json(out, name);
+    out += cat(":", value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    detail::append_json(out, name);
+    out += cat(":", value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    detail::append_json(out, name);
+    out += ":{\"bounds\":[";
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i != 0) out += ',';
+      out += cat(hist.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i != 0) out += ',';
+      out += cat(hist.counts[i]);
+    }
+    out += cat("],\"count\":", hist.count, ",\"sum\":", hist.sum, "}");
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+/// Minimal cursor helpers for snapshot_from_json — the document is our
+/// own writer's output, so the parser only has to accept that shape
+/// (and reject everything else).
+void skip_ws(const std::string& s, std::size_t& pos) {
+  while (pos < s.size() &&
+         (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+          s[pos] == '\r')) {
+    ++pos;
+  }
+}
+
+bool expect_char(const std::string& s, std::size_t& pos, char c) {
+  skip_ws(s, pos);
+  if (pos >= s.size() || s[pos] != c) return false;
+  ++pos;
+  return true;
+}
+
+bool parse_string(const std::string& s, std::size_t& pos, std::string& out) {
+  skip_ws(s, pos);
+  if (pos >= s.size() || s[pos] != '"') return false;
+  ++pos;
+  out.clear();
+  while (pos < s.size() && s[pos] != '"') {
+    char c = s[pos++];
+    if (c == '\\') {
+      if (pos >= s.size()) return false;
+      const char escape = s[pos++];
+      switch (escape) {
+        case '"': c = '"'; break;
+        case '\\': c = '\\'; break;
+        case 'n': c = '\n'; break;
+        case 'r': c = '\r'; break;
+        case 't': c = '\t'; break;
+        case 'u': {
+          if (pos + 4 > s.size()) return false;
+          c = static_cast<char>(
+              std::strtol(s.substr(pos, 4).c_str(), nullptr, 16));
+          pos += 4;
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    out += c;
+  }
+  if (pos >= s.size()) return false;
+  ++pos;  // closing quote
+  return true;
+}
+
+bool parse_int(const std::string& s, std::size_t& pos, std::int64_t& out) {
+  skip_ws(s, pos);
+  const char* begin = s.c_str() + pos;
+  char* end = nullptr;
+  out = std::strtoll(begin, &end, 10);
+  if (end == begin) return false;
+  pos += static_cast<std::size_t>(end - begin);
+  return true;
+}
+
+bool parse_int_array(const std::string& s, std::size_t& pos,
+                     std::vector<std::int64_t>& out) {
+  if (!expect_char(s, pos, '[')) return false;
+  out.clear();
+  skip_ws(s, pos);
+  if (pos < s.size() && s[pos] == ']') {
+    ++pos;
+    return true;
+  }
+  for (;;) {
+    std::int64_t value = 0;
+    if (!parse_int(s, pos, value)) return false;
+    out.push_back(value);
+    skip_ws(s, pos);
+    if (pos >= s.size()) return false;
+    if (s[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    if (s[pos] != ',') return false;
+    ++pos;
+  }
+}
+
+/// Parses {"name":int,...} into `out`.
+bool parse_int_map(const std::string& s, std::size_t& pos,
+                   std::map<std::string, std::int64_t>& out) {
+  if (!expect_char(s, pos, '{')) return false;
+  skip_ws(s, pos);
+  if (pos < s.size() && s[pos] == '}') {
+    ++pos;
+    return true;
+  }
+  for (;;) {
+    std::string name;
+    std::int64_t value = 0;
+    if (!parse_string(s, pos, name) || !expect_char(s, pos, ':') ||
+        !parse_int(s, pos, value)) {
+      return false;
+    }
+    out[name] = value;
+    skip_ws(s, pos);
+    if (pos >= s.size()) return false;
+    if (s[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    if (s[pos] != ',') return false;
+    ++pos;
+  }
+}
+
+}  // namespace
+
+bool snapshot_from_json(const std::string& text, MetricsSnapshot& out) {
+  MetricsSnapshot parsed;
+  std::size_t pos = 0;
+  std::string key;
+  std::int64_t version = 0;
+  if (!expect_char(text, pos, '{') || !parse_string(text, pos, key) ||
+      key != "mbus_metrics" || !expect_char(text, pos, ':') ||
+      !parse_int(text, pos, version) || version != 1) {
+    return false;
+  }
+  if (!expect_char(text, pos, ',') || !parse_string(text, pos, key) ||
+      key != "counters" || !expect_char(text, pos, ':') ||
+      !parse_int_map(text, pos, parsed.counters)) {
+    return false;
+  }
+  if (!expect_char(text, pos, ',') || !parse_string(text, pos, key) ||
+      key != "gauges" || !expect_char(text, pos, ':') ||
+      !parse_int_map(text, pos, parsed.gauges)) {
+    return false;
+  }
+  if (!expect_char(text, pos, ',') || !parse_string(text, pos, key) ||
+      key != "histograms" || !expect_char(text, pos, ':') ||
+      !expect_char(text, pos, '{')) {
+    return false;
+  }
+  skip_ws(text, pos);
+  if (pos < text.size() && text[pos] == '}') {
+    ++pos;
+  } else {
+    for (;;) {
+      std::string name;
+      HistogramSnapshot hist;
+      std::string field;
+      if (!parse_string(text, pos, name) || !expect_char(text, pos, ':') ||
+          !expect_char(text, pos, '{') || !parse_string(text, pos, field) ||
+          field != "bounds" || !expect_char(text, pos, ':') ||
+          !parse_int_array(text, pos, hist.bounds) ||
+          !expect_char(text, pos, ',') || !parse_string(text, pos, field) ||
+          field != "counts" || !expect_char(text, pos, ':') ||
+          !parse_int_array(text, pos, hist.counts) ||
+          !expect_char(text, pos, ',') || !parse_string(text, pos, field) ||
+          field != "count" || !expect_char(text, pos, ':') ||
+          !parse_int(text, pos, hist.count) ||
+          !expect_char(text, pos, ',') || !parse_string(text, pos, field) ||
+          field != "sum" || !expect_char(text, pos, ':') ||
+          !parse_int(text, pos, hist.sum) || !expect_char(text, pos, '}')) {
+        return false;
+      }
+      if (hist.counts.size() != hist.bounds.size() + 1) return false;
+      parsed.histograms[name] = std::move(hist);
+      skip_ws(text, pos);
+      if (pos >= text.size()) return false;
+      if (text[pos] == '}') {
+        ++pos;
+        break;
+      }
+      if (text[pos] != ',') return false;
+      ++pos;
+    }
+  }
+  if (!expect_char(text, pos, '}')) return false;
+  out = std::move(parsed);
+  return true;
+}
+
+std::string render_summary(const MetricsSnapshot& snapshot) {
+  if (snapshot.counters.empty() && snapshot.gauges.empty() &&
+      snapshot.histograms.empty()) {
+    return kEnabled ? "observability: no metrics recorded\n"
+                    : "observability compiled out (MBUS_NO_OBS)\n";
+  }
+  std::size_t width = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    width = std::max(width, name.size());
+  }
+
+  std::string out = "observability summary\n";
+  if (!snapshot.counters.empty()) {
+    out += "  counters:\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      out += cat("    ", pad_right(name, width), "  ", value, "\n");
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "  gauges:\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      out += cat("    ", pad_right(name, width), "  ", value, "\n");
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out += "  histograms (count / mean / p50 / p99):\n";
+    for (const auto& [name, hist] : snapshot.histograms) {
+      const std::int64_t p50 = hist.quantile_bound(0.50);
+      const std::int64_t p99 = hist.quantile_bound(0.99);
+      out += cat("    ", pad_right(name, width), "  n=", hist.count,
+                 " mean=", fmt_fixed(hist.mean(), 1),
+                 " p50<=", p50 < 0 ? std::string("inf") : cat(p50),
+                 " p99<=", p99 < 0 ? std::string("inf") : cat(p99), "\n");
+    }
+  }
+  return out;
+}
+
+std::int64_t monotonic_us() noexcept {
+#if defined(MBUS_NO_OBS)
+  return 0;
+#else
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start)
+      .count();
+#endif
+}
+
+#if !defined(MBUS_NO_OBS)
+
+namespace detail {
+
+int thread_stripe() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(index & (kStripes - 1));
+}
+
+}  // namespace detail
+
+std::int64_t Counter::value() const noexcept {
+  std::int64_t total = 0;
+  for (const detail::Stripe& stripe : stripes_) {
+    total += stripe.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (detail::Stripe& stripe : stripes_) {
+    stripe.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  MBUS_EXPECTS(!bounds_.empty(), "histogram needs at least one bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    MBUS_EXPECTS(bounds_[i - 1] < bounds_[i],
+                 "histogram bounds must be strictly ascending");
+  }
+  stripes_ = std::make_unique<StripeData[]>(detail::kStripes);
+  const std::size_t buckets = bounds_.size() + 1;
+  for (int s = 0; s < detail::kStripes; ++s) {
+    stripes_[s].buckets =
+        std::make_unique<std::atomic<std::int64_t>[]>(buckets);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      stripes_[s].buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::observe_many(std::int64_t value,
+                             std::int64_t count) noexcept {
+  if (count <= 0) return;
+  std::size_t bucket = bounds_.size();  // +inf by default
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  StripeData& stripe = stripes_[detail::thread_stripe()];
+  stripe.buckets[bucket].fetch_add(count, std::memory_order_relaxed);
+  stripe.count.fetch_add(count, std::memory_order_relaxed);
+  stripe.sum.fetch_add(value * count, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  for (int s = 0; s < detail::kStripes; ++s) {
+    const StripeData& stripe = stripes_[s];
+    for (std::size_t b = 0; b < out.counts.size(); ++b) {
+      out.counts[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+    out.count += stripe.count.load(std::memory_order_relaxed);
+    out.sum += stripe.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (int s = 0; s < detail::kStripes; ++s) {
+    StripeData& stripe = stripes_[s];
+    for (std::size_t b = 0; b < bounds_.size() + 1; ++b) {
+      stripe.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    stripe.count.store(0, std::memory_order_relaxed);
+    stripe.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = counters_.find(name);
+  if (found != counters_.end()) return *found->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = gauges_.find(name);
+  if (found != gauges_.end()) return *found->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(
+    std::string_view name, const std::vector<std::int64_t>& bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = histograms_.find(name);
+  if (found != histograms_.end()) return *found->second;
+  return *histograms_
+              .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms[name] = histogram->snapshot();
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+#else  // MBUS_NO_OBS
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+#endif  // MBUS_NO_OBS
+
+const std::vector<std::int64_t>& latency_us_bounds() {
+  static const std::vector<std::int64_t> bounds = {
+      50,     100,    250,    500,     1000,    2500,   5000,
+      10000,  25000,  50000,  100000,  250000,  500000, 1000000};
+  return bounds;
+}
+
+const std::vector<std::int64_t>& per_cycle_count_bounds() {
+  static const std::vector<std::int64_t> bounds = {0, 1, 2,  3,  4,  6, 8,
+                                                   12, 16, 24, 32, 48, 64};
+  return bounds;
+}
+
+}  // namespace mbus::obs

@@ -1,0 +1,279 @@
+// Low-overhead metrics for the simulators, thread pool, and campaign
+// harness (DESIGN.md §10 "Observability model").
+//
+// Three primitives, all registered by name in a `MetricsRegistry`:
+//
+//   * Counter   — monotonically increasing int64. Increments go to one of
+//     a fixed set of cache-line-padded stripes chosen by a thread-local
+//     index, so the hot path is a single relaxed fetch_add on a line the
+//     thread effectively owns; stripes are summed on snapshot.
+//   * Gauge     — a last-write-wins int64 level (worker counts, sizes).
+//   * Histogram — fixed upper-bound buckets (`value <= bound`, plus an
+//     implicit +inf bucket), striped like counters, with total count and
+//     sum for mean/percentile estimates.
+//
+// Determinism contract: metrics that describe *work done* (requests
+// granted, points attempted, flush counts) are bit-identical across
+// thread counts and engine kinds for the same seed, because every
+// increment corresponds to a deterministic unit of work and addition
+// commutes. Only *timing* histograms (`*_us`) may vary run to run.
+//
+// Builds with -DMBUS_NO_OBS compile the whole layer down to no-op inline
+// stubs: call sites keep compiling, snapshots are empty, and zero
+// instructions land in hot paths.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbus::obs {
+
+#if defined(MBUS_NO_OBS)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Merged, point-in-time view of one histogram. `counts` has
+/// `bounds.size() + 1` entries; the last is the +inf overflow bucket.
+struct HistogramSnapshot {
+  std::vector<std::int64_t> bounds;
+  std::vector<std::int64_t> counts;
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket containing quantile `q` in [0, 1]; the
+  /// overflow bucket reports -1 ("beyond the last bound").
+  std::int64_t quantile_bound(double q) const noexcept;
+};
+
+/// Merged view of every registered metric, in name order (std::map), so
+/// serialization and comparison are deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// One JSON object: {"mbus_metrics":1,"counters":{...},"gauges":{...},
+  /// "histograms":{"name":{"bounds":[...],"counts":[...],"count":N,
+  /// "sum":S},...}}.
+  std::string to_json() const;
+};
+
+/// Parse a to_json() document back (schema round-trip for tests and
+/// external tooling). Returns false on malformed input.
+bool snapshot_from_json(const std::string& text, MetricsSnapshot& out);
+
+/// Human-readable summary table of a snapshot (counters, gauges, and
+/// count/mean/p50/p99 per histogram) for end-of-run reporting.
+std::string render_summary(const MetricsSnapshot& snapshot);
+
+/// Microseconds on the monotonic clock since process start. 0 when the
+/// layer is compiled out, so timing code folds away.
+std::int64_t monotonic_us() noexcept;
+
+namespace detail {
+/// Append `s` to `out` as a quoted, escaped JSON string.
+void append_json(std::string& out, std::string_view s);
+}  // namespace detail
+
+#if !defined(MBUS_NO_OBS)
+
+namespace detail {
+inline constexpr int kStripes = 16;  // power of two
+
+struct alignas(64) Stripe {
+  std::atomic<std::int64_t> value{0};
+};
+
+/// This thread's stripe index (assigned round-robin on first use).
+int thread_stripe() noexcept;
+}  // namespace detail
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::int64_t delta) noexcept {
+    stripes_[detail::thread_stripe()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  /// Sum over stripes. Monotone and exact once writers are quiescent.
+  std::int64_t value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  detail::Stripe stripes_[detail::kStripes];
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  /// `bounds` are strictly ascending inclusive upper bounds; an implicit
+  /// +inf bucket catches everything beyond the last. Throws
+  /// InvalidArgument on an empty or non-ascending vector.
+  explicit Histogram(std::vector<std::int64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(std::int64_t value) noexcept { observe_many(value, 1); }
+  /// Record `count` observations of `value` at once (bulk merge of a
+  /// locally accumulated histogram — the engines' zero-hot-path-cost
+  /// pattern). Negative or zero counts are ignored.
+  void observe_many(std::int64_t value, std::int64_t count) noexcept;
+
+  const std::vector<std::int64_t>& bounds() const noexcept {
+    return bounds_;
+  }
+  HistogramSnapshot snapshot() const;
+  void reset() noexcept;
+
+ private:
+  struct StripeData {
+    std::unique_ptr<std::atomic<std::int64_t>[]> buckets;
+    std::atomic<std::int64_t> count{0};
+    std::atomic<std::int64_t> sum{0};
+  };
+
+  std::vector<std::int64_t> bounds_;
+  std::unique_ptr<StripeData[]> stripes_;
+};
+
+/// Named metric registry. Registration (the name lookup) takes a mutex —
+/// callers on hot paths resolve once and keep the reference; returned
+/// references live as long as the registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation site
+  /// writes to.
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First registration fixes the bucket bounds; later calls with the
+  /// same name return the existing histogram (bounds argument ignored).
+  Histogram& histogram(std::string_view name,
+                       const std::vector<std::int64_t>& bounds);
+
+  MetricsSnapshot snapshot() const;
+  /// Zero every metric (registrations survive). Callers must be
+  /// quiescent — concurrent increments may straddle the reset.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Records the wall-clock (monotonic) duration of a scope into a timing
+/// histogram, in microseconds.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink) noexcept
+      : sink_(&sink), start_(monotonic_us()) {}
+  ~ScopedTimer() { sink_->observe(monotonic_us() - start_); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* sink_;
+  std::int64_t start_;
+};
+
+#else  // MBUS_NO_OBS — inert stubs with the identical API surface.
+
+class Counter {
+ public:
+  void add(std::int64_t) noexcept {}
+  void increment() noexcept {}
+  std::int64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t) noexcept {}
+  std::int64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  void observe(std::int64_t) noexcept {}
+  void observe_many(std::int64_t, std::int64_t) noexcept {}
+  HistogramSnapshot snapshot() const { return {}; }
+  void reset() noexcept {}
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+  Counter& counter(std::string_view) { return counter_; }
+  Gauge& gauge(std::string_view) { return gauge_; }
+  Histogram& histogram(std::string_view, const std::vector<std::int64_t>&) {
+    return histogram_;
+  }
+  MetricsSnapshot snapshot() const { return {}; }
+  void reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&) noexcept {}
+};
+
+#endif  // MBUS_NO_OBS
+
+/// Shared bucket ladders for the built-in instrumentation (documented in
+/// DESIGN.md §10 so external tooling can rely on them).
+const std::vector<std::int64_t>& latency_us_bounds();      // 50us..1s
+const std::vector<std::int64_t>& per_cycle_count_bounds();  // 0..64
+
+}  // namespace mbus::obs

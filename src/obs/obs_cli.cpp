@@ -1,0 +1,58 @@
+#include "obs/obs_cli.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace mbus::obs {
+
+void add_observability_options(CliParser& parser) {
+  parser
+      .add_string("metrics-out", "",
+                  "write a metrics-registry JSON snapshot to this file at "
+                  "exit")
+      .add_string("events-out", "",
+                  "stream structured JSON-lines events (heartbeats, point "
+                  "completions) to this file")
+      .add_flag("obs-summary",
+                "print the observability summary table at the end of the "
+                "run");
+}
+
+ObservabilityScope::ObservabilityScope(const CliParser& cli,
+                                       std::string run_id)
+    : metrics_path_(cli.get_string("metrics-out")),
+      summary_(cli.get_flag("obs-summary")) {
+  const std::string events_path = cli.get_string("events-out");
+  if (!events_path.empty()) {
+    EventLog& log = EventLog::global();
+    log.open(events_path);
+    log.set_run_id(run_id);
+    log.emit("run.start", {});
+    events_open_ = true;
+  }
+}
+
+ObservabilityScope::~ObservabilityScope() {
+  if (events_open_) {
+    EventLog::global().emit("run.end", {});
+    EventLog::global().close();
+  }
+  const bool any_output = events_open_ || !metrics_path_.empty();
+  if (!any_output && !summary_) return;
+  const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+  if (!metrics_path_.empty()) {
+    std::ofstream out(metrics_path_, std::ios::binary | std::ios::trunc);
+    if (out.is_open()) {
+      out << snapshot.to_json() << '\n';
+    } else {
+      std::cerr << "warning: cannot write metrics to " << metrics_path_
+                << "\n";
+    }
+  }
+  if (summary_ || any_output) std::cout << render_summary(snapshot);
+}
+
+}  // namespace mbus::obs

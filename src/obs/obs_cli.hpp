@@ -1,0 +1,51 @@
+// CLI plumbing for the observability layer, shared by every bench and
+// example binary:
+//
+//   --metrics-out <file.json>   write a MetricsRegistry snapshot at exit
+//   --events-out <file.jsonl>   stream structured events while running
+//   --obs-summary               print the human-readable summary table
+//
+// Usage in a main():
+//
+//   add_observability_options(cli);
+//   if (!cli.parse(argc, argv)) return 0;
+//   ObservabilityScope obs(cli, cat("my-bench/", seed));
+//   ... run ...
+//   // scope exit: run.end event, metrics JSON written, summary printed
+//
+// The scope is exception- and early-return-safe: outputs are produced in
+// the destructor, best-effort (an unwritable metrics path is reported on
+// stderr, never thrown out of a destructor).
+#pragma once
+
+#include <string>
+
+#include "util/cli.hpp"
+
+namespace mbus::obs {
+
+/// Register --metrics-out / --events-out / --obs-summary on `parser`.
+void add_observability_options(CliParser& parser);
+
+class ObservabilityScope {
+ public:
+  /// Opens the global event sink (when --events-out was given), stamps
+  /// `run_id` onto every event line, and emits `run.start`. Throws
+  /// InvalidArgument when the events file cannot be created.
+  ObservabilityScope(const CliParser& cli, std::string run_id);
+
+  /// Emits `run.end`, closes the event sink, writes the metrics snapshot
+  /// (when --metrics-out was given), and prints the summary table to
+  /// stdout when --obs-summary or any obs output was requested.
+  ~ObservabilityScope();
+
+  ObservabilityScope(const ObservabilityScope&) = delete;
+  ObservabilityScope& operator=(const ObservabilityScope&) = delete;
+
+ private:
+  std::string metrics_path_;
+  bool events_open_ = false;
+  bool summary_ = false;
+};
+
+}  // namespace mbus::obs

@@ -25,4 +25,74 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
   out_ << '\n';
 }
 
+bool parse_csv(const std::string& text,
+               std::vector<std::vector<std::string>>& rows) {
+  rows.clear();
+  std::size_t i = 0;
+  const std::size_t size = text.size();
+  while (i < size) {
+    std::vector<std::string> row;
+    for (;;) {
+      std::string cell;
+      if (text[i] == '"') {  // quoted field
+        ++i;
+        for (;;) {
+          if (i >= size) {  // unterminated quoted field
+            rows.clear();
+            return false;
+          }
+          const char c = text[i++];
+          if (c == '"') {
+            if (i < size && text[i] == '"') {  // doubled quote
+              cell += '"';
+              ++i;
+              continue;
+            }
+            break;  // closing quote
+          }
+          cell += c;
+        }
+        if (i < size && text[i] != ',' && text[i] != '\n' &&
+            text[i] != '\r') {  // junk after closing quote
+          rows.clear();
+          return false;
+        }
+      } else {  // bare field, ends at separator or row end
+        while (i < size && text[i] != ',' && text[i] != '\n' &&
+               text[i] != '\r') {
+          if (text[i] == '"') {  // stray quote inside a bare field
+            rows.clear();
+            return false;
+          }
+          cell += text[i++];
+        }
+      }
+      row.push_back(std::move(cell));
+      if (i < size && text[i] == ',') {
+        ++i;
+        if (i == size || text[i] == '\n' || text[i] == '\r') {
+          // Trailing comma: the row ends with one more (empty) field.
+          row.emplace_back();
+          break;
+        }
+        continue;
+      }
+      break;
+    }
+    // Row terminator: CRLF, LF, or end of input.
+    if (i < size && text[i] == '\r') {
+      ++i;
+      if (i >= size || text[i] != '\n') {  // lone CR
+        rows.clear();
+        return false;
+      }
+    }
+    if (i < size) {
+      ++i;  // the LF
+    }
+    rows.push_back(std::move(row));
+  }
+  return true;
+}
+
 }  // namespace mbus

@@ -1,4 +1,5 @@
-// Minimal CSV writer (RFC 4180 quoting) for exporting bench results.
+// Minimal CSV writer and parser (RFC 4180 quoting) for exporting bench
+// results and round-tripping them back in.
 #pragma once
 
 #include <ostream>
@@ -21,5 +22,14 @@ class CsvWriter {
  private:
   std::ostream& out_;
 };
+
+/// Parse RFC 4180 CSV text into rows of cells — the exact inverse of
+/// CsvWriter: quoted fields may contain commas, quotes (doubled), and
+/// embedded newlines; rows end at LF or CRLF; a trailing newline does
+/// not produce an empty final row. Returns false (clearing `rows`) on
+/// malformed input: an unterminated quoted field, junk after a closing
+/// quote, a stray quote inside a bare field, or a lone CR.
+bool parse_csv(const std::string& text,
+               std::vector<std::vector<std::string>>& rows);
 
 }  // namespace mbus

@@ -112,6 +112,7 @@ SimResult Simulator::run_reference() {
   std::vector<std::int64_t> service_histogram;
   std::int64_t issued_total = 0;
   std::int64_t blocked_total = 0;
+  std::int64_t resubmitted_total = 0;
   std::int64_t served_total = 0;
   std::int64_t latency_total = 0;
   std::int64_t latency_grants = 0;
@@ -174,12 +175,14 @@ SimResult Simulator::run_reference() {
     // 1. Request generation.
     requesting_modules.clear();
     std::int64_t issued = 0;
+    std::int64_t resubmitted = 0;
     std::int64_t busy_module_blocked = 0;
     for (int p = 0; p < n; ++p) {
       int dest = -1;
       if (config_.resubmit_blocked &&
           pending[static_cast<std::size_t>(p)] >= 0) {
         dest = pending[static_cast<std::size_t>(p)];
+        ++resubmitted;
       } else if (rng_.bernoulli(r)) {
         dest = static_cast<int>(
             samplers[static_cast<std::size_t>(p)].sample(rng_));
@@ -268,6 +271,7 @@ SimResult Simulator::run_reference() {
     if (!measuring) continue;
     issued_total += issued;
     blocked_total += issued - served_count;
+    resubmitted_total += resubmitted;
     served_total += served_count;
     // A bus is busy this cycle if it carried a fresh grant or an ongoing
     // transfer (bus_remaining was set to `transfer` at grant and counts
@@ -359,6 +363,9 @@ SimResult Simulator::run_reference() {
         static_cast<double>(count) / cycles_d);
   }
   result.window_bandwidth = std::move(window_bandwidth);
+  record_run_metrics(/*fast_engine=*/false, total_cycles, issued_total,
+                     served_total, blocked_total, resubmitted_total,
+                     service_histogram);
   return result;
 }
 

@@ -181,6 +181,7 @@ SimResult run_fast_kernel(const Topology& topology, const RequestModel& model,
   std::vector<std::int64_t> service_histogram;
   std::int64_t issued_total = 0;
   std::int64_t blocked_total = 0;
+  std::int64_t resubmitted_total = 0;
   std::int64_t served_total = 0;
   std::int64_t latency_total = 0;
   std::int64_t latency_grants = 0;
@@ -236,11 +237,13 @@ SimResult run_fast_kernel(const Topology& topology, const RequestModel& model,
     const bool always_request = r >= 1.0;
     u64 requesting = 0;
     std::int64_t issued = 0;
+    std::int64_t resubmitted = 0;
     for (int p = 0; p < n; ++p) {
       const u64 pbit = 1ULL << p;
       int dest;
       if (resubmit && (pending & pbit) != 0) {
         dest = pending_dest[static_cast<std::size_t>(p)];
+        ++resubmitted;
       } else if (always_request || rng.bernoulli(r)) {
         const auto col = static_cast<std::size_t>(
             rng.below(static_cast<u64>(m)));
@@ -499,6 +502,7 @@ SimResult run_fast_kernel(const Topology& topology, const RequestModel& model,
     if (!measuring) continue;
     issued_total += issued;
     blocked_total += issued - served_count;
+    resubmitted_total += resubmitted;
     served_total += served_count;
     // Busy buses: fresh grants plus healthy buses still carrying a
     // transfer that started in an earlier cycle.
@@ -580,6 +584,9 @@ SimResult run_fast_kernel(const Topology& topology, const RequestModel& model,
         static_cast<double>(count) / cycles_d);
   }
   result.window_bandwidth = std::move(window_bandwidth);
+  record_run_metrics(/*fast_engine=*/true, total_cycles, issued_total,
+                     served_total, blocked_total, resubmitted_total,
+                     service_histogram);
   return result;
 }
 

@@ -1,8 +1,31 @@
 #include "sim/metrics.hpp"
 
 #include <algorithm>
+#include <cstddef>
+
+#include "obs/metrics.hpp"
 
 namespace mbus {
+
+void record_run_metrics(bool fast_engine, std::int64_t cycles,
+                        std::int64_t issued, std::int64_t granted,
+                        std::int64_t blocked, std::int64_t resubmitted,
+                        const std::vector<std::int64_t>& service_histogram) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("sim.runs").increment();
+  reg.counter(fast_engine ? "sim.runs.fast" : "sim.runs.reference")
+      .increment();
+  reg.counter("sim.cycles").add(cycles);
+  reg.counter("sim.requests.issued").add(issued);
+  reg.counter("sim.requests.granted").add(granted);
+  reg.counter("sim.requests.blocked").add(blocked);
+  reg.counter("sim.requests.resubmitted").add(resubmitted);
+  obs::Histogram& services =
+      reg.histogram("sim.services_per_cycle", obs::per_cycle_count_bounds());
+  for (std::size_t i = 0; i < service_histogram.size(); ++i) {
+    services.observe_many(static_cast<std::int64_t>(i), service_histogram[i]);
+  }
+}
 
 double jain_fairness(const std::vector<double>& rates) {
   if (rates.empty()) return 0.0;

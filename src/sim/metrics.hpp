@@ -57,6 +57,18 @@ struct SimResult {
   std::vector<double> window_bandwidth;
 };
 
+/// Record a finished engine run's work counters into the global metrics
+/// registry (DESIGN.md §10): sim.runs[.reference|.fast], sim.cycles,
+/// sim.requests.{issued,granted,blocked,resubmitted}, and the
+/// sim.services_per_cycle histogram (bulk-merged from the run's local
+/// service histogram, so the per-cycle hot path pays nothing). Work
+/// counters are deterministic: identical for both engines and any thread
+/// count at a fixed seed.
+void record_run_metrics(bool fast_engine, std::int64_t cycles,
+                        std::int64_t issued, std::int64_t granted,
+                        std::int64_t blocked, std::int64_t resubmitted,
+                        const std::vector<std::int64_t>& service_histogram);
+
 /// Jain's fairness index of a rate vector: (Σx)² / (n·Σx²); 1.0 means
 /// perfectly equal rates, 1/n means one party gets everything.
 double jain_fairness(const std::vector<double>& rates);

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/format.hpp"
 
 namespace mbus {
@@ -139,6 +140,11 @@ void evaluate(const char* site) {
     action = found->action;
     sleep_ms = found->sleep_ms;
   }
+  // Count the trip (armed site acted — including noop probes) before the
+  // action, so kThrow trips are visible in the registry too.
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("failpoint.trips").increment();
+  reg.counter(cat("failpoint.trips.", site)).increment();
   switch (action) {
     case Action::kThrow:
       throw FaultInjected(

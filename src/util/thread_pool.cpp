@@ -1,9 +1,47 @@
 #include "util/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/format.hpp"
 
 namespace mbus {
+
+namespace {
+
+/// Pool-wide instrumentation handles, resolved once per process —
+/// registry lookups take a lock; the references are stable forever
+/// (DESIGN.md §10). pool.tasks.* are work counters (deterministic for a
+/// given task set); the *_us histograms are timing and vary run to run.
+struct PoolMetrics {
+  obs::Counter& queued;
+  obs::Counter& started;
+  obs::Counter& finished;
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& task_run_us;
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics{
+      obs::MetricsRegistry::global().counter("pool.tasks.queued"),
+      obs::MetricsRegistry::global().counter("pool.tasks.started"),
+      obs::MetricsRegistry::global().counter("pool.tasks.finished"),
+      obs::MetricsRegistry::global().histogram("pool.queue_wait_us",
+                                               obs::latency_us_bounds()),
+      obs::MetricsRegistry::global().histogram("pool.task_run_us",
+                                               obs::latency_us_bounds())};
+  return metrics;
+}
+
+/// Busy-time of inline (zero-worker) execution, aggregated separately
+/// from the numbered workers.
+obs::Counter& inline_busy_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("pool.worker.inline.busy_us");
+  return counter;
+}
+
+}  // namespace
 
 int ParallelOptions::resolved_threads() const noexcept {
   return threads == 0 ? ThreadPool::hardware_threads() : threads;
@@ -13,8 +51,9 @@ ThreadPool::ThreadPool(int threads) {
   MBUS_EXPECTS(threads >= 0, "thread count must be >= 0");
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
+  obs::MetricsRegistry::global().gauge("pool.workers").add(threads);
 }
 
 ThreadPool::~ThreadPool() {
@@ -26,18 +65,29 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
   // Inline mode (no workers) never queues, so nothing can be left behind;
   // with workers, the loop below drains the queue before exiting.
+  obs::MetricsRegistry::global().gauge("pool.workers").add(
+      -static_cast<std::int64_t>(workers_.size()));
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
+  PoolMetrics& metrics = pool_metrics();
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
+  metrics.queued.increment();
   if (workers_.empty()) {
+    metrics.started.increment();
+    metrics.queue_wait_us.observe(0);
+    const std::int64_t begin_us = obs::monotonic_us();
     packaged();  // inline execution; the exception lands in the future
+    const std::int64_t elapsed_us = obs::monotonic_us() - begin_us;
+    metrics.task_run_us.observe(elapsed_us);
+    inline_busy_counter().add(elapsed_us);
+    metrics.finished.increment();
     return future;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(packaged));
+    queue_.push_back(QueuedTask{std::move(packaged), obs::monotonic_us()});
   }
   cv_.notify_one();
   return future;
@@ -48,9 +98,15 @@ int ThreadPool::hardware_threads() noexcept {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker_index) {
+  PoolMetrics& metrics = pool_metrics();
+  // Per-worker utilization counter: total microseconds spent running task
+  // bodies. Indices restart at 0 for every pool, so the counters
+  // aggregate by worker slot across pools (documented in DESIGN.md §10).
+  obs::Counter& busy_us = obs::MetricsRegistry::global().counter(
+      cat("pool.worker.", worker_index, ".busy_us"));
   for (;;) {
-    std::packaged_task<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -58,7 +114,14 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // packaged_task captures any exception into its future
+    metrics.started.increment();
+    metrics.queue_wait_us.observe(obs::monotonic_us() - task.enqueued_us);
+    const std::int64_t begin_us = obs::monotonic_us();
+    task.work();  // packaged_task captures any exception into its future
+    const std::int64_t elapsed_us = obs::monotonic_us() - begin_us;
+    metrics.task_run_us.observe(elapsed_us);
+    busy_us.add(elapsed_us);
+    metrics.finished.increment();
   }
 }
 

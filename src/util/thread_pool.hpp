@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -78,10 +79,18 @@ class ThreadPool {
   static int hardware_threads() noexcept;
 
  private:
-  void worker_loop();
+  /// A queued task remembers when it was enqueued so the worker that
+  /// dequeues it can record the queue-wait into pool.queue_wait_us
+  /// (0 when the obs layer is compiled out — observes are no-ops then).
+  struct QueuedTask {
+    std::packaged_task<void()> work;
+    std::int64_t enqueued_us = 0;
+  };
+
+  void worker_loop(int worker_index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -1,0 +1,55 @@
+// Compile-only check for the MBUS_NO_OBS build: every obs API must keep
+// compiling as an inert stub, so instrumented call sites never need
+// #ifdefs. This translation unit is compiled with -DMBUS_NO_OBS on every
+// build (see the OBJECT library in tests/CMakeLists.txt) and is never
+// linked — a stub that drifts from the real API surface breaks the build
+// immediately instead of breaking the rare NO_OBS configure.
+#include "obs/events.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs_cli.hpp"
+
+#if !defined(MBUS_NO_OBS)
+#error "obs_noobs_check.cpp must be compiled with -DMBUS_NO_OBS"
+#endif
+
+static_assert(!mbus::obs::kEnabled,
+              "MBUS_NO_OBS must report the layer as disabled");
+
+namespace {
+
+[[maybe_unused]] void exercise_stub_api() {
+  using namespace mbus::obs;
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.counter("stub.counter").increment();
+  registry.counter("stub.counter").add(5);
+  (void)registry.counter("stub.counter").value();
+  registry.gauge("stub.gauge").set(1);
+  registry.gauge("stub.gauge").add(-1);
+  Histogram& histogram = registry.histogram("stub.hist", {1, 2, 3});
+  histogram.observe(1);
+  histogram.observe_many(2, 3);
+  (void)histogram.snapshot();
+  { const ScopedTimer timer(histogram); }
+  (void)registry.snapshot().to_json();
+  registry.reset();
+
+  EventLog& log = EventLog::global();
+  log.open("unused");
+  log.set_run_id("stub");
+  log.emit("stub.event", {{"int", 1},
+                          {"double", 0.5},
+                          {"bool", true},
+                          {"string", "value"}});
+  log.close();
+  (void)log.enabled();
+
+  Heartbeat heartbeat(10, nullptr, [](std::int64_t) {});
+  heartbeat.stop();
+
+  (void)monotonic_us();
+  (void)latency_us_bounds();
+  (void)per_cycle_count_bounds();
+}
+
+}  // namespace

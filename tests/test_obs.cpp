@@ -1,0 +1,643 @@
+// Test battery for the observability layer (src/obs, DESIGN.md §10):
+// striped counter/histogram merge correctness under contention, bucket
+// boundary semantics, snapshot-JSON and event-line schema round-trips,
+// heartbeat shutdown ordering, and — the load-bearing contract — work
+// counters that are bit-identical across thread counts and engine kinds
+// for a fixed seed, including a full metrics-parity sweep over the
+// kernel-parity grid.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/availability.hpp"
+#include "analysis/checkpoint.hpp"
+#include "core/system.hpp"
+#include "obs/events.hpp"
+#include "obs/heartbeat.hpp"
+#include "sim/kernel.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/shutdown.hpp"
+#include "workload/hotspot.hpp"
+#include "workload/uniform.hpp"
+
+namespace mbus {
+namespace {
+
+using obs::HistogramSnapshot;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+// ---- striped primitives under contention -------------------------------
+
+TEST(ObsCounter, StripedMergeIsExactUnderSixteenThreads) {
+  MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("test.hits");
+  constexpr int kThreads = 16;
+  constexpr std::int64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, t] {
+      const std::int64_t delta = 1 + (t % 2);  // half add 1, half add 2
+      for (std::int64_t i = 0; i < kPerThread; ++i) counter.add(delta);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kPerThread * (8 * 1 + 8 * 2));
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(ObsHistogram, StripedMergeIsExactUnderSixteenThreads) {
+  MetricsRegistry registry;
+  obs::Histogram& histogram = registry.histogram("test.values", {0, 1, 2});
+  constexpr int kThreads = 16;
+  constexpr std::int64_t kPerThread = 20000;  // values 0..3, 5000 each
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (std::int64_t i = 0; i < kPerThread; ++i) histogram.observe(i % 4);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramSnapshot snap = histogram.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);  // three bounds + overflow
+  for (const std::int64_t bucket : snap.counts) {
+    EXPECT_EQ(bucket, kThreads * 5000);
+  }
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.sum, kThreads * 5000 * (0 + 1 + 2 + 3));
+}
+
+TEST(ObsGauge, SetAddResetLastWriteWins) {
+  MetricsRegistry registry;
+  obs::Gauge& gauge = registry.gauge("test.level");
+  gauge.set(5);
+  gauge.add(-8);
+  EXPECT_EQ(gauge.value(), -3);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+// ---- histogram bucket semantics ----------------------------------------
+
+TEST(ObsHistogram, BucketBoundariesAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  obs::Histogram& histogram = registry.histogram("test.bounds", {10, 20, 40});
+  histogram.observe(-5);        // below everything -> first bucket
+  histogram.observe(10);        // == bound -> same (inclusive) bucket
+  histogram.observe(11);        // just past -> second bucket
+  histogram.observe(20);        // second bucket's inclusive bound
+  histogram.observe(40);        // last bounded bucket
+  histogram.observe(41);        // +inf overflow
+  histogram.observe_many(1000, 2);  // bulk into the overflow bucket
+  histogram.observe_many(5, 0);     // ignored: zero count
+  histogram.observe_many(5, -3);    // ignored: negative count
+  const HistogramSnapshot snap = histogram.snapshot();
+  ASSERT_EQ(snap.bounds, (std::vector<std::int64_t>{10, 20, 40}));
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2);
+  EXPECT_EQ(snap.counts[1], 2);
+  EXPECT_EQ(snap.counts[2], 1);
+  EXPECT_EQ(snap.counts[3], 3);
+  EXPECT_EQ(snap.count, 8);
+  EXPECT_EQ(snap.sum, -5 + 10 + 11 + 20 + 40 + 41 + 2 * 1000);
+}
+
+TEST(ObsHistogram, QuantileBoundWalksBucketsAndFlagsOverflow) {
+  MetricsRegistry registry;
+  obs::Histogram& histogram = registry.histogram("test.quantile", {10, 20, 40});
+  histogram.observe_many(10, 2);    // bucket 0
+  histogram.observe_many(20, 2);    // bucket 1
+  histogram.observe_many(40, 1);    // bucket 2
+  histogram.observe_many(100, 3);   // overflow
+  const HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.quantile_bound(0.0), 10);
+  EXPECT_EQ(snap.quantile_bound(0.25), 10);
+  EXPECT_EQ(snap.quantile_bound(0.5), 20);
+  EXPECT_EQ(snap.quantile_bound(0.625), 40);
+  EXPECT_EQ(snap.quantile_bound(1.0), -1);  // lands in the +inf bucket
+  EXPECT_EQ(HistogramSnapshot{}.quantile_bound(0.5), 0);  // empty
+}
+
+TEST(ObsHistogram, RejectsEmptyOrNonAscendingBounds) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.histogram("test.empty", {}), InvalidArgument);
+  EXPECT_THROW(registry.histogram("test.dup", {1, 1}), InvalidArgument);
+  EXPECT_THROW(registry.histogram("test.desc", {5, 3}), InvalidArgument);
+}
+
+// ---- registry behavior --------------------------------------------------
+
+TEST(ObsRegistry, SameNameReturnsSameInstance) {
+  MetricsRegistry registry;
+  obs::Counter& a = registry.counter("dup");
+  obs::Counter& b = registry.counter("dup");
+  EXPECT_EQ(&a, &b);
+  obs::Histogram& h1 = registry.histogram("hist", {1, 2});
+  // Later registrations keep the first bounds (argument ignored).
+  obs::Histogram& h2 = registry.histogram("hist", {7, 8, 9});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(ObsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  registry.counter("c").add(9);
+  registry.gauge("g").set(4);
+  registry.histogram("h", {10}).observe(3);
+  registry.reset();
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.count("c"), 1u);
+  EXPECT_EQ(snap.counters.at("c"), 0);
+  ASSERT_EQ(snap.gauges.count("g"), 1u);
+  EXPECT_EQ(snap.gauges.at("g"), 0);
+  ASSERT_EQ(snap.histograms.count("h"), 1u);
+  EXPECT_EQ(snap.histograms.at("h").count, 0);
+  EXPECT_EQ(snap.histograms.at("h").sum, 0);
+}
+
+TEST(ObsScopedTimer, RecordsOneObservationPerScope) {
+  MetricsRegistry registry;
+  obs::Histogram& sink =
+      registry.histogram("test.scope_us", obs::latency_us_bounds());
+  {
+    const obs::ScopedTimer timer(sink);
+  }
+  {
+    const obs::ScopedTimer timer(sink);
+  }
+  const HistogramSnapshot snap = sink.snapshot();
+  EXPECT_EQ(snap.count, 2);
+  EXPECT_GE(snap.sum, 0);
+}
+
+// ---- snapshot JSON round-trip ------------------------------------------
+
+TEST(ObsSnapshot, JsonRoundTripsExactly) {
+  MetricsRegistry registry;
+  registry.counter("alpha").add(7);
+  registry.counter("tricky \"name\"\nwith\tescapes").increment();
+  registry.gauge("level").set(-3);
+  obs::Histogram& histogram = registry.histogram("lat", {1, 2, 4});
+  histogram.observe(0);
+  histogram.observe(3);
+  histogram.observe(100);
+  const MetricsSnapshot snap = registry.snapshot();
+  const std::string json = snap.to_json();
+
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(obs::snapshot_from_json(json, parsed));
+  EXPECT_EQ(parsed.counters, snap.counters);
+  EXPECT_EQ(parsed.gauges, snap.gauges);
+  ASSERT_EQ(parsed.histograms.size(), snap.histograms.size());
+  const HistogramSnapshot& h = parsed.histograms.at("lat");
+  EXPECT_EQ(h.bounds, (std::vector<std::int64_t>{1, 2, 4}));
+  EXPECT_EQ(h.counts, snap.histograms.at("lat").counts);
+  EXPECT_EQ(h.count, 3);
+  EXPECT_EQ(h.sum, 103);
+  // Canonical form: re-serializing the parse reproduces the document.
+  EXPECT_EQ(parsed.to_json(), json);
+}
+
+TEST(ObsSnapshot, MalformedJsonIsRejected) {
+  MetricsSnapshot out;
+  EXPECT_FALSE(obs::snapshot_from_json("", out));
+  EXPECT_FALSE(obs::snapshot_from_json("{}", out));
+  EXPECT_FALSE(obs::snapshot_from_json("not json at all", out));
+  // Wrong version.
+  EXPECT_FALSE(obs::snapshot_from_json(
+      "{\"mbus_metrics\":2,\"counters\":{},\"gauges\":{},\"histograms\":{}}",
+      out));
+  // Truncated document.
+  EXPECT_FALSE(obs::snapshot_from_json(
+      "{\"mbus_metrics\":1,\"counters\":{\"a\":1},\"gauges\":{", out));
+  // Histogram counts/bounds arity mismatch (counts must be bounds + 1).
+  EXPECT_FALSE(obs::snapshot_from_json(
+      "{\"mbus_metrics\":1,\"counters\":{},\"gauges\":{},\"histograms\":"
+      "{\"h\":{\"bounds\":[1,2],\"counts\":[0,0],\"count\":0,\"sum\":0}}}",
+      out));
+}
+
+TEST(ObsSnapshot, RenderSummaryListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("requests.granted").add(42);
+  registry.gauge("pool.size").set(8);
+  registry.histogram("wait_us", {100, 1000}).observe(250);
+  const std::string summary = obs::render_summary(registry.snapshot());
+  EXPECT_NE(summary.find("observability summary"), std::string::npos);
+  EXPECT_NE(summary.find("requests.granted"), std::string::npos);
+  EXPECT_NE(summary.find("42"), std::string::npos);
+  EXPECT_NE(summary.find("pool.size"), std::string::npos);
+  EXPECT_NE(summary.find("wait_us"), std::string::npos);
+  EXPECT_NE(obs::render_summary(MetricsSnapshot{}).find("no metrics"),
+            std::string::npos);
+}
+
+// ---- event-line schema --------------------------------------------------
+
+TEST(ObsEvents, FormatEventLineSchemaRoundTrips) {
+  const std::string line = obs::format_event_line(
+      1234567, 42, "fault-campaign/99", "campaign.point",
+      {{"scheme", std::string("partial-2 \"g\"")},
+       {"replication", 3},
+       {"availability", 0.875},
+       {"ok", true},
+       {"note", "line\nbreak"}});
+  // Reserved keys come first, in fixed order.
+  EXPECT_EQ(line.rfind("{\"ts_us\":1234567,\"seq\":42,"
+                       "\"run\":\"fault-campaign/99\","
+                       "\"event\":\"campaign.point\"",
+                       0),
+            0u);
+  ASSERT_EQ(line.back(), '}');
+
+  // Round-trip every field kind through the checkpoint JSON helpers.
+  std::size_t pos = 0;
+  std::int64_t ts = 0;
+  ASSERT_TRUE(jsonio::seek_key(line, "ts_us", pos));
+  ASSERT_TRUE(jsonio::parse_json_int(line, pos, ts));
+  EXPECT_EQ(ts, 1234567);
+  pos = 0;
+  std::string scheme;
+  ASSERT_TRUE(jsonio::seek_key(line, "scheme", pos));
+  ASSERT_TRUE(jsonio::parse_json_string(line, pos, scheme));
+  EXPECT_EQ(scheme, "partial-2 \"g\"");
+  pos = 0;
+  std::int64_t replication = 0;
+  ASSERT_TRUE(jsonio::seek_key(line, "replication", pos));
+  ASSERT_TRUE(jsonio::parse_json_int(line, pos, replication));
+  EXPECT_EQ(replication, 3);
+  pos = 0;
+  double availability = 0.0;
+  ASSERT_TRUE(jsonio::seek_key(line, "availability", pos));
+  ASSERT_TRUE(jsonio::parse_json_double(line, pos, availability));
+  EXPECT_EQ(availability, 0.875);
+  pos = 0;
+  bool ok = false;
+  ASSERT_TRUE(jsonio::seek_key(line, "ok", pos));
+  ASSERT_TRUE(jsonio::parse_json_bool(line, pos, ok));
+  EXPECT_TRUE(ok);
+  pos = 0;
+  std::string note;
+  ASSERT_TRUE(jsonio::seek_key(line, "note", pos));
+  ASSERT_TRUE(jsonio::parse_json_string(line, pos, note));
+  EXPECT_EQ(note, "line\nbreak");
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(ObsEvents, StreamSinkStampsRunIdAndMonotonicSequence) {
+  std::ostringstream sink;
+  obs::EventLog log;
+  EXPECT_FALSE(log.enabled());
+  log.emit("dropped.before.open", {});  // no sink yet: must be a no-op
+  log.open_stream(&sink);
+  EXPECT_TRUE(log.enabled());
+  log.set_run_id("obs-test/1");
+  log.emit("unit.first", {{"value", 1}});
+  log.emit("unit.second", {{"value", 2}});
+  log.close();
+  EXPECT_FALSE(log.enabled());
+  log.emit("dropped.after.close", {});
+
+  const std::vector<std::string> lines = split_lines(sink.str());
+  ASSERT_EQ(lines.size(), 2u);
+  std::int64_t previous_ts = -1;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    SCOPED_TRACE(lines[i]);
+    std::size_t pos = 0;
+    std::int64_t ts = 0;
+    std::int64_t seq = -1;
+    std::string run;
+    ASSERT_TRUE(jsonio::seek_key(lines[i], "ts_us", pos));
+    ASSERT_TRUE(jsonio::parse_json_int(lines[i], pos, ts));
+    ASSERT_TRUE(jsonio::seek_key(lines[i], "seq", pos));
+    ASSERT_TRUE(jsonio::parse_json_int(lines[i], pos, seq));
+    ASSERT_TRUE(jsonio::seek_key(lines[i], "run", pos));
+    ASSERT_TRUE(jsonio::parse_json_string(lines[i], pos, run));
+    EXPECT_GE(ts, previous_ts);
+    previous_ts = ts;
+    EXPECT_EQ(seq, static_cast<std::int64_t>(i));
+    EXPECT_EQ(run, "obs-test/1");
+  }
+}
+
+// ---- heartbeat shutdown ordering ---------------------------------------
+
+TEST(ObsHeartbeat, TicksAtShortPeriods) {
+  std::atomic<int> ticks{0};
+  {
+    obs::Heartbeat heartbeat(1, nullptr,
+                             [&ticks](std::int64_t) { ticks.fetch_add(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_GE(ticks.load(), 1);
+}
+
+TEST(ObsHeartbeat, StopNeverWaitsOutThePeriod) {
+  const auto begin = std::chrono::steady_clock::now();
+  {
+    obs::Heartbeat heartbeat(60000, nullptr, [](std::int64_t) {});
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }  // destructor must wake the thread, not sleep 60 s
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30);
+}
+
+TEST(ObsHeartbeat, FiredCancellationTokenSuppressesTicks) {
+  CancellationToken token;
+  token.request_stop();
+  std::atomic<int> ticks{0};
+  {
+    obs::Heartbeat heartbeat(1, &token,
+                             [&ticks](std::int64_t) { ticks.fetch_add(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // The loop checks the token before every tick, so a fired token means
+  // the callback never runs.
+  EXPECT_EQ(ticks.load(), 0);
+}
+
+// ---- failpoint trip counters -------------------------------------------
+
+TEST(ObsFailpoint, TripsAreCountedPerSite) {
+  MetricsRegistry::global().reset();
+  {
+    failpoints::Scoped armed("obs.test.site=noop");
+    MBUS_FAILPOINT("obs.test.site");
+    MBUS_FAILPOINT("obs.test.site");
+    MBUS_FAILPOINT("obs.test.unarmed");  // armed registry, unknown site
+  }
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("failpoint.trips"), 2);
+  EXPECT_EQ(snap.counters.at("failpoint.trips.obs.test.site"), 2);
+  EXPECT_EQ(snap.counters.count("failpoint.trips.obs.test.unarmed"), 0u);
+}
+
+// ---- work-count determinism across threads and engines -----------------
+
+bool timing_metric(const std::string& name) {
+  return name.size() >= 3 && name.compare(name.size() - 3, 3, "_us") == 0;
+}
+
+/// The deterministic subset of a snapshot (DESIGN.md §10): work counters
+/// only — no `*_us` timing, no heartbeat counts (wall-time driven), no
+/// engine-tagged run counters (`sim.runs.<engine>` identifies the engine
+/// by design). Gauges are levels, not work, and are never compared.
+std::map<std::string, std::int64_t> work_counters(
+    const MetricsSnapshot& snap) {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, value] : snap.counters) {
+    if (timing_metric(name)) continue;
+    if (name.find("heartbeat") != std::string::npos) continue;
+    if (name.rfind("sim.runs.", 0) == 0) continue;
+    out[name] = value;
+  }
+  return out;
+}
+
+/// Non-timing histograms, flattened to comparable vectors
+/// (counts ++ [count, sum]).
+std::map<std::string, std::vector<std::int64_t>> work_histograms(
+    const MetricsSnapshot& snap) {
+  std::map<std::string, std::vector<std::int64_t>> out;
+  for (const auto& [name, histogram] : snap.histograms) {
+    if (timing_metric(name)) continue;
+    std::vector<std::int64_t> flat = histogram.counts;
+    flat.push_back(histogram.count);
+    flat.push_back(histogram.sum);
+    out[name] = std::move(flat);
+  }
+  return out;
+}
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.buses = 4;
+  spec.groups = 2;
+  spec.classes = 0;  // K = B
+  spec.process.bus_mtbf = 300;
+  spec.process.bus_mttr = 100;
+  spec.horizon = 3000;
+  spec.window_cycles = 500;
+  spec.replications = 3;
+  spec.base_seed = 777;
+  return spec;
+}
+
+MetricsSnapshot campaign_metrics(int threads, EngineKind engine) {
+  CampaignSpec spec = small_spec();
+  spec.threads = threads;
+  spec.engine = engine;
+  const UniformModel model(8, 8, BigRational(1));
+  MetricsRegistry::global().reset();
+  const Campaign campaign = Campaign::run(spec, model);
+  for (const CampaignPoint& point : campaign.points()) {
+    EXPECT_TRUE(point.ok) << point.scheme << "/" << point.replication;
+  }
+  return MetricsRegistry::global().snapshot();
+}
+
+TEST(ObsDeterminism, WorkCountersAreThreadCountInvariant) {
+  const MetricsSnapshot serial =
+      campaign_metrics(1, EngineKind::kReference);
+  const MetricsSnapshot parallel =
+      campaign_metrics(8, EngineKind::kReference);
+  EXPECT_EQ(work_counters(serial), work_counters(parallel));
+  EXPECT_EQ(work_histograms(serial), work_histograms(parallel));
+  // Sanity: the comparison covered real work, not empty maps.
+  const auto counters = work_counters(serial);
+  EXPECT_GT(counters.at("sim.requests.issued"), 0);
+  EXPECT_GT(counters.at("campaign.points.ok"), 0);
+  EXPECT_GT(counters.at("pool.tasks.finished"), 0);
+}
+
+TEST(ObsDeterminism, WorkCountersAreEngineInvariant) {
+  const MetricsSnapshot reference =
+      campaign_metrics(4, EngineKind::kReference);
+  const MetricsSnapshot fast = campaign_metrics(4, EngineKind::kFast);
+  EXPECT_EQ(work_counters(reference), work_counters(fast));
+  EXPECT_EQ(work_histograms(reference), work_histograms(fast));
+}
+
+TEST(ObsDeterminism, EngineTagCountersIdentifyTheEngine) {
+  const FullTopology topo(8, 8, 4);
+  const Workload w = Workload::uniform(8, 8, BigRational::parse("0.7"));
+  SimConfig cfg;
+  cfg.cycles = 500;
+  cfg.warmup = 50;
+  cfg.seed = 5;
+
+  MetricsRegistry::global().reset();
+  cfg.engine = EngineKind::kReference;
+  simulate(topo, w.model(), cfg);
+  MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("sim.runs"), 1);
+  EXPECT_EQ(snap.counters.at("sim.runs.reference"), 1);
+
+  MetricsRegistry::global().reset();
+  cfg.engine = EngineKind::kFast;
+  simulate(topo, w.model(), cfg);
+  snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("sim.runs"), 1);
+  EXPECT_EQ(snap.counters.at("sim.runs.fast"), 1);
+  EXPECT_EQ(snap.counters.at("sim.runs.reference"), 0);
+}
+
+TEST(ObsDeterminism, CampaignEventsCoverEveryPoint) {
+  std::ostringstream sink;
+  obs::EventLog::global().open_stream(&sink);
+  obs::EventLog::global().set_run_id("obs-campaign-test");
+  CampaignSpec spec = small_spec();
+  spec.threads = 2;
+  spec.heartbeat_ms = 1;  // exercised, but tick counts are wall-time noise
+  const UniformModel model(8, 8, BigRational(1));
+  const Campaign campaign = Campaign::run(spec, model);
+  obs::EventLog::global().close();
+
+  int start_lines = 0;
+  int point_lines = 0;
+  int end_lines = 0;
+  std::int64_t previous_seq = -1;
+  for (const std::string& line : split_lines(sink.str())) {
+    SCOPED_TRACE(line);
+    std::size_t pos = 0;
+    std::int64_t seq = -1;
+    std::string event;
+    ASSERT_TRUE(jsonio::seek_key(line, "seq", pos));
+    ASSERT_TRUE(jsonio::parse_json_int(line, pos, seq));
+    ASSERT_TRUE(jsonio::seek_key(line, "event", pos));
+    ASSERT_TRUE(jsonio::parse_json_string(line, pos, event));
+    EXPECT_GT(seq, previous_seq);  // strictly increasing in file order
+    previous_seq = seq;
+    if (event == "campaign.start") ++start_lines;
+    if (event == "campaign.point") ++point_lines;
+    if (event == "campaign.end") ++end_lines;
+  }
+  EXPECT_EQ(start_lines, 1);
+  EXPECT_EQ(end_lines, 1);
+  EXPECT_EQ(point_lines, static_cast<int>(campaign.points().size()));
+}
+
+// ---- metrics parity: reference vs fast over the kernel-parity grid -----
+
+/// Run both engines on the same cell and require identical work counters
+/// and service histograms — the metrics-level twin of KernelParity.
+void check_metrics_parity(const Topology& topology, const RequestModel& model,
+                          SimConfig config, const std::string& what) {
+  SCOPED_TRACE(what);
+  const auto snapshot_for = [&](EngineKind engine) {
+    SimConfig cfg = config;
+    cfg.engine = engine;
+    MetricsRegistry::global().reset();
+    simulate(topology, model, cfg);
+    return MetricsRegistry::global().snapshot();
+  };
+  const MetricsSnapshot ref = snapshot_for(EngineKind::kReference);
+  const MetricsSnapshot fast = snapshot_for(EngineKind::kFast);
+  for (const char* key :
+       {"sim.cycles", "sim.requests.issued", "sim.requests.granted",
+        "sim.requests.blocked", "sim.requests.resubmitted"}) {
+    EXPECT_EQ(ref.counters.at(key), fast.counters.at(key)) << key;
+  }
+  const HistogramSnapshot& h_ref =
+      ref.histograms.at("sim.services_per_cycle");
+  const HistogramSnapshot& h_fast =
+      fast.histograms.at("sim.services_per_cycle");
+  EXPECT_EQ(h_ref.counts, h_fast.counts);
+  EXPECT_EQ(h_ref.count, h_fast.count);
+  EXPECT_EQ(h_ref.sum, h_fast.sum);
+}
+
+std::vector<std::unique_ptr<Topology>> all_schemes(int n, int b, int groups,
+                                                   int classes) {
+  std::vector<std::unique_ptr<Topology>> out;
+  out.push_back(std::make_unique<FullTopology>(n, n, b));
+  out.push_back(
+      std::make_unique<SingleTopology>(SingleTopology::even(n, n, b)));
+  out.push_back(std::make_unique<PartialGTopology>(n, n, b, groups));
+  out.push_back(std::make_unique<KClassTopology>(
+      KClassTopology::even(n, n, b, classes)));
+  return out;
+}
+
+Workload hierarchical(int n, const char* r) {
+  return Workload::hierarchical_nxn(
+      {4, n / 4},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      BigRational::parse(r));
+}
+
+SimConfig quick(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.cycles = 3000;
+  cfg.warmup = 100;
+  cfg.batches = 10;
+  cfg.window_cycles = 500;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ObsMetricsParity, GridAllSchemesAllWorkloads) {
+  for (const int n : {4, 8, 16, 64}) {
+    const int b = n / 2;
+    const auto topologies = all_schemes(n, b, 2, 2);
+    const Workload uni = Workload::uniform(n, n, BigRational::parse("0.7"));
+    const HotSpotModel hot(n, n, 0, BigRational::parse("0.3"),
+                           BigRational::parse("0.9"));
+    for (const auto& topo : topologies) {
+      check_metrics_parity(*topo, uni.model(), quick(11),
+                           topo->name() + " uniform");
+      if (n >= 8) {  // the {4, N/4} hierarchy needs a non-trivial level 2
+        const Workload hier = hierarchical(n, "0.9");
+        check_metrics_parity(*topo, hier.model(), quick(22),
+                             topo->name() + " hierarchical");
+      }
+      check_metrics_parity(*topo, hot, quick(33), topo->name() + " hotspot");
+    }
+  }
+}
+
+TEST(ObsMetricsParity, ResubmissionModeCountsResubmits) {
+  const int n = 16;
+  const int b = 4;  // oversubscribed so blocking actually happens
+  const Workload w = Workload::uniform(n, n, BigRational::parse("0.9"));
+  for (const auto& topo : all_schemes(n, b, 2, 2)) {
+    SimConfig cfg = quick(77);
+    cfg.resubmit_blocked = true;
+    check_metrics_parity(*topo, w.model(), cfg, topo->name() + " resubmit");
+    // The resubmitted counter must actually fire under contention.
+    MetricsRegistry::global().reset();
+    cfg.engine = EngineKind::kReference;
+    simulate(*topo, w.model(), cfg);
+    EXPECT_GT(MetricsRegistry::global().snapshot().counters.at(
+                  "sim.requests.resubmitted"),
+              0)
+        << topo->name();
+  }
+}
+
+}  // namespace
+}  // namespace mbus

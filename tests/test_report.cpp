@@ -119,5 +119,81 @@ TEST(Csv, EmptyRow) {
   EXPECT_EQ(os.str(), "\n");
 }
 
+// Regression battery for the quoting rules: every awkward cell must
+// survive a CsvWriter write → parse_csv read unchanged (RFC 4180).
+TEST(Csv, RoundTripPreservesAwkwardCells) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "with,comma", "with\"quote"},
+      {"with\nnewline", "with\r\ncrlf", "\"fully,quoted\"\n"},
+      {"", "trailing", ""},
+      {"a,\"b\",c", "  spaced  ", "1.5"},
+  };
+  std::ostringstream os;
+  CsvWriter w(os);
+  for (const auto& row : rows) w.write_row(row);
+
+  std::vector<std::vector<std::string>> parsed;
+  ASSERT_TRUE(parse_csv(os.str(), parsed));
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(Csv, ParseHandlesSeparatorsAndRowEnds) {
+  std::vector<std::vector<std::string>> rows;
+  // Quoted commas and embedded newlines stay inside the cell.
+  ASSERT_TRUE(parse_csv("\"a,b\",c\n\"x\ny\",z\n", rows));
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"a,b", "c"},
+                                                         {"x\ny", "z"}}));
+  // CRLF row ends; a trailing newline adds no empty final row.
+  ASSERT_TRUE(parse_csv("a,b\r\nc,d\r\n", rows));
+  EXPECT_EQ(rows,
+            (std::vector<std::vector<std::string>>{{"a", "b"}, {"c", "d"}}));
+  // No trailing newline on the last row is fine too.
+  ASSERT_TRUE(parse_csv("a,b\nc,d", rows));
+  EXPECT_EQ(rows,
+            (std::vector<std::vector<std::string>>{{"a", "b"}, {"c", "d"}}));
+  // A trailing comma means one more, empty, field.
+  ASSERT_TRUE(parse_csv("a,b,\n", rows));
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"a", "b", ""}}));
+  // Doubled quotes collapse to one inside a quoted field.
+  ASSERT_TRUE(parse_csv("\"he said \"\"hi\"\"\"\n", rows));
+  EXPECT_EQ(rows,
+            (std::vector<std::vector<std::string>>{{"he said \"hi\""}}));
+  // Empty input parses to no rows.
+  ASSERT_TRUE(parse_csv("", rows));
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(Csv, ParseRejectsMalformedInput) {
+  std::vector<std::vector<std::string>> rows;
+  // Unterminated quoted field.
+  EXPECT_FALSE(parse_csv("\"never closed\n", rows));
+  EXPECT_TRUE(rows.empty());
+  // Junk after the closing quote.
+  EXPECT_FALSE(parse_csv("\"ok\"junk,b\n", rows));
+  EXPECT_TRUE(rows.empty());
+  // A stray quote inside a bare field.
+  EXPECT_FALSE(parse_csv("a\"b,c\n", rows));
+  EXPECT_TRUE(rows.empty());
+  // A lone CR is not a row terminator.
+  EXPECT_FALSE(parse_csv("a,b\rc,d\n", rows));
+  EXPECT_TRUE(rows.empty());
+}
+
+// The bench tables round-trip through their own CSV export: what
+// points_table()-style output writes, parse_csv reads back cell for
+// cell.
+TEST(Csv, TableExportRoundTrips) {
+  Table t({"scheme", "note"});
+  t.add_row({"partial-2", "ok, but\n\"degraded\""});
+  t.add_row({"k-classes", "plain"});
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(parse_csv(t.to_csv(), rows));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"scheme", "note"}));
+  EXPECT_EQ(rows[1],
+            (std::vector<std::string>{"partial-2", "ok, but\n\"degraded\""}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"k-classes", "plain"}));
+}
+
 }  // namespace
 }  // namespace mbus

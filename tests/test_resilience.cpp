@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -452,6 +453,30 @@ TEST(Resilience, SigtermStopsTheCampaignResumably) {
   const Campaign resumed = Campaign::run(resume, model);
   expect_identical_points(reference, resumed);
   std::remove(path.c_str());
+}
+
+// Shutdown ordering with the progress heartbeat: a fired token must stop
+// the campaign promptly even when the heartbeat period is enormous —
+// Campaign::run wakes and joins the emitter thread (obs/heartbeat.hpp
+// contract) instead of waiting out the period, so SIGINT handling is
+// never blocked on observability plumbing.
+TEST(Resilience, HeartbeatNeverBlocksCooperativeShutdown) {
+  const UniformModel model = small_model();
+  CancellationToken token;
+  std::atomic<int> started{0};
+  CampaignSpec spec = small_spec();
+  spec.threads = 2;
+  spec.cancel = &token;
+  spec.heartbeat_ms = 60000;  // a 60 s stall if stop() waited the period out
+  spec.before_point = [&started, &token](const std::string&, int) {
+    if (started.fetch_add(1) + 1 == 3) token.request_stop();
+  };
+  const auto begin = std::chrono::steady_clock::now();
+  const Campaign campaign = Campaign::run(spec, model);
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_TRUE(campaign.interrupted());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30);
 }
 
 TEST(Resilience, TokenAlreadyFiredSkipsEverythingImmediately) {
