@@ -16,10 +16,19 @@
 // process exits with status 75 ("interrupted, resumable"). A per-point
 // wall-clock budget (--point-timeout-ms) plus --max-retries bounds the
 // damage any single wedged or flaky point can do.
+//
+// --workers K runs the campaign under the supervised multi-process
+// runner (analysis/supervisor.hpp): K crash-isolated forked workers,
+// liveness detection (--hang-timeout-ms), a bounded respawn budget
+// (--max-respawns), and poison-point quarantine (--poison-crashes
+// consecutive crashes on one point give up on it, durably). Results are
+// bit-identical to --workers 0 (in-process) for any worker count or
+// crash schedule, and the checkpoint is interchangeable between modes.
 #include <fstream>
 #include <iostream>
 
 #include "analysis/availability.hpp"
+#include "analysis/supervisor.hpp"
 #include "bench_common.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
@@ -56,6 +65,20 @@ int run(int argc, char** argv) {
       .add_int("threads", 1,
                "worker threads (0 = all hardware threads); results are "
                "identical at any count")
+      .add_int("workers", 0,
+               "crash-isolated worker processes for the supervised "
+               "runner; 0 = in-process execution (results are "
+               "bit-identical either way)")
+      .add_int("max-respawns", 8,
+               "whole-run replacement budget for crashed or hung "
+               "workers (with --workers)")
+      .add_int("hang-timeout-ms", 30000,
+               "SIGKILL a worker whose pipe stays silent or whose "
+               "point stays busy this long; 0 disables hang detection "
+               "(with --workers)")
+      .add_int("poison-crashes", 2,
+               "consecutive worker crashes on one point before it is "
+               "quarantined as a poison point (with --workers)")
       .add_int("seed", 12345, "campaign base seed")
       .add_string("engine", "reference",
                   "simulator cycle loop: 'reference' or 'fast' (results "
@@ -135,7 +158,23 @@ int run(int argc, char** argv) {
   SignalGuard guard(token);
   spec.cancel = &token;
 
-  const Campaign campaign = Campaign::run(spec, workload.model());
+  const int workers = static_cast<int>(cli.get_nonnegative_int("workers"));
+  SupervisedCampaign supervised;
+  Campaign campaign;
+  if (workers >= 1) {
+    SupervisorSpec sup;
+    sup.campaign = spec;
+    sup.workers = workers;
+    sup.max_respawns =
+        static_cast<int>(cli.get_nonnegative_int("max-respawns"));
+    sup.hang_timeout_ms = cli.get_nonnegative_int("hang-timeout-ms");
+    sup.poison_crash_threshold =
+        static_cast<int>(cli.get_positive_int("poison-crashes"));
+    supervised = run_supervised_campaign(sup, workload.model());
+    campaign = std::move(supervised.campaign);
+  } else {
+    campaign = Campaign::run(spec, workload.model());
+  }
 
   const Table table = campaign.to_table(
       cat("Fault campaign — N=", n, ", B=", spec.buses, ", bus MTBF/MTTR=",
@@ -166,6 +205,25 @@ int run(int argc, char** argv) {
     std::cerr << "point error: scheme=" << point.scheme
               << " replication=" << point.replication << ": " << point.error
               << "\n";
+  }
+  // Supervision ledger: every incident classified (signal vs exit code
+  // vs hang vs protocol damage), plus the quarantined poison points.
+  for (const WorkerIncident& incident : supervised.incidents) {
+    std::cerr << "worker incident: " << incident.describe() << "\n";
+  }
+  if (!supervised.quarantined.empty()) {
+    std::cerr << supervised.quarantined.size()
+              << " poison point(s) quarantined (skipped by future "
+                 "resumes):\n";
+    for (const CampaignPoint& point : supervised.quarantined) {
+      std::cerr << "  " << point.scheme << "/" << point.replication << ": "
+                << point.error << "\n";
+    }
+  }
+  if (supervised.abandoned_points > 0) {
+    std::cerr << supervised.abandoned_points
+              << " point(s) abandoned after the respawn budget ran out; "
+                 "rerun to retry them\n";
   }
 
   const std::string csv_path = cli.get_string("csv");

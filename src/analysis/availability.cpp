@@ -41,33 +41,6 @@ std::uint64_t fnv1a(const std::string& text) noexcept {
   return hash;
 }
 
-/// The spec fields that determine point values, as labeled key=value
-/// pairs — not threads (results are thread-count independent), not the
-/// engine (proven bit-identical by the kernel parity suite), not the
-/// retry/timeout knobs (a retry reuses the same derived seed), and not
-/// the checkpoint path itself. The labels let a fingerprint mismatch
-/// report exactly which field differed (describe_spec_mismatch).
-std::string spec_text(const CampaignSpec& spec, const RequestModel& model) {
-  return cat(
-      "schemes=", join(spec.schemes, ","), "|buses=", spec.buses,
-      "|groups=", spec.groups, "|classes=", spec.classes,
-      "|bus_mtbf=", json_double(spec.process.bus_mtbf),
-      "|bus_mttr=", json_double(spec.process.bus_mttr),
-      "|module_mtbf=", json_double(spec.process.module_mtbf),
-      "|module_mttr=", json_double(spec.process.module_mttr),
-      "|horizon=", spec.horizon, "|window=", spec.window_cycles,
-      "|replications=", spec.replications, "|seed=", spec.base_seed,
-      "|shape=", model.num_processors(), "x", model.num_memories(),
-      "|rate=", json_double(model.request_rate()));
-}
-
-std::string spec_fingerprint(const std::string& text) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof buffer, "%016llx",
-                static_cast<unsigned long long>(fnv1a(text)));
-  return buffer;
-}
-
 // ---- point evaluation --------------------------------------------------
 
 void evaluate_point(const CampaignSpec& spec, const RequestModel& model,
@@ -123,10 +96,60 @@ void evaluate_point(const CampaignSpec& spec, const RequestModel& model,
       first_disconnect_cycle(*topology, plan, spec.horizon);
 }
 
-/// Loads resumable points out of an existing checkpoint, enforcing the
-/// refuse-on-mismatch contract. Returns the seed payloads for the
-/// writer; fills `done` with the ok points (last occurrence wins).
-std::vector<std::string> load_resumable_points(
+}  // namespace
+
+// ---- building blocks shared with the supervised runner -----------------
+//
+// analysis/supervisor.hpp runs campaigns as a supervisor plus forked
+// worker processes. Both sides reuse exactly these pieces — the same
+// validation, the same fingerprint, the same checkpoint loader, the same
+// per-point retry loop — which is what makes a supervised campaign
+// bit-identical to Campaign::run for any worker count or crash schedule.
+
+void validate_campaign_spec(const CampaignSpec& spec,
+                            const RequestModel& model) {
+  MBUS_EXPECTS(!spec.schemes.empty(), "campaign needs at least one scheme");
+  MBUS_EXPECTS(spec.buses >= 1, "need at least one bus");
+  MBUS_EXPECTS(spec.horizon >= 1, "need a positive horizon");
+  MBUS_EXPECTS(spec.window_cycles >= 0, "window_cycles must be >= 0");
+  MBUS_EXPECTS(spec.replications >= 1, "need at least one replication");
+  MBUS_EXPECTS(spec.point_timeout_ms >= 0, "point_timeout_ms must be >= 0");
+  MBUS_EXPECTS(spec.max_retries >= 0, "max_retries must be >= 0");
+  MBUS_EXPECTS(spec.retry_backoff_ms >= 0, "retry_backoff_ms must be >= 0");
+  MBUS_EXPECTS(spec.heartbeat_ms >= 0, "heartbeat_ms must be >= 0");
+  model.validate();
+}
+
+std::string campaign_spec_text(const CampaignSpec& spec,
+                               const RequestModel& model) {
+  // The spec fields that determine point values, as labeled key=value
+  // pairs — not threads or worker counts (results are execution-layout
+  // independent), not the engine (proven bit-identical by the kernel
+  // parity suite), not the retry/timeout knobs (a retry reuses the same
+  // derived seed), and not the checkpoint path itself. The labels let a
+  // fingerprint mismatch report exactly which field differed
+  // (describe_spec_mismatch).
+  return cat(
+      "schemes=", join(spec.schemes, ","), "|buses=", spec.buses,
+      "|groups=", spec.groups, "|classes=", spec.classes,
+      "|bus_mtbf=", json_double(spec.process.bus_mtbf),
+      "|bus_mttr=", json_double(spec.process.bus_mttr),
+      "|module_mtbf=", json_double(spec.process.module_mtbf),
+      "|module_mttr=", json_double(spec.process.module_mttr),
+      "|horizon=", spec.horizon, "|window=", spec.window_cycles,
+      "|replications=", spec.replications, "|seed=", spec.base_seed,
+      "|shape=", model.num_processors(), "x", model.num_memories(),
+      "|rate=", json_double(model.request_rate()));
+}
+
+std::string campaign_spec_fingerprint(const std::string& spec_text) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(fnv1a(spec_text)));
+  return buffer;
+}
+
+std::vector<std::string> load_campaign_checkpoint(
     const std::string& path, const std::string& text,
     const std::string& fingerprint,
     std::map<std::pair<std::string, int>, CampaignPoint>& done,
@@ -163,10 +186,13 @@ std::vector<std::string> load_resumable_points(
       ++report.rejected_points;
       continue;
     }
-    // Only successfully completed points are trusted; anything else is
-    // retried on resume. (v2 never writes non-ok points, but a repaired
-    // or hand-edited file might contain them.)
-    if (!point.ok) {
+    // Successfully completed points are trusted, and so are quarantined
+    // poison points — re-running a point that crashed R workers in a row
+    // would just crash more workers, so its verdict sticks across
+    // resumes. Any other non-ok point is retried on resume. (v2 never
+    // writes plain-failed points, but a repaired or hand-edited file
+    // might contain them.)
+    if (!point.ok && !point.quarantined) {
       ++report.rejected_points;
       continue;
     }
@@ -178,7 +204,107 @@ std::vector<std::string> load_resumable_points(
   return keep;
 }
 
-}  // namespace
+void run_campaign_point_with_retries(const CampaignSpec& spec,
+                                     const RequestModel& model,
+                                     const std::string& scheme,
+                                     int replication, Watchdog* watchdog,
+                                     CampaignPoint& point) {
+  point = CampaignPoint{};
+  point.scheme = scheme;
+  point.replication = replication;
+  const int max_attempts = 1 + spec.max_retries;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (spec.cancel != nullptr && spec.cancel->stop_requested()) {
+      point.cancelled = true;
+      point.error = attempt == 1 ? "cancelled before start"
+                                 : "cancelled during retry";
+      break;
+    }
+    obs::MetricsRegistry::global()
+        .counter("campaign.points.attempted")
+        .increment();
+    if (attempt > 1) {
+      obs::MetricsRegistry::global().counter("campaign.retries").increment();
+    }
+    point = CampaignPoint{};
+    point.scheme = scheme;
+    point.replication = replication;
+    point.attempts = attempt;
+
+    // Deadline plumbing: the watchdog (when armed) sets the per-attempt
+    // flag, which the simulator polls; without a deadline the simulator
+    // polls the shutdown token directly.
+    std::atomic<bool> deadline_flag{false};
+    const std::atomic<bool>* abort =
+        watchdog != nullptr
+            ? &deadline_flag
+            : (spec.cancel != nullptr ? spec.cancel->flag() : nullptr);
+    std::uint64_t lease = 0;
+    if (watchdog != nullptr) {
+      lease = watchdog->arm(&deadline_flag,
+                            std::chrono::milliseconds(spec.point_timeout_ms));
+    }
+
+    try {
+      if (spec.before_point) spec.before_point(scheme, replication);
+      MBUS_FAILPOINT("campaign.point");
+      evaluate_point(spec, model, scheme, replication, abort, point);
+      point.ok = true;
+    } catch (const Cancelled& e) {
+      if (spec.cancel != nullptr && spec.cancel->stop_requested()) {
+        point.cancelled = true;
+      }
+      point.error = e.what();
+    } catch (const std::exception& e) {
+      point.error = e.what();
+    } catch (...) {
+      point.error = "unknown error";
+    }
+    const bool deadline_fired =
+        watchdog != nullptr && watchdog->disarm(lease);
+
+    if (point.ok || point.cancelled) break;
+    if (deadline_fired) {
+      obs::MetricsRegistry::global().counter("campaign.timeouts").increment();
+      point.timed_out = true;
+      point.error = cat("timed out (budget ", spec.point_timeout_ms,
+                        " ms): ", point.error);
+    }
+    if (attempt == max_attempts) {
+      if (max_attempts > 1) {
+        point.error = cat(point.error, " [after ", max_attempts,
+                          " attempts]");
+      }
+      break;
+    }
+    if (spec.retry_backoff_ms > 0) {
+      const std::int64_t backoff = std::min<std::int64_t>(
+          spec.retry_backoff_ms << std::min(attempt - 1, 8), 2000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+  }
+
+  // Outcome accounting lives here — with the computation, not the caller
+  // — so a forked worker counts exactly like the in-process runner and
+  // its shipped metrics delta merges into identical totals. A worker
+  // that crashes mid-point ships nothing, which is precisely why
+  // crash-then-respawn runs stay metric-identical to clean ones.
+  auto& reg = obs::MetricsRegistry::global();
+  if (point.ok) {
+    reg.counter("campaign.points.ok").increment();
+  } else if (point.cancelled) {
+    reg.counter("campaign.points.cancelled").increment();
+  } else {
+    reg.counter("campaign.points.failed").increment();
+  }
+  obs::EventLog::global().emit("campaign.point",
+                               {{"scheme", point.scheme},
+                                {"replication", point.replication},
+                                {"ok", point.ok},
+                                {"attempts", point.attempts},
+                                {"timed_out", point.timed_out},
+                                {"cancelled", point.cancelled}});
+}
 
 std::string campaign_point_to_json(const CampaignPoint& point) {
   std::string line = "{\"scheme\":";
@@ -191,7 +317,12 @@ std::string campaign_point_to_json(const CampaignPoint& point) {
               ",\"availability\":", json_double(point.availability),
               ",\"min_window\":", json_double(point.min_window_bandwidth),
               ",\"connectivity\":", json_double(point.connectivity),
-              ",\"disconnect\":", point.disconnect_cycle, ",\"error\":");
+              ",\"disconnect\":", point.disconnect_cycle);
+  // Only quarantined points carry the key, so checkpoints written by the
+  // supervised runner stay byte-identical to in-process ones for every
+  // healthy point (and old parsers that ignore unknown keys still work).
+  if (point.quarantined) line += ",\"quarantined\":true";
+  line += ",\"error\":";
   append_json_string(line, point.error);
   line += "}";
   return line;
@@ -243,6 +374,17 @@ bool campaign_point_from_json(const std::string& line, CampaignPoint& out) {
       !jsonio::parse_json_int(line, pos, disconnect)) {
     return false;
   }
+  // Optional poison-point marker (absent from healthy points and from
+  // pre-supervisor checkpoints). seek_key leaves `pos` untouched when the
+  // key is missing, and the escaped `error` string cannot contain a raw
+  // `"quarantined":` needle, so this probe is safe either way.
+  if (std::size_t qpos = pos;
+      jsonio::seek_key(line, "quarantined", qpos)) {
+    if (!jsonio::parse_json_bool(line, qpos, point.quarantined)) {
+      return false;
+    }
+    pos = qpos;
+  }
   if (!jsonio::seek_key(line, "error", pos) ||
       !jsonio::parse_json_string(line, pos, point.error)) {
     return false;
@@ -255,21 +397,14 @@ bool campaign_point_from_json(const std::string& line, CampaignPoint& out) {
 }
 
 Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
-  MBUS_EXPECTS(!spec.schemes.empty(), "campaign needs at least one scheme");
-  MBUS_EXPECTS(spec.buses >= 1, "need at least one bus");
-  MBUS_EXPECTS(spec.horizon >= 1, "need a positive horizon");
-  MBUS_EXPECTS(spec.window_cycles >= 0, "window_cycles must be >= 0");
-  MBUS_EXPECTS(spec.replications >= 1, "need at least one replication");
-  MBUS_EXPECTS(spec.point_timeout_ms >= 0, "point_timeout_ms must be >= 0");
-  MBUS_EXPECTS(spec.max_retries >= 0, "max_retries must be >= 0");
-  MBUS_EXPECTS(spec.retry_backoff_ms >= 0, "retry_backoff_ms must be >= 0");
-  MBUS_EXPECTS(spec.heartbeat_ms >= 0, "heartbeat_ms must be >= 0");
-  model.validate();
+  validate_campaign_spec(spec, model);
 
   const int reps = spec.replications;
   const std::size_t num_schemes = spec.schemes.size();
-  Campaign out;
-  out.points_.resize(num_schemes * static_cast<std::size_t>(reps));
+  std::vector<CampaignPoint> points(num_schemes *
+                                    static_cast<std::size_t>(reps));
+  int resumed = 0;
+  CheckpointRepairReport repair;
 
   // Checkpoint: resume completed points from a same-spec file (refusing
   // mismatches unless fresh_checkpoint), then keep an atomic writer for
@@ -278,13 +413,13 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
   std::unique_ptr<CheckpointWriter> checkpoint;
   std::mutex checkpoint_mutex;
   if (!spec.checkpoint_path.empty()) {
-    const std::string text = spec_text(spec, model);
-    const std::string fingerprint = spec_fingerprint(text);
+    const std::string text = campaign_spec_text(spec, model);
+    const std::string fingerprint = campaign_spec_fingerprint(text);
     checkpoint = std::make_unique<CheckpointWriter>(spec.checkpoint_path,
                                                     fingerprint, text);
     if (!spec.fresh_checkpoint) {
-      checkpoint->seed(load_resumable_points(spec.checkpoint_path, text,
-                                             fingerprint, done, out.repair_));
+      checkpoint->seed(load_campaign_checkpoint(spec.checkpoint_path, text,
+                                                fingerprint, done, repair));
     }
     // Publish the (possibly compacted, possibly fresh) file right away,
     // so even a campaign killed before its first point leaves a valid
@@ -302,7 +437,7 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
   std::atomic<std::int64_t> progress{0};
 
   std::vector<std::function<void()>> tasks;
-  tasks.reserve(out.points_.size());
+  tasks.reserve(points.size());
   for (std::size_t si = 0; si < num_schemes; ++si) {
     const std::string& scheme = spec.schemes[si];
     for (int rep = 0; rep < reps; ++rep) {
@@ -310,128 +445,38 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
           si * static_cast<std::size_t>(reps) + static_cast<std::size_t>(rep);
       const auto found = done.find({scheme, rep});
       if (found != done.end()) {
-        out.points_[slot] = found->second;
-        ++out.resumed_;
+        points[slot] = found->second;
+        ++resumed;
         continue;
       }
-      tasks.push_back([&spec, &model, &out, &checkpoint, &checkpoint_mutex,
+      tasks.push_back([&spec, &model, &points, &checkpoint, &checkpoint_mutex,
                        &watchdog, &progress, &scheme, rep, slot] {
         CampaignPoint point;
-        point.scheme = scheme;
-        point.replication = rep;
-        const int max_attempts = 1 + spec.max_retries;
-        for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-          if (spec.cancel != nullptr && spec.cancel->stop_requested()) {
-            point.cancelled = true;
-            point.error = attempt == 1 ? "cancelled before start"
-                                       : "cancelled during retry";
-            break;
-          }
-          obs::MetricsRegistry::global()
-              .counter("campaign.points.attempted")
-              .increment();
-          if (attempt > 1) {
-            obs::MetricsRegistry::global().counter("campaign.retries")
-                .increment();
-          }
-          point = CampaignPoint{};
-          point.scheme = scheme;
-          point.replication = rep;
-          point.attempts = attempt;
-
-          // Deadline plumbing: the watchdog (when armed) sets the
-          // per-attempt flag, which the simulator polls; without a
-          // deadline the simulator polls the shutdown token directly.
-          std::atomic<bool> deadline_flag{false};
-          const std::atomic<bool>* abort =
-              watchdog.has_value()
-                  ? &deadline_flag
-                  : (spec.cancel != nullptr ? spec.cancel->flag() : nullptr);
-          std::uint64_t lease = 0;
-          if (watchdog.has_value()) {
-            lease = watchdog->arm(
-                &deadline_flag,
-                std::chrono::milliseconds(spec.point_timeout_ms));
-          }
-
-          try {
-            if (spec.before_point) spec.before_point(scheme, rep);
-            MBUS_FAILPOINT("campaign.point");
-            evaluate_point(spec, model, scheme, rep, abort, point);
-            point.ok = true;
-          } catch (const Cancelled& e) {
-            if (spec.cancel != nullptr && spec.cancel->stop_requested()) {
-              point.cancelled = true;
-            }
-            point.error = e.what();
-          } catch (const std::exception& e) {
-            point.error = e.what();
-          } catch (...) {
-            point.error = "unknown error";
-          }
-          const bool deadline_fired =
-              watchdog.has_value() && watchdog->disarm(lease);
-
-          if (point.ok || point.cancelled) break;
-          if (deadline_fired) {
-            obs::MetricsRegistry::global().counter("campaign.timeouts")
-                .increment();
-            point.timed_out = true;
-            point.error = cat("timed out (budget ", spec.point_timeout_ms,
-                              " ms): ", point.error);
-          }
-          if (attempt == max_attempts) {
-            if (max_attempts > 1) {
-              point.error =
-                  cat(point.error, " [after ", max_attempts, " attempts]");
-            }
-            break;
-          }
-          if (spec.retry_backoff_ms > 0) {
-            const std::int64_t backoff = std::min<std::int64_t>(
-                spec.retry_backoff_ms << std::min(attempt - 1, 8), 2000);
-            std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
-          }
-        }
+        run_campaign_point_with_retries(
+            spec, model, scheme, rep,
+            watchdog.has_value() ? &*watchdog : nullptr, point);
 
         if (point.ok && checkpoint != nullptr) {
           const std::string line = campaign_point_to_json(point);
           const std::lock_guard<std::mutex> lock(checkpoint_mutex);
           checkpoint->append(line);
         }
-        {
-          auto& reg = obs::MetricsRegistry::global();
-          if (point.ok) {
-            reg.counter("campaign.points.ok").increment();
-          } else if (point.cancelled) {
-            reg.counter("campaign.points.cancelled").increment();
-          } else {
-            reg.counter("campaign.points.failed").increment();
-          }
-          obs::EventLog::global().emit(
-              "campaign.point", {{"scheme", point.scheme},
-                                 {"replication", point.replication},
-                                 {"ok", point.ok},
-                                 {"attempts", point.attempts},
-                                 {"timed_out", point.timed_out},
-                                 {"cancelled", point.cancelled}});
-        }
-        out.points_[slot] = std::move(point);
+        points[slot] = std::move(point);
         progress.fetch_add(1, std::memory_order_relaxed);
       });
     }
   }
   obs::MetricsRegistry::global().counter("campaign.runs").increment();
   obs::MetricsRegistry::global().counter("campaign.points.resumed")
-      .add(out.resumed_);
-  const auto total_points = static_cast<std::int64_t>(out.points_.size());
+      .add(resumed);
+  const auto total_points = static_cast<std::int64_t>(points.size());
   obs::EventLog::global().emit(
       "campaign.start", {{"schemes", static_cast<std::int64_t>(num_schemes)},
                          {"replications", reps},
                          {"total_points", total_points},
-                         {"resumed", out.resumed_},
+                         {"resumed", resumed},
                          {"engine", to_string(spec.engine)}});
-  progress.store(out.resumed_, std::memory_order_relaxed);
+  progress.store(resumed, std::memory_order_relaxed);
 
   // Progress heartbeat: points done/total plus a linear ETA over the
   // freshly computed (non-resumed) points. The thread honors the
@@ -439,7 +484,7 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
   // no tick can observe partially aggregated state.
   std::optional<obs::Heartbeat> heartbeat;
   if (spec.heartbeat_ms > 0) {
-    const std::int64_t resumed_at_start = out.resumed_;
+    const std::int64_t resumed_at_start = resumed;
     heartbeat.emplace(
         spec.heartbeat_ms, spec.cancel,
         [&progress, resumed_at_start, total_points](std::int64_t elapsed_ms) {
@@ -469,6 +514,43 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
   }
   heartbeat.reset();
 
+  const bool interrupted =
+      spec.cancel != nullptr && spec.cancel->stop_requested();
+  int flush_failures = 0;
+  if (checkpoint != nullptr) {
+    flush_failures = checkpoint->flush_failures();
+    if (flush_failures > 0) {
+      repair.notes.push_back(
+          cat(flush_failures, " checkpoint flush(es) failed and were "
+                              "absorbed; last error: ",
+              checkpoint->last_error()));
+    }
+  }
+  obs::EventLog::global().emit("campaign.end",
+                               {{"interrupted", interrupted},
+                                {"resumed", resumed},
+                                {"flush_failures", flush_failures}});
+  return assemble(spec, model, std::move(points), resumed, interrupted,
+                  std::move(repair), flush_failures);
+}
+
+Campaign Campaign::assemble(const CampaignSpec& spec,
+                            const RequestModel& model,
+                            std::vector<CampaignPoint> points, int resumed,
+                            bool interrupted, CheckpointRepairReport repair,
+                            int flush_failures) {
+  const int reps = spec.replications;
+  const std::size_t num_schemes = spec.schemes.size();
+  MBUS_EXPECTS(points.size() ==
+                   num_schemes * static_cast<std::size_t>(reps),
+               "assemble needs one slot per (scheme, replication)");
+  Campaign out;
+  out.points_ = std::move(points);
+  out.resumed_ = resumed;
+  out.interrupted_ = interrupted;
+  out.repair_ = std::move(repair);
+  out.flush_failures_ = flush_failures;
+
   // Points skipped at dispatch (cancelled before their task body ran)
   // still carry their identity and cause.
   for (std::size_t si = 0; si < num_schemes; ++si) {
@@ -484,21 +566,6 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
       }
     }
   }
-  out.interrupted_ =
-      spec.cancel != nullptr && spec.cancel->stop_requested();
-  if (checkpoint != nullptr) {
-    out.flush_failures_ = checkpoint->flush_failures();
-    if (out.flush_failures_ > 0) {
-      out.repair_.notes.push_back(
-          cat(out.flush_failures_, " checkpoint flush(es) failed and were "
-                                   "absorbed; last error: ",
-              checkpoint->last_error()));
-    }
-  }
-  obs::EventLog::global().emit("campaign.end",
-                               {{"interrupted", out.interrupted_},
-                                {"resumed", out.resumed_},
-                                {"flush_failures", out.flush_failures_}});
 
   // Per-scheme summaries, in spec order; means are over ok points only.
   out.summaries_.reserve(num_schemes);
@@ -525,6 +592,7 @@ Campaign Campaign::run(const CampaignSpec& spec, const RequestModel& model) {
       if (!point.ok) {
         ++summary.failed_points;
         if (point.cancelled) ++summary.cancelled_points;
+        if (point.quarantined) ++summary.quarantined_points;
         continue;
       }
       ++summary.ok_points;
@@ -588,6 +656,7 @@ Table Campaign::points_table() const {
   table.set_alignment(9, Align::kLeft);
   for (const CampaignPoint& p : points_) {
     const char* status = p.ok ? "ok"
+                        : p.quarantined ? "poison"
                         : p.cancelled ? "cancelled"
                         : p.timed_out ? "timeout"
                                       : "error";

@@ -48,7 +48,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/checkpoint.hpp"
@@ -60,6 +62,8 @@
 #include "workload/request_model.hpp"
 
 namespace mbus {
+
+class Watchdog;
 
 struct CampaignSpec {
   /// Schemes to campaign over (names per topology/factory.hpp).
@@ -151,6 +155,12 @@ struct CampaignPoint {
   /// The point was skipped or aborted by a cancellation request; it is
   /// not checkpointed and a resumed campaign recomputes it.
   bool cancelled = false;
+  /// The supervised runner (analysis/supervisor.hpp) crashed R workers
+  /// in a row on this point and quarantined it as a poison point: the
+  /// metric fields are zero, `error` names the last crash, and — unlike
+  /// other failures — the verdict IS checkpointed, so a resume skips
+  /// the point instead of crashing more workers on it.
+  bool quarantined = false;
 
   double healthy_bandwidth = 0.0;    // closed form, no faults
   double delivered_bandwidth = 0.0;  // simulated mean under the process
@@ -169,6 +179,9 @@ struct CampaignSummary {
   /// Points skipped by a cancellation request (subset of failed_points
   /// not caused by an error — a resume recomputes them).
   int cancelled_points = 0;
+  /// Poison points quarantined by the supervised runner (subset of
+  /// failed_points; a resume does NOT recompute them).
+  int quarantined_points = 0;
   int fault_tolerance_degree = 0;
 
   double healthy_bandwidth = 0.0;
@@ -229,6 +242,17 @@ class Campaign {
   /// Table::to_csv for raw exports.
   Table points_table() const;
 
+  /// Builds a Campaign result from externally computed points — the
+  /// supervised runner's path (analysis/supervisor.hpp). `points` must
+  /// be in canonical grid order (scheme-major, replication-minor; one
+  /// slot per point); empty slots are filled as cancelled. Computes the
+  /// same per-scheme summaries Campaign::run would.
+  static Campaign assemble(const CampaignSpec& spec,
+                           const RequestModel& model,
+                           std::vector<CampaignPoint> points, int resumed,
+                           bool interrupted, CheckpointRepairReport repair,
+                           int flush_failures);
+
  private:
   std::vector<CampaignPoint> points_;
   std::vector<CampaignSummary> summaries_;
@@ -238,8 +262,54 @@ class Campaign {
   int flush_failures_ = 0;
 };
 
+// ---- building blocks shared with the supervised runner -----------------
+//
+// The supervisor and its forked workers (analysis/supervisor.hpp) reuse
+// exactly the in-process Campaign machinery through these functions,
+// which is what makes supervised results bit-identical to Campaign::run
+// for any worker count, crash schedule, or requeue order.
+
+/// The spec validation Campaign::run performs (throws InvalidArgument).
+void validate_campaign_spec(const CampaignSpec& spec,
+                            const RequestModel& model);
+
+/// The value-determining spec fields as labeled key=value text. Threads,
+/// worker counts, engine, and retry/timeout knobs are deliberately
+/// absent, so checkpoints are interchangeable between in-process and
+/// supervised runs of the same campaign.
+std::string campaign_spec_text(const CampaignSpec& spec,
+                               const RequestModel& model);
+
+/// 16-hex-digit FNV-1a fingerprint of campaign_spec_text.
+std::string campaign_spec_fingerprint(const std::string& spec_text);
+
+/// Loads resumable points out of an existing checkpoint, enforcing the
+/// refuse-on-mismatch contract. Returns the seed payloads for a
+/// CheckpointWriter; fills `done` with the trusted points — ok or
+/// quarantined; last occurrence wins, so two workers' interleaved
+/// flushes merge order-insensitively.
+std::vector<std::string> load_campaign_checkpoint(
+    const std::string& path, const std::string& spec_text,
+    const std::string& fingerprint,
+    std::map<std::pair<std::string, int>, CampaignPoint>& done,
+    CheckpointRepairReport& report);
+
+/// Runs one (scheme, replication) point through the full attempt loop —
+/// cancellation checks, optional watchdog deadline (null when no
+/// per-point budget), bounded-backoff retries under the same derived
+/// seed, outcome metrics and the campaign.point event — exactly as
+/// Campaign::run does. Never throws for point failures; the outcome is
+/// in `point`.
+void run_campaign_point_with_retries(const CampaignSpec& spec,
+                                     const RequestModel& model,
+                                     const std::string& scheme,
+                                     int replication, Watchdog* watchdog,
+                                     CampaignPoint& point);
+
 /// Serialize one point as a single-line JSON object (the checkpoint
-/// format; see DESIGN.md "Fault campaigns").
+/// format; see DESIGN.md "Fault campaigns"). Quarantined poison points
+/// carry an extra `"quarantined":true` key; all other points serialize
+/// byte-identically to pre-supervisor checkpoints.
 std::string campaign_point_to_json(const CampaignPoint& point);
 
 /// Parse a checkpoint line; returns false (leaving `out` untouched) for

@@ -1,0 +1,637 @@
+#include "analysis/supervisor.hpp"
+
+#include <poll.h>
+#include <signal.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "analysis/checkpoint.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/shutdown.hpp"
+#include "util/subprocess.hpp"
+#include "util/watchdog.hpp"
+
+namespace mbus {
+
+namespace {
+
+using jsonio::append_json_string;
+
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---- worker side -------------------------------------------------------
+//
+// Runs in the forked child. The spec, model, armed failpoints, and
+// before_point closures arrived copy-on-write through the fork; only
+// results and metric deltas travel back over the pipe.
+
+int worker_main(const SupervisorSpec& sspec, const RequestModel& model,
+                int command_fd, int result_fd) {
+  const CampaignSpec& cspec = sspec.campaign;
+  // The inherited event-log sink is shared with the supervisor; two
+  // processes appending would interleave lines. The supervisor is the
+  // sole emitter. Per-line flushing means the child's copy of the
+  // stream holds no buffered partial line to lose here.
+  obs::EventLog::global().close();
+
+  std::optional<Watchdog> watchdog;
+  if (cspec.point_timeout_ms > 0) watchdog.emplace(cspec.cancel);
+
+  std::mutex write_mutex;
+  std::atomic<bool> peer_gone{false};
+  auto send = [&](const std::string& payload) {
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    if (!write_frame(result_fd, payload)) {
+      peer_gone.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  send("{\"type\":\"hello\"}");
+
+  // Pipe heartbeat: liveness proof plus the busy time of the current
+  // point, so the supervisor can spot a wedged point even while this
+  // thread stays healthy — and spot a wedged *process* when it doesn't.
+  std::atomic<std::int64_t> busy_since{0};  // steady_ms; 0 = idle
+  std::atomic<bool> stop_heartbeat{false};
+  std::thread heartbeat;
+  if (sspec.worker_heartbeat_ms > 0) {
+    heartbeat = std::thread([&] {
+      std::int64_t next = steady_ms() + sspec.worker_heartbeat_ms;
+      while (!stop_heartbeat.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<std::int64_t>(sspec.worker_heartbeat_ms, 20)));
+        if (steady_ms() < next) continue;
+        next = steady_ms() + sspec.worker_heartbeat_ms;
+        const std::int64_t since =
+            busy_since.load(std::memory_order_relaxed);
+        const std::int64_t busy = since > 0 ? steady_ms() - since : 0;
+        send(cat("{\"type\":\"heartbeat\",\"busy_ms\":", busy, "}"));
+      }
+    });
+  }
+
+  int exit_code = 0;
+  FrameReader reader;
+  std::string frame;
+  while (read_frame_blocking(command_fd, reader, frame)) {
+    std::size_t pos = 0;
+    std::string cmd;
+    if (!jsonio::seek_key(frame, "cmd", pos) ||
+        !jsonio::parse_json_string(frame, pos, cmd)) {
+      exit_code = 70;  // supervisor sent garbage; die visibly
+      break;
+    }
+    if (cmd == "stop") break;
+    std::string scheme;
+    std::int64_t replication = 0;
+    if (cmd != "point" || !jsonio::seek_key(frame, "scheme", pos) ||
+        !jsonio::parse_json_string(frame, pos, scheme) ||
+        !jsonio::seek_key(frame, "replication", pos) ||
+        !jsonio::parse_json_int(frame, pos, replication)) {
+      exit_code = 70;
+      break;
+    }
+
+    busy_since.store(steady_ms(), std::memory_order_relaxed);
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::global().snapshot();
+    CampaignPoint point;
+    run_campaign_point_with_retries(
+        cspec, model, scheme, static_cast<int>(replication),
+        watchdog.has_value() ? &*watchdog : nullptr, point);
+    const obs::MetricsSnapshot delta = obs::snapshot_delta(
+        before, obs::MetricsRegistry::global().snapshot());
+    busy_since.store(0, std::memory_order_relaxed);
+
+    // Nested JSON travels as an escaped string, so the supervisor can
+    // slice the frame with the same flat cursor parser used everywhere
+    // else — no balanced-brace scanning on the hot path.
+    std::string result = "{\"type\":\"result\",\"point\":";
+    append_json_string(result, campaign_point_to_json(point));
+    result += ",\"metrics\":";
+    append_json_string(result, delta.to_json());
+    result += "}";
+    send(result);
+
+    if (peer_gone.load(std::memory_order_relaxed)) break;
+    if (cspec.cancel != nullptr && cspec.cancel->stop_requested()) {
+      // Propagate "interrupted, resumable" to the supervisor.
+      exit_code = kExitInterrupted;
+      break;
+    }
+  }
+  stop_heartbeat.store(true, std::memory_order_relaxed);
+  if (heartbeat.joinable()) heartbeat.join();
+  return exit_code;
+}
+
+// ---- supervisor side ---------------------------------------------------
+
+struct QueueItem {
+  std::string scheme;
+  int replication = 0;
+  std::size_t slot = 0;
+};
+
+struct WorkerSlot {
+  Subprocess proc;
+  FrameReader reader;
+  int index = 0;
+  bool dead = false;
+  bool stopping = false;  // stop command sent
+  bool has_inflight = false;
+  QueueItem inflight;
+  std::int64_t last_frame_ms = 0;
+  std::int64_t reported_busy_ms = 0;
+};
+
+const char* kind_name(WorkerIncident::Kind kind) {
+  switch (kind) {
+    case WorkerIncident::Kind::kCrashSignal:
+      return "crash-signal";
+    case WorkerIncident::Kind::kCrashExit:
+      return "crash-exit";
+    case WorkerIncident::Kind::kHang:
+      return "hang";
+    case WorkerIncident::Kind::kProtocol:
+      return "protocol";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string WorkerIncident::describe() const {
+  std::string what = cat("worker ", worker, " ");
+  switch (kind) {
+    case Kind::kCrashSignal:
+      what += cat("died by signal ", detail);
+      break;
+    case Kind::kCrashExit:
+      what += cat("exited with code ", detail);
+      break;
+    case Kind::kHang:
+      what += "hung (missed the liveness budget) and was killed";
+      break;
+    case Kind::kProtocol:
+      what += "corrupted the result stream and was killed";
+      break;
+  }
+  if (scheme.empty()) {
+    what += " while idle";
+  } else {
+    what += cat(" while running ", scheme, "/", replication);
+  }
+  return what;
+}
+
+SupervisedCampaign run_supervised_campaign(const SupervisorSpec& sspec,
+                                           const RequestModel& model) {
+  const CampaignSpec& cspec = sspec.campaign;
+  validate_campaign_spec(cspec, model);
+  MBUS_EXPECTS(sspec.workers >= 1, "need at least one worker process");
+  MBUS_EXPECTS(sspec.max_respawns >= 0, "max_respawns must be >= 0");
+  MBUS_EXPECTS(sspec.poison_crash_threshold >= 1,
+               "poison_crash_threshold must be >= 1");
+  MBUS_EXPECTS(sspec.hang_timeout_ms >= 0, "hang_timeout_ms must be >= 0");
+  MBUS_EXPECTS(sspec.worker_heartbeat_ms >= 0,
+               "worker_heartbeat_ms must be >= 0");
+  MBUS_EXPECTS(sspec.hang_timeout_ms == 0 ||
+                   (sspec.worker_heartbeat_ms >= 1 &&
+                    sspec.hang_timeout_ms > sspec.worker_heartbeat_ms),
+               "hang detection needs a worker heartbeat period shorter "
+               "than hang_timeout_ms");
+
+  const int reps = cspec.replications;
+  const std::size_t num_schemes = cspec.schemes.size();
+  std::vector<CampaignPoint> points(num_schemes *
+                                    static_cast<std::size_t>(reps));
+  int resumed = 0;
+  CheckpointRepairReport repair;
+
+  // Same checkpoint contract as Campaign::run — and the same
+  // fingerprint, so in-process and supervised runs resume each other.
+  std::map<std::pair<std::string, int>, CampaignPoint> done;
+  std::unique_ptr<CheckpointWriter> checkpoint;
+  if (!cspec.checkpoint_path.empty()) {
+    const std::string text = campaign_spec_text(cspec, model);
+    const std::string fingerprint = campaign_spec_fingerprint(text);
+    checkpoint = std::make_unique<CheckpointWriter>(cspec.checkpoint_path,
+                                                    fingerprint, text);
+    if (!cspec.fresh_checkpoint) {
+      checkpoint->seed(load_campaign_checkpoint(cspec.checkpoint_path, text,
+                                                fingerprint, done, repair));
+    }
+    checkpoint->flush();
+  }
+
+  std::deque<QueueItem> queue;
+  for (std::size_t si = 0; si < num_schemes; ++si) {
+    for (int rep = 0; rep < reps; ++rep) {
+      const std::size_t slot =
+          si * static_cast<std::size_t>(reps) + static_cast<std::size_t>(rep);
+      const auto found = done.find({cspec.schemes[si], rep});
+      if (found != done.end()) {
+        points[slot] = found->second;
+        ++resumed;
+        continue;
+      }
+      queue.push_back({cspec.schemes[si], rep, slot});
+    }
+  }
+
+  SupervisedCampaign out;
+  auto& reg = obs::MetricsRegistry::global();
+  auto& events = obs::EventLog::global();
+  reg.counter("campaign.runs").increment();
+  reg.counter("campaign.points.resumed").add(resumed);
+  const auto total_points = static_cast<std::int64_t>(points.size());
+  events.emit("campaign.start",
+              {{"schemes", static_cast<std::int64_t>(num_schemes)},
+               {"replications", reps},
+               {"total_points", total_points},
+               {"resumed", resumed},
+               {"engine", to_string(cspec.engine)},
+               {"workers", sspec.workers}});
+
+  // A worker dying mid-write must surface as EPIPE on our next command
+  // write, not as SIGPIPE killing the supervisor.
+  ScopedSigpipeIgnore sigpipe_guard;
+
+  std::vector<std::unique_ptr<WorkerSlot>> workers;
+  std::map<std::pair<std::string, int>, int> crash_counts;
+  std::int64_t completed = 0;  // freshly finished points (incl. poisoned)
+  int respawns_used = 0;
+  int next_index = 0;
+  bool interrupted = false;
+  bool cancel_broadcast = false;
+
+  auto live_count = [&workers] {
+    int live = 0;
+    for (const auto& w : workers) {
+      if (!w->dead) ++live;
+    }
+    return live;
+  };
+
+  auto spawn_worker = [&]() -> WorkerSlot& {
+    // A sibling holding a dead worker's pipe ends open would mask its
+    // EOF; every child closes every other worker's fds at birth.
+    std::vector<int> close_fds;
+    for (const auto& w : workers) {
+      if (w->dead) continue;
+      if (w->proc.result_fd() >= 0) close_fds.push_back(w->proc.result_fd());
+      if (w->proc.command_fd() >= 0) {
+        close_fds.push_back(w->proc.command_fd());
+      }
+    }
+    auto slot = std::make_unique<WorkerSlot>();
+    slot->index = next_index++;
+    slot->proc = Subprocess::spawn(
+        [&sspec, &model](int command_fd, int result_fd) {
+          return worker_main(sspec, model, command_fd, result_fd);
+        },
+        close_fds);
+    slot->last_frame_ms = steady_ms();
+    reg.counter("workers.spawned").increment();
+    ++out.workers_spawned;
+    events.emit("supervisor.spawn",
+                {{"worker", slot->index},
+                 {"pid", static_cast<std::int64_t>(slot->proc.pid())}});
+    workers.push_back(std::move(slot));
+    return *workers.back();
+  };
+
+  auto assign_next = [&](WorkerSlot& w) {
+    if (w.dead || w.stopping || w.has_inflight) return;
+    if (interrupted || queue.empty()) {
+      // Failure here means the worker is already dying; the reap path
+      // will classify it.
+      write_frame(w.proc.command_fd(), "{\"cmd\":\"stop\"}");
+      w.stopping = true;
+      return;
+    }
+    QueueItem item = queue.front();
+    std::string payload = "{\"cmd\":\"point\",\"scheme\":";
+    append_json_string(payload, item.scheme);
+    payload += cat(",\"replication\":", item.replication, "}");
+    if (!write_frame(w.proc.command_fd(), payload)) return;
+    queue.pop_front();
+    w.has_inflight = true;
+    w.inflight = std::move(item);
+  };
+
+  auto record_result = [&](WorkerSlot& w, const std::string& frame) {
+    std::size_t pos = 0;
+    std::string point_json;
+    std::string metrics_json;
+    if (!jsonio::seek_key(frame, "point", pos) ||
+        !jsonio::parse_json_string(frame, pos, point_json) ||
+        !jsonio::seek_key(frame, "metrics", pos) ||
+        !jsonio::parse_json_string(frame, pos, metrics_json)) {
+      throw ProtocolError(
+          cat("worker ", w.index, " sent a malformed result frame"));
+    }
+    CampaignPoint point;
+    if (!campaign_point_from_json(point_json, point)) {
+      throw ProtocolError(
+          cat("worker ", w.index, " sent an unparseable point"));
+    }
+    if (!w.has_inflight || point.scheme != w.inflight.scheme ||
+        point.replication != w.inflight.replication) {
+      throw ProtocolError(
+          cat("worker ", w.index, " answered a point it was not assigned"));
+    }
+    obs::MetricsSnapshot delta;
+    if (!obs::snapshot_from_json(metrics_json, delta)) {
+      throw ProtocolError(
+          cat("worker ", w.index, " sent an unparseable metrics delta"));
+    }
+    // The point's own outcome counters (campaign.points.ok, retries,
+    // sim.* work) ride in the delta — merging it reproduces exactly the
+    // totals an in-process run would have accumulated.
+    reg.merge(delta);
+    if (point.ok && checkpoint != nullptr) {
+      checkpoint->append(campaign_point_to_json(point));
+    }
+    events.emit("campaign.point", {{"scheme", point.scheme},
+                                   {"replication", point.replication},
+                                   {"ok", point.ok},
+                                   {"attempts", point.attempts},
+                                   {"timed_out", point.timed_out},
+                                   {"cancelled", point.cancelled}});
+    points[w.inflight.slot] = std::move(point);
+    w.has_inflight = false;
+    ++completed;
+  };
+
+  auto quarantine_or_requeue = [&](const QueueItem& item,
+                                   const WorkerIncident& incident) {
+    const auto key = std::make_pair(item.scheme, item.replication);
+    const int crashes = ++crash_counts[key];
+    if (crashes < sspec.poison_crash_threshold) {
+      queue.push_front(item);  // retry promptly on the next free worker
+      return;
+    }
+    CampaignPoint poison;
+    poison.scheme = item.scheme;
+    poison.replication = item.replication;
+    poison.quarantined = true;
+    poison.attempts = crashes;
+    poison.error = cat("quarantined after ", crashes,
+                       " worker crash(es); last: ", incident.describe());
+    // Unlike plain failures, the quarantine verdict is checkpointed, so
+    // a resume skips the poison point instead of feeding it more
+    // workers.
+    if (checkpoint != nullptr) {
+      checkpoint->append(campaign_point_to_json(poison));
+    }
+    reg.counter("points.quarantined").increment();
+    events.emit("supervisor.quarantine", {{"scheme", poison.scheme},
+                                          {"replication", poison.replication},
+                                          {"crashes", crashes}});
+    points[item.slot] = std::move(poison);
+    ++completed;
+  };
+
+  auto handle_death = [&](WorkerSlot& w, const ExitStatus& status,
+                          std::optional<WorkerIncident::Kind> forced_kind) {
+    w.dead = true;
+    w.proc.close_pipes();
+
+    WorkerIncident incident;
+    incident.worker = w.index;
+    if (w.has_inflight) {
+      incident.scheme = w.inflight.scheme;
+      incident.replication = w.inflight.replication;
+    }
+    bool crash;
+    if (forced_kind.has_value()) {  // hang or protocol kill by us
+      crash = true;
+      incident.kind = *forced_kind;
+      incident.detail = status.signaled ? status.signal : status.code;
+    } else if (status.exited && status.code == kExitInterrupted) {
+      // The worker observed cancellation: propagate interrupted — a
+      // resumable state, not a crash.
+      crash = false;
+      interrupted = true;
+      events.emit("supervisor.worker_interrupted", {{"worker", w.index}});
+    } else if (status.exited && status.code == 0 && !w.has_inflight) {
+      crash = false;  // clean stop
+    } else if (status.signaled) {
+      crash = true;
+      incident.kind = WorkerIncident::Kind::kCrashSignal;
+      incident.detail = status.signal;
+      reg.counter(cat("workers.exit.signal.", status.signal)).increment();
+    } else {
+      crash = true;
+      incident.kind = WorkerIncident::Kind::kCrashExit;
+      incident.detail = status.code;
+      reg.counter(cat("workers.exit.code.", status.code)).increment();
+    }
+
+    if (!crash) {
+      // An interrupted worker's unfinished point stays unrecorded; the
+      // assemble step marks the empty slot cancelled, and a resume
+      // recomputes it.
+      w.has_inflight = false;
+      return;
+    }
+
+    reg.counter("workers.crashed").increment();
+    ++out.workers_crashed;
+    if (forced_kind == WorkerIncident::Kind::kHang) {
+      reg.counter("workers.hung").increment();
+      ++out.workers_hung;
+    }
+    events.emit("supervisor.crash",
+                {{"worker", w.index},
+                 {"kind", kind_name(incident.kind)},
+                 {"status", status.describe()},
+                 {"scheme", incident.scheme},
+                 {"replication", incident.replication}});
+    if (w.has_inflight) {
+      quarantine_or_requeue(w.inflight, incident);
+      w.has_inflight = false;
+    }
+    out.incidents.push_back(std::move(incident));
+
+    // Replace the fallen worker while work remains and the budget lasts.
+    if (!interrupted && !queue.empty() &&
+        respawns_used < sspec.max_respawns) {
+      ++respawns_used;
+      reg.counter("workers.respawned").increment();
+      ++out.workers_respawned;
+      assign_next(spawn_worker());
+    }
+  };
+
+  // Initial fleet: never more workers than pending points.
+  const int initial = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(sspec.workers), queue.size()));
+  for (int i = 0; i < initial; ++i) assign_next(spawn_worker());
+
+  const std::int64_t start_ms = steady_ms();
+  std::int64_t last_heartbeat = start_ms;
+
+  while (live_count() > 0) {
+    // Cancellation: broadcast SIGTERM once. The workers inherited the
+    // parent's signal disposition at fork, so the handler sets each
+    // worker's own copy of the token and in-flight points abort at the
+    // simulator's next poll.
+    if (!cancel_broadcast && cspec.cancel != nullptr &&
+        cspec.cancel->stop_requested()) {
+      cancel_broadcast = true;
+      interrupted = true;
+      for (const auto& w : workers) {
+        if (!w->dead) w->proc.kill_now(SIGTERM);
+      }
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_worker;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (workers[i]->dead) continue;
+      pollfd entry;
+      entry.fd = workers[i]->proc.result_fd();
+      entry.events = POLLIN;
+      entry.revents = 0;
+      fds.push_back(entry);
+      fd_worker.push_back(i);
+    }
+    if (fds.empty()) break;
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 25);
+
+    const std::int64_t now = steady_ms();
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      WorkerSlot& w = *workers[fd_worker[k]];
+      if (w.dead) continue;
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const bool open = w.reader.read_available(fds[k].fd);
+      // Drain complete frames first: a result the worker managed to
+      // send before dying must still count.
+      try {
+        std::string frame;
+        while (w.reader.next_frame(frame)) {
+          w.last_frame_ms = now;
+          std::size_t pos = 0;
+          std::string type;
+          if (!jsonio::seek_key(frame, "type", pos) ||
+              !jsonio::parse_json_string(frame, pos, type)) {
+            throw ProtocolError(
+                cat("worker ", w.index, " sent an untyped frame"));
+          }
+          if (type == "heartbeat") {
+            std::int64_t busy = 0;
+            if (jsonio::seek_key(frame, "busy_ms", pos)) {
+              jsonio::parse_json_int(frame, pos, busy);
+            }
+            w.reported_busy_ms = busy;
+          } else if (type == "result") {
+            record_result(w, frame);
+            w.reported_busy_ms = 0;
+            assign_next(w);
+          }
+          // "hello" (or future benign types) just refreshes liveness.
+        }
+      } catch (const ProtocolError&) {
+        w.proc.kill_now(SIGKILL);
+        handle_death(w, w.proc.wait(), WorkerIncident::Kind::kProtocol);
+        continue;
+      }
+      if (!open) handle_death(w, w.proc.wait(), std::nullopt);
+    }
+
+    // Liveness: a silent pipe (heartbeat thread dead or process
+    // stopped) or a single point busy beyond the budget — the second
+    // criterion catches non-cooperative wedges that keep heartbeating.
+    if (sspec.hang_timeout_ms > 0) {
+      for (std::size_t i = 0; i < workers.size(); ++i) {
+        WorkerSlot& w = *workers[i];
+        if (w.dead) continue;
+        if (now - w.last_frame_ms <= sspec.hang_timeout_ms &&
+            w.reported_busy_ms <= sspec.hang_timeout_ms) {
+          continue;
+        }
+        w.proc.kill_now(SIGKILL);
+        handle_death(w, w.proc.wait(), WorkerIncident::Kind::kHang);
+      }
+    }
+
+    // Progress heartbeat, emitted from the loop — the supervisor stays
+    // single-threaded so respawn forks remain safe.
+    if (cspec.heartbeat_ms > 0 && now - last_heartbeat >= cspec.heartbeat_ms) {
+      last_heartbeat = now;
+      const std::int64_t done_now = resumed + completed;
+      const std::int64_t elapsed = now - start_ms;
+      const std::int64_t eta =
+          completed > 0 && done_now < total_points
+              ? elapsed * (total_points - done_now) / completed
+              : -1;
+      reg.counter("campaign.heartbeats").increment();
+      events.emit("campaign.heartbeat", {{"done", done_now},
+                                         {"total", total_points},
+                                         {"elapsed_ms", elapsed},
+                                         {"eta_ms", eta}});
+    }
+  }
+
+  // Respawn budget exhausted with work left and nobody alive: the
+  // remaining points are recorded as failed-but-resumable (they are not
+  // checkpointed, so a rerun recomputes them).
+  if (!queue.empty() && !interrupted) {
+    for (const QueueItem& item : queue) {
+      CampaignPoint abandoned;
+      abandoned.scheme = item.scheme;
+      abandoned.replication = item.replication;
+      abandoned.error =
+          "abandoned: worker crashed and the respawn budget was exhausted";
+      points[item.slot] = std::move(abandoned);
+      ++out.abandoned_points;
+    }
+    events.emit("supervisor.abandoned",
+                {{"points", static_cast<std::int64_t>(queue.size())}});
+    queue.clear();
+  }
+
+  int flush_failures = 0;
+  if (checkpoint != nullptr) {
+    flush_failures = checkpoint->flush_failures();
+    if (flush_failures > 0) {
+      repair.notes.push_back(
+          cat(flush_failures, " checkpoint flush(es) failed and were "
+                              "absorbed; last error: ",
+              checkpoint->last_error()));
+    }
+  }
+  events.emit("campaign.end", {{"interrupted", interrupted},
+                               {"resumed", resumed},
+                               {"flush_failures", flush_failures}});
+
+  out.campaign = Campaign::assemble(cspec, model, std::move(points), resumed,
+                                    interrupted, std::move(repair),
+                                    flush_failures);
+  out.interrupted = interrupted;
+  for (const CampaignPoint& point : out.campaign.points()) {
+    if (point.quarantined) out.quarantined.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace mbus

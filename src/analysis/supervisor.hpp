@@ -1,0 +1,131 @@
+// Supervised multi-process campaign runner: crash-isolated workers,
+// liveness detection, and poison-point quarantine.
+//
+// `run_supervised_campaign` shards a CampaignSpec's (scheme,
+// replication) grid across K forked worker processes
+// (util/subprocess.hpp). Each worker runs the ordinary in-process point
+// machinery — run_campaign_point_with_retries, the same watchdog, the
+// same derived seeds — and ships each finished point back over a
+// length-prefixed pipe protocol together with the metrics delta the
+// point produced. The supervisor is the *only* checkpoint writer and
+// the only event emitter, so a crashing worker can never tear the
+// checkpoint or interleave the event log.
+//
+// Failure model (DESIGN.md §11):
+//   * crash   — a worker exits nonzero or dies by signal. Its in-flight
+//     point is requeued and the worker is replaced while the respawn
+//     budget (`max_respawns`, whole-run) lasts.
+//   * hang    — a worker misses pipe heartbeats for `hang_timeout_ms`,
+//     or reports a single point busy for longer than that. The
+//     supervisor SIGKILLs it and treats it as a crash. This catches
+//     non-cooperative wedges the in-worker watchdog cannot (the
+//     watchdog needs the simulator to poll; a stuck syscall never
+//     polls).
+//   * poison  — `poison_crash_threshold` consecutive crashes on the
+//     same point quarantine it: the point is recorded in the checkpoint
+//     as `quarantined`, excluded from means, listed in the report, and
+//     — deliberately — *not* retried by later resumes.
+//   * interruption — a worker that observes cancellation exits with
+//     code 75 (kExitInterrupted); the supervisor propagates the state:
+//     the campaign reports interrupted-and-resumable, not crashed.
+//
+// Determinism: a point's bits depend only on (base_seed, scheme, buses,
+// replication), never on which process computed it, so supervised
+// results are bit-identical to Campaign::run for any worker count,
+// crash schedule, or requeue order — the crash drill in the test suite
+// proves it. Worker metric deltas merge into the supervisor's registry;
+// a crashed attempt ships nothing, which keeps the deterministic
+// metrics subset identical between crashed-and-respawned runs and clean
+// ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/availability.hpp"
+
+namespace mbus {
+
+struct SupervisorSpec {
+  /// The campaign to run. `threads` and `pool` are ignored — the unit
+  /// of parallelism is the worker process, one point in flight per
+  /// worker. Everything else (checkpoint, cancellation, retries,
+  /// timeouts, before_point, heartbeat_ms) behaves as in Campaign::run.
+  CampaignSpec campaign;
+
+  /// Worker processes (>= 1). The checkpoint fingerprint excludes this,
+  /// so any worker count can resume any other's checkpoint.
+  int workers = 2;
+
+  /// Whole-run replacement budget for crashed or hung workers. 0 means
+  /// a first crash permanently removes a worker.
+  int max_respawns = 8;
+
+  /// Consecutive worker crashes on the same point before it is
+  /// quarantined as a poison point (>= 1).
+  int poison_crash_threshold = 2;
+
+  /// Liveness budget in ms: a worker whose pipe stays silent this long,
+  /// or which reports one point busy this long, is SIGKILLed as hung.
+  /// 0 disables hang detection.
+  std::int64_t hang_timeout_ms = 30000;
+
+  /// Worker → supervisor pipe heartbeat period (>= 1 when hang
+  /// detection is on; heartbeats carry the worker's busy time).
+  std::int64_t worker_heartbeat_ms = 200;
+};
+
+/// One worker failure observed by the supervisor.
+struct WorkerIncident {
+  enum class Kind {
+    kCrashSignal,  ///< died by signal (detail = signal number)
+    kCrashExit,    ///< exited nonzero, not 75 (detail = exit code)
+    kHang,         ///< missed liveness budget; SIGKILLed by supervisor
+    kProtocol,     ///< corrupt pipe framing; killed by supervisor
+  };
+  Kind kind = Kind::kCrashExit;
+  int worker = 0;  ///< stable worker index (respawns get fresh indices)
+  int detail = 0;  ///< signal number or exit code
+  /// Point in flight when the worker died; empty scheme = idle worker.
+  std::string scheme;
+  int replication = 0;
+
+  /// e.g. "worker 2 killed by signal 6 while running full/3".
+  std::string describe() const;
+};
+
+/// Result of a supervised run: the assembled campaign plus the
+/// supervision ledger.
+struct SupervisedCampaign {
+  Campaign campaign;
+
+  int workers_spawned = 0;    ///< including replacements
+  int workers_crashed = 0;    ///< crash + protocol incidents
+  int workers_hung = 0;       ///< liveness kills (also counted crashed)
+  int workers_respawned = 0;  ///< replacements actually started
+  /// A worker exited 75 (observed cancellation) or the supervisor's own
+  /// token fired; mirrors campaign.interrupted().
+  bool interrupted = false;
+  /// Points whose queued work was abandoned because the respawn budget
+  /// ran out with no live workers left (recorded as failed, resumable).
+  int abandoned_points = 0;
+
+  std::vector<WorkerIncident> incidents;
+  /// Quarantined poison points, in grid order (subset of
+  /// campaign.points()).
+  std::vector<CampaignPoint> quarantined;
+};
+
+/// Run `spec.campaign` across crash-isolated worker processes. Never
+/// throws for worker failures (they land in the ledger); throws
+/// InvalidArgument for a malformed spec and InternalError when fork or
+/// pipe plumbing itself fails.
+///
+/// Must be called while the process has no other running threads (the
+/// fork-safety contract of Subprocess::spawn; the supervisor event loop
+/// itself is single-threaded by design).
+SupervisedCampaign run_supervised_campaign(const SupervisorSpec& spec,
+                                           const RequestModel& model);
+
+}  // namespace mbus

@@ -325,6 +325,35 @@ std::string render_summary(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    std::int64_t prior = 0;
+    if (const auto found = before.counters.find(name);
+        found != before.counters.end()) {
+      prior = found->second;
+    }
+    if (value - prior != 0) delta.counters[name] = value - prior;
+  }
+  for (const auto& [name, hist] : after.histograms) {
+    HistogramSnapshot d = hist;
+    if (const auto found = before.histograms.find(name);
+        found != before.histograms.end() &&
+        found->second.bounds == hist.bounds) {
+      const HistogramSnapshot& prior = found->second;
+      for (std::size_t b = 0;
+           b < d.counts.size() && b < prior.counts.size(); ++b) {
+        d.counts[b] -= prior.counts[b];
+      }
+      d.count -= prior.count;
+      d.sum -= prior.sum;
+    }
+    if (d.count != 0) delta.histograms[name] = std::move(d);
+  }
+  return delta;
+}
+
 std::int64_t monotonic_us() noexcept {
 #if defined(MBUS_NO_OBS)
   return 0;
@@ -413,6 +442,23 @@ HistogramSnapshot Histogram::snapshot() const {
   return out;
 }
 
+void Histogram::merge(const HistogramSnapshot& delta) {
+  MBUS_EXPECTS(delta.bounds == bounds_,
+               "histogram merge requires identical bucket bounds");
+  if (delta.count <= 0) return;
+  StripeData& stripe = stripes_[detail::thread_stripe()];
+  const std::size_t buckets =
+      std::min(delta.counts.size(), bounds_.size() + 1);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (delta.counts[b] != 0) {
+      stripe.buckets[b].fetch_add(delta.counts[b],
+                                  std::memory_order_relaxed);
+    }
+  }
+  stripe.count.fetch_add(delta.count, std::memory_order_relaxed);
+  stripe.sum.fetch_add(delta.sum, std::memory_order_relaxed);
+}
+
 void Histogram::reset() noexcept {
   for (int s = 0; s < detail::kStripes; ++s) {
     StripeData& stripe = stripes_[s];
@@ -475,6 +521,16 @@ void MetricsRegistry::reset() {
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+void MetricsRegistry::merge(const MetricsSnapshot& delta) {
+  for (const auto& [name, value] : delta.counters) {
+    if (value != 0) counter(name).add(value);
+  }
+  for (const auto& [name, hist] : delta.histograms) {
+    if (hist.count <= 0 || hist.bounds.empty()) continue;
+    histogram(name, hist.bounds).merge(hist);
+  }
 }
 
 #else  // MBUS_NO_OBS

@@ -75,6 +75,15 @@ struct MetricsSnapshot {
 /// external tooling). Returns false on malformed input.
 bool snapshot_from_json(const std::string& text, MetricsSnapshot& out);
 
+/// `after - before`, elementwise: the work done between two snapshots of
+/// the same registry. Zero-delta counters and empty-delta histograms are
+/// dropped (so merging a delta never registers names that did no work);
+/// gauges are levels, not work, and are never part of a delta. This is
+/// how a campaign worker process ships the metrics of one point back to
+/// its supervisor (analysis/supervisor.hpp).
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
 /// Human-readable summary table of a snapshot (counters, gauges, and
 /// count/mean/p50/p99 per histogram) for end-of-run reporting.
 std::string render_summary(const MetricsSnapshot& snapshot);
@@ -161,6 +170,10 @@ class Histogram {
     return bounds_;
   }
   HistogramSnapshot snapshot() const;
+  /// Add another histogram's snapshot bucket-for-bucket (exact merge of
+  /// work recorded in a different process). Throws InvalidArgument when
+  /// the bounds differ.
+  void merge(const HistogramSnapshot& delta);
   void reset() noexcept;
 
  private:
@@ -195,6 +208,12 @@ class MetricsRegistry {
                        const std::vector<std::int64_t>& bounds);
 
   MetricsSnapshot snapshot() const;
+  /// Add a snapshot (typically a snapshot_delta shipped from a worker
+  /// process) into this registry: counters add, histograms merge bucket
+  /// exactly (registering unseen names with the delta's bounds), gauges
+  /// are ignored. Zero-valued entries are skipped so a merge never
+  /// registers names that did no work.
+  void merge(const MetricsSnapshot& delta);
   /// Zero every metric (registrations survive). Callers must be
   /// quiescent — concurrent increments may straddle the reset.
   void reset();
@@ -244,6 +263,7 @@ class Histogram {
   void observe(std::int64_t) noexcept {}
   void observe_many(std::int64_t, std::int64_t) noexcept {}
   HistogramSnapshot snapshot() const { return {}; }
+  void merge(const HistogramSnapshot&) noexcept {}
   void reset() noexcept {}
 };
 
@@ -256,6 +276,7 @@ class MetricsRegistry {
     return histogram_;
   }
   MetricsSnapshot snapshot() const { return {}; }
+  void merge(const MetricsSnapshot&) {}
   void reset() {}
 
  private:

@@ -15,12 +15,13 @@ namespace failpoints {
 
 namespace {
 
-enum class Action { kThrow, kSleep, kNoop };
+enum class Action { kThrow, kSleep, kNoop, kAbort, kExit };
 
 struct Site {
   std::string name;
   Action action = Action::kNoop;
   std::int64_t sleep_ms = 0;
+  int exit_code = 0;
   std::int64_t from_hit = 1;   // first hit that acts (1-based)
   bool repeat = true;          // act on every hit >= from_hit
   std::int64_t hits = 0;
@@ -67,6 +68,8 @@ Site parse_clause(const std::string& clause) {
     site.action = Action::kThrow;
   } else if (action == "noop") {
     site.action = Action::kNoop;
+  } else if (action == "abort") {
+    site.action = Action::kAbort;
   } else if (action.rfind("sleep:", 0) == 0) {
     const std::string ms = action.substr(6);
     char* end = nullptr;
@@ -75,9 +78,24 @@ Site parse_clause(const std::string& clause) {
                      site.sleep_ms >= 0,
                  cat("malformed sleep duration in failpoint '", clause, "'"));
     site.action = Action::kSleep;
+  } else if (action.rfind("exit:", 0) == 0) {
+    const std::string code = action.substr(5);
+    char* end = nullptr;
+    const std::int64_t parsed = std::strtoll(code.c_str(), &end, 10);
+    MBUS_EXPECTS(!code.empty() && end == code.c_str() + code.size() &&
+                     parsed >= 0 && parsed <= 255,
+                 cat("malformed exit code in failpoint '", clause,
+                     "' — expected exit:<0..255>"));
+    site.exit_code = static_cast<int>(parsed);
+    site.action = Action::kExit;
   } else {
-    MBUS_EXPECTS(false, cat("unknown failpoint action '", action, "' in '",
-                            clause, "' — expected throw, sleep:<ms>, or noop"));
+    // Parse-time strictness is load-bearing: a typo'd action must fail
+    // the arm() call loudly, never arm a site that silently no-ops while
+    // the operator believes a crash drill is armed.
+    MBUS_EXPECTS(false,
+                 cat("unknown failpoint action '", action, "' in '", clause,
+                     "' — expected throw, sleep:<ms>, noop, abort, or "
+                     "exit:<code>"));
   }
   return site;
 }
@@ -128,6 +146,7 @@ bool enabled() noexcept {
 void evaluate(const char* site) {
   Action action = Action::kNoop;
   std::int64_t sleep_ms = 0;
+  int exit_code = 0;
   std::int64_t hit = 0;
   {
     std::lock_guard<std::mutex> lock(g_mutex);
@@ -139,6 +158,7 @@ void evaluate(const char* site) {
     if (!acts) return;
     action = found->action;
     sleep_ms = found->sleep_ms;
+    exit_code = found->exit_code;
   }
   // Count the trip (armed site acted — including noop probes) before the
   // action, so kThrow trips are visible in the registry too.
@@ -152,6 +172,15 @@ void evaluate(const char* site) {
     case Action::kSleep:
       std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
       break;
+    case Action::kAbort:
+      // Real process death (SIGABRT), for crash drills against the
+      // supervised campaign runner: nothing is unwound or flushed.
+      std::abort();
+    case Action::kExit:
+      // Immediate exit without atexit handlers or stdio flushes — the
+      // "worker vanished with code N" drill (exit:75 exercises the
+      // resumable-exit propagation path).
+      std::_Exit(exit_code);
     case Action::kNoop:
       break;
   }

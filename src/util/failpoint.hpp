@@ -16,9 +16,19 @@
 //   site=throw@3+       ... on every hit from the 3rd on
 //   site=sleep:50       sleep 50 ms (stall injection for the watchdog)
 //   site=noop           count hits without acting (coverage probes)
+//   site=abort          std::abort() — real process death (SIGABRT) for
+//                       crash drills against the supervised runner
+//   site=exit:75        _Exit(code) — vanish with an exit code (no
+//                       unwinding, no atexit, no stdio flush)
+//
+// Unknown actions and malformed triggers are rejected at arm() time with
+// InvalidArgument — a typo'd drill must never arm a silent no-op.
 //
 // Example: MBUS_FAILPOINTS="checkpoint.flush=throw@2" fails the second
-// checkpoint flush of the process, wherever it happens.
+// checkpoint flush of the process, wherever it happens. Hit counters are
+// per process: a forked campaign worker starts from the hit count
+// inherited at fork time (the supervisor itself never evaluates worker
+// sites, so in practice each worker counts from zero).
 #pragma once
 
 #include <cstdint>

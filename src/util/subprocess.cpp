@@ -1,0 +1,282 @@
+#include "util/subprocess.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "util/format.hpp"
+
+namespace mbus {
+
+namespace {
+
+/// Frame prefix: 8 lowercase hex digits + one space.
+constexpr std::size_t kPrefixLen = 9;
+/// Upper bound on a single frame payload — far beyond any protocol
+/// message, small enough to catch a garbage length before allocating.
+constexpr std::size_t kMaxFrameLen = 64u << 20;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+bool parse_hex8(const char* s, std::size_t& out) {
+  std::size_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    const char c = s[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<std::size_t>(digit);
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string ExitStatus::describe() const {
+  if (running) return "running";
+  if (signaled) {
+    const char* name = strsignal(signal);
+    return cat("signal ", signal, " (", name != nullptr ? name : "?", ")");
+  }
+  return cat("exit ", code);
+}
+
+ExitStatus classify_wait_status(int raw_status) {
+  ExitStatus status;
+  status.running = false;
+  if (WIFEXITED(raw_status)) {
+    status.exited = true;
+    status.code = WEXITSTATUS(raw_status);
+  } else if (WIFSIGNALED(raw_status)) {
+    status.signaled = true;
+    status.signal = WTERMSIG(raw_status);
+  }
+  return status;
+}
+
+Subprocess Subprocess::spawn(
+    const std::function<int(int command_fd, int result_fd)>& body,
+    const std::vector<int>& inherited_fds_to_close) {
+  int to_child[2];
+  int from_child[2];
+  if (::pipe(to_child) != 0) {
+    throw InternalError(cat("pipe() failed: ", strerror(errno)));
+  }
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    throw InternalError(cat("pipe() failed: ", strerror(errno)));
+  }
+
+  // Any buffered stdio flushed now is flushed once; the child exits via
+  // _exit and never re-flushes inherited buffers.
+  std::fflush(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    throw InternalError(cat("fork() failed: ", strerror(errno)));
+  }
+
+  if (pid == 0) {
+    // Child. Drop the parent's ends and every sibling fd we were handed,
+    // then run the body; its return value is the process exit code.
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    for (const int fd : inherited_fds_to_close) {
+      if (fd >= 0) ::close(fd);
+    }
+    int code = 70;  // EX_SOFTWARE: body threw
+    try {
+      code = body(to_child[0], from_child[1]);
+    } catch (...) {
+    }
+    ::_exit(code);
+  }
+
+  // Parent.
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  set_nonblocking(from_child[0]);
+
+  Subprocess child;
+  child.pid_ = pid;
+  child.command_fd_ = to_child[1];
+  child.result_fd_ = from_child[0];
+  return child;
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      result_fd_(std::exchange(other.result_fd_, -1)),
+      command_fd_(std::exchange(other.command_fd_, -1)),
+      reaped_(std::exchange(other.reaped_, false)),
+      status_(other.status_) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    this->~Subprocess();
+    pid_ = std::exchange(other.pid_, -1);
+    result_fd_ = std::exchange(other.result_fd_, -1);
+    command_fd_ = std::exchange(other.command_fd_, -1);
+    reaped_ = std::exchange(other.reaped_, false);
+    status_ = other.status_;
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  if (pid_ > 0 && !reaped_) {
+    ::kill(pid_, SIGKILL);
+    int raw = 0;
+    ::waitpid(pid_, &raw, 0);
+  }
+  close_pipes();
+  pid_ = -1;
+}
+
+ExitStatus Subprocess::try_reap() {
+  if (reaped_ || pid_ <= 0) return status_;
+  int raw = 0;
+  const pid_t got = ::waitpid(pid_, &raw, WNOHANG);
+  if (got == pid_) {
+    status_ = classify_wait_status(raw);
+    reaped_ = true;
+  }
+  return status_;
+}
+
+ExitStatus Subprocess::wait() {
+  if (reaped_ || pid_ <= 0) return status_;
+  int raw = 0;
+  if (::waitpid(pid_, &raw, 0) == pid_) {
+    status_ = classify_wait_status(raw);
+    reaped_ = true;
+  }
+  return status_;
+}
+
+void Subprocess::kill_now(int sig) noexcept {
+  if (pid_ > 0 && !reaped_) ::kill(pid_, sig);
+}
+
+ExitStatus Subprocess::terminate(std::int64_t grace_ms) {
+  if (reaped_ || pid_ <= 0) return status_;
+  kill_now(SIGTERM);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(grace_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!try_reap().running) return status_;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  kill_now(SIGKILL);
+  return wait();
+}
+
+void Subprocess::close_pipes() noexcept {
+  if (result_fd_ >= 0) ::close(result_fd_);
+  if (command_fd_ >= 0) ::close(command_fd_);
+  result_fd_ = -1;
+  command_fd_ = -1;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+  char prefix[16];
+  std::snprintf(prefix, sizeof prefix, "%08zx ", payload.size());
+  std::string frame;
+  frame.reserve(kPrefixLen + payload.size() + 1);
+  frame.append(prefix, kPrefixLen);
+  frame.append(payload);
+  frame.push_back('\n');
+
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool FrameReader::read_available(int fd) {
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    return false;  // treat hard read errors like EOF
+  }
+}
+
+bool FrameReader::next_frame(std::string& out) {
+  if (buffer_.size() < kPrefixLen) return false;
+  std::size_t len = 0;
+  if (!parse_hex8(buffer_.data(), len) || buffer_[8] != ' ' ||
+      len > kMaxFrameLen) {
+    throw ProtocolError(
+        cat("corrupt frame prefix '", buffer_.substr(0, kPrefixLen),
+            "' — the stream cannot be resynchronized"));
+  }
+  const std::size_t total = kPrefixLen + len + 1;
+  if (buffer_.size() < total) return false;
+  if (buffer_[kPrefixLen + len] != '\n') {
+    throw ProtocolError(cat("frame of length ", len,
+                            " not terminated by newline"));
+  }
+  out = buffer_.substr(kPrefixLen, len);
+  buffer_.erase(0, total);
+  return true;
+}
+
+bool read_frame_blocking(int fd, FrameReader& reader, std::string& out) {
+  while (true) {
+    if (reader.next_frame(out)) return true;
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n > 0) {
+      reader.feed(chunk, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      return false;
+    } else if (errno != EINTR) {
+      return false;
+    }
+  }
+}
+
+ScopedSigpipeIgnore::ScopedSigpipeIgnore()
+    : previous_(::signal(SIGPIPE, SIG_IGN)) {}
+
+ScopedSigpipeIgnore::~ScopedSigpipeIgnore() {
+  ::signal(SIGPIPE, previous_);
+}
+
+}  // namespace mbus

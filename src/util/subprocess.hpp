@@ -1,0 +1,176 @@
+// Crash-isolated child processes for the supervised campaign runner
+// (analysis/supervisor.hpp).
+//
+// `Subprocess::spawn` forks the calling process and runs a caller-
+// supplied body in the child, connected to the parent by two pipes
+// (commands in, results out). There is no exec: the child inherits the
+// parent's memory image copy-on-write, so specs, request models, armed
+// failpoints, and `before_point` closures cross the process boundary
+// for free — only *results* have to travel back over the pipe. The
+// child terminates with `_exit(body())`, never by returning through the
+// caller's stack, so static destructors and atexit handlers run exactly
+// once, in the parent.
+//
+// The parent side is built for a single-threaded poll loop:
+//   * the child's result pipe is switched to O_NONBLOCK, so the
+//     supervisor can drain many workers without ever blocking on one;
+//   * `try_reap` is a WNOHANG waitpid probe that classifies death as
+//     exit-code vs signal (`ExitStatus::describe()` renders
+//     "exit 3" / "signal 9 (Killed)" for reports);
+//   * `terminate` escalates SIGTERM → grace wait → SIGKILL and always
+//     reaps, so no path leaks a zombie; the destructor SIGKILLs and
+//     reaps anything still running.
+//
+// Fork safety: spawn() must be called while the calling process has no
+// other running threads (the supervisor's event loop is single-threaded
+// by design — its progress heartbeat is emitted from the poll loop, not
+// a thread). The child may spawn threads freely after the fork.
+//
+// Framing: every protocol message is one length-prefixed line,
+//
+//   <8 hex digits: payload byte count> <payload>\n
+//
+// `write_frame` writes one message (handling short writes; EPIPE is
+// reported, not thrown — the peer dying is an expected event), and
+// `FrameReader` reassembles messages from arbitrary read() chunk
+// boundaries. A corrupt prefix throws `ProtocolError`: framing damage
+// means the stream can never be resynchronized, and the supervisor
+// treats it like a worker crash.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mbus {
+
+/// The pipe byte stream violated the length-prefix framing — a torn or
+/// overwritten stream that cannot be resynchronized.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// Classified waitpid(2) status of a child process.
+struct ExitStatus {
+  bool running = true;   ///< Not yet reaped (exited/signaled both false).
+  bool exited = false;   ///< WIFEXITED: `code` holds the exit code.
+  bool signaled = false; ///< WIFSIGNALED: `signal` holds the signal.
+  int code = 0;
+  int signal = 0;
+
+  /// "exit 3", "signal 9 (Killed)", or "running".
+  std::string describe() const;
+};
+
+/// Classify a raw waitpid status word (exposed for tests and reports).
+ExitStatus classify_wait_status(int raw_status);
+
+class Subprocess {
+ public:
+  /// Fork and run `body(command_fd, result_fd)` in the child; the child
+  /// exits with the returned code (`_exit`, no unwinding into the
+  /// caller). An exception escaping `body` exits with code 70
+  /// (EX_SOFTWARE). `inherited_fds_to_close` lists other workers' pipe
+  /// ends the child must not hold open (a sibling keeping a dead
+  /// worker's write end alive would mask its EOF). Throws
+  /// InternalError when pipe(2)/fork(2) fail.
+  static Subprocess spawn(
+      const std::function<int(int command_fd, int result_fd)>& body,
+      const std::vector<int>& inherited_fds_to_close = {});
+
+  Subprocess() = default;
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  /// SIGKILLs and reaps a still-running child; closes both pipe ends.
+  ~Subprocess();
+
+  pid_t pid() const noexcept { return pid_; }
+  bool valid() const noexcept { return pid_ > 0; }
+
+  /// Parent's read end of the child's result pipe (O_NONBLOCK), or -1.
+  int result_fd() const noexcept { return result_fd_; }
+  /// Parent's write end of the child's command pipe (blocking), or -1.
+  int command_fd() const noexcept { return command_fd_; }
+
+  /// Non-blocking reap probe. Returns the current status: `running`
+  /// until the child dies, then the classified exit, cached for every
+  /// later call.
+  ExitStatus try_reap();
+  /// Blocking reap (waitpid without WNOHANG); cached like try_reap.
+  ExitStatus wait();
+
+  /// Send `sig` (default SIGKILL) if the child still runs. No reap.
+  void kill_now(int sig) noexcept;
+  /// SIGTERM, poll for up to `grace_ms`, then SIGKILL; always reaps.
+  ExitStatus terminate(std::int64_t grace_ms);
+
+  /// Close the parent's pipe ends (EOF to the child); idempotent.
+  void close_pipes() noexcept;
+
+ private:
+  pid_t pid_ = -1;
+  int result_fd_ = -1;
+  int command_fd_ = -1;
+  bool reaped_ = false;
+  ExitStatus status_;
+};
+
+/// Write one framed message to `fd`, looping over short writes. Returns
+/// false on any write error (EPIPE when the peer died) without raising
+/// SIGPIPE side effects beyond the process's disposition — supervisors
+/// ignore SIGPIPE for their lifetime (see ScopedSigpipeIgnore).
+bool write_frame(int fd, const std::string& payload);
+
+/// Reassembles framed messages from a byte stream read in arbitrary
+/// chunks.
+class FrameReader {
+ public:
+  /// Drain everything currently readable from `fd` (which may be
+  /// O_NONBLOCK) into the buffer. Returns false on EOF, true otherwise
+  /// (including EAGAIN with nothing to read).
+  bool read_available(int fd);
+
+  /// Append raw bytes read elsewhere (the blocking worker-side path).
+  void feed(const char* data, std::size_t size) {
+    buffer_.append(data, size);
+  }
+
+  /// Pop the next complete frame into `out`; false when no complete
+  /// frame is buffered. Throws ProtocolError on a corrupt prefix.
+  bool next_frame(std::string& out);
+
+  /// Bytes buffered but not yet returned (diagnostics).
+  std::size_t pending_bytes() const noexcept { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Read frames from a *blocking* fd until one is complete (worker side).
+/// Returns false on EOF before a complete frame.
+bool read_frame_blocking(int fd, FrameReader& reader, std::string& out);
+
+/// RAII SIGPIPE → SIG_IGN for the supervisor's lifetime: writing a
+/// command to a worker that just died must surface as EPIPE, not kill
+/// the supervisor. Restores the previous disposition on destruction.
+class ScopedSigpipeIgnore {
+ public:
+  ScopedSigpipeIgnore();
+  ~ScopedSigpipeIgnore();
+  ScopedSigpipeIgnore(const ScopedSigpipeIgnore&) = delete;
+  ScopedSigpipeIgnore& operator=(const ScopedSigpipeIgnore&) = delete;
+
+ private:
+  void (*previous_)(int);
+};
+
+}  // namespace mbus

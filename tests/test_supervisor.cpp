@@ -1,0 +1,708 @@
+// Supervised multi-process campaign runner: pipe framing, subprocess
+// lifecycle, crash/hang/poison drills, exit-75 propagation, checkpoint
+// interchange with the in-process runner, and deterministic-metrics
+// invariance across worker counts and crash schedules.
+//
+// Every suite name contains "Supervise" so the `supervise` ctest lane
+// and the sanitizer preset filters pick the whole battery up.
+#include "analysis/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/availability.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/format.hpp"
+#include "util/shutdown.hpp"
+#include "util/subprocess.hpp"
+#include "workload/uniform.hpp"
+
+namespace mbus {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.buses = 4;
+  spec.groups = 2;
+  spec.classes = 0;  // K = B
+  spec.process.bus_mtbf = 300;
+  spec.process.bus_mttr = 100;
+  spec.horizon = 3000;
+  spec.window_cycles = 500;
+  spec.replications = 3;
+  spec.base_seed = 777;
+  return spec;
+}
+
+/// A smaller grid (6 points) for drills that fork one worker per crash.
+CampaignSpec drill_spec() {
+  CampaignSpec spec = small_spec();
+  spec.schemes = {"full", "single"};
+  return spec;
+}
+
+UniformModel small_model() { return UniformModel(8, 8, BigRational(1)); }
+
+SupervisorSpec supervised(const CampaignSpec& campaign, int workers) {
+  SupervisorSpec spec;
+  spec.campaign = campaign;
+  spec.workers = workers;
+  spec.max_respawns = 32;
+  spec.hang_timeout_ms = 30000;
+  spec.worker_heartbeat_ms = 50;
+  return spec;
+}
+
+void expect_identical_points(const Campaign& a, const Campaign& b) {
+  ASSERT_EQ(a.points().size(), b.points().size());
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    const CampaignPoint& pa = a.points()[i];
+    const CampaignPoint& pb = b.points()[i];
+    EXPECT_EQ(pa.scheme, pb.scheme);
+    EXPECT_EQ(pa.replication, pb.replication);
+    EXPECT_EQ(pa.ok, pb.ok) << pa.scheme << "/" << pa.replication << ": "
+                            << pa.error << " vs " << pb.error;
+    EXPECT_EQ(pa.quarantined, pb.quarantined);
+    EXPECT_EQ(pa.healthy_bandwidth, pb.healthy_bandwidth);
+    EXPECT_EQ(pa.delivered_bandwidth, pb.delivered_bandwidth);
+    EXPECT_EQ(pa.availability, pb.availability);
+    EXPECT_EQ(pa.min_window_bandwidth, pb.min_window_bandwidth);
+    EXPECT_EQ(pa.connectivity, pb.connectivity);
+    EXPECT_EQ(pa.disconnect_cycle, pb.disconnect_cycle);
+  }
+}
+
+// ---- pipe framing ------------------------------------------------------
+
+TEST(SuperviseProtocol, FrameRoundTripThroughPipe) {
+  int fds[2];
+  ASSERT_EQ(0, ::pipe(fds));
+  const std::vector<std::string> payloads = {
+      "{\"type\":\"hello\"}", "with\nembedded\nnewlines",
+      std::string(10000, 'x'), ""};
+  for (const std::string& p : payloads) {
+    ASSERT_TRUE(write_frame(fds[1], p));
+  }
+  ::close(fds[1]);
+
+  FrameReader reader;
+  std::string frame;
+  std::vector<std::string> got;
+  while (read_frame_blocking(fds[0], reader, frame)) got.push_back(frame);
+  ::close(fds[0]);
+  ASSERT_EQ(got.size(), payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(got[i], payloads[i]);
+  }
+}
+
+TEST(SuperviseProtocol, ReassemblesAcrossByteAtATimeFeeds) {
+  // Build valid frames with the real writer, then replay them into a
+  // reader one byte at a time: chunk boundaries must never matter.
+  int fds[2];
+  ASSERT_EQ(0, ::pipe(fds));
+  ASSERT_TRUE(write_frame(fds[1], "first"));
+  ASSERT_TRUE(write_frame(fds[1], "second payload"));
+  ::close(fds[1]);
+  std::string raw;
+  char c;
+  while (::read(fds[0], &c, 1) == 1) raw.push_back(c);
+  ::close(fds[0]);
+
+  FrameReader reader;
+  std::string frame;
+  std::vector<std::string> got;
+  for (const char byte : raw) {
+    reader.feed(&byte, 1);
+    while (reader.next_frame(frame)) got.push_back(frame);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "first");
+  EXPECT_EQ(got[1], "second payload");
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(SuperviseProtocol, CorruptPrefixThrowsProtocolError) {
+  FrameReader reader;
+  const std::string junk = "zzzzzzzz not-a-frame\n";
+  reader.feed(junk.data(), junk.size());
+  std::string frame;
+  EXPECT_THROW(reader.next_frame(frame), ProtocolError);
+}
+
+// ---- subprocess lifecycle ----------------------------------------------
+
+TEST(SuperviseSubprocess, ExitCodeIsReapedAndClassified) {
+  Subprocess child = Subprocess::spawn([](int, int) { return 7; });
+  const ExitStatus status = child.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_FALSE(status.signaled);
+  EXPECT_EQ(status.code, 7);
+  EXPECT_NE(status.describe().find("exit 7"), std::string::npos);
+}
+
+TEST(SuperviseSubprocess, SignalDeathIsClassified) {
+  Subprocess child = Subprocess::spawn([](int, int) -> int {
+    std::abort();
+  });
+  const ExitStatus status = child.wait();
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.signal, SIGABRT);
+}
+
+TEST(SuperviseSubprocess, ThrowingBodyExitsSeventy) {
+  Subprocess child = Subprocess::spawn(
+      [](int, int) -> int { throw Error("boom"); });
+  const ExitStatus status = child.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, 70);
+}
+
+TEST(SuperviseSubprocess, InterruptedExitCodePropagates) {
+  Subprocess child =
+      Subprocess::spawn([](int, int) { return kExitInterrupted; });
+  EXPECT_EQ(child.wait().code, kExitInterrupted);
+}
+
+TEST(SuperviseSubprocess, TerminateEscalatesOnUnresponsiveChild) {
+  Subprocess child = Subprocess::spawn([](int, int result_fd) -> int {
+    // Ignore SIGTERM to force the SIGKILL escalation, then tell the
+    // parent the armor is on (otherwise its SIGTERM can race the
+    // signal() call and win).
+    ::signal(SIGTERM, SIG_IGN);
+    write_frame(result_fd, "armored");
+    for (;;) ::usleep(50000);
+  });
+  FrameReader reader;
+  std::string ready;
+  while (!reader.next_frame(ready)) {
+    ASSERT_TRUE(reader.read_available(child.result_fd()));
+    ::usleep(1000);
+  }
+  EXPECT_EQ(ready, "armored");
+  const ExitStatus status = child.terminate(100);
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.signal, SIGKILL);
+}
+
+// ---- failpoint crash actions -------------------------------------------
+
+TEST(SuperviseFailpoint, UnknownActionsAreRejectedAtArmTime) {
+  EXPECT_THROW(failpoints::arm("site=frobnicate"), InvalidArgument);
+  EXPECT_THROW(failpoints::arm("site=exit:"), InvalidArgument);
+  EXPECT_THROW(failpoints::arm("site=exit:300"), InvalidArgument);
+  EXPECT_THROW(failpoints::arm("site=exit:-1"), InvalidArgument);
+  EXPECT_THROW(failpoints::arm("site=abort@0"), InvalidArgument);
+  EXPECT_FALSE(failpoints::enabled());
+}
+
+TEST(SuperviseFailpoint, AbortActionDiesBySigabrt) {
+  Subprocess child = Subprocess::spawn([](int, int) {
+    failpoints::arm("drill.site=abort");
+    MBUS_FAILPOINT("drill.site");
+    return 0;  // unreachable
+  });
+  const ExitStatus status = child.wait();
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.signal, SIGABRT);
+}
+
+TEST(SuperviseFailpoint, ExitActionVanishesWithCode) {
+  Subprocess seven = Subprocess::spawn([](int, int) {
+    failpoints::arm("drill.site=exit:7");
+    MBUS_FAILPOINT("drill.site");
+    return 0;
+  });
+  EXPECT_EQ(seven.wait().code, 7);
+
+  Subprocess resumable = Subprocess::spawn([](int, int) {
+    failpoints::arm("drill.site=exit:75");
+    MBUS_FAILPOINT("drill.site");
+    return 0;
+  });
+  EXPECT_EQ(resumable.wait().code, kExitInterrupted);
+}
+
+TEST(SuperviseFailpoint, TriggeredAbortWaitsForItsHit) {
+  Subprocess child = Subprocess::spawn([](int, int) {
+    failpoints::arm("drill.site=abort@3");
+    MBUS_FAILPOINT("drill.site");
+    MBUS_FAILPOINT("drill.site");
+    return 42;  // reached only if the first two hits pass through
+  });
+  EXPECT_EQ(child.wait().code, 42);
+}
+
+// ---- supervised campaigns ----------------------------------------------
+
+TEST(Supervise, BitIdenticalToInProcessAcrossWorkerCounts) {
+  const UniformModel model = small_model();
+  const Campaign reference = Campaign::run(small_spec(), model);
+  for (const int workers : {1, 2, 4}) {
+    const SupervisedCampaign run =
+        run_supervised_campaign(supervised(small_spec(), workers), model);
+    EXPECT_EQ(run.workers_crashed, 0);
+    EXPECT_FALSE(run.interrupted);
+    expect_identical_points(reference, run.campaign);
+    EXPECT_EQ(reference.to_table("t").to_text(),
+              run.campaign.to_table("t").to_text());
+  }
+}
+
+TEST(Supervise, CrashedWorkersAreRespawnedAndResultsStayIdentical) {
+  const UniformModel model = small_model();
+  const Campaign reference = Campaign::run(drill_spec(), model);
+
+  obs::MetricsRegistry::global().reset();
+  SupervisedCampaign run;
+  {
+    // Every worker completes exactly one point, then SIGABRTs on its
+    // second; the supervisor must keep respawning until the campaign
+    // finishes, and the crashes must leave no trace in the results.
+    failpoints::Scoped scoped("campaign.point=abort@2");
+    run = run_supervised_campaign(supervised(drill_spec(), 1), model);
+  }
+  EXPECT_FALSE(run.interrupted);
+  EXPECT_GE(run.workers_crashed, 1);
+  EXPECT_GE(run.workers_respawned, 1);
+  EXPECT_EQ(run.workers_spawned, 1 + run.workers_respawned);
+  EXPECT_EQ(run.incidents.size(),
+            static_cast<std::size_t>(run.workers_crashed));
+  for (const WorkerIncident& incident : run.incidents) {
+    EXPECT_EQ(incident.kind, WorkerIncident::Kind::kCrashSignal);
+    EXPECT_EQ(incident.detail, SIGABRT);
+    EXPECT_NE(incident.describe().find("died by signal"),
+              std::string::npos);
+  }
+  expect_identical_points(reference, run.campaign);
+
+  // The crashes are visible in the supervision metrics...
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  const auto crashed = snap.counters.find("workers.crashed");
+  ASSERT_NE(crashed, snap.counters.end());
+  EXPECT_EQ(crashed->second, run.workers_crashed);
+  // ... classified by cause (signal vs exit code), and the
+  // classification surfaces in the human-readable summary too.
+  EXPECT_NE(snap.counters.find(cat("workers.exit.signal.", SIGABRT)),
+            snap.counters.end());
+  EXPECT_NE(
+      obs::render_summary(snap).find(cat("workers.exit.signal.", SIGABRT)),
+      std::string::npos);
+}
+
+TEST(Supervise, PoisonPointIsQuarantinedDurably) {
+  const UniformModel model = small_model();
+  const std::string path = temp_path("mbus_supervise_poison.jsonl");
+
+  CampaignSpec cspec = drill_spec();
+  cspec.checkpoint_path = path;
+  cspec.before_point = [](const std::string& scheme, int replication) {
+    if (scheme == "single" && replication == 1) std::abort();
+  };
+  SupervisorSpec sspec = supervised(cspec, 2);
+  sspec.poison_crash_threshold = 2;
+  const SupervisedCampaign run = run_supervised_campaign(sspec, model);
+
+  ASSERT_EQ(run.quarantined.size(), 1u);
+  EXPECT_EQ(run.quarantined[0].scheme, "single");
+  EXPECT_EQ(run.quarantined[0].replication, 1);
+  EXPECT_NE(run.quarantined[0].error.find("quarantined after 2"),
+            std::string::npos);
+  int quarantined = 0;
+  int ok = 0;
+  for (const CampaignPoint& point : run.campaign.points()) {
+    quarantined += point.quarantined ? 1 : 0;
+    ok += point.ok ? 1 : 0;
+  }
+  EXPECT_EQ(quarantined, 1);
+  EXPECT_EQ(ok, static_cast<int>(run.campaign.points().size()) - 1);
+  for (const CampaignSummary& summary : run.campaign.summaries()) {
+    if (summary.scheme == "single") {
+      EXPECT_EQ(summary.quarantined_points, 1);
+      EXPECT_EQ(summary.failed_points, 1);
+    } else {
+      EXPECT_EQ(summary.quarantined_points, 0);
+    }
+  }
+  // The verdict is in the checkpoint and in the per-point table.
+  EXPECT_NE(slurp(path).find("\"quarantined\":true"), std::string::npos);
+  EXPECT_NE(run.campaign.points_table().to_text().find("poison"),
+            std::string::npos);
+
+  // A resume (now crash-free) trusts the quarantine verdict instead of
+  // feeding the point more workers: everything resumes, nothing runs.
+  CampaignSpec clean = drill_spec();
+  clean.checkpoint_path = path;
+  const SupervisedCampaign resumed =
+      run_supervised_campaign(supervised(clean, 2), model);
+  EXPECT_EQ(resumed.campaign.resumed_points(),
+            static_cast<int>(resumed.campaign.points().size()));
+  EXPECT_EQ(resumed.workers_spawned, 0);
+  ASSERT_EQ(resumed.quarantined.size(), 1u);
+  EXPECT_TRUE(resumed.quarantined[0].quarantined);
+}
+
+TEST(Supervise, HungWorkerIsKilledRequeuedAndStaysIdentical) {
+  const UniformModel model = small_model();
+  const Campaign reference = Campaign::run(drill_spec(), model);
+
+  // First attempt at full/1 wedges (a sleep the in-worker watchdog
+  // cannot see — before_point never polls). The marker file survives
+  // the respawn fork, so the retry runs clean.
+  const std::string marker = temp_path("mbus_supervise_hang.marker");
+  CampaignSpec cspec = drill_spec();
+  cspec.before_point = [marker](const std::string& scheme, int replication) {
+    if (scheme != "full" || replication != 1) return;
+    std::ifstream probe(marker);
+    if (probe.good()) return;
+    std::ofstream touch(marker);
+    touch << "wedged once\n";
+    touch.close();
+    ::usleep(10 * 1000 * 1000);  // 10 s; SIGKILLed at ~500 ms
+  };
+  SupervisorSpec sspec = supervised(cspec, 1);
+  sspec.hang_timeout_ms = 500;
+  sspec.worker_heartbeat_ms = 50;
+  const SupervisedCampaign run = run_supervised_campaign(sspec, model);
+
+  EXPECT_EQ(run.workers_hung, 1);
+  EXPECT_EQ(run.workers_crashed, 1);  // hangs count as crashes
+  ASSERT_EQ(run.incidents.size(), 1u);
+  EXPECT_EQ(run.incidents[0].kind, WorkerIncident::Kind::kHang);
+  EXPECT_EQ(run.incidents[0].scheme, "full");
+  EXPECT_EQ(run.incidents[0].replication, 1);
+  expect_identical_points(reference, run.campaign);
+  std::remove(marker.c_str());
+}
+
+TEST(Supervise, ExitSeventyFiveFailpointPropagatesInterrupted) {
+  const UniformModel model = small_model();
+  const std::string path = temp_path("mbus_supervise_exit75.jsonl");
+
+  CampaignSpec cspec = drill_spec();
+  cspec.checkpoint_path = path;
+  SupervisedCampaign first;
+  {
+    // The worker vanishes with the "interrupted, resumable" code on its
+    // third point: two points land in the checkpoint, the campaign
+    // reports interrupted, and nothing counts as a crash.
+    failpoints::Scoped scoped("campaign.point=exit:75");
+    CampaignSpec drilled = cspec;
+    first = run_supervised_campaign(supervised(drilled, 1), model);
+  }
+  EXPECT_TRUE(first.interrupted);
+  EXPECT_TRUE(first.campaign.interrupted());
+  EXPECT_EQ(first.workers_crashed, 0);
+  EXPECT_EQ(first.workers_respawned, 0);
+
+  // Disarmed, the same checkpoint resumes to the clean result.
+  const SupervisedCampaign second =
+      run_supervised_campaign(supervised(cspec, 2), model);
+  EXPECT_FALSE(second.interrupted);
+  const Campaign reference = Campaign::run(drill_spec(), model);
+  expect_identical_points(reference, second.campaign);
+}
+
+TEST(Supervise, SigtermToSupervisorInterruptsResumably) {
+  const UniformModel model = small_model();
+  const std::string path = temp_path("mbus_supervise_sigterm.jsonl");
+
+  // The whole supervised run executes in a child process so the test
+  // binary never handles the SIGTERM itself. A worker's before_point
+  // SIGTERMs its parent — the supervisor — mid-campaign; the supervisor
+  // must broadcast cancellation, collect exit-75 workers, and itself
+  // report interrupted (mapped to exit 75, like the bench).
+  Subprocess driver = Subprocess::spawn([&path, &model](int, int) -> int {
+    CancellationToken token;
+    SignalGuard guard(token);
+    CampaignSpec cspec = drill_spec();
+    cspec.checkpoint_path = path;
+    cspec.cancel = &token;
+    cspec.before_point = [](const std::string& scheme, int replication) {
+      if (scheme == "single" && replication == 0) {
+        ::kill(::getppid(), SIGTERM);
+      }
+    };
+    const SupervisedCampaign run =
+        run_supervised_campaign(supervised(cspec, 1), model);
+    return run.interrupted ? kExitInterrupted : 0;
+  });
+  const ExitStatus status = driver.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, kExitInterrupted);
+
+  // Completed points survived; an in-process resume finishes the
+  // campaign bit-identically — the two runners share one checkpoint.
+  CampaignSpec resume = drill_spec();
+  resume.checkpoint_path = path;
+  const Campaign resumed = Campaign::run(resume, model);
+  EXPECT_GT(resumed.resumed_points(), 0);
+  expect_identical_points(Campaign::run(drill_spec(), model), resumed);
+}
+
+// ---- checkpoint interchange and loader edge cases ----------------------
+
+TEST(SuperviseCheckpoint, InProcessAndSupervisedRunsShareCheckpoints) {
+  const UniformModel model = small_model();
+  const std::string path = temp_path("mbus_supervise_interchange.jsonl");
+
+  // Supervised writes, in-process resumes...
+  CampaignSpec cspec = drill_spec();
+  cspec.checkpoint_path = path;
+  const SupervisedCampaign written =
+      run_supervised_campaign(supervised(cspec, 2), model);
+  const Campaign resumed_inproc = Campaign::run(cspec, model);
+  EXPECT_EQ(resumed_inproc.resumed_points(),
+            static_cast<int>(resumed_inproc.points().size()));
+  expect_identical_points(written.campaign, resumed_inproc);
+
+  // ... and the other way around.
+  const SupervisedCampaign resumed_super =
+      run_supervised_campaign(supervised(cspec, 3), model);
+  EXPECT_EQ(resumed_super.workers_spawned, 0);
+  expect_identical_points(written.campaign, resumed_super.campaign);
+}
+
+TEST(SuperviseCheckpoint, HeaderOnlyFileIsAFreshStart) {
+  const UniformModel model = small_model();
+  const std::string path = temp_path("mbus_supervise_hdr.jsonl");
+
+  CampaignSpec cspec = drill_spec();
+  cspec.checkpoint_path = path;
+  const SupervisedCampaign full =
+      run_supervised_campaign(supervised(cspec, 2), model);
+
+  // Truncate to the header line only (a campaign killed before its
+  // first point flushed): everything recomputes, bit-identically.
+  const std::string contents = slurp(path);
+  const std::size_t first_newline = contents.find('\n');
+  ASSERT_NE(first_newline, std::string::npos);
+  spit(path, contents.substr(0, first_newline + 1));
+
+  const SupervisedCampaign rerun =
+      run_supervised_campaign(supervised(cspec, 2), model);
+  EXPECT_EQ(rerun.campaign.resumed_points(), 0);
+  expect_identical_points(full.campaign, rerun.campaign);
+}
+
+TEST(SuperviseCheckpoint, EmptyFileIsAFreshStart) {
+  const UniformModel model = small_model();
+  const std::string path = temp_path("mbus_supervise_empty.jsonl");
+  spit(path, "");
+
+  CampaignSpec cspec = drill_spec();
+  cspec.checkpoint_path = path;
+  const SupervisedCampaign run =
+      run_supervised_campaign(supervised(cspec, 2), model);
+  EXPECT_EQ(run.campaign.resumed_points(), 0);
+  for (const CampaignPoint& point : run.campaign.points()) {
+    EXPECT_TRUE(point.ok) << point.error;
+  }
+  // The rewritten file is a valid, fully populated checkpoint now.
+  const Campaign resumed = Campaign::run(cspec, model);
+  EXPECT_EQ(resumed.resumed_points(),
+            static_cast<int>(resumed.points().size()));
+}
+
+TEST(SuperviseCheckpoint, InterleavedWorkerFlushesMergeOrderInsensitively) {
+  const UniformModel model = small_model();
+  const std::string path = temp_path("mbus_supervise_interleave.jsonl");
+
+  CampaignSpec cspec = drill_spec();
+  cspec.checkpoint_path = path;
+  const SupervisedCampaign clean =
+      run_supervised_campaign(supervised(cspec, 2), model);
+
+  // Two workers flushing concurrently append in whatever order their
+  // points finish. Simulate the worst case by perfect-shuffling the
+  // data lines (each line carries its own CRC, so reordering keeps the
+  // file valid); the resume must reassemble the canonical grid order.
+  std::istringstream in(slurp(path));
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_GE(lines.size(), 4u);
+  std::string shuffled = header + "\n";
+  for (std::size_t i = 1; i < lines.size(); i += 2) {
+    shuffled += lines[i] + "\n";
+  }
+  for (std::size_t i = 0; i < lines.size(); i += 2) {
+    shuffled += lines[i] + "\n";
+  }
+  spit(path, shuffled);
+
+  const SupervisedCampaign resumed =
+      run_supervised_campaign(supervised(cspec, 2), model);
+  EXPECT_EQ(resumed.campaign.resumed_points(),
+            static_cast<int>(resumed.campaign.points().size()));
+  expect_identical_points(clean.campaign, resumed.campaign);
+
+  const Campaign resumed_inproc = Campaign::run(cspec, model);
+  expect_identical_points(clean.campaign, resumed_inproc);
+}
+
+TEST(SuperviseCheckpoint, QuarantinedPointRoundTripsThroughJson) {
+  CampaignPoint point;
+  point.scheme = "single";
+  point.replication = 2;
+  point.ok = false;
+  point.quarantined = true;
+  point.attempts = 3;
+  point.error = "quarantined after 3 worker crash(es)";
+  const std::string line = campaign_point_to_json(point);
+  EXPECT_NE(line.find("\"quarantined\":true"), std::string::npos);
+
+  CampaignPoint parsed;
+  ASSERT_TRUE(campaign_point_from_json(line, parsed));
+  EXPECT_TRUE(parsed.quarantined);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.scheme, point.scheme);
+  EXPECT_EQ(parsed.error, point.error);
+
+  // Healthy points keep their pre-supervisor serialization: no key.
+  CampaignPoint healthy;
+  healthy.scheme = "full";
+  healthy.ok = true;
+  const std::string healthy_line = campaign_point_to_json(healthy);
+  EXPECT_EQ(healthy_line.find("quarantined"), std::string::npos);
+  CampaignPoint healthy_parsed;
+  ASSERT_TRUE(campaign_point_from_json(healthy_line, healthy_parsed));
+  EXPECT_FALSE(healthy_parsed.quarantined);
+
+  // An error message that *mentions* the key must not confuse the
+  // optional-key probe (the real key sits before "error").
+  CampaignPoint tricky;
+  tricky.scheme = "full";
+  tricky.error = "saw \"quarantined\": true in a log";
+  const std::string tricky_line = campaign_point_to_json(tricky);
+  CampaignPoint tricky_parsed;
+  ASSERT_TRUE(campaign_point_from_json(tricky_line, tricky_parsed));
+  EXPECT_FALSE(tricky_parsed.quarantined);
+  EXPECT_EQ(tricky_parsed.error, tricky.error);
+}
+
+// ---- deterministic metrics invariance ----------------------------------
+
+/// The work-describing subset of a snapshot, rendered canonically:
+/// excludes timing histograms (*_us), heartbeats, per-run registries
+/// (sim.runs.*), scheduling-layout counters (pool.* — workers do not
+/// use the thread pool), and the supervision ledger (workers.*,
+/// points.quarantined) — everything else must be invariant across
+/// execution layouts and crash schedules.
+std::string deterministic_subset(const obs::MetricsSnapshot& snap) {
+  auto excluded = [](const std::string& name) {
+    return name.find("_us") != std::string::npos ||
+           name.find("heartbeat") != std::string::npos ||
+           name.rfind("sim.runs.", 0) == 0 ||
+           name.rfind("pool.", 0) == 0 ||
+           name.rfind("workers.", 0) == 0 || name == "points.quarantined";
+  };
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    if (!excluded(name)) out += cat(name, "=", value, "\n");
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    if (excluded(name)) continue;
+    out += cat(name, ": count=", hist.count, " sum=", hist.sum, " buckets=");
+    for (const std::int64_t c : hist.counts) out += cat(c, ",");
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(SuperviseMetrics, WorkSubsetInvariantAcrossWorkersAndCrashes) {
+  const UniformModel model = small_model();
+  auto& registry = obs::MetricsRegistry::global();
+
+  registry.reset();
+  Campaign::run(drill_spec(), model);
+  const std::string inproc = deterministic_subset(registry.snapshot());
+  ASSERT_NE(inproc.find("campaign.points.ok="), std::string::npos);
+
+  for (const int workers : {1, 2, 4}) {
+    registry.reset();
+    run_supervised_campaign(supervised(drill_spec(), workers), model);
+    EXPECT_EQ(inproc, deterministic_subset(registry.snapshot()))
+        << "metrics diverged at --workers " << workers;
+  }
+
+  // A crash-and-respawn schedule must not leak extra work into the
+  // subset either: a crashed attempt's metrics die with its process.
+  registry.reset();
+  {
+    failpoints::Scoped scoped("campaign.point=abort@2");
+    run_supervised_campaign(supervised(drill_spec(), 1), model);
+  }
+  EXPECT_EQ(inproc, deterministic_subset(registry.snapshot()))
+      << "metrics diverged under the crash schedule";
+}
+
+TEST(SuperviseMetrics, SnapshotDeltaAndMergeRoundTrip) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.reset();
+  registry.counter("deltatest.count").add(5);
+  registry.histogram("deltatest.hist", {10, 100}).observe(3);
+  const obs::MetricsSnapshot before = registry.snapshot();
+
+  registry.counter("deltatest.count").add(3);
+  registry.counter("deltatest.other").add(2);
+  registry.histogram("deltatest.hist", {10, 100}).observe(50);
+  registry.gauge("deltatest.level").set(9);
+  const obs::MetricsSnapshot after = registry.snapshot();
+
+  const obs::MetricsSnapshot delta = obs::snapshot_delta(before, after);
+  EXPECT_EQ(delta.counters.at("deltatest.count"), 3);
+  EXPECT_EQ(delta.counters.at("deltatest.other"), 2);
+  EXPECT_TRUE(delta.gauges.empty());  // levels are not work
+  ASSERT_EQ(delta.histograms.count("deltatest.hist"), 1u);
+  EXPECT_EQ(delta.histograms.at("deltatest.hist").count, 1);
+  EXPECT_EQ(delta.histograms.at("deltatest.hist").sum, 50);
+  // Unchanged metrics drop out of the delta entirely.
+  EXPECT_EQ(delta.counters.count("campaign.runs"), 0u);
+
+  // Merging the delta reproduces the after-state (the worker →
+  // supervisor shipping path).
+  registry.reset();
+  registry.counter("deltatest.count").add(5);
+  registry.histogram("deltatest.hist", {10, 100}).observe(3);
+  registry.merge(delta);
+  const obs::MetricsSnapshot merged = registry.snapshot();
+  EXPECT_EQ(merged.counters.at("deltatest.count"), 8);
+  EXPECT_EQ(merged.counters.at("deltatest.other"), 2);
+  EXPECT_EQ(merged.histograms.at("deltatest.hist").count, 2);
+  EXPECT_EQ(merged.histograms.at("deltatest.hist").sum, 53);
+  registry.reset();
+}
+
+}  // namespace
+}  // namespace mbus
