@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare a fresh microbench_kernel JSON against the checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.25]
+
+Both files are the --json output of bench/microbench_kernel: a
+"results" array of {scheme, workload, speedup, ...} cells. The guard
+fails (exit 1) when any (scheme, workload) cell's fast-vs-reference
+speedup dropped by more than the threshold relative to the baseline —
+a per-cell check, so a regression in one scheme cannot hide behind a
+healthy geomean. Cells present in only one file are reported and fail
+the run too (a silently vanished cell is how coverage erodes).
+
+Absolute cycles/sec are deliberately ignored: they track host speed,
+not code quality. The speedup ratio divides that noise out, which is
+what makes the guard usable on shared CI runners. Stdlib only.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_cells(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    cells = {}
+    for row in doc.get("results", []):
+        key = (row["scheme"], row["workload"])
+        if key in cells:
+            raise ValueError(f"{path}: duplicate cell {key}")
+        speedup = float(row["speedup"])
+        if not math.isfinite(speedup) or speedup <= 0:
+            raise ValueError(f"{path}: cell {key} has bad speedup {speedup}")
+        cells[key] = speedup
+    if not cells:
+        raise ValueError(f"{path}: no result cells")
+    return doc.get("config", {}), cells
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Fail on per-cell kernel speedup regression.")
+    parser.add_argument("baseline", help="checked-in BENCH_kernel.json")
+    parser.add_argument("fresh", help="freshly generated JSON to vet")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed relative drop per cell "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+
+    base_config, base = load_cells(args.baseline)
+    fresh_config, fresh = load_cells(args.fresh)
+
+    failures = []
+    for key in ("n", "m", "b", "r", "cycles"):
+        if base_config.get(key) != fresh_config.get(key):
+            failures.append(
+                f"config mismatch on {key!r}: baseline "
+                f"{base_config.get(key)!r} vs fresh {fresh_config.get(key)!r}"
+                " (comparison would be meaningless)")
+
+    for key in sorted(set(base) | set(fresh)):
+        label = "/".join(key)
+        if key not in fresh:
+            failures.append(f"{label}: cell missing from fresh run")
+            continue
+        if key not in base:
+            failures.append(f"{label}: cell missing from baseline "
+                            "(regenerate BENCH_kernel.json)")
+            continue
+        drop = (base[key] - fresh[key]) / base[key]
+        status = "ok"
+        if drop > args.threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{label}: speedup {base[key]:.3f} -> {fresh[key]:.3f} "
+                f"({drop * 100.0:+.1f}% drop > {args.threshold * 100.0:.0f}% "
+                "threshold)")
+        print(f"  {label:28s} baseline {base[key]:7.3f}  "
+              f"fresh {fresh[key]:7.3f}  drop {drop * 100.0:+6.1f}%  {status}")
+
+    if failures:
+        print(f"\nbench regression check FAILED ({len(failures)} issue(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench regression check passed: {len(base)} cell(s) within "
+          f"{args.threshold * 100.0:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

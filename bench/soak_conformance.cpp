@@ -1,0 +1,304 @@
+// Cross-engine conformance soak: run N generated scenarios through the
+// engines and the invariant-oracle battery (DESIGN.md §13).
+//
+//   soak_conformance --scenarios 500 --engine both
+//   soak_conformance --repro "mbus-scenario v1 scheme=full n=16 ..."
+//
+// On the first oracle violation the driver *shrinks* the failing
+// scenario — halving cycles, dropping faults/windows/warmup, reducing
+// transfer cycles and dimensions — accepting a reduction only while a
+// violation with the same tag still reproduces, then prints the
+// minimized one-line reproducer and exits 1. A clean soak exits 0 after
+// printing a scenario-mix summary.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "testing/oracles.hpp"
+#include "testing/scenario_gen.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+using mbus::testing::OracleOptions;
+using mbus::testing::OracleReport;
+using mbus::testing::Scenario;
+using mbus::testing::ScenarioGenerator;
+using mbus::testing::WorkloadKind;
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Run the oracles, swallowing structural errors from hand-edited repro
+/// lines (an invalid scenario is reported as its own violation kind).
+OracleReport check(const Scenario& s, const OracleOptions& options) {
+  try {
+    return mbus::testing::check_scenario(s, options);
+  } catch (const std::exception& e) {
+    OracleReport report;
+    report.violations.push_back(
+        mbus::cat("[materialize] scenario rejected: ", e.what()));
+    return report;
+  }
+}
+
+/// Largest divisor of `value` that is <= cap (>= 1).
+int largest_divisor_le(int value, int cap) {
+  for (int d = std::max(1, cap); d >= 1; --d) {
+    if (value % d == 0) return d;
+  }
+  return 1;
+}
+
+/// Repair scheme parameters after a dimension change so the scenario
+/// stays valid-by-construction: B | M for single is restored by moving B
+/// to a divisor, then g and K follow from the new (M, B).
+void repair(Scenario& s) {
+  if (s.topology.buses < 1) s.topology.buses = 1;
+  if (s.topology.buses > s.topology.memories ||
+      s.topology.memories % s.topology.buses != 0) {
+    s.topology.buses =
+        largest_divisor_le(s.topology.memories, s.topology.buses);
+  }
+  const int gcd_mb = std::gcd(s.topology.memories, s.topology.buses);
+  if (s.topology.groups < 1 || gcd_mb % s.topology.groups != 0) {
+    s.topology.groups = largest_divisor_le(gcd_mb, s.topology.groups);
+  }
+  if (s.topology.classes < 1 ||
+      s.topology.memories % s.topology.classes != 0 ||
+      s.topology.classes > s.topology.buses) {
+    s.topology.classes = largest_divisor_le(
+        s.topology.memories,
+        std::min(s.topology.classes, s.topology.buses));
+  }
+}
+
+/// Candidate reductions, in decreasing order of payoff. Each returns
+/// false when it cannot change the scenario any further.
+using Reduction = bool (*)(Scenario&);
+
+bool drop_faults(Scenario& s) {
+  if (!s.has_faults()) return false;
+  s.process = mbus::FaultProcessSpec{};
+  s.fault_seed = 0;
+  return true;
+}
+
+bool halve_cycles(Scenario& s) {
+  if (s.cycles <= 100) return false;
+  s.cycles = std::max<std::int64_t>(100, s.cycles / 2);
+  return true;
+}
+
+bool drop_warmup(Scenario& s) {
+  if (s.warmup == 0) return false;
+  s.warmup = 0;
+  return true;
+}
+
+bool drop_window(Scenario& s) {
+  if (s.window_cycles == 0) return false;
+  s.window_cycles = 0;
+  return true;
+}
+
+bool single_cycle_transfer(Scenario& s) {
+  if (s.transfer_cycles == 1) return false;
+  s.transfer_cycles = 1;
+  return true;
+}
+
+bool drop_resubmission(Scenario& s) {
+  if (!s.resubmit_blocked) return false;
+  s.resubmit_blocked = false;
+  return true;
+}
+
+bool random_arbitration(Scenario& s) {
+  if (s.memory_arbitration == mbus::ArbitrationPolicy::kRandom &&
+      s.bus_arbitration == mbus::ArbitrationPolicy::kRandom) {
+    return false;
+  }
+  s.memory_arbitration = mbus::ArbitrationPolicy::kRandom;
+  s.bus_arbitration = mbus::ArbitrationPolicy::kRandom;
+  return true;
+}
+
+bool uniform_workload(Scenario& s) {
+  if (s.workload == WorkloadKind::kUniform) return false;
+  s.workload = WorkloadKind::kUniform;
+  s.cluster_sizes.clear();
+  s.aggregates.clear();
+  s.favorite_group_size = 1;
+  return true;
+}
+
+bool halve_processors(Scenario& s) {
+  if (s.workload != WorkloadKind::kUniform || s.topology.processors < 4) {
+    return false;
+  }
+  s.topology.processors /= 2;
+  return true;
+}
+
+bool halve_memories(Scenario& s) {
+  if (s.workload != WorkloadKind::kUniform || s.topology.memories < 4) {
+    return false;
+  }
+  s.topology.memories /= 2;
+  repair(s);
+  return true;
+}
+
+bool halve_buses(Scenario& s) {
+  if (s.topology.buses < 2) return false;
+  s.topology.buses = largest_divisor_le(s.topology.memories,
+                                        s.topology.buses / 2);
+  repair(s);
+  return true;
+}
+
+/// Greedy fixed-point shrink: keep applying reductions that preserve a
+/// violation with the same tag until no reduction makes progress.
+Scenario shrink(Scenario failing, const std::string& tag,
+                const OracleOptions& options) {
+  static const Reduction kReductions[] = {
+      drop_faults,     halve_cycles,          drop_warmup,
+      drop_window,     single_cycle_transfer, drop_resubmission,
+      random_arbitration, uniform_workload,   halve_memories,
+      halve_processors, halve_buses,
+  };
+  bool progressed = true;
+  int rounds = 0;
+  while (progressed && rounds < 64) {
+    progressed = false;
+    ++rounds;
+    for (const Reduction reduce : kReductions) {
+      Scenario candidate = failing;
+      if (!reduce(candidate)) continue;
+      if (check(candidate, options).has_tag(tag)) {
+        failing = candidate;
+        progressed = true;
+      }
+    }
+  }
+  return failing;
+}
+
+int run(int argc, char** argv) {
+  mbus::CliParser parser(
+      "Generated-scenario conformance soak with oracle battery and "
+      "failure-case minimization (DESIGN.md §13).");
+  parser.add_int("scenarios", 500, "number of generated scenarios to run")
+      .add_int("seed", 20260808, "generator seed (scenario i is a pure "
+                                 "function of (seed, i))")
+      .add_string("engine", "both",
+                  "engine lane: both | reference | fast (both also "
+                  "checks reference<->fast bit-identity)")
+      .add_int("time-budget-ms", 0,
+               "stop cleanly after this many milliseconds (0 = no budget)")
+      .add_string("repro", "",
+                  "re-check one scenario from its printed "
+                  "'mbus-scenario v1 ...' line instead of soaking")
+      .add_flag("no-shrink", "print the first failure unminimized")
+      .add_flag("quiet", "suppress the per-1000-scenario progress lines");
+  if (!parser.parse(argc, argv)) return 0;
+
+  OracleOptions options;
+  const std::string engine = parser.get_string("engine");
+  if (engine == "both") {
+    options.engine = mbus::EngineKind::kReference;
+    options.check_parity = true;
+  } else {
+    options.engine = mbus::engine_kind_from_string(engine);
+    options.check_parity = false;
+  }
+
+  const std::string repro = parser.get_string("repro");
+  if (!repro.empty()) {
+    const Scenario s = Scenario::from_line(repro);
+    const OracleReport report = check(s, options);
+    if (report.passed()) {
+      std::printf("repro scenario passed every oracle\n");
+      return 0;
+    }
+    for (const std::string& v : report.violations) {
+      std::printf("violation: %s\n", v.c_str());
+    }
+    std::printf("repro: %s\n", s.to_line().c_str());
+    return 1;
+  }
+
+  const std::int64_t scenarios = parser.get_positive_int("scenarios");
+  const std::int64_t budget_ms = parser.get_nonnegative_int("time-budget-ms");
+  const ScenarioGenerator generator(
+      static_cast<std::uint64_t>(parser.get_int("seed")));
+  const std::int64_t start_ms = now_ms();
+
+  std::int64_t ran = 0;
+  std::int64_t with_faults = 0;
+  std::int64_t closed_form = 0;
+  for (std::int64_t i = 0; i < scenarios; ++i) {
+    if (budget_ms > 0 && now_ms() - start_ms >= budget_ms) {
+      std::printf("time budget reached after %lld scenarios\n",
+                  static_cast<long long>(ran));
+      break;
+    }
+    const Scenario s = generator.generate(static_cast<std::uint64_t>(i));
+    with_faults += s.has_faults() ? 1 : 0;
+    closed_form += s.closed_form_covered() ? 1 : 0;
+    const OracleReport report = check(s, options);
+    ++ran;
+    if (!report.passed()) {
+      std::printf("scenario %lld violated %zu oracle(s):\n",
+                  static_cast<long long>(i), report.violations.size());
+      for (const std::string& v : report.violations) {
+        std::printf("  %s\n", v.c_str());
+      }
+      Scenario minimized = s;
+      if (!parser.get_flag("no-shrink")) {
+        const std::string tag =
+            mbus::testing::violation_tag(report.violations.front());
+        minimized = shrink(s, tag, options);
+        const OracleReport after = check(minimized, options);
+        std::printf("minimized violation:\n");
+        for (const std::string& v : after.violations) {
+          std::printf("  %s\n", v.c_str());
+        }
+      }
+      std::printf("repro: %s\n", minimized.to_line().c_str());
+      std::printf("rerun: soak_conformance --engine %s --repro '%s'\n",
+                  engine.c_str(), minimized.to_line().c_str());
+      return 1;
+    }
+    if (!parser.get_flag("quiet") && (i + 1) % 1000 == 0) {
+      std::printf("%lld/%lld scenarios clean (%lld ms)\n",
+                  static_cast<long long>(i + 1),
+                  static_cast<long long>(scenarios),
+                  static_cast<long long>(now_ms() - start_ms));
+    }
+  }
+
+  std::printf(
+      "conformance soak passed: %lld scenarios (%lld with faults, %lld "
+      "closed-form covered), engine=%s, %lld ms\n",
+      static_cast<long long>(ran), static_cast<long long>(with_faults),
+      static_cast<long long>(closed_form), engine.c_str(),
+      static_cast<long long>(now_ms() - start_ms));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mbus::run_cli_main(argc, argv, run);
+}

@@ -40,10 +40,8 @@ void run_block(int n, const RowOptions& opt, const CliParser& cli) {
     t.add_separator();
     const double xbar = bandwidth_crossbar(n, w.request_probability());
     std::vector<std::string> footer = {"NxN", "-", fmt_fixed(xbar, 3), "-"};
-    if (opt.simulate) {
-      footer.push_back("-");
-      footer.push_back("-");
-    }
+    // One "-" per simulation column (sim, ci95, sim-gap).
+    while (footer.size() < t.num_columns()) footer.push_back("-");
     t.add_row(footer);
     emit(t, cli);
   }

@@ -1,0 +1,44 @@
+// Fuzz the checkpoint-v2 loader end to end: arbitrary bytes through
+// load_checkpoint_content, every CRC-surviving payload through the
+// campaign-point JSON parser, and the recovered spec through the
+// mismatch differ. The loader's contract is *total tolerance*: any
+// input parses to a LoadedCheckpoint whose report is internally
+// consistent — no exceptions, no allocation proportional to a corrupt
+// length, no crash.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/availability.hpp"
+#include "analysis/checkpoint.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string content(reinterpret_cast<const char*>(data), size);
+  const mbus::LoadedCheckpoint loaded =
+      mbus::load_checkpoint_content(content);
+
+  // Report bookkeeping must balance regardless of input.
+  const auto& report = loaded.report;
+  if (report.ok_lines + report.corrupt_lines != report.data_lines) {
+    std::abort();
+  }
+  if (static_cast<int>(loaded.payloads.size()) != report.ok_lines) {
+    std::abort();
+  }
+  if (loaded.version == 2 && loaded.fingerprint.empty()) std::abort();
+
+  // Anything that survived the CRC gate goes through the point parser
+  // (which must reject bad schemas gracefully, never crash) and the
+  // spec differ.
+  for (const std::string& payload : loaded.payloads) {
+    mbus::CampaignPoint point;
+    (void)mbus::campaign_point_from_json(payload, point);
+  }
+  if (!loaded.spec_text.empty()) {
+    (void)mbus::describe_spec_mismatch(loaded.spec_text, loaded.spec_text);
+  }
+  return 0;
+}
+
+#include "fuzz_driver.hpp"

@@ -1,0 +1,85 @@
+// Shared entry-point shim for the fuzz harnesses (DESIGN.md §13).
+//
+// Every harness defines the libFuzzer contract
+//     extern "C" int LLVMFuzzerTestOneInput(const uint8_t*, size_t);
+// and includes this header last. Under a real libFuzzer build
+// (-DMBUS_LIBFUZZER, clang's -fsanitize=fuzzer provides main) the shim
+// compiles to nothing. Everywhere else — this repo's gcc toolchain
+// included — it provides a deterministic *corpus replay* main: every
+// file (or every file inside a directory) named on the command line is
+// fed through the harness once, so the same source file doubles as a
+// ctest regression battery over fuzz/corpus/<target>/.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#if !defined(MBUS_LIBFUZZER)
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mbus::fuzzshim {
+
+inline bool replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "fuzz replay: cannot open %s\n",
+                 path.string().c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  return true;
+}
+
+inline int replay_main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      // Deterministic order regardless of directory iteration order.
+      std::vector<fs::path> entries;
+      for (const auto& entry : fs::directory_iterator(arg, ec)) {
+        if (entry.is_regular_file()) entries.push_back(entry.path());
+      }
+      std::sort(entries.begin(), entries.end());
+      inputs.insert(inputs.end(), entries.begin(), entries.end());
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <corpus-dir-or-file>...\n"
+                 "(replay mode: no libFuzzer in this toolchain)\n",
+                 argv[0]);
+    return 2;
+  }
+  int replayed = 0;
+  for (const fs::path& path : inputs) {
+    if (!replay_file(path)) return 1;
+    ++replayed;
+  }
+  std::printf("replayed %d corpus input(s) clean\n", replayed);
+  return 0;
+}
+
+}  // namespace mbus::fuzzshim
+
+int main(int argc, char** argv) {
+  return mbus::fuzzshim::replay_main(argc, argv);
+}
+
+#endif  // !MBUS_LIBFUZZER

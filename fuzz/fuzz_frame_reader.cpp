@@ -1,0 +1,70 @@
+// Differential fuzz of FrameReader: the same byte stream fed (a) in one
+// whole-buffer call and (b) in chunks whose size the first input byte
+// chooses must produce the identical frame sequence and the identical
+// terminal status (clean, or ProtocolError at the same frame index).
+// Also exercises the pre-allocation length cap: inputs with huge hex
+// prefixes (e.g. `ffffffff `) must raise ProtocolError without a
+// matching allocation.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/subprocess.hpp"
+
+namespace {
+
+struct Drained {
+  std::vector<std::string> frames;
+  bool protocol_error = false;
+};
+
+/// Pop frames until the reader blocks or throws.
+void drain(mbus::FrameReader& reader, Drained& out) {
+  if (out.protocol_error) return;
+  try {
+    std::string frame;
+    while (reader.next_frame(frame)) out.frames.push_back(frame);
+  } catch (const mbus::ProtocolError&) {
+    out.protocol_error = true;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::size_t chunk = static_cast<std::size_t>(data[0]) + 1;
+  const char* bytes = reinterpret_cast<const char*>(data + 1);
+  const std::size_t stream_size = size - 1;
+
+  Drained whole;
+  {
+    mbus::FrameReader reader;
+    reader.feed(bytes, stream_size);
+    drain(reader, whole);
+  }
+
+  Drained chunked;
+  {
+    mbus::FrameReader reader;
+    for (std::size_t off = 0; off < stream_size && !chunked.protocol_error;
+         off += chunk) {
+      reader.feed(bytes + off, std::min(chunk, stream_size - off));
+      drain(reader, chunked);
+    }
+  }
+
+  if (whole.protocol_error != chunked.protocol_error) std::abort();
+  if (whole.frames != chunked.frames) std::abort();
+
+  // Every recovered frame must respect the reader's advertised cap.
+  for (const std::string& frame : whole.frames) {
+    if (frame.size() > mbus::FrameReader::kMaxFrameLen) std::abort();
+  }
+  return 0;
+}
+
+#include "fuzz_driver.hpp"

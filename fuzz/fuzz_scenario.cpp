@@ -1,0 +1,53 @@
+// Structure-aware fuzz of the whole model stack: arbitrary bytes become
+// a valid-by-construction Scenario (testing/scenario_gen.hpp), which
+// must materialize, simulate a short run, and satisfy the single-run
+// invariant oracles — plus an exact to_line/from_line round trip. This
+// is the harness that turns coverage-guided input mutation into
+// semantic exploration of topology × workload × engine space.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "testing/oracles.hpp"
+#include "testing/scenario_gen.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace mt = mbus::testing;
+  mt::Scenario s = mt::scenario_from_bytes(data, size);
+
+  // Keep replay latency bounded: the generator's cycle counts are sized
+  // for the soak driver, not per-input fuzzing.
+  s.cycles = std::min<std::int64_t>(s.cycles, 300);
+  s.warmup = std::min<std::int64_t>(s.warmup, 100);
+
+  // Reproducer line must round-trip exactly.
+  const std::string line = s.to_line();
+  const mt::Scenario parsed = mt::Scenario::from_line(line);
+  if (parsed.to_line() != line) {
+    std::fprintf(stderr, "round-trip drift:\n  %s\n  %s\n", line.c_str(),
+                 parsed.to_line().c_str());
+    std::abort();
+  }
+
+  // A generated scenario must always materialize and pass the cheap
+  // single-run oracles (parity and the closed-form family are the soak
+  // driver's job — too slow per fuzz input).
+  mt::OracleOptions options;
+  options.check_parity = false;
+  options.check_analysis = false;
+  options.check_metrics = false;
+  const mt::OracleReport report = mt::check_scenario(s, options);
+  if (!report.passed()) {
+    for (const std::string& v : report.violations) {
+      std::fprintf(stderr, "violation: %s\n", v.c_str());
+    }
+    std::fprintf(stderr, "repro: %s\n", s.to_line().c_str());
+    std::abort();
+  }
+  return 0;
+}
+
+#include "fuzz_driver.hpp"

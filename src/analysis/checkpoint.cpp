@@ -216,6 +216,94 @@ std::string CheckpointRepairReport::to_string() const {
   return out;
 }
 
+namespace {
+
+/// Shared per-line state machine behind both loaders. `overlong` lines
+/// arrive truncated to the cap and are quarantined without parsing.
+/// Returns false once the parse is finished (v1 header or corrupt
+/// header), so a bounded reader can stop pulling bytes.
+bool consume_checkpoint_line(LoadedCheckpoint& out, std::string& line,
+                             bool overlong, int line_number,
+                             bool& saw_header_line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
+  if (line.empty() && !overlong) {
+    if (saw_header_line) ++out.report.blank_lines;
+    return true;
+  }
+
+  if (!saw_header_line) {
+    saw_header_line = true;
+    if (overlong) {
+      add_note(out.report,
+               cat("header line exceeds the ", kMaxCheckpointLineBytes,
+                   "-byte line cap"));
+      return false;
+    }
+    // Legacy v1 files framed the header as bare JSON with no CRC.
+    if (line.rfind("{\"mbus_fault_campaign\":1", 0) == 0) {
+      out.version = 1;
+      return false;
+    }
+    std::string payload;
+    if (!verify_line(line, payload) ||
+        payload.rfind("{\"mbus_fault_campaign\":2", 0) != 0) {
+      add_note(out.report, "header line unrecognized or corrupt");
+      return false;
+    }
+    std::size_t pos = 0;
+    if (!jsonio::seek_key(payload, "fingerprint", pos) ||
+        !jsonio::parse_json_string(payload, pos, out.fingerprint) ||
+        !jsonio::seek_key(payload, "spec", pos) ||
+        !jsonio::parse_json_string(payload, pos, out.spec_text)) {
+      add_note(out.report, "header fields missing or malformed");
+      return false;
+    }
+    out.version = 2;
+    return true;
+  }
+
+  ++out.report.data_lines;
+  std::string payload;
+  if (overlong) {
+    ++out.report.corrupt_lines;
+    add_note(out.report, cat("line ", line_number, ": exceeds the ",
+                             kMaxCheckpointLineBytes,
+                             "-byte line cap (quarantined unread)"));
+  } else if (verify_line(line, payload)) {
+    ++out.report.ok_lines;
+    out.payloads.push_back(std::move(payload));
+  } else {
+    ++out.report.corrupt_lines;
+    add_note(out.report,
+             cat("line ", line_number, ": CRC mismatch or truncation (",
+                 std::min<std::size_t>(line.size(), 40), " byte prefix: '",
+                 line.substr(0, 40), "')"));
+  }
+  return true;
+}
+
+/// Read one newline-terminated line, buffering at most
+/// kMaxCheckpointLineBytes; the remainder of an overlong line is skipped
+/// unbuffered. Returns false at end of input with nothing read.
+bool read_bounded_line(std::istream& in, std::string& line, bool& overlong) {
+  line.clear();
+  overlong = false;
+  int c;
+  while ((c = in.get()) != std::char_traits<char>::eof()) {
+    if (c == '\n') return true;
+    if (line.size() >= kMaxCheckpointLineBytes) {
+      overlong = true;
+      while ((c = in.get()) != std::char_traits<char>::eof() && c != '\n') {
+      }
+      return true;
+    }
+    line.push_back(static_cast<char>(c));
+  }
+  return !line.empty();
+}
+
+}  // namespace
+
 LoadedCheckpoint load_checkpoint_file(const std::string& path) {
   LoadedCheckpoint out;
   std::ifstream in(path, std::ios::binary);
@@ -223,52 +311,40 @@ LoadedCheckpoint load_checkpoint_file(const std::string& path) {
   out.exists = true;
 
   std::string line;
+  bool overlong = false;
   bool saw_header_line = false;
   int line_number = 0;
-  while (std::getline(in, line)) {
+  while (read_bounded_line(in, line, overlong)) {
     ++line_number;
-    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
-    if (line.empty()) {
-      if (saw_header_line) ++out.report.blank_lines;
-      continue;
+    if (!consume_checkpoint_line(out, line, overlong, line_number,
+                                 saw_header_line)) {
+      break;
     }
+  }
+  out.empty = !saw_header_line;
+  return out;
+}
 
-    if (!saw_header_line) {
-      saw_header_line = true;
-      // Legacy v1 files framed the header as bare JSON with no CRC.
-      if (line.rfind("{\"mbus_fault_campaign\":1", 0) == 0) {
-        out.version = 1;
-        return out;
-      }
-      std::string payload;
-      if (!verify_line(line, payload) ||
-          payload.rfind("{\"mbus_fault_campaign\":2", 0) != 0) {
-        add_note(out.report, "header line unrecognized or corrupt");
-        return out;
-      }
-      std::size_t pos = 0;
-      if (!jsonio::seek_key(payload, "fingerprint", pos) ||
-          !jsonio::parse_json_string(payload, pos, out.fingerprint) ||
-          !jsonio::seek_key(payload, "spec", pos) ||
-          !jsonio::parse_json_string(payload, pos, out.spec_text)) {
-        add_note(out.report, "header fields missing or malformed");
-        return out;
-      }
-      out.version = 2;
-      continue;
-    }
+LoadedCheckpoint load_checkpoint_content(const std::string& content) {
+  LoadedCheckpoint out;
+  out.exists = true;
 
-    ++out.report.data_lines;
-    std::string payload;
-    if (verify_line(line, payload)) {
-      ++out.report.ok_lines;
-      out.payloads.push_back(std::move(payload));
-    } else {
-      ++out.report.corrupt_lines;
-      add_note(out.report,
-               cat("line ", line_number, ": CRC mismatch or truncation (",
-                   std::min<std::size_t>(line.size(), 40), " byte prefix: '",
-                   line.substr(0, 40), "')"));
+  std::string line;
+  bool saw_header_line = false;
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    std::size_t end = content.find('\n', pos);
+    if (end == std::string::npos) end = content.size();
+    const std::size_t length = end - pos;
+    const bool overlong = length > kMaxCheckpointLineBytes;
+    line.assign(content, pos,
+                std::min<std::size_t>(length, kMaxCheckpointLineBytes));
+    pos = end + 1;
+    ++line_number;
+    if (!consume_checkpoint_line(out, line, overlong, line_number,
+                                 saw_header_line)) {
+      break;
     }
   }
   out.empty = !saw_header_line;

@@ -70,10 +70,23 @@ struct LoadedCheckpoint {
   CheckpointRepairReport report;
 };
 
+/// Longest checkpoint line the loaders will buffer. Real lines are a few
+/// hundred bytes (one CRC-framed JSON point); anything beyond this cap is
+/// a corrupt length/framing artifact and is quarantined *without being
+/// read into memory*, so a damaged multi-GB "line" cannot trigger a
+/// matching allocation (DESIGN.md §13 hardening).
+inline constexpr std::size_t kMaxCheckpointLineBytes = 1u << 20;
+
 /// Tolerantly read a checkpoint file. Handles CRLF line endings and a
-/// final line without newline; damaged lines are quarantined into the
-/// report. Never throws on file content.
+/// final line without newline; damaged lines — including lines longer
+/// than kMaxCheckpointLineBytes — are quarantined into the report.
+/// Never throws on file content.
 LoadedCheckpoint load_checkpoint_file(const std::string& path);
+
+/// Same parse over an in-memory buffer (`exists` is always true): the
+/// entry point the fuzz harness drives, and the single implementation
+/// load_checkpoint_file's bounded reader feeds.
+LoadedCheckpoint load_checkpoint_content(const std::string& content);
 
 /// Explain how two labeled `key=value|key=value` spec strings differ,
 /// field by field — e.g. "seed: checkpoint has 777, this run has 778".

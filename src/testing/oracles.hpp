@@ -1,0 +1,67 @@
+// Invariant oracles for generated scenarios (DESIGN.md §13).
+//
+// An oracle is a property every correct run must satisfy regardless of
+// the sampled configuration — conservation of requests, capacity bounds,
+// distribution normalization, reference↔kernel bit-identity, closed-form
+// family orderings, analysis↔simulation agreement. `check_scenario` runs
+// a scenario end to end and returns the full list of violations, each
+// tagged `[tag] detail` so the soak driver's shrinker can tell whether a
+// reduced scenario still fails *the same way*.
+//
+// Tolerances: floating-point identities that hold exactly in the engines'
+// integer arithmetic are checked to a relative 1e-9; statistical
+// agreement between simulation and the independence-approximation closed
+// forms uses the calibrated envelope documented in DESIGN.md §13 (the
+// approximation's systematic error reaches ~7% at small B, saturated
+// load — EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testing/scenario_gen.hpp"
+
+namespace mbus::testing {
+
+struct OracleOptions {
+  /// Engine whose result the single-run invariants are checked against.
+  EngineKind engine = EngineKind::kReference;
+  /// Run both engines and require bit-identical SimResults whenever
+  /// fast_kernel_supported holds.
+  bool check_parity = true;
+  /// Check the closed-form family (orderings, monotonicity in B) and
+  /// analysis↔simulation agreement for closed-form-covered scenarios.
+  bool check_analysis = true;
+  /// Check integer request conservation via the global metrics registry
+  /// delta (skipped automatically when the obs layer is compiled out or
+  /// other threads could be writing to the registry concurrently).
+  bool check_metrics = true;
+};
+
+struct OracleReport {
+  /// `[tag] detail` strings; empty means the scenario passed.
+  std::vector<std::string> violations;
+
+  bool passed() const noexcept { return violations.empty(); }
+  /// True if some violation carries this tag (e.g. "parity").
+  bool has_tag(const std::string& tag) const;
+};
+
+/// Tag of a `[tag] detail` violation line ("" if malformed).
+std::string violation_tag(const std::string& violation);
+
+/// Invariants of one finished run: conservation, capacity, distribution
+/// normalization, utilization/latency bounds, batch/window reconstruction,
+/// finiteness. Pure function of (scenario, result) — no simulation.
+std::vector<std::string> check_result_invariants(const Scenario& s,
+                                                 const SimResult& result);
+
+/// Closed-form family invariants at this scenario's (M, B, X): bounds
+/// against crossbar and B, monotonicity in B, full ≥ partial-g ≥ single
+/// orderings where divisibility permits. No simulation involved.
+std::vector<std::string> check_closed_form_family(const Scenario& s);
+
+/// Run `s` end to end and evaluate every oracle enabled in `options`.
+OracleReport check_scenario(const Scenario& s, const OracleOptions& options);
+
+}  // namespace mbus::testing

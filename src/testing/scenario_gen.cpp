@@ -1,0 +1,484 @@
+#include "testing/scenario_gen.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace mbus::testing {
+
+namespace {
+
+/// Decision fuel: either a deterministic RNG stream (generator mode) or
+/// a byte string (fuzz mode). Fuzz mode consumes one byte per decision
+/// and falls back to 0 once exhausted, so every input maps to a valid
+/// scenario and prefixes map to scenario prefixes.
+class Fuel {
+ public:
+  explicit Fuel(std::uint64_t seed) : rng_(seed), bytes_(nullptr), size_(0) {}
+  Fuel(const std::uint8_t* bytes, std::size_t size)
+      : rng_(0), bytes_(bytes), size_(size) {}
+
+  /// Uniform-ish integer in [0, bound); bound must be in [1, 256] for
+  /// byte mode to cover the range.
+  std::uint32_t pick(std::uint32_t bound) {
+    if (bound <= 1) return 0;
+    if (bytes_ == nullptr) {
+      return static_cast<std::uint32_t>(rng_.next() % bound);
+    }
+    const std::uint8_t byte = pos_ < size_ ? bytes_[pos_++] : 0;
+    return byte % bound;
+  }
+
+  /// True with probability `percent`/100.
+  bool chance(std::uint32_t percent) { return pick(100) < percent; }
+
+  std::uint64_t pick_u64() {
+    if (bytes_ == nullptr) return rng_.next();
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value = (value << 8) | (pos_ < size_ ? bytes_[pos_++] : 0);
+    }
+    return value;
+  }
+
+  template <typename T, std::size_t N>
+  T choose(const T (&options)[N]) {
+    return options[pick(static_cast<std::uint32_t>(N))];
+  }
+
+ private:
+  SplitMix64 rng_;
+  const std::uint8_t* bytes_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Cluster-size shapes for the hierarchical models; every entry >= 2 so
+/// no hierarchy level is empty (see scenario_gen.hpp). Products <= 64
+/// keep the fast kernel's support envelope in play.
+const std::vector<std::vector<int>> kShapes = {
+    {2},       {4},       {8},       {16},      {2, 2},    {4, 2},
+    {2, 4},    {4, 4},    {8, 2},    {2, 8},    {8, 4},    {4, 8},
+    {2, 2, 2}, {4, 2, 2}, {2, 2, 4}, {4, 4, 2}, {8, 8},    {2, 4, 4},
+};
+
+std::vector<int> divisors_up_to(int value, int cap) {
+  std::vector<int> out;
+  for (int d = 1; d <= value && d <= cap; ++d) {
+    if (value % d == 0) out.push_back(d);
+  }
+  return out;
+}
+
+int product(const std::vector<int>& values) {
+  return std::accumulate(values.begin(), values.end(), 1,
+                         std::multiplies<int>());
+}
+
+/// Aggregate fractions a_0..a_{count-1}: non-negative integer weights
+/// normalized to rationals summing to exactly 1, with a locality bias
+/// toward a_0 (the paper's 0.6/0.3/0.1 flavor) and every weight >= 1 so
+/// no level is starved (a zero fraction is legal but adds nothing).
+std::vector<std::string> make_aggregates(Fuel& fuel, int count) {
+  std::vector<int> weights(static_cast<std::size_t>(count));
+  int total = 0;
+  for (int i = 0; i < count; ++i) {
+    int w = 1 + static_cast<int>(fuel.pick(8));
+    if (i == 0 && fuel.chance(60)) w += 8;  // favorite-module bias
+    weights[static_cast<std::size_t>(i)] = w;
+    total += w;
+  }
+  std::vector<std::string> out;
+  out.reserve(weights.size());
+  for (const int w : weights) out.push_back(cat(w, "/", total));
+  return out;
+}
+
+std::string arbitration_to_string(ArbitrationPolicy policy) {
+  return policy == ArbitrationPolicy::kRoundRobin ? "rr" : "random";
+}
+
+ArbitrationPolicy arbitration_from_string(const std::string& name) {
+  if (name == "rr") return ArbitrationPolicy::kRoundRobin;
+  MBUS_EXPECTS(name == "random",
+               cat("unknown arbitration policy '", name,
+                   "' (expected 'random' or 'rr')"));
+  return ArbitrationPolicy::kRandom;
+}
+
+WorkloadKind workload_from_string(const std::string& name) {
+  if (name == "uniform") return WorkloadKind::kUniform;
+  if (name == "nxn") return WorkloadKind::kHierNxN;
+  if (name == "nxm") return WorkloadKind::kHierNxM;
+  MBUS_EXPECTS(false, cat("unknown workload kind '", name,
+                          "' (expected uniform | nxn | nxm)"));
+  return WorkloadKind::kUniform;
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+Scenario build_scenario(Fuel& fuel) {
+  Scenario s;
+
+  const char* const schemes[] = {"full", "single", "partial-g", "k-classes"};
+  s.topology.scheme = fuel.choose(schemes);
+
+  const std::uint32_t wl = fuel.pick(3);
+  s.workload = wl == 0 ? WorkloadKind::kUniform
+                       : (wl == 1 ? WorkloadKind::kHierNxN
+                                  : WorkloadKind::kHierNxM);
+
+  // Dimensions. Hierarchical workloads fix N (and for N×N×B also M) from
+  // the cluster shape; uniform picks free sizes.
+  if (s.workload == WorkloadKind::kUniform) {
+    const int sizes[] = {2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64};
+    s.topology.processors = fuel.choose(sizes);
+    s.topology.memories =
+        fuel.chance(50) ? s.topology.processors : fuel.choose(sizes);
+  } else {
+    s.cluster_sizes =
+        kShapes[fuel.pick(static_cast<std::uint32_t>(kShapes.size()))];
+    s.topology.processors = product(s.cluster_sizes);
+    if (s.workload == WorkloadKind::kHierNxN) {
+      s.favorite_group_size = 1;
+      s.topology.memories = s.topology.processors;
+    } else {
+      const int primes[] = {1, 2, 4, 8};
+      s.favorite_group_size = fuel.choose(primes);
+      std::vector<int> prefix(s.cluster_sizes.begin(),
+                              s.cluster_sizes.end() - 1);
+      s.topology.memories = product(prefix) * s.favorite_group_size;
+    }
+  }
+
+  // B from the divisors of M: legal for every scheme (single needs B | M,
+  // full accepts anything, the rest are repaired below). Bias away from
+  // the degenerate B = 1 and B = M endpoints but keep them reachable.
+  const std::vector<int> bus_choices = divisors_up_to(s.topology.memories, 64);
+  s.topology.buses = bus_choices[fuel.pick(
+      static_cast<std::uint32_t>(bus_choices.size()))];
+  if (s.topology.buses == 1 && fuel.chance(60) && bus_choices.size() > 1) {
+    s.topology.buses =
+        bus_choices[1 + fuel.pick(
+                            static_cast<std::uint32_t>(bus_choices.size()) -
+                            1)];
+  }
+
+  // Scheme parameters, repaired to legality rather than rejected.
+  const int gcd_mb = std::gcd(s.topology.memories, s.topology.buses);
+  const std::vector<int> group_choices = divisors_up_to(gcd_mb, 64);
+  s.topology.groups = group_choices[fuel.pick(
+      static_cast<std::uint32_t>(group_choices.size()))];
+  std::vector<int> class_choices;
+  for (const int k : divisors_up_to(s.topology.memories, 64)) {
+    if (k <= s.topology.buses) class_choices.push_back(k);
+  }
+  s.topology.classes = class_choices[fuel.pick(
+      static_cast<std::uint32_t>(class_choices.size()))];
+
+  if (s.workload != WorkloadKind::kUniform) {
+    const int levels = static_cast<int>(s.cluster_sizes.size());
+    const int count =
+        s.workload == WorkloadKind::kHierNxN ? levels + 1 : levels;
+    s.aggregates = make_aggregates(fuel, count);
+  }
+
+  const char* const rates[] = {"1",   "1",   "9/10", "4/5", "3/4",
+                               "1/2", "2/5", "1/4",  "1/10", "1/20"};
+  s.rate = fuel.choose(rates);
+
+  const std::int64_t cycle_choices[] = {800, 1200, 2000, 3000, 5000};
+  s.cycles = fuel.choose(cycle_choices);
+  const std::int64_t warmup_choices[] = {0, 100, 200, 500};
+  s.warmup = fuel.choose(warmup_choices);
+  const std::int64_t window_choices[] = {0, 0, 0, 257, 500};
+  s.window_cycles = fuel.choose(window_choices);
+  const std::int64_t transfer_choices[] = {1, 1, 1, 1, 2, 3, 4};
+  s.transfer_cycles = fuel.choose(transfer_choices);
+  s.resubmit_blocked = fuel.chance(25);
+  s.memory_arbitration = fuel.chance(30) ? ArbitrationPolicy::kRoundRobin
+                                         : ArbitrationPolicy::kRandom;
+  s.bus_arbitration = fuel.chance(30) ? ArbitrationPolicy::kRoundRobin
+                                      : ArbitrationPolicy::kRandom;
+
+  if (fuel.chance(45)) {
+    const double mtbf_choices[] = {500, 2000, 5000};
+    const double mttr_choices[] = {100, 250, 500};
+    s.process.bus_mtbf = fuel.choose(mtbf_choices);
+    s.process.bus_mttr = fuel.choose(mttr_choices);
+    if (fuel.chance(40)) {
+      s.process.module_mtbf = 2.0 * fuel.choose(mtbf_choices);
+      s.process.module_mttr = 2.0 * fuel.choose(mttr_choices);
+    }
+    s.fault_seed = fuel.pick_u64();
+  }
+
+  s.sim_seed = fuel.pick_u64();
+  if (s.sim_seed == 0) s.sim_seed = 1;
+  return s;
+}
+
+}  // namespace
+
+std::string to_string(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kUniform: return "uniform";
+    case WorkloadKind::kHierNxN: return "nxn";
+    case WorkloadKind::kHierNxM: return "nxm";
+  }
+  return "uniform";
+}
+
+Scenario ScenarioGenerator::generate(std::uint64_t index) const {
+  // Mix (seed, index) into one stream seed; the golden-ratio odd constant
+  // decorrelates consecutive indices (same recipe as derive_stream_seed).
+  Fuel fuel(SplitMix64(seed_ ^ (index * 0x9E3779B97F4A7C15ULL)).next());
+  Scenario s = build_scenario(fuel);
+  s.gen_seed = seed_;
+  s.index = index;
+  return s;
+}
+
+Scenario scenario_from_bytes(const std::uint8_t* data, std::size_t size) {
+  Fuel fuel(data, size);
+  return build_scenario(fuel);
+}
+
+MaterializedScenario materialize(const Scenario& s) {
+  MBUS_EXPECTS(s.cycles > 0, "scenario needs at least one measured cycle");
+  MBUS_EXPECTS(s.warmup >= 0, "scenario warmup must be >= 0");
+  MBUS_EXPECTS(s.transfer_cycles >= 1,
+               "scenario transfers take at least one cycle");
+  MBUS_EXPECTS(s.window_cycles >= 0, "scenario window must be >= 0");
+
+  auto topology = make_topology(s.topology);
+
+  std::vector<BigRational> aggregates;
+  aggregates.reserve(s.aggregates.size());
+  for (const std::string& a : s.aggregates) {
+    aggregates.push_back(BigRational::parse(a));
+  }
+  const BigRational rate = BigRational::parse(s.rate);
+
+  Workload workload = [&]() -> Workload {
+    switch (s.workload) {
+      case WorkloadKind::kHierNxN:
+        return Workload::hierarchical_nxn(s.cluster_sizes, aggregates, rate);
+      case WorkloadKind::kHierNxM:
+        return Workload::hierarchical_nxm(s.cluster_sizes,
+                                          s.favorite_group_size, aggregates,
+                                          rate);
+      case WorkloadKind::kUniform:
+      default:
+        return Workload::uniform(s.topology.processors, s.topology.memories,
+                                 rate);
+    }
+  }();
+
+  MBUS_EXPECTS(workload.num_processors() == topology->num_processors() &&
+                   workload.num_memories() == topology->num_memories(),
+               cat("scenario workload shape ", workload.num_processors(),
+                   "x", workload.num_memories(),
+                   " disagrees with its topology ",
+                   topology->num_processors(), "x",
+                   topology->num_memories()));
+
+  SimConfig config;
+  config.cycles = s.cycles;
+  config.warmup = s.warmup;
+  config.seed = s.sim_seed;
+  config.resubmit_blocked = s.resubmit_blocked;
+  config.transfer_cycles = s.transfer_cycles;
+  config.memory_arbitration = s.memory_arbitration;
+  config.bus_arbitration = s.bus_arbitration;
+  config.window_cycles = s.window_cycles;
+  config.batches = static_cast<int>(std::min<std::int64_t>(20, s.cycles));
+  if (s.has_faults()) {
+    const int fault_modules =
+        s.process.module_mtbf > 0.0 ? s.topology.memories : 0;
+    config.faults =
+        generate_fault_timeline(s.process, s.topology.buses, fault_modules,
+                                s.cycles, s.fault_seed);
+  }
+
+  return MaterializedScenario{std::move(topology), std::move(workload),
+                              std::move(config)};
+}
+
+std::string Scenario::to_line() const {
+  std::string ks;
+  for (std::size_t i = 0; i < cluster_sizes.size(); ++i) {
+    if (i > 0) ks += 'x';
+    ks += std::to_string(cluster_sizes[i]);
+  }
+  std::string agg;
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    if (i > 0) agg += ',';
+    agg += aggregates[i];
+  }
+  std::ostringstream out;
+  out << "mbus-scenario v1"
+      << " scheme=" << topology.scheme << " n=" << topology.processors
+      << " m=" << topology.memories << " b=" << topology.buses
+      << " g=" << topology.groups << " k=" << topology.classes
+      << " wl=" << testing::to_string(workload)
+      << " ks=" << (ks.empty() ? "-" : ks)
+      << " kp=" << favorite_group_size
+      << " agg=" << (agg.empty() ? "-" : agg) << " r=" << rate
+      << " cycles=" << cycles << " warmup=" << warmup << " seed=0x"
+      << std::hex << sim_seed << std::dec
+      << " resubmit=" << (resubmit_blocked ? 1 : 0)
+      << " transfer=" << transfer_cycles
+      << " marb=" << arbitration_to_string(memory_arbitration)
+      << " barb=" << arbitration_to_string(bus_arbitration)
+      << " window=" << window_cycles
+      << " bmtbf=" << format_double(process.bus_mtbf)
+      << " bmttr=" << format_double(process.bus_mttr)
+      << " mmtbf=" << format_double(process.module_mtbf)
+      << " mmttr=" << format_double(process.module_mttr) << " fseed=0x"
+      << std::hex << fault_seed << " gseed=0x" << gen_seed << " idx=0x"
+      << index << std::dec;
+  return out.str();
+}
+
+namespace {
+
+std::int64_t parse_int(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 0);
+  MBUS_EXPECTS(end != value.c_str() && *end == '\0',
+               cat("scenario field ", key, ": malformed integer '", value,
+                   "'"));
+  return parsed;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 0);
+  MBUS_EXPECTS(end != value.c_str() && *end == '\0',
+               cat("scenario field ", key, ": malformed integer '", value,
+                   "'"));
+  return parsed;
+}
+
+double parse_double_field(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  MBUS_EXPECTS(end != value.c_str() && *end == '\0',
+               cat("scenario field ", key, ": malformed number '", value,
+                   "'"));
+  return parsed;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : text) {
+    if (c == sep) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+}  // namespace
+
+Scenario Scenario::from_line(const std::string& line) {
+  std::istringstream in(line);
+  std::string magic, version;
+  in >> magic >> version;
+  MBUS_EXPECTS(magic == "mbus-scenario" && version == "v1",
+               cat("not a scenario line (expected 'mbus-scenario v1 ...', "
+                   "got '",
+                   line.substr(0, 40), "')"));
+
+  Scenario s;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    MBUS_EXPECTS(eq != std::string::npos && eq > 0,
+                 cat("scenario token '", token, "' is not key=value"));
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "scheme") {
+      s.topology.scheme = value;
+    } else if (key == "n") {
+      s.topology.processors = static_cast<int>(parse_int(key, value));
+    } else if (key == "m") {
+      s.topology.memories = static_cast<int>(parse_int(key, value));
+    } else if (key == "b") {
+      s.topology.buses = static_cast<int>(parse_int(key, value));
+    } else if (key == "g") {
+      s.topology.groups = static_cast<int>(parse_int(key, value));
+    } else if (key == "k") {
+      s.topology.classes = static_cast<int>(parse_int(key, value));
+    } else if (key == "wl") {
+      s.workload = workload_from_string(value);
+    } else if (key == "ks") {
+      s.cluster_sizes.clear();
+      if (value != "-") {
+        for (const std::string& part : split(value, 'x')) {
+          s.cluster_sizes.push_back(
+              static_cast<int>(parse_int(key, part)));
+        }
+      }
+    } else if (key == "kp") {
+      s.favorite_group_size = static_cast<int>(parse_int(key, value));
+    } else if (key == "agg") {
+      s.aggregates.clear();
+      if (value != "-") s.aggregates = split(value, ',');
+    } else if (key == "r") {
+      s.rate = value;
+    } else if (key == "cycles") {
+      s.cycles = parse_int(key, value);
+    } else if (key == "warmup") {
+      s.warmup = parse_int(key, value);
+    } else if (key == "seed") {
+      s.sim_seed = parse_u64(key, value);
+    } else if (key == "resubmit") {
+      s.resubmit_blocked = parse_int(key, value) != 0;
+    } else if (key == "transfer") {
+      s.transfer_cycles = parse_int(key, value);
+    } else if (key == "marb") {
+      s.memory_arbitration = arbitration_from_string(value);
+    } else if (key == "barb") {
+      s.bus_arbitration = arbitration_from_string(value);
+    } else if (key == "window") {
+      s.window_cycles = parse_int(key, value);
+    } else if (key == "bmtbf") {
+      s.process.bus_mtbf = parse_double_field(key, value);
+    } else if (key == "bmttr") {
+      s.process.bus_mttr = parse_double_field(key, value);
+    } else if (key == "mmtbf") {
+      s.process.module_mtbf = parse_double_field(key, value);
+    } else if (key == "mmttr") {
+      s.process.module_mttr = parse_double_field(key, value);
+    } else if (key == "fseed") {
+      s.fault_seed = parse_u64(key, value);
+    } else if (key == "gseed") {
+      s.gen_seed = parse_u64(key, value);
+    } else if (key == "idx") {
+      s.index = parse_u64(key, value);
+    } else {
+      MBUS_EXPECTS(false, cat("scenario line has unknown field '", key,
+                              "'"));
+    }
+  }
+  return s;
+}
+
+}  // namespace mbus::testing

@@ -1,0 +1,140 @@
+// Structure-aware random scenario generation for the conformance and
+// fuzzing subsystem (DESIGN.md §13).
+//
+// A Scenario is a *valid-by-construction* point in the full configuration
+// space the library accepts: one of the four bus–memory connection
+// schemes with scheme-legal (N, M, B, g, K) dimensions, a request model
+// (uniform or hierarchical N×N×B / N×M×B with exact-rational aggregate
+// fractions), a simulator budget, arbitration policies, resubmission and
+// multi-cycle-transfer toggles, and an optional stochastic fail/repair
+// process. Everything is derived deterministically from a (seed, index)
+// pair — or, for the libFuzzer entry point, from an arbitrary byte
+// string — so any generated scenario can be reproduced from one printed
+// line (`to_line` / `from_line`), which is what the soak driver emits
+// when an oracle fires.
+//
+// The generator deliberately never produces an *invalid* configuration:
+// divisibility constraints (B | M for single, g | gcd(M, B) for
+// partial-g, K | M and K <= B for k-classes) and hierarchy constraints
+// (cluster sizes >= 2, aggregates summing to 1 with no mass on empty
+// levels) are repaired during generation, not rejected afterwards. The
+// fuzzers therefore explore the semantic space of the engines and
+// closed forms, not the input validation that tests/test_* already
+// covers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault_process.hpp"
+#include "topology/factory.hpp"
+
+namespace mbus::testing {
+
+/// Which request model a scenario runs.
+enum class WorkloadKind { kUniform, kHierNxN, kHierNxM };
+
+std::string to_string(WorkloadKind kind);
+
+struct Scenario {
+  /// Provenance: the generator inputs that produced this scenario (both
+  /// zero for scenarios built by hand or parsed from a repro line whose
+  /// provenance is unknown).
+  std::uint64_t gen_seed = 0;
+  std::uint64_t index = 0;
+
+  /// Topology dimensions; always scheme-legal (see header comment).
+  TopologySpec topology;
+
+  WorkloadKind workload = WorkloadKind::kUniform;
+  /// Hierarchy cluster sizes k_1..k_n (every entry >= 2); empty for
+  /// uniform workloads.
+  std::vector<int> cluster_sizes;
+  /// k'_n for N×M×B; 1 otherwise.
+  int favorite_group_size = 1;
+  /// Aggregate level fractions a_0..a_L as exact-rational strings
+  /// (n+1 entries for N×N×B, n for N×M×B); empty for uniform.
+  std::vector<std::string> aggregates;
+  /// Request rate as an exact-rational string, in (0, 1].
+  std::string rate = "1";
+
+  // -- simulator configuration (faults expressed as a process below) ----
+  std::int64_t cycles = 2000;
+  std::int64_t warmup = 200;
+  std::uint64_t sim_seed = 1;
+  bool resubmit_blocked = false;
+  std::int64_t transfer_cycles = 1;
+  ArbitrationPolicy memory_arbitration = ArbitrationPolicy::kRandom;
+  ArbitrationPolicy bus_arbitration = ArbitrationPolicy::kRandom;
+  std::int64_t window_cycles = 0;
+
+  /// Fail/repair process regenerated at materialization time from
+  /// `fault_seed` (mtbf == 0 disables that component kind, exactly as in
+  /// sim/fault_process.hpp). Keeping the process instead of the expanded
+  /// FaultPlan keeps repro lines one line long.
+  FaultProcessSpec process;
+  std::uint64_t fault_seed = 0;
+
+  bool has_faults() const noexcept {
+    return process.bus_mtbf > 0.0 || process.module_mtbf > 0.0;
+  }
+
+  /// True when every closed form of Section III covers this point:
+  /// no faults, single-cycle transfers, and no resubmission (the
+  /// analytic model's assumptions 1–5).
+  bool closed_form_covered() const noexcept {
+    return !has_faults() && transfer_cycles == 1 && !resubmit_blocked;
+  }
+
+  /// One-line `key=value` reproducer, e.g.
+  ///   mbus-scenario v1 scheme=partial-g n=16 m=16 b=8 g=2 k=0 wl=nxn
+  ///   ks=4x4 kp=1 agg=3/5,3/10,1/10 r=1 cycles=2000 ... fseed=0x0
+  /// Parsed back by from_line; round-trips exactly.
+  std::string to_line() const;
+
+  /// Parse a to_line() reproducer. Throws InvalidArgument on anything
+  /// unrecognized, malformed, or structurally invalid.
+  static Scenario from_line(const std::string& line);
+};
+
+/// A scenario turned into live objects the engines accept. The SimConfig
+/// carries the generated FaultPlan and leaves `engine` at kReference —
+/// callers pick the engine kind per run.
+struct MaterializedScenario {
+  std::unique_ptr<Topology> topology;
+  Workload workload;
+  SimConfig config;
+};
+
+/// Build topology, workload, and simulator configuration for `s`.
+/// Throws InvalidArgument if the scenario violates a structural
+/// constraint (never happens for generated scenarios; hand-edited repro
+/// lines can trip it).
+MaterializedScenario materialize(const Scenario& s);
+
+/// Deterministic scenario stream: generate(i) is a pure function of
+/// (seed, i), independent of call order or previously generated
+/// scenarios.
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  Scenario generate(std::uint64_t index) const;
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Structure-aware fuzz entry: derive a valid scenario from an arbitrary
+/// byte string (the libFuzzer input). Bytes are consumed as decision
+/// fuel; once exhausted, remaining choices take their first option, so
+/// every input — including the empty one — maps to a valid scenario and
+/// nearby inputs map to nearby scenarios.
+Scenario scenario_from_bytes(const std::uint8_t* data, std::size_t size);
+
+}  // namespace mbus::testing

@@ -126,12 +126,20 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
 
     try {
+      // `consumed` guards against silently truncated values: stoll/stod
+      // accept "12abc" as 12, which hides typos (and out-of-range values
+      // already throw). Every character must parse.
+      std::size_t consumed = 0;
       switch (opt->kind) {
         case Kind::kInt:
-          opt->int_value = std::stoll(value);
+          opt->int_value = std::stoll(value, &consumed);
+          MBUS_EXPECTS(consumed == value.size(),
+                       "malformed value for --" + name + ": " + value);
           break;
         case Kind::kDouble:
-          opt->double_value = std::stod(value);
+          opt->double_value = std::stod(value, &consumed);
+          MBUS_EXPECTS(consumed == value.size(),
+                       "malformed value for --" + name + ": " + value);
           break;
         case Kind::kString:
           opt->string_value = value;
@@ -139,6 +147,8 @@ bool CliParser::parse(int argc, const char* const* argv) {
         case Kind::kFlag:
           break;  // handled above
       }
+    } catch (const InvalidArgument&) {
+      throw;
     } catch (const std::exception&) {
       MBUS_EXPECTS(false, "malformed value for --" + name + ": " + value);
     }

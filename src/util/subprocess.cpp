@@ -20,9 +20,9 @@ namespace {
 
 /// Frame prefix: 8 lowercase hex digits + one space.
 constexpr std::size_t kPrefixLen = 9;
-/// Upper bound on a single frame payload — far beyond any protocol
-/// message, small enough to catch a garbage length before allocating.
-constexpr std::size_t kMaxFrameLen = 64u << 20;
+/// The payload cap lives on FrameReader (public, so tests and the fuzz
+/// harness can probe the boundary).
+constexpr std::size_t kMaxFrameLen = FrameReader::kMaxFrameLen;
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -201,6 +201,10 @@ void Subprocess::close_pipes() noexcept {
 }
 
 bool write_frame(int fd, const std::string& payload) {
+  // A payload beyond the reader's cap could never be accepted on the
+  // other end (and > 0xffffffff would overflow the 8-hex-digit prefix
+  // and desynchronize the stream), so refuse it here.
+  if (payload.size() > kMaxFrameLen) return false;
   char prefix[16];
   std::snprintf(prefix, sizeof prefix, "%08zx ", payload.size());
   std::string frame;

@@ -134,6 +134,12 @@ bool write_frame(int fd, const std::string& payload);
 /// chunks.
 class FrameReader {
  public:
+  /// Upper bound on a single frame payload — far beyond any protocol
+  /// message, small enough to reject a garbage length prefix *before*
+  /// any allocation happens: a corrupt `ffffffff ` prefix raises
+  /// ProtocolError instead of attempting a 4 GiB buffer.
+  static constexpr std::size_t kMaxFrameLen = 64u << 20;
+
   /// Drain everything currently readable from `fd` (which may be
   /// O_NONBLOCK) into the buffer. Returns false on EOF, true otherwise
   /// (including EAGAIN with nothing to read).

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/checkpoint.hpp"
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -265,6 +267,76 @@ TEST(Availability, MalformedCheckpointLinesAreRejected) {
   const std::string line = campaign_point_to_json(point);
   EXPECT_FALSE(
       campaign_point_from_json(line.substr(0, line.size() / 2), ignored));
+}
+
+TEST(Availability, OverlongCheckpointLineIsQuarantinedNotLoaded) {
+  // A corrupt multi-megabyte "line" (bad framing, binary splice) must be
+  // quarantined at the kMaxCheckpointLineBytes cap without taking the
+  // intact lines around it down — and without the loader buffering the
+  // whole blob.
+  const std::string path = testing::TempDir() + "mbus_ckpt_overlong.jsonl";
+  const std::string header = framed(
+      "{\"mbus_fault_campaign\":2,\"fingerprint\":\"abc\",\"spec\":\"k=v\"}");
+  const std::string good1 = framed("{\"scheme\":\"full\"}");
+  const std::string good2 = framed("{\"scheme\":\"single\"}");
+  spit(path, header + "\n" + good1 + "\n" +
+                 std::string(kMaxCheckpointLineBytes + 4096, 'x') + "\n" +
+                 good2 + "\n");
+
+  const LoadedCheckpoint loaded = load_checkpoint_file(path);
+  EXPECT_TRUE(loaded.exists);
+  EXPECT_EQ(loaded.version, 2);
+  EXPECT_EQ(loaded.fingerprint, "abc");
+  EXPECT_EQ(loaded.report.data_lines, 3);
+  EXPECT_EQ(loaded.report.ok_lines, 2);
+  EXPECT_EQ(loaded.report.corrupt_lines, 1);
+  ASSERT_EQ(loaded.payloads.size(), 2u);
+  EXPECT_EQ(loaded.payloads[0], "{\"scheme\":\"full\"}");
+  EXPECT_EQ(loaded.payloads[1], "{\"scheme\":\"single\"}");
+  ASSERT_FALSE(loaded.report.notes.empty());
+  EXPECT_NE(loaded.report.notes.front().find("line cap"), std::string::npos);
+
+  // An overlong *header* stops the parse: unrecognized file, no payloads.
+  spit(path, std::string(kMaxCheckpointLineBytes + 4096, 'h') + "\n" +
+                 good1 + "\n");
+  const LoadedCheckpoint bad_header = load_checkpoint_file(path);
+  EXPECT_EQ(bad_header.version, 0);
+  EXPECT_TRUE(bad_header.payloads.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Availability, LoadCheckpointContentMatchesFileLoad) {
+  // The in-memory loader (the fuzz entry point) and the bounded file
+  // reader are two feeds into one state machine; the same bytes must
+  // produce the same result through either door.
+  const std::string path = testing::TempDir() + "mbus_ckpt_content.jsonl";
+  const std::string content =
+      framed("{\"mbus_fault_campaign\":2,\"fingerprint\":\"f00d\","
+             "\"spec\":\"n=8|m=8\"}") +
+      "\r\n" + framed("{\"scheme\":\"full\"}") + "\n" +
+      "deadbeef corrupted payload\n" + "\n" +
+      framed("{\"scheme\":\"partial-2\"}");  // no final newline
+  spit(path, content);
+
+  const LoadedCheckpoint from_file = load_checkpoint_file(path);
+  const LoadedCheckpoint from_memory = load_checkpoint_content(content);
+  EXPECT_TRUE(from_memory.exists);
+  EXPECT_EQ(from_file.version, from_memory.version);
+  EXPECT_EQ(from_file.fingerprint, from_memory.fingerprint);
+  EXPECT_EQ(from_file.spec_text, from_memory.spec_text);
+  EXPECT_EQ(from_file.payloads, from_memory.payloads);
+  EXPECT_EQ(from_file.report.data_lines, from_memory.report.data_lines);
+  EXPECT_EQ(from_file.report.ok_lines, from_memory.report.ok_lines);
+  EXPECT_EQ(from_file.report.corrupt_lines,
+            from_memory.report.corrupt_lines);
+  EXPECT_EQ(from_file.report.blank_lines, from_memory.report.blank_lines);
+  EXPECT_EQ(from_file.empty, from_memory.empty);
+
+  EXPECT_EQ(from_memory.version, 2);
+  EXPECT_EQ(from_memory.report.ok_lines, 2);
+  EXPECT_EQ(from_memory.report.corrupt_lines, 1);
+  EXPECT_EQ(from_memory.report.blank_lines, 1);
+  std::remove(path.c_str());
 }
 
 TEST(Availability, ValidatesSpec) {

@@ -234,5 +234,53 @@ TEST(Cli, RunCliMainMapsCancelledToResumableExitCode) {
   EXPECT_NE(err.find("stopped at cycle 42"), std::string::npos);
 }
 
+TEST(Cli, OverflowingIntegerArgumentThrows) {
+  // Beyond int64 range: stoll raises out_of_range, surfaced as a clean
+  // InvalidArgument naming the flag instead of silent wraparound.
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--n", "99999999999999999999999"};
+  EXPECT_THROW(parser.parse(3, argv), InvalidArgument);
+
+  CliParser parser2 = make_parser();
+  const char* argv2[] = {"prog", "--n", "-99999999999999999999999"};
+  EXPECT_THROW(parser2.parse(3, argv2), InvalidArgument);
+
+  // Doubles overflow to out_of_range as well (1e999 is not a valid
+  // finite double).
+  CliParser parser3 = make_parser();
+  const char* argv3[] = {"prog", "--r", "1e999"};
+  EXPECT_THROW(parser3.parse(3, argv3), InvalidArgument);
+}
+
+TEST(Cli, TrailingJunkInNumericValueThrows) {
+  // stoll/stod stop at the first bad character; accepting "12abc" as 12
+  // would hide typos, so parse() requires every character to consume.
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--n", "12abc"};
+  EXPECT_THROW(parser.parse(3, argv), InvalidArgument);
+
+  CliParser parser2 = make_parser();
+  const char* argv2[] = {"prog", "--r", "0.5x"};
+  EXPECT_THROW(parser2.parse(3, argv2), InvalidArgument);
+
+  CliParser parser3 = make_parser();
+  const char* argv3[] = {"prog", "--n", "0x10"};
+  EXPECT_THROW(parser3.parse(3, argv3), InvalidArgument);
+}
+
+TEST(Cli, RequireBusCountBoundaries) {
+  // B exactly at the min(N, M) ceiling passes, one past fails — in both
+  // asymmetric orders.
+  EXPECT_NO_THROW(require_bus_count(8, 8, 16));
+  EXPECT_NO_THROW(require_bus_count(8, 16, 8));
+  EXPECT_THROW(require_bus_count(9, 8, 16), InvalidArgument);
+  EXPECT_THROW(require_bus_count(9, 16, 8), InvalidArgument);
+  // B = 0 is below the structural floor no matter the shape.
+  EXPECT_THROW(require_bus_count(0, 1, 1), InvalidArgument);
+  EXPECT_THROW(require_bus_count(0, 64, 64), InvalidArgument);
+  // Degenerate single-bus single-module system is legal.
+  EXPECT_NO_THROW(require_bus_count(1, 1, 1));
+}
+
 }  // namespace
 }  // namespace mbus

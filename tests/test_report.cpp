@@ -195,5 +195,55 @@ TEST(Csv, TableExportRoundTrips) {
   EXPECT_EQ(rows[2], (std::vector<std::string>{"k-classes", "plain"}));
 }
 
+TEST(Csv, MalformedInputClearsPreviouslyPopulatedRows) {
+  // The documented failure contract: parse_csv returns false AND leaves
+  // `rows` empty, even when the caller hands it a dirty vector — so a
+  // failed re-parse can never be mistaken for stale earlier data.
+  const char* malformed[] = {
+      "\"unterminated",       // quote never closes
+      "a\"b",                 // stray quote inside a bare field
+      "\"done\"junk",         // junk after a closing quote
+      "a\rb",                 // lone CR (not part of CRLF)
+      "x,y\n\"open",          // valid first row, malformed second
+  };
+  for (const char* text : malformed) {
+    std::vector<std::vector<std::string>> rows = {{"stale", "data"}};
+    EXPECT_FALSE(parse_csv(text, rows)) << "input: " << text;
+    EXPECT_TRUE(rows.empty()) << "input: " << text;
+  }
+}
+
+TEST(Csv, WriteParseWriteIsIdempotent) {
+  // Once through the writer, a document is a fixed point: parse and
+  // re-write must reproduce it byte for byte (quoting is canonical).
+  const std::vector<std::vector<std::string>> original = {
+      {"plain", "with,comma", "with\"quote"},
+      {"multi\nline", "cr\rcell", ""},
+      {"", "", ""},
+      {"trailing space ", " leading"},
+  };
+  std::ostringstream first;
+  CsvWriter writer1(first);
+  for (const auto& row : original) writer1.write_row(row);
+
+  std::vector<std::vector<std::string>> parsed;
+  ASSERT_TRUE(parse_csv(first.str(), parsed));
+  EXPECT_EQ(parsed, original);
+
+  std::ostringstream second;
+  CsvWriter writer2(second);
+  for (const auto& row : parsed) writer2.write_row(row);
+  EXPECT_EQ(second.str(), first.str());
+}
+
+TEST(Csv, EscapeBoundaryCases) {
+  EXPECT_EQ(CsvWriter::escape(""), "");
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvWriter::escape("cr\rhere"), "\"cr\rhere\"");
+}
+
 }  // namespace
 }  // namespace mbus

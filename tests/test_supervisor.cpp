@@ -159,6 +159,38 @@ TEST(SuperviseProtocol, CorruptPrefixThrowsProtocolError) {
   EXPECT_THROW(reader.next_frame(frame), ProtocolError);
 }
 
+TEST(SuperviseProtocol, HugeLengthPrefixIsRejectedBeforeAllocating) {
+  // A corrupt `ffffffff ` prefix advertises a 4 GiB payload; the reader
+  // must raise ProtocolError from the 10 buffered bytes alone instead of
+  // waiting for (or allocating) the advertised length.
+  FrameReader reader;
+  const std::string poison = "ffffffff x";
+  reader.feed(poison.data(), poison.size());
+  std::string frame;
+  EXPECT_THROW(reader.next_frame(frame), ProtocolError);
+
+  // One past the advertised cap is rejected the same way, even though
+  // the prefix itself is well-formed hex.
+  FrameReader reader2;
+  char prefix[16];
+  std::snprintf(prefix, sizeof prefix, "%08zx x",
+                FrameReader::kMaxFrameLen + 1);
+  reader2.feed(prefix, 10);
+  EXPECT_THROW(reader2.next_frame(frame), ProtocolError);
+}
+
+TEST(SuperviseProtocol, WriteFrameRefusesOversizedPayload) {
+  int fds[2];
+  ASSERT_EQ(0, ::pipe(fds));
+  // Don't materialize >64 MiB in the test: the guard triggers on size
+  // alone, so an empty-but-resized string is enough.
+  std::string oversized;
+  oversized.resize(FrameReader::kMaxFrameLen + 1);
+  EXPECT_FALSE(write_frame(fds[1], oversized));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
 // ---- subprocess lifecycle ----------------------------------------------
 
 TEST(SuperviseSubprocess, ExitCodeIsReapedAndClassified) {
