@@ -1,0 +1,97 @@
+// mbusd: the long-running evaluation daemon (DESIGN.md §14).
+//
+// Binds a unix-domain socket and serves closed-form bandwidth
+// evaluations, simulation runs, and small B-sweeps over the framed
+// key=value protocol (service/protocol.hpp). The server is hardened for
+// overload: bounded admission with structured `overloaded` replies,
+// per-request deadlines enforced by a watchdog through the engines'
+// cooperative cancel flag, a circuit breaker that converts consecutive
+// engine failures into fast `degraded` replies, and a graceful drain on
+// SIGINT/SIGTERM — stop accepting, finish or deadline-out in-flight
+// work, flush replies, exit 0.
+//
+// Pair with bench/service_load for an open-loop overload drill:
+//
+//   ./mbusd --socket /tmp/mbus.sock --workers 2 --queue-capacity 8 &
+//   ./service_load --socket /tmp/mbus.sock --rate 200 --seconds 10
+//   kill -TERM %1   # drains and exits 0
+#include <iostream>
+
+#include "obs/obs_cli.hpp"
+#include "service/server.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/shutdown.hpp"
+#include "util/subprocess.hpp"
+
+namespace {
+
+using namespace mbus;
+
+int run(int argc, char** argv) {
+  CliParser cli(
+      "mbusd: overload-hardened evaluation daemon serving bandwidth "
+      "analysis and simulation over a unix-domain socket.");
+  cli.add_string("socket", "/tmp/mbusd.sock",
+                 "unix-domain socket path to bind")
+      .add_int("workers", 2, "evaluation worker threads")
+      .add_int("queue-capacity", 32,
+               "admitted-but-unfinished request bound; beyond it, "
+               "requests are shed with `overloaded` replies")
+      .add_int("default-deadline-ms", 2000,
+               "deadline applied to requests that carry none")
+      .add_int("max-deadline-ms", 30000,
+               "upper clamp on client-supplied deadlines")
+      .add_int("breaker-failures", 5,
+               "consecutive engine failures that trip the circuit "
+               "breaker open")
+      .add_int("breaker-cooldown-ms", 1000,
+               "open-state cooldown before a half-open probe")
+      .add_int("drain-grace-ms", 3000,
+               "on shutdown, cancel in-flight requests still running "
+               "after this long")
+      .add_int("poll-interval-ms", 20,
+               "event-loop poll timeout (staleness bound on drain and "
+               "breaker-state detection)");
+  obs::add_observability_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  service::ServerConfig config;
+  config.socket_path = cli.get_string("socket");
+  config.workers = static_cast<int>(cli.get_positive_int("workers"));
+  config.queue_capacity =
+      static_cast<int>(cli.get_positive_int("queue-capacity"));
+  config.default_deadline_ms = cli.get_positive_int("default-deadline-ms");
+  config.max_deadline_ms = cli.get_positive_int("max-deadline-ms");
+  config.breaker.failure_threshold =
+      static_cast<int>(cli.get_positive_int("breaker-failures"));
+  config.breaker.open_cooldown_ms =
+      cli.get_nonnegative_int("breaker-cooldown-ms");
+  config.drain_grace_ms = cli.get_nonnegative_int("drain-grace-ms");
+  config.poll_interval_ms =
+      static_cast<int>(cli.get_positive_int("poll-interval-ms"));
+
+  const obs::ObservabilityScope obs_guard(
+      cli, cat("mbusd/", config.socket_path));
+
+  // Replies to clients that vanished mid-write must surface as EPIPE on
+  // this end, never kill the daemon.
+  ScopedSigpipeIgnore sigpipe_guard;
+
+  CancellationToken token;
+  SignalGuard signal_guard(token);
+
+  service::Server server(config);
+  server.start();
+  std::cout << "mbusd: serving on " << config.socket_path << " ("
+            << config.workers << " workers, queue "
+            << config.queue_capacity << ")" << std::endl;
+
+  const service::ServerReport report = server.run(token);
+  std::cout << "mbusd: drained; " << report.summary() << std::endl;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

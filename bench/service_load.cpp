@@ -1,0 +1,259 @@
+// service_load: open-loop load generator for mbusd (DESIGN.md §14).
+//
+// Opens C connections and, on each, sends requests on a fixed schedule —
+// open loop: the send times are decided up front by --rate, never by how
+// fast the server replies, so a server that slows down faces *more*
+// concurrent work, exactly the regime that exposes unbounded queues.
+// A receiver thread per connection matches replies to send timestamps.
+//
+// Prints per-outcome counts (served / overloaded / degraded /
+// deadline_exceeded / draining / errors / lost) and latency percentiles
+// over the served replies. A healthy overloaded server sheds the excess
+// with structured `overloaded` replies and keeps served latency flat; a
+// broken one would instead show unbounded latency growth or silent
+// drops (`lost` > 0 without a drain).
+//
+//   ./service_load --socket /tmp/mbus.sock --rate 200 --seconds 10 \\
+//       --op simulate --cycles 20000 --deadline-ms 250
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
+
+namespace {
+
+using namespace mbus;
+using Clock = std::chrono::steady_clock;
+
+std::int64_t us_since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now() - start)
+      .count();
+}
+
+/// Outcome tallies and served-latency samples of one connection.
+struct ConnStats {
+  std::map<std::string, std::int64_t> outcomes;
+  std::vector<std::int64_t> served_latency_us;
+  std::int64_t sent = 0;
+  std::int64_t lost = 0;  // sent but never answered (EOF first)
+};
+
+double percentile(std::vector<std::int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(rank, sorted.size() - 1)]);
+}
+
+int run(int argc, char** argv) {
+  CliParser cli(
+      "Open-loop load generator for mbusd: fixed-rate request schedule, "
+      "per-outcome counts, served-latency percentiles.");
+  cli.add_string("socket", "/tmp/mbusd.sock", "daemon socket path")
+      .add_int("connections", 4, "concurrent client connections")
+      .add_double("rate", 100, "total requests per second, open loop")
+      .add_double("seconds", 5, "schedule length")
+      .add_string("op", "bandwidth", "request op: bandwidth, simulate, "
+                                     "sweep, or ping")
+      .add_string("scheme", "full", "connection scheme")
+      .add_int("n", 16, "processors")
+      .add_int("m", 0, "memory modules (0 = N)")
+      .add_int("b", 4, "buses")
+      .add_int("groups", 2, "partial-g group count")
+      .add_int("classes", 0, "k-classes class count (0 = K = B)")
+      .add_string("wl", "uniform", "workload: uniform or hier4")
+      .add_string("r", "1", "per-cycle request rate")
+      .add_int("cycles", 20000, "simulate: measured cycles")
+      .add_int("warmup", 1000, "simulate: warmup cycles")
+      .add_int("reps", 1, "simulate: replications")
+      .add_string("engine", "fast", "simulate: engine (reference or fast)")
+      .add_int("bmax", 0, "sweep: largest bus count (0 = --b)")
+      .add_int("deadline-ms", 0,
+               "per-request deadline (0 = server default)")
+      .add_int("seed", 0xC0FFEE, "simulate: base seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string socket_path = cli.get_string("socket");
+  const int connections =
+      static_cast<int>(cli.get_positive_int("connections"));
+  const double rate = cli.get_positive_double("rate");
+  const double seconds = cli.get_positive_double("seconds");
+
+  service::ServiceRequest base;
+  base.op = service::op_from_string(cli.get_string("op"));
+  base.topo.scheme = cli.get_string("scheme");
+  base.topo.processors = static_cast<int>(cli.get_positive_int("n"));
+  const std::int64_t m = cli.get_nonnegative_int("m");
+  base.topo.memories =
+      m == 0 ? base.topo.processors : static_cast<int>(m);
+  base.topo.buses = static_cast<int>(cli.get_positive_int("b"));
+  base.topo.groups = static_cast<int>(cli.get_positive_int("groups"));
+  base.topo.classes = static_cast<int>(cli.get_nonnegative_int("classes"));
+  base.workload = cli.get_string("wl");
+  base.rate = cli.get_string("r");
+  base.cycles = cli.get_positive_int("cycles");
+  base.warmup = cli.get_nonnegative_int("warmup");
+  base.replications = static_cast<int>(cli.get_positive_int("reps"));
+  base.engine = engine_kind_from_string(cli.get_string("engine"));
+  base.bmax = static_cast<int>(cli.get_nonnegative_int("bmax"));
+  base.deadline_ms = cli.get_nonnegative_int("deadline-ms");
+  base.seed = static_cast<std::uint64_t>(cli.get_nonnegative_int("seed"));
+
+  const std::int64_t per_conn =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                    rate * seconds /
+                                    static_cast<double>(connections)));
+  const double interval_us =
+      1e6 * static_cast<double>(connections) / rate;
+
+  ScopedSigpipeIgnore sigpipe_guard;
+
+  std::vector<ConnStats> stats(static_cast<std::size_t>(connections));
+  std::vector<std::thread> threads;
+  const Clock::time_point start = Clock::now();
+
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c]() {
+      ConnStats& out = stats[static_cast<std::size_t>(c)];
+      int fd = -1;
+      try {
+        fd = connect_unix(socket_path);
+      } catch (const std::exception& e) {
+        out.outcomes["connect_failed"] = 1;
+        return;
+      }
+
+      std::mutex sent_mutex;
+      std::map<std::uint64_t, std::int64_t> sent_us;  // id -> send time
+
+      std::thread receiver([&]() {
+        FrameReader reader;
+        std::string payload;
+        while (read_frame_blocking(fd, reader, payload)) {
+          const std::int64_t now = us_since(start);
+          service::ServiceReply reply;
+          try {
+            reply = service::parse_reply(payload);
+          } catch (const std::exception&) {
+            ++out.outcomes["unparsable"];
+            continue;
+          }
+          std::int64_t sent_at = -1;
+          {
+            std::lock_guard<std::mutex> lock(sent_mutex);
+            const auto it = sent_us.find(reply.id);
+            if (it != sent_us.end()) {
+              sent_at = it->second;
+              sent_us.erase(it);
+            }
+          }
+          if (reply.ok) {
+            ++out.outcomes["served"];
+            if (sent_at >= 0) {
+              out.served_latency_us.push_back(now - sent_at);
+            }
+          } else {
+            ++out.outcomes[reply.code.empty() ? "error" : reply.code];
+          }
+        }
+      });
+
+      // Open-loop sender: request i of this connection goes out at
+      // start + i * interval (staggered by connection index), whether or
+      // not any reply has come back.
+      bool write_failed = false;
+      for (std::int64_t i = 0; i < per_conn && !write_failed; ++i) {
+        const double due_us =
+            (static_cast<double>(i) * static_cast<double>(connections) +
+             static_cast<double>(c)) *
+            interval_us / static_cast<double>(connections);
+        const std::int64_t now = us_since(start);
+        if (static_cast<double>(now) < due_us) {
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              static_cast<std::int64_t>(due_us) - now));
+        }
+        service::ServiceRequest request = base;
+        request.id = static_cast<std::uint64_t>(c) * 10'000'000 +
+                     static_cast<std::uint64_t>(i) + 1;
+        request.seed = base.seed + request.id;
+        {
+          std::lock_guard<std::mutex> lock(sent_mutex);
+          sent_us[request.id] = us_since(start);
+        }
+        ++out.sent;
+        if (!write_frame(fd, service::format_request(request))) {
+          // Daemon gone (EPIPE) — stop the schedule, keep the receiver
+          // draining whatever replies are still buffered.
+          std::lock_guard<std::mutex> lock(sent_mutex);
+          sent_us.erase(request.id);
+          --out.sent;
+          write_failed = true;
+        }
+      }
+      // No more requests: half-close so the server sees EOF once it has
+      // flushed its replies, then wait for the receiver to drain.
+      ::shutdown(fd, SHUT_WR);
+      receiver.join();
+      close_fd(fd);
+      {
+        std::lock_guard<std::mutex> lock(sent_mutex);
+        out.lost = static_cast<std::int64_t>(sent_us.size());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Merge.
+  std::map<std::string, std::int64_t> outcomes;
+  std::vector<std::int64_t> latencies;
+  std::int64_t sent = 0;
+  std::int64_t lost = 0;
+  for (const ConnStats& s : stats) {
+    sent += s.sent;
+    lost += s.lost;
+    for (const auto& [code, count] : s.outcomes) outcomes[code] += count;
+    latencies.insert(latencies.end(), s.served_latency_us.begin(),
+                     s.served_latency_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  std::cout << "service_load: socket=" << socket_path
+            << " connections=" << connections << " rate=" << rate
+            << "/s op=" << cli.get_string("op") << "\n";
+  std::cout << "  sent=" << sent << " lost=" << lost;
+  for (const auto& [code, count] : outcomes) {
+    std::cout << " " << code << "=" << count;
+  }
+  std::cout << "\n";
+  if (!latencies.empty()) {
+    std::cout << "  served latency (ms): p50="
+              << percentile(latencies, 0.50) / 1000.0
+              << " p90=" << percentile(latencies, 0.90) / 1000.0
+              << " p99=" << percentile(latencies, 0.99) / 1000.0
+              << " max="
+              << static_cast<double>(latencies.back()) / 1000.0 << "\n";
+  }
+  // Exit status reflects transport health only: shed/degraded replies
+  // are the server working as designed, but silent losses without a
+  // drain or a dead socket are a load-generator-visible failure.
+  return outcomes.count("connect_failed") != 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

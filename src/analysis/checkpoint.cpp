@@ -1,8 +1,10 @@
 #include "analysis/checkpoint.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string_view>
 #include <utility>
@@ -433,6 +435,34 @@ bool CheckpointWriter::flush() {
     if (std::rename(temp.c_str(), path_.c_str()) != 0) {
       throw Error(cat("cannot rename ", temp, " over ", path_));
     }
+#ifndef _WIN32
+    // The rename itself lives in the parent directory's entries; without
+    // a directory fsync a crash can forget the rename and lose the whole
+    // checkpoint despite the fsynced temp file. A dirsync failure means
+    // durability is NOT guaranteed, so it is reported like any other
+    // flush failure (the live file is still readable — the campaign
+    // continues — but the caller's failure counter ticks).
+    {
+      std::string dir = path_;
+      const std::size_t slash = dir.find_last_of('/');
+      dir = slash == std::string::npos ? std::string(".")
+                                       : dir.substr(0, slash + 1);
+      int rc = 0;
+      int dir_fd = -1;
+      if (const int injected = MBUS_FAILPOINT_IO("checkpoint.dirsync")) {
+        errno = injected;
+        rc = -1;
+      } else if ((dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY)) < 0 ||
+                 ::fsync(dir_fd) != 0) {
+        rc = -1;
+      }
+      if (dir_fd >= 0) ::close(dir_fd);
+      if (rc != 0) {
+        throw Error(cat("cannot fsync directory ", dir, " after publishing ",
+                        path_, ": ", std::strerror(errno)));
+      }
+    }
+#endif
     return true;
   } catch (const std::exception& e) {
     // Absorb: checkpointing degrades, the campaign lives on. The temp

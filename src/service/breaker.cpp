@@ -1,0 +1,80 @@
+#include "service/breaker.hpp"
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus::service {
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {
+  MBUS_EXPECTS(config.failure_threshold >= 1,
+               cat("breaker failure_threshold must be >= 1, got ",
+                   config.failure_threshold));
+  MBUS_EXPECTS(config.open_cooldown_ms >= 0,
+               cat("breaker open_cooldown_ms must be >= 0, got ",
+                   config.open_cooldown_ms));
+}
+
+bool CircuitBreaker::allow(std::int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_us - opened_at_us_ < config_.open_cooldown_ms * 1000) {
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;  // this caller is the probe
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success(std::int64_t) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kClosed;
+    probe_in_flight_ = false;
+  }
+}
+
+void CircuitBreaker::record_failure(std::int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kOpen;
+    opened_at_us_ = now_us;
+    probe_in_flight_ = false;
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_us_ = now_us;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consecutive_failures_;
+}
+
+const char* CircuitBreaker::to_string(State state) {
+  switch (state) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "closed";
+}
+
+}  // namespace mbus::service

@@ -1,0 +1,76 @@
+// A circuit breaker over the evaluation engines (DESIGN.md §14).
+//
+// When the engines start failing persistently (a poisoned configuration,
+// a sick machine, an injected fault storm), admitting more work only
+// burns queue slots and deadlines on requests that will fail anyway. The
+// breaker converts that failure mode into fast, explicit `degraded`
+// replies:
+//
+//           +--------- record_failure x threshold ---------+
+//           v                                              |
+//       [kOpen] -- cooldown elapsed, one probe --> [kHalfOpen]
+//           ^                                          |    |
+//           +------------ probe failed ----------------+    |
+//                                                 probe ok  |
+//       [kClosed] <-----------------------------------------+
+//
+//   * kClosed   — requests flow; consecutive failures are counted and
+//     any success resets the count.
+//   * kOpen     — allow() returns false (the server replies `degraded`
+//     immediately, no queueing) until `open_cooldown_ms` has elapsed.
+//   * kHalfOpen — exactly one in-flight probe request is admitted; its
+//     outcome decides between kClosed and another full kOpen cooldown.
+//
+// The clock is injected (monotonic microseconds) so the state machine is
+// a pure function of its call sequence — tests drive it with a fake
+// clock and never sleep. Thread-safe: the server's event loop calls
+// allow() while pool workers call record_*.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace mbus::service {
+
+struct BreakerConfig {
+  /// Consecutive failures that trip kClosed -> kOpen.
+  int failure_threshold = 5;
+  /// Time in kOpen before a half-open probe is allowed.
+  std::int64_t open_cooldown_ms = 1000;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerConfig config);
+
+  /// May this request be admitted at `now_us`? In kOpen, flips to
+  /// kHalfOpen once the cooldown has elapsed and admits the caller as
+  /// the probe; while a probe is in flight every other caller is
+  /// refused.
+  bool allow(std::int64_t now_us);
+
+  /// Report the outcome of an admitted request. A success in kHalfOpen
+  /// closes the breaker; a failure re-opens it (fresh cooldown from
+  /// `now_us`). In kClosed, `failure_threshold` consecutive failures
+  /// open it.
+  void record_success(std::int64_t now_us);
+  void record_failure(std::int64_t now_us);
+
+  State state() const;
+  int consecutive_failures() const;
+
+  /// "closed" / "open" / "half-open" (event payloads, reports).
+  static const char* to_string(State state);
+
+ private:
+  BreakerConfig config_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  std::int64_t opened_at_us_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace mbus::service

@@ -1,0 +1,390 @@
+#include "service/protocol.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "bignum/bigrational.hpp"
+#include "core/evaluate.hpp"
+#include "core/system.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus::service {
+
+namespace {
+
+constexpr const char* kRequestMagic = "mbus-req";
+constexpr const char* kReplyMagic = "mbus-rep";
+constexpr const char* kVersion = "v1";
+
+/// %.17g round-trips every finite double bit-exactly, which is what
+/// makes "served replies are bit-identical to direct evaluation"
+/// testable on the wire.
+std::string fmt_g17(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::vector<std::string> split_spaces(const std::string& payload) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start <= payload.size()) {
+    std::size_t space = payload.find(' ', start);
+    if (space == std::string::npos) space = payload.size();
+    if (space > start) tokens.push_back(payload.substr(start, space - start));
+    start = space + 1;
+  }
+  return tokens;
+}
+
+/// Split one `key=value` token; throws on a token with no '='.
+void split_kv(const std::string& token, std::string& key,
+              std::string& value) {
+  const std::size_t eq = token.find('=');
+  MBUS_EXPECTS(eq != std::string::npos && eq > 0,
+               cat("malformed field '", token, "' — expected key=value"));
+  key = token.substr(0, eq);
+  value = token.substr(eq + 1);
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  MBUS_EXPECTS(!value.empty() && end == value.c_str() + value.size() &&
+                   errno == 0 && value[0] != '-',
+               cat("malformed ", key, "='", value, "' — expected u64"));
+  return static_cast<std::uint64_t>(parsed);
+}
+
+std::int64_t parse_i64(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  MBUS_EXPECTS(!value.empty() && end == value.c_str() + value.size() &&
+                   errno == 0,
+               cat("malformed ", key, "='", value, "' — expected integer"));
+  return parsed;
+}
+
+int parse_int(const std::string& key, const std::string& value) {
+  const std::int64_t wide = parse_i64(key, value);
+  MBUS_EXPECTS(wide >= -2147483648LL && wide <= 2147483647LL,
+               cat(key, "='", value, "' out of int range"));
+  return static_cast<int>(wide);
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "0") return false;
+  if (value == "1") return true;
+  MBUS_EXPECTS(false, cat("malformed ", key, "='", value,
+                          "' — expected 0 or 1"));
+  return false;
+}
+
+}  // namespace
+
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kBandwidth: return "bandwidth";
+    case Op::kSimulate: return "simulate";
+    case Op::kSweep: return "sweep";
+  }
+  return "ping";
+}
+
+Op op_from_string(const std::string& name) {
+  if (name == "ping") return Op::kPing;
+  if (name == "bandwidth") return Op::kBandwidth;
+  if (name == "simulate") return Op::kSimulate;
+  if (name == "sweep") return Op::kSweep;
+  throw InvalidArgument(cat("unknown op '", name,
+                            "' — expected ping, bandwidth, simulate, "
+                            "or sweep"));
+}
+
+std::string format_request(const ServiceRequest& request) {
+  return cat(kRequestMagic, " ", kVersion, " id=", request.id,
+             " op=", to_string(request.op), " scheme=", request.topo.scheme,
+             " n=", request.topo.processors, " m=", request.topo.memories,
+             " b=", request.topo.buses, " g=", request.topo.groups,
+             " k=", request.topo.classes, " wl=", request.workload,
+             " r=", request.rate, " cycles=", request.cycles,
+             " warmup=", request.warmup, " seed=", request.seed,
+             " reps=", request.replications,
+             " resubmit=", request.resubmit ? 1 : 0,
+             " engine=", mbus::to_string(request.engine),
+             " bmax=", request.bmax, " deadline_ms=", request.deadline_ms);
+}
+
+ServiceRequest parse_request(const std::string& payload) {
+  const std::vector<std::string> tokens = split_spaces(payload);
+  MBUS_EXPECTS(tokens.size() >= 2 && tokens[0] == kRequestMagic &&
+                   tokens[1] == kVersion,
+               cat("not a ", kRequestMagic, " ", kVersion, " payload"));
+  ServiceRequest request;
+  bool have_id = false;
+  std::set<std::string> seen;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    std::string key, value;
+    split_kv(tokens[i], key, value);
+    MBUS_EXPECTS(seen.insert(key).second,
+                 cat("duplicate field '", key, "'"));
+    if (key == "id") {
+      request.id = parse_u64(key, value);
+      have_id = true;
+    } else if (key == "op") {
+      request.op = op_from_string(value);
+    } else if (key == "scheme") {
+      request.topo.scheme = value;
+    } else if (key == "n") {
+      request.topo.processors = parse_int(key, value);
+    } else if (key == "m") {
+      request.topo.memories = parse_int(key, value);
+    } else if (key == "b") {
+      request.topo.buses = parse_int(key, value);
+    } else if (key == "g") {
+      request.topo.groups = parse_int(key, value);
+    } else if (key == "k") {
+      request.topo.classes = parse_int(key, value);
+    } else if (key == "wl") {
+      MBUS_EXPECTS(value == "uniform" || value == "hier4",
+                   cat("unknown workload '", value,
+                       "' — expected uniform or hier4"));
+      request.workload = value;
+    } else if (key == "r") {
+      // Validate the literal now so a malformed rate is a bad_request at
+      // the door, not an internal error mid-evaluation.
+      try {
+        (void)BigRational::parse(value);
+      } catch (const std::exception&) {
+        throw InvalidArgument(cat("malformed r='", value,
+                                  "' — expected a decimal rate"));
+      }
+      request.rate = value;
+    } else if (key == "cycles") {
+      request.cycles = parse_i64(key, value);
+    } else if (key == "warmup") {
+      request.warmup = parse_i64(key, value);
+    } else if (key == "seed") {
+      request.seed = parse_u64(key, value);
+    } else if (key == "reps") {
+      request.replications = parse_int(key, value);
+    } else if (key == "resubmit") {
+      request.resubmit = parse_bool(key, value);
+    } else if (key == "engine") {
+      request.engine = engine_kind_from_string(value);
+    } else if (key == "bmax") {
+      request.bmax = parse_int(key, value);
+    } else if (key == "deadline_ms") {
+      request.deadline_ms = parse_i64(key, value);
+    } else {
+      throw InvalidArgument(cat("unknown request field '", key, "'"));
+    }
+  }
+  MBUS_EXPECTS(have_id, "request is missing its id field");
+  return request;
+}
+
+double ServiceReply::field_double(const std::string& key) const {
+  const auto it = fields.find(key);
+  MBUS_EXPECTS(it != fields.end(), cat("reply has no field '", key, "'"));
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  MBUS_EXPECTS(!it->second.empty() &&
+                   end == it->second.c_str() + it->second.size(),
+               cat("reply field ", key, "='", it->second,
+                   "' is not a double"));
+  return value;
+}
+
+std::int64_t ServiceReply::field_int(const std::string& key) const {
+  const auto it = fields.find(key);
+  MBUS_EXPECTS(it != fields.end(), cat("reply has no field '", key, "'"));
+  return parse_i64(key, it->second);
+}
+
+ServiceReply make_ok_reply(std::uint64_t id) {
+  ServiceReply reply;
+  reply.id = id;
+  reply.ok = true;
+  return reply;
+}
+
+ServiceReply make_error_reply(std::uint64_t id, const std::string& code,
+                              const std::string& message) {
+  ServiceReply reply;
+  reply.id = id;
+  reply.ok = false;
+  reply.code = code;
+  reply.message = message;
+  return reply;
+}
+
+std::string format_reply(const ServiceReply& reply) {
+  std::string out = cat(kReplyMagic, " ", kVersion, " id=", reply.id,
+                        " status=", reply.ok ? "ok" : "error");
+  if (!reply.ok) out += cat(" code=", reply.code);
+  for (const auto& [key, value] : reply.fields) {
+    out += cat(" ", key, "=", value);
+  }
+  // msg may contain spaces, so it is always the final field and consumes
+  // the rest of the line on parse.
+  if (!reply.message.empty()) out += cat(" msg=", reply.message);
+  return out;
+}
+
+ServiceReply parse_reply(const std::string& payload) {
+  const std::vector<std::string> tokens = split_spaces(payload);
+  MBUS_EXPECTS(tokens.size() >= 2 && tokens[0] == kReplyMagic &&
+                   tokens[1] == kVersion,
+               cat("not a ", kReplyMagic, " ", kVersion, " payload"));
+  ServiceReply reply;
+  bool have_id = false;
+  bool have_status = false;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    std::string key, value;
+    split_kv(tokens[i], key, value);
+    if (key == "msg") {
+      // Reassemble the rest of the payload, spaces included.
+      std::string message = value;
+      for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+        message += cat(" ", tokens[j]);
+      }
+      reply.message = message;
+      break;
+    }
+    if (key == "id") {
+      reply.id = parse_u64(key, value);
+      have_id = true;
+    } else if (key == "status") {
+      MBUS_EXPECTS(value == "ok" || value == "error",
+                   cat("malformed status '", value, "'"));
+      reply.ok = value == "ok";
+      have_status = true;
+    } else if (key == "code") {
+      reply.code = value;
+    } else {
+      MBUS_EXPECTS(reply.fields.emplace(key, value).second,
+                   cat("duplicate reply field '", key, "'"));
+    }
+  }
+  MBUS_EXPECTS(have_id && have_status,
+               "reply is missing its id or status field");
+  return reply;
+}
+
+namespace {
+
+Workload build_workload(const ServiceRequest& request) {
+  const int n = request.topo.processors;
+  const int m = request.topo.memories;
+  const BigRational rate = BigRational::parse(request.rate);
+  if (request.workload == "uniform") {
+    return Workload::uniform(n, m, rate);
+  }
+  // hier4: the Section-IV two-level {4, N/4} hierarchy with aggregate
+  // fractions 0.6 / 0.3 / 0.1 — the paper's own workload.
+  MBUS_EXPECTS(n == m, cat("workload hier4 needs N == M, got N=", n,
+                           " M=", m));
+  MBUS_EXPECTS(n % 4 == 0 && n >= 4,
+               cat("workload hier4 needs 4 | N, got N=", n));
+  return Workload::hierarchical_nxn(
+      {4, n / 4},
+      {BigRational::parse("0.6"), BigRational::parse("0.3"),
+       BigRational::parse("0.1")},
+      rate);
+}
+
+void check_cancel(const std::atomic<bool>* cancel) {
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    throw Cancelled("service request cancelled");
+  }
+}
+
+}  // namespace
+
+ServiceReply execute_request(const ServiceRequest& request,
+                             const std::atomic<bool>* cancel) {
+  ServiceReply reply = make_ok_reply(request.id);
+  reply.fields["op"] = to_string(request.op);
+  if (request.op == Op::kPing) return reply;
+
+  check_cancel(cancel);
+  const std::unique_ptr<Topology> topology = make_topology(request.topo);
+  const Workload workload = build_workload(request);
+
+  if (request.op == Op::kBandwidth) {
+    const Evaluation e = evaluate(*topology, workload, {});
+    reply.fields["bandwidth"] = fmt_g17(e.analytic_bandwidth);
+    reply.fields["x"] = fmt_g17(e.request_probability);
+    reply.fields["crossbar"] = fmt_g17(e.crossbar_bandwidth);
+    reply.fields["perf_cost"] = fmt_g17(e.perf_cost_ratio);
+    reply.fields["pa"] = fmt_g17(e.acceptance_probability);
+    return reply;
+  }
+
+  if (request.op == Op::kSimulate) {
+    MBUS_EXPECTS(request.cycles > 0, "simulate needs cycles > 0");
+    MBUS_EXPECTS(request.warmup >= 0, "simulate needs warmup >= 0");
+    MBUS_EXPECTS(request.replications >= 1, "simulate needs reps >= 1");
+    EvaluationOptions options;
+    options.simulate = true;
+    options.sim.cycles = request.cycles;
+    options.sim.warmup = request.warmup;
+    options.sim.seed = request.seed;
+    options.sim.resubmit_blocked = request.resubmit;
+    options.sim.engine = request.engine;
+    options.sim.cancel = cancel;
+    options.parallel.replications = request.replications;
+    options.parallel.threads = 1;  // service workers are the parallelism
+    const Evaluation e = evaluate(*topology, workload, options);
+    reply.fields["bandwidth"] = fmt_g17(e.simulation->bandwidth);
+    reply.fields["ci_half_width"] =
+        fmt_g17(e.simulation->bandwidth_ci.half_width);
+    reply.fields["analytic"] = fmt_g17(e.analytic_bandwidth);
+    reply.fields["blocked_fraction"] =
+        fmt_g17(e.simulation->blocked_fraction);
+    reply.fields["offered_load"] = fmt_g17(e.simulation->offered_load);
+    reply.fields["bus_utilization"] =
+        fmt_g17(e.simulation->bus_utilization);
+    reply.fields["mean_service_cycles"] =
+        fmt_g17(e.simulation->mean_service_cycles);
+    reply.fields["measured_cycles"] =
+        cat(e.simulation->measured_cycles);
+    reply.fields["reps"] = cat(e.simulation->replications);
+    reply.fields["engine"] = mbus::to_string(request.engine);
+    return reply;
+  }
+
+  // Op::kSweep — closed-form bandwidth for B = 1 .. bmax.
+  const int limit = std::min(request.topo.processors,
+                             request.topo.memories);
+  const int bmax = request.bmax > 0 ? request.bmax : request.topo.buses;
+  MBUS_EXPECTS(bmax >= 1 && bmax <= limit,
+               cat("sweep needs 1 <= bmax <= min(N, M) = ", limit,
+                   ", got ", bmax));
+  std::vector<std::string> bandwidths;
+  bandwidths.reserve(static_cast<std::size_t>(bmax));
+  for (int b = 1; b <= bmax; ++b) {
+    check_cancel(cancel);
+    TopologySpec point = request.topo;
+    point.buses = b;
+    const std::unique_ptr<Topology> topo_b = make_topology(point);
+    const Evaluation e = evaluate(*topo_b, workload, {});
+    bandwidths.push_back(fmt_g17(e.analytic_bandwidth));
+  }
+  reply.fields["bmax"] = cat(bmax);
+  reply.fields["bandwidths"] = join(bandwidths, ",");
+  return reply;
+}
+
+}  // namespace mbus::service

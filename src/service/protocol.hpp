@@ -1,0 +1,126 @@
+// Wire protocol of the mbusd evaluation service (DESIGN.md §14).
+//
+// Transport: unix-domain stream socket carrying the same length-prefixed
+// frames as the supervised-runner pipes (util/subprocess.hpp
+// write_frame/FrameReader). Every frame payload is one space-separated
+// text line:
+//
+//   request:  mbus-req v1 id=<u64> op=<op> key=value ...
+//   reply:    mbus-rep v1 id=<u64> status=ok key=value ...
+//             mbus-rep v1 id=<u64> status=error code=<code> msg=<text...>
+//
+// Requests are strict: unknown keys, malformed values, and a missing id
+// are rejected at parse time (InvalidArgument), so a client typo can
+// never be silently half-honored. Replies carry their op-specific
+// payload as sorted key=value fields; doubles are rendered with %.17g,
+// which round-trips bit-exactly, so a served reply is comparable
+// bit-for-bit against a direct in-process evaluate() of the same
+// request.
+//
+// Error codes (the overload vocabulary — structured, never a silent
+// drop):
+//   bad_request        the request itself is invalid (client bug)
+//   overloaded         admission queue full; retry later (load shed)
+//   degraded           circuit breaker open; engines are failing
+//   deadline_exceeded  the per-request deadline fired before completion
+//   cancelled          server drain cut the request short
+//   draining           arrived after drain began; not admitted
+//   internal           the evaluation failed (feeds the breaker)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "topology/factory.hpp"
+
+namespace mbus::service {
+
+/// Error-code vocabulary (see the table above).
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrOverloaded = "overloaded";
+inline constexpr const char* kErrDegraded = "degraded";
+inline constexpr const char* kErrDeadlineExceeded = "deadline_exceeded";
+inline constexpr const char* kErrCancelled = "cancelled";
+inline constexpr const char* kErrDraining = "draining";
+inline constexpr const char* kErrInternal = "internal";
+
+enum class Op { kPing, kBandwidth, kSimulate, kSweep };
+
+std::string to_string(Op op);
+/// Parse "ping"/"bandwidth"/"simulate"/"sweep"; throws InvalidArgument.
+Op op_from_string(const std::string& name);
+
+struct ServiceRequest {
+  std::uint64_t id = 0;
+  Op op = Op::kPing;
+
+  /// Topology: scheme/n/m/b/g/k map onto TopologySpec.
+  TopologySpec topo;
+  /// Workload: "uniform" or "hier4" (the Section-IV two-level {4, N/4}
+  /// hierarchy with 0.6/0.3/0.1 aggregate fractions; requires 4 | N).
+  std::string workload = "uniform";
+  /// Request rate r as a decimal string — kept textual end to end so the
+  /// exact-rational path sees the same literal the client typed.
+  std::string rate = "1";
+
+  /// Simulation knobs (op=simulate).
+  std::int64_t cycles = 20000;
+  std::int64_t warmup = 1000;
+  std::uint64_t seed = 0xC0FFEE;
+  int replications = 1;
+  bool resubmit = false;
+  EngineKind engine = EngineKind::kFast;
+
+  /// op=sweep: closed-form bandwidth for every B in [1, bmax]
+  /// (0 = use topo.buses).
+  int bmax = 0;
+
+  /// Wall-clock budget for this request, queue wait included.
+  /// 0 = server default; servers clamp to their configured maximum.
+  std::int64_t deadline_ms = 0;
+};
+
+/// Render `request` as a wire payload (inverse of parse_request).
+std::string format_request(const ServiceRequest& request);
+
+/// Parse a request payload. Throws InvalidArgument on malformed input
+/// (bad magic, unknown/duplicate keys, unparsable values, missing id).
+ServiceRequest parse_request(const std::string& payload);
+
+struct ServiceReply {
+  std::uint64_t id = 0;
+  bool ok = false;
+  /// One of the kErr* codes when !ok.
+  std::string code;
+  /// Human-readable detail (always last on the wire; may contain spaces).
+  std::string message;
+  /// Op-specific payload, serialized in sorted key order.
+  std::map<std::string, std::string> fields;
+
+  double field_double(const std::string& key) const;
+  std::int64_t field_int(const std::string& key) const;
+};
+
+ServiceReply make_ok_reply(std::uint64_t id);
+ServiceReply make_error_reply(std::uint64_t id, const std::string& code,
+                              const std::string& message);
+
+/// Render `reply` as a wire payload (inverse of parse_reply).
+std::string format_reply(const ServiceReply& reply);
+
+/// Parse a reply payload; throws InvalidArgument on malformed input.
+ServiceReply parse_reply(const std::string& payload);
+
+/// Execute `request` in-process: build the topology and workload, run
+/// the same evaluate() the batch CLIs use (cancellable via `cancel`,
+/// which may be null), and serialize the result. This is the single
+/// evaluation path — the daemon's workers call it, and tests call it
+/// directly to prove served replies are bit-identical to in-process
+/// evaluation. Throws: InvalidArgument for unbuildable requests,
+/// Cancelled when `cancel` fires, anything the engines throw.
+ServiceReply execute_request(const ServiceRequest& request,
+                             const std::atomic<bool>* cancel);
+
+}  // namespace mbus::service

@@ -1,0 +1,626 @@
+#include "service/server.hpp"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "service/protocol.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/format.hpp"
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
+#include "util/thread_pool.hpp"
+#include "util/watchdog.hpp"
+
+namespace mbus::service {
+
+namespace {
+
+/// Monotonic microseconds independent of the obs layer (which compiles
+/// to a 0-returning stub under MBUS_NO_OBS — the breaker's cooldown and
+/// the drain deadline must keep working there).
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// How one admitted request ended (reply classification + metrics).
+enum class Outcome { kServed, kBadRequest, kFailed, kDeadline, kCancelled };
+
+struct Pending {
+  std::uint64_t id = 0;
+  std::uint64_t conn_id = 0;
+  std::atomic<bool> cancel{false};
+  std::uint64_t lease = 0;
+  std::int64_t admitted_us = 0;
+};
+
+struct Completion {
+  std::uint64_t pending_id = 0;
+  std::uint64_t conn_id = 0;
+  std::string payload;
+  Outcome outcome = Outcome::kServed;
+};
+
+struct Connection {
+  int fd = -1;
+  FrameReader reader;
+  std::string outbuf;
+  /// The peer half-closed (EOF on read). Replies for its in-flight
+  /// requests still flow; the connection is reaped once the last one is
+  /// flushed.
+  bool read_closed = false;
+  /// Requests admitted on this connection and not yet answered.
+  int inflight = 0;
+};
+
+}  // namespace
+
+std::string ServerReport::summary() const {
+  return cat("connections=", connections, " accepted=", accepted,
+             " served=", served, " shed=", shed, " degraded=", degraded,
+             " failed=", failed, " deadline_exceeded=", deadline_exceeded,
+             " cancelled=", cancelled, " bad_requests=", bad_requests,
+             " draining_rejects=", draining_rejects);
+}
+
+struct Server::Impl {
+  explicit Impl(const ServerConfig& cfg) : config(cfg), breaker(cfg.breaker) {}
+
+  ServerConfig config;
+  UnixListener listener;
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<Watchdog> watchdog;
+  CircuitBreaker breaker;
+  CircuitBreaker::State last_breaker_state = CircuitBreaker::State::kClosed;
+
+  std::map<std::uint64_t, Connection> connections;
+  std::map<std::uint64_t, std::shared_ptr<Pending>> inflight;
+  std::uint64_t next_conn_id = 1;
+  std::uint64_t next_pending_id = 1;
+  int outstanding = 0;  // admitted, reply not yet delivered to the loop
+
+  bool draining = false;
+  bool drain_cutoff_done = false;
+  std::int64_t drain_deadline_us = 0;
+
+  ServerReport report;
+
+  std::mutex completions_mutex;
+  std::vector<Completion> completions;
+  int wake_read = -1;
+  int wake_write = -1;
+
+  // ---- worker -> loop handoff -------------------------------------
+
+  void push_completion(Completion completion) {
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex);
+      completions.push_back(std::move(completion));
+    }
+    // Best-effort wake: a full pipe means the loop is already behind on
+    // wakeups and will drain us on its next pass anyway.
+    const char byte = 'w';
+    [[maybe_unused]] const ssize_t n = ::write(wake_write, &byte, 1);
+  }
+
+  // ---- connection plumbing ----------------------------------------
+
+  void close_conn(std::uint64_t conn_id) {
+    const auto it = connections.find(conn_id);
+    if (it == connections.end()) return;
+    close_fd(it->second.fd);
+    connections.erase(it);
+    obs::MetricsRegistry::global().gauge("svc.connections.open")
+        .set(static_cast<std::int64_t>(connections.size()));
+  }
+
+  /// Flush as much of the connection's output buffer as the socket
+  /// accepts right now. Returns false when the connection broke (and
+  /// has been closed).
+  bool flush_conn(std::uint64_t conn_id) {
+    const auto it = connections.find(conn_id);
+    if (it == connections.end()) return false;
+    Connection& conn = it->second;
+    while (!conn.outbuf.empty()) {
+      const ssize_t n = ::send(conn.fd, conn.outbuf.data(),
+                               conn.outbuf.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.outbuf.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      close_conn(conn_id);  // peer gone (EPIPE/ECONNRESET/...)
+      return false;
+    }
+    return true;
+  }
+
+  /// Queue one reply on its connection (dropped with a counter when the
+  /// client already disconnected — the reply has nowhere to go).
+  void enqueue_reply(std::uint64_t conn_id, const ServiceReply& reply) {
+    const auto it = connections.find(conn_id);
+    if (it == connections.end()) {
+      obs::MetricsRegistry::global()
+          .counter("svc.replies.dropped_disconnected")
+          .increment();
+      return;
+    }
+    it->second.outbuf += encode_frame(format_reply(reply));
+    if (it->second.outbuf.size() > kMaxOutbufBytes) {
+      // A client that sends requests but never reads replies would grow
+      // this buffer without bound; bounded memory wins over the slow
+      // consumer.
+      obs::MetricsRegistry::global()
+          .counter("svc.connections.slow_closed")
+          .increment();
+      close_conn(conn_id);
+      return;
+    }
+    flush_conn(conn_id);
+  }
+
+  // ---- admission & dispatch ---------------------------------------
+
+  void set_queue_gauge() {
+    obs::MetricsRegistry::global().gauge("svc.queue.depth").set(outstanding);
+  }
+
+  std::int64_t clamp_deadline_ms(std::int64_t requested) const {
+    if (requested <= 0) return config.default_deadline_ms;
+    return std::min(requested, config.max_deadline_ms);
+  }
+
+  void record_outcome(Outcome outcome, const char* /*op*/) {
+    auto& reg = obs::MetricsRegistry::global();
+    switch (outcome) {
+      case Outcome::kServed:
+        ++report.served;
+        reg.counter("svc.requests.served").increment();
+        break;
+      case Outcome::kBadRequest:
+        ++report.bad_requests;
+        reg.counter("svc.requests.bad_request").increment();
+        break;
+      case Outcome::kFailed:
+        ++report.failed;
+        reg.counter("svc.requests.failed").increment();
+        break;
+      case Outcome::kDeadline:
+        ++report.deadline_exceeded;
+        reg.counter("svc.requests.deadline_exceeded").increment();
+        break;
+      case Outcome::kCancelled:
+        ++report.cancelled;
+        reg.counter("svc.requests.cancelled").increment();
+        break;
+    }
+  }
+
+  void admit(std::uint64_t conn_id, ServiceRequest request) {
+    auto& reg = obs::MetricsRegistry::global();
+    auto pending = std::make_shared<Pending>();
+    pending->id = next_pending_id++;
+    pending->conn_id = conn_id;
+    pending->admitted_us = steady_now_us();
+    const std::int64_t deadline_ms = clamp_deadline_ms(request.deadline_ms);
+    pending->lease = watchdog->arm(&pending->cancel,
+                                   std::chrono::milliseconds(deadline_ms));
+    inflight.emplace(pending->id, pending);
+    const auto conn_it = connections.find(conn_id);
+    if (conn_it != connections.end()) ++conn_it->second.inflight;
+    ++outstanding;
+    set_queue_gauge();
+    ++report.accepted;
+    reg.counter("svc.requests.accepted").increment();
+
+    Impl* impl = this;
+    pool->submit([impl, pending, request = std::move(request)]() {
+      Completion completion;
+      completion.pending_id = pending->id;
+      completion.conn_id = pending->conn_id;
+      bool cancelled_seen = false;
+      try {
+        MBUS_FAILPOINT("service.dispatch");
+        const ServiceReply reply =
+            execute_request(request, &pending->cancel);
+        completion.payload = format_reply(reply);
+        completion.outcome = Outcome::kServed;
+      } catch (const Cancelled&) {
+        cancelled_seen = true;
+      } catch (const InvalidArgument& e) {
+        completion.payload = format_reply(
+            make_error_reply(request.id, kErrBadRequest, e.what()));
+        completion.outcome = Outcome::kBadRequest;
+      } catch (const std::exception& e) {
+        completion.payload = format_reply(
+            make_error_reply(request.id, kErrInternal, e.what()));
+        completion.outcome = Outcome::kFailed;
+      }
+      // Disarm exactly once, after the run: true means this request's
+      // own deadline fired — the distinction between "too slow" (a
+      // client-visible deadline_exceeded, an engine-health signal) and
+      // "server drain cut it short" (cancelled, not a health signal).
+      const bool timed_out = impl->watchdog->disarm(pending->lease);
+      if (cancelled_seen) {
+        completion.outcome =
+            timed_out ? Outcome::kDeadline : Outcome::kCancelled;
+        completion.payload = format_reply(make_error_reply(
+            request.id,
+            timed_out ? kErrDeadlineExceeded : kErrCancelled,
+            timed_out ? "deadline exceeded" : "cancelled by server drain"));
+      }
+      const std::int64_t now = steady_now_us();
+      switch (completion.outcome) {
+        case Outcome::kServed:
+        case Outcome::kBadRequest:
+          // A bad request says nothing about engine health; counting it
+          // as breaker success also guarantees a half-open probe always
+          // resolves.
+          impl->breaker.record_success(now);
+          break;
+        case Outcome::kFailed:
+        case Outcome::kDeadline:
+          // Deadline overruns are an engine-health signal too: a wedged
+          // engine must eventually trip the breaker, and a half-open
+          // probe that times out must re-open it.
+          impl->breaker.record_failure(now);
+          break;
+        case Outcome::kCancelled:
+          break;  // drain artifact, not a health signal
+      }
+      obs::MetricsRegistry::global()
+          .histogram("svc.request_us", obs::latency_us_bounds())
+          .observe(now - pending->admitted_us);
+      impl->push_completion(std::move(completion));
+    });
+  }
+
+  void handle_request(std::uint64_t conn_id, const std::string& payload) {
+    auto& reg = obs::MetricsRegistry::global();
+    ServiceRequest request;
+    try {
+      request = parse_request(payload);
+    } catch (const std::exception& e) {
+      ++report.bad_requests;
+      reg.counter("svc.requests.bad_request").increment();
+      enqueue_reply(conn_id, make_error_reply(0, kErrBadRequest, e.what()));
+      return;
+    }
+    if (draining) {
+      ++report.draining_rejects;
+      reg.counter("svc.requests.draining").increment();
+      enqueue_reply(conn_id,
+                    make_error_reply(request.id, kErrDraining,
+                                     "server is draining; not admitted"));
+      return;
+    }
+    if (request.op == Op::kPing) {
+      // Health probes are answered inline from the loop: they must work
+      // even when the queue is full and the breaker is open. They still
+      // count — every request gets an accounted outcome.
+      ++report.accepted;
+      reg.counter("svc.requests.accepted").increment();
+      ++report.served;
+      reg.counter("svc.requests.served").increment();
+      ServiceReply reply = make_ok_reply(request.id);
+      reply.fields["op"] = "ping";
+      enqueue_reply(conn_id, reply);
+      return;
+    }
+    if (!breaker.allow(steady_now_us())) {
+      ++report.degraded;
+      reg.counter("svc.requests.degraded").increment();
+      enqueue_reply(conn_id,
+                    make_error_reply(request.id, kErrDegraded,
+                                     "circuit breaker open: engines are "
+                                     "failing; retry after cooldown"));
+      return;
+    }
+    if (outstanding >= config.queue_capacity) {
+      ++report.shed;
+      reg.counter("svc.requests.shed").increment();
+      enqueue_reply(
+          conn_id,
+          make_error_reply(request.id, kErrOverloaded,
+                           cat("admission queue full (", outstanding, "/",
+                               config.queue_capacity, "); retry later")));
+      return;
+    }
+    admit(conn_id, std::move(request));
+  }
+
+  void handle_readable(std::uint64_t conn_id) {
+    const auto it = connections.find(conn_id);
+    if (it == connections.end()) return;
+    Connection& conn = it->second;
+    if (conn.read_closed) return;  // POLLHUP after a half-close
+    if (const int injected = MBUS_FAILPOINT_IO("service.read")) {
+      errno = injected;
+      obs::MetricsRegistry::global().counter("svc.read.errors").increment();
+      close_conn(conn_id);
+      return;
+    }
+    const bool still_open = conn.reader.read_available(conn.fd);
+    try {
+      std::string payload;
+      while (connections.count(conn_id) != 0 &&
+             conn.reader.next_frame(payload)) {
+        handle_request(conn_id, payload);
+      }
+    } catch (const ProtocolError&) {
+      obs::MetricsRegistry::global()
+          .counter("svc.protocol.errors")
+          .increment();
+      close_conn(conn_id);
+      return;
+    }
+    if (connections.count(conn_id) == 0) return;
+    if (conn.reader.pending_bytes() > kMaxRequestBytes) {
+      // No legal request is this long; a peer streaming an enormous
+      // frame is either broken or hostile, and its buffer must not grow.
+      obs::MetricsRegistry::global()
+          .counter("svc.protocol.errors")
+          .increment();
+      close_conn(conn_id);
+      return;
+    }
+    // EOF means the peer is done *sending* — a client that batched its
+    // requests and half-closed still deserves every reply. Stop reading;
+    // reap_half_closed() closes the fd once the last reply is flushed.
+    if (!still_open) conn.read_closed = true;
+  }
+
+  /// Close half-closed connections whose every admitted request has been
+  /// answered and flushed.
+  void reap_half_closed() {
+    std::vector<std::uint64_t> done;
+    for (const auto& [conn_id, conn] : connections) {
+      if (conn.read_closed && conn.inflight == 0 && conn.outbuf.empty()) {
+        done.push_back(conn_id);
+      }
+    }
+    for (const std::uint64_t conn_id : done) close_conn(conn_id);
+  }
+
+  void accept_clients() {
+    auto& reg = obs::MetricsRegistry::global();
+    if (const int injected = MBUS_FAILPOINT_IO("service.accept")) {
+      errno = injected;
+      reg.counter("svc.accept.errors").increment();
+      return;
+    }
+    while (true) {
+      const int fd = listener.accept_client();
+      if (fd < 0) break;
+      Connection conn;
+      conn.fd = fd;
+      connections.emplace(next_conn_id++, std::move(conn));
+      ++report.connections;
+      reg.counter("svc.connections.accepted").increment();
+      reg.gauge("svc.connections.open")
+          .set(static_cast<std::int64_t>(connections.size()));
+    }
+  }
+
+  void drain_wake_pipe() {
+    char sink[256];
+    while (::read(wake_read, sink, sizeof sink) > 0) {
+    }
+  }
+
+  void deliver_completions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex);
+      batch.swap(completions);
+    }
+    for (Completion& completion : batch) {
+      record_outcome(completion.outcome, "");
+      inflight.erase(completion.pending_id);
+      const auto conn_it = connections.find(completion.conn_id);
+      if (conn_it != connections.end()) --conn_it->second.inflight;
+      --outstanding;
+      set_queue_gauge();
+      try {
+        enqueue_reply(completion.conn_id,
+                      parse_reply(completion.payload));
+      } catch (const std::exception&) {
+        // A reply the protocol itself cannot round-trip is a bug, but it
+        // must not take the server down; the client sees the connection
+        // close instead of a corrupt frame.
+        close_conn(completion.conn_id);
+      }
+    }
+  }
+
+  void poll_breaker_events() {
+    const CircuitBreaker::State state = breaker.state();
+    if (state == last_breaker_state) return;
+    last_breaker_state = state;
+    obs::MetricsRegistry::global().gauge("svc.breaker.state")
+        .set(static_cast<std::int64_t>(state));
+    obs::EventLog::global().emit(
+        "svc.breaker",
+        {{"state", CircuitBreaker::to_string(state)},
+         {"consecutive_failures", breaker.consecutive_failures()}});
+  }
+
+  void begin_drain() {
+    draining = true;
+    drain_deadline_us = steady_now_us() + config.drain_grace_ms * 1000;
+    listener.close();
+    obs::EventLog::global().emit("svc.drain.begin",
+                                 {{"outstanding", outstanding}});
+  }
+
+  void drain_cutoff_if_due() {
+    if (!draining || drain_cutoff_done) return;
+    if (outstanding == 0 || steady_now_us() < drain_deadline_us) return;
+    for (auto& [id, pending] : inflight) {
+      pending->cancel.store(true, std::memory_order_relaxed);
+    }
+    drain_cutoff_done = true;
+    obs::EventLog::global().emit("svc.drain.cutoff",
+                                 {{"outstanding", outstanding}});
+  }
+};
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  MBUS_EXPECTS(!config_.socket_path.empty(),
+               "server needs a socket path");
+  MBUS_EXPECTS(config_.workers >= 1,
+               cat("server needs workers >= 1, got ", config_.workers));
+  MBUS_EXPECTS(config_.queue_capacity >= 1,
+               cat("server needs queue_capacity >= 1, got ",
+                   config_.queue_capacity));
+  MBUS_EXPECTS(config_.default_deadline_ms >= 1 &&
+                   config_.max_deadline_ms >= config_.default_deadline_ms,
+               "server needs 1 <= default_deadline_ms <= max_deadline_ms");
+  MBUS_EXPECTS(config_.drain_grace_ms >= 0,
+               "server needs drain_grace_ms >= 0");
+  MBUS_EXPECTS(config_.poll_interval_ms >= 1,
+               "server needs poll_interval_ms >= 1");
+  impl_ = new Impl(config_);
+}
+
+Server::~Server() {
+  if (impl_ != nullptr) {
+    // run() tears down pool/watchdog itself; these are the fds of a
+    // server that never ran or stopped early.
+    if (impl_->wake_read >= 0) close_fd(impl_->wake_read);
+    if (impl_->wake_write >= 0) close_fd(impl_->wake_write);
+    for (auto& [id, conn] : impl_->connections) close_fd(conn.fd);
+    delete impl_;
+  }
+}
+
+void Server::start() {
+  impl_->listener = UnixListener::bind_and_listen(config_.socket_path,
+                                                  config_.listen_backlog);
+}
+
+ServerReport Server::run(const CancellationToken& stop) {
+  MBUS_EXPECTS(impl_->listener.valid(),
+               "Server::run needs start() to have bound the socket");
+  Impl& impl = *impl_;
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw Error(cat("pipe() for the service wake channel failed: ",
+                    strerror(errno)));
+  }
+  impl.wake_read = pipe_fds[0];
+  impl.wake_write = pipe_fds[1];
+  set_nonblocking(impl.wake_read);
+  set_nonblocking(impl.wake_write);
+
+  impl.pool = std::make_unique<ThreadPool>(config_.workers);
+  impl.watchdog = std::make_unique<Watchdog>();
+
+  obs::EventLog::global().emit(
+      "svc.start", {{"socket", config_.socket_path},
+                    {"workers", config_.workers},
+                    {"queue_capacity", config_.queue_capacity}});
+
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn_ids;
+  while (true) {
+    if (!impl.draining && stop.stop_requested()) impl.begin_drain();
+    impl.drain_cutoff_if_due();
+    if (impl.draining && impl.outstanding == 0) {
+      std::lock_guard<std::mutex> lock(impl.completions_mutex);
+      if (impl.completions.empty()) break;
+    }
+
+    fds.clear();
+    fd_conn_ids.clear();
+    fds.push_back({impl.wake_read, POLLIN, 0});
+    fd_conn_ids.push_back(0);
+    if (!impl.draining && impl.listener.valid()) {
+      fds.push_back({impl.listener.fd(), POLLIN, 0});
+      fd_conn_ids.push_back(0);
+    }
+    const std::size_t first_conn = fds.size();
+    for (const auto& [conn_id, conn] : impl.connections) {
+      short events = conn.read_closed ? 0 : POLLIN;
+      if (!conn.outbuf.empty()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+      fd_conn_ids.push_back(conn_id);
+    }
+
+    poll_eintr(fds.data(), static_cast<nfds_t>(fds.size()),
+               config_.poll_interval_ms);
+
+    if ((fds[0].revents & POLLIN) != 0) impl.drain_wake_pipe();
+    impl.deliver_completions();
+    if (!impl.draining && impl.listener.valid() && first_conn >= 2 &&
+        (fds[1].revents & POLLIN) != 0) {
+      impl.accept_clients();
+    }
+    for (std::size_t i = first_conn; i < fds.size(); ++i) {
+      const std::uint64_t conn_id = fd_conn_ids[i];
+      if ((fds[i].revents & POLLOUT) != 0) impl.flush_conn(conn_id);
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        impl.handle_readable(conn_id);
+      }
+    }
+    impl.reap_half_closed();
+    impl.poll_breaker_events();
+  }
+
+  // All work is done. Give straggling outbufs a short, bounded window to
+  // flush (clients deserve their last replies), then tear down.
+  const std::int64_t flush_deadline_us = steady_now_us() + 500 * 1000;
+  while (steady_now_us() < flush_deadline_us) {
+    bool any_pending = false;
+    std::vector<std::uint64_t> ids;
+    for (const auto& [conn_id, conn] : impl.connections) {
+      if (!conn.outbuf.empty()) ids.push_back(conn_id);
+    }
+    for (const std::uint64_t conn_id : ids) {
+      impl.flush_conn(conn_id);
+    }
+    for (const auto& [conn_id, conn] : impl.connections) {
+      if (!conn.outbuf.empty()) any_pending = true;
+    }
+    if (!any_pending) break;
+    pollfd idle{impl.wake_read, POLLIN, 0};
+    poll_eintr(&idle, 1, 20);
+  }
+
+  impl.pool.reset();      // joins the workers
+  impl.watchdog.reset();  // joins the monitor
+  std::vector<std::uint64_t> ids;
+  for (const auto& [conn_id, conn] : impl.connections) {
+    ids.push_back(conn_id);
+  }
+  for (const std::uint64_t conn_id : ids) impl.close_conn(conn_id);
+  close_fd(impl.wake_read);
+  close_fd(impl.wake_write);
+  impl.wake_read = -1;
+  impl.wake_write = -1;
+
+  obs::EventLog::global().emit(
+      "svc.drain.end",
+      {{"served", impl.report.served}, {"shed", impl.report.shed},
+       {"deadline_exceeded", impl.report.deadline_exceeded},
+       {"cancelled", impl.report.cancelled}});
+  return impl.report;
+}
+
+}  // namespace mbus::service

@@ -1,0 +1,114 @@
+// The mbusd evaluation server: a long-running, overload-hardened
+// serving surface over the batch evaluation library (DESIGN.md §14).
+//
+// Architecture: one single-threaded poll(2) event loop owns the unix
+// listener, every client connection, and all bookkeeping; evaluation
+// work runs on a shared ThreadPool. The loop and the workers meet in
+// exactly two places — a mutex-guarded completion queue (workers push
+// finished reply payloads and wake the loop through a self-pipe) and
+// the per-request atomic cancel flag (set by the deadline watchdog or
+// the drain cutoff, polled by the engines).
+//
+// Overload story, end to end:
+//   * Admission — at most `queue_capacity` requests may be admitted and
+//     unfinished at once. Request `queue_capacity + 1` gets a structured
+//     `overloaded` error reply immediately: memory stays bounded under
+//     any arrival rate, and the client learns to back off. Nothing is
+//     ever silently dropped.
+//   * Deadlines — every admitted request is armed on the shared Watchdog
+//     for its (clamped) deadline, queue wait included. A request whose
+//     deadline fires while queued or mid-simulation observes its cancel
+//     flag at the engines' next poll and is answered
+//     `deadline_exceeded` — a wedged simulation cannot hold a worker
+//     hostage past its budget.
+//   * Circuit breaker — consecutive engine failures trip the breaker;
+//     while open, requests get fast `degraded` replies without burning
+//     queue slots, and half-open probes test recovery (see breaker.hpp).
+//   * Graceful drain — on cancellation (SIGINT/SIGTERM via
+//     SignalGuard→CancellationToken in mbusd), the listener closes, new
+//     requests on live connections get `draining` replies, in-flight
+//     work finishes or deadlines out, and after `drain_grace_ms` any
+//     stragglers are cancelled. run() then returns normally, so mbusd
+//     exits 0.
+//
+// Slow or hostile clients are bounded too: a connection whose unparsed
+// input exceeds kMaxRequestBytes or whose unread replies exceed
+// kMaxOutbufBytes is closed, and framing corruption (ProtocolError)
+// closes the connection — a desynchronized stream cannot be saved.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/breaker.hpp"
+#include "util/shutdown.hpp"
+
+namespace mbus::service {
+
+struct ServerConfig {
+  /// Filesystem path of the unix-domain listening socket.
+  std::string socket_path;
+  /// Evaluation worker threads (>= 1; the event loop is extra).
+  int workers = 2;
+  /// Bound on admitted-but-unfinished requests; beyond it, shed.
+  int queue_capacity = 32;
+  /// Deadline applied when a request carries none.
+  std::int64_t default_deadline_ms = 2000;
+  /// Upper clamp on client-supplied deadlines.
+  std::int64_t max_deadline_ms = 30000;
+  /// Drain budget: after this, still-running requests are cancelled.
+  std::int64_t drain_grace_ms = 3000;
+  BreakerConfig breaker;
+  int listen_backlog = 64;
+  /// Poll timeout — bounds how stale cancellation detection can be.
+  int poll_interval_ms = 20;
+};
+
+/// Tallies of one run() (the daemon's exit summary; the same counts
+/// stream into the obs registry as svc.requests.* while running).
+struct ServerReport {
+  std::int64_t connections = 0;
+  std::int64_t accepted = 0;
+  std::int64_t served = 0;
+  std::int64_t shed = 0;
+  std::int64_t degraded = 0;
+  std::int64_t failed = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t bad_requests = 0;
+  std::int64_t draining_rejects = 0;
+
+  std::string summary() const;
+};
+
+class Server {
+ public:
+  /// Unparsed input cap per connection (requests are one short line).
+  static constexpr std::size_t kMaxRequestBytes = 64u << 10;
+  /// Unflushed reply cap per connection (slow-consumer cutoff).
+  static constexpr std::size_t kMaxOutbufBytes = 4u << 20;
+
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind and listen on config.socket_path. Throws on failure. Separate
+  /// from run() so callers know the socket exists before clients race
+  /// to connect.
+  void start();
+
+  /// Serve until `stop` fires, then drain and return the run's tallies.
+  /// Must be preceded by start().
+  ServerReport run(const CancellationToken& stop);
+
+  const ServerConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Impl;
+  ServerConfig config_;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace mbus::service

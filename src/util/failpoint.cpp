@@ -1,5 +1,7 @@
 #include "util/failpoint.hpp"
 
+#include <cerrno>
+
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -15,16 +17,32 @@ namespace failpoints {
 
 namespace {
 
-enum class Action { kThrow, kSleep, kNoop, kAbort, kExit };
+enum class Action { kThrow, kSleep, kNoop, kAbort, kExit, kErr };
 
 struct Site {
   std::string name;
   Action action = Action::kNoop;
   std::int64_t sleep_ms = 0;
   int exit_code = 0;
+  int err_errno = 0;
   std::int64_t from_hit = 1;   // first hit that acts (1-based)
   bool repeat = true;          // act on every hit >= from_hit
   std::int64_t hits = 0;
+};
+
+/// The accepted `err:` vocabulary. A fixed table (rather than strtol on
+/// arbitrary numbers) keeps drills portable across platforms where raw
+/// errno numbers differ, and lets arm() reject typos loudly.
+struct ErrnoName {
+  const char* name;
+  int value;
+};
+constexpr ErrnoName kErrnoNames[] = {
+    {"ENOSPC", ENOSPC},   {"ECONNRESET", ECONNRESET},
+    {"EAGAIN", EAGAIN},   {"EIO", EIO},
+    {"EPIPE", EPIPE},     {"EINTR", EINTR},
+    {"EMFILE", EMFILE},   {"ECONNABORTED", ECONNABORTED},
+    {"ENOBUFS", ENOBUFS}, {"EACCES", EACCES},
 };
 
 std::atomic<bool> g_enabled{false};
@@ -88,14 +106,22 @@ Site parse_clause(const std::string& clause) {
                      "' — expected exit:<0..255>"));
     site.exit_code = static_cast<int>(parsed);
     site.action = Action::kExit;
+  } else if (action.rfind("err:", 0) == 0) {
+    const std::string name = action.substr(4);
+    site.err_errno = errno_from_name(name);
+    MBUS_EXPECTS(site.err_errno != 0,
+                 cat("unknown errno '", name, "' in failpoint '", clause,
+                     "' — expected one of ENOSPC, ECONNRESET, EAGAIN, EIO, "
+                     "EPIPE, EINTR, EMFILE, ECONNABORTED, ENOBUFS, EACCES"));
+    site.action = Action::kErr;
   } else {
     // Parse-time strictness is load-bearing: a typo'd action must fail
     // the arm() call loudly, never arm a site that silently no-ops while
     // the operator believes a crash drill is armed.
     MBUS_EXPECTS(false,
                  cat("unknown failpoint action '", action, "' in '", clause,
-                     "' — expected throw, sleep:<ms>, noop, abort, or "
-                     "exit:<code>"));
+                     "' — expected throw, sleep:<ms>, noop, abort, "
+                     "exit:<code>, or err:<errno>"));
   }
   return site;
 }
@@ -143,22 +169,24 @@ bool enabled() noexcept {
   return g_enabled.load(std::memory_order_relaxed);
 }
 
-void evaluate(const char* site) {
+int injected_errno(const char* site) {
   Action action = Action::kNoop;
   std::int64_t sleep_ms = 0;
   int exit_code = 0;
+  int err_errno = 0;
   std::int64_t hit = 0;
   {
     std::lock_guard<std::mutex> lock(g_mutex);
     Site* found = find_locked(site);
-    if (found == nullptr) return;
+    if (found == nullptr) return 0;
     hit = ++found->hits;
     const bool acts = found->repeat ? hit >= found->from_hit
                                     : hit == found->from_hit;
-    if (!acts) return;
+    if (!acts) return 0;
     action = found->action;
     sleep_ms = found->sleep_ms;
     exit_code = found->exit_code;
+    err_errno = found->err_errno;
   }
   // Count the trip (armed site acted — including noop probes) before the
   // action, so kThrow trips are visible in the registry too.
@@ -181,9 +209,25 @@ void evaluate(const char* site) {
       // "worker vanished with code N" drill (exit:75 exercises the
       // resumable-exit propagation path).
       std::_Exit(exit_code);
+    case Action::kErr:
+      return err_errno;
     case Action::kNoop:
       break;
   }
+  return 0;
+}
+
+void evaluate(const char* site) {
+  // A plain statement probe at an err-armed site counts the hit but has
+  // no way to surface an errno; the injected value is dropped.
+  (void)injected_errno(site);
+}
+
+int errno_from_name(const std::string& name) {
+  for (const ErrnoName& entry : kErrnoNames) {
+    if (name == entry.name) return entry.value;
+  }
+  return 0;
 }
 
 }  // namespace failpoints

@@ -20,9 +20,18 @@
 //                       crash drills against the supervised runner
 //   site=exit:75        _Exit(code) — vanish with an exit code (no
 //                       unwinding, no atexit, no stdio flush)
+//   site=err:ENOSPC     inject an I/O error: probes placed with
+//                       MBUS_FAILPOINT_IO observe the named errno and
+//                       make the wrapped syscall fail as if the kernel
+//                       had returned it (disk full, peer reset, ...).
+//                       Only the named errnos in the table below are
+//                       accepted; plain MBUS_FAILPOINT statement probes
+//                       at an err-armed site count the hit but cannot
+//                       surface an errno, so they act as noop.
 //
-// Unknown actions and malformed triggers are rejected at arm() time with
-// InvalidArgument — a typo'd drill must never arm a silent no-op.
+// Unknown actions, unknown errno names, and malformed triggers are
+// rejected at arm() time with InvalidArgument — a typo'd drill must
+// never arm a silent no-op.
 //
 // Example: MBUS_FAILPOINTS="checkpoint.flush=throw@2" fails the second
 // checkpoint flush of the process, wherever it happens. Hit counters are
@@ -69,6 +78,17 @@ bool enabled() noexcept;
 /// The macro's slow path; do not call directly.
 void evaluate(const char* site);
 
+/// The MBUS_FAILPOINT_IO macro's slow path; do not call directly.
+/// Performs the same hit counting and actions as `evaluate`, and
+/// additionally returns the injected errno when the site is armed with
+/// an `err:<errno>` action (0 otherwise).
+int injected_errno(const char* site);
+
+/// The errno value for an accepted `err:` action name ("ENOSPC",
+/// "ECONNRESET", ...); 0 for names outside the table. Exposed so tests
+/// can enumerate the accepted vocabulary.
+int errno_from_name(const std::string& name);
+
 /// RAII arm/disarm for tests: arms `spec` on construction, disarms
 /// everything on destruction (even when the test throws).
 class Scoped {
@@ -86,6 +106,8 @@ class Scoped {
 #define MBUS_FAILPOINT(site) \
   do {                       \
   } while (false)
+/// Compiled out: the expression is the constant 0 and folds away.
+#define MBUS_FAILPOINT_IO(site) 0
 #else
 /// A probe site: near-zero cost unless some failpoint is armed.
 #define MBUS_FAILPOINT(site)                                      \
@@ -94,4 +116,14 @@ class Scoped {
       ::mbus::failpoints::evaluate(site);                         \
     }                                                             \
   } while (false)
+/// An I/O probe site: evaluates to the injected errno (0 when disarmed
+/// or armed with a non-err action). Call sites wrap a syscall:
+///
+///   int rc;
+///   if (const int e = MBUS_FAILPOINT_IO("svc.read")) { errno = e; rc = -1; }
+///   else rc = ::read(fd, ...);
+#define MBUS_FAILPOINT_IO(site)              \
+  (::mbus::failpoints::enabled()             \
+       ? ::mbus::failpoints::injected_errno(site) \
+       : 0)
 #endif

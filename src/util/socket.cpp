@@ -1,0 +1,139 @@
+#include "util/socket.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mbus {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int poll_eintr(pollfd* fds, nfds_t count, int timeout_ms) {
+  while (true) {
+    const int rc = ::poll(fds, count, timeout_ms);
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+namespace {
+
+/// Fill a sockaddr_un for `path`; throws InvalidArgument when the path
+/// does not fit (sun_path is ~108 bytes on Linux — a silent truncation
+/// would bind the wrong file).
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  MBUS_EXPECTS(!path.empty(), "unix socket path must not be empty");
+  MBUS_EXPECTS(path.size() < sizeof addr.sun_path,
+               cat("unix socket path too long (", path.size(), " bytes, max ",
+                   sizeof addr.sun_path - 1, "): ", path));
+  ::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+UnixListener UnixListener::bind_and_listen(const std::string& path,
+                                           int backlog) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw Error(cat("socket(AF_UNIX) failed: ", strerror(errno)));
+  }
+  // A previous daemon that crashed leaves its socket file behind; bind
+  // would fail with EADDRINUSE even though nobody is listening. The
+  // service owns its path, so removing a stale file is always correct.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw Error(cat("bind(", path, ") failed: ", strerror(saved)));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw Error(cat("listen(", path, ") failed: ", strerror(saved)));
+  }
+  set_nonblocking(fd);
+  UnixListener listener;
+  listener.fd_ = fd;
+  listener.path_ = path;
+  return listener;
+}
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+UnixListener::~UnixListener() { close(); }
+
+int UnixListener::accept_client() noexcept {
+  if (fd_ < 0) return -1;
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      set_nonblocking(client);
+      return client;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return -1;  // real error; errno left for the caller
+  }
+}
+
+void UnixListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+int connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw Error(cat("socket(AF_UNIX) failed: ", strerror(errno)));
+  }
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr) != 0) {
+    if (errno == EINTR) continue;
+    const int saved = errno;
+    ::close(fd);
+    throw Error(cat("connect(", path, ") failed: ", strerror(saved)));
+  }
+  return fd;
+}
+
+}  // namespace mbus

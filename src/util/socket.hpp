@@ -1,0 +1,74 @@
+// Unix-domain stream sockets and EINTR-safe fd helpers, shared by the
+// evaluation service (src/service) and the supervised campaign runner's
+// pipe plumbing (util/subprocess).
+//
+// Everything here is deliberately thin: no event loop, no buffering
+// policy — just the syscall wrappers that are easy to get subtly wrong
+// (EINTR retries, stale-socket unlink-before-bind, sun_path length
+// limits, O_NONBLOCK toggling). The service's poll loop and the frame
+// protocol (util/subprocess.hpp write_frame/FrameReader) compose on top.
+#pragma once
+
+#include <poll.h>
+
+#include <string>
+
+namespace mbus {
+
+/// Switch `fd` to O_NONBLOCK (best-effort; preserves other flags).
+void set_nonblocking(int fd);
+
+/// poll(2) retried on EINTR. Returns poll's result (>= 0) or -1 on a
+/// non-EINTR error with errno set.
+int poll_eintr(pollfd* fds, nfds_t count, int timeout_ms);
+
+/// close(2) that ignores EINTR (POSIX leaves the fd state unspecified on
+/// EINTR; retrying close risks racing a concurrent open, so we follow
+/// the Linux rule: the fd is gone either way).
+void close_fd(int fd) noexcept;
+
+/// A listening unix-domain stream socket bound to a filesystem path.
+/// The listener owns the path: a stale socket file from a crashed
+/// previous daemon is unlinked before bind, and the path is unlinked
+/// again on destruction. The listening fd is O_NONBLOCK so an accept
+/// sweep can run inside a poll loop without ever blocking.
+class UnixListener {
+ public:
+  /// Bind and listen on `path`. Throws InvalidArgument when the path is
+  /// empty or too long for sockaddr_un, Error when socket/bind/listen
+  /// fail.
+  static UnixListener bind_and_listen(const std::string& path,
+                                      int backlog = 16);
+
+  UnixListener() = default;
+  UnixListener(UnixListener&& other) noexcept;
+  UnixListener& operator=(UnixListener&& other) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+  /// Closes the fd and unlinks the socket path.
+  ~UnixListener();
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Accept one pending connection (EINTR-safe). The returned fd is
+  /// switched to O_NONBLOCK. Returns -1 with errno unchanged when no
+  /// connection is pending (EAGAIN) and -1 with errno set on real
+  /// accept errors (the caller decides whether to log or shed).
+  int accept_client() noexcept;
+
+  /// Close and unlink now (stop accepting before drain); idempotent.
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connect a blocking unix-domain stream socket to `path` (EINTR-safe).
+/// Throws Error when the socket cannot be created or the connect fails
+/// (e.g. no daemon listening).
+int connect_unix(const std::string& path);
+
+}  // namespace mbus

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "util/format.hpp"
+#include "util/socket.hpp"
 
 namespace mbus {
 
@@ -23,11 +24,6 @@ constexpr std::size_t kPrefixLen = 9;
 /// The payload cap lives on FrameReader (public, so tests and the fuzz
 /// harness can probe the boundary).
 constexpr std::size_t kMaxFrameLen = FrameReader::kMaxFrameLen;
-
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
 
 bool parse_hex8(const char* s, std::size_t& out) {
   std::size_t value = 0;
@@ -200,11 +196,10 @@ void Subprocess::close_pipes() noexcept {
   command_fd_ = -1;
 }
 
-bool write_frame(int fd, const std::string& payload) {
-  // A payload beyond the reader's cap could never be accepted on the
-  // other end (and > 0xffffffff would overflow the 8-hex-digit prefix
-  // and desynchronize the stream), so refuse it here.
-  if (payload.size() > kMaxFrameLen) return false;
+std::string encode_frame(const std::string& payload) {
+  MBUS_EXPECTS(payload.size() <= kMaxFrameLen,
+               cat("frame payload of ", payload.size(),
+                   " bytes exceeds the ", kMaxFrameLen, "-byte cap"));
   char prefix[16];
   std::snprintf(prefix, sizeof prefix, "%08zx ", payload.size());
   std::string frame;
@@ -212,6 +207,15 @@ bool write_frame(int fd, const std::string& payload) {
   frame.append(prefix, kPrefixLen);
   frame.append(payload);
   frame.push_back('\n');
+  return frame;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+  // A payload beyond the reader's cap could never be accepted on the
+  // other end (and > 0xffffffff would overflow the 8-hex-digit prefix
+  // and desynchronize the stream), so refuse it here.
+  if (payload.size() > kMaxFrameLen) return false;
+  const std::string frame = encode_frame(payload);
 
   std::size_t written = 0;
   while (written < frame.size()) {

@@ -124,6 +124,13 @@ class Subprocess {
   ExitStatus status_;
 };
 
+/// Render one framed message (`<8 hex digits> <payload>\n`) into a
+/// buffer — the encoding write_frame puts on the wire, exposed for
+/// callers that maintain their own output buffers (the service's
+/// non-blocking connection writer). Throws InvalidArgument for payloads
+/// beyond FrameReader::kMaxFrameLen (they could never be read back).
+std::string encode_frame(const std::string& payload);
+
 /// Write one framed message to `fd`, looping over short writes. Returns
 /// false on any write error (EPIPE when the peer died) without raising
 /// SIGPIPE side effects beyond the process's disposition — supervisors

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -492,6 +493,86 @@ TEST(Resilience, TokenAlreadyFiredSkipsEverythingImmediately) {
     EXPECT_TRUE(point.cancelled);
     EXPECT_FALSE(point.scheme.empty());
   }
+}
+
+// ---- err:<errno> injection and directory-fsync durability --------------
+
+TEST(Failpoint, ErrActionInjectsTheNamedErrno) {
+  failpoints::Scoped armed("drill.io=err:ENOSPC");
+  EXPECT_EQ(MBUS_FAILPOINT_IO("drill.io"), ENOSPC);
+  EXPECT_EQ(MBUS_FAILPOINT_IO("drill.io"), ENOSPC);  // every hit
+  EXPECT_EQ(failpoints::hits("drill.io"), 2);
+  EXPECT_EQ(MBUS_FAILPOINT_IO("drill.other"), 0);  // unarmed site
+}
+
+TEST(Failpoint, ErrActionHonorsHitTriggers) {
+  failpoints::Scoped armed("drill.io=err:ECONNRESET@2");
+  EXPECT_EQ(MBUS_FAILPOINT_IO("drill.io"), 0);           // 1st hit
+  EXPECT_EQ(MBUS_FAILPOINT_IO("drill.io"), ECONNRESET);  // 2nd hit
+  EXPECT_EQ(MBUS_FAILPOINT_IO("drill.io"), 0);           // 3rd hit
+}
+
+TEST(Failpoint, ErrUnknownErrnoNamesAreRejectedAtArmTime) {
+  EXPECT_THROW(failpoints::arm("drill.io=err:EBOGUS"), InvalidArgument);
+  EXPECT_THROW(failpoints::arm("drill.io=err:"), InvalidArgument);
+  // A rejected spec must not leave anything armed.
+  EXPECT_FALSE(failpoints::enabled());
+  EXPECT_EQ(failpoints::errno_from_name("ENOSPC"), ENOSPC);
+  EXPECT_EQ(failpoints::errno_from_name("EAGAIN"), EAGAIN);
+  EXPECT_EQ(failpoints::errno_from_name("EBOGUS"), 0);
+}
+
+TEST(Failpoint, ErrArmedStatementProbeCountsButActsAsNoop) {
+  failpoints::Scoped armed("drill.stmt=err:EIO");
+  // A statement probe has no errno channel; the site still counts hits.
+  EXPECT_NO_THROW(MBUS_FAILPOINT("drill.stmt"));
+  EXPECT_EQ(failpoints::hits("drill.stmt"), 1);
+}
+
+TEST(Resilience, DirectoryFsyncFailureIsAbsorbedAndCounted) {
+  const std::string path = testing::TempDir() + "mbus_res_dirsync.jsonl";
+  std::remove(path.c_str());
+
+  CheckpointWriter writer(path, "fp", "{\"spec\":1}");
+  {
+    // The rename publishes the file, but the directory entry is not
+    // durable — the writer must report the flush as failed (durability
+    // is the contract) while the campaign lives on.
+    failpoints::Scoped armed("checkpoint.dirsync=err:EIO");
+    EXPECT_FALSE(writer.append("{\"point\":1}"));
+    EXPECT_EQ(writer.flush_failures(), 1);
+    EXPECT_NE(writer.last_error().find("fsync directory"),
+              std::string::npos);
+  }
+
+  // Disarmed, the next flush succeeds and the published checkpoint is
+  // complete — the failed dirsync never corrupted the data path.
+  EXPECT_TRUE(writer.append("{\"point\":2}"));
+  EXPECT_EQ(writer.flush_failures(), 1);
+  const LoadedCheckpoint loaded = load_checkpoint_file(path);
+  EXPECT_EQ(loaded.report.corrupt_lines, 0);
+  ASSERT_EQ(loaded.payloads.size(), 2u);
+  EXPECT_EQ(loaded.payloads[0], "{\"point\":1}");
+  EXPECT_EQ(loaded.payloads[1], "{\"point\":2}");
+  std::remove(path.c_str());
+}
+
+TEST(Resilience, CampaignSurvivesDirsyncFailuresBitIdentically) {
+  const UniformModel model = small_model();
+  const std::string path = testing::TempDir() + "mbus_res_dirsync2.jsonl";
+  std::remove(path.c_str());
+
+  const Campaign reference = Campaign::run(small_spec(), model);
+
+  CampaignSpec spec = small_spec();
+  spec.checkpoint_path = path;
+  Campaign sick = [&] {
+    failpoints::Scoped armed("checkpoint.dirsync=err:ENOSPC@2+");
+    return Campaign::run(spec, model);
+  }();
+  EXPECT_GT(sick.checkpoint_flush_failures(), 0);
+  expect_identical_points(reference, sick);
+  std::remove(path.c_str());
 }
 
 }  // namespace

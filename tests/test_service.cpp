@@ -1,0 +1,865 @@
+// Service battery (ctest label `service`): wire-protocol strictness,
+// circuit-breaker state machine, frame I/O over real socketpairs with
+// adversarial chunking, the unix-socket helpers, and the mbusd server
+// end to end — admission shedding, deadline enforcement, breaker
+// degradation, and graceful drain. Suite names all start with "Service"
+// so the tsan / asan-ubsan preset filters select them by that prefix.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bignum/bigrational.hpp"
+#include "core/evaluate.hpp"
+#include "core/system.hpp"
+#include "service/breaker.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/shutdown.hpp"
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
+
+namespace mbus {
+namespace {
+
+using service::CircuitBreaker;
+using service::Op;
+using service::ServiceReply;
+using service::ServiceRequest;
+
+ServiceRequest small_bandwidth_request(std::uint64_t id) {
+  ServiceRequest request;
+  request.id = id;
+  request.op = Op::kBandwidth;
+  request.topo.scheme = "full";
+  request.topo.processors = 16;
+  request.topo.memories = 16;
+  request.topo.buses = 4;
+  return request;
+}
+
+// ---- protocol ----------------------------------------------------------
+
+TEST(ServiceProtocol, RequestRoundTripsThroughTheWireFormat) {
+  ServiceRequest request = small_bandwidth_request(42);
+  request.op = Op::kSimulate;
+  request.workload = "hier4";
+  request.rate = "0.5";
+  request.cycles = 12345;
+  request.warmup = 678;
+  request.seed = 0xDEADBEEFULL;
+  request.replications = 3;
+  request.resubmit = true;
+  request.engine = EngineKind::kReference;
+  request.deadline_ms = 250;
+
+  const ServiceRequest parsed =
+      service::parse_request(service::format_request(request));
+  EXPECT_EQ(service::format_request(parsed),
+            service::format_request(request));
+  EXPECT_EQ(parsed.id, 42u);
+  EXPECT_EQ(parsed.op, Op::kSimulate);
+  EXPECT_EQ(parsed.workload, "hier4");
+  EXPECT_EQ(parsed.rate, "0.5");
+  EXPECT_EQ(parsed.seed, 0xDEADBEEFULL);
+  EXPECT_TRUE(parsed.resubmit);
+  EXPECT_EQ(parsed.deadline_ms, 250);
+}
+
+TEST(ServiceProtocol, MalformedRequestsAreRejectedAtTheDoor) {
+  const std::string ok = service::format_request(small_bandwidth_request(1));
+  EXPECT_NO_THROW(service::parse_request(ok));
+
+  EXPECT_THROW(service::parse_request("not-mbus v1 id=1"), InvalidArgument);
+  EXPECT_THROW(service::parse_request("mbus-req v2 id=1"), InvalidArgument);
+  // Missing id.
+  EXPECT_THROW(service::parse_request("mbus-req v1 op=ping"),
+               InvalidArgument);
+  // Unknown key, duplicate key, malformed values.
+  EXPECT_THROW(service::parse_request("mbus-req v1 id=1 bogus=7"),
+               InvalidArgument);
+  EXPECT_THROW(service::parse_request("mbus-req v1 id=1 id=2"),
+               InvalidArgument);
+  EXPECT_THROW(service::parse_request("mbus-req v1 id=-3"),
+               InvalidArgument);
+  EXPECT_THROW(service::parse_request("mbus-req v1 id=1 op=frobnicate"),
+               InvalidArgument);
+  EXPECT_THROW(service::parse_request("mbus-req v1 id=1 wl=zipf"),
+               InvalidArgument);
+  EXPECT_THROW(service::parse_request("mbus-req v1 id=1 r=fast"),
+               InvalidArgument);
+}
+
+TEST(ServiceProtocol, ReplyRoundTripsIncludingSpacedMessage) {
+  ServiceReply reply = service::make_error_reply(
+      9, service::kErrOverloaded, "admission queue full (8/8); retry later");
+  reply.fields["queue"] = "8";
+  const ServiceReply parsed =
+      service::parse_reply(service::format_reply(reply));
+  EXPECT_EQ(parsed.id, 9u);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.code, service::kErrOverloaded);
+  EXPECT_EQ(parsed.message, "admission queue full (8/8); retry later");
+  EXPECT_EQ(parsed.fields.at("queue"), "8");
+  EXPECT_EQ(service::format_reply(parsed), service::format_reply(reply));
+}
+
+TEST(ServiceProtocol, DoubleFieldsRoundTripBitExactly) {
+  ServiceReply reply = service::make_ok_reply(1);
+  const double awkward = 0.1 + 0.2;  // not representable prettily
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", awkward);
+  reply.fields["bandwidth"] = buffer;
+  const ServiceReply parsed =
+      service::parse_reply(service::format_reply(reply));
+  EXPECT_EQ(parsed.field_double("bandwidth"), awkward);  // exact ==
+}
+
+// ---- execute_request: the single evaluation path -----------------------
+
+TEST(ServiceExecute, BandwidthMatchesDirectEvaluateBitIdentically) {
+  const ServiceRequest request = small_bandwidth_request(7);
+  const ServiceReply reply = service::execute_request(request, nullptr);
+  ASSERT_TRUE(reply.ok);
+
+  const std::unique_ptr<Topology> topology = make_topology(request.topo);
+  const Workload workload =
+      Workload::uniform(16, 16, BigRational::parse("1"));
+  const Evaluation direct = evaluate(*topology, workload, {});
+  EXPECT_EQ(reply.field_double("bandwidth"), direct.analytic_bandwidth);
+  EXPECT_EQ(reply.field_double("pa"), direct.acceptance_probability);
+}
+
+TEST(ServiceExecute, SimulateMatchesDirectEvaluateBitIdentically) {
+  ServiceRequest request = small_bandwidth_request(8);
+  request.op = Op::kSimulate;
+  request.cycles = 4000;
+  request.warmup = 500;
+  request.seed = 99;
+  request.replications = 2;
+  const ServiceReply reply = service::execute_request(request, nullptr);
+  ASSERT_TRUE(reply.ok);
+
+  const std::unique_ptr<Topology> topology = make_topology(request.topo);
+  const Workload workload =
+      Workload::uniform(16, 16, BigRational::parse("1"));
+  EvaluationOptions options;
+  options.simulate = true;
+  options.sim.cycles = 4000;
+  options.sim.warmup = 500;
+  options.sim.seed = 99;
+  options.parallel.replications = 2;
+  options.parallel.threads = 1;
+  const Evaluation direct = evaluate(*topology, workload, options);
+  EXPECT_EQ(reply.field_double("bandwidth"), direct.simulation->bandwidth);
+  EXPECT_EQ(reply.field_double("blocked_fraction"),
+            direct.simulation->blocked_fraction);
+}
+
+TEST(ServiceExecute, PreFiredCancelFlagStopsTheRequest) {
+  ServiceRequest request = small_bandwidth_request(9);
+  request.op = Op::kSimulate;
+  std::atomic<bool> cancel{true};
+  EXPECT_THROW(service::execute_request(request, &cancel), Cancelled);
+}
+
+TEST(ServiceExecute, UnbuildableRequestsThrowInvalidArgument) {
+  ServiceRequest request = small_bandwidth_request(10);
+  request.workload = "hier4";
+  request.topo.processors = 6;  // 4 does not divide 6
+  request.topo.memories = 6;
+  EXPECT_THROW(service::execute_request(request, nullptr), InvalidArgument);
+}
+
+// ---- circuit breaker ---------------------------------------------------
+
+TEST(ServiceBreaker, TripsAfterConsecutiveFailuresAndCoolsDown) {
+  service::BreakerConfig config;
+  config.failure_threshold = 3;
+  config.open_cooldown_ms = 100;
+  CircuitBreaker breaker(config);
+  std::int64_t now = 0;
+
+  EXPECT_TRUE(breaker.allow(now));
+  breaker.record_failure(now);
+  breaker.record_failure(now);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.record_failure(now);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // Open: refuse fast until the cooldown elapses.
+  EXPECT_FALSE(breaker.allow(now));
+  EXPECT_FALSE(breaker.allow(now + 99 * 1000));
+  // Cooldown over: exactly one probe is admitted.
+  EXPECT_TRUE(breaker.allow(now + 101 * 1000));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(now + 101 * 1000));  // probe in flight
+
+  // Probe succeeds: closed again, failures forgotten.
+  breaker.record_success(now + 102 * 1000);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  EXPECT_TRUE(breaker.allow(now + 103 * 1000));
+}
+
+TEST(ServiceBreaker, FailedProbeReopensWithAFreshCooldown) {
+  service::BreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_cooldown_ms = 50;
+  CircuitBreaker breaker(config);
+
+  breaker.record_failure(0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(breaker.allow(60 * 1000));  // probe
+  breaker.record_failure(60 * 1000);      // probe fails
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // The cooldown restarts from the probe failure, not the first trip.
+  EXPECT_FALSE(breaker.allow(100 * 1000));
+  EXPECT_TRUE(breaker.allow(111 * 1000));
+}
+
+TEST(ServiceBreaker, SuccessResetsTheConsecutiveCount) {
+  service::BreakerConfig config;
+  config.failure_threshold = 2;
+  CircuitBreaker breaker(config);
+  breaker.record_failure(0);
+  breaker.record_success(0);
+  breaker.record_failure(0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.record_failure(0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(ServiceBreaker, ConfigIsValidated) {
+  service::BreakerConfig bad;
+  bad.failure_threshold = 0;
+  EXPECT_THROW(CircuitBreaker{bad}, InvalidArgument);
+  bad.failure_threshold = 1;
+  bad.open_cooldown_ms = -1;
+  EXPECT_THROW(CircuitBreaker{bad}, InvalidArgument);
+}
+
+// ---- frame I/O over real sockets ---------------------------------------
+
+/// A connected AF_UNIX stream socketpair, closed on scope exit.
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() {
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+};
+
+TEST(ServiceFrameSocket, EncodeFrameMatchesTheWireFormat) {
+  EXPECT_EQ(encode_frame("abc"), "00000003 abc\n");
+  EXPECT_EQ(encode_frame(""), "00000000 \n");
+}
+
+TEST(ServiceFrameSocket, DripFedOneByteAtATimeReassembles) {
+  SocketPair pair;
+  set_nonblocking(pair.fds[1]);
+  const std::string payload = "mbus-req v1 id=1 op=ping";
+  const std::string frame = encode_frame(payload);
+
+  FrameReader reader;
+  std::string out;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_EQ(::write(pair.fds[0], frame.data() + i, 1), 1);
+    ASSERT_TRUE(reader.read_available(pair.fds[1]));
+    if (i + 1 < frame.size()) {
+      // No complete frame until the very last byte arrives.
+      EXPECT_FALSE(reader.next_frame(out)) << "at byte " << i;
+    }
+  }
+  ASSERT_TRUE(reader.next_frame(out));
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(ServiceFrameSocket, LengthPrefixSplitAcrossReadsReassembles) {
+  SocketPair pair;
+  set_nonblocking(pair.fds[1]);
+  const std::string frame = encode_frame("hello world");
+
+  FrameReader reader;
+  std::string out;
+  // First chunk ends mid-prefix (4 of the 9 prefix bytes).
+  ASSERT_EQ(::write(pair.fds[0], frame.data(), 4), 4);
+  ASSERT_TRUE(reader.read_available(pair.fds[1]));
+  EXPECT_FALSE(reader.next_frame(out));
+  // Second chunk completes the prefix but not the payload.
+  ASSERT_EQ(::write(pair.fds[0], frame.data() + 4, 8), 8);
+  ASSERT_TRUE(reader.read_available(pair.fds[1]));
+  EXPECT_FALSE(reader.next_frame(out));
+  // Rest of the frame.
+  const std::size_t rest = frame.size() - 12;
+  ASSERT_EQ(::write(pair.fds[0], frame.data() + 12, rest),
+            static_cast<ssize_t>(rest));
+  ASSERT_TRUE(reader.read_available(pair.fds[1]));
+  ASSERT_TRUE(reader.next_frame(out));
+  EXPECT_EQ(out, "hello world");
+}
+
+TEST(ServiceFrameSocket, SeveralFramesInOneReadPopInOrder) {
+  SocketPair pair;
+  set_nonblocking(pair.fds[1]);
+  std::string wire;
+  for (int i = 0; i < 5; ++i) wire += encode_frame(std::string(i, 'x'));
+  ASSERT_EQ(::write(pair.fds[0], wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+
+  FrameReader reader;
+  ASSERT_TRUE(reader.read_available(pair.fds[1]));
+  std::string out;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(reader.next_frame(out)) << "frame " << i;
+    EXPECT_EQ(out, std::string(i, 'x'));
+  }
+  EXPECT_FALSE(reader.next_frame(out));
+}
+
+TEST(ServiceFrameSocket, LargeFrameSurvivesPartialWritesAndShortReads) {
+  SocketPair pair;
+  set_nonblocking(pair.fds[1]);
+  // Big enough that the kernel socket buffer forces write_frame through
+  // its short-write loop while the reader drains concurrently.
+  std::string payload(2u << 20, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + i % 26);
+  }
+
+  std::thread writer([&]() {
+    EXPECT_TRUE(write_frame(pair.fds[0], payload));
+  });
+  FrameReader reader;
+  std::string out;
+  bool done = false;
+  while (!done) {
+    ASSERT_TRUE(reader.read_available(pair.fds[1]));
+    done = reader.next_frame(out);
+    if (!done) {
+      pollfd pending{pair.fds[1], POLLIN, 0};
+      poll_eintr(&pending, 1, 100);
+    }
+  }
+  writer.join();
+  EXPECT_EQ(out, payload);
+}
+
+TEST(ServiceFrameSocket, EofMidFrameIsReportedNotInvented) {
+  SocketPair pair;
+  set_nonblocking(pair.fds[1]);
+  const std::string frame = encode_frame("truncated payload");
+  ASSERT_EQ(::write(pair.fds[0], frame.data(), frame.size() - 5),
+            static_cast<ssize_t>(frame.size() - 5));
+  ::close(pair.fds[0]);
+  pair.fds[0] = -1;
+
+  FrameReader reader;
+  std::string out;
+  EXPECT_FALSE(reader.read_available(pair.fds[1]));  // EOF
+  EXPECT_FALSE(reader.next_frame(out));  // partial frame never surfaces
+  EXPECT_GT(reader.pending_bytes(), 0u);
+}
+
+TEST(ServiceFrameSocket, CorruptPrefixThrowsProtocolError) {
+  FrameReader reader;
+  const std::string garbage = "notahexnum garbage payload\n";
+  reader.feed(garbage.data(), garbage.size());
+  std::string out;
+  EXPECT_THROW(reader.next_frame(out), ProtocolError);
+}
+
+// ---- unix socket helpers -----------------------------------------------
+
+std::string test_socket_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+int accept_with_retry(UnixListener& listener) {
+  for (int i = 0; i < 2000; ++i) {
+    const int fd = listener.accept_client();
+    if (fd >= 0) return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return -1;
+}
+
+TEST(ServiceSocketUtil, ListenConnectAcceptRoundTrip) {
+  const std::string path = test_socket_path("mbus_svc_sock1");
+  UnixListener listener = UnixListener::bind_and_listen(path);
+  ASSERT_TRUE(listener.valid());
+
+  const int client = connect_unix(path);
+  const int served = accept_with_retry(listener);
+  ASSERT_GE(served, 0);
+
+  // Bytes actually flow.
+  ASSERT_EQ(::write(client, "hi", 2), 2);
+  char buffer[8] = {};
+  ssize_t got = -1;
+  for (int i = 0; i < 2000 && got < 0; ++i) {
+    got = ::read(served, buffer, sizeof buffer);  // O_NONBLOCK
+    if (got < 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(got, 2);
+
+  close_fd(client);
+  close_fd(served);
+  listener.close();
+  // close() unlinked the path.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(ServiceSocketUtil, StaleSocketFileIsReplacedOnBind) {
+  // A crashed daemon leaves its socket file behind; the next bind must
+  // claim the path instead of failing with EADDRINUSE.
+  const std::string path = test_socket_path("mbus_svc_sock2");
+  {
+    std::ofstream stale(path, std::ios::binary);
+    stale << "stale";
+  }
+  EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+  UnixListener second = UnixListener::bind_and_listen(path);
+  EXPECT_TRUE(second.valid());
+  const int client = connect_unix(path);
+  EXPECT_GE(client, 0);
+  close_fd(client);
+}
+
+TEST(ServiceSocketUtil, InvalidPathsAreRejected) {
+  EXPECT_THROW(UnixListener::bind_and_listen(""), InvalidArgument);
+  EXPECT_THROW(UnixListener::bind_and_listen(std::string(200, 'x')),
+               InvalidArgument);
+  EXPECT_THROW(connect_unix(test_socket_path("mbus_svc_nothing_here")),
+               Error);
+}
+
+// ---- the server, end to end --------------------------------------------
+
+/// A server running on its own thread against a temp socket; stop()
+/// triggers the drain and returns the run report.
+class TestServer {
+ public:
+  explicit TestServer(service::ServerConfig config)
+      : server_(std::move(config)) {
+    server_.start();
+    thread_ = std::thread([this]() { report_ = server_.run(token_); });
+  }
+  ~TestServer() {
+    if (thread_.joinable()) stop();
+  }
+
+  service::ServerReport stop() {
+    token_.request_stop();
+    thread_.join();
+    return report_;
+  }
+
+  const std::string& socket_path() const {
+    return server_.config().socket_path;
+  }
+
+ private:
+  service::Server server_;
+  CancellationToken token_;
+  std::thread thread_;
+  service::ServerReport report_;
+};
+
+service::ServerConfig small_server_config(const char* socket_name) {
+  service::ServerConfig config;
+  config.socket_path = test_socket_path(socket_name);
+  config.workers = 2;
+  config.queue_capacity = 8;
+  config.default_deadline_ms = 5000;
+  config.max_deadline_ms = 10000;
+  config.drain_grace_ms = 200;
+  config.poll_interval_ms = 5;
+  return config;
+}
+
+void send_request(int fd, const ServiceRequest& request) {
+  ASSERT_TRUE(write_frame(fd, service::format_request(request)));
+}
+
+ServiceReply recv_reply(int fd, FrameReader& reader) {
+  std::string payload;
+  EXPECT_TRUE(read_frame_blocking(fd, reader, payload));
+  return service::parse_reply(payload);
+}
+
+TEST(ServiceServer, ConfigIsValidated) {
+  service::ServerConfig config = small_server_config("mbus_svc_cfg");
+  config.workers = 0;
+  EXPECT_THROW(service::Server{config}, InvalidArgument);
+  config = small_server_config("mbus_svc_cfg");
+  config.queue_capacity = 0;
+  EXPECT_THROW(service::Server{config}, InvalidArgument);
+  config = small_server_config("mbus_svc_cfg");
+  config.socket_path.clear();
+  EXPECT_THROW(service::Server{config}, InvalidArgument);
+}
+
+TEST(ServiceServer, ServesPingAndBandwidth) {
+  TestServer server(small_server_config("mbus_svc_serve"));
+  const int fd = connect_unix(server.socket_path());
+  FrameReader reader;
+
+  ServiceRequest ping;
+  ping.id = 1;
+  ping.op = Op::kPing;
+  send_request(fd, ping);
+  const ServiceReply pong = recv_reply(fd, reader);
+  EXPECT_TRUE(pong.ok);
+  EXPECT_EQ(pong.id, 1u);
+
+  send_request(fd, small_bandwidth_request(2));
+  const ServiceReply reply = recv_reply(fd, reader);
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.id, 2u);
+  EXPECT_GT(reply.field_double("bandwidth"), 0.0);
+  close_fd(fd);
+
+  const service::ServerReport report = server.stop();
+  EXPECT_EQ(report.served, 2);
+  EXPECT_EQ(report.shed, 0);
+}
+
+TEST(ServiceServer, ServedRepliesAreBitIdenticalToDirectEvaluation) {
+  TestServer server(small_server_config("mbus_svc_bitid"));
+  const int fd = connect_unix(server.socket_path());
+  FrameReader reader;
+
+  ServiceRequest request = small_bandwidth_request(3);
+  request.op = Op::kSimulate;
+  request.cycles = 3000;
+  request.warmup = 300;
+  request.seed = 1234;
+  send_request(fd, request);
+  const ServiceReply over_wire = recv_reply(fd, reader);
+  ASSERT_TRUE(over_wire.ok);
+
+  const ServiceReply direct = service::execute_request(request, nullptr);
+  // Same id, same op, and every serialized field byte-for-byte equal —
+  // %.17g doubles make this an exact bandwidth comparison.
+  EXPECT_EQ(service::format_reply(over_wire),
+            service::format_reply(direct));
+  close_fd(fd);
+}
+
+TEST(ServiceServer, SweepRepliesMatchDirectEvaluation) {
+  TestServer server(small_server_config("mbus_svc_sweep"));
+  const int fd = connect_unix(server.socket_path());
+  FrameReader reader;
+
+  ServiceRequest request = small_bandwidth_request(4);
+  request.op = Op::kSweep;
+  request.bmax = 6;
+  send_request(fd, request);
+  const ServiceReply over_wire = recv_reply(fd, reader);
+  ASSERT_TRUE(over_wire.ok);
+  EXPECT_EQ(over_wire.field_int("bmax"), 6);
+  const ServiceReply direct = service::execute_request(request, nullptr);
+  EXPECT_EQ(over_wire.fields.at("bandwidths"),
+            direct.fields.at("bandwidths"));
+  close_fd(fd);
+}
+
+TEST(ServiceServer, OverloadShedsWithStructuredReplies) {
+  service::ServerConfig config = small_server_config("mbus_svc_shed");
+  config.workers = 1;
+  config.queue_capacity = 1;
+  TestServer server(config);
+  const int fd = connect_unix(server.socket_path());
+  FrameReader reader;
+
+  // One slow request occupies the only queue slot...
+  ServiceRequest slow = small_bandwidth_request(100);
+  slow.op = Op::kSimulate;
+  slow.cycles = 2000000000;  // cannot finish before the drain cancels it
+  send_request(fd, slow);
+  // Give the loop a moment to admit it before the burst arrives.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // ...so a burst of cheap requests is shed, every one with an explicit
+  // `overloaded` reply.
+  const int burst = 5;
+  for (int i = 0; i < burst; ++i) {
+    send_request(fd, small_bandwidth_request(200 + i));
+  }
+  int overloaded = 0;
+  for (int i = 0; i < burst; ++i) {
+    const ServiceReply reply = recv_reply(fd, reader);
+    ASSERT_FALSE(reply.ok);
+    EXPECT_EQ(reply.code, service::kErrOverloaded);
+    EXPECT_GE(reply.id, 200u);
+    ++overloaded;
+  }
+  EXPECT_EQ(overloaded, burst);
+
+  // Drain: the slow request is cancelled after the grace period and
+  // still gets a structured reply before the connection closes.
+  const service::ServerReport report = server.stop();
+  EXPECT_EQ(report.shed, burst);
+  EXPECT_EQ(report.cancelled, 1);
+  const ServiceReply last = recv_reply(fd, reader);
+  EXPECT_EQ(last.id, 100u);
+  EXPECT_EQ(last.code, service::kErrCancelled);
+  close_fd(fd);
+}
+
+TEST(ServiceServer, DeadlineExceededWithinTwiceTheBudget) {
+  service::ServerConfig config = small_server_config("mbus_svc_deadline");
+  config.default_deadline_ms = 5000;
+  TestServer server(config);
+  const int fd = connect_unix(server.socket_path());
+  FrameReader reader;
+
+  ServiceRequest wedged = small_bandwidth_request(11);
+  wedged.op = Op::kSimulate;
+  wedged.cycles = 2000000000;
+  wedged.deadline_ms = 500;
+  const auto start = std::chrono::steady_clock::now();
+  send_request(fd, wedged);
+  const ServiceReply reply = recv_reply(fd, reader);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, service::kErrDeadlineExceeded);
+  // The acceptance bar: a cancelled request is answered within twice its
+  // deadline, not "eventually".
+  EXPECT_LT(elapsed.count(), 2 * wedged.deadline_ms);
+  close_fd(fd);
+
+  const service::ServerReport report = server.stop();
+  EXPECT_EQ(report.deadline_exceeded, 1);
+}
+
+TEST(ServiceServer, EngineFailuresTripTheBreakerIntoDegradedReplies) {
+  service::ServerConfig config = small_server_config("mbus_svc_breaker");
+  config.workers = 1;
+  config.breaker.failure_threshold = 2;
+  config.breaker.open_cooldown_ms = 60000;  // stays open for the test
+  TestServer server(config);
+  const int fd = connect_unix(server.socket_path());
+  FrameReader reader;
+
+  failpoints::Scoped armed("service.dispatch=throw");
+  // Two failing evaluations trip the breaker...
+  for (int i = 0; i < 2; ++i) {
+    send_request(fd, small_bandwidth_request(300 + i));
+    const ServiceReply reply = recv_reply(fd, reader);
+    ASSERT_FALSE(reply.ok);
+    EXPECT_EQ(reply.code, service::kErrInternal);
+  }
+  // ...after which requests are refused fast, without touching a worker.
+  send_request(fd, small_bandwidth_request(310));
+  const ServiceReply degraded = recv_reply(fd, reader);
+  ASSERT_FALSE(degraded.ok);
+  EXPECT_EQ(degraded.code, service::kErrDegraded);
+  close_fd(fd);
+
+  const service::ServerReport report = server.stop();
+  EXPECT_EQ(report.failed, 2);
+  EXPECT_EQ(report.degraded, 1);
+}
+
+TEST(ServiceServer, BreakerHalfOpenProbeRecoversService) {
+  service::ServerConfig config = small_server_config("mbus_svc_halfopen");
+  config.workers = 1;
+  config.breaker.failure_threshold = 1;
+  config.breaker.open_cooldown_ms = 50;
+  TestServer server(config);
+  const int fd = connect_unix(server.socket_path());
+  FrameReader reader;
+
+  {
+    failpoints::Scoped armed("service.dispatch=throw@1");
+    send_request(fd, small_bandwidth_request(400));
+    const ServiceReply failed = recv_reply(fd, reader);
+    EXPECT_EQ(failed.code, service::kErrInternal);
+  }
+  // Cooldown passes; the next request is the half-open probe, succeeds,
+  // and service is fully restored.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  send_request(fd, small_bandwidth_request(401));
+  const ServiceReply probe = recv_reply(fd, reader);
+  EXPECT_TRUE(probe.ok);
+  send_request(fd, small_bandwidth_request(402));
+  const ServiceReply after = recv_reply(fd, reader);
+  EXPECT_TRUE(after.ok);
+  close_fd(fd);
+}
+
+TEST(ServiceServer, MalformedPayloadGetsBadRequestNotDisconnect) {
+  TestServer server(small_server_config("mbus_svc_badreq"));
+  const int fd = connect_unix(server.socket_path());
+  FrameReader reader;
+
+  ASSERT_TRUE(write_frame(fd, "mbus-req v1 id=5 op=warp_drive"));
+  const ServiceReply reply = recv_reply(fd, reader);
+  ASSERT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, service::kErrBadRequest);
+  EXPECT_EQ(reply.id, 0u);  // the id was not trusted from a bad payload
+
+  // The connection survives a bad request; a well-formed one still works.
+  send_request(fd, small_bandwidth_request(6));
+  EXPECT_TRUE(recv_reply(fd, reader).ok);
+  close_fd(fd);
+}
+
+TEST(ServiceServer, CorruptFramingClosesTheConnection) {
+  TestServer server(small_server_config("mbus_svc_corrupt"));
+  const int fd = connect_unix(server.socket_path());
+
+  const std::string garbage = "XXXXXXXX garbage with a bad prefix\n";
+  ASSERT_EQ(::write(fd, garbage.data(), garbage.size()),
+            static_cast<ssize_t>(garbage.size()));
+  // A desynchronized stream cannot be saved: the server closes it.
+  FrameReader reader;
+  std::string payload;
+  EXPECT_FALSE(read_frame_blocking(fd, reader, payload));
+  close_fd(fd);
+}
+
+TEST(ServiceServer, DrainRejectsNewWorkAndAnswersEverythingInFlight) {
+  service::ServerConfig config = small_server_config("mbus_svc_drain");
+  config.workers = 1;
+  config.drain_grace_ms = 150;
+  TestServer server(config);
+  const int fd = connect_unix(server.socket_path());
+  FrameReader reader;
+
+  ServiceRequest slow = small_bandwidth_request(500);
+  slow.op = Op::kSimulate;
+  slow.cycles = 2000000000;
+  send_request(fd, slow);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Stop the server on a background thread (stop() joins), racing a
+  // request sent after the drain begins.
+  std::thread stopper([&]() { server.stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  send_request(fd, small_bandwidth_request(501));
+
+  // Both requests are answered before the connection closes: the late
+  // one with `draining`, the in-flight one with `cancelled` after the
+  // grace period.
+  bool saw_draining = false;
+  bool saw_cancelled = false;
+  std::string payload;
+  while (read_frame_blocking(fd, reader, payload)) {
+    const ServiceReply reply = service::parse_reply(payload);
+    if (reply.id == 501 && reply.code == service::kErrDraining) {
+      saw_draining = true;
+    }
+    if (reply.id == 500 && reply.code == service::kErrCancelled) {
+      saw_cancelled = true;
+    }
+  }
+  stopper.join();
+  EXPECT_TRUE(saw_draining);
+  EXPECT_TRUE(saw_cancelled);
+  close_fd(fd);
+}
+
+TEST(ServiceServer, ManyConcurrentClientsAllGetTheirOwnAnswers) {
+  service::ServerConfig config = small_server_config("mbus_svc_many");
+  config.workers = 2;
+  config.queue_capacity = 64;
+  TestServer server(config);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 10;
+  std::vector<std::thread> clients;
+  std::atomic<int> correct{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      const int fd = connect_unix(server.socket_path());
+      FrameReader reader;
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(c) * 1000 + i + 1;
+        ServiceRequest request = small_bandwidth_request(id);
+        send_request(fd, request);
+        std::string payload;
+        if (!read_frame_blocking(fd, reader, payload)) break;
+        const ServiceReply reply = service::parse_reply(payload);
+        if (reply.ok && reply.id == id) ++correct;
+      }
+      close_fd(fd);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(correct.load(), kClients * kPerClient);
+
+  const service::ServerReport report = server.stop();
+  EXPECT_EQ(report.served, kClients * kPerClient);
+  EXPECT_EQ(report.connections, kClients);
+}
+
+TEST(ServiceServer, ReadFaultInjectionClosesOnlyTheSickConnection) {
+  TestServer server(small_server_config("mbus_svc_readfault"));
+
+  // First connection eats an injected ECONNRESET on its first read.
+  const int sick = connect_unix(server.socket_path());
+  {
+    failpoints::Scoped armed("service.read=err:ECONNRESET@1");
+    send_request(sick, small_bandwidth_request(600));
+    FrameReader reader;
+    std::string payload;
+    EXPECT_FALSE(read_frame_blocking(sick, reader, payload));
+  }
+  close_fd(sick);
+
+  // The server shrugged it off; a healthy connection works.
+  const int healthy = connect_unix(server.socket_path());
+  FrameReader reader;
+  send_request(healthy, small_bandwidth_request(601));
+  EXPECT_TRUE(recv_reply(healthy, reader).ok);
+  close_fd(healthy);
+}
+
+TEST(ServiceServer, HalfClosedClientStillReceivesEveryReply) {
+  service::ServerConfig config = small_server_config("mbus_svc_halfclose");
+  config.workers = 1;
+  TestServer server(config);
+  const int fd = connect_unix(server.socket_path());
+
+  // Batch requests, then half-close before reading anything: EOF on the
+  // server's read side must not drop the in-flight replies.
+  constexpr int kBatch = 4;
+  for (int i = 0; i < kBatch; ++i) {
+    send_request(fd, small_bandwidth_request(700 + i));
+  }
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+  FrameReader reader;
+  std::string payload;
+  int answered = 0;
+  while (read_frame_blocking(fd, reader, payload)) {
+    const ServiceReply reply = service::parse_reply(payload);
+    EXPECT_TRUE(reply.ok);
+    ++answered;
+  }
+  EXPECT_EQ(answered, kBatch);
+  close_fd(fd);
+}
+
+}  // namespace
+}  // namespace mbus
