@@ -1,0 +1,413 @@
+// fleet_load: load generator + chaos driver for the replicated
+// evaluation fleet (DESIGN.md §15).
+//
+// One single-threaded supervisor process owns a FleetSupervisor (K
+// mbusd replicas) and forks C client worker processes, each running a
+// single-threaded MbusClient over the whole replica set on a fixed
+// request schedule (open loop per worker, with catch-up: a late send
+// goes out immediately rather than silently stretching the schedule).
+// Worker processes — not threads — keep the supervisor's forks safe and
+// make the crash-drill realistic: clients and replicas share nothing
+// but sockets.
+//
+// Mid-run chaos: --kill-replica SIGKILLs one replica at --kill-at-ms;
+// the supervisor's tick() respawns it, and the clients' retry/failover/
+// hedging machinery must carry every request through — the run fails
+// (exit 1) if any request ends with no reply at all (lost > 0), if a
+// worker dies, or if the final SIGTERM drain is not exit-0 across the
+// fleet. --replica-failpoints arms per-replica failpoint specs
+// (';'-separated, failpoint.hpp grammar per entry) for slow-replica
+// hedging experiments, e.g. 'service.dispatch=sleep:250'.
+//
+//   ./fleet_load --replicas 3 --clients 2 --rate 100 --seconds 8 \\
+//       --kill-replica 1 --kill-at-ms 3000
+//   ./fleet_load --replicas 3 --rate 50 --seconds 6 --hedge-delay-ms 0 \\
+//       --replica-failpoints 'service.dispatch=sleep:250;;'
+#include <signal.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/fleet.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/shutdown.hpp"
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
+
+namespace {
+
+using namespace mbus;
+using Clock = std::chrono::steady_clock;
+
+std::int64_t us_since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now() - start)
+      .count();
+}
+
+double percentile(std::vector<std::int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(rank, sorted.size() - 1)]);
+}
+
+/// Everything one worker ships back to the supervisor in its result
+/// frame: counters as k=v tokens, reply outcomes as o_<code>=v tokens,
+/// ok-latencies as a trailing comma list.
+struct WorkerResult {
+  std::int64_t sent = 0;
+  std::int64_t lost = 0;
+  std::map<std::string, std::int64_t> outcomes;
+  service::ClientStats stats;
+  std::vector<std::int64_t> latencies_us;
+};
+
+std::string encode_result(const WorkerResult& r) {
+  std::ostringstream out;
+  out << "result sent=" << r.sent << " lost=" << r.lost
+      << " retries=" << r.stats.retries
+      << " failovers=" << r.stats.failovers
+      << " backoffs=" << r.stats.backoff_sleeps
+      << " hedges_issued=" << r.stats.hedges_issued
+      << " hedges_won=" << r.stats.hedges_won
+      << " hedges_cancelled=" << r.stats.hedges_cancelled
+      << " stale=" << r.stats.stale_discarded
+      << " refused=" << r.stats.connect_refused
+      << " died=" << r.stats.connection_died
+      << " unhealthy=" << r.stats.unhealthy_marks;
+  for (const auto& [code, count] : r.outcomes) {
+    out << " o_" << code << "=" << count;
+  }
+  out << " lat=";
+  for (std::size_t i = 0; i < r.latencies_us.size(); ++i) {
+    if (i > 0) out << ',';
+    out << r.latencies_us[i];
+  }
+  return out.str();
+}
+
+bool decode_result(const std::string& frame, WorkerResult& r) {
+  std::istringstream in(frame);
+  std::string magic;
+  in >> magic;
+  if (magic != "result") return false;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "lat") {
+      std::istringstream lats(value);
+      std::string one;
+      while (std::getline(lats, one, ',')) {
+        if (!one.empty()) r.latencies_us.push_back(std::stoll(one));
+      }
+      continue;
+    }
+    const std::int64_t n = std::stoll(value);
+    if (key == "sent") r.sent = n;
+    else if (key == "lost") r.lost = n;
+    else if (key == "retries") r.stats.retries = n;
+    else if (key == "failovers") r.stats.failovers = n;
+    else if (key == "backoffs") r.stats.backoff_sleeps = n;
+    else if (key == "hedges_issued") r.stats.hedges_issued = n;
+    else if (key == "hedges_won") r.stats.hedges_won = n;
+    else if (key == "hedges_cancelled") r.stats.hedges_cancelled = n;
+    else if (key == "stale") r.stats.stale_discarded = n;
+    else if (key == "refused") r.stats.connect_refused = n;
+    else if (key == "died") r.stats.connection_died = n;
+    else if (key == "unhealthy") r.stats.unhealthy_marks = n;
+    else if (key.rfind("o_", 0) == 0) r.outcomes[key.substr(2)] = n;
+  }
+  return true;
+}
+
+/// The forked client-worker body: one MbusClient, one schedule slice.
+int worker_main(const service::ClientConfig& client_config,
+                const service::ServiceRequest& base, std::int64_t requests,
+                double interval_us, int worker_index, int result_fd) {
+  reset_signal_state_for_forked_child();
+  service::MbusClient client(client_config);
+  WorkerResult result;
+  const Clock::time_point start = Clock::now();
+  for (std::int64_t i = 0; i < requests; ++i) {
+    const auto due =
+        static_cast<std::int64_t>(static_cast<double>(i) * interval_us);
+    const std::int64_t now = us_since(start);
+    if (now < due) {
+      std::this_thread::sleep_for(std::chrono::microseconds(due - now));
+    }
+    service::ServiceRequest request = base;
+    request.seed = base.seed + static_cast<std::uint64_t>(worker_index) *
+                                   1'000'000 +
+                   static_cast<std::uint64_t>(i);
+    const service::CallResult call = client.call(request);
+    result.sent += 1;
+    if (call.has_reply) {
+      result.outcomes[call.ok ? "served" : call.reply.code] += 1;
+      if (call.ok) result.latencies_us.push_back(call.elapsed_us);
+    } else {
+      // No reply at all after retries, failover, and hedging — the
+      // fleet lost this request. This is the number the drill is about.
+      result.lost += 1;
+      result.outcomes[call.timed_out ? "client_timeout"
+                                     : to_string(call.transport)] += 1;
+    }
+  }
+  result.stats = client.stats();
+  return write_frame(result_fd, encode_result(result)) ? 0 : 1;
+}
+
+int run(int argc, char** argv) {
+  CliParser cli(
+      "Load generator + chaos driver for the replicated mbusd fleet: "
+      "forks K replicas and C resilient-client workers, optionally "
+      "SIGKILLs a replica mid-run, and reports lost replies, latency "
+      "percentiles, and resilience counters.");
+  cli.add_string("socket-dir", "/tmp/mbus-fleet", "replica socket directory")
+      .add_int("replicas", 3, "mbusd replicas")
+      .add_int("clients", 2, "client worker processes")
+      .add_double("rate", 100, "total requests per second across workers")
+      .add_double("seconds", 5, "schedule length")
+      .add_string("op", "bandwidth", "request op: bandwidth, simulate, sweep")
+      .add_string("scheme", "full", "connection scheme")
+      .add_int("n", 16, "processors")
+      .add_int("b", 4, "buses")
+      .add_string("wl", "uniform", "workload: uniform or hier4")
+      .add_string("r", "1", "per-cycle request rate")
+      .add_int("cycles", 20000, "simulate: measured cycles")
+      .add_int("deadline-ms", 2000, "per-call budget")
+      .add_int("max-attempts", 4, "client attempt budget per call")
+      .add_int("hedge-delay-ms", -1,
+               "hedge delay: -1 = p99-derived, 0 = off, >0 fixed ms")
+      .add_int("kill-replica", -1, "replica to SIGKILL mid-run (-1 = none)")
+      .add_int("kill-at-ms", 2000, "when to kill, ms into the schedule")
+      .add_int("workers", 2, "server worker threads per replica")
+      .add_int("queue-capacity", 32, "server admission queue per replica")
+      .add_int("max-respawns", 3, "respawn budget per replica")
+      .add_string("replica-failpoints", "",
+                  "per-replica failpoint specs, ';'-separated")
+      .add_string("policy", "least-loaded",
+                  "client routing: least-loaded or round-robin")
+      .add_int("seed", 0xC11E47, "client backoff seed base");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int replicas = static_cast<int>(cli.get_positive_int("replicas"));
+  const int clients = static_cast<int>(cli.get_positive_int("clients"));
+  const double rate = cli.get_positive_double("rate");
+  const double seconds = cli.get_positive_double("seconds");
+  const std::int64_t kill_replica = cli.get_int("kill-replica");
+  const std::int64_t kill_at_ms = cli.get_int("kill-at-ms");
+  const std::int64_t hedge_delay_ms = cli.get_int("hedge-delay-ms");
+
+  service::FleetConfig fleet_config;
+  fleet_config.socket_dir = cli.get_string("socket-dir");
+  fleet_config.replicas = replicas;
+  fleet_config.max_respawns =
+      static_cast<int>(cli.get_nonnegative_int("max-respawns"));
+  fleet_config.server.workers =
+      static_cast<int>(cli.get_positive_int("workers"));
+  fleet_config.server.queue_capacity =
+      static_cast<int>(cli.get_positive_int("queue-capacity"));
+  {
+    std::istringstream specs(cli.get_string("replica-failpoints"));
+    std::string one;
+    while (std::getline(specs, one, ';')) {
+      fleet_config.replica_failpoints.push_back(one);
+    }
+  }
+
+  service::ServiceRequest base;
+  base.op = service::op_from_string(cli.get_string("op"));
+  base.topo.scheme = cli.get_string("scheme");
+  base.topo.processors = static_cast<int>(cli.get_positive_int("n"));
+  base.topo.memories = base.topo.processors;
+  base.topo.buses = static_cast<int>(cli.get_positive_int("b"));
+  base.workload = cli.get_string("wl");
+  base.rate = cli.get_string("r");
+  base.cycles = cli.get_positive_int("cycles");
+  base.deadline_ms = cli.get_positive_int("deadline-ms");
+
+  ScopedSigpipeIgnore sigpipe_guard;
+
+  service::FleetSupervisor fleet(fleet_config);
+  fleet.start();
+
+  service::ClientConfig client_config;
+  client_config.replicas = fleet.socket_paths();
+  client_config.max_attempts =
+      static_cast<int>(cli.get_positive_int("max-attempts"));
+  client_config.default_deadline_ms = base.deadline_ms;
+  client_config.hedge_delay_ms = hedge_delay_ms;
+  const std::string policy = cli.get_string("policy");
+  if (policy == "round-robin") {
+    client_config.policy = service::ClientConfig::Policy::kRoundRobin;
+  } else if (policy != "least-loaded") {
+    throw InvalidArgument(cat("unknown --policy: ", policy));
+  }
+
+  const std::int64_t per_worker = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(rate * seconds /
+                                   static_cast<double>(clients)));
+  const double interval_us =
+      1e6 * static_cast<double>(clients) / rate;
+
+  // Fork the workers (the supervisor process stays single-threaded, so
+  // these forks — and the fleet's respawn forks — are safe).
+  std::vector<Subprocess> workers;
+  std::vector<FrameReader> worker_readers(
+      static_cast<std::size_t>(clients));
+  for (int w = 0; w < clients; ++w) {
+    std::vector<int> close_fds;
+    for (const Subprocess& other : workers) {
+      if (other.result_fd() >= 0) close_fds.push_back(other.result_fd());
+      if (other.command_fd() >= 0) close_fds.push_back(other.command_fd());
+    }
+    service::ClientConfig worker_config = client_config;
+    worker_config.seed =
+        static_cast<std::uint64_t>(cli.get_nonnegative_int("seed")) +
+        static_cast<std::uint64_t>(w);
+    workers.push_back(Subprocess::spawn(
+        [worker_config, base, per_worker, interval_us, w](
+            int /*command_fd*/, int result_fd) {
+          return worker_main(worker_config, base, per_worker, interval_us,
+                             w, result_fd);
+        },
+        close_fds));
+  }
+
+  // Supervision loop: tick the fleet, fire the kill once, collect
+  // worker results.
+  const Clock::time_point start = Clock::now();
+  bool killed = false;
+  std::vector<WorkerResult> results;
+  std::vector<bool> worker_done(static_cast<std::size_t>(clients), false);
+  std::vector<bool> worker_failed(static_cast<std::size_t>(clients), false);
+  int done = 0;
+  while (done < clients) {
+    fleet.tick();
+    const std::int64_t elapsed_ms = us_since(start) / 1000;
+    if (!killed && kill_replica >= 0 && kill_replica < replicas &&
+        elapsed_ms >= kill_at_ms) {
+      std::cout << "fleet_load: SIGKILL replica " << kill_replica << " at "
+                << elapsed_ms << " ms\n";
+      fleet.kill_replica(static_cast<std::size_t>(kill_replica), SIGKILL);
+      killed = true;
+    }
+    for (int w = 0; w < clients; ++w) {
+      const auto wi = static_cast<std::size_t>(w);
+      if (worker_done[wi]) continue;
+      FrameReader& reader = worker_readers[wi];
+      bool eof = false;
+      try {
+        eof = !reader.read_available(workers[wi].result_fd());
+        std::string frame;
+        while (reader.next_frame(frame)) {
+          WorkerResult result;
+          if (decode_result(frame, result)) {
+            results.push_back(std::move(result));
+            worker_done[wi] = true;
+            ++done;
+          }
+        }
+      } catch (const Error&) {
+        eof = true;
+      }
+      if (!worker_done[wi]) {
+        const ExitStatus status = workers[wi].try_reap();
+        if (!status.running || eof) {
+          if (!status.running || eof) {
+            // Died (or closed its pipe) without a result frame.
+            if (!worker_done[wi] && (eof || !status.running)) {
+              worker_done[wi] = true;
+              worker_failed[wi] = true;
+              ++done;
+              std::cout << "fleet_load: worker " << w
+                        << " finished without a result ("
+                        << status.describe() << ")\n";
+            }
+          }
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  bool workers_ok = true;
+  for (int w = 0; w < clients; ++w) {
+    const ExitStatus status = workers[static_cast<std::size_t>(w)].wait();
+    if (!(status.exited && status.code == 0)) workers_ok = false;
+    if (worker_failed[static_cast<std::size_t>(w)]) workers_ok = false;
+  }
+
+  // Aggregate.
+  WorkerResult total;
+  std::vector<std::int64_t> latencies;
+  for (const WorkerResult& r : results) {
+    total.sent += r.sent;
+    total.lost += r.lost;
+    total.stats.retries += r.stats.retries;
+    total.stats.failovers += r.stats.failovers;
+    total.stats.backoff_sleeps += r.stats.backoff_sleeps;
+    total.stats.hedges_issued += r.stats.hedges_issued;
+    total.stats.hedges_won += r.stats.hedges_won;
+    total.stats.hedges_cancelled += r.stats.hedges_cancelled;
+    total.stats.stale_discarded += r.stats.stale_discarded;
+    total.stats.connect_refused += r.stats.connect_refused;
+    total.stats.connection_died += r.stats.connection_died;
+    total.stats.unhealthy_marks += r.stats.unhealthy_marks;
+    for (const auto& [code, count] : r.outcomes) {
+      total.outcomes[code] += count;
+    }
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  std::cout << "fleet_load: replicas=" << replicas << " clients=" << clients
+            << " rate=" << rate << "/s hedge-delay-ms=" << hedge_delay_ms
+            << " kill-replica=" << kill_replica << "\n";
+  std::cout << "  sent=" << total.sent << " lost=" << total.lost;
+  for (const auto& [code, count] : total.outcomes) {
+    std::cout << " " << code << "=" << count;
+  }
+  std::cout << "\n";
+  if (!latencies.empty()) {
+    std::cout << "  latency (ms): p50=" << percentile(latencies, 0.50) / 1000.0
+              << " p90=" << percentile(latencies, 0.90) / 1000.0
+              << " p99=" << percentile(latencies, 0.99) / 1000.0
+              << " max=" << static_cast<double>(latencies.back()) / 1000.0
+              << "\n";
+  }
+  std::cout << "  resilience: retries=" << total.stats.retries
+            << " failovers=" << total.stats.failovers
+            << " backoffs=" << total.stats.backoff_sleeps
+            << " hedges_issued=" << total.stats.hedges_issued
+            << " hedges_won=" << total.stats.hedges_won
+            << " hedges_cancelled=" << total.stats.hedges_cancelled
+            << " connection_died=" << total.stats.connection_died
+            << " respawns=" << fleet.total_respawns() << "\n";
+
+  const service::FleetReport report = fleet.stop(5000);
+  std::cout << "  " << report.summary() << "\n";
+
+  if (total.lost > 0) return 1;
+  if (!workers_ok) return 1;
+  if (!report.all_exited_zero) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return mbus::run_cli_main(argc, argv, run); }

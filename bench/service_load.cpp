@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -51,6 +52,12 @@ struct ConnStats {
   std::vector<std::int64_t> served_latency_us;
   std::int64_t sent = 0;
   std::int64_t lost = 0;  // sent but never answered (EOF first)
+  /// Classified transport failure (service/client.hpp vocabulary):
+  /// kRefusedAtConnect = nobody listening when the run began,
+  /// kDiedMidRun = the established connection broke under load. The two
+  /// mean different things (daemon not started vs daemon crashed) and
+  /// get different exit codes.
+  service::SocketFailure failure = service::SocketFailure::kNone;
 };
 
 double percentile(std::vector<std::int64_t>& sorted, double q) {
@@ -130,11 +137,11 @@ int run(int argc, char** argv) {
   for (int c = 0; c < connections; ++c) {
     threads.emplace_back([&, c]() {
       ConnStats& out = stats[static_cast<std::size_t>(c)];
-      int fd = -1;
-      try {
-        fd = connect_unix(socket_path);
-      } catch (const std::exception& e) {
-        out.outcomes["connect_failed"] = 1;
+      int err = 0;
+      const int fd = try_connect_unix(socket_path, &err);
+      if (fd < 0) {
+        out.failure = service::SocketFailure::kRefusedAtConnect;
+        ++out.outcomes[to_string(out.failure)];
         return;
       }
 
@@ -214,6 +221,12 @@ int run(int argc, char** argv) {
         std::lock_guard<std::mutex> lock(sent_mutex);
         out.lost = static_cast<std::int64_t>(sent_us.size());
       }
+      // EPIPE on send, or EOF while replies were still owed: the
+      // connection died under us after starting healthy.
+      if (write_failed || out.lost > 0) {
+        out.failure = service::SocketFailure::kDiedMidRun;
+        ++out.outcomes[to_string(out.failure)];
+      }
     });
   }
   for (std::thread& t : threads) t.join();
@@ -249,9 +262,27 @@ int run(int argc, char** argv) {
               << static_cast<double>(latencies.back()) / 1000.0 << "\n";
   }
   // Exit status reflects transport health only: shed/degraded replies
-  // are the server working as designed, but silent losses without a
-  // drain or a dead socket are a load-generator-visible failure.
-  return outcomes.count("connect_failed") != 0 ? 1 : 0;
+  // are the server working as designed, but a dead socket is a
+  // load-generator-visible failure — classified, because the operator
+  // response differs: refused-at-start means the daemon never came up
+  // (exit 2), died-mid-run means it fell over under load (exit 1).
+  bool refused = false;
+  bool died = false;
+  for (const ConnStats& s : stats) {
+    refused |= s.failure == service::SocketFailure::kRefusedAtConnect;
+    died |= s.failure == service::SocketFailure::kDiedMidRun;
+  }
+  if (refused || died) {
+    std::cout << "  transport failure: "
+              << (refused && died
+                      ? "connect_refused + connection_died"
+                      : to_string(refused
+                                      ? service::SocketFailure::kRefusedAtConnect
+                                      : service::SocketFailure::kDiedMidRun))
+              << "\n";
+  }
+  if (refused) return 2;
+  return died ? 1 : 0;
 }
 
 }  // namespace

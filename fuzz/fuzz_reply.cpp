@@ -1,0 +1,59 @@
+// Fuzz of the client-side reply parser (DESIGN.md §15): parse_reply on
+// arbitrary bytes must either throw InvalidArgument or produce a reply
+// whose re-serialization parses back to the *same* wire form
+// (format(parse(format(parse(x)))) is a fixed point — the property the
+// resilient client's bit-identical-reply contract rests on). The typed
+// field accessors must likewise throw InvalidArgument or return, never
+// crash, for every key the parser admitted — including NaN/inf doubles
+// and out-of-range integers a hostile replica might ship.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string payload(reinterpret_cast<const char*>(data), size);
+
+  mbus::service::ServiceReply reply;
+  try {
+    reply = mbus::service::parse_reply(payload);
+  } catch (const mbus::InvalidArgument&) {
+    return 0;  // rejection is the correct answer for malformed input
+  }
+
+  // Accepted input: round-trip stability. One format/parse cycle may
+  // canonicalize (key order, duplicate collapse), but the canonical
+  // form must be a fixed point.
+  const std::string canonical = mbus::service::format_reply(reply);
+  mbus::service::ServiceReply again;
+  try {
+    again = mbus::service::parse_reply(canonical);
+  } catch (const mbus::InvalidArgument&) {
+    std::abort();  // parser rejects its own formatter's output
+  }
+  if (mbus::service::format_reply(again) != canonical) std::abort();
+
+  if (again.id != reply.id || again.ok != reply.ok ||
+      again.code != reply.code || again.fields != reply.fields) {
+    std::abort();
+  }
+
+  // Typed accessors on attacker-chosen values: throw or return, only.
+  for (const auto& [key, value] : reply.fields) {
+    (void)value;
+    try {
+      (void)reply.field_double(key);
+    } catch (const mbus::InvalidArgument&) {
+    }
+    try {
+      (void)reply.field_int(key);
+    } catch (const mbus::InvalidArgument&) {
+    }
+  }
+  return 0;
+}
+
+#include "fuzz_driver.hpp"

@@ -1,0 +1,639 @@
+#include "service/client.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/socket.hpp"
+
+namespace mbus::service {
+
+namespace {
+
+/// Monotonic microseconds independent of the obs layer (which stubs its
+/// clock out under MBUS_NO_OBS — deadlines must keep working there).
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+obs::Counter& cli_counter(const char* name) {
+  return obs::MetricsRegistry::global().counter(name);
+}
+
+/// Recent-latency window size for the p99-derived hedge delay. Small on
+/// purpose: the delay should track the *current* regime, and a p99 over
+/// 64 samples is the ~max of the window — a conservative hedge trigger.
+constexpr std::size_t kLatencyWindow = 64;
+constexpr std::size_t kLatencyMinSamples = 8;
+
+}  // namespace
+
+const char* to_string(SocketFailure failure) {
+  switch (failure) {
+    case SocketFailure::kNone:
+      return "none";
+    case SocketFailure::kRefusedAtConnect:
+      return "connect_refused";
+    case SocketFailure::kDiedMidRun:
+      return "connection_died";
+  }
+  return "unknown";
+}
+
+BackoffPolicy::BackoffPolicy(std::int64_t base_ms, std::int64_t cap_ms,
+                             std::uint64_t seed)
+    : base_ms_(base_ms), cap_ms_(cap_ms), prev_ms_(base_ms), rng_(seed) {
+  MBUS_EXPECTS(base_ms >= 1, "backoff base must be >= 1 ms");
+  MBUS_EXPECTS(cap_ms >= base_ms, "backoff cap must be >= base");
+}
+
+std::int64_t BackoffPolicy::next_ms() {
+  // Decorrelated jitter: uniform in [base, prev * 3], capped. The
+  // uniform draw decorrelates retry storms (two clients that collided
+  // once do not collide forever); the *3 growth backs off exponentially
+  // in expectation.
+  const std::int64_t hi = std::min(cap_ms_, prev_ms_ * 3);
+  const std::int64_t lo = base_ms_;
+  std::int64_t sleep = lo;
+  if (hi > lo) {
+    sleep = lo + static_cast<std::int64_t>(
+                     rng_.below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+  prev_ms_ = sleep;
+  return sleep;
+}
+
+void ClientConfig::validate() const {
+  MBUS_EXPECTS(!replicas.empty(), "client needs at least one replica");
+  for (const auto& path : replicas) {
+    MBUS_EXPECTS(!path.empty(), "replica socket path must not be empty");
+  }
+  MBUS_EXPECTS(max_attempts >= 1, "max_attempts must be >= 1");
+  MBUS_EXPECTS(backoff_base_ms >= 1, "backoff_base_ms must be >= 1");
+  MBUS_EXPECTS(backoff_cap_ms >= backoff_base_ms,
+               "backoff_cap_ms must be >= backoff_base_ms");
+  MBUS_EXPECTS(default_deadline_ms >= 1, "default_deadline_ms must be >= 1");
+  MBUS_EXPECTS(hedge_delay_ms >= -1, "hedge_delay_ms must be >= -1");
+  MBUS_EXPECTS(hedge_min_delay_ms >= 1, "hedge_min_delay_ms must be >= 1");
+  MBUS_EXPECTS(hedge_max_delay_ms >= hedge_min_delay_ms,
+               "hedge_max_delay_ms must be >= hedge_min_delay_ms");
+  MBUS_EXPECTS(unhealthy_streak >= 1, "unhealthy_streak must be >= 1");
+  MBUS_EXPECTS(unhealthy_cooldown_ms >= 0,
+               "unhealthy_cooldown_ms must be >= 0");
+}
+
+MbusClient::MbusClient(ClientConfig config)
+    : config_(std::move(config)),
+      next_id_(1),
+      backoff_(config_.backoff_base_ms, config_.backoff_cap_ms,
+               config_.seed) {
+  config_.validate();
+  replicas_.resize(config_.replicas.size());
+}
+
+MbusClient::~MbusClient() { close(); }
+
+void MbusClient::close() {
+  for (auto& replica : replicas_) {
+    if (replica.conn.fd >= 0) {
+      close_fd(replica.conn.fd);
+      replica.conn.fd = -1;
+    }
+    replica.conn.reader = FrameReader{};
+    replica.conn.abandoned.clear();
+  }
+}
+
+bool MbusClient::replica_healthy(std::size_t index) const {
+  return replicas_[index].unhealthy_until_us <= now_us();
+}
+
+bool MbusClient::ensure_connected(std::size_t index) {
+  Replica& replica = replicas_[index];
+  if (replica.conn.fd >= 0) return true;
+  int err = 0;
+  const int fd = try_connect_unix(config_.replicas[index], &err);
+  if (fd < 0) {
+    stats_.connect_refused += 1;
+    cli_counter("cli.connect.refused").increment();
+    return false;
+  }
+  // FrameReader::read_available drains until EAGAIN, so the fd must be
+  // non-blocking or a quiet connection would hang the poll loop.
+  set_nonblocking(fd);
+  replica.conn.fd = fd;
+  replica.conn.reader = FrameReader{};
+  replica.conn.abandoned.clear();
+  return true;
+}
+
+void MbusClient::drop_connection(std::size_t index) {
+  Conn& conn = replicas_[index].conn;
+  if (conn.fd >= 0) {
+    close_fd(conn.fd);
+    conn.fd = -1;
+  }
+  conn.reader = FrameReader{};
+  // In-flight replies died with the connection; nothing left to discard.
+  conn.abandoned.clear();
+}
+
+void MbusClient::record_success(std::size_t index, std::int64_t latency_us) {
+  Replica& replica = replicas_[index];
+  replica.failure_streak = 0;
+  replica.ewma_latency_us =
+      replica.ewma_latency_us == 0.0
+          ? static_cast<double>(latency_us)
+          : 0.8 * replica.ewma_latency_us + 0.2 * static_cast<double>(latency_us);
+  if (latency_window_.size() < kLatencyWindow) {
+    latency_window_.push_back(latency_us);
+  } else {
+    latency_window_[latency_next_] = latency_us;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+void MbusClient::record_failure(std::size_t index) {
+  Replica& replica = replicas_[index];
+  replica.failure_streak += 1;
+  const std::int64_t now = now_us();
+  // Mark only on the healthy→unhealthy transition; once quarantined, a
+  // failed recovery probe re-arms the cooldown via the same path (the
+  // streak is not reset, so one post-cooldown failure re-marks — the
+  // breaker's half-open behavior).
+  if (replica.failure_streak >= config_.unhealthy_streak &&
+      replica.unhealthy_until_us <= now) {
+    replica.unhealthy_until_us =
+        now + config_.unhealthy_cooldown_ms * 1000;
+    stats_.unhealthy_marks += 1;
+    cli_counter("cli.replica.unhealthy").increment();
+    obs::EventLog::global().emit(
+        "cli.replica.unhealthy",
+        {{"replica", static_cast<int>(index)},
+         {"streak", replica.failure_streak},
+         {"cooldown_ms", config_.unhealthy_cooldown_ms}});
+  }
+}
+
+void MbusClient::pick_replicas(int avoid, int& primary, int& hedge) {
+  const int n = static_cast<int>(replicas_.size());
+  std::vector<int> candidates;
+  candidates.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (i != avoid && replica_healthy(static_cast<std::size_t>(i))) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    // Nobody looks healthy: trying a quarantined replica beats failing
+    // without a wire attempt (quarantine is a routing preference, not a
+    // ban).
+    for (int i = 0; i < n; ++i) {
+      if (i != avoid) candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) candidates.push_back(avoid);  // n == 1
+
+  if (config_.policy == ClientConfig::Policy::kRoundRobin) {
+    // Rotate over the full index space, landing on the next candidate.
+    for (int step = 0; step < n; ++step) {
+      const int i = static_cast<int>((rr_next_ + static_cast<std::size_t>(step)) %
+                                     static_cast<std::size_t>(n));
+      if (std::find(candidates.begin(), candidates.end(), i) !=
+          candidates.end()) {
+        primary = i;
+        rr_next_ = static_cast<std::size_t>(i) + 1;
+        break;
+      }
+    }
+  } else {
+    // Pick-two-least-loaded: lowest EWMA latency wins; an untried
+    // replica (EWMA 0) sorts first so load spreads before it
+    // concentrates. Ties break by index for determinism.
+    std::sort(candidates.begin(), candidates.end(), [this](int a, int b) {
+      const double ea = replicas_[static_cast<std::size_t>(a)].ewma_latency_us;
+      const double eb = replicas_[static_cast<std::size_t>(b)].ewma_latency_us;
+      if (ea != eb) return ea < eb;
+      return a < b;
+    });
+    primary = candidates.front();
+  }
+
+  hedge = -1;
+  for (int candidate : candidates) {
+    if (candidate != primary) {
+      hedge = candidate;
+      break;
+    }
+  }
+  if (config_.policy == ClientConfig::Policy::kRoundRobin && hedge < 0 &&
+      n > 1) {
+    // Round-robin with every other replica quarantined: hedge to the
+    // next index anyway (same rationale as the empty-candidate fallback).
+    hedge = (primary + 1) % n;
+  }
+}
+
+std::int64_t MbusClient::resolve_hedge_delay_ms() const {
+  if (config_.hedge_delay_ms >= 0) return config_.hedge_delay_ms;
+  if (latency_window_.size() < kLatencyMinSamples) {
+    // Not enough signal yet: hedge conservatively late rather than
+    // doubling load on a cold start.
+    return config_.hedge_max_delay_ms;
+  }
+  std::vector<std::int64_t> sorted = latency_window_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t index = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                       0.99 * static_cast<double>(sorted.size())));
+  const std::int64_t p99_ms = (sorted[index] + 999) / 1000;
+  return std::clamp(p99_ms, config_.hedge_min_delay_ms,
+                    config_.hedge_max_delay_ms);
+}
+
+bool MbusClient::send_request(std::size_t index, const std::string& payload,
+                              std::int64_t deadline_us) {
+  const std::string frame = encode_frame(payload);
+  const int fd = replicas_[index].conn.fd;
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+    // process — the client cannot assume the embedding application
+    // ignores SIGPIPE.
+    const ssize_t n = ::send(fd, frame.data() + written,
+                             frame.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const std::int64_t remaining_ms = (deadline_us - now_us()) / 1000;
+      if (remaining_ms <= 0) return false;
+      pollfd pfd{fd, POLLOUT, 0};
+      if (poll_eintr(&pfd, 1, static_cast<int>(std::min<std::int64_t>(
+                                  remaining_ms, 1000))) < 0) {
+        return false;
+      }
+      continue;
+    }
+    return false;  // EPIPE / ECONNRESET / anything fatal
+  }
+  return true;
+}
+
+bool MbusClient::attempt(const ServiceRequest& request, int primary,
+                         int hedge, std::int64_t deadline_us,
+                         CallResult& out) {
+  const std::int64_t attempt_start = now_us();
+  const std::size_t pri = static_cast<std::size_t>(primary);
+
+  if (!ensure_connected(pri)) {
+    out.transport = SocketFailure::kRefusedAtConnect;
+    record_failure(pri);
+    return false;
+  }
+
+  // Deadline propagation: the wire deadline is the *remaining* call
+  // budget, so a retry never grants the server time the caller no
+  // longer has.
+  ServiceRequest wire = request;
+  wire.deadline_ms =
+      std::max<std::int64_t>(1, (deadline_us - attempt_start) / 1000);
+  const std::string payload = format_request(wire);
+
+  if (!send_request(pri, payload, deadline_us)) {
+    out.transport = SocketFailure::kDiedMidRun;
+    stats_.connection_died += 1;
+    cli_counter("cli.connection.died").increment();
+    drop_connection(pri);
+    record_failure(pri);
+    return false;
+  }
+  stats_.sent += 1;
+  cli_counter("cli.requests.sent").increment();
+
+  const std::int64_t hedge_delay_ms =
+      hedge >= 0 ? resolve_hedge_delay_ms() : 0;
+  const bool hedge_enabled = hedge >= 0 && hedge_delay_ms > 0;
+  const std::int64_t hedge_due_us = attempt_start + hedge_delay_ms * 1000;
+  bool hedge_sent = false;
+
+  // Legs carrying this request right now; a leg leaves on death.
+  std::vector<std::size_t> legs{pri};
+
+  const auto abandon_everywhere = [&] {
+    for (std::size_t leg : legs) {
+      replicas_[leg].conn.abandoned.insert(request.id);
+    }
+  };
+
+  while (true) {
+    const std::int64_t now = now_us();
+    if (now >= deadline_us) {
+      // The reply may still arrive on a persistent connection; make
+      // sure a later call never mistakes it for its own.
+      abandon_everywhere();
+      out.timed_out = true;
+      return false;
+    }
+
+    std::int64_t timeout_ms = (deadline_us - now + 999) / 1000;
+    if (hedge_enabled && !hedge_sent) {
+      if (now >= hedge_due_us) {
+        const std::size_t h = static_cast<std::size_t>(hedge);
+        stats_.hedges_issued += 1;
+        cli_counter("cli.hedges.issued").increment();
+        out.hedged = true;
+        hedge_sent = true;
+        if (ensure_connected(h) && send_request(h, payload, deadline_us)) {
+          legs.push_back(h);
+          stats_.sent += 1;
+          cli_counter("cli.requests.sent").increment();
+        } else {
+          // The hedge leg failing is not a failure of the attempt; the
+          // primary is still in flight.
+          record_failure(h);
+          if (replicas_[h].conn.fd >= 0) drop_connection(h);
+        }
+        continue;
+      }
+      timeout_ms = std::min(timeout_ms, (hedge_due_us - now + 999) / 1000);
+    }
+
+    pollfd pfds[2];
+    nfds_t nfds = 0;
+    for (std::size_t leg : legs) {
+      pfds[nfds++] = pollfd{replicas_[leg].conn.fd, POLLIN, 0};
+    }
+    poll_eintr(pfds, nfds, static_cast<int>(std::min<std::int64_t>(
+                               timeout_ms, 1000)));
+
+    // Read every readable leg, then scan for frames. Death of one leg
+    // is survivable while another still carries the request.
+    std::vector<std::size_t> alive;
+    for (std::size_t leg : legs) {
+      Conn& conn = replicas_[leg].conn;
+      bool leg_alive = true;
+      try {
+        leg_alive = conn.reader.read_available(conn.fd);
+      } catch (const Error&) {
+        leg_alive = false;  // framing corruption — unrecoverable stream
+      }
+      if (!leg_alive) {
+        stats_.connection_died += 1;
+        cli_counter("cli.connection.died").increment();
+        drop_connection(leg);
+        record_failure(leg);
+        continue;
+      }
+
+      std::string frame;
+      bool conn_ok = true;
+      while (true) {
+        try {
+          if (!conn.reader.next_frame(frame)) break;
+        } catch (const Error&) {
+          conn_ok = false;
+          break;
+        }
+        ServiceReply reply;
+        try {
+          reply = parse_reply(frame);
+        } catch (const Error&) {
+          conn_ok = false;  // garbage payload: the stream is suspect
+          break;
+        }
+        if (conn.abandoned.erase(reply.id) > 0 ||
+            reply.id != request.id) {
+          // A hedge loser or a previous attempt's late reply.
+          stats_.stale_discarded += 1;
+          cli_counter("cli.hedges.stale_discarded").increment();
+          continue;
+        }
+        // Winner. Cancel the loser client-side: its reply, when it
+        // lands, is discarded by id. The loser also gets the winner's
+        // latency as a censored EWMA sample ("it took at least this
+        // long") — without it, a replica whose requests are always
+        // rescued by the hedge never records anything and keeps looking
+        // fast to the least-loaded router.
+        const std::int64_t win_latency_us = now_us() - attempt_start;
+        for (std::size_t other : legs) {
+          if (other != leg && replicas_[other].conn.fd >= 0) {
+            replicas_[other].conn.abandoned.insert(request.id);
+            stats_.hedges_cancelled += 1;
+            cli_counter("cli.hedges.cancelled").increment();
+            Replica& loser = replicas_[other];
+            loser.ewma_latency_us =
+                std::max(loser.ewma_latency_us,
+                         static_cast<double>(win_latency_us));
+          }
+        }
+        out.reply = reply;
+        out.has_reply = true;
+        out.ok = reply.ok;
+        out.served_by = static_cast<int>(leg);
+        if (hedge_sent && leg == static_cast<std::size_t>(hedge)) {
+          out.hedge_won = true;
+          stats_.hedges_won += 1;
+          cli_counter("cli.hedges.won").increment();
+        }
+        if (reply.ok) {
+          record_success(leg, now_us() - attempt_start);
+        }
+        return true;
+      }
+      if (!conn_ok) {
+        stats_.connection_died += 1;
+        cli_counter("cli.connection.died").increment();
+        drop_connection(leg);
+        record_failure(leg);
+        continue;
+      }
+      alive.push_back(leg);
+    }
+    legs = std::move(alive);
+
+    if (legs.empty()) {
+      if (hedge_enabled && !hedge_sent) {
+        // The primary died before the hedge fired; hedging now would
+        // just be a retry — let the retry loop do it with failover
+        // accounting.
+      }
+      out.transport = SocketFailure::kDiedMidRun;
+      return false;
+    }
+  }
+}
+
+CallResult MbusClient::call(const ServiceRequest& request) {
+  CallResult out;
+  out.request_id = next_id_++;
+
+  ServiceRequest wire = request;
+  wire.id = out.request_id;
+
+  const std::int64_t budget_ms = request.deadline_ms > 0
+                                     ? request.deadline_ms
+                                     : config_.default_deadline_ms;
+  const std::int64_t start_us = now_us();
+  const std::int64_t deadline_us = start_us + budget_ms * 1000;
+
+  backoff_.reset();
+  int prev_replica = -1;
+  int avoid = -1;
+
+  while (out.attempts < config_.max_attempts && now_us() < deadline_us) {
+    int primary = -1;
+    int hedge = -1;
+    pick_replicas(avoid, primary, hedge);
+    if (primary < 0) break;
+
+    if (prev_replica >= 0 && primary != prev_replica) {
+      out.failed_over = true;
+      stats_.failovers += 1;
+      cli_counter("cli.failovers").increment();
+    }
+
+    out.attempts += 1;
+    // Reset per-attempt outcome fields (kept: hedged/hedge stats).
+    out.transport = SocketFailure::kNone;
+    out.timed_out = false;
+
+    const bool got = attempt(wire, primary, hedge, deadline_us, out);
+    prev_replica = primary;
+
+    if (got) {
+      if (out.ok) break;
+      const std::string& code = out.reply.code;
+      if (code == kErrBadRequest) break;  // a client bug; retrying repeats it
+
+      record_failure(static_cast<std::size_t>(
+          out.served_by >= 0 ? out.served_by : primary));
+      const bool last = out.attempts >= config_.max_attempts;
+      if (!last) {
+        stats_.retries += 1;
+        cli_counter("cli.retries").increment();
+        if (code == kErrOverloaded || code == kErrDegraded) {
+          // Backing off is the point of the overloaded/degraded codes;
+          // the jittered sleep is bounded by the remaining budget.
+          const std::int64_t sleep_ms =
+              std::min(backoff_.next_ms(), (deadline_us - now_us()) / 1000);
+          if (sleep_ms > 0) {
+            stats_.backoff_sleeps += 1;
+            cli_counter("cli.backoff_sleeps").increment();
+            std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+          }
+        }
+        if (code == kErrDegraded || code == kErrDraining ||
+            code == kErrInternal || code == kErrCancelled) {
+          // These say "this replica, right now, cannot serve" — route
+          // the retry elsewhere.
+          avoid = out.served_by >= 0 ? out.served_by : primary;
+        }
+      }
+      continue;
+    }
+
+    if (out.timed_out) break;  // the call's own budget is gone
+
+    // Transport failure: fail over immediately (sleeping on a dead
+    // socket helps nobody); record_failure already ran inside attempt().
+    avoid = primary;
+    if (out.attempts < config_.max_attempts) {
+      stats_.retries += 1;
+      cli_counter("cli.retries").increment();
+    }
+  }
+
+  out.elapsed_us = now_us() - start_us;
+  if (out.ok) {
+    stats_.ok += 1;
+    cli_counter("cli.requests.ok").increment();
+    obs::MetricsRegistry::global()
+        .histogram("cli.call_us", obs::latency_us_bounds())
+        .observe(out.elapsed_us);
+  } else if (out.has_reply) {
+    stats_.error_replies += 1;
+    cli_counter("cli.requests.error").increment();
+  } else if (out.timed_out) {
+    stats_.timeouts += 1;
+    cli_counter("cli.requests.timeout").increment();
+  } else {
+    stats_.transport_failures += 1;
+    cli_counter("cli.requests.transport_failed").increment();
+  }
+  return out;
+}
+
+bool MbusClient::ping(std::size_t index, std::int64_t timeout_ms) {
+  // A transient connection on purpose: a ping must tell us whether the
+  // *daemon* is alive, not whether an old connection still buffers.
+  int err = 0;
+  const int fd = try_connect_unix(config_.replicas[index], &err);
+  if (fd < 0) return false;
+  set_nonblocking(fd);
+
+  ServiceRequest ping_req;
+  ping_req.op = Op::kPing;
+  ping_req.id = next_id_++;
+  ping_req.deadline_ms = std::max<std::int64_t>(1, timeout_ms);
+  const std::string frame = encode_frame(format_request(ping_req));
+  const std::int64_t deadline = now_us() + timeout_ms * 1000;
+
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n = ::send(fd, frame.data() + written,
+                             frame.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+        now_us() < deadline) {
+      pollfd pfd{fd, POLLOUT, 0};
+      poll_eintr(&pfd, 1, 10);
+      continue;
+    }
+    close_fd(fd);
+    return false;
+  }
+
+  FrameReader reader;
+  std::string payload;
+  while (now_us() < deadline) {
+    pollfd pfd{fd, POLLIN, 0};
+    const std::int64_t remaining_ms = (deadline - now_us() + 999) / 1000;
+    poll_eintr(&pfd, 1,
+               static_cast<int>(std::max<std::int64_t>(1, remaining_ms)));
+    bool alive = true;
+    try {
+      alive = reader.read_available(fd);
+      if (reader.next_frame(payload)) {
+        const ServiceReply reply = parse_reply(payload);
+        close_fd(fd);
+        return reply.ok && reply.id == ping_req.id;
+      }
+    } catch (const Error&) {
+      alive = false;
+    }
+    if (!alive) break;
+  }
+  close_fd(fd);
+  return false;
+}
+
+}  // namespace mbus::service

@@ -1,0 +1,228 @@
+// Resilient client for the mbusd evaluation fleet (DESIGN.md §15).
+//
+// `MbusClient` speaks the mbus-req v1 wire protocol (protocol.hpp) to a
+// set of replica sockets and layers the request-level fault tolerance the
+// daemon itself cannot provide:
+//
+//   * per-request ids — the client owns id assignment (a process-local
+//     monotonic counter), so every attempt, hedge, and stale reply is
+//     attributable to exactly one logical call;
+//   * deadline propagation — each attempt carries the *remaining* call
+//     budget on the wire, so a retry after a slow failure never grants
+//     the server more time than the caller has left;
+//   * bounded retries with decorrelated-jitter backoff — deterministic
+//     under a seeded RNG (BackoffPolicy), so fault drills reproduce;
+//   * hedged requests — after a hedge delay (fixed, or derived from the
+//     client's observed p99), the same request (same id) is re-issued to
+//     a second replica; the first definitive reply wins and the loser is
+//     cancelled client-side (its id joins the connection's abandoned set
+//     and its late reply is discarded on arrival). Replies are
+//     deterministic functions of the request, so whichever replica
+//     answers first returns the same bytes — the hedge changes tail
+//     latency, never the result;
+//   * health-checked failover — transport failures and shed/degraded
+//     streaks mark a replica unhealthy for a cooldown; routing prefers
+//     healthy replicas via pick-two-least-loaded (lowest EWMA latency).
+//
+// Threading: an MbusClient instance is single-threaded by design — one
+// poll(2) loop multiplexes the primary and hedge connections, so the
+// client can be forked into worker processes (bench/fleet_load) without
+// fork-vs-threads hazards. Use one client per thread/process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "util/rng.hpp"
+#include "util/subprocess.hpp"
+
+namespace mbus::service {
+
+/// Classified transport failure of one connection attempt — the
+/// vocabulary shared by MbusClient and the bench load clients
+/// (satellite: service_load previously lumped both into one exit path).
+enum class SocketFailure {
+  kNone,             ///< No transport failure.
+  kRefusedAtConnect, ///< connect(2) failed — nobody listening at start.
+  kDiedMidRun,       ///< Established connection broke (EOF/EPIPE/reset).
+};
+
+const char* to_string(SocketFailure failure);
+
+/// Decorrelated-jitter backoff (Brooker, "Exponential Backoff And
+/// Jitter"): sleep = min(cap, uniform(base, prev * 3)). Deterministic
+/// for a given seed — two clients with the same seed produce the same
+/// sleep sequence, which is what makes retry drills reproducible.
+class BackoffPolicy {
+ public:
+  BackoffPolicy(std::int64_t base_ms, std::int64_t cap_ms,
+                std::uint64_t seed);
+
+  /// Next sleep in ms; grows (jittered) toward `cap_ms` and stays there.
+  std::int64_t next_ms();
+  /// Restart the sequence (new logical call); the RNG stream continues.
+  void reset() { prev_ms_ = base_ms_; }
+
+ private:
+  std::int64_t base_ms_;
+  std::int64_t cap_ms_;
+  std::int64_t prev_ms_;
+  Xoshiro256 rng_;
+};
+
+struct ClientConfig {
+  /// Replica socket paths, in fleet index order.
+  std::vector<std::string> replicas;
+
+  /// Attempt budget per call() (first try included).
+  int max_attempts = 4;
+  /// Backoff parameters; sleeps apply only to overloaded/degraded
+  /// replies (transport failures fail over immediately — waiting on a
+  /// dead socket helps nobody).
+  std::int64_t backoff_base_ms = 2;
+  std::int64_t backoff_cap_ms = 200;
+  /// Seeds the backoff jitter; same seed → same retry timing.
+  std::uint64_t seed = 0x5EEDC11E;
+
+  /// Call budget when the request carries deadline_ms == 0.
+  std::int64_t default_deadline_ms = 2000;
+
+  /// Hedge delay: -1 derives it from the client's observed p99 latency
+  /// (clamped to [hedge_min_delay_ms, hedge_max_delay_ms]); 0 disables
+  /// hedging; > 0 is a fixed delay in ms.
+  std::int64_t hedge_delay_ms = -1;
+  std::int64_t hedge_min_delay_ms = 20;
+  std::int64_t hedge_max_delay_ms = 500;
+
+  /// Consecutive failures (transport or shed/degraded) before a replica
+  /// is marked unhealthy, and how long it stays quarantined.
+  int unhealthy_streak = 3;
+  std::int64_t unhealthy_cooldown_ms = 500;
+
+  enum class Policy {
+    kLeastLoaded,  ///< Pick-two by lowest EWMA latency among healthy.
+    kRoundRobin,   ///< Deterministic rotation (drills and tests).
+  };
+  Policy policy = Policy::kLeastLoaded;
+
+  /// Throws InvalidArgument on nonsense (no replicas, attempts < 1, ...).
+  void validate() const;
+};
+
+/// Outcome of one call(): either a parsed reply (ok or structured
+/// error), or a transport/timeout failure, plus the resilience
+/// bookkeeping tests and benches assert on.
+struct CallResult {
+  ServiceReply reply;       ///< Valid when has_reply.
+  bool has_reply = false;   ///< A reply frame was parsed (ok or error).
+  bool ok = false;          ///< has_reply && reply.ok.
+  /// Last transport failure when !has_reply (kNone on local timeout).
+  SocketFailure transport = SocketFailure::kNone;
+  bool timed_out = false;   ///< The call's own deadline expired locally.
+  int attempts = 0;         ///< Wire attempts issued (hedges not counted).
+  bool hedged = false;      ///< A hedge was issued on some attempt.
+  bool hedge_won = false;   ///< The winning reply came from the hedge leg.
+  int served_by = -1;       ///< Replica index that produced the reply.
+  bool failed_over = false; ///< Some attempt switched replicas.
+  std::uint64_t request_id = 0;  ///< The id this call used on the wire.
+  std::int64_t elapsed_us = 0;
+};
+
+/// Plain mirror of the cli.* counters for a single client instance
+/// (single-threaded, so plain int64 fields — the obs registry aggregates
+/// across instances/processes).
+struct ClientStats {
+  std::int64_t sent = 0;
+  std::int64_t ok = 0;
+  std::int64_t error_replies = 0;
+  std::int64_t transport_failures = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t retries = 0;
+  std::int64_t failovers = 0;
+  std::int64_t backoff_sleeps = 0;
+  std::int64_t hedges_issued = 0;
+  std::int64_t hedges_won = 0;
+  std::int64_t hedges_cancelled = 0;
+  std::int64_t stale_discarded = 0;
+  std::int64_t connect_refused = 0;
+  std::int64_t connection_died = 0;
+  std::int64_t unhealthy_marks = 0;
+};
+
+class MbusClient {
+ public:
+  explicit MbusClient(ClientConfig config);
+  ~MbusClient();
+
+  MbusClient(const MbusClient&) = delete;
+  MbusClient& operator=(const MbusClient&) = delete;
+
+  /// Issue `request` (its id field is ignored; the client assigns one,
+  /// reported in CallResult::request_id). Retries, failover, and
+  /// hedging happen inside; the call returns when a definitive reply
+  /// arrives, the attempt budget is exhausted, or the deadline expires.
+  CallResult call(const ServiceRequest& request);
+
+  /// Protocol-level ping against replica `index` with its own timeout;
+  /// true on an ok reply. Does not disturb call() routing state beyond
+  /// health bookkeeping.
+  bool ping(std::size_t index, std::int64_t timeout_ms);
+
+  const ClientStats& stats() const noexcept { return stats_; }
+  const ClientConfig& config() const noexcept { return config_; }
+
+  /// Health as the router sees it right now (cooldown expiry included).
+  bool replica_healthy(std::size_t index) const;
+
+  /// Drop every connection (the replicas see EOF); the next call
+  /// reconnects lazily. Idempotent.
+  void close();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameReader reader;
+    /// Ids whose replies we no longer want (hedge losers); discarded on
+    /// arrival instead of being mistaken for the current request.
+    std::unordered_set<std::uint64_t> abandoned;
+  };
+  struct Replica {
+    Conn conn;
+    int failure_streak = 0;
+    std::int64_t unhealthy_until_us = 0;
+    double ewma_latency_us = 0.0;
+  };
+
+  bool ensure_connected(std::size_t index);
+  void drop_connection(std::size_t index);
+  void record_success(std::size_t index, std::int64_t latency_us);
+  void record_failure(std::size_t index);
+  /// Routing: primary and hedge picks for the next attempt.
+  /// `avoid` (>= 0) excludes a replica that just failed this call.
+  void pick_replicas(int avoid, int& primary, int& hedge);
+  std::int64_t resolve_hedge_delay_ms() const;
+  bool send_request(std::size_t index, const std::string& payload,
+                    std::int64_t deadline_us);
+
+  /// One wire attempt (primary + optional hedge); fills `out` with the
+  /// reply or the classified failure. Returns true when a reply frame
+  /// was obtained (ok or error).
+  bool attempt(const ServiceRequest& request, int primary, int hedge,
+               std::int64_t deadline_us, CallResult& out);
+
+  ClientConfig config_;
+  std::vector<Replica> replicas_;
+  ClientStats stats_;
+  std::uint64_t next_id_;
+  std::size_t rr_next_ = 0;
+  BackoffPolicy backoff_;
+  /// Ring of recent successful call latencies for the p99-derived hedge
+  /// delay (auto mode).
+  std::vector<std::int64_t> latency_window_;
+  std::size_t latency_next_ = 0;
+};
+
+}  // namespace mbus::service

@@ -1,0 +1,359 @@
+#include "service/fleet.hpp"
+
+#include <signal.h>
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/format.hpp"
+#include "util/shutdown.hpp"
+#include "util/socket.hpp"
+
+namespace mbus::service {
+
+namespace {
+
+std::int64_t steady_ms() {
+  return obs::monotonic_us() / 1000;  // obs clock is fine here: the
+  // supervisor is never built with MBUS_NO_OBS in a config where its
+  // timeouts matter more than observability (tests cover the real one).
+}
+
+std::string replica_socket_path(const std::string& dir, std::size_t index) {
+  return cat(dir, "/replica-", index, ".sock");
+}
+
+/// The forked replica body. Runs a complete mbusd-equivalent: signal-
+/// driven drain, ready handshake, drain summary over the result pipe.
+/// Everything it needs crossed the fork as copies — it must never touch
+/// supervisor state.
+int replica_main(ServerConfig server_config, std::string failpoint_spec,
+                 int /*command_fd*/, int result_fd) {
+  // The fork copied the parent's signal registration and any armed
+  // failpoints; this replica wants its own.
+  reset_signal_state_for_forked_child();
+  failpoints::disarm_all();
+  // The inherited event-log sink is shared with the supervisor; two
+  // processes appending would interleave lines. The supervisor is the
+  // sole emitter.
+  obs::EventLog::global().close();
+  try {
+    if (!failpoint_spec.empty()) failpoints::arm(failpoint_spec);
+    CancellationToken token;
+    SignalGuard guard(token);
+    Server server(std::move(server_config));
+    server.start();
+    write_frame(result_fd, "ready");
+    const ServerReport report = server.run(token);
+    write_frame(result_fd, cat("drained ", report.summary()));
+    return 0;
+  } catch (const std::exception& error) {
+    write_frame(result_fd, cat("error ", error.what()));
+    return 1;
+  }
+}
+
+}  // namespace
+
+const char* to_string(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kStarting:
+      return "starting";
+    case ReplicaHealth::kHealthy:
+      return "healthy";
+    case ReplicaHealth::kUnhealthy:
+      return "unhealthy";
+    case ReplicaHealth::kCrashed:
+      return "crashed";
+    case ReplicaHealth::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+void FleetConfig::validate() const {
+  MBUS_EXPECTS(!socket_dir.empty(), "fleet needs a socket directory");
+  MBUS_EXPECTS(replicas >= 1, "fleet needs at least one replica");
+  MBUS_EXPECTS(max_respawns >= 0, "max_respawns must be >= 0");
+  MBUS_EXPECTS(ping_timeout_ms >= 1, "ping_timeout_ms must be >= 1");
+  MBUS_EXPECTS(unhealthy_after >= 1, "unhealthy_after must be >= 1");
+  MBUS_EXPECTS(ready_timeout_ms >= 1, "ready_timeout_ms must be >= 1");
+}
+
+std::string FleetReport::summary() const {
+  int exit_zero = 0;
+  for (const auto& description : exit_descriptions) {
+    if (description == "exit 0") ++exit_zero;
+  }
+  return cat("fleet drained: exit0=", exit_zero, "/",
+             exit_descriptions.size(), " respawns=", respawns,
+             " crashes=", crashes);
+}
+
+FleetSupervisor::FleetSupervisor(FleetConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+FleetSupervisor::~FleetSupervisor() = default;  // Subprocess dtors SIGKILL
+
+void FleetSupervisor::spawn_replica(std::size_t index) {
+  Slot& slot = *slots_[index];
+
+  // Other replicas' pipe ends must not survive into this child: a
+  // sibling holding a dead replica's write end would mask its EOF.
+  std::vector<int> close_fds;
+  for (std::size_t other = 0; other < slots_.size(); ++other) {
+    if (other == index) continue;
+    if (slots_[other]->proc.result_fd() >= 0) {
+      close_fds.push_back(slots_[other]->proc.result_fd());
+    }
+    if (slots_[other]->proc.command_fd() >= 0) {
+      close_fds.push_back(slots_[other]->proc.command_fd());
+    }
+  }
+
+  ServerConfig server_config = config_.server;
+  server_config.socket_path = slot.socket_path;
+  std::string failpoint_spec =
+      index < config_.replica_failpoints.size()
+          ? config_.replica_failpoints[index]
+          : std::string();
+
+  slot.proc = Subprocess::spawn(
+      [server_config, failpoint_spec](int command_fd, int result_fd) {
+        return replica_main(server_config, failpoint_spec, command_fd,
+                            result_fd);
+      },
+      close_fds);
+  slot.reader = FrameReader{};
+  slot.health = ReplicaHealth::kStarting;
+  slot.ping_failures = 0;
+  slot.drain_summary.clear();
+  obs::EventLog::global().emit(
+      "fleet.replica.spawned",
+      {{"replica", static_cast<int>(index)},
+       {"pid", static_cast<std::int64_t>(slot.proc.pid())},
+       {"respawns", slot.respawns}});
+}
+
+void FleetSupervisor::set_health(std::size_t index, ReplicaHealth health) {
+  Slot& slot = *slots_[index];
+  if (slot.health == health) return;
+  obs::EventLog::global().emit("fleet.replica.health",
+                               {{"replica", static_cast<int>(index)},
+                                {"from", to_string(slot.health)},
+                                {"to", to_string(health)}});
+  slot.health = health;
+  std::int64_t healthy = 0;
+  for (const auto& s : slots_) {
+    if (s->health == ReplicaHealth::kHealthy) ++healthy;
+  }
+  obs::MetricsRegistry::global().gauge("fleet.replicas.healthy").set(healthy);
+}
+
+void FleetSupervisor::drain_pipe(std::size_t index) {
+  Slot& slot = *slots_[index];
+  const int fd = slot.proc.result_fd();
+  if (fd < 0) return;
+  try {
+    slot.reader.read_available(fd);  // EOF just stops yielding frames
+    std::string frame;
+    while (slot.reader.next_frame(frame)) {
+      if (frame == "ready") {
+        slot.ping_failures = 0;
+        set_health(index, ReplicaHealth::kHealthy);
+      } else if (frame.rfind("drained", 0) == 0) {
+        slot.drain_summary = frame;
+      } else if (frame.rfind("error", 0) == 0) {
+        obs::EventLog::global().emit(
+            "fleet.replica.error",
+            {{"replica", static_cast<int>(index)}, {"detail", frame}});
+      }
+    }
+  } catch (const Error&) {
+    // Torn framing: the replica is dying; try_reap will classify it.
+  }
+}
+
+bool FleetSupervisor::wait_ready(std::size_t index, std::int64_t timeout_ms) {
+  Slot& slot = *slots_[index];
+  const std::int64_t deadline = steady_ms() + timeout_ms;
+  while (steady_ms() < deadline) {
+    drain_pipe(index);
+    if (slot.health == ReplicaHealth::kHealthy) return true;
+    const ExitStatus status = slot.proc.try_reap();
+    if (!status.running) {
+      slot.last_exit = status.describe();
+      return false;  // died before ready
+    }
+    pollfd pfd{slot.proc.result_fd(), POLLIN, 0};
+    poll_eintr(&pfd, 1, 20);
+  }
+  return false;
+}
+
+void FleetSupervisor::start() {
+  MBUS_EXPECTS(!started_, "fleet already started");
+  if (::mkdir(config_.socket_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw Error(cat("mkdir(", config_.socket_dir,
+                    ") failed: ", std::strerror(errno)));
+  }
+  slots_.clear();
+  for (int i = 0; i < config_.replicas; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->socket_path =
+        replica_socket_path(config_.socket_dir, static_cast<std::size_t>(i));
+    slots_.push_back(std::move(slot));
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) spawn_replica(i);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!wait_ready(i, config_.ready_timeout_ms)) {
+      throw Error(cat("fleet replica ", i, " failed to become ready",
+                      slots_[i]->last_exit.empty()
+                          ? std::string()
+                          : cat(" (", slots_[i]->last_exit, ")")));
+    }
+  }
+
+  ClientConfig ping_config;
+  ping_config.replicas = socket_paths();
+  ping_config.hedge_delay_ms = 0;
+  pinger_ = std::make_unique<MbusClient>(std::move(ping_config));
+  started_ = true;
+  obs::EventLog::global().emit("fleet.started",
+                               {{"replicas", config_.replicas}});
+}
+
+void FleetSupervisor::tick() {
+  MBUS_EXPECTS(started_, "fleet not started");
+  auto& registry = obs::MetricsRegistry::global();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = *slots_[i];
+    if (slot.health == ReplicaHealth::kFailed) continue;
+
+    drain_pipe(i);
+
+    const ExitStatus status = slot.proc.try_reap();
+    if (!status.running) {
+      slot.last_exit = status.describe();
+      total_crashes_ += 1;
+      registry.counter("fleet.crashes").increment();
+      obs::EventLog::global().emit("fleet.replica.crash",
+                                   {{"replica", static_cast<int>(i)},
+                                    {"exit", slot.last_exit},
+                                    {"respawns", slot.respawns}});
+      set_health(i, ReplicaHealth::kCrashed);
+      if (slot.respawns < config_.max_respawns) {
+        slot.respawns += 1;
+        total_respawns_ += 1;
+        registry.counter("fleet.respawns").increment();
+        spawn_replica(i);
+        if (!wait_ready(i, config_.ready_timeout_ms)) {
+          // Came back dead: burn through the budget on later ticks
+          // rather than looping here.
+          set_health(i, ReplicaHealth::kCrashed);
+        }
+      } else {
+        set_health(i, ReplicaHealth::kFailed);
+      }
+      continue;
+    }
+
+    if (slot.health == ReplicaHealth::kHealthy ||
+        slot.health == ReplicaHealth::kUnhealthy) {
+      // Ping is answered inline by the event loop even under a full
+      // queue or an open breaker — failure means crashed/wedged.
+      if (pinger_->ping(i, config_.ping_timeout_ms)) {
+        registry.counter("fleet.pings.ok").increment();
+        slot.ping_failures = 0;
+        if (slot.health == ReplicaHealth::kUnhealthy) {
+          set_health(i, ReplicaHealth::kHealthy);
+        }
+      } else {
+        registry.counter("fleet.pings.failed").increment();
+        slot.ping_failures += 1;
+        if (slot.ping_failures >= config_.unhealthy_after &&
+            slot.health == ReplicaHealth::kHealthy) {
+          set_health(i, ReplicaHealth::kUnhealthy);
+        }
+      }
+    }
+  }
+}
+
+void FleetSupervisor::kill_replica(std::size_t index, int sig) {
+  MBUS_EXPECTS(index < slots_.size(), "replica index out of range");
+  slots_[index]->proc.kill_now(sig);
+  obs::EventLog::global().emit(
+      "fleet.replica.killed",
+      {{"replica", static_cast<int>(index)}, {"signal", sig}});
+}
+
+FleetReport FleetSupervisor::stop(std::int64_t grace_ms) {
+  FleetReport report;
+  report.replicas = static_cast<int>(slots_.size());
+  bool all_zero = true;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = *slots_[i];
+    drain_pipe(i);
+    ExitStatus status = slot.proc.try_reap();
+    const bool was_running = status.running;
+    if (was_running) {
+      status = slot.proc.terminate(grace_ms);
+    }
+    // The drain summary frame is written right before _exit; the pipe
+    // keeps its contents past the child's death.
+    drain_pipe(i);
+    slot.last_exit = status.describe();
+    report.exit_descriptions.push_back(slot.last_exit);
+    report.drain_summaries.push_back(slot.drain_summary);
+    if (was_running && !(status.exited && status.code == 0)) {
+      all_zero = false;
+    }
+  }
+  report.respawns = total_respawns_;
+  report.crashes = total_crashes_;
+  report.all_exited_zero = all_zero;
+  obs::EventLog::global().emit("fleet.stopped",
+                               {{"respawns", total_respawns_},
+                                {"crashes", total_crashes_},
+                                {"all_exited_zero", all_zero}});
+  started_ = false;
+  return report;
+}
+
+std::vector<std::string> FleetSupervisor::socket_paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(slots_.size());
+  for (const auto& slot : slots_) paths.push_back(slot->socket_path);
+  return paths;
+}
+
+ReplicaStatus FleetSupervisor::status(std::size_t index) const {
+  MBUS_EXPECTS(index < slots_.size(), "replica index out of range");
+  const Slot& slot = *slots_[index];
+  ReplicaStatus out;
+  out.health = slot.health;
+  out.pid = slot.proc.pid();
+  out.respawns = slot.respawns;
+  out.socket_path = slot.socket_path;
+  out.last_exit = slot.last_exit;
+  return out;
+}
+
+std::size_t FleetSupervisor::healthy_count() const {
+  std::size_t healthy = 0;
+  for (const auto& slot : slots_) {
+    if (slot->health == ReplicaHealth::kHealthy) ++healthy;
+  }
+  return healthy;
+}
+
+}  // namespace mbus::service

@@ -1,0 +1,158 @@
+// FleetSupervisor: K supervised mbusd replicas behind one socket
+// directory (DESIGN.md §15).
+//
+// Each replica is a fork-without-exec child (util/subprocess) running a
+// full Server event loop on its own unix socket `<dir>/replica-<i>.sock`.
+// The supervisor is the fault-handling side of the fleet:
+//
+//   * readiness — a replica writes a "ready" frame on its result pipe
+//     once its listener is bound, so start() returns only when every
+//     socket accepts connections (no connect/bind race with clients);
+//   * liveness — tick() probes replicas with protocol-level pings
+//     (answered inline by the server even under full queues and open
+//     breakers, so a ping failure means crashed or wedged, not busy)
+//     and reaps child deaths with WNOHANG waitpid;
+//   * recovery — a crashed replica is respawned on the same socket
+//     path, up to `max_respawns` times; beyond that it is marked kFailed
+//     and left down (a crash loop must become visible, not be hidden by
+//     infinite restarts);
+//   * chaos — per-replica failpoint specs arm in the child after the
+//     fork (the supervisor's own process never arms them), so a drill
+//     can slow or kill exactly one replica;
+//   * drain — stop() SIGTERMs every live replica; the child's
+//     SignalGuard turns that into a graceful server drain and exit 0,
+//     and the report records every replica's final exit status.
+//
+// Fork safety: start() and tick() fork. Like the campaign supervisor,
+// the fleet supervisor must run in a process with no other live threads
+// at spawn time — its loop is single-threaded by design, and the
+// single-threaded MbusClient exists so callers can keep it that way.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "util/subprocess.hpp"
+
+namespace mbus::service {
+
+enum class ReplicaHealth {
+  kStarting,  ///< Forked; ready frame not yet seen.
+  kHealthy,   ///< Ready and answering pings.
+  kUnhealthy, ///< Alive but failing pings (wedged or drowning).
+  kCrashed,   ///< Dead, respawn pending (tick() will restart it).
+  kFailed,    ///< Dead with respawn budget exhausted; left down.
+};
+
+const char* to_string(ReplicaHealth health);
+
+struct FleetConfig {
+  /// Directory for the replica sockets (`<dir>/replica-<i>.sock`).
+  std::string socket_dir;
+  int replicas = 3;
+  /// Per-replica server template; socket_path is overwritten per index.
+  ServerConfig server;
+  /// Respawn budget per replica slot.
+  int max_respawns = 3;
+  /// Ping probe timeout; probes run once per tick().
+  std::int64_t ping_timeout_ms = 250;
+  /// Consecutive ping failures before kHealthy → kUnhealthy.
+  int unhealthy_after = 2;
+  /// Budget for every replica to report ready in start() / respawn.
+  std::int64_t ready_timeout_ms = 10000;
+  /// Per-replica failpoint specs (failpoint.hpp grammar) armed in the
+  /// child after the fork; "" arms nothing. Shorter vectors leave the
+  /// remaining replicas clean.
+  std::vector<std::string> replica_failpoints;
+
+  void validate() const;
+};
+
+struct ReplicaStatus {
+  ReplicaHealth health = ReplicaHealth::kStarting;
+  pid_t pid = -1;
+  int respawns = 0;
+  std::string socket_path;
+  /// Final exit ("exit 0", "signal 9 (Killed)") once reaped.
+  std::string last_exit;
+};
+
+struct FleetReport {
+  int replicas = 0;
+  int respawns = 0;
+  int crashes = 0;
+  /// Every replica alive at stop() time drained and exited 0.
+  bool all_exited_zero = false;
+  std::vector<std::string> exit_descriptions;
+  std::vector<std::string> drain_summaries;
+
+  /// "fleet drained: exit0=3/3 respawns=1 crashes=1".
+  std::string summary() const;
+};
+
+class FleetSupervisor {
+ public:
+  explicit FleetSupervisor(FleetConfig config);
+  /// SIGKILLs any replica still running (prefer an explicit stop()).
+  ~FleetSupervisor();
+
+  FleetSupervisor(const FleetSupervisor&) = delete;
+  FleetSupervisor& operator=(const FleetSupervisor&) = delete;
+
+  /// Fork every replica and wait for all ready frames. Throws Error
+  /// when a replica fails to come up within ready_timeout_ms.
+  void start();
+
+  /// One supervision step: drain result pipes, reap deaths, respawn
+  /// crashed replicas (respawn budget permitting), ping-probe the live
+  /// ones. Call this from the owning loop every ~100ms; it never
+  /// blocks beyond ping_timeout_ms per live replica.
+  void tick();
+
+  /// Kill replica `index` with `sig` (SIGKILL for crash drills). The
+  /// next tick() observes the death and respawns.
+  void kill_replica(std::size_t index, int sig);
+
+  /// SIGTERM every live replica, wait up to `grace_ms` each for a clean
+  /// drain (then SIGKILL), and report final exit statuses.
+  FleetReport stop(std::int64_t grace_ms);
+
+  std::vector<std::string> socket_paths() const;
+  ReplicaStatus status(std::size_t index) const;
+  std::size_t replica_count() const { return slots_.size(); }
+  std::size_t healthy_count() const;
+  int total_respawns() const noexcept { return total_respawns_; }
+  int total_crashes() const noexcept { return total_crashes_; }
+
+ private:
+  struct Slot {
+    Subprocess proc;
+    FrameReader reader;
+    ReplicaHealth health = ReplicaHealth::kStarting;
+    int respawns = 0;
+    int ping_failures = 0;
+    std::string socket_path;
+    std::string last_exit;
+    std::string drain_summary;
+  };
+
+  void spawn_replica(std::size_t index);
+  /// Drain the slot's result pipe, consuming ready/drained frames.
+  void drain_pipe(std::size_t index);
+  bool wait_ready(std::size_t index, std::int64_t timeout_ms);
+  void set_health(std::size_t index, ReplicaHealth health);
+
+  FleetConfig config_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  /// Ping client over all replica sockets (transient connections only).
+  std::unique_ptr<MbusClient> pinger_;
+  int total_respawns_ = 0;
+  int total_crashes_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace mbus::service

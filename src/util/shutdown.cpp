@@ -42,4 +42,11 @@ int SignalGuard::signal_received() const noexcept {
   return g_signal.load(std::memory_order_relaxed);
 }
 
+void reset_signal_state_for_forked_child() noexcept {
+  g_token.store(nullptr, std::memory_order_relaxed);
+  g_signal.store(0, std::memory_order_relaxed);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+}
+
 }  // namespace mbus

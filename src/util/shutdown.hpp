@@ -70,4 +70,13 @@ class SignalGuard {
   void (*previous_term_)(int);
 };
 
+/// Clear the process-global SignalGuard registration in a freshly forked
+/// child. A child forked while the parent's SignalGuard is in scope
+/// inherits the registration (the global token pointer now dangles into
+/// the parent's address-space image), so constructing the child's own
+/// SignalGuard would trip the "only one active" check. Call this first
+/// thing in a fork-without-exec child body, before anything else touches
+/// signals. Must not be called in the parent while its guard is live.
+void reset_signal_state_for_forked_child() noexcept;
+
 }  // namespace mbus

@@ -3,6 +3,7 @@
 #include <errno.h>
 #include <fcntl.h>
 #include <string.h>
+#include <sys/file.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -47,39 +48,86 @@ sockaddr_un make_addr(const std::string& path) {
   return addr;
 }
 
+/// Acquire the flock-held lock file guarding socket `path`. Returns the
+/// lock fd on success; throws AddressInUseError when another live
+/// process already holds it. The lock file (`<path>.lock`) is what makes
+/// stale-socket replacement race-free: flock(2) locks die with their
+/// holder, so the lock is free exactly when the previous daemon is gone
+/// and the socket file really is stale.
+int acquire_path_lock(const std::string& path) {
+  const std::string lock_path = path + ".lock";
+  const int fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    throw Error(cat("open(", lock_path, ") failed: ", strerror(errno)));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    const int saved = errno;
+    // Read the owner's pid for the error message (best-effort: the
+    // holder wrote it right after locking).
+    char pid_text[32] = {};
+    const ssize_t got = ::pread(fd, pid_text, sizeof pid_text - 1, 0);
+    ::close(fd);
+    if (saved == EWOULDBLOCK || saved == EAGAIN) {
+      throw AddressInUseError(
+          cat("address-in-use: ", path, " is owned by a live daemon",
+              got > 0 ? cat(" (pid ", pid_text, ")") : std::string(),
+              " — connect to it or choose another socket path"));
+    }
+    throw Error(cat("flock(", lock_path, ") failed: ", strerror(saved)));
+  }
+  // Record our pid for the next loser's error message.
+  char pid_text[32];
+  const int len =
+      std::snprintf(pid_text, sizeof pid_text, "%ld",
+                    static_cast<long>(::getpid()));
+  (void)::ftruncate(fd, 0);
+  (void)::pwrite(fd, pid_text, static_cast<std::size_t>(len), 0);
+  return fd;
+}
+
 }  // namespace
 
 UnixListener UnixListener::bind_and_listen(const std::string& path,
                                            int backlog) {
   const sockaddr_un addr = make_addr(path);
+  const int lock_fd = acquire_path_lock(path);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
-    throw Error(cat("socket(AF_UNIX) failed: ", strerror(errno)));
+    const int saved = errno;
+    ::close(lock_fd);
+    throw Error(cat("socket(AF_UNIX) failed: ", strerror(saved)));
   }
-  // A previous daemon that crashed leaves its socket file behind; bind
-  // would fail with EADDRINUSE even though nobody is listening. The
-  // service owns its path, so removing a stale file is always correct.
+  // We hold the path's lock, so nobody live owns the socket file: a
+  // leftover file is a stale relic of a crashed daemon (whose death
+  // released the flock) and removing it is safe — bind would otherwise
+  // fail with EADDRINUSE even though nobody is listening.
   ::unlink(path.c_str());
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
     const int saved = errno;
     ::close(fd);
+    ::close(lock_fd);
     throw Error(cat("bind(", path, ") failed: ", strerror(saved)));
   }
   if (::listen(fd, backlog) != 0) {
     const int saved = errno;
     ::close(fd);
+    ::close(lock_fd);
     ::unlink(path.c_str());
     throw Error(cat("listen(", path, ") failed: ", strerror(saved)));
   }
   set_nonblocking(fd);
   UnixListener listener;
   listener.fd_ = fd;
+  listener.lock_fd_ = lock_fd;
   listener.path_ = path;
   return listener;
 }
 
 UnixListener::UnixListener(UnixListener&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {
+    : fd_(std::exchange(other.fd_, -1)),
+      lock_fd_(std::exchange(other.lock_fd_, -1)),
+      path_(std::move(other.path_)) {
   other.path_.clear();
 }
 
@@ -87,6 +135,7 @@ UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    lock_fd_ = std::exchange(other.lock_fd_, -1);
     path_ = std::move(other.path_);
     other.path_.clear();
   }
@@ -116,7 +165,18 @@ void UnixListener::close() noexcept {
   }
   if (!path_.empty()) {
     ::unlink(path_.c_str());
+    // Remove the lock file while we still hold the flock: nobody else
+    // can be mid-acquisition on this inode, so unlink-then-close never
+    // strands a locked orphan. (A racer that already open(2)ed the old
+    // inode will flock a file that no longer exists, then find the path
+    // free on its own retry-free first bind attempt — the new owner
+    // creates a fresh lock file.)
+    ::unlink((path_ + ".lock").c_str());
     path_.clear();
+  }
+  if (lock_fd_ >= 0) {
+    ::close(lock_fd_);  // releases the flock
+    lock_fd_ = -1;
   }
 }
 
@@ -132,6 +192,23 @@ int connect_unix(const std::string& path) {
     const int saved = errno;
     ::close(fd);
     throw Error(cat("connect(", path, ") failed: ", strerror(saved)));
+  }
+  return fd;
+}
+
+int try_connect_unix(const std::string& path, int* err_out) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err_out != nullptr) *err_out = errno;
+    return -1;
+  }
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr) != 0) {
+    if (errno == EINTR) continue;
+    if (err_out != nullptr) *err_out = errno;
+    ::close(fd);
+    return -1;
   }
   return fd;
 }

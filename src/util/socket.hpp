@@ -13,7 +13,19 @@
 
 #include <string>
 
+#include "util/error.hpp"
+
 namespace mbus {
+
+/// Another live process owns the socket path (it holds the flock on the
+/// path's lock file). Distinct from Error so callers can tell "a daemon
+/// is already serving here" apart from transport failures: the right
+/// reaction is to use the running daemon or pick another path, never to
+/// steal the socket.
+class AddressInUseError : public Error {
+ public:
+  explicit AddressInUseError(const std::string& what) : Error(what) {}
+};
 
 /// Switch `fd` to O_NONBLOCK (best-effort; preserves other flags).
 void set_nonblocking(int fd);
@@ -32,11 +44,21 @@ void close_fd(int fd) noexcept;
 /// previous daemon is unlinked before bind, and the path is unlinked
 /// again on destruction. The listening fd is O_NONBLOCK so an accept
 /// sweep can run inside a poll loop without ever blocking.
+///
+/// Ownership of the path is arbitrated through an flock(2)-held lock
+/// file at `<path>.lock`: bind_and_listen acquires the lock (non-
+/// blocking) before it unlinks any stale socket, so two daemons racing
+/// to start on the same path can never both "win" — the loser gets a
+/// structured AddressInUseError naming the pid recorded in the lock
+/// file. The lock is released automatically when the owning process
+/// dies (even by SIGKILL), which is exactly when replacing the stale
+/// socket file becomes legitimate.
 class UnixListener {
  public:
   /// Bind and listen on `path`. Throws InvalidArgument when the path is
-  /// empty or too long for sockaddr_un, Error when socket/bind/listen
-  /// fail.
+  /// empty or too long for sockaddr_un, AddressInUseError when another
+  /// live process holds the path's lock file, Error when
+  /// socket/bind/listen fail.
   static UnixListener bind_and_listen(const std::string& path,
                                       int backlog = 16);
 
@@ -59,10 +81,12 @@ class UnixListener {
   int accept_client() noexcept;
 
   /// Close and unlink now (stop accepting before drain); idempotent.
+  /// Also releases the path's lock file.
   void close() noexcept;
 
  private:
   int fd_ = -1;
+  int lock_fd_ = -1;  // flock-held <path>.lock (pidfile guard)
   std::string path_;
 };
 
@@ -70,5 +94,13 @@ class UnixListener {
 /// Throws Error when the socket cannot be created or the connect fails
 /// (e.g. no daemon listening).
 int connect_unix(const std::string& path);
+
+/// Non-throwing connect for callers that treat a refused connection as a
+/// classified, expected event (the resilient client's failover path).
+/// Returns the connected fd, or -1 with `err_out` (when non-null) set to
+/// the errno of the failing syscall. Throws only InvalidArgument for an
+/// unusable path (empty / too long) — a configuration bug, not a
+/// transport event.
+int try_connect_unix(const std::string& path, int* err_out = nullptr);
 
 }  // namespace mbus

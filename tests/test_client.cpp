@@ -1,0 +1,681 @@
+// Client/fleet battery (ctest label `client`): decorrelated-jitter
+// backoff determinism, resilient-client retry/failover/hedging against
+// real in-process servers and hostile fake replicas, and the
+// FleetSupervisor's fork/ping/respawn/drain machinery including the
+// kill-a-replica live drill and the hedging-tail-latency drill from
+// DESIGN.md §15. Suite names start with "Client"/"Fleet" so the tsan and
+// asan-ubsan preset filters select them by those tokens.
+//
+// Process hygiene: the Fleet suites fork replica processes, which is
+// only safe while this process has no live threads — every TestServer /
+// FakeReplica thread is joined before a Fleet test constructs a
+// supervisor (gtest runs tests sequentially in one process).
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/fleet.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/shutdown.hpp"
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
+
+namespace mbus {
+namespace {
+
+using service::BackoffPolicy;
+using service::CallResult;
+using service::ClientConfig;
+using service::MbusClient;
+using service::Op;
+using service::ServiceReply;
+using service::ServiceRequest;
+using service::SocketFailure;
+
+std::string test_socket_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+std::string fleet_dir(const char* name) {
+  const std::string dir = testing::TempDir() + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+ServiceRequest small_bandwidth_request() {
+  ServiceRequest request;
+  request.op = Op::kBandwidth;
+  request.topo.scheme = "full";
+  request.topo.processors = 16;
+  request.topo.memories = 16;
+  request.topo.buses = 4;
+  return request;
+}
+
+service::ServerConfig small_server_config(const std::string& socket_path) {
+  service::ServerConfig config;
+  config.socket_path = socket_path;
+  config.workers = 2;
+  config.queue_capacity = 8;
+  config.default_deadline_ms = 5000;
+  config.max_deadline_ms = 10000;
+  config.drain_grace_ms = 200;
+  config.poll_interval_ms = 5;
+  return config;
+}
+
+/// A server running on its own thread against a temp socket; stop()
+/// triggers the drain and returns the run report.
+class TestServer {
+ public:
+  explicit TestServer(service::ServerConfig config)
+      : server_(std::move(config)) {
+    server_.start();
+    thread_ = std::thread([this]() { report_ = server_.run(token_); });
+  }
+  ~TestServer() {
+    if (thread_.joinable()) stop();
+  }
+
+  service::ServerReport stop() {
+    token_.request_stop();
+    thread_.join();
+    return report_;
+  }
+
+  const std::string& socket_path() const {
+    return server_.config().socket_path;
+  }
+
+ private:
+  service::Server server_;
+  CancellationToken token_;
+  std::thread thread_;
+  service::ServerReport report_;
+};
+
+/// A scriptable replica: accepts one connection at a time and answers
+/// every request frame through `handler` (raw payload in, raw payload
+/// out; return "" to slam the connection shut instead of replying).
+class FakeReplica {
+ public:
+  using Handler = std::function<std::string(const std::string&)>;
+
+  FakeReplica(const std::string& path, Handler handler)
+      : listener_(UnixListener::bind_and_listen(path)),
+        handler_(std::move(handler)) {
+    thread_ = std::thread([this]() { serve(); });
+  }
+  ~FakeReplica() { stop(); }
+
+  void stop() {
+    if (!stop_.exchange(true) && thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void serve() {
+    int client = -1;
+    FrameReader reader;
+    while (!stop_.load()) {
+      if (client < 0) {
+        client = listener_.accept_client();
+        if (client < 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        reader = FrameReader{};
+      }
+      bool alive = true;
+      try {
+        alive = reader.read_available(client);
+        std::string payload;
+        while (alive && reader.next_frame(payload)) {
+          const std::string reply = handler_(payload);
+          if (reply.empty() || !write_frame(client, reply)) alive = false;
+        }
+      } catch (const Error&) {
+        alive = false;
+      }
+      if (!alive) {
+        close_fd(client);
+        client = -1;
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (client >= 0) close_fd(client);
+  }
+
+  UnixListener listener_;
+  Handler handler_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+ClientConfig client_config_for(std::vector<std::string> replicas) {
+  ClientConfig config;
+  config.replicas = std::move(replicas);
+  config.max_attempts = 4;
+  config.backoff_base_ms = 1;
+  config.backoff_cap_ms = 8;
+  config.default_deadline_ms = 5000;
+  config.hedge_delay_ms = 0;  // tests opt in explicitly
+  config.policy = ClientConfig::Policy::kRoundRobin;
+  return config;
+}
+
+double percentile_of(std::vector<std::int64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return static_cast<double>(values[std::min(rank, values.size() - 1)]);
+}
+
+// ---- backoff ------------------------------------------------------------
+
+TEST(ClientBackoff, DecorrelatedJitterIsDeterministicForASeed) {
+  BackoffPolicy a(2, 200, 0xFEED);
+  BackoffPolicy b(2, 200, 0xFEED);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.next_ms(), b.next_ms()) << "diverged at draw " << i;
+  }
+  // A different seed produces a different sequence (overwhelmingly).
+  BackoffPolicy c(2, 200, 0xBEEF);
+  BackoffPolicy d(2, 200, 0xFEED);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c.next_ms() != d.next_ms()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(ClientBackoff, SleepsStayWithinBaseAndCap) {
+  BackoffPolicy policy(2, 50, 0x1234);
+  std::int64_t max_seen = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t sleep = policy.next_ms();
+    ASSERT_GE(sleep, 2);
+    ASSERT_LE(sleep, 50);
+    max_seen = std::max(max_seen, sleep);
+  }
+  // The sequence actually grows toward the cap instead of sitting on
+  // the base forever.
+  EXPECT_GT(max_seen, 25);
+  policy.reset();
+  EXPECT_LE(policy.next_ms(), 6);  // after reset: uniform(2, 2*3)
+}
+
+// ---- config -------------------------------------------------------------
+
+TEST(ClientConfigValidation, RejectsNonsense) {
+  ClientConfig config = client_config_for({"/tmp/x.sock"});
+  config.replicas.clear();
+  EXPECT_THROW(MbusClient{config}, InvalidArgument);
+
+  config = client_config_for({"/tmp/x.sock"});
+  config.max_attempts = 0;
+  EXPECT_THROW(MbusClient{config}, InvalidArgument);
+
+  config = client_config_for({"/tmp/x.sock"});
+  config.hedge_min_delay_ms = 100;
+  config.hedge_max_delay_ms = 10;
+  EXPECT_THROW(MbusClient{config}, InvalidArgument);
+
+  config = client_config_for({"/tmp/x.sock"});
+  config.backoff_cap_ms = 0;
+  EXPECT_THROW(MbusClient{config}, InvalidArgument);
+}
+
+// ---- served calls -------------------------------------------------------
+
+TEST(ClientCall, ServedReplyIsBitIdenticalToInProcessEvaluate) {
+  TestServer server(
+      small_server_config(test_socket_path("mbus_cli_bitident")));
+  MbusClient client(client_config_for({server.socket_path()}));
+
+  const CallResult result = client.call(small_bandwidth_request());
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(result.served_by, 0);
+
+  // The exact request the server saw: ours, with the id the client
+  // assigned. The served reply must be byte-for-byte what an in-process
+  // evaluation produces (%.17g doubles round-trip bit-exactly).
+  ServiceRequest direct = small_bandwidth_request();
+  direct.id = result.request_id;
+  const ServiceReply expected = service::execute_request(direct, nullptr);
+  EXPECT_EQ(service::format_reply(result.reply),
+            service::format_reply(expected));
+}
+
+TEST(ClientCall, AssignsFreshIdsPerCall) {
+  TestServer server(small_server_config(test_socket_path("mbus_cli_ids")));
+  MbusClient client(client_config_for({server.socket_path()}));
+
+  const CallResult first = client.call(small_bandwidth_request());
+  const CallResult second = client.call(small_bandwidth_request());
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  EXPECT_NE(first.request_id, second.request_id);
+  EXPECT_EQ(first.reply.id, first.request_id);
+  EXPECT_EQ(second.reply.id, second.request_id);
+}
+
+TEST(ClientCall, DeadlinePropagationShipsTheRemainingBudget) {
+  std::atomic<std::int64_t> first_deadline{-1};
+  std::atomic<std::int64_t> second_deadline{-1};
+  FakeReplica replica(
+      test_socket_path("mbus_cli_deadline"),
+      [&](const std::string& payload) {
+        const ServiceRequest request = service::parse_request(payload);
+        if (first_deadline.load() < 0) {
+          first_deadline.store(request.deadline_ms);
+          // Force a retry so the second attempt shows a *shrunken*
+          // budget on the wire.
+          return service::format_reply(service::make_error_reply(
+              request.id, service::kErrOverloaded, "drill"));
+        }
+        second_deadline.store(request.deadline_ms);
+        ServiceReply ok = service::make_ok_reply(request.id);
+        return service::format_reply(ok);
+      });
+
+  ClientConfig config = client_config_for({test_socket_path(
+      "mbus_cli_deadline")});
+  config.default_deadline_ms = 700;
+  config.backoff_base_ms = 5;
+  config.backoff_cap_ms = 20;
+  MbusClient client(config);
+
+  const CallResult result = client.call(small_bandwidth_request());
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.attempts, 2);
+  // First attempt carries (about) the whole budget...
+  EXPECT_LE(first_deadline.load(), 700);
+  EXPECT_GE(first_deadline.load(), 600);
+  // ...and the retry carries strictly less: the elapsed first attempt
+  // plus the backoff sleep came out of the same budget.
+  EXPECT_LT(second_deadline.load(), first_deadline.load());
+  EXPECT_GE(second_deadline.load(), 1);
+  replica.stop();
+}
+
+// ---- retries ------------------------------------------------------------
+
+TEST(ClientRetry, InternalErrorIsRetriedAndSucceeds) {
+  TestServer server(
+      small_server_config(test_socket_path("mbus_cli_retry")));
+  MbusClient client(client_config_for({server.socket_path()}));
+
+  failpoints::Scoped scoped("service.dispatch=throw@1");
+  const CallResult result = client.call(small_bandwidth_request());
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.attempts, 2);
+  EXPECT_EQ(client.stats().retries, 1);
+}
+
+TEST(ClientRetry, BadRequestIsNotRetried) {
+  TestServer server(
+      small_server_config(test_socket_path("mbus_cli_badreq")));
+  MbusClient client(client_config_for({server.socket_path()}));
+
+  // Parses fine, fails to build: hier4 requires 4 | N.
+  ServiceRequest request = small_bandwidth_request();
+  request.topo.processors = 10;
+  request.topo.memories = 10;
+  request.workload = "hier4";
+  const CallResult result = client.call(request);
+  ASSERT_TRUE(result.has_reply);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.reply.code, service::kErrBadRequest);
+  EXPECT_EQ(result.attempts, 1);  // retrying a client bug repeats it
+  EXPECT_EQ(client.stats().retries, 0);
+}
+
+TEST(ClientRetry, BackoffSleepsOnlyForOverloadStyleReplies) {
+  std::atomic<int> seen{0};
+  FakeReplica replica(
+      test_socket_path("mbus_cli_backoff"),
+      [&](const std::string& payload) {
+        const ServiceRequest request = service::parse_request(payload);
+        if (seen.fetch_add(1) < 2) {
+          return service::format_reply(service::make_error_reply(
+              request.id, service::kErrOverloaded, "shed"));
+        }
+        return service::format_reply(service::make_ok_reply(request.id));
+      });
+  MbusClient client(
+      client_config_for({test_socket_path("mbus_cli_backoff")}));
+  const CallResult result = client.call(small_bandwidth_request());
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(client.stats().backoff_sleeps, 2);
+  replica.stop();
+}
+
+// ---- failover -----------------------------------------------------------
+
+TEST(ClientFailover, DeadPrimaryFailsOverToALiveReplica) {
+  TestServer live(
+      small_server_config(test_socket_path("mbus_cli_fo_live")));
+  // Round-robin starts at replica 0 — the one nobody listens on.
+  MbusClient client(client_config_for(
+      {test_socket_path("mbus_cli_fo_dead"), live.socket_path()}));
+
+  const CallResult result = client.call(small_bandwidth_request());
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.served_by, 1);
+  EXPECT_TRUE(result.failed_over);
+  EXPECT_GE(client.stats().failovers, 1);
+  EXPECT_GE(client.stats().connect_refused, 1);
+}
+
+TEST(ClientFailover, MidRunServerDeathIsClassifiedAndSurvived) {
+  auto first = std::make_unique<TestServer>(
+      small_server_config(test_socket_path("mbus_cli_fo_die0")));
+  TestServer second(
+      small_server_config(test_socket_path("mbus_cli_fo_die1")));
+  MbusClient client(client_config_for(
+      {first->socket_path(), second.socket_path()}));
+
+  // Round-robin: call 1 → replica 0, call 2 → replica 1.
+  ASSERT_TRUE(client.call(small_bandwidth_request()).ok);
+  ASSERT_TRUE(client.call(small_bandwidth_request()).ok);
+
+  // Replica 0 dies with a live client connection to it.
+  first.reset();
+
+  // Call 3 routes back to replica 0, finds the connection dead mid-run
+  // (EPIPE or EOF — not a fresh connect refusal), and fails over.
+  const CallResult result = client.call(small_bandwidth_request());
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.served_by, 1);
+  EXPECT_TRUE(result.failed_over);
+  EXPECT_GE(client.stats().connection_died + client.stats().connect_refused,
+            1);
+}
+
+TEST(ClientFailover, GarbageReplyDropsTheConnectionAndFailsOver) {
+  FakeReplica hostile(test_socket_path("mbus_cli_garbage"),
+                      [](const std::string&) {
+                        return std::string("mbus-rep v1 this is not a reply");
+                      });
+  TestServer live(
+      small_server_config(test_socket_path("mbus_cli_garbage_live")));
+  MbusClient client(client_config_for(
+      {test_socket_path("mbus_cli_garbage"), live.socket_path()}));
+
+  const CallResult result = client.call(small_bandwidth_request());
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.served_by, 1);
+  EXPECT_TRUE(result.failed_over);
+  hostile.stop();
+}
+
+// ---- health -------------------------------------------------------------
+
+TEST(ClientHealth, StreakMarksUnhealthyAndCooldownRecovers) {
+  ClientConfig config =
+      client_config_for({test_socket_path("mbus_cli_health_dead")});
+  config.max_attempts = 2;
+  config.unhealthy_streak = 2;
+  config.unhealthy_cooldown_ms = 150;
+  MbusClient client(config);
+
+  const CallResult result = client.call(small_bandwidth_request());
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.transport, SocketFailure::kRefusedAtConnect);
+  EXPECT_FALSE(client.replica_healthy(0));
+  EXPECT_GE(client.stats().unhealthy_marks, 1);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_TRUE(client.replica_healthy(0));  // cooldown expired: probe-able
+}
+
+// ---- hedging ------------------------------------------------------------
+
+TEST(ClientHedge, HedgeWinsWhenThePrimaryStalls) {
+  TestServer slow(
+      small_server_config(test_socket_path("mbus_cli_hedge0")));
+  TestServer fast(
+      small_server_config(test_socket_path("mbus_cli_hedge1")));
+  ClientConfig config =
+      client_config_for({slow.socket_path(), fast.socket_path()});
+  config.hedge_delay_ms = 50;
+  MbusClient client(config);
+
+  // Both servers share this process's failpoint registry: hit 1 is the
+  // primary's dispatch (stalls 400 ms), hit 2 is the hedge's (clean).
+  failpoints::Scoped scoped("service.dispatch=sleep:400@1");
+  const CallResult result = client.call(small_bandwidth_request());
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.hedged);
+  EXPECT_TRUE(result.hedge_won);
+  EXPECT_EQ(result.served_by, 1);
+  EXPECT_EQ(client.stats().hedges_issued, 1);
+  EXPECT_EQ(client.stats().hedges_won, 1);
+  EXPECT_EQ(client.stats().hedges_cancelled, 1);
+  // Rescued well before the 400 ms stall.
+  EXPECT_LT(result.elapsed_us, 350 * 1000);
+
+  // The reply is still bit-identical to in-process evaluation — hedging
+  // changes who answers, never what the answer is.
+  ServiceRequest direct = small_bandwidth_request();
+  direct.id = result.request_id;
+  EXPECT_EQ(service::format_reply(result.reply),
+            service::format_reply(service::execute_request(direct, nullptr)));
+}
+
+TEST(ClientHedge, LoserReplyIsDiscardedAsStaleNotConfused) {
+  TestServer a(small_server_config(test_socket_path("mbus_cli_stale0")));
+  TestServer b(small_server_config(test_socket_path("mbus_cli_stale1")));
+  ClientConfig config =
+      client_config_for({a.socket_path(), b.socket_path()});
+  config.hedge_delay_ms = 40;
+  MbusClient client(config);
+
+  {
+    failpoints::Scoped scoped("service.dispatch=sleep:300@1");
+    ASSERT_TRUE(client.call(small_bandwidth_request()).ok);  // hedge wins
+  }
+  // Let the stalled primary finish and flush its (now unwanted) reply
+  // onto the persistent connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  // Round-robin brings replica 0 back as primary: the first frame on
+  // that connection is the hedge loser's reply, which must be discarded
+  // by id — and the *current* call still completes correctly.
+  CallResult result;
+  for (int i = 0; i < 2; ++i) result = client.call(small_bandwidth_request());
+  ASSERT_TRUE(result.ok);
+  EXPECT_GE(client.stats().stale_discarded, 1);
+
+  ServiceRequest direct = small_bandwidth_request();
+  direct.id = result.request_id;
+  EXPECT_EQ(service::format_reply(result.reply),
+            service::format_reply(service::execute_request(direct, nullptr)));
+}
+
+// ---- fleet --------------------------------------------------------------
+// These fork replica processes: no TestServer / FakeReplica may be alive
+// here (their threads would make the fork unsafe).
+
+service::FleetConfig small_fleet_config(const char* name, int replicas) {
+  service::FleetConfig config;
+  config.socket_dir = fleet_dir(name);
+  config.replicas = replicas;
+  config.server.workers = 2;
+  config.server.queue_capacity = 16;
+  config.server.drain_grace_ms = 500;
+  config.server.poll_interval_ms = 5;
+  config.ping_timeout_ms = 500;
+  return config;
+}
+
+TEST(FleetSupervise, StartsServesAndDrainsExitZero) {
+  service::FleetSupervisor fleet(small_fleet_config("mbus_fleet_basic", 2));
+  fleet.start();
+  EXPECT_EQ(fleet.healthy_count(), 2u);
+
+  MbusClient client(client_config_for(fleet.socket_paths()));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.call(small_bandwidth_request()).ok);
+  }
+  client.close();  // EOF to the replicas before they drain
+
+  const service::FleetReport report = fleet.stop(3000);
+  EXPECT_TRUE(report.all_exited_zero);
+  EXPECT_EQ(report.crashes, 0);
+  ASSERT_EQ(report.exit_descriptions.size(), 2u);
+  for (const std::string& exit : report.exit_descriptions) {
+    EXPECT_EQ(exit, "exit 0");
+  }
+  for (const std::string& drain : report.drain_summaries) {
+    EXPECT_NE(drain.find("drained"), std::string::npos);
+  }
+}
+
+TEST(FleetSupervise, SigkilledReplicaIsRespawnedAndServesAgain) {
+  service::FleetSupervisor fleet(
+      small_fleet_config("mbus_fleet_respawn", 2));
+  fleet.start();
+
+  fleet.kill_replica(0, SIGKILL);
+  // tick() observes the death, respawns, and waits for ready.
+  for (int i = 0; i < 100 && fleet.total_respawns() == 0; ++i) {
+    fleet.tick();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fleet.total_respawns(), 1);
+  EXPECT_EQ(fleet.total_crashes(), 1);
+  EXPECT_EQ(fleet.status(0).health, service::ReplicaHealth::kHealthy);
+  EXPECT_EQ(fleet.status(0).respawns, 1);
+
+  // The respawned replica serves on the same socket path.
+  MbusClient client(client_config_for({fleet.socket_paths()[0]}));
+  EXPECT_TRUE(client.call(small_bandwidth_request()).ok);
+  client.close();
+
+  const service::FleetReport report = fleet.stop(3000);
+  EXPECT_TRUE(report.all_exited_zero);
+}
+
+TEST(FleetSupervise, RespawnBudgetIsCappedAtMaxRespawns) {
+  service::FleetConfig config = small_fleet_config("mbus_fleet_cap", 1);
+  config.max_respawns = 1;
+  service::FleetSupervisor fleet(config);
+  fleet.start();
+
+  for (int round = 0; round < 2; ++round) {
+    fleet.kill_replica(0, SIGKILL);
+    for (int i = 0; i < 100; ++i) {
+      fleet.tick();
+      if (round == 0 &&
+          fleet.status(0).health == service::ReplicaHealth::kHealthy &&
+          fleet.total_respawns() == 1) {
+        break;
+      }
+      if (round == 1 &&
+          fleet.status(0).health == service::ReplicaHealth::kFailed) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  // Second crash exhausts the budget: kFailed, left down — a crash loop
+  // must become visible instead of being hidden by infinite restarts.
+  EXPECT_EQ(fleet.status(0).health, service::ReplicaHealth::kFailed);
+  EXPECT_EQ(fleet.total_respawns(), 1);
+  EXPECT_EQ(fleet.total_crashes(), 2);
+  fleet.stop(1000);
+}
+
+TEST(FleetDrill, KillOneReplicaMidCampaignLosesNothing) {
+  // The ISSUE acceptance drill: 3 replicas, one SIGKILLed mid-campaign;
+  // every request completes with a reply bit-identical to in-process
+  // evaluation, and at least one failover is recorded.
+  service::FleetSupervisor fleet(
+      small_fleet_config("mbus_fleet_drill", 3));
+  fleet.start();
+
+  MbusClient client(client_config_for(fleet.socket_paths()));
+  const int total_requests = 36;
+  int ok_count = 0;
+  for (int i = 0; i < total_requests; ++i) {
+    if (i == total_requests / 3) {
+      fleet.kill_replica(1, SIGKILL);
+    }
+    const CallResult result = client.call(small_bandwidth_request());
+    ASSERT_TRUE(result.ok) << "request " << i << " lost";
+    ++ok_count;
+
+    ServiceRequest direct = small_bandwidth_request();
+    direct.id = result.request_id;
+    ASSERT_EQ(
+        service::format_reply(result.reply),
+        service::format_reply(service::execute_request(direct, nullptr)))
+        << "request " << i << " reply not bit-identical";
+    fleet.tick();  // lets the supervisor observe the death and respawn
+  }
+  EXPECT_EQ(ok_count, total_requests);
+  EXPECT_GE(client.stats().failovers, 1);
+  EXPECT_EQ(fleet.total_respawns(), 1);
+  client.close();
+
+  const service::FleetReport report = fleet.stop(3000);
+  EXPECT_TRUE(report.all_exited_zero);
+}
+
+TEST(FleetDrill, HedgingReducesTailLatencyUnderASlowedReplica) {
+  // Replica 0 sleeps 250 ms in every dispatch (failpoint armed in the
+  // child only); round-robin sends it a third of the traffic. Without
+  // hedging the tail IS the stall; with a 40 ms hedge the fast replicas
+  // rescue those requests.
+  service::FleetConfig config = small_fleet_config("mbus_fleet_hedge", 3);
+  config.replica_failpoints = {"service.dispatch=sleep:250", "", ""};
+  service::FleetSupervisor fleet(config);
+  fleet.start();
+
+  const int requests = 18;
+  const auto run_with_hedge =
+      [&](std::int64_t hedge_delay_ms) -> std::vector<std::int64_t> {
+    ClientConfig client_config = client_config_for(fleet.socket_paths());
+    client_config.hedge_delay_ms = hedge_delay_ms;
+    MbusClient client(client_config);
+    std::vector<std::int64_t> latencies;
+    for (int i = 0; i < requests; ++i) {
+      const CallResult result = client.call(small_bandwidth_request());
+      EXPECT_TRUE(result.ok);
+      latencies.push_back(result.elapsed_us);
+    }
+    return latencies;
+  };
+
+  const std::vector<std::int64_t> without = run_with_hedge(0);
+  const std::vector<std::int64_t> with = run_with_hedge(40);
+
+  const double p99_without = percentile_of(without, 0.99);
+  const double p99_with = percentile_of(with, 0.99);
+  // Robust margins: the stalled third sits at >= 250 ms without hedging;
+  // hedged requests complete shortly after the 40 ms hedge delay.
+  EXPECT_GT(p99_without, 200.0 * 1000);
+  EXPECT_LT(p99_with, p99_without / 2.0);
+
+  fleet.stop(3000);
+}
+
+}  // namespace
+}  // namespace mbus

@@ -449,6 +449,60 @@ TEST(ServiceSocketUtil, InvalidPathsAreRejected) {
                Error);
 }
 
+TEST(ServiceSocketUtil, SecondDaemonOnSamePathGetsAddressInUse) {
+  // Two daemons racing to the same path: the flock pidfile guard must
+  // hand the path to exactly one and give the loser a structured error
+  // — never let the loser unlink the winner's live socket.
+  const std::string path = test_socket_path("mbus_svc_sock_race");
+  UnixListener winner = UnixListener::bind_and_listen(path);
+  ASSERT_TRUE(winner.valid());
+  EXPECT_THROW(UnixListener::bind_and_listen(path), AddressInUseError);
+  // The winner is untouched by the loser's attempt: still connectable.
+  const int client = connect_unix(path);
+  EXPECT_GE(client, 0);
+  close_fd(client);
+}
+
+TEST(ServiceSocketUtil, LockReleasesOnCloseSoThePathCanBeReused) {
+  const std::string path = test_socket_path("mbus_svc_sock_reuse");
+  {
+    UnixListener first = UnixListener::bind_and_listen(path);
+    ASSERT_TRUE(first.valid());
+  }  // close(): fd, socket file, and lock file all released
+  EXPECT_NE(::access((path + ".lock").c_str(), F_OK), 0);
+  UnixListener second = UnixListener::bind_and_listen(path);
+  EXPECT_TRUE(second.valid());
+}
+
+TEST(ServiceSocketUtil, AddressInUseIsDistinguishableFromTransportErrors) {
+  // The classified error is what lets mbusd say "another daemon is
+  // serving here" instead of a generic bind failure.
+  const std::string path = test_socket_path("mbus_svc_sock_classify");
+  UnixListener owner = UnixListener::bind_and_listen(path);
+  try {
+    UnixListener::bind_and_listen(path);
+    FAIL() << "expected AddressInUseError";
+  } catch (const AddressInUseError& error) {
+    EXPECT_NE(std::string(error.what()).find("address-in-use"),
+              std::string::npos);
+  }
+}
+
+TEST(ServiceSocketUtil, TryConnectReportsRefusalWithoutThrowing) {
+  int err = 0;
+  EXPECT_EQ(try_connect_unix(test_socket_path("mbus_svc_not_here"), &err),
+            -1);
+  EXPECT_NE(err, 0);  // ENOENT or ECONNREFUSED, depending on the corpse
+
+  const std::string path = test_socket_path("mbus_svc_try_ok");
+  UnixListener listener = UnixListener::bind_and_listen(path);
+  const int fd = try_connect_unix(path, &err);
+  EXPECT_GE(fd, 0);
+  close_fd(fd);
+  // Unusable paths are still a configuration bug, not a transport event.
+  EXPECT_THROW(try_connect_unix(std::string(200, 'x')), InvalidArgument);
+}
+
 // ---- the server, end to end --------------------------------------------
 
 /// A server running on its own thread against a temp socket; stop()
